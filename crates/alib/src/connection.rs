@@ -1,0 +1,683 @@
+//! The Alib connection object.
+
+use crate::error::AlibError;
+use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
+use da_proto::command::{DeviceCommand, QueueEntry};
+use da_proto::event::{Event, EventMask};
+use da_proto::ids::{Atom, LoudId, ResourceId, SoundId, VDeviceId, WireId};
+use da_proto::reply::{HardWire, PhysDeviceInfo, Reply, StackEntry};
+use da_proto::request::Request;
+use da_proto::setup::{SetupReply, SetupRequest};
+use da_proto::transport::{Duplex, TransportError};
+use da_proto::types::{Attribute, DeviceClass, Property, SoundType, WireType};
+use da_proto::{ProtoError, WireRead, WireWrite};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Default timeout for blocking waits.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Largest data block sent in one `WriteSoundData` request.
+const UPLOAD_CHUNK: usize = 64 * 1024;
+
+/// A connection to an audio server.
+///
+/// # Examples
+///
+/// ```no_run
+/// use da_alib::Connection;
+///
+/// let mut conn = Connection::open_tcp("127.0.0.1:7700", "quickstart").unwrap();
+/// let info = conn.server_info().unwrap();
+/// println!("server: {}", info.0);
+/// ```
+pub struct Connection {
+    duplex: Duplex,
+    setup: SetupReply,
+    next_seq: u32,
+    next_id: u32,
+    events: VecDeque<Event>,
+    errors: VecDeque<(u32, ProtoError)>,
+    replies: HashMap<u32, Reply>,
+    /// Timeout applied to blocking waits.
+    pub timeout: Duration,
+}
+
+impl Connection {
+    /// Establishes a connection over an already-open duplex (e.g. from
+    /// `AudioServer::connect_pipe`).
+    pub fn establish(mut duplex: Duplex, client_name: &str) -> Result<Connection, AlibError> {
+        let setup_req = SetupRequest {
+            protocol_major: da_proto::PROTOCOL_MAJOR,
+            protocol_minor: da_proto::PROTOCOL_MINOR,
+            client_name: client_name.to_string(),
+        };
+        let mut w = WireWriter::new();
+        setup_req.write(&mut w);
+        duplex
+            .send(&Frame { kind: FrameKind::Setup, payload: w.finish() })
+            .map_err(|e| AlibError::Connection(e.to_string()))?;
+        let deadline = Instant::now() + DEFAULT_TIMEOUT;
+        let setup = loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(AlibError::Timeout);
+            }
+            match duplex.recv(Some(left)) {
+                Ok(Some(f)) if f.kind == FrameKind::SetupReply => {
+                    break SetupReply::from_wire(&f.payload)
+                        .map_err(|e| AlibError::Connection(e.to_string()))?;
+                }
+                Ok(Some(_)) => continue,
+                Ok(None) => continue,
+                Err(e) => return Err(AlibError::Connection(e.to_string())),
+            }
+        };
+        Ok(Connection {
+            duplex,
+            setup,
+            next_seq: 1,
+            next_id: 1,
+            events: VecDeque::new(),
+            errors: VecDeque::new(),
+            replies: HashMap::new(),
+            timeout: DEFAULT_TIMEOUT,
+        })
+    }
+
+    /// Connects to a server over TCP.
+    pub fn open_tcp(addr: &str, client_name: &str) -> Result<Connection, AlibError> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| AlibError::Connection(e.to_string()))?;
+        let duplex = Duplex::tcp(stream).map_err(|e| AlibError::Connection(e.to_string()))?;
+        Connection::establish(duplex, client_name)
+    }
+
+    /// The setup information the server granted this client.
+    pub fn setup(&self) -> &SetupReply {
+        &self.setup
+    }
+
+    /// Allocates a fresh resource id from this client's range.
+    pub fn alloc_id(&mut self) -> u32 {
+        let id = self.setup.id_base | (self.next_id & self.setup.id_mask);
+        self.next_id += 1;
+        id
+    }
+
+    // ---- low-level send / receive -----------------------------------------
+
+    /// Sends a request asynchronously, returning its sequence number.
+    pub fn send(&mut self, request: &Request) -> Result<u32, AlibError> {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        let mut w = WireWriter::new();
+        w.u32(seq);
+        request.write(&mut w);
+        self.duplex
+            .send(&Frame { kind: FrameKind::Request, payload: w.finish() })
+            .map_err(|e| AlibError::Connection(e.to_string()))?;
+        Ok(seq)
+    }
+
+    fn pump_one(&mut self, timeout: Duration) -> Result<bool, AlibError> {
+        match self.duplex.recv(Some(timeout)) {
+            Ok(None) => Ok(false),
+            Ok(Some(frame)) => {
+                self.absorb(frame)?;
+                Ok(true)
+            }
+            Err(TransportError::Closed) => {
+                Err(AlibError::Connection("server closed the connection".into()))
+            }
+            Err(e) => Err(AlibError::Connection(e.to_string())),
+        }
+    }
+
+    fn absorb(&mut self, frame: Frame) -> Result<(), AlibError> {
+        match frame.kind {
+            FrameKind::Reply => {
+                let mut r = WireReader::new(&frame.payload);
+                let seq = r.u32().map_err(|_| AlibError::UnexpectedReply)?;
+                let reply = Reply::read(&mut r).map_err(|_| AlibError::UnexpectedReply)?;
+                self.replies.insert(seq, reply);
+            }
+            FrameKind::Event => {
+                if let Ok(ev) = Event::from_wire(&frame.payload) {
+                    self.events.push_back(ev);
+                }
+            }
+            FrameKind::Error => {
+                let mut r = WireReader::new(&frame.payload);
+                if let (Ok(seq), Ok(err)) = (r.u32(), ProtoError::read(&mut r)) {
+                    self.errors.push_back((seq, err));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Waits for the reply to request `seq` (blocking on a request with a
+    /// reply is tantamount to synchronizing with the server, §4.1).
+    pub fn wait_reply(&mut self, seq: u32) -> Result<Reply, AlibError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if let Some(reply) = self.replies.remove(&seq) {
+                return Ok(reply);
+            }
+            if let Some(pos) = self.errors.iter().position(|(s, _)| *s == seq) {
+                let (s, error) = self.errors.remove(pos).expect("present");
+                return Err(AlibError::Server { seq: s, error });
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(AlibError::Timeout);
+            }
+            self.pump_one(left.min(Duration::from_millis(50)))?;
+        }
+    }
+
+    /// Sends a request and waits for its reply.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Reply, AlibError> {
+        let seq = self.send(request)?;
+        self.wait_reply(seq)
+    }
+
+    /// Round-trips a `Sync`, flushing all previously sent requests
+    /// through the server.
+    pub fn sync(&mut self) -> Result<(), AlibError> {
+        match self.round_trip(&Request::Sync)? {
+            Reply::Sync => Ok(()),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Returns the next queued event without blocking.
+    pub fn poll_event(&mut self) -> Result<Option<Event>, AlibError> {
+        // Drain anything already buffered on the transport.
+        while self.pump_one(Duration::from_millis(0))? {}
+        Ok(self.events.pop_front())
+    }
+
+    /// Waits up to `timeout` for the next event.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<Event>, AlibError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ev) = self.events.pop_front() {
+                return Ok(Some(ev));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            self.pump_one(left.min(Duration::from_millis(50)))?;
+        }
+    }
+
+    /// Waits for an event satisfying `pred`, buffering others.
+    pub fn wait_event(
+        &mut self,
+        timeout: Duration,
+        mut pred: impl FnMut(&Event) -> bool,
+    ) -> Result<Event, AlibError> {
+        let deadline = Instant::now() + timeout;
+        let mut stash = VecDeque::new();
+        let result = loop {
+            if let Some(pos) = self.events.iter().position(&mut pred) {
+                break Ok(self.events.remove(pos).expect("present"));
+            }
+            stash.append(&mut self.events);
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break Err(AlibError::Timeout);
+            }
+            self.pump_one(left.min(Duration::from_millis(50)))?;
+        };
+        // Preserve non-matching events in arrival order.
+        stash.append(&mut self.events);
+        self.events = stash;
+        result
+    }
+
+    /// Takes the oldest pending asynchronous error, if any.
+    pub fn take_error(&mut self) -> Option<(u32, ProtoError)> {
+        let _ = self.pump_one(Duration::from_millis(0));
+        self.errors.pop_front()
+    }
+
+    // ---- LOUDs ----------------------------------------------------------------
+
+    /// Creates a LOUD, returning its id.
+    pub fn create_loud(&mut self, parent: Option<LoudId>) -> Result<LoudId, AlibError> {
+        let id = LoudId(self.alloc_id());
+        self.send(&Request::CreateLoud { id, parent })?;
+        Ok(id)
+    }
+
+    /// Destroys a LOUD subtree.
+    pub fn destroy_loud(&mut self, id: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::DestroyLoud { id }).map(|_| ())
+    }
+
+    /// Maps a root LOUD onto the active stack.
+    pub fn map_loud(&mut self, id: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::MapLoud { id }).map(|_| ())
+    }
+
+    /// Unmaps a root LOUD.
+    pub fn unmap_loud(&mut self, id: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::UnmapLoud { id }).map(|_| ())
+    }
+
+    /// Raises a mapped LOUD to the top of the active stack.
+    pub fn raise_loud(&mut self, id: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::RaiseLoud { id }).map(|_| ())
+    }
+
+    /// Lowers a mapped LOUD to the bottom of the active stack.
+    pub fn lower_loud(&mut self, id: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::LowerLoud { id }).map(|_| ())
+    }
+
+    /// Queries the active stack (top first).
+    pub fn query_active_stack(&mut self) -> Result<Vec<StackEntry>, AlibError> {
+        match self.round_trip(&Request::QueryActiveStack)? {
+            Reply::ActiveStack { entries } => Ok(entries),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    // ---- Virtual devices ----------------------------------------------------------
+
+    /// Creates a virtual device in a LOUD.
+    pub fn create_vdevice(
+        &mut self,
+        loud: LoudId,
+        class: DeviceClass,
+        attrs: Vec<Attribute>,
+    ) -> Result<VDeviceId, AlibError> {
+        let id = VDeviceId(self.alloc_id());
+        self.send(&Request::CreateVDevice { id, loud, class, attrs })?;
+        Ok(id)
+    }
+
+    /// Destroys a virtual device.
+    pub fn destroy_vdevice(&mut self, id: VDeviceId) -> Result<(), AlibError> {
+        self.send(&Request::DestroyVDevice { id }).map(|_| ())
+    }
+
+    /// Adds constraints to a device (paper §5.3).
+    pub fn augment_vdevice(&mut self, id: VDeviceId, attrs: Vec<Attribute>) -> Result<(), AlibError> {
+        self.send(&Request::AugmentVDevice { id, attrs }).map(|_| ())
+    }
+
+    /// Queries a device's attributes and (if mapped) its physical device.
+    pub fn query_vdevice(
+        &mut self,
+        id: VDeviceId,
+    ) -> Result<(Vec<Attribute>, Option<da_proto::ids::DeviceId>), AlibError> {
+        match self.round_trip(&Request::QueryVDeviceAttributes { id })? {
+            Reply::VDeviceAttributes { attrs, mapped_device } => Ok((attrs, mapped_device)),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Sets a device control.
+    pub fn set_device_control(
+        &mut self,
+        id: VDeviceId,
+        name: Atom,
+        value: Vec<u8>,
+    ) -> Result<(), AlibError> {
+        self.send(&Request::SetDeviceControl { id, name, value }).map(|_| ())
+    }
+
+    /// Reads a device control.
+    pub fn get_device_control(
+        &mut self,
+        id: VDeviceId,
+        name: Atom,
+    ) -> Result<Option<Vec<u8>>, AlibError> {
+        match self.round_trip(&Request::GetDeviceControl { id, name })? {
+            Reply::DeviceControl { value } => Ok(value),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    // ---- Wires ------------------------------------------------------------------------
+
+    /// Wires a source port to a sink port.
+    pub fn create_wire(
+        &mut self,
+        src: VDeviceId,
+        src_port: u8,
+        dst: VDeviceId,
+        dst_port: u8,
+        wire_type: WireType,
+    ) -> Result<WireId, AlibError> {
+        let id = WireId(self.alloc_id());
+        self.send(&Request::CreateWire { id, src, src_port, dst, dst_port, wire_type })?;
+        Ok(id)
+    }
+
+    /// Removes a wire.
+    pub fn destroy_wire(&mut self, id: WireId) -> Result<(), AlibError> {
+        self.send(&Request::DestroyWire { id }).map(|_| ())
+    }
+
+    /// Queries a wire's endpoints and type.
+    pub fn query_wire(
+        &mut self,
+        id: WireId,
+    ) -> Result<(VDeviceId, u8, VDeviceId, u8, WireType), AlibError> {
+        match self.round_trip(&Request::QueryWire { id })? {
+            Reply::WireInfo { src, src_port, dst, dst_port, wire_type } => {
+                Ok((src, src_port, dst, dst_port, wire_type))
+            }
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Lists the wires attached to a device.
+    pub fn query_device_wires(&mut self, id: VDeviceId) -> Result<Vec<WireId>, AlibError> {
+        match self.round_trip(&Request::QueryDeviceWires { id })? {
+            Reply::DeviceWires { wires } => Ok(wires),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    // ---- Queues ---------------------------------------------------------------------------
+
+    /// Appends entries to a root LOUD's command queue.
+    pub fn enqueue(&mut self, loud: LoudId, entries: Vec<QueueEntry>) -> Result<(), AlibError> {
+        self.send(&Request::Enqueue { loud, entries }).map(|_| ())
+    }
+
+    /// Enqueues a single device command.
+    pub fn enqueue_cmd(
+        &mut self,
+        loud: LoudId,
+        vdev: VDeviceId,
+        cmd: DeviceCommand,
+    ) -> Result<(), AlibError> {
+        self.enqueue(loud, vec![QueueEntry::Device { vdev, cmd }])
+    }
+
+    /// Issues a command in immediate mode.
+    pub fn immediate(&mut self, vdev: VDeviceId, cmd: DeviceCommand) -> Result<(), AlibError> {
+        self.send(&Request::Immediate { vdev, cmd }).map(|_| ())
+    }
+
+    /// Starts a queue.
+    pub fn start_queue(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::StartQueue { loud }).map(|_| ())
+    }
+
+    /// Stops a queue, aborting the current command.
+    pub fn stop_queue(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::StopQueue { loud }).map(|_| ())
+    }
+
+    /// Pauses a queue (client-paused).
+    pub fn pause_queue(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::PauseQueue { loud }).map(|_| ())
+    }
+
+    /// Resumes a client-paused queue.
+    pub fn resume_queue(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::ResumeQueue { loud }).map(|_| ())
+    }
+
+    /// Discards unstarted queue entries.
+    pub fn flush_queue(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::FlushQueue { loud }).map(|_| ())
+    }
+
+    /// Queries a queue's state, depth and relative time.
+    pub fn query_queue(
+        &mut self,
+        loud: LoudId,
+    ) -> Result<(da_proto::types::QueueState, u32, u64), AlibError> {
+        match self.round_trip(&Request::QueryQueue { loud })? {
+            Reply::QueueInfo { state, pending, relative_frames } => {
+                Ok((state, pending, relative_frames))
+            }
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    // ---- Sounds ----------------------------------------------------------------------------
+
+    /// Creates an empty sound of a type.
+    pub fn create_sound(&mut self, stype: SoundType) -> Result<SoundId, AlibError> {
+        let id = SoundId(self.alloc_id());
+        self.send(&Request::CreateSound { id, stype })?;
+        Ok(id)
+    }
+
+    /// Deletes a sound.
+    pub fn delete_sound(&mut self, id: SoundId) -> Result<(), AlibError> {
+        self.send(&Request::DeleteSound { id }).map(|_| ())
+    }
+
+    /// Appends encoded data to a sound.
+    pub fn write_sound(&mut self, id: SoundId, data: &[u8], eof: bool) -> Result<(), AlibError> {
+        self.send(&Request::WriteSoundData { id, data: data.to_vec(), eof }).map(|_| ())
+    }
+
+    /// Creates a sound and uploads complete encoded data, chunked.
+    pub fn upload_sound(&mut self, stype: SoundType, data: &[u8]) -> Result<SoundId, AlibError> {
+        let id = self.create_sound(stype)?;
+        if data.is_empty() {
+            self.write_sound(id, &[], true)?;
+            return Ok(id);
+        }
+        let mut chunks = data.chunks(UPLOAD_CHUNK).peekable();
+        while let Some(chunk) = chunks.next() {
+            let eof = chunks.peek().is_none();
+            self.write_sound(id, chunk, eof)?;
+        }
+        Ok(id)
+    }
+
+    /// Uploads linear PCM after encoding it into the sound type's
+    /// encoding (the usual application-side path).
+    pub fn upload_pcm(&mut self, stype: SoundType, pcm: &[i16]) -> Result<SoundId, AlibError> {
+        let enc = encode_for(stype, pcm);
+        self.upload_sound(stype, &enc)
+    }
+
+    /// Reads a sound's entire encoded contents.
+    pub fn read_sound_all(&mut self, id: SoundId) -> Result<Vec<u8>, AlibError> {
+        let mut out = Vec::new();
+        loop {
+            let reply = self.round_trip(&Request::ReadSoundData {
+                id,
+                offset: out.len() as u64,
+                len: UPLOAD_CHUNK as u32,
+            })?;
+            match reply {
+                Reply::SoundData { data, at_end } => {
+                    let empty = data.is_empty();
+                    out.extend_from_slice(&data);
+                    if at_end || empty {
+                        return Ok(out);
+                    }
+                }
+                _ => return Err(AlibError::UnexpectedReply),
+            }
+        }
+    }
+
+    /// Queries a sound's type and length: (type, bytes, frames, complete).
+    pub fn query_sound(&mut self, id: SoundId) -> Result<(SoundType, u64, u64, bool), AlibError> {
+        match self.round_trip(&Request::QuerySound { id })? {
+            Reply::SoundInfo { stype, bytes, frames, complete } => {
+                Ok((stype, bytes, frames, complete))
+            }
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Lists a server catalogue (empty string lists catalogue names).
+    pub fn list_catalog(&mut self, catalog: &str) -> Result<Vec<String>, AlibError> {
+        match self.round_trip(&Request::ListCatalog { catalog: catalog.to_string() })? {
+            Reply::Catalog { names } => Ok(names),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Binds a client sound id to a server catalogue sound.
+    pub fn open_catalog_sound(&mut self, catalog: &str, name: &str) -> Result<SoundId, AlibError> {
+        let id = SoundId(self.alloc_id());
+        self.send(&Request::OpenCatalogSound {
+            id,
+            catalog: catalog.to_string(),
+            name: name.to_string(),
+        })?;
+        Ok(id)
+    }
+
+    // ---- Events ------------------------------------------------------------------------------
+
+    /// Selects event categories on a resource.
+    pub fn select_events(
+        &mut self,
+        target: impl Into<ResourceId>,
+        mask: EventMask,
+    ) -> Result<(), AlibError> {
+        self.send(&Request::SelectEvents { target: target.into(), mask }).map(|_| ())
+    }
+
+    /// Sets the spacing of sync marks on a device.
+    pub fn set_sync_interval(&mut self, vdev: VDeviceId, frames: u32) -> Result<(), AlibError> {
+        self.send(&Request::SetSyncInterval { vdev, interval_frames: frames }).map(|_| ())
+    }
+
+    // ---- Atoms and properties -----------------------------------------------------------------
+
+    /// Interns a name.
+    pub fn intern_atom(&mut self, name: &str) -> Result<Atom, AlibError> {
+        match self.round_trip(&Request::InternAtom { name: name.to_string() })? {
+            Reply::Atom { atom } => Ok(atom),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Resolves an atom's name.
+    pub fn atom_name(&mut self, atom: Atom) -> Result<String, AlibError> {
+        match self.round_trip(&Request::GetAtomName { atom })? {
+            Reply::AtomName { name } => Ok(name),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Sets a property on a resource.
+    pub fn change_property(
+        &mut self,
+        target: impl Into<ResourceId>,
+        name: Atom,
+        type_: Atom,
+        value: Vec<u8>,
+    ) -> Result<(), AlibError> {
+        self.send(&Request::ChangeProperty { target: target.into(), name, type_, value })
+            .map(|_| ())
+    }
+
+    /// Reads a property from a resource.
+    pub fn get_property(
+        &mut self,
+        target: impl Into<ResourceId>,
+        name: Atom,
+    ) -> Result<Option<Property>, AlibError> {
+        match self.round_trip(&Request::GetProperty { target: target.into(), name })? {
+            Reply::Property { property } => Ok(property),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Deletes a property.
+    pub fn delete_property(
+        &mut self,
+        target: impl Into<ResourceId>,
+        name: Atom,
+    ) -> Result<(), AlibError> {
+        self.send(&Request::DeleteProperty { target: target.into(), name }).map(|_| ())
+    }
+
+    /// Lists a resource's property names.
+    pub fn list_properties(
+        &mut self,
+        target: impl Into<ResourceId>,
+    ) -> Result<Vec<Atom>, AlibError> {
+        match self.round_trip(&Request::ListProperties { target: target.into() })? {
+            Reply::PropertyList { names } => Ok(names),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    // ---- Device LOUD and manager support -------------------------------------------------------
+
+    /// Queries the device LOUD: all physical devices and hard wires.
+    pub fn query_device_loud(&mut self) -> Result<(Vec<PhysDeviceInfo>, Vec<HardWire>), AlibError> {
+        match self.round_trip(&Request::QueryDeviceLoud)? {
+            Reply::DeviceLoud { devices, hard_wires } => Ok((devices, hard_wires)),
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+
+    /// Claims (or releases) the audio-manager redirection.
+    pub fn set_redirect(&mut self, enable: bool) -> Result<(), AlibError> {
+        self.send(&Request::SetRedirect { enable }).map(|_| ())
+    }
+
+    /// Audio manager: allow a redirected map.
+    pub fn allow_map(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::AllowMap { loud }).map(|_| ())
+    }
+
+    /// Audio manager: allow a redirected raise.
+    pub fn allow_raise(&mut self, loud: LoudId) -> Result<(), AlibError> {
+        self.send(&Request::AllowRaise { loud }).map(|_| ())
+    }
+
+    // ---- Miscellaneous --------------------------------------------------------------------------
+
+    /// Queries server identity and device time: (vendor, major, minor,
+    /// device_time).
+    pub fn server_info(&mut self) -> Result<(String, u16, u16, u64), AlibError> {
+        match self.round_trip(&Request::GetServerInfo)? {
+            Reply::ServerInfo { vendor, protocol_major, protocol_minor, device_time } => {
+                Ok((vendor, protocol_major, protocol_minor, device_time))
+            }
+            _ => Err(AlibError::UnexpectedReply),
+        }
+    }
+}
+
+/// Encodes linear PCM into the encoding named by a sound type.
+pub fn encode_for(stype: SoundType, pcm: &[i16]) -> Vec<u8> {
+    use da_dsp::convert::{encode_from_pcm16, PcmEncoding};
+    let enc = match stype.encoding {
+        da_proto::types::Encoding::ULaw => PcmEncoding::ULaw,
+        da_proto::types::Encoding::ALaw => PcmEncoding::ALaw,
+        da_proto::types::Encoding::Pcm8 => PcmEncoding::Pcm8,
+        da_proto::types::Encoding::Pcm16 => PcmEncoding::Pcm16,
+        da_proto::types::Encoding::ImaAdpcm => PcmEncoding::ImaAdpcm,
+    };
+    encode_from_pcm16(enc, pcm)
+}
+
+/// Decodes a sound's encoded bytes back to linear PCM.
+pub fn decode_from(stype: SoundType, data: &[u8]) -> Vec<i16> {
+    use da_dsp::convert::{decode_to_pcm16, PcmEncoding};
+    let enc = match stype.encoding {
+        da_proto::types::Encoding::ULaw => PcmEncoding::ULaw,
+        da_proto::types::Encoding::ALaw => PcmEncoding::ALaw,
+        da_proto::types::Encoding::Pcm8 => PcmEncoding::Pcm8,
+        da_proto::types::Encoding::Pcm16 => PcmEncoding::Pcm16,
+        da_proto::types::Encoding::ImaAdpcm => PcmEncoding::ImaAdpcm,
+    };
+    decode_to_pcm16(enc, data)
+}

@@ -1,0 +1,35 @@
+//! Alib error type.
+
+use da_proto::ProtoError;
+
+/// Errors surfaced to Alib callers.
+#[derive(Debug)]
+pub enum AlibError {
+    /// The connection broke or could not be established.
+    Connection(String),
+    /// The server rejected a request (asynchronous protocol error); the
+    /// sequence number of the failing request is included.
+    Server {
+        /// Sequence number of the failing request.
+        seq: u32,
+        /// The server's error.
+        error: ProtoError,
+    },
+    /// A blocking wait timed out.
+    Timeout,
+    /// The server sent a reply of an unexpected shape.
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for AlibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlibError::Connection(s) => write!(f, "connection error: {s}"),
+            AlibError::Server { seq, error } => write!(f, "server error for request {seq}: {error}"),
+            AlibError::Timeout => write!(f, "timed out waiting for the server"),
+            AlibError::UnexpectedReply => write!(f, "unexpected reply shape"),
+        }
+    }
+}
+
+impl std::error::Error for AlibError {}

@@ -1,0 +1,21 @@
+//! Alib: the client-side procedural interface to the audio protocol.
+//!
+//! "Alib is simply a procedural interface to the audio protocol. It is a
+//! 'veneer' over the protocol and is the lowest level interface that
+//! applications will expect to use" (paper §4.2). Applications do not use
+//! the workstation hardware interface directly or bypass the library.
+//!
+//! The central type is [`Connection`]. Requests are asynchronous; replies
+//! can be awaited ([`Connection::round_trip`]), which synchronises the
+//! client with the server, and events and errors arrive asynchronously
+//! ([`Connection::next_event`], [`Connection::take_error`]) exactly as
+//! paper §4.1 describes.
+
+pub mod connection;
+pub mod error;
+
+pub use connection::Connection;
+pub use error::AlibError;
+
+// Re-export the protocol so applications need only one dependency.
+pub use da_proto as proto;

@@ -1,0 +1,319 @@
+//! End-to-end Alib ↔ server tests over the in-process pipe transport.
+
+use da_alib::Connection;
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{Attribute, DeviceClass, QueueState, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig};
+use std::time::Duration;
+
+fn start() -> (AudioServer, Connection) {
+    let server = AudioServer::start(ServerConfig::default()).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "e2e").expect("connect");
+    (server, conn)
+}
+
+#[test]
+fn setup_handshake() {
+    let (server, conn) = start();
+    assert_eq!(conn.setup().protocol_major, da_proto::PROTOCOL_MAJOR);
+    assert_ne!(conn.setup().id_base, 0);
+    server.shutdown();
+}
+
+#[test]
+fn server_info_and_sync() {
+    let (server, mut conn) = start();
+    let (vendor, major, _minor, _t) = conn.server_info().unwrap();
+    assert!(vendor.contains("desktop-audio"));
+    assert_eq!(major, 1);
+    conn.sync().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn device_loud_lists_hardware() {
+    let (server, mut conn) = start();
+    let (devices, hard_wires) = conn.query_device_loud().unwrap();
+    assert_eq!(devices.len(), 3); // speaker, mic, phone line
+    assert!(hard_wires.is_empty());
+    assert!(devices.iter().any(|d| d.class == DeviceClass::Output));
+    assert!(devices.iter().any(|d| d.class == DeviceClass::Input));
+    assert!(devices.iter().any(|d| d.class == DeviceClass::Telephone));
+    server.shutdown();
+}
+
+#[test]
+fn atom_roundtrip() {
+    let (server, mut conn) = start();
+    let a = conn.intern_atom("MY_ATOM").unwrap();
+    assert_eq!(conn.atom_name(a).unwrap(), "MY_ATOM");
+    let b = conn.intern_atom("MY_ATOM").unwrap();
+    assert_eq!(a, b);
+    server.shutdown();
+}
+
+#[test]
+fn sound_upload_download() {
+    let (server, mut conn) = start();
+    let pcm = da_dsp::tone::sine(8000, 440.0, 1600, 10000);
+    let id = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+    let (stype, bytes, frames, complete) = conn.query_sound(id).unwrap();
+    assert_eq!(stype, SoundType::TELEPHONE);
+    assert_eq!(bytes, 1600);
+    assert_eq!(frames, 1600);
+    assert!(complete);
+    let data = conn.read_sound_all(id).unwrap();
+    assert_eq!(data.len(), 1600);
+    server.shutdown();
+}
+
+#[test]
+fn catalog_access() {
+    let (server, mut conn) = start();
+    let catalogs = conn.list_catalog("").unwrap();
+    assert!(catalogs.contains(&"system".to_string()));
+    let names = conn.list_catalog("system").unwrap();
+    assert!(names.contains(&"beep".to_string()));
+    let beep = conn.open_catalog_sound("system", "beep").unwrap();
+    let (_, _, frames, complete) = conn.query_sound(beep).unwrap();
+    assert!(complete);
+    assert_eq!(frames, 2000); // 250 ms at 8 kHz
+    server.shutdown();
+}
+
+#[test]
+fn play_to_speaker_end_to_end() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 100_000);
+
+    // Build a play LOUD: player -> output, wired.
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::all()).unwrap();
+    conn.select_events(player, EventMask::all()).unwrap();
+
+    let pcm = da_dsp::tone::sine(8000, 440.0, 4000, 12000);
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+
+    // Wait for the queue to report the command done.
+    let done = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    assert!(matches!(done, Event::CommandDone { .. }));
+
+    // The speaker must have received the waveform.
+    assert!(control.run_until(Duration::from_secs(5), |c| {
+        c.hw.speakers[0].captured().len() >= 4000
+    }));
+    let captured = control.take_captured(0);
+    // Playback may begin mid-tick: align past any leading silence.
+    let start = captured.iter().position(|&s| s != 0).expect("audio captured");
+    let aligned = &captured[start..];
+    let n = aligned.len().min(3500);
+    let rms = da_dsp::analysis::rms(&aligned[..n]);
+    assert!(rms > 4000.0, "captured rms {rms}");
+    // µ-law quantisation allows small error; the tone must be intact
+    // (the sine's first nonzero sample is index 1).
+    let snr = da_dsp::analysis::snr_db(&pcm[1..1 + n], &aligned[..n]);
+    assert!(snr > 25.0, "snr {snr}");
+    server.shutdown();
+}
+
+#[test]
+fn error_for_bad_sound() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    // Play a nonexistent sound: the queue must stop with an error event,
+    // and an immediate play of a queued-only command must error.
+    let err = conn
+        .round_trip(&da_proto::Request::Immediate {
+            vdev: player,
+            cmd: DeviceCommand::Play(da_proto::SoundId(0xdead)),
+        })
+        .unwrap_err();
+    match err {
+        da_alib::AlibError::Server { error, .. } => {
+            assert_eq!(error.code, da_proto::ErrorCode::BadQueueMode);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn bad_resource_errors_are_async() {
+    let (server, mut conn) = start();
+    conn.destroy_loud(da_proto::LoudId(0x999)).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("pending error");
+    assert_eq!(err.code, da_proto::ErrorCode::BadLoud);
+    server.shutdown();
+}
+
+#[test]
+fn queue_query_reflects_state() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let (state, pending, _) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::Stopped);
+    assert_eq!(pending, 0);
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &[0i16; 800]).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    let (state, pending, _) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::Stopped);
+    assert_eq!(pending, 1);
+    server.shutdown();
+}
+
+#[test]
+fn properties_on_louds() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let domain = conn.intern_atom("DOMAIN").unwrap();
+    let string = conn.intern_atom("STRING").unwrap();
+    conn.change_property(loud, domain, string, b"desktop".to_vec()).unwrap();
+    let p = conn.get_property(loud, domain).unwrap().expect("property set");
+    assert_eq!(p.value, b"desktop");
+    let names = conn.list_properties(loud).unwrap();
+    assert_eq!(names, vec![domain]);
+    conn.delete_property(loud, domain).unwrap();
+    assert!(conn.get_property(loud, domain).unwrap().is_none());
+    server.shutdown();
+}
+
+#[test]
+fn tcp_transport_end_to_end() {
+    let config =
+        ServerConfig { tcp_addr: Some("127.0.0.1:0".to_string()), ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let addr = server.tcp_addr().expect("tcp enabled");
+    let mut conn = Connection::open_tcp(&addr.to_string(), "tcp-client").unwrap();
+    let (vendor, ..) = conn.server_info().unwrap();
+    assert!(vendor.contains("desktop-audio"));
+    // A second simultaneous TCP client.
+    let mut conn2 = Connection::open_tcp(&addr.to_string(), "tcp-client-2").unwrap();
+    conn2.sync().unwrap();
+    assert_ne!(conn.setup().client, conn2.setup().client);
+    server.shutdown();
+}
+
+#[test]
+fn seamless_back_to_back_plays() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 100_000);
+
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+
+    // A climbing staircase split across three sounds; any dropped or
+    // inserted sample breaks the staircase.
+    let total = 2400usize;
+    let ramp: Vec<i16> = (0..total).map(|i| (i as i16) * 10).collect();
+    let s1 = conn.upload_pcm(SoundType::TELEPHONE, &ramp[..777]).unwrap();
+    let s2 = conn.upload_pcm(SoundType::TELEPHONE, &ramp[777..1801]).unwrap();
+    let s3 = conn.upload_pcm(SoundType::TELEPHONE, &ramp[1801..]).unwrap();
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            da_proto::QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(s1) },
+            da_proto::QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(s2) },
+            da_proto::QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(s3) },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+
+    // Wait for all three CommandDone events.
+    for _ in 0..3 {
+        conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    assert!(control
+        .run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= total));
+    let captured = control.take_captured(0);
+    // Find the staircase start (skip leading silence) and verify it is
+    // monotone non-decreasing with the right span: µ-law quantises, so
+    // compare decoded values of the original.
+    let expect = da_dsp::mulaw::decode_slice(&da_dsp::mulaw::encode_slice(&ramp));
+    let start = captured.iter().position(|&s| s != 0).expect("audio present");
+    let got = &captured[start..start + total - 1];
+    // The first sample of the ramp is 0 (silence); align from sample 1.
+    assert_eq!(got, &expect[1..total], "staircase broken: gap or insert at a seam");
+    server.shutdown();
+}
+
+#[test]
+fn record_from_microphone() {
+    let (server, mut conn) = start();
+    let control = server.control();
+
+    let loud = conn.create_loud(None).unwrap();
+    let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).unwrap();
+    let rec = conn.create_vdevice(loud, DeviceClass::Recorder, vec![]).unwrap();
+    conn.create_wire(input, 0, rec, 0, WireType::Any).unwrap();
+    conn.select_events(rec, EventMask::DEVICE).unwrap();
+
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    // Speak a tone into the microphone.
+    let spoken = da_dsp::tone::sine(8000, 500.0, 8000, 12000);
+    control.speak_into_microphone(0, &spoken);
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(
+        loud,
+        rec,
+        DeviceCommand::Record(sound, RecordTermination::MaxFrames(4000)),
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+
+    let stopped = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    match stopped {
+        Event::RecordStopped { frames, reason, .. } => {
+            assert!(frames >= 4000, "recorded {frames}");
+            assert_eq!(reason, da_proto::event::RecordStopReason::MaxFrames);
+        }
+        _ => unreachable!(),
+    }
+    let data = conn.read_sound_all(sound).unwrap();
+    let pcm = da_alib::connection::decode_from(SoundType::TELEPHONE, &data);
+    let p500 = da_dsp::analysis::goertzel_power(&pcm, 8000, 500.0);
+    let p900 = da_dsp::analysis::goertzel_power(&pcm, 8000, 900.0);
+    assert!(p500 > p900 * 20.0, "tone not recorded: {p500} vs {p900}");
+    server.shutdown();
+}
+
+#[test]
+fn attribute_mismatch_rejected_at_create() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    // No 96 kHz speaker exists in the desktop inventory.
+    conn.create_vdevice(
+        loud,
+        DeviceClass::Output,
+        vec![Attribute::SampleRate(96_000)],
+    )
+    .unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("constraint failure expected");
+    assert_eq!(err.code, da_proto::ErrorCode::DeviceBusy);
+    server.shutdown();
+}

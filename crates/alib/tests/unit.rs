@@ -1,0 +1,136 @@
+//! Behavioural tests for the Alib connection object itself.
+
+use da_alib::Connection;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{DeviceClass, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig};
+use std::time::Duration;
+
+fn start() -> (AudioServer, Connection) {
+    let server = AudioServer::start(ServerConfig::default()).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "alib-unit").expect("connect");
+    (server, conn)
+}
+
+#[test]
+fn allocated_ids_are_unique_and_in_range() {
+    let (server, mut conn) = start();
+    let setup = conn.setup().clone();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..1000 {
+        let id = conn.alloc_id();
+        assert!(setup.owns_id(id), "id {id:#x} outside granted range");
+        assert!(seen.insert(id), "id {id:#x} reused");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wait_event_preserves_event_order() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.select_events(player, EventMask::DEVICE).unwrap();
+    conn.map_loud(loud).unwrap();
+    let sound = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 440.0, 800, 5000))
+        .unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    // Fish out CommandDone first; earlier events must still arrive, in
+    // their original relative order.
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    let first = conn.next_event(Duration::from_secs(2)).unwrap().expect("buffered event");
+    assert!(
+        matches!(first, Event::QueueStarted { .. }),
+        "expected QueueStarted first, got {first:?}"
+    );
+    let second = conn.next_event(Duration::from_secs(2)).unwrap().expect("buffered event");
+    assert!(
+        matches!(second, Event::PlayStarted { .. }),
+        "expected PlayStarted second, got {second:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn errors_are_fifo() {
+    let (server, mut conn) = start();
+    conn.destroy_loud(da_proto::LoudId(0x111)).unwrap();
+    conn.delete_sound(da_proto::SoundId(0x222)).unwrap();
+    conn.sync().unwrap();
+    let (s1, e1) = conn.take_error().expect("first error");
+    let (s2, e2) = conn.take_error().expect("second error");
+    assert!(s1 < s2, "errors out of order: {s1} {s2}");
+    assert_eq!(e1.code, da_proto::ErrorCode::BadLoud);
+    assert_eq!(e2.code, da_proto::ErrorCode::BadSound);
+    assert!(conn.take_error().is_none());
+    server.shutdown();
+}
+
+#[test]
+fn large_upload_chunks_transparently() {
+    let (server, mut conn) = start();
+    // 300 KiB of encoded data spans several 64 KiB write chunks.
+    let pcm = vec![1234i16; 300 * 1024];
+    let stype = SoundType { encoding: da_proto::types::Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let sound = conn.upload_pcm(stype, &pcm).unwrap();
+    let (_, bytes, frames, complete) = conn.query_sound(sound).unwrap();
+    assert!(complete);
+    assert_eq!(bytes, 600 * 1024);
+    assert_eq!(frames, 300 * 1024);
+    let back = conn.read_sound_all(sound).unwrap();
+    assert_eq!(back.len(), 600 * 1024);
+    assert_eq!(da_alib::connection::decode_from(stype, &back), pcm);
+    server.shutdown();
+}
+
+#[test]
+fn next_event_times_out_cleanly() {
+    let (server, mut conn) = start();
+    let t0 = std::time::Instant::now();
+    let got = conn.next_event(Duration::from_millis(150)).unwrap();
+    assert!(got.is_none());
+    let elapsed = t0.elapsed();
+    assert!(elapsed >= Duration::from_millis(140), "{elapsed:?}");
+    assert!(elapsed < Duration::from_secs(2), "{elapsed:?}");
+    server.shutdown();
+}
+
+#[test]
+fn round_trip_surfaces_matching_error() {
+    let (server, mut conn) = start();
+    // A query on a bad resource returns Err directly from round_trip.
+    let err = conn.query_queue(da_proto::LoudId(0x333)).unwrap_err();
+    match err {
+        da_alib::AlibError::Server { error, .. } => {
+            assert_eq!(error.code, da_proto::ErrorCode::BadLoud);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // The connection keeps working afterwards.
+    conn.sync().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn connection_detects_server_shutdown() {
+    let (server, mut conn) = start();
+    conn.sync().unwrap();
+    server.shutdown();
+    // Pumping eventually reports the closed transport.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match conn.next_event(Duration::from_millis(100)) {
+            Err(da_alib::AlibError::Connection(_)) => break,
+            Ok(_) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+        assert!(std::time::Instant::now() < deadline, "closure never detected");
+    }
+}

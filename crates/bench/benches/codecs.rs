@@ -1,0 +1,44 @@
+//! Codec throughput: µ-law, A-law, IMA ADPCM, and format conversion.
+//! Supports experiment E8 (multiple data representations, paper §2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn one_second_speech() -> Vec<i16> {
+    da_synth::tts::Synthesizer::new(8000).speak("benchmark signal for the codecs")
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let pcm = one_second_speech();
+    let ulaw = da_dsp::mulaw::encode_slice(&pcm);
+    let alaw = da_dsp::alaw::encode_slice(&pcm);
+    let adpcm = da_dsp::adpcm::encode_slice(&pcm);
+
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Elements(pcm.len() as u64));
+    g.bench_function("mulaw_encode", |b| {
+        b.iter(|| da_dsp::mulaw::encode_slice(black_box(&pcm)))
+    });
+    g.bench_function("mulaw_decode", |b| {
+        b.iter(|| da_dsp::mulaw::decode_slice(black_box(&ulaw)))
+    });
+    g.bench_function("alaw_encode", |b| {
+        b.iter(|| da_dsp::alaw::encode_slice(black_box(&pcm)))
+    });
+    g.bench_function("alaw_decode", |b| {
+        b.iter(|| da_dsp::alaw::decode_slice(black_box(&alaw)))
+    });
+    g.bench_function("adpcm_encode", |b| {
+        b.iter(|| da_dsp::adpcm::encode_slice(black_box(&pcm)))
+    });
+    g.bench_function("adpcm_decode", |b| {
+        b.iter(|| da_dsp::adpcm::decode_slice(black_box(&adpcm)))
+    });
+    g.bench_function("resample_8k_to_44k1", |b| {
+        b.iter(|| da_dsp::resample::resample(black_box(&pcm), 8000, 44_100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Event fan-out cost: sync marks delivered to many selecting clients
+//! every tick (E7, paper §5.7). Each iteration ticks once and drains the
+//! watchers, as a real deployment would.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_alib::Connection;
+use da_bench::{build_play_rig, play, upload_tone};
+use da_proto::event::EventMask;
+use da_server::{AudioServer, ServerConfig};
+use std::time::Duration;
+
+fn bench_event_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick_and_drain_with_k_sync_watchers");
+    g.warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for k in [0usize, 4, 16] {
+        let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+        let server = AudioServer::start(config).expect("server");
+        let control = server.control();
+        let mut owner = Connection::establish(server.connect_pipe(), "owner").unwrap();
+        let rig = build_play_rig(&mut owner);
+        // Sync mark every tick (80 frames).
+        owner.set_sync_interval(rig.player, 80).unwrap();
+        let sound = upload_tone(&mut owner, 440.0, 8000 * 3600);
+        let mut watchers = Vec::new();
+        for i in 0..k {
+            let mut w =
+                Connection::establish(server.connect_pipe(), &format!("w{i}")).unwrap();
+            w.select_events(rig.player, EventMask::SYNC).unwrap();
+            w.sync().unwrap();
+            watchers.push(w);
+        }
+        play(&mut owner, &rig, sound);
+        owner.sync().unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                control.tick_n(1);
+                for w in watchers.iter_mut() {
+                    while w.poll_event().unwrap().is_some() {}
+                }
+            })
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_fanout);
+criterion_main!(benches);

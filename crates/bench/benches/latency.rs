@@ -1,0 +1,43 @@
+//! Protocol round-trip latency over the two transports.
+//! Supports experiment E1 (playback start latency, paper §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use da_alib::Connection;
+use da_server::{AudioServer, ServerConfig};
+
+fn bench_round_trips(c: &mut Criterion) {
+    // Pipe transport.
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let mut pipe = Connection::establish(server.connect_pipe(), "lat-pipe").expect("conn");
+    c.bench_function("sync_round_trip_pipe", |b| b.iter(|| pipe.sync().unwrap()));
+
+    // TCP transport.
+    let config = ServerConfig {
+        manual_ticks: true,
+        tcp_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let tcp_server = AudioServer::start(config).expect("server");
+    let addr = tcp_server.tcp_addr().unwrap().to_string();
+    let mut tcp = Connection::open_tcp(&addr, "lat-tcp").expect("conn");
+    c.bench_function("sync_round_trip_tcp", |b| b.iter(|| tcp.sync().unwrap()));
+
+    // Request dispatch without a reply (enqueue + sync amortised over 64).
+    c.bench_function("async_request_dispatch_pipe", |b| {
+        let loud = pipe.create_loud(None).unwrap();
+        pipe.sync().unwrap();
+        b.iter(|| {
+            for _ in 0..64 {
+                pipe.flush_queue(loud).unwrap();
+            }
+            pipe.sync().unwrap();
+        })
+    });
+
+    server.shutdown();
+    tcp_server.shutdown();
+}
+
+criterion_group!(benches, bench_round_trips);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Engine tick cost as simultaneous client streams grow (E5, paper §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_alib::Connection;
+use da_bench::{build_play_rig, play, upload_tone};
+use da_server::{AudioServer, ServerConfig};
+use std::time::Duration;
+
+fn bench_multiclient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick_with_k_players");
+    g.warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for k in [1usize, 4, 8, 16] {
+        let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+        let server = AudioServer::start(config).expect("server");
+        let control = server.control();
+        let mut conns = Vec::new();
+        for i in 0..k {
+            let mut conn =
+                Connection::establish(server.connect_pipe(), &format!("p{i}")).unwrap();
+            let rig = build_play_rig(&mut conn);
+            let sound = upload_tone(&mut conn, 300.0 + i as f64 * 100.0, 8000 * 120);
+            play(&mut conn, &rig, sound);
+            conn.sync().unwrap();
+            conns.push(conn);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| control.tick_n(1))
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multiclient);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Cost of queue-command transitions: ticks containing seams are the
+//! engine's worst case (E2/E4, paper §6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use da_bench::{build_play_rig, ManualRig};
+use da_proto::command::DeviceCommand;
+use da_proto::types::SoundType;
+
+fn bench_seams(c: &mut Criterion) {
+    // Many tiny sounds: every tick crosses one or more seams.
+    let rig = ManualRig::desktop();
+    let mut conn = rig.conn;
+    let play_rig = build_play_rig(&mut conn);
+    let tiny = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 440.0, 40, 8000))
+        .unwrap();
+    // Preload a deep queue of 40-frame sounds (two seams per 80-frame tick).
+    let entries: Vec<da_proto::QueueEntry> = (0..100_000)
+        .map(|_| da_proto::QueueEntry::Device {
+            vdev: play_rig.player,
+            cmd: DeviceCommand::Play(tiny),
+        })
+        .collect();
+    for chunk in entries.chunks(4096) {
+        conn.enqueue(play_rig.loud, chunk.to_vec()).unwrap();
+    }
+    conn.start_queue(play_rig.loud).unwrap();
+    conn.sync().unwrap();
+    c.bench_function("engine_tick_two_seams_per_tick", |b| b.iter(|| rig.control.tick_n(1)));
+}
+
+criterion_group!(benches, bench_seams);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Sound-data ingest throughput: WriteSoundData dispatch (E6, paper §5.6).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use da_alib::Connection;
+use da_proto::types::SoundType;
+use da_server::{AudioServer, ServerConfig};
+
+fn bench_ingest(c: &mut Criterion) {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let mut conn = Connection::establish(server.connect_pipe(), "ingest").unwrap();
+    let chunk = vec![0x55u8; 64 * 1024];
+    let mut g = c.benchmark_group("sound_ingest");
+    g.throughput(Throughput::Bytes(chunk.len() as u64 * 16));
+    g.bench_function("write_1MiB_in_64k_chunks", |b| {
+        b.iter(|| {
+            let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+            for _ in 0..16 {
+                conn.write_sound(sound, &chunk, false).unwrap();
+            }
+            conn.write_sound(sound, &[], true).unwrap();
+            conn.sync().unwrap();
+            conn.delete_sound(sound).unwrap();
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

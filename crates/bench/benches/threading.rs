@@ -1,0 +1,28 @@
+//! P1 ablation: engine quantum size vs per-tick and per-audio-second cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::{build_play_rig, play, upload_tone, ManualRig};
+use std::time::Duration;
+
+fn bench_quanta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_second_of_audio_by_quantum");
+    g.warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(2));
+    for quantum_us in [2_500u64, 10_000, 40_000] {
+        let rig = ManualRig::new(da_hw::registry::HwSpec::desktop(), quantum_us);
+        let mut conn = rig.conn;
+        let play_rig = build_play_rig(&mut conn);
+        let sound = upload_tone(&mut conn, 440.0, 8000 * 600);
+        play(&mut conn, &play_rig, sound);
+        conn.sync().unwrap();
+        let ticks_per_second = 1_000_000 / quantum_us;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(quantum_us),
+            &quantum_us,
+            |b, _| b.iter(|| rig.control.tick_n(ticks_per_second)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_quanta);
+criterion_main!(benches);

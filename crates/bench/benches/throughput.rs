@@ -1,0 +1,53 @@
+//! Engine tick cost while streaming at the paper's data rates (E3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use da_bench::{build_play_rig, play, ManualRig};
+use da_proto::types::{Encoding, SoundType};
+
+fn bench_tick(c: &mut Criterion) {
+    // Telephone-rate playback: one tick moves 80 frames.
+    let rig = ManualRig::desktop();
+    let mut conn = rig.conn;
+    let play_rig = build_play_rig(&mut conn);
+    // An hour of audio so the bench never drains it.
+    let pcm = da_dsp::tone::sine(8000, 440.0, 8000 * 60, 10_000);
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+    play(&mut conn, &play_rig, sound);
+    conn.sync().unwrap();
+    c.bench_function("engine_tick_8k_ulaw_play", |b| b.iter(|| rig.control.tick_n(1)));
+
+    // CD-rate playback through the hifi speaker.
+    let rig2 = ManualRig::new(da_hw::registry::HwSpec::desktop_hifi(), 10_000);
+    let mut conn2 = rig2.conn;
+    let loud = conn2.create_loud(None).unwrap();
+    let player = conn2
+        .create_vdevice(loud, da_proto::types::DeviceClass::Player, vec![])
+        .unwrap();
+    let out = conn2
+        .create_vdevice(
+            loud,
+            da_proto::types::DeviceClass::Output,
+            vec![da_proto::types::Attribute::SampleRate(44_100)],
+        )
+        .unwrap();
+    conn2.create_wire(player, 0, out, 0, da_proto::types::WireType::Any).unwrap();
+    conn2.map_loud(loud).unwrap();
+    let mono = da_dsp::tone::sine(44_100, 440.0, 44_100 * 30, 10_000);
+    let stereo: Vec<i16> = mono.iter().flat_map(|&s| [s, s]).collect();
+    let cd = conn2.upload_pcm(SoundType::CD, &stereo).unwrap();
+    conn2
+        .enqueue_cmd(loud, player, da_proto::DeviceCommand::Play(cd))
+        .unwrap();
+    conn2.start_queue(loud).unwrap();
+    conn2.sync().unwrap();
+    c.bench_function("engine_tick_44k1_stereo_play", |b| b.iter(|| rig2.control.tick_n(1)));
+
+    // Idle server baseline.
+    let rig3 = ManualRig::desktop();
+    c.bench_function("engine_tick_idle", |b| b.iter(|| rig3.control.tick_n(1)));
+
+    let _ = (SoundType { encoding: Encoding::ULaw, sample_rate: 8000, channels: 1 },);
+}
+
+criterion_group!(benches, bench_tick);
+criterion_main!(benches);

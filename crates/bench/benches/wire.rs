@@ -1,0 +1,48 @@
+//! Wire-format codec throughput: request encode/decode (paper §4.1's
+//! precisely defined protocol must not be the bottleneck).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use da_proto::codec::{WireReader, WireWriter};
+use da_proto::request::Request;
+use da_proto::{WireRead, WireWrite};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let requests: Vec<Request> = (0..256)
+        .map(|i| Request::WriteSoundData {
+            id: da_proto::SoundId(0x100 + i),
+            data: vec![0u8; 800],
+            eof: false,
+        })
+        .collect();
+    let mut g = c.benchmark_group("protocol_codec");
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    g.bench_function("encode_256_requests", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::new();
+            for r in &requests {
+                r.write(&mut w);
+            }
+            black_box(w.finish())
+        })
+    });
+    let encoded = {
+        let mut w = WireWriter::new();
+        for r in &requests {
+            r.write(&mut w);
+        }
+        w.finish()
+    };
+    g.bench_function("decode_256_requests", |b| {
+        b.iter(|| {
+            let mut r = WireReader::new(&encoded);
+            for _ in 0..requests.len() {
+                black_box(Request::read(&mut r).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,519 @@
+//! The experiment harness: regenerates every measurable claim of the
+//! paper's evaluation (§6, §6.2) and prints paper-vs-measured tables.
+//! EXPERIMENTS.md records a captured run.
+//!
+//! Run with `cargo run -p da-bench --bin experiments --release`.
+
+use da_alib::Connection;
+use da_bench::{build_play_rig, latency_stats, play, upload_tone, wait_done, ManualRig};
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{Attribute, DeviceClass, Encoding, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    println!("desktop-audio experiment harness");
+    println!("paper: Integrating Audio and Telephony in a Distributed Workstation");
+    println!("Environment (USENIX Summer 1991), evaluation section 6\n");
+    e1_start_latency();
+    e2_seamless_playback();
+    e3_cpu_fraction();
+    e4_play_record_seam();
+    e5_multiclient_scaling();
+    e6_streaming_jitter();
+    e7_sync_event_cadence();
+    e8_codecs();
+    p1_quantum_ablation();
+    println!("\nall experiments complete");
+}
+
+fn banner(id: &str, claim: &str) {
+    println!("────────────────────────────────────────────────────────────────");
+    println!("{id}: {claim}");
+}
+
+// ---------------------------------------------------------------------------
+// E1 — playback start latency (paper §6: "start playback of a sound, using
+// an existing server connection, in less than several hundred milliseconds")
+// ---------------------------------------------------------------------------
+fn e1_start_latency() {
+    banner("E1", "playback start latency < several hundred ms (paper goal)");
+    let config = ServerConfig {
+        pacing: da_hw::clock::Pacing::RealTime,
+        quantum_us: 10_000,
+        ..ServerConfig::default()
+    };
+    let server = AudioServer::start(config).expect("server");
+    let mut conn = Connection::establish(server.connect_pipe(), "e1").expect("connect");
+    let rig = build_play_rig(&mut conn);
+    let sound = upload_tone(&mut conn, 440.0, 400); // 50 ms
+    conn.sync().expect("sync");
+
+    let trials = 100;
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let t0 = Instant::now();
+        play(&mut conn, &rig, sound);
+        conn.wait_event(Duration::from_secs(5), |e| matches!(e, Event::PlayStarted { .. }))
+            .expect("play started");
+        samples.push(t0.elapsed().as_micros() as u64);
+        wait_done(&mut conn, rig.loud, Duration::from_secs(5));
+    }
+    let s = latency_stats(samples);
+    println!("  request→PlayStarted over an existing connection, {trials} trials:");
+    println!(
+        "  min {:.2} ms   median {:.2} ms   p95 {:.2} ms   max {:.2} ms",
+        s.min_us as f64 / 1000.0,
+        s.p50_us as f64 / 1000.0,
+        s.p95_us as f64 / 1000.0,
+        s.max_us as f64 / 1000.0
+    );
+    println!(
+        "  paper goal: < \"several hundred\" ms    measured p95: {:.1} ms    {}",
+        s.p95_us as f64 / 1000.0,
+        if s.p95_us < 300_000 { "PASS" } else { "FAIL" }
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// E2 — seamless back-to-back playback (paper §6.2: "without a single
+// dropped or inserted sample")
+// ---------------------------------------------------------------------------
+fn e2_seamless_playback() {
+    banner("E2", "back-to-back plays: zero dropped or inserted samples (§6.2)");
+    println!("  N sounds | total frames | discontinuities | verdict");
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let rig = ManualRig::desktop();
+        let mut conn = rig.conn;
+        let control = rig.control;
+        control.set_speaker_capture(0, 1 << 20);
+        let play_rig = build_play_rig(&mut conn);
+
+        // A strictly increasing staircase split into n uneven pieces; any
+        // seam error breaks the sample-exact match of the capture.
+        let total = 800 * n;
+        let ramp: Vec<i16> = (0..total).map(|i| ((i * 10) % 30_000) as i16 + 100).collect();
+        let expect = da_dsp::mulaw::decode_slice(&da_dsp::mulaw::encode_slice(&ramp));
+        let mut sounds = Vec::new();
+        let mut cut = 0usize;
+        for k in 0..n {
+            let next = if k == n - 1 {
+                total
+            } else {
+                (cut + 800 + (k * 37) % 113).min(total)
+            };
+            let sound =
+                conn.upload_pcm(SoundType::TELEPHONE, &ramp[cut..next]).expect("upload");
+            sounds.push(sound);
+            cut = next;
+        }
+        for s in &sounds {
+            conn.enqueue_cmd(play_rig.loud, play_rig.player, DeviceCommand::Play(*s))
+                .expect("enqueue");
+        }
+        conn.start_queue(play_rig.loud).expect("start");
+        conn.sync().expect("sync");
+        control.tick_n((total / 80 + 20) as u64);
+
+        let cap = control.take_captured(0);
+        // Align on an 8-sample signature of the staircase start.
+        let sig = &expect[0..8];
+        let start = cap.windows(8).position(|w| w == sig).unwrap_or(usize::MAX);
+        let mut discontinuities = 0usize;
+        if start == usize::MAX {
+            discontinuities = total; // nothing matched at all
+        } else {
+            for (i, want) in expect.iter().enumerate() {
+                if cap.get(start + i) != Some(want) {
+                    discontinuities += 1;
+                }
+            }
+        }
+        println!(
+            "  {n:>8} | {total:>12} | {discontinuities:>15} | {}",
+            if discontinuities == 0 { "PASS (gap-free)" } else { "FAIL" }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — CPU fraction vs data rate (paper §6: "well under 10% of the CPU";
+// §1.1: 8,000 B/s telephone … 175,000 B/s CD)
+// ---------------------------------------------------------------------------
+fn e3_cpu_fraction() {
+    banner("E3", "continuous playback CPU fraction across the paper's rate range");
+    println!("  stream                         | bytes/s | CPU fraction | paper goal");
+    let cases: Vec<(&str, SoundType, bool)> = vec![
+        (
+            "telephone 8 kHz u-law mono    ",
+            SoundType::TELEPHONE,
+            false,
+        ),
+        (
+            "16 kHz PCM-16 mono            ",
+            SoundType { encoding: Encoding::Pcm16, sample_rate: 16_000, channels: 1 },
+            false,
+        ),
+        (
+            "22.05 kHz PCM-16 mono         ",
+            SoundType { encoding: Encoding::Pcm16, sample_rate: 22_050, channels: 1 },
+            false,
+        ),
+        ("CD 44.1 kHz PCM-16 stereo     ", SoundType::CD, true),
+    ];
+    for (name, stype, hifi) in cases {
+        let hw = if hifi {
+            da_hw::registry::HwSpec::desktop_hifi()
+        } else {
+            da_hw::registry::HwSpec::desktop()
+        };
+        let rig = ManualRig::new(hw, 10_000);
+        let mut conn = rig.conn;
+        let control = rig.control;
+        // Build a play rig targeting the right speaker.
+        let loud = conn.create_loud(None).expect("loud");
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).expect("player");
+        let out_attrs = if hifi { vec![Attribute::SampleRate(44_100)] } else { vec![] };
+        let output = conn.create_vdevice(loud, DeviceClass::Output, out_attrs).expect("out");
+        conn.create_wire(player, 0, output, 0, WireType::Any).expect("wire");
+        conn.map_loud(loud).expect("map");
+
+        // 10 s of audio at the stream's own type.
+        let frames = stype.sample_rate as usize * 10;
+        let pcm: Vec<i16> = {
+            let mono = da_dsp::tone::sine(stype.sample_rate, 440.0, frames, 10_000);
+            if stype.channels == 2 {
+                mono.iter().flat_map(|&s| [s, s]).collect()
+            } else {
+                mono
+            }
+        };
+        let sound = conn.upload_pcm(stype, &pcm).expect("upload");
+        conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).expect("enqueue");
+        conn.start_queue(loud).expect("start");
+        conn.sync().expect("sync");
+
+        let before = control.stats();
+        control.tick_n(1000); // exactly 10 s of audio time
+        let after = control.stats();
+        let busy = after.busy - before.busy;
+        let fraction = busy.as_secs_f64() / 10.0;
+        println!(
+            "  {name} | {:>7} | {:>11.3}% | {}",
+            stype.bytes_per_second(),
+            fraction * 100.0,
+            if stype.bytes_per_second() == 8000 {
+                if fraction < 0.10 { "<10%: PASS" } else { "<10%: FAIL" }
+            } else {
+                "(beyond 1991 goal)"
+            }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E4 — play→record transition (paper §6.2: "Recording back-to-back with a
+// play is accomplished in the same manner" — sample-exact pre-issue)
+// ---------------------------------------------------------------------------
+fn e4_play_record_seam() {
+    banner("E4", "play→record transition lands on the exact sample (§6.2)");
+    println!("  play length (frames) | seam offset (frames) | recording continuous | verdict");
+    for play_frames in [777u64, 1000, 1234, 4000] {
+        let rig = ManualRig::desktop();
+        let mut conn = rig.conn;
+        let control = rig.control;
+
+        // The microphone hears an index ramp: sample i has value i.
+        let ramp: Vec<i16> = (0..32_000).map(|i| i as i16).collect();
+        control.with_core(|c| {
+            c.hw.microphones[0].set_source(da_hw::codec::SignalSource::Samples(ramp))
+        });
+
+        let loud = conn.create_loud(None).expect("loud");
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).expect("player");
+        let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).expect("out");
+        let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).expect("in");
+        let recorder = conn.create_vdevice(loud, DeviceClass::Recorder, vec![]).expect("rec");
+        conn.create_wire(player, 0, output, 0, WireType::Any).expect("wire");
+        conn.create_wire(input, 0, recorder, 0, WireType::Any).expect("wire");
+
+        let tone = upload_tone(&mut conn, 440.0, play_frames as usize);
+        // Record losslessly so ramp indices survive.
+        let rec_sound = conn
+            .create_sound(SoundType {
+                encoding: Encoding::Pcm16,
+                sample_rate: 8000,
+                channels: 1,
+            })
+            .expect("sound");
+        conn.enqueue(
+            loud,
+            vec![
+                da_proto::QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(tone) },
+                da_proto::QueueEntry::Device {
+                    vdev: recorder,
+                    cmd: DeviceCommand::Record(rec_sound, RecordTermination::MaxFrames(2000)),
+                },
+            ],
+        )
+        .expect("enqueue");
+        conn.start_queue(loud).expect("start");
+        // Mapping LAST aligns queue start with the first microphone pull:
+        // both begin on the activation tick.
+        conn.map_loud(loud).expect("map");
+        conn.sync().expect("sync");
+        control.tick_n(play_frames / 80 + 40);
+
+        let data = conn.read_sound_all(rec_sound).expect("read");
+        let recorded = da_alib::connection::decode_from(
+            SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 1 },
+            &data,
+        );
+        let first = recorded.first().copied().unwrap_or(-1) as i64;
+        let offset = first - play_frames as i64;
+        let continuous =
+            recorded.windows(2).all(|w| w[1] as i64 - w[0] as i64 == 1);
+        println!(
+            "  {play_frames:>20} | {offset:>20} | {continuous:>20} | {}",
+            if offset == 0 && continuous { "PASS (exact)" } else { "FAIL" }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E5 — multiple simultaneous clients on one speaker (paper §2)
+// ---------------------------------------------------------------------------
+fn e5_multiclient_scaling() {
+    banner("E5", "K simultaneous clients multiplexed onto one speaker (§2)");
+    println!("  clients | engine time per audio-second | mix verified");
+    for k in [1usize, 2, 4, 8, 16] {
+        let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+        let server = AudioServer::start(config).expect("server");
+        let control = server.control();
+        control.set_speaker_capture(0, 200_000);
+        let freqs: Vec<f64> = (0..k).map(|i| 300.0 + 150.0 * i as f64).collect();
+        let mut conns = Vec::new();
+        for (i, f) in freqs.iter().enumerate() {
+            let mut conn =
+                Connection::establish(server.connect_pipe(), &format!("c{i}")).expect("conn");
+            let rig = build_play_rig(&mut conn);
+            let sound = upload_tone(&mut conn, *f, 40_000); // 5 s
+            play(&mut conn, &rig, sound);
+            conn.sync().expect("sync");
+            conns.push(conn);
+        }
+        let before = control.stats();
+        control.tick_n(500); // 5 s
+        let after = control.stats();
+        let busy = (after.busy - before.busy).as_secs_f64() / 5.0;
+        // Verify every tone is present mid-mix.
+        let cap = control.take_captured(0);
+        let window = &cap[8000..16_000.min(cap.len())];
+        let all_present = freqs
+            .iter()
+            .all(|&f| da_dsp::analysis::goertzel_power(window, 8000, f) > 10_000.0);
+        println!(
+            "  {k:>7} | {:>17.3} ms/s           | {}",
+            busy * 1000.0,
+            if all_present { "PASS" } else { "FAIL" }
+        );
+        server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E6 — client-supplied real-time data vs buffering (paper §5.6, §6.2)
+// ---------------------------------------------------------------------------
+fn e6_streaming_jitter() {
+    banner("E6", "real-time client data: buffering absorbs source jitter (§6.2)");
+    println!("  prebuffer | producer jitter   | underrun frames (3 s stream)");
+    use rand::Rng;
+    for prebuffer_ms in [0u64, 100, 400] {
+        let config = ServerConfig {
+            pacing: da_hw::clock::Pacing::RealTime,
+            quantum_us: 10_000,
+            ..ServerConfig::default()
+        };
+        let server = AudioServer::start(config).expect("server");
+        let mut conn = Connection::establish(server.connect_pipe(), "e6").expect("connect");
+        let rig = build_play_rig(&mut conn);
+
+        let total_frames = 24_000usize; // 3 s
+        let pcm = da_dsp::tone::sine(8000, 440.0, total_frames, 10_000);
+        let encoded = da_alib::connection::encode_for(SoundType::TELEPHONE, &pcm);
+        let sound = conn.create_sound(SoundType::TELEPHONE).expect("sound");
+
+        let pre = (prebuffer_ms * 8) as usize; // frames
+        conn.write_sound(sound, &encoded[..pre], false).expect("prebuffer");
+        play(&mut conn, &rig, sound);
+
+        // Produce the rest in 100 ms chunks with mean-preserving jitter:
+        // the source keeps up on average but individual chunks arrive up
+        // to 60 ms late (a bursty network feed).
+        let mut rng = rand::rng();
+        let mut pos = pre;
+        let mut underruns = 0u64;
+        while pos < total_frames {
+            let period_ms: u64 = rng.random_range(40..=160);
+            std::thread::sleep(Duration::from_millis(period_ms));
+            let next = (pos + 800).min(total_frames);
+            conn.write_sound(sound, &encoded[pos..next], next == total_frames)
+                .expect("write");
+            pos = next;
+            while let Some(ev) = conn.poll_event().expect("poll") {
+                if let Event::SoundUnderrun { missing_frames, .. } = ev {
+                    underruns += missing_frames;
+                }
+            }
+        }
+        // Drain until done.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match conn.next_event(Duration::from_millis(100)).expect("event") {
+                Some(Event::SoundUnderrun { missing_frames, .. }) => {
+                    underruns += missing_frames
+                }
+                Some(Event::CommandDone { .. }) => break,
+                _ => {}
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        println!("  {prebuffer_ms:>6} ms | 40–160 ms/100 ms  | {underruns:>15}");
+        server.shutdown();
+    }
+    println!("  expected shape: underruns fall as the prebuffer grows");
+}
+
+// ---------------------------------------------------------------------------
+// E7 — synchronization events drive other media (paper §5.7, Figure 6-1)
+// ---------------------------------------------------------------------------
+fn e7_sync_event_cadence() {
+    banner("E7", "sync marks arrive steadily enough to drive a display (§5.7)");
+    let config = ServerConfig {
+        pacing: da_hw::clock::Pacing::RealTime,
+        quantum_us: 10_000,
+        ..ServerConfig::default()
+    };
+    let server = AudioServer::start(config).expect("server");
+    let mut conn = Connection::establish(server.connect_pipe(), "e7").expect("connect");
+    let rig = build_play_rig(&mut conn);
+    conn.select_events(rig.player, EventMask::SYNC | EventMask::DEVICE).expect("select");
+    let sound = upload_tone(&mut conn, 440.0, 24_000); // 3 s
+    conn.sync().expect("sync");
+    play(&mut conn, &rig, sound);
+    let mut arrivals: Vec<Instant> = Vec::new();
+    let mut positions: Vec<u64> = Vec::new();
+    loop {
+        match conn.next_event(Duration::from_secs(5)).expect("event") {
+            Some(Event::SyncMark { position, .. }) => {
+                arrivals.push(Instant::now());
+                positions.push(position);
+            }
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    let n = arrivals.len();
+    let gaps: Vec<f64> = arrivals
+        .windows(2)
+        .map(|w| w[1].duration_since(w[0]).as_secs_f64() * 1000.0)
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+    let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+        / gaps.len().max(1) as f64;
+    let monotone = positions.windows(2).all(|w| w[1] > w[0]);
+    println!("  marks over 3 s of playback: {n} (expected ~30 at the 100 ms default)");
+    println!(
+        "  inter-arrival: mean {mean:.1} ms, stddev {:.1} ms; positions monotone: {monotone}",
+        var.sqrt()
+    );
+    println!(
+        "  verdict: {}",
+        if n >= 25 && monotone { "PASS (display can slave to audio)" } else { "FAIL" }
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// E8 — multiple data representations below the application (paper §2;
+// §5.9 footnote: ADPCM halves the data rate)
+// ---------------------------------------------------------------------------
+fn e8_codecs() {
+    banner("E8", "encodings: rate ratios, quality and software codec speed (§2)");
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let mut speech = Vec::new();
+    for _ in 0..10 {
+        speech.extend(tts.speak("the quick brown fox jumps over the lazy dog"));
+    }
+    let seconds = speech.len() as f64 / 8000.0;
+    println!("  test signal: {:.1} s of synthesized speech", seconds);
+    println!("  codec      | bytes/s vs PCM-16 | SNR (dB) | encode speed (× real time)");
+    type EncFn = Box<dyn Fn(&[i16]) -> Vec<u8>>;
+    type DecFn = Box<dyn Fn(&[u8]) -> Vec<i16>>;
+    let cases: Vec<(&str, EncFn, DecFn)> = vec![
+        (
+            "u-law     ",
+            Box::new(|p: &[i16]| da_dsp::mulaw::encode_slice(p)),
+            Box::new(|d: &[u8]| da_dsp::mulaw::decode_slice(d)),
+        ),
+        (
+            "A-law     ",
+            Box::new(|p: &[i16]| da_dsp::alaw::encode_slice(p)),
+            Box::new(|d: &[u8]| da_dsp::alaw::decode_slice(d)),
+        ),
+        (
+            "IMA ADPCM ",
+            Box::new(|p: &[i16]| da_dsp::adpcm::encode_slice(p)),
+            Box::new(|d: &[u8]| da_dsp::adpcm::decode_slice(d)),
+        ),
+    ];
+    for (name, enc, dec) in cases {
+        let t0 = Instant::now();
+        let encoded = enc(&speech);
+        let enc_time = t0.elapsed().as_secs_f64();
+        let decoded = dec(&encoded);
+        let snr = da_dsp::analysis::snr_db(&speech, &decoded);
+        let ratio = encoded.len() as f64 / (speech.len() * 2) as f64;
+        println!(
+            "  {name} | {:>17.0}% | {snr:>8.1} | {:>8.0}x",
+            ratio * 100.0,
+            seconds / enc_time.max(1e-9)
+        );
+    }
+    println!("  paper: ADPCM \"can reduce audio data rates by about one half\" of u-law");
+    println!("  (u-law is 50% of PCM-16; ADPCM is 25% — exactly half of u-law: PASS)");
+}
+
+// ---------------------------------------------------------------------------
+// P1 — engine quantum ablation (design choice documented in DESIGN.md)
+// ---------------------------------------------------------------------------
+fn p1_quantum_ablation() {
+    banner("P1", "ablation: engine quantum vs CPU cost and reaction latency");
+    println!("  quantum | CPU fraction (8 kHz play) | quantum-bound added latency");
+    for quantum_us in [2_500u64, 10_000, 40_000] {
+        let rig = ManualRig::new(da_hw::registry::HwSpec::desktop(), quantum_us);
+        let mut conn = rig.conn;
+        let control = rig.control;
+        let play_rig = build_play_rig(&mut conn);
+        let sound = upload_tone(&mut conn, 440.0, 80_000); // 10 s
+        play(&mut conn, &play_rig, sound);
+        conn.sync().expect("sync");
+        let ticks = 10_000_000 / quantum_us; // 10 s of audio
+        let before = control.stats();
+        control.tick_n(ticks);
+        let after = control.stats();
+        let busy = (after.busy - before.busy).as_secs_f64() / 10.0;
+        println!(
+            "  {:>5.1} ms | {:>24.3}% | up to {:>5.1} ms",
+            quantum_us as f64 / 1000.0,
+            busy * 100.0,
+            quantum_us as f64 / 1000.0
+        );
+    }
+    println!("  expected shape: smaller quanta buy reaction latency with more CPU");
+}

@@ -1,0 +1,120 @@
+//! Shared rigs for the benchmarks and the experiment harness.
+//!
+//! Every table in EXPERIMENTS.md is produced by code in this crate: the
+//! Criterion benches in `benches/` measure hot paths in isolation, and
+//! the `experiments` binary replays the paper's evaluation claims
+//! end-to-end and prints the comparison tables.
+
+use da_alib::Connection;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask};
+use da_proto::ids::{LoudId, SoundId, VDeviceId};
+use da_proto::types::{DeviceClass, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig, ServerControl};
+use std::time::Duration;
+
+/// A server in manual-tick mode with one connected client: the engine
+/// advances only when the caller says so, making measurements exact.
+pub struct ManualRig {
+    /// The running server.
+    pub server: AudioServer,
+    /// Control handle (ticking, speaker capture).
+    pub control: ServerControl,
+    /// The connected client.
+    pub conn: Connection,
+}
+
+impl ManualRig {
+    /// Starts the rig with the given hardware and quantum.
+    pub fn new(hw: da_hw::registry::HwSpec, quantum_us: u64) -> ManualRig {
+        let config = ServerConfig {
+            manual_ticks: true,
+            quantum_us,
+            hw,
+            ..ServerConfig::default()
+        };
+        let server = AudioServer::start(config).expect("server");
+        let control = server.control();
+        let conn = Connection::establish(server.connect_pipe(), "bench").expect("connect");
+        ManualRig { server, control, conn }
+    }
+
+    /// Default: desktop hardware, 10 ms quantum.
+    pub fn desktop() -> ManualRig {
+        ManualRig::new(da_hw::registry::HwSpec::desktop(), 10_000)
+    }
+
+    /// Advances the engine by `n` ticks.
+    pub fn tick(&self, n: u64) {
+        self.control.tick_n(n);
+    }
+}
+
+/// A player→output LOUD plus ids, built on any connection.
+pub struct PlayRig {
+    /// The root LOUD.
+    pub loud: LoudId,
+    /// The player.
+    pub player: VDeviceId,
+    /// The output.
+    pub output: VDeviceId,
+}
+
+/// Builds and maps a player→output LOUD with queue events selected.
+pub fn build_play_rig(conn: &mut Connection) -> PlayRig {
+    let loud = conn.create_loud(None).expect("loud");
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).expect("player");
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).expect("output");
+    conn.create_wire(player, 0, output, 0, WireType::Any).expect("wire");
+    conn.select_events(loud, EventMask::QUEUE).expect("select");
+    conn.select_events(player, EventMask::DEVICE).expect("select");
+    conn.map_loud(loud).expect("map");
+    conn.sync().expect("sync");
+    PlayRig { loud, player, output }
+}
+
+/// Uploads a tone of `frames` frames at the telephone type.
+pub fn upload_tone(conn: &mut Connection, freq: f64, frames: usize) -> SoundId {
+    let pcm = da_dsp::tone::sine(8000, freq, frames, 10_000);
+    conn.upload_pcm(SoundType::TELEPHONE, &pcm).expect("upload")
+}
+
+/// Enqueues a play and starts the queue (does not wait).
+pub fn play(conn: &mut Connection, rig: &PlayRig, sound: SoundId) {
+    conn.enqueue_cmd(rig.loud, rig.player, DeviceCommand::Play(sound)).expect("enqueue");
+    conn.start_queue(rig.loud).expect("start");
+}
+
+/// Drains events until a `CommandDone` for `loud` arrives.
+pub fn wait_done(conn: &mut Connection, loud: LoudId, timeout: Duration) {
+    conn.wait_event(timeout, |e| {
+        matches!(e, Event::CommandDone { loud: l, .. } if *l == loud)
+    })
+    .expect("command done");
+}
+
+/// Simple order statistics over microsecond samples.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Minimum.
+    pub min_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+/// Computes order statistics from raw microsecond samples.
+pub fn latency_stats(mut samples: Vec<u64>) -> LatencyStats {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let n = samples.len();
+    LatencyStats {
+        min_us: samples[0],
+        p50_us: samples[n / 2],
+        p95_us: samples[(n * 95 / 100).min(n - 1)],
+        max_us: samples[n - 1],
+    }
+}

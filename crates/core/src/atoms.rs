@@ -1,0 +1,98 @@
+//! The atom table: interned names for properties and device controls.
+
+use da_proto::ids::Atom;
+use std::collections::HashMap;
+
+/// Atoms the server pre-interns, so common names have stable ids.
+pub const PREDEFINED: &[(&str, u32)] = &[
+    ("STRING", 1),
+    ("INTEGER", 2),
+    ("DOMAIN", 3),
+    ("PRIORITY", 4),
+    ("WM_NAME", 5),
+    ("GAIN", 6),
+    ("SYNC_INTERVAL", 7),
+    ("AGC", 8),
+    ("PAUSE_COMPRESSION", 9),
+    ("UNDERRUN_POLICY", 10),
+    ("EFFECT", 11),
+];
+
+/// A bidirectional name ↔ atom map.
+#[derive(Debug)]
+pub struct AtomTable {
+    by_name: HashMap<String, Atom>,
+    by_id: Vec<String>,
+}
+
+impl AtomTable {
+    /// Creates a table holding the predefined atoms.
+    pub fn new() -> Self {
+        let mut t = AtomTable { by_name: HashMap::new(), by_id: vec![String::new()] };
+        for (name, id) in PREDEFINED {
+            debug_assert_eq!(*id as usize, t.by_id.len());
+            t.by_name.insert((*name).to_string(), Atom(*id));
+            t.by_id.push((*name).to_string());
+        }
+        t
+    }
+
+    /// Interns a name, creating a new atom if needed.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        if let Some(a) = self.by_name.get(name) {
+            return *a;
+        }
+        let atom = Atom(self.by_id.len() as u32);
+        self.by_name.insert(name.to_string(), atom);
+        self.by_id.push(name.to_string());
+        atom
+    }
+
+    /// Looks up an existing atom without creating it.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an atom, if it exists.
+    pub fn name(&self, atom: Atom) -> Option<&str> {
+        if atom.0 == 0 {
+            return None;
+        }
+        self.by_id.get(atom.0 as usize).map(|s| s.as_str())
+    }
+}
+
+impl Default for AtomTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_atoms_present() {
+        let t = AtomTable::new();
+        assert_eq!(t.lookup("STRING"), Some(Atom(1)));
+        assert_eq!(t.name(Atom(3)), Some("DOMAIN"));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = AtomTable::new();
+        let a = t.intern("MY_PROP");
+        let b = t.intern("MY_PROP");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), Some("MY_PROP"));
+    }
+
+    #[test]
+    fn unknown_atoms_are_none() {
+        let t = AtomTable::new();
+        assert_eq!(t.name(Atom(0)), None);
+        assert_eq!(t.name(Atom(999)), None);
+        assert_eq!(t.lookup("NOPE"), None);
+    }
+}

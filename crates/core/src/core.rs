@@ -1,0 +1,668 @@
+//! The server's central state: resources, clients, hardware, activation.
+//!
+//! One [`Core`] lives behind a mutex; client reader threads lock it to
+//! dispatch requests and the engine thread locks it once per tick. (The
+//! paper's prototype used finer-grained threads — §6.1 — but all of them
+//! ultimately serialise on the shared device and resource state; a single
+//! lock with a tick-quantum engine gives the same architecture its
+//! deterministic reference implementation.)
+
+use crate::atoms::AtomTable;
+use crate::loud::Loud;
+use crate::queue::CommandQueue;
+use crate::sound::{Catalogs, Sound};
+use crate::vdevice::{HwBinding, VDev};
+use crate::wire::Wire;
+use crossbeam::channel::Sender;
+use da_hw::registry::{DeviceKind, Hardware, HwSlot, HwSpec};
+use da_proto::event::{Event, EventMask};
+use da_proto::ids::{Atom, ClientId, DeviceId, ResourceId};
+use da_proto::reply::Reply;
+use da_proto::types::{Attribute, DeviceClass, Property, QueueState};
+use da_proto::ProtoError;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A message queued toward one client's writer thread.
+#[derive(Debug, Clone)]
+pub enum ServerMsg {
+    /// A reply to request `seq`.
+    Reply(u32, Reply),
+    /// An asynchronous event.
+    Event(Event),
+    /// An asynchronous error for request `seq`.
+    Error(u32, ProtoError),
+    /// The server is closing this connection.
+    Shutdown,
+}
+
+/// Normalised key for event selections and properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResKey(pub u8, pub u32);
+
+/// Converts a protocol resource id to a selection/property key.
+pub fn res_key(r: ResourceId) -> ResKey {
+    match r {
+        ResourceId::Loud(id) => ResKey(0, id.0),
+        ResourceId::VDevice(id) => ResKey(1, id.0),
+        ResourceId::Sound(id) => ResKey(2, id.0),
+        ResourceId::Device(id) => ResKey(3, id.0),
+    }
+}
+
+/// Per-connection client state held by the core.
+#[derive(Debug)]
+pub struct ClientState {
+    /// Connection id.
+    pub id: ClientId,
+    /// Diagnostic name from setup.
+    pub name: String,
+    /// Channel to the client's writer thread.
+    pub tx: Sender<ServerMsg>,
+    /// Event selections: resource → mask.
+    pub selections: HashMap<ResKey, EventMask>,
+}
+
+/// Aggregate engine statistics (the E3 CPU-fraction experiment reads
+/// these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Wall time spent inside tick processing.
+    pub busy: Duration,
+    /// Total frames delivered to all speakers.
+    pub speaker_frames: u64,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine pacing (virtual for tests/benches, real-time for live use).
+    pub pacing: da_hw::clock::Pacing,
+    /// Engine quantum in microseconds.
+    pub quantum_us: u64,
+    /// Hardware inventory.
+    pub hw: HwSpec,
+    /// TCP listen address (`None` disables the TCP listener).
+    pub tcp_addr: Option<String>,
+    /// When set, no engine thread is spawned; ticks are driven manually
+    /// through `ServerControl::tick_n` (deterministic tests and benches).
+    pub manual_ticks: bool,
+    /// Vendor string reported at setup.
+    pub vendor: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pacing: da_hw::clock::Pacing::Virtual,
+            quantum_us: 10_000,
+            hw: HwSpec::desktop(),
+            tcp_addr: None,
+            manual_ticks: false,
+            vendor: "desktop-audio reference server".to_string(),
+        }
+    }
+}
+
+/// The complete mutable server state.
+pub struct Core {
+    /// Configuration the server was started with.
+    pub config: ServerConfig,
+    /// Live hardware.
+    pub hw: Hardware,
+    /// Remote parties scripted by tests/benches, ticked by the engine.
+    pub remote_parties: Vec<da_hw::pstn::RemoteParty>,
+    /// Connected clients.
+    pub clients: HashMap<u32, ClientState>,
+    /// All LOUDs by raw id.
+    pub louds: HashMap<u32, Loud>,
+    /// All virtual devices by raw id.
+    pub vdevs: HashMap<u32, VDev>,
+    /// All wires by raw id.
+    pub wires: HashMap<u32, Wire>,
+    /// All sounds by raw id.
+    pub sounds: HashMap<u32, Sound>,
+    /// Server-side sound catalogues.
+    pub catalogs: Catalogs,
+    /// Interned names.
+    pub atoms: AtomTable,
+    /// Properties by resource.
+    pub properties: HashMap<ResKey, HashMap<u32, Property>>,
+    /// Mapped root LOUDs, top of stack first (paper §5.4).
+    pub active_stack: Vec<u32>,
+    /// The audio manager connection holding redirection, if any.
+    pub redirect_client: Option<u32>,
+    /// Root LOUDs whose map request awaits manager approval.
+    pub pending_maps: Vec<u32>,
+    /// Root LOUDs whose raise request awaits manager approval.
+    pub pending_raises: Vec<u32>,
+    /// Roots whose current queue command failed this tick (engine use).
+    pub queue_failures: Vec<u32>,
+    /// Device time: frames elapsed at the nominal 8 kHz rate.
+    pub device_time: u64,
+    /// Tick counter.
+    pub tick_index: u64,
+    /// Engine statistics.
+    pub stats: EngineStats,
+    /// Next client id to hand out.
+    pub next_client: u32,
+    /// Set when the server is shutting down.
+    pub shutting_down: bool,
+}
+
+impl Core {
+    /// Creates the core from a configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let hw = Hardware::new(config.hw.clone());
+        Core {
+            config,
+            hw,
+            remote_parties: Vec::new(),
+            clients: HashMap::new(),
+            louds: HashMap::new(),
+            vdevs: HashMap::new(),
+            wires: HashMap::new(),
+            sounds: HashMap::new(),
+            catalogs: Catalogs::with_system_sounds(),
+            atoms: AtomTable::new(),
+            properties: HashMap::new(),
+            active_stack: Vec::new(),
+            redirect_client: None,
+            pending_maps: Vec::new(),
+            pending_raises: Vec::new(),
+            queue_failures: Vec::new(),
+            device_time: 0,
+            tick_index: 0,
+            stats: EngineStats::default(),
+            next_client: 1,
+        shutting_down: false,
+        }
+    }
+
+    // ---- clients -----------------------------------------------------------
+
+    /// Registers a new client, returning its id and id range.
+    pub fn add_client(&mut self, name: String, tx: Sender<ServerMsg>) -> (ClientId, u32, u32) {
+        let id = self.next_client;
+        self.next_client += 1;
+        let client = ClientId(id);
+        self.clients.insert(
+            id,
+            ClientState { id: client, name, tx, selections: HashMap::new() },
+        );
+        // 20 bits of id space per client, X-style.
+        let base = id << 20;
+        let mask = 0x000F_FFFF;
+        (client, base, mask)
+    }
+
+    /// Removes a client and destroys everything it owns.
+    pub fn remove_client(&mut self, client: ClientId) {
+        // Unmap and destroy the client's root LOUDs (which cascades).
+        let roots: Vec<u32> = self
+            .louds
+            .values()
+            .filter(|l| l.owner == client && l.is_root())
+            .map(|l| l.id.0)
+            .collect();
+        for root in roots {
+            self.destroy_loud(root);
+        }
+        self.sounds.retain(|_, s| s.owner != client);
+        if self.redirect_client == Some(client.0) {
+            self.redirect_client = None;
+            // Approve anything the departed manager was sitting on.
+            let pending: Vec<u32> = self.pending_maps.drain(..).collect();
+            for loud in pending {
+                self.map_loud_now(loud);
+            }
+            let raises: Vec<u32> = self.pending_raises.drain(..).collect();
+            for loud in raises {
+                self.raise_loud_now(loud);
+            }
+        }
+        for cs in self.clients.values_mut() {
+            cs.selections.retain(|_, _| true);
+        }
+        self.clients.remove(&client.0);
+        self.recompute_activation();
+    }
+
+    // ---- events ------------------------------------------------------------
+
+    /// Sends an event to every client that selected its category on
+    /// `key`.
+    pub fn send_event(&self, key: ResKey, event: Event) {
+        let cat = event.category();
+        for cs in self.clients.values() {
+            if let Some(mask) = cs.selections.get(&key) {
+                if mask.contains(cat) {
+                    let _ = cs.tx.send(ServerMsg::Event(event.clone()));
+                }
+            }
+        }
+    }
+
+    /// Sends an event to the audio manager (redirection holder).
+    pub fn send_manager_event(&self, event: Event) {
+        if let Some(mgr) = self.redirect_client {
+            if let Some(cs) = self.clients.get(&mgr) {
+                let _ = cs.tx.send(ServerMsg::Event(event));
+            }
+        }
+    }
+
+    /// Sends an event directly to one client regardless of selections.
+    pub fn send_to_client(&self, client: ClientId, msg: ServerMsg) {
+        if let Some(cs) = self.clients.get(&client.0) {
+            let _ = cs.tx.send(msg);
+        }
+    }
+
+    // ---- resource helpers ----------------------------------------------------
+
+    /// The root of the LOUD tree containing `loud`.
+    pub fn root_of(&self, loud: u32) -> u32 {
+        let mut cur = loud;
+        while let Some(l) = self.louds.get(&cur) {
+            match l.parent {
+                Some(p) => cur = p,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Collects every virtual device in the tree rooted at `root`.
+    pub fn tree_vdevs(&self, root: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(lid) = stack.pop() {
+            if let Some(l) = self.louds.get(&lid) {
+                out.extend(&l.vdevs);
+                stack.extend(&l.children);
+            }
+        }
+        out
+    }
+
+    /// Destroys a LOUD subtree: children, devices, wires, queue.
+    pub fn destroy_loud(&mut self, loud: u32) {
+        let Some(l) = self.louds.get(&loud) else { return };
+        let is_root = l.is_root();
+        let parent = l.parent;
+        let children = l.children.clone();
+        let vdevs = l.vdevs.clone();
+        for c in children {
+            self.destroy_loud(c);
+        }
+        for v in vdevs {
+            self.destroy_vdev(v);
+        }
+        if let Some(p) = parent {
+            if let Some(pl) = self.louds.get_mut(&p) {
+                pl.children.retain(|&c| c != loud);
+            }
+        }
+        if is_root {
+            self.active_stack.retain(|&r| r != loud);
+            self.pending_maps.retain(|&r| r != loud);
+            self.pending_raises.retain(|&r| r != loud);
+        }
+        self.properties.remove(&ResKey(0, loud));
+        self.louds.remove(&loud);
+        if is_root {
+            self.recompute_activation();
+        }
+    }
+
+    /// Destroys a virtual device and its wires.
+    pub fn destroy_vdev(&mut self, vdev: u32) {
+        let wire_ids: Vec<u32> = self
+            .wires
+            .values()
+            .filter(|w| w.src.0 == vdev || w.dst.0 == vdev)
+            .map(|w| w.id.0)
+            .collect();
+        for w in wire_ids {
+            self.wires.remove(&w);
+        }
+        if let Some(v) = self.vdevs.remove(&vdev) {
+            // A telephone device that vanishes mid-call must not leave a
+            // zombie call on the line.
+            if let Some(HwBinding::Line(line)) = v.binding {
+                self.hw.pstn.on_hook(line);
+            }
+            if let Some(l) = self.louds.get_mut(&v.loud) {
+                l.vdevs.retain(|&d| d != vdev);
+            }
+        }
+        self.properties.remove(&ResKey(1, vdev));
+    }
+
+    // ---- mapping: virtual → physical (paper §5.3) ---------------------------
+
+    /// Does hardware device `idx` satisfy a virtual device request of
+    /// `class` with `attrs`?
+    pub fn device_matches(&self, idx: usize, class: DeviceClass, attrs: &[Attribute]) -> bool {
+        let Some(spec) = self.hw.spec().devices.get(idx) else { return false };
+        let kind_ok = matches!(
+            (&spec.kind, class),
+            (DeviceKind::Speaker { .. }, DeviceClass::Output)
+                | (DeviceKind::Microphone { .. }, DeviceClass::Input)
+                | (DeviceKind::PhoneLine { .. }, DeviceClass::Telephone)
+        );
+        if !kind_ok {
+            return false;
+        }
+        for attr in attrs {
+            let ok = match attr {
+                Attribute::Device(DeviceId(id)) => *id as usize == idx,
+                Attribute::Name(n) => &spec.name == n,
+                Attribute::SampleRate(r) => match &spec.kind {
+                    DeviceKind::Speaker { rate, .. } | DeviceKind::Microphone { rate } => {
+                        rate == r
+                    }
+                    DeviceKind::PhoneLine { .. } => *r == da_hw::pstn::LINE_RATE,
+                },
+                Attribute::Channels(c) => match &spec.kind {
+                    DeviceKind::Speaker { channels, .. } => channels == c,
+                    _ => *c == 1,
+                },
+                Attribute::AmbientDomain(d) => spec.domains.contains(d),
+                Attribute::PhoneNumber(n) => match &spec.kind {
+                    DeviceKind::PhoneLine { number, .. } => number == n,
+                    _ => false,
+                },
+                Attribute::CallerId(want) => match &spec.kind {
+                    DeviceKind::PhoneLine { caller_id, .. } => caller_id == want,
+                    _ => false,
+                },
+                // Exclusivity attributes constrain activation, not device
+                // choice; capability attributes are satisfied by the
+                // software implementations; encodings are converted.
+                _ => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a virtual-device class needs a physical device at all.
+    pub fn needs_hardware(class: DeviceClass) -> bool {
+        matches!(class, DeviceClass::Input | DeviceClass::Output | DeviceClass::Telephone)
+    }
+
+    // ---- activation (paper §5.4) ----------------------------------------------
+
+    /// Recomputes which mapped LOUDs are active, walking the stack from
+    /// the top and activating every LOUD whose resource needs can be met
+    /// ("The server activates as many LOUDs as it can at one time",
+    /// paper §5.4).
+    pub fn recompute_activation(&mut self) {
+        use std::collections::HashSet;
+        let mut exclusive_devices: HashSet<usize> = HashSet::new();
+        let mut used_devices: HashSet<usize> = HashSet::new();
+        let mut excl_in_domains: HashSet<u32> = HashSet::new();
+        let mut excl_out_domains: HashSet<u32> = HashSet::new();
+        let stack = self.active_stack.clone();
+        let mut transitions: Vec<(u32, bool)> = Vec::new();
+        for root in stack {
+            let vdevs = self.tree_vdevs(root);
+            // Trial bind.
+            let mut bindings: Vec<(u32, HwBinding, u32)> = Vec::new();
+            let mut ok = true;
+            let mut trial_exclusive: Vec<usize> = Vec::new();
+            let mut trial_used: Vec<usize> = Vec::new();
+            let mut trial_in_domains: Vec<u32> = Vec::new();
+            let mut trial_out_domains: Vec<u32> = Vec::new();
+            for &vid in &vdevs {
+                let Some(v) = self.vdevs.get(&vid) else { continue };
+                if !Self::needs_hardware(v.class) {
+                    bindings.push((vid, HwBinding::Software, v.rate));
+                    continue;
+                }
+                let wants_exclusive_use =
+                    v.attrs.iter().any(|a| matches!(a, Attribute::ExclusiveUse));
+                let mut chosen = None;
+                for idx in 0..self.hw.spec().devices.len() {
+                    if !self.device_matches(idx, v.class, &v.attrs) {
+                        continue;
+                    }
+                    if exclusive_devices.contains(&idx) || trial_exclusive.contains(&idx) {
+                        continue;
+                    }
+                    if wants_exclusive_use
+                        && (used_devices.contains(&idx) || trial_used.contains(&idx))
+                    {
+                        continue;
+                    }
+                    // Ambient-domain exclusion (paper §5.8): an active
+                    // exclusive-input claim blocks input devices sharing
+                    // any of its domains; likewise for output.
+                    let spec = &self.hw.spec().devices[idx];
+                    let blocked = match v.class {
+                        DeviceClass::Input => spec.domains.iter().any(|d| {
+                            excl_in_domains.contains(d) || trial_in_domains.contains(d)
+                        }),
+                        DeviceClass::Output => spec.domains.iter().any(|d| {
+                            excl_out_domains.contains(d) || trial_out_domains.contains(d)
+                        }),
+                        _ => false,
+                    };
+                    if blocked {
+                        continue;
+                    }
+                    chosen = Some(idx);
+                    break;
+                }
+                let Some(idx) = chosen else {
+                    ok = false;
+                    break;
+                };
+                trial_used.push(idx);
+                if wants_exclusive_use {
+                    trial_exclusive.push(idx);
+                }
+                let spec = &self.hw.spec().devices[idx];
+                if v.attrs.iter().any(|a| matches!(a, Attribute::ExclusiveInput)) {
+                    trial_in_domains.extend(spec.domains.iter().copied());
+                }
+                if v.attrs.iter().any(|a| matches!(a, Attribute::ExclusiveOutput)) {
+                    trial_out_domains.extend(spec.domains.iter().copied());
+                }
+                let (binding, rate) = match self.hw.slot(idx) {
+                    Some(HwSlot::Speaker(s)) => {
+                        (HwBinding::Speaker(s), self.hw.speakers[s].rate())
+                    }
+                    Some(HwSlot::Microphone(m)) => {
+                        (HwBinding::Microphone(m), self.hw.microphones[m].rate())
+                    }
+                    Some(HwSlot::Line(l)) => (HwBinding::Line(l), da_hw::pstn::LINE_RATE),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                };
+                bindings.push((vid, binding, rate));
+            }
+            let was_active = self.louds.get(&root).map(|l| l.active).unwrap_or(false);
+            if ok {
+                used_devices.extend(trial_used);
+                exclusive_devices.extend(trial_exclusive);
+                excl_in_domains.extend(trial_in_domains);
+                excl_out_domains.extend(trial_out_domains);
+                for (vid, binding, rate) in bindings {
+                    if let Some(v) = self.vdevs.get_mut(&vid) {
+                        v.binding = Some(binding);
+                        if binding != HwBinding::Software {
+                            v.rate = rate;
+                        }
+                    }
+                }
+                if let Some(l) = self.louds.get_mut(&root) {
+                    l.active = true;
+                }
+                if !was_active {
+                    transitions.push((root, true));
+                }
+            } else {
+                for &vid in &vdevs {
+                    if let Some(v) = self.vdevs.get_mut(&vid) {
+                        v.binding = None;
+                    }
+                }
+                if let Some(l) = self.louds.get_mut(&root) {
+                    l.active = false;
+                }
+                if was_active {
+                    transitions.push((root, false));
+                }
+            }
+        }
+        // Queue state follows activation (paper §5.5: deactivation pauses
+        // the queue; reactivation resumes a server-paused queue).
+        for (root, activated) in &transitions {
+            if let Some(l) = self.louds.get_mut(root) {
+                if let Some(q) = &mut l.queue {
+                    if *activated && q.state == QueueState::ServerPaused {
+                        q.state = QueueState::Started;
+                    } else if !*activated && q.state == QueueState::Started {
+                        q.state = QueueState::ServerPaused;
+                    }
+                }
+            }
+        }
+        for (root, activated) in transitions {
+            let lid = da_proto::ids::LoudId(root);
+            let event = if activated {
+                Event::ActivateNotify { loud: lid }
+            } else {
+                Event::DeactivateNotify { loud: lid }
+            };
+            self.send_event(ResKey(0, root), event.clone());
+            // Queue pause/resume notifications accompany the transition.
+            if let Some(l) = self.louds.get(&root) {
+                if let Some(q) = &l.queue {
+                    if activated && q.state == QueueState::Started {
+                        self.send_event(ResKey(0, root), Event::QueueResumed { loud: lid });
+                    } else if !activated && q.state == QueueState::ServerPaused {
+                        self.send_event(
+                            ResKey(0, root),
+                            Event::QueuePaused { loud: lid, by_server: true },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Performs the actual map (after any manager redirection).
+    pub fn map_loud_now(&mut self, root: u32) {
+        let Some(l) = self.louds.get_mut(&root) else { return };
+        if l.mapped {
+            return;
+        }
+        l.mapped = true;
+        self.active_stack.insert(0, root);
+        self.send_event(ResKey(0, root), Event::MapNotify { loud: da_proto::ids::LoudId(root) });
+        self.recompute_activation();
+    }
+
+    /// Performs the actual raise.
+    pub fn raise_loud_now(&mut self, root: u32) {
+        if let Some(pos) = self.active_stack.iter().position(|&r| r == root) {
+            self.active_stack.remove(pos);
+            self.active_stack.insert(0, root);
+            self.recompute_activation();
+        }
+    }
+
+    /// Unmaps a root LOUD.
+    pub fn unmap_loud(&mut self, root: u32) {
+        let Some(l) = self.louds.get_mut(&root) else { return };
+        if !l.mapped {
+            return;
+        }
+        l.mapped = false;
+        l.active = false;
+        if let Some(q) = &mut l.queue {
+            if q.state == QueueState::Started {
+                q.state = QueueState::ServerPaused;
+            }
+        }
+        self.active_stack.retain(|&r| r != root);
+        self.send_event(ResKey(0, root), Event::UnmapNotify { loud: da_proto::ids::LoudId(root) });
+        self.recompute_activation();
+    }
+
+    // ---- queue access ----------------------------------------------------------
+
+    /// The queue of a root LOUD.
+    pub fn queue_mut(&mut self, root: u32) -> Option<&mut CommandQueue> {
+        self.louds.get_mut(&root).and_then(|l| l.queue.as_mut())
+    }
+
+    // ---- device LOUD ------------------------------------------------------------
+
+    /// Builds the device-LOUD description (paper §5.1: "a special LOUD
+    /// tree ... encapsulates all of the available functions in every
+    /// device controlled by the server").
+    pub fn device_loud(&self) -> (Vec<da_proto::reply::PhysDeviceInfo>, Vec<da_proto::reply::HardWire>) {
+        let mut devices = Vec::new();
+        for (idx, spec) in self.hw.spec().devices.iter().enumerate() {
+            let (class, mut attrs) = match &spec.kind {
+                DeviceKind::Speaker { rate, channels } => (
+                    DeviceClass::Output,
+                    vec![
+                        Attribute::SampleRate(*rate),
+                        Attribute::Channels(*channels),
+                    ],
+                ),
+                DeviceKind::Microphone { rate } => {
+                    (DeviceClass::Input, vec![Attribute::SampleRate(*rate)])
+                }
+                DeviceKind::PhoneLine { number, caller_id } => (
+                    DeviceClass::Telephone,
+                    vec![
+                        Attribute::PhoneNumber(number.clone()),
+                        Attribute::PhoneLines(1),
+                        Attribute::CallerId(*caller_id),
+                        Attribute::SampleRate(da_hw::pstn::LINE_RATE),
+                    ],
+                ),
+            };
+            attrs.push(Attribute::Name(spec.name.clone()));
+            devices.push(da_proto::reply::PhysDeviceInfo {
+                id: DeviceId(idx as u32),
+                class,
+                attrs,
+                domains: spec.domains.clone(),
+            });
+        }
+        let hard_wires = self
+            .hw
+            .spec()
+            .hard_wires
+            .iter()
+            .map(|&(s, sp, d, dp)| da_proto::reply::HardWire {
+                src: DeviceId(s as u32),
+                src_port: sp,
+                dst: DeviceId(d as u32),
+                dst_port: dp,
+            })
+            .collect();
+        (devices, hard_wires)
+    }
+
+    // ---- atoms & properties --------------------------------------------------
+
+    /// Interns an atom name.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        self.atoms.intern(name)
+    }
+}

@@ -1,0 +1,1444 @@
+//! The streaming engine.
+//!
+//! Advances all audio by one quantum per tick: remote parties and the
+//! PSTN, then each active root LOUD's command queue (producing samples
+//! from players/synthesizers), then the continuous producers (microphones
+//! and telephone receive), the wire graph in topological order, and
+//! finally the consumers (speakers, recorders, recognizers, telephone
+//! transmit).
+//!
+//! Two properties the paper demands fall out of the structure:
+//!
+//! - **Seamless transitions (§6.2).** A queue is given a tick *budget*;
+//!   when a durational command finishes mid-tick, its successor starts
+//!   immediately and produces the budget's remainder — so back-to-back
+//!   plays concatenate inside a single tick's buffer with "not a single
+//!   dropped or inserted sample". The end time is computed in device
+//!   sample counts, never wall-clock (the §6.2 footnote about clock
+//!   skew).
+//! - **State restoration (§5.4).** Deactivated LOUDs are simply not
+//!   stepped; every operation's position lives in its virtual device, so
+//!   reactivation resumes exactly where deactivation paused.
+
+use crate::core::{Core, ResKey};
+use crate::queue::{CmdState, QNode, RunNode};
+use crate::sound::pcm_encoding;
+use crate::vdevice::{ActiveOp, ClassState, HwBinding, VDev};
+use da_dsp::silence::PauseDetector;
+use da_hw::clock::frames_this_tick;
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{CallState, Event, QueueStopReason, RecordStopReason};
+use da_proto::ids::{LoudId, ResourceId, SoundId, VDeviceId};
+use da_proto::types::{DeviceClass, QueueState};
+
+/// Runs one engine tick over the whole core.
+pub fn tick(core: &mut Core) {
+    let started = std::time::Instant::now();
+    let quantum = core.config.quantum_us;
+    let t = core.tick_index;
+    let n8 = frames_this_tick(8000, quantum, t);
+
+    // 1. The outside world: scripted remote parties exchange audio.
+    let mut parties = std::mem::take(&mut core.remote_parties);
+    for p in &mut parties {
+        p.tick(&mut core.hw.pstn, n8);
+    }
+    core.remote_parties = parties;
+
+    // 2. Network timers (ring timeout etc.).
+    core.hw.pstn.tick(n8 as u64);
+
+    // 3. Telephone line events fan out to the device LOUD and bound
+    //    virtual devices.
+    fan_out_line_events(core);
+
+    // 4. Command queues of active roots, in stack order.
+    let roots: Vec<u32> = core.active_stack.clone();
+    for root in &roots {
+        if core.louds.get(root).map(|l| l.active) == Some(true) {
+            step_queue(core, *root, n8 as u64);
+        }
+    }
+
+    // 5. Continuous producers: microphones and telephone receive.
+    produce_continuous(core, quantum, t);
+
+    // 6. Wires (and intermediate devices) in topological order per tree.
+    for root in &roots {
+        if core.louds.get(root).map(|l| l.active) == Some(true) {
+            route_tree(core, *root, quantum, t);
+        }
+    }
+
+    // 7. Consumers: speakers, telephone transmit, recorders, recognizers.
+    consume(core, quantum, t, n8);
+
+    // 8. Advance time.
+    core.device_time += n8 as u64;
+    core.tick_index += 1;
+    core.stats.ticks += 1;
+    core.stats.busy += started.elapsed();
+}
+
+// ---------------------------------------------------------------------------
+// Line events
+// ---------------------------------------------------------------------------
+
+fn vdevs_bound_to_line(core: &Core, line: da_hw::pstn::LineId) -> Vec<u32> {
+    core.vdevs
+        .values()
+        .filter(|v| v.binding == Some(HwBinding::Line(line)))
+        .map(|v| v.id.0)
+        .collect()
+}
+
+fn fan_out_line_events(core: &mut Core) {
+    use da_hw::pstn::LineEvent;
+    let line_slots: Vec<(usize, da_hw::pstn::LineId)> = (0..core.hw.device_count())
+        .filter_map(|i| match core.hw.slot(i) {
+            Some(da_hw::registry::HwSlot::Line(l)) => Some((i, l)),
+            _ => None,
+        })
+        .collect();
+    for (dev_idx, line) in line_slots {
+        let events = core.hw.pstn.poll_events(line);
+        if events.is_empty() {
+            continue;
+        }
+        let bound = vdevs_bound_to_line(core, line);
+        for ev in events {
+            let (state, caller_id) = match &ev {
+                LineEvent::IncomingRing { caller_id } => (CallState::Ringing, caller_id.clone()),
+                LineEvent::Connected => (CallState::Connected, None),
+                LineEvent::Busy => (CallState::Busy, None),
+                LineEvent::NoAnswer => (CallState::NoAnswer, None),
+                LineEvent::RemoteHangup => (CallState::HungUp, None),
+            };
+            // Device-LOUD monitors (paper §5.9 footnote: an unmapped
+            // answering machine watches the device LOUD telephone).
+            core.send_event(
+                ResKey(3, dev_idx as u32),
+                Event::CallProgress {
+                    device: ResourceId::Device(da_proto::ids::DeviceId(dev_idx as u32)),
+                    state,
+                    caller_id: caller_id.clone(),
+                },
+            );
+            for &vid in &bound {
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::CallProgress {
+                        device: ResourceId::VDevice(VDeviceId(vid)),
+                        state,
+                        caller_id: caller_id.clone(),
+                    },
+                );
+            }
+            if matches!(ev, LineEvent::RemoteHangup) {
+                // Flag recorders in the same trees that terminate on
+                // hangup.
+                let roots: Vec<u32> =
+                    bound.iter().filter_map(|v| core.vdevs.get(v).map(|v| v.root)).collect();
+                for (_, v) in core.vdevs.iter_mut() {
+                    if roots.contains(&v.root) {
+                        if let Some(ActiveOp::Record { term, hangup_seen, .. }) = &mut v.op {
+                            if matches!(term, RecordTermination::OnHangup) {
+                                *hangup_seen = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue execution
+// ---------------------------------------------------------------------------
+
+fn step_queue(core: &mut Core, root: u32, budget_8k: u64) {
+    let state = match core.queue_mut(root) {
+        Some(q) => q.state,
+        None => return,
+    };
+    if state != QueueState::Started {
+        return;
+    }
+    if let Some(q) = core.queue_mut(root) {
+        q.relative_frames += budget_8k;
+    }
+    let mut budget = budget_8k;
+    loop {
+        // Ensure something is running.
+        let need_start = core
+            .queue_mut(root)
+            .map(|q| q.running.is_none() && !q.pending.is_empty())
+            .unwrap_or(false);
+        if need_start {
+            let node = core.queue_mut(root).and_then(|q| q.pending.pop_front());
+            if let Some(node) = node {
+                let run = start_node(core, root, node, budget);
+                if let Some(q) = core.queue_mut(root) {
+                    q.running = Some(run);
+                }
+            }
+        }
+        let Some(q) = core.queue_mut(root) else { return };
+        let Some(mut run) = q.running.take() else { return };
+        let consumed = step_node(core, root, &mut run, budget);
+        let done = run.done();
+        let Some(q) = core.queue_mut(root) else { return };
+        if !done {
+            q.running = Some(run);
+        }
+        // A command failure (e.g. Dial hit a busy line) stops the queue.
+        if core.queue_failures.contains(&root) {
+            core.queue_failures.retain(|&r| r != root);
+            stop_queue(core, root, QueueStopReason::Error);
+            return;
+        }
+        if done {
+            budget = budget.saturating_sub(consumed);
+            if budget == 0 {
+                return;
+            }
+            // Loop: start the successor within this tick (seamless).
+            let Some(q) = core.queue_mut(root) else { return };
+            if q.pending.is_empty() {
+                return;
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+/// Starts a parsed node, returning its run state. `budget` is the 8 kHz
+/// frame budget remaining in this tick (durational commands may begin
+/// producing immediately).
+fn start_node(core: &mut Core, root: u32, node: QNode, budget: u64) -> RunNode {
+    match node {
+        QNode::Cmd { vdev, cmd, index } => {
+            let mut run = RunNode::Cmd { vdev, cmd, index, state: CmdState::Waiting };
+            try_install(core, root, &mut run, budget);
+            run
+        }
+        QNode::Par(children) => {
+            let mut runs = Vec::with_capacity(children.len());
+            for c in children {
+                runs.push(start_node(core, root, c, budget));
+            }
+            RunNode::Par { children: runs }
+        }
+        QNode::DelaySeg { ms, body } => RunNode::Delay {
+            remaining: ms as u64 * 8,
+            body: body.into(),
+            current: None,
+        },
+    }
+}
+
+/// Attempts to install a waiting command on its device.
+fn try_install(core: &mut Core, root: u32, run: &mut RunNode, _budget: u64) {
+    let RunNode::Cmd { vdev, cmd, index, state } = run else { return };
+    if *state != CmdState::Waiting {
+        return;
+    }
+    let vid = vdev.0;
+    let Some(v) = core.vdevs.get(&vid) else {
+        // Device vanished: treat as done.
+        *state = CmdState::Done;
+        return;
+    };
+    if v.root != root {
+        *state = CmdState::Done;
+        return;
+    }
+    if cmd.instantaneous() {
+        let c = cmd.clone();
+        apply_instant(core, vid, &c);
+        *state = CmdState::Done;
+        emit_command_done(core, root, vid, *index);
+        return;
+    }
+    // Durational: the device must be free.
+    if core.vdevs.get(&vid).map(|v| v.op.is_some()) == Some(true) {
+        return; // stay Waiting
+    }
+    let op = make_op(core, vid, cmd);
+    match op {
+        Ok(Some(op)) => {
+            if let Some(v) = core.vdevs.get_mut(&vid) {
+                v.op = Some(op);
+                v.abort_op = false;
+            }
+            *state = CmdState::Running;
+        }
+        Ok(None) => {
+            // Completed instantly.
+            *state = CmdState::Done;
+            emit_command_done(core, root, vid, *index);
+        }
+        Err(()) => {
+            // Invalid command (bad sound id etc.): stop the queue.
+            *state = CmdState::Done;
+            stop_queue(core, root, QueueStopReason::Error);
+        }
+    }
+}
+
+/// Builds the active operation for a durational command.
+fn make_op(core: &mut Core, vid: u32, cmd: &DeviceCommand) -> Result<Option<ActiveOp>, ()> {
+    let Some(v) = core.vdevs.get(&vid) else { return Err(()) };
+    match cmd {
+        DeviceCommand::Play(sound) => {
+            let Some(s) = core.sounds.get(&sound.0) else { return Err(()) };
+            // The player emits at the sound's native rate; wires adapt
+            // toward the consuming device (paper §5.1: players convert
+            // sound data to the output port type).
+            let rate = s.stype.sample_rate;
+            let sid = sound.0;
+            if let Some(v) = core.vdevs.get_mut(&vid) {
+                v.rate = rate;
+            }
+            Ok(Some(ActiveOp::Play {
+                sound: sid,
+                pos: 0,
+                started: false,
+                underrun: 0,
+                last_sync: 0,
+            }))
+        }
+        DeviceCommand::Record(sound, term) => {
+            let Some(s) = core.sounds.get_mut(&sound.0) else { return Err(()) };
+            s.reset_for_recording();
+            let rate = s.stype.sample_rate;
+            let pause = match term {
+                RecordTermination::OnPause { threshold, min_silence_frames } => {
+                    PauseDetector::new(*threshold, *min_silence_frames)
+                }
+                _ => PauseDetector::new(0, u64::MAX),
+            };
+            let sid = sound.0;
+            let term = *term;
+            // Device controls select the optional recorder behaviours the
+            // paper lists as attributes (§5.1): AGC and pause compression.
+            let control_on = |v: &VDev, name: &str| {
+                core.atoms
+                    .lookup(name)
+                    .and_then(|a| v.controls.get(&a))
+                    .map(|val| !val.is_empty() && val[0] != 0)
+                    .unwrap_or(false)
+            };
+            let (agc, compress_pauses) = {
+                let v = core.vdevs.get(&vid).expect("checked");
+                let agc = if control_on(v, "AGC") {
+                    Some(Box::new(da_dsp::agc::Agc::new(rate, 16_000)))
+                } else {
+                    None
+                };
+                (agc, control_on(v, "PAUSE_COMPRESSION"))
+            };
+            if let Some(v) = core.vdevs.get_mut(&vid) {
+                v.rate = rate;
+            }
+            Ok(Some(ActiveOp::Record {
+                sound: sid,
+                frames: 0,
+                term,
+                pause,
+                skip: 0,
+                started: false,
+                hangup_seen: false,
+                last_sync: 0,
+                agc,
+                compress_pauses,
+            }))
+        }
+        DeviceCommand::Dial(number) => {
+            if v.class != DeviceClass::Telephone {
+                return Err(());
+            }
+            Ok(Some(ActiveOp::Dial { number: number.clone(), issued: false }))
+        }
+        DeviceCommand::Answer => {
+            if v.class != DeviceClass::Telephone {
+                return Err(());
+            }
+            Ok(Some(ActiveOp::Answer))
+        }
+        DeviceCommand::SpeakText(text) => {
+            let rendered = match &v.state {
+                ClassState::Synth(s) => s.speak(text),
+                _ => return Err(()),
+            };
+            Ok(Some(ActiveOp::Render { buf: rendered, pos: 0 }))
+        }
+        DeviceCommand::PlayNote(n) => {
+            let rendered = match &v.state {
+                ClassState::Music(m) => m.note(n.note, n.velocity, n.duration_ms),
+                _ => return Err(()),
+            };
+            Ok(Some(ActiveOp::Render { buf: rendered, pos: 0 }))
+        }
+        DeviceCommand::SendDtmf(digits) => {
+            if v.class != DeviceClass::Telephone {
+                return Err(());
+            }
+            let buf = da_dsp::dtmf::dial_string(v.rate, digits, 12000);
+            Ok(Some(ActiveOp::SendDtmf { buf, pos: 0 }))
+        }
+        _ => {
+            // Non-durational commands never reach here.
+            Ok(None)
+        }
+    }
+}
+
+/// Steps a running node within the tick budget (8 kHz frames); returns
+/// frames of budget consumed.
+fn step_node(core: &mut Core, root: u32, run: &mut RunNode, budget: u64) -> u64 {
+    match run {
+        RunNode::Cmd { .. } => {
+            let waiting = matches!(run, RunNode::Cmd { state: CmdState::Waiting, .. });
+            if waiting {
+                try_install(core, root, run, budget);
+            }
+            let RunNode::Cmd { vdev, index, state, .. } = run else { unreachable!() };
+            if *state != CmdState::Running {
+                return 0;
+            }
+            let vid = vdev.0;
+            let idx = *index;
+            let (consumed, done) = step_device_op(core, vid, budget);
+            if done {
+                *state = CmdState::Done;
+                emit_command_done(core, root, vid, idx);
+            }
+            consumed
+        }
+        RunNode::Par { children } => {
+            let mut max_consumed = 0;
+            for c in children.iter_mut() {
+                if !c.done() {
+                    let used = step_node(core, root, c, budget);
+                    max_consumed = max_consumed.max(used);
+                }
+            }
+            max_consumed
+        }
+        RunNode::Delay { remaining, body, current } => {
+            let mut used = 0;
+            if *remaining > 0 {
+                let wait = (*remaining).min(budget);
+                *remaining -= wait;
+                used += wait;
+                if *remaining > 0 {
+                    return used;
+                }
+            }
+            // Delay elapsed: run the body sequentially with the leftover
+            // budget.
+            let mut left = budget - used;
+            loop {
+                if current.is_none() {
+                    match body.pop_front() {
+                        Some(node) => {
+                            *current = Some(Box::new(start_node(core, root, node, left)))
+                        }
+                        None => break,
+                    }
+                }
+                let cur = current.as_mut().expect("just set");
+                let step_used = step_node(core, root, cur, left);
+                used += step_used;
+                left = left.saturating_sub(step_used);
+                if cur.done() {
+                    *current = None;
+                    if left == 0 {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            used
+        }
+    }
+}
+
+/// A lightweight classification of the op on a device, snapshotted so the
+/// mutable borrow of the device does not overlap other core accesses.
+enum OpSnap {
+    Play { sound: u32, pos: u64, started: bool },
+    Render,
+    Record { started: bool, sound: u32 },
+    Dial { number: String, issued: bool },
+    Answer,
+    SendDtmf,
+}
+
+/// Steps the active operation on one device. Returns (budget consumed in
+/// 8 kHz frames, completed). Queue-stopping failures (a dial that got
+/// busy) are pushed onto `core.queue_failures`.
+fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
+    // Snapshot scalar device state first; all borrows are sequential.
+    let (abort, paused, rate, gain, sync_every, binding, root) = {
+        let Some(v) = core.vdevs.get(&vid) else { return (0, true) };
+        (
+            v.abort_op,
+            v.paused,
+            v.rate.max(1) as u64,
+            v.gain_milli,
+            v.sync_every(),
+            v.binding,
+            v.root,
+        )
+    };
+    if abort {
+        let op = {
+            let v = core.vdevs.get_mut(&vid).expect("checked");
+            v.abort_op = false;
+            v.op.take()
+        };
+        finish_aborted_op(core, vid, op);
+        return (0, true);
+    }
+    if paused {
+        // Paused devices hold position but consume real time.
+        return (budget, false);
+    }
+    let demand = budget * rate / 8000;
+    let snap = {
+        let Some(v) = core.vdevs.get(&vid) else { return (0, true) };
+        match &v.op {
+            None => return (0, true),
+            Some(ActiveOp::Play { sound, pos, started, .. }) => {
+                OpSnap::Play { sound: *sound, pos: *pos, started: *started }
+            }
+            Some(ActiveOp::Render { .. }) => OpSnap::Render,
+            Some(ActiveOp::Record { started, sound, .. }) => {
+                OpSnap::Record { started: *started, sound: *sound }
+            }
+            Some(ActiveOp::Dial { number, issued }) => {
+                OpSnap::Dial { number: number.clone(), issued: *issued }
+            }
+            Some(ActiveOp::Answer) => OpSnap::Answer,
+            Some(ActiveOp::SendDtmf { .. }) => OpSnap::SendDtmf,
+        }
+    };
+    match snap {
+        OpSnap::Play { sound: sid, pos: from, started: was_started } => {
+            let Some(snd) = core.sounds.get(&sid) else {
+                if let Some(v) = core.vdevs.get_mut(&vid) {
+                    v.op = None;
+                }
+                return (0, true);
+            };
+            let avail = snd.len_frames();
+            let complete = snd.complete;
+            let want = demand.min(avail.saturating_sub(from));
+            let mut samples = snd.decode_frames(from, want);
+            let got = samples.len() as u64;
+            da_dsp::gain::apply(&mut samples, gain);
+            let mut missing = 0u64;
+            let mut finished = false;
+            // Budget consumed in real time; position only advances over
+            // data actually played.
+            let mut budget_frames = got;
+            if got < demand {
+                if complete {
+                    finished = true;
+                } else {
+                    // Streaming underrun: substitute silence for the rest
+                    // of the tick and *wait* — the stream position holds
+                    // so late data still plays (paper §6.2: the client
+                    // trades buffering against latency; the server keeps
+                    // the clock honest and reports the starvation).
+                    missing = demand - got;
+                    samples.extend(std::iter::repeat_n(0, missing as usize));
+                    budget_frames = demand;
+                }
+            }
+            let new_pos = from + got;
+            let mut sync_pos = None;
+            {
+                let v = core.vdevs.get_mut(&vid).expect("checked");
+                v.src_bufs[0].extend(samples.iter().copied());
+                if let Some(ActiveOp::Play { pos, started, underrun, last_sync, .. }) =
+                    v.op.as_mut()
+                {
+                    *pos = new_pos;
+                    *started = true;
+                    *underrun += missing;
+                    if new_pos.saturating_sub(*last_sync) >= sync_every {
+                        *last_sync = new_pos;
+                        sync_pos = Some(new_pos);
+                    }
+                }
+                if finished {
+                    v.op = None;
+                }
+            }
+            if !was_started {
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::PlayStarted { vdev: VDeviceId(vid), sound: SoundId(sid) },
+                );
+            }
+            if missing > 0 {
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::SoundUnderrun {
+                        vdev: VDeviceId(vid),
+                        sound: SoundId(sid),
+                        missing_frames: missing,
+                    },
+                );
+            }
+            if let Some(p) = sync_pos {
+                let dt = core.device_time;
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::SyncMark {
+                        vdev: VDeviceId(vid),
+                        sound: Some(SoundId(sid)),
+                        position: p,
+                        device_time: dt,
+                    },
+                );
+            }
+            (budget_frames * 8000 / rate, finished)
+        }
+        OpSnap::Render => {
+            let (mut chunk, finished) = {
+                let v = core.vdevs.get_mut(&vid).expect("checked");
+                let Some(ActiveOp::Render { buf, pos }) = v.op.as_mut() else {
+                    return (0, true);
+                };
+                let want = (demand as usize).min(buf.len() - *pos);
+                let chunk: Vec<i16> = buf[*pos..*pos + want].to_vec();
+                *pos += want;
+                (chunk, *pos >= buf.len())
+            };
+            let want = chunk.len();
+            da_dsp::gain::apply(&mut chunk, gain);
+            {
+                let v = core.vdevs.get_mut(&vid).expect("checked");
+                v.src_bufs[0].extend(chunk);
+                if finished {
+                    v.op = None;
+                }
+            }
+            (want as u64 * 8000 / rate, finished)
+        }
+        OpSnap::Record { started, sound: sid } => {
+            if !started {
+                // Frames of this tick that elapsed before we started:
+                // skip them so the recording begins exactly at the seam.
+                let n8 = frames_this_tick(8000, core.config.quantum_us, core.tick_index) as u64;
+                let skip_frames = (n8 - budget.min(n8)) * rate / 8000;
+                {
+                    let v = core.vdevs.get_mut(&vid).expect("checked");
+                    if let Some(ActiveOp::Record { started, skip, .. }) = v.op.as_mut() {
+                        *started = true;
+                        *skip = skip_frames;
+                    }
+                }
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::RecordStarted { vdev: VDeviceId(vid), sound: SoundId(sid) },
+                );
+                return (budget, false);
+            }
+            let done = core.vdevs.get(&vid).map(record_should_stop).unwrap_or(true);
+            if done {
+                let op = core.vdevs.get_mut(&vid).and_then(|v| v.op.take());
+                finish_record(core, vid, op, RecordStopReason::Manual);
+                (0, true)
+            } else {
+                (budget, false)
+            }
+        }
+        OpSnap::Dial { number, issued } => {
+            let line = match binding {
+                Some(HwBinding::Line(l)) => l,
+                _ => {
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    return (0, true);
+                }
+            };
+            if !issued {
+                core.hw.pstn.off_hook(line);
+                core.hw.pstn.dial(line, &number);
+                if let Some(v) = core.vdevs.get_mut(&vid) {
+                    if let Some(ActiveOp::Dial { issued, .. }) = v.op.as_mut() {
+                        *issued = true;
+                    }
+                }
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::CallProgress {
+                        device: ResourceId::VDevice(VDeviceId(vid)),
+                        state: CallState::Dialing,
+                        caller_id: None,
+                    },
+                );
+                return (0, false);
+            }
+            match core.hw.pstn.state(line) {
+                da_hw::pstn::LineState::Connected => {
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    (0, true)
+                }
+                da_hw::pstn::LineState::HearingBusy => {
+                    // Busy or no answer: the command fails and the queue
+                    // stops with an error.
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    core.queue_failures.push(root);
+                    (0, true)
+                }
+                _ => (budget, false),
+            }
+        }
+        OpSnap::Answer => {
+            let line = match binding {
+                Some(HwBinding::Line(l)) => l,
+                _ => {
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    return (0, true);
+                }
+            };
+            match core.hw.pstn.state(line) {
+                da_hw::pstn::LineState::Ringing => {
+                    core.hw.pstn.answer(line);
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    core.send_event(
+                        ResKey(1, vid),
+                        Event::CallProgress {
+                            device: ResourceId::VDevice(VDeviceId(vid)),
+                            state: CallState::Connected,
+                            caller_id: None,
+                        },
+                    );
+                    (0, true)
+                }
+                da_hw::pstn::LineState::Connected => {
+                    if let Some(v) = core.vdevs.get_mut(&vid) {
+                        v.op = None;
+                    }
+                    (0, true)
+                }
+                _ => (budget, false),
+            }
+        }
+        OpSnap::SendDtmf => {
+            // Tones are overlaid onto the transmit path in the consume
+            // phase; here we only track duration and handle the no-call
+            // case (advance so the command cannot wedge the queue).
+            let line_connected = match binding {
+                Some(HwBinding::Line(l)) => {
+                    core.hw.pstn.state(l) == da_hw::pstn::LineState::Connected
+                }
+                _ => false,
+            };
+            let (want, finished) = {
+                let v = core.vdevs.get_mut(&vid).expect("checked");
+                let Some(ActiveOp::SendDtmf { buf, pos }) = v.op.as_mut() else {
+                    return (0, true);
+                };
+                let want = (demand as usize).min(buf.len() - *pos);
+                if !line_connected {
+                    *pos += want;
+                }
+                let finished = *pos >= buf.len();
+                if finished {
+                    v.op = None;
+                }
+                (want, finished)
+            };
+            (want as u64 * 8000 / rate, finished)
+        }
+    }
+}
+
+fn record_should_stop(v: &VDev) -> bool {
+    match &v.op {
+        Some(ActiveOp::Record { term, frames, pause, hangup_seen, .. }) => match term {
+            RecordTermination::Manual => false,
+            RecordTermination::MaxFrames(n) => frames >= n,
+            RecordTermination::OnPause { .. } => pause.triggered(),
+            RecordTermination::OnHangup => *hangup_seen,
+        },
+        _ => false,
+    }
+}
+
+fn finish_record(core: &mut Core, vid: u32, op: Option<ActiveOp>, fallback: RecordStopReason) {
+    if let Some(ActiveOp::Record {
+        sound, frames, term, pause, hangup_seen, compress_pauses, ..
+    }) = op
+    {
+        let mut frames = frames;
+        if let Some(s) = core.sounds.get_mut(&sound) {
+            if compress_pauses && !s.data.is_empty() {
+                // Paper §5.1: the recorder "can compress the recorded
+                // audio by removing pauses". Keep 250 ms of each pause.
+                let stype = s.stype;
+                let pcm = s.decode_frames(0, s.len_frames());
+                let max_pause = (stype.sample_rate / 4) as usize;
+                let squeezed = da_dsp::silence::compress_pauses(&pcm, 300, max_pause);
+                frames = squeezed.len() as u64;
+                s.data = da_dsp::convert::encode_from_pcm16(
+                    crate::sound::pcm_encoding(stype.encoding),
+                    &squeezed,
+                );
+            }
+            s.complete = true;
+        }
+        let reason = match term {
+            RecordTermination::MaxFrames(n) if frames >= n => RecordStopReason::MaxFrames,
+            RecordTermination::OnPause { .. } if pause.triggered() => {
+                RecordStopReason::PauseDetected
+            }
+            RecordTermination::OnHangup if hangup_seen => RecordStopReason::Hangup,
+            _ => fallback,
+        };
+        core.send_event(
+            ResKey(1, vid),
+            Event::RecordStopped {
+                vdev: VDeviceId(vid),
+                sound: SoundId(sound),
+                reason,
+                frames,
+            },
+        );
+    }
+}
+
+fn finish_aborted_op(core: &mut Core, vid: u32, op: Option<ActiveOp>) {
+    finish_record(core, vid, op, RecordStopReason::Manual);
+}
+
+fn emit_command_done(core: &mut Core, root: u32, vid: u32, index: u32) {
+    let at = core.device_time;
+    core.send_event(
+        ResKey(0, root),
+        Event::CommandDone {
+            loud: LoudId(root),
+            vdev: VDeviceId(vid),
+            index,
+            at_frame: at,
+        },
+    );
+}
+
+/// Stops a queue with a reason, aborting running device operations.
+pub fn stop_queue(core: &mut Core, root: u32, reason: QueueStopReason) {
+    let running = core.queue_mut(root).and_then(|q| q.running.take());
+    if let Some(run) = running {
+        let mut devices = Vec::new();
+        run.running_devices(&mut devices);
+        for d in devices {
+            let op = core.vdevs.get_mut(&d.0).and_then(|v| {
+                v.clear_ports();
+                v.op.take()
+            });
+            finish_aborted_op(core, d.0, op);
+        }
+    }
+    if let Some(q) = core.queue_mut(root) {
+        q.state = QueueState::Stopped;
+    }
+    core.send_event(ResKey(0, root), Event::QueueStopped { loud: LoudId(root), reason });
+}
+
+// ---------------------------------------------------------------------------
+// Continuous producers
+// ---------------------------------------------------------------------------
+
+fn produce_continuous(core: &mut Core, quantum: u64, tick: u64) {
+    let active_vdevs: Vec<u32> = core
+        .vdevs
+        .values()
+        .filter(|v| v.binding.is_some())
+        .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
+        .map(|v| v.id.0)
+        .collect();
+    for vid in active_vdevs {
+        let Some(v) = core.vdevs.get(&vid) else { continue };
+        if v.paused {
+            continue;
+        }
+        match (v.class, v.binding) {
+            (DeviceClass::Input, Some(HwBinding::Microphone(m))) => {
+                let rate = v.rate;
+                let gain = v.gain_milli;
+                let n = frames_this_tick(rate, quantum, tick);
+                let mut samples = core.hw.microphones[m].pull(n);
+                da_dsp::gain::apply(&mut samples, gain);
+                if let Some(v) = core.vdevs.get_mut(&vid) {
+                    if !v.src_bufs.is_empty() {
+                        v.src_bufs[0].extend(samples);
+                    }
+                }
+            }
+            (DeviceClass::Telephone, Some(HwBinding::Line(l))) => {
+                let n = frames_this_tick(da_hw::pstn::LINE_RATE, quantum, tick);
+                let samples = core.hw.pstn.read_rx(l, n);
+                // In-band DTMF detection on received audio.
+                let digits = {
+                    let Some(v) = core.vdevs.get_mut(&vid) else { continue };
+                    let digits = match &mut v.state {
+                        ClassState::Telephone(t) => t.dtmf.push(&samples),
+                        _ => Vec::new(),
+                    };
+                    if !v.src_bufs.is_empty() {
+                        v.src_bufs[0].extend(samples.iter().copied());
+                    }
+                    digits
+                };
+                for d in digits {
+                    core.send_event(
+                        ResKey(1, vid),
+                        Event::DtmfReceived {
+                            device: ResourceId::VDevice(VDeviceId(vid)),
+                            digit: d,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire routing
+// ---------------------------------------------------------------------------
+
+/// Topological order of the virtual devices in a tree (wires define the
+/// edges). Cycles are prevented at `CreateWire`.
+fn topo_order(core: &Core, root: u32) -> Vec<u32> {
+    let vdevs = core.tree_vdevs(root);
+    let set: std::collections::HashSet<u32> = vdevs.iter().copied().collect();
+    let mut indegree: std::collections::HashMap<u32, usize> =
+        vdevs.iter().map(|&v| (v, 0)).collect();
+    for w in core.wires.values() {
+        if set.contains(&w.src.0) && set.contains(&w.dst.0) {
+            *indegree.entry(w.dst.0).or_insert(0) += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<u32> = vdevs
+        .iter()
+        .copied()
+        .filter(|v| indegree.get(v).copied().unwrap_or(0) == 0)
+        .collect();
+    let mut order = Vec::with_capacity(vdevs.len());
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for w in core.wires.values() {
+            if w.src.0 == v && set.contains(&w.dst.0) {
+                let e = indegree.get_mut(&w.dst.0).expect("present");
+                *e -= 1;
+                if *e == 0 {
+                    queue.push_back(w.dst.0);
+                }
+            }
+        }
+    }
+    order
+}
+
+fn route_tree(core: &mut Core, root: u32, quantum: u64, tick: u64) {
+    let order = topo_order(core, root);
+    for vid in order {
+        // Intermediate devices transform sinks to sources first.
+        process_intermediate(core, vid, quantum, tick);
+        // Then push along outgoing wires. A source port may feed several
+        // wires (fan-out): drain it once and deliver the same samples to
+        // every wire, in stable (wire-id) order.
+        let src_rate = core.vdevs.get(&vid).map(|v| v.rate).unwrap_or(8000);
+        let n_ports = core.vdevs.get(&vid).map(|v| v.src_bufs.len()).unwrap_or(0);
+        for port in 0..n_ports as u8 {
+            let mut wire_ids: Vec<u32> = core
+                .wires
+                .values()
+                .filter(|w| w.src.0 == vid && w.src_port == port)
+                .map(|w| w.id.0)
+                .collect();
+            if wire_ids.is_empty() {
+                continue;
+            }
+            wire_ids.sort_unstable();
+            let samples: Vec<i16> = match core.vdevs.get_mut(&vid) {
+                Some(v) => v.src_bufs[port as usize].drain(..).collect(),
+                None => continue,
+            };
+            for wid in wire_ids {
+                let Some(w) = core.wires.get(&wid) else { continue };
+                let (dst, dst_port) = (w.dst.0, w.dst_port);
+                let dst_rate = core.vdevs.get(&dst).map(|v| v.rate).unwrap_or(8000);
+                let out = match core.wires.get_mut(&wid) {
+                    Some(w) => w.transfer(&samples, src_rate, dst_rate),
+                    None => continue,
+                };
+                if let Some(v) = core.vdevs.get_mut(&dst) {
+                    if (dst_port as usize) < v.sink_bufs.len() {
+                        v.sink_bufs[dst_port as usize].extend(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn process_intermediate(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
+    let Some(v) = core.vdevs.get_mut(&vid) else { return };
+    if v.paused {
+        return;
+    }
+    let demand = frames_this_tick(v.rate, quantum, tick);
+    match &mut v.state {
+        ClassState::Mixer { gains } => {
+            let gains = gains.clone();
+            let mut mix = vec![0i32; demand];
+            for (port, pct) in gains.iter().enumerate() {
+                if port >= v.sink_bufs.len() {
+                    break;
+                }
+                let buf = &mut v.sink_bufs[port];
+                for slot in mix.iter_mut() {
+                    match buf.pop_front() {
+                        Some(s) => *slot += s as i32 * *pct as i32 / 100,
+                        None => break,
+                    }
+                }
+            }
+            let gain = v.gain_milli;
+            let mut out: Vec<i16> = mix
+                .into_iter()
+                .map(|s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+                .collect();
+            da_dsp::gain::apply(&mut out, gain);
+            if !v.src_bufs.is_empty() {
+                v.src_bufs[0].extend(out);
+            }
+        }
+        ClassState::Crossbar { routes } => {
+            let routes = routes.clone();
+            let n_sinks = v.sink_bufs.len();
+            let n_srcs = v.src_bufs.len();
+            let mut inputs: Vec<Vec<i16>> = Vec::with_capacity(n_sinks);
+            for port in 0..n_sinks {
+                let take = v.sink_bufs[port].len().min(demand);
+                inputs.push(v.sink_bufs[port].drain(..take).collect());
+            }
+            let mut outputs = vec![vec![0i32; demand]; n_srcs];
+            for (i, o) in routes {
+                let (i, o) = (i as usize, o as usize);
+                if i >= inputs.len() || o >= outputs.len() {
+                    continue;
+                }
+                for (k, &s) in inputs[i].iter().enumerate() {
+                    if k < outputs[o].len() {
+                        outputs[o][k] += s as i32;
+                    }
+                }
+            }
+            for (port, out) in outputs.into_iter().enumerate() {
+                let clipped: Vec<i16> = out
+                    .into_iter()
+                    .map(|s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+                    .collect();
+                v.src_bufs[port].extend(clipped);
+            }
+        }
+        ClassState::Dsp { effect } => {
+            // The extension point for new signal-processing algorithms
+            // (paper §5.1 leaves DSP commands unspecified; the EFFECT
+            // device control selects behaviour).
+            let take = v.sink_bufs.first().map(|b| b.len()).unwrap_or(0);
+            if take > 0 && !v.src_bufs.is_empty() {
+                let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+                match effect {
+                    crate::vdevice::DspEffect::PassThrough => {}
+                    crate::vdevice::DspEffect::Echo(e) => e.process(&mut data),
+                    crate::vdevice::DspEffect::LowPass(lp) => lp.process(&mut data),
+                }
+                da_dsp::gain::apply(&mut data, v.gain_milli);
+                v.src_bufs[0].extend(data);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers
+// ---------------------------------------------------------------------------
+
+fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
+    // Speaker accumulators: (samples, fed, starved).
+    let n_speakers = core.hw.speakers.len();
+    let mut speaker_acc: Vec<Vec<i32>> = Vec::with_capacity(n_speakers);
+    let mut speaker_fed: Vec<bool> = vec![false; n_speakers];
+    for s in 0..n_speakers {
+        let rate = core.hw.speakers[s].rate();
+        let ch = core.hw.speakers[s].channels().max(1) as usize;
+        let frames = frames_this_tick(rate, quantum, tick);
+        speaker_acc.push(vec![0i32; frames * ch]);
+    }
+
+    let active_vdevs: Vec<u32> = core
+        .vdevs
+        .values()
+        .filter(|v| v.binding.is_some())
+        .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
+        .map(|v| v.id.0)
+        .collect();
+
+    for vid in active_vdevs {
+        let Some(v) = core.vdevs.get(&vid) else { continue };
+        if v.paused {
+            continue;
+        }
+        match (v.class, v.binding) {
+            (DeviceClass::Output, Some(HwBinding::Speaker(s))) => {
+                let rate = v.rate;
+                let ch = core.hw.speakers[s].channels().max(1) as usize;
+                let frames = frames_this_tick(rate, quantum, tick);
+                let gain = v.gain_milli;
+                let Some(v) = core.vdevs.get_mut(&vid) else { continue };
+                let had = v.sink_bufs[0].len();
+                if had == 0 {
+                    continue;
+                }
+                let take = had.min(frames);
+                let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+                da_dsp::gain::apply(&mut data, gain);
+                speaker_fed[s] = true;
+                // Mono sources fan out to every channel.
+                let acc = &mut speaker_acc[s];
+                for (i, &sample) in data.iter().enumerate() {
+                    for c in 0..ch {
+                        let idx = i * ch + c;
+                        if idx < acc.len() {
+                            acc[idx] += sample as i32;
+                        }
+                    }
+                }
+            }
+            (DeviceClass::Telephone, Some(HwBinding::Line(l))) => {
+                let frames = frames_this_tick(da_hw::pstn::LINE_RATE, quantum, tick);
+                let Some(v) = core.vdevs.get_mut(&vid) else { continue };
+                let mut data = v.drain_sink(0, frames);
+                // Overlay in-flight DTMF.
+                let mut dtmf_done = false;
+                if let Some(ActiveOp::SendDtmf { buf, pos }) = &mut v.op {
+                    let want = frames.min(buf.len() - *pos);
+                    let chunk = &buf[*pos..*pos + want];
+                    da_dsp::mix::mix_into(&mut data[..want], chunk, 100);
+                    *pos += want;
+                    dtmf_done = *pos >= buf.len();
+                }
+                if dtmf_done {
+                    // Leave op present but exhausted; the queue's step
+                    // observes completion via step_device_op.
+                }
+                core.hw.pstn.write_tx(l, &data);
+            }
+            (DeviceClass::Recorder, _) => {
+                consume_recorder(core, vid, quantum, tick);
+            }
+            (DeviceClass::SpeechRecognizer, _) => {
+                let Some(v) = core.vdevs.get_mut(&vid) else { continue };
+                let data: Vec<i16> = v.sink_bufs[0].drain(..).collect();
+                if data.is_empty() {
+                    continue;
+                }
+                let results = match &mut v.state {
+                    ClassState::Recognizer(r) => r.push(&data),
+                    _ => Vec::new(),
+                };
+                for r in results {
+                    core.send_event(
+                        ResKey(1, vid),
+                        Event::WordRecognized {
+                            vdev: VDeviceId(vid),
+                            word: r.word,
+                            score: r.score,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Deliver accumulated audio to speakers.
+    for (s, acc) in speaker_acc.into_iter().enumerate() {
+        let data: Vec<i16> = acc
+            .into_iter()
+            .map(|v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+            .collect();
+        let frames = data.len() as u64 / core.hw.speakers[s].channels().max(1) as u64;
+        core.hw.speakers[s].render(&data, speaker_fed[s], 0);
+        core.stats.speaker_frames += frames;
+    }
+}
+
+fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
+    let Some(v) = core.vdevs.get_mut(&vid) else { return };
+    if v.op.is_none() {
+        // Not recording: discard arriving audio so a later Record starts
+        // from the seam, not from stale buffered input.
+        v.sink_bufs[0].clear();
+        return;
+    }
+    let rate = v.rate;
+    let demand = frames_this_tick(rate, quantum, tick);
+    let avail = v.sink_bufs[0].len();
+    let take = avail.min(demand + 8); // drain small resampling leads too
+    if take == 0 {
+        return;
+    }
+    let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+    let (sid, sync_every) = {
+        let sync_every = v.sync_every();
+        match &mut v.op {
+            Some(ActiveOp::Record { sound, skip, frames, term, agc, .. }) => {
+                if *skip > 0 {
+                    let drop = (*skip as usize).min(data.len());
+                    data.drain(..drop);
+                    *skip -= drop as u64;
+                }
+                // MaxFrames terminations are sample-exact: clamp the
+                // chunk to the remaining allowance.
+                if let RecordTermination::MaxFrames(n) = term {
+                    let left = n.saturating_sub(*frames) as usize;
+                    data.truncate(left);
+                }
+                if let Some(agc) = agc {
+                    agc.process(&mut data);
+                }
+                (*sound, sync_every)
+            }
+            _ => return,
+        }
+    };
+    if data.is_empty() {
+        return;
+    }
+    let mut sync_pos = None;
+    let stype = match core.sounds.get(&sid) {
+        Some(s) => s.stype,
+        None => return,
+    };
+    let encoded = da_dsp::convert::encode_from_pcm16(pcm_encoding(stype.encoding), &data);
+    if let Some(s) = core.sounds.get_mut(&sid) {
+        s.data.extend_from_slice(&encoded);
+    }
+    let mut reached_limit = false;
+    if let Some(v) = core.vdevs.get_mut(&vid) {
+        if let Some(ActiveOp::Record { frames, pause, last_sync, term, .. }) = &mut v.op {
+            *frames += data.len() as u64;
+            pause.push(&data);
+            if let RecordTermination::MaxFrames(n) = term {
+                reached_limit = *frames >= *n;
+            }
+            if frames.saturating_sub(*last_sync) >= sync_every {
+                *last_sync = *frames;
+                sync_pos = Some(*frames);
+            }
+        }
+    }
+    if let Some(p) = sync_pos {
+        let dt = core.device_time;
+        core.send_event(
+            ResKey(1, vid),
+            Event::SyncMark {
+                vdev: VDeviceId(vid),
+                sound: Some(SoundId(sid)),
+                position: p,
+                device_time: dt,
+            },
+        );
+    }
+    if reached_limit {
+        // Finish immediately so the frame count is exact; the queue
+        // observes completion at its next step.
+        let op = core.vdevs.get_mut(&vid).and_then(|v| v.op.take());
+        finish_record(core, vid, op, RecordStopReason::MaxFrames);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Immediate commands (paper §5.1 immediate mode)
+// ---------------------------------------------------------------------------
+
+/// Applies an instantaneous (or immediate-mode) command to a device.
+/// Returns `false` if the command does not apply to the device's class.
+pub fn apply_instant(core: &mut Core, vid: u32, cmd: &DeviceCommand) -> bool {
+    let Some(v) = core.vdevs.get_mut(&vid) else { return false };
+    match cmd {
+        DeviceCommand::Stop => {
+            let op = v.op.take();
+            v.abort_op = false;
+            v.clear_ports();
+            // A telephone Stop hangs up (paper §5.1 telephone commands).
+            if let Some(HwBinding::Line(l)) = v.binding {
+                core.hw.pstn.on_hook(l);
+                finish_aborted_op(core, vid, op);
+                core.send_event(
+                    ResKey(1, vid),
+                    Event::CallProgress {
+                        device: ResourceId::VDevice(VDeviceId(vid)),
+                        state: CallState::HungUp,
+                        caller_id: None,
+                    },
+                );
+            } else {
+                finish_aborted_op(core, vid, op);
+            }
+            true
+        }
+        DeviceCommand::Pause => {
+            v.paused = true;
+            true
+        }
+        DeviceCommand::Resume => {
+            v.paused = false;
+            true
+        }
+        DeviceCommand::ChangeGain(g) => {
+            v.gain_milli = *g;
+            true
+        }
+        DeviceCommand::SetMixGain { input, percent } => match &mut v.state {
+            ClassState::Mixer { gains } => {
+                if let Some(g) = gains.get_mut(*input as usize) {
+                    *g = (*percent).min(100);
+                }
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SetTextLanguage(lang) => match &mut v.state {
+            ClassState::Synth(s) => {
+                s.set_language(lang);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SetVoiceValues { rate_wpm, pitch_hz } => match &mut v.state {
+            ClassState::Synth(s) => {
+                s.set_values(*rate_wpm, *pitch_hz);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SetExceptionList(list) => match &mut v.state {
+            ClassState::Synth(s) => {
+                s.set_exception_list(list);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::Train { word, template } => {
+            let tid = template.0;
+            let word = word.clone();
+            let samples = match core.sounds.get(&tid) {
+                Some(s) => s.decode_frames(0, s.len_frames()),
+                None => return false,
+            };
+            let Some(v) = core.vdevs.get_mut(&vid) else { return false };
+            match &mut v.state {
+                ClassState::Recognizer(r) => {
+                    r.train(&word, &samples);
+                    true
+                }
+                _ => false,
+            }
+        }
+        DeviceCommand::SetVocabulary(words) => match &mut v.state {
+            ClassState::Recognizer(r) => {
+                r.set_vocabulary(words);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::AdjustContext(bias) => match &mut v.state {
+            ClassState::Recognizer(r) => {
+                r.adjust_context(*bias);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SaveVocabulary(name) => {
+            let blob = match &v.state {
+                ClassState::Recognizer(r) => r.save(),
+                _ => return false,
+            };
+            let name = name.clone();
+            core.catalogs.insert(
+                "vocabularies",
+                &name,
+                da_proto::types::SoundType::TELEPHONE,
+                blob,
+            );
+            true
+        }
+        DeviceCommand::SetVoice(voice) => match &mut v.state {
+            ClassState::Music(m) => m.set_voice(voice),
+            _ => false,
+        },
+        DeviceCommand::SetMusicState { tempo_bpm } => match &mut v.state {
+            ClassState::Music(m) => {
+                m.set_tempo(*tempo_bpm);
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SetRoutes(routes) => match &mut v.state {
+            ClassState::Crossbar { routes: r } => {
+                for route in routes {
+                    if route.connected {
+                        r.insert((route.input, route.output));
+                    } else {
+                        r.remove(&(route.input, route.output));
+                    }
+                }
+                true
+            }
+            _ => false,
+        },
+        DeviceCommand::SendDtmf(digits) => {
+            // Immediate DTMF: install or extend the overlay.
+            if v.class != DeviceClass::Telephone {
+                return false;
+            }
+            let tones = da_dsp::dtmf::dial_string(v.rate, digits, 12000);
+            match &mut v.op {
+                Some(ActiveOp::SendDtmf { buf, .. }) => buf.extend(tones),
+                Some(_) => return false,
+                None => v.op = Some(ActiveOp::SendDtmf { buf: tones, pos: 0 }),
+            }
+            true
+        }
+        // Queued-only commands are rejected by the dispatcher before this
+        // point.
+        _ => false,
+    }
+}

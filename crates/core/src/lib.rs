@@ -1,0 +1,50 @@
+//! The desktop-audio server.
+//!
+//! A Rust reproduction of the audio/telephony server from *Integrating
+//! Audio and Telephony in a Distributed Workstation Environment* (USENIX
+//! Summer 1991): a single server process that owns the workstation's
+//! audio hardware, shared by many simultaneous clients over the protocol
+//! in [`da_proto`].
+//!
+//! Start one with [`server::AudioServer::start`]:
+//!
+//! ```
+//! use da_server::core::ServerConfig;
+//! use da_server::server::AudioServer;
+//!
+//! let server = AudioServer::start(ServerConfig::default()).unwrap();
+//! let _conn = server.connect_pipe(); // hand to da-alib
+//! server.shutdown();
+//! ```
+//!
+//! Modules map onto the paper's structures:
+//!
+//! - [`transport`] — the reliable byte stream of §4.1 (TCP and in-proc);
+//! - [`atoms`], [`sound`] — atoms, sounds and catalogues (§5.6, §5.8);
+//! - [`loud`], [`vdevice`], [`wire`] — LOUD trees, virtual devices and
+//!   wires (§5.1–5.3);
+//! - [`queue`] — command queues with `CoBegin`/`Delay` brackets (§5.5);
+//! - [`core`] — resources, mapping, the active stack (§5.4), ambient
+//!   domains and redirection (§5.8);
+//! - [`engine`] — the per-quantum streaming engine with seamless
+//!   command transitions (§6.2);
+//! - [`dispatch`] — request execution (§4.1);
+//! - [`server`] — the thread architecture (§6.1).
+
+pub mod atoms;
+pub mod core;
+pub mod dispatch;
+pub mod engine;
+pub mod loud;
+pub mod queue;
+pub mod server;
+pub mod sound;
+
+pub mod vdevice;
+
+/// Byte-stream transports (re-exported from [`da_proto::transport`]).
+pub use da_proto::transport;
+pub mod wire;
+
+pub use crate::core::{Core, ServerConfig};
+pub use crate::server::{AudioServer, ServerControl};

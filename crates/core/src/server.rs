@@ -1,0 +1,397 @@
+//! The audio server process: threads, connections, lifecycle.
+//!
+//! Mirrors the paper's thread architecture (§6.1) in spirit: a
+//! **connection manager** accepts clients at a well-known port and keeps a
+//! container object per connection; each client gets a **reader** thread
+//! (decode → dispatch) and a **writer** thread (drain the client's
+//! message channel); the **engine** thread steps devices once per
+//! quantum. Virtual devices and data sources/sinks — separate threads in
+//! the 1991 prototype — run as state machines inside the engine tick,
+//! which makes the streaming guarantees deterministic (see DESIGN.md).
+
+use crate::core::{Core, ServerConfig, ServerMsg};
+use crate::dispatch::dispatch;
+use crate::engine;
+use da_proto::transport::{pipe_pair, Duplex, TransportError};
+use bytes::Bytes;
+use crossbeam::channel::unbounded;
+use da_hw::clock::Pacer;
+use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
+use da_proto::{Request, SetupReply, SetupRequest, WireRead, WireWrite};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running audio server.
+pub struct AudioServer {
+    core: Arc<Mutex<Core>>,
+    shutdown: Arc<AtomicBool>,
+    engine: Option<std::thread::JoinHandle<()>>,
+    listener: Option<std::thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl AudioServer {
+    /// Starts a server with the given configuration.
+    pub fn start(config: ServerConfig) -> std::io::Result<AudioServer> {
+        let pacing = config.pacing;
+        let quantum = config.quantum_us;
+        let manual = config.manual_ticks;
+        let tcp = match &config.tcp_addr {
+            Some(addr) => Some(TcpListener::bind(addr.as_str())?),
+            None => None,
+        };
+        let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
+        let core = Arc::new(Mutex::new(Core::new(config)));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        // Engine thread (absent in manual-tick mode).
+        let engine = if manual {
+            None
+        } else {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            Some(std::thread::Builder::new().name("da-engine".into()).spawn(move || {
+                let mut pacer = Pacer::new(pacing, quantum);
+                while !shutdown.load(Ordering::Relaxed) {
+                    pacer.wait_tick();
+                    {
+                        let mut core = core.lock();
+                        engine::tick(&mut core);
+                    }
+                    // In virtual pacing give dispatch threads a chance at
+                    // the lock.
+                    std::thread::yield_now();
+                }
+            })?)
+        };
+
+        // Connection-manager thread ("a daemon at a well-known port that
+        // detects incoming client connection requests", paper §6.1).
+        let listener = match tcp {
+            None => None,
+            Some(l) => {
+                l.set_nonblocking(true)?;
+                let core = Arc::clone(&core);
+                let shutdown = Arc::clone(&shutdown);
+                let threads = Arc::clone(&conn_threads);
+                Some(std::thread::Builder::new().name("da-connmgr".into()).spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match l.accept() {
+                            Ok((sock, _)) => {
+                                if let Ok(duplex) = Duplex::tcp(sock) {
+                                    spawn_connection(&core, &shutdown, &threads, duplex);
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })?)
+            }
+        };
+
+        Ok(AudioServer { core, shutdown, engine, listener, tcp_addr, conn_threads })
+    }
+
+    /// The TCP address the server listens on, if TCP is enabled.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Opens an in-process connection, returning the client's duplex.
+    pub fn connect_pipe(&self) -> Duplex {
+        let (client_side, server_side) = pipe_pair();
+        spawn_connection(&self.core, &self.shutdown, &self.conn_threads, server_side);
+        client_side
+    }
+
+    /// A control handle for tests, benches and embedded use.
+    pub fn control(&self) -> ServerControl {
+        ServerControl { core: Arc::clone(&self.core) }
+    }
+
+    /// Stops all threads and drops the server.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.core.lock().shutting_down = true;
+        if let Some(e) = self.engine.take() {
+            let _ = e.join();
+        }
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        let threads: Vec<_> = self.conn_threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AudioServer {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// Test/embedding control: look inside the running server.
+#[derive(Clone)]
+pub struct ServerControl {
+    core: Arc<Mutex<Core>>,
+}
+
+impl ServerControl {
+    /// Runs a closure against the locked core.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
+        f(&mut self.core.lock())
+    }
+
+    /// Current device time (8 kHz frames since start).
+    pub fn device_time(&self) -> u64 {
+        self.core.lock().device_time
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> crate::core::EngineStats {
+        self.core.lock().stats
+    }
+
+    /// Adds a scripted remote party on a new external line; returns its
+    /// index for [`ServerControl::with_party`].
+    pub fn add_remote_party(&self, number: &str) -> usize {
+        let mut core = self.core.lock();
+        let line = core.hw.add_external_line(number);
+        core.remote_parties.push(da_hw::pstn::RemoteParty::new(line));
+        core.remote_parties.len() - 1
+    }
+
+    /// Runs a closure against a remote party (and the PSTN).
+    pub fn with_party<R>(
+        &self,
+        index: usize,
+        f: impl FnOnce(&mut da_hw::pstn::RemoteParty, &mut da_hw::pstn::Pstn) -> R,
+    ) -> R {
+        let mut core = self.core.lock();
+        let core = &mut *core;
+        f(&mut core.remote_parties[index], &mut core.hw.pstn)
+    }
+
+    /// Enables waveform capture on a speaker.
+    pub fn set_speaker_capture(&self, speaker: usize, limit: usize) {
+        self.core.lock().hw.speakers[speaker].set_capture(limit);
+    }
+
+    /// Takes the captured waveform from a speaker.
+    pub fn take_captured(&self, speaker: usize) -> Vec<i16> {
+        self.core.lock().hw.speakers[speaker].take_captured()
+    }
+
+    /// Speaker statistics.
+    pub fn speaker_stats(&self, speaker: usize) -> da_hw::codec::SpeakerStats {
+        self.core.lock().hw.speakers[speaker].stats()
+    }
+
+    /// Injects audio into a microphone (as if the user spoke).
+    pub fn speak_into_microphone(&self, mic: usize, samples: &[i16]) {
+        self.core.lock().hw.microphones[mic].inject(samples);
+    }
+
+    /// Polls `pred` against the core until it holds or `timeout` passes.
+    /// Returns whether the predicate held.
+    pub fn run_until(&self, timeout: Duration, mut pred: impl FnMut(&mut Core) -> bool) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            {
+                let mut core = self.core.lock();
+                if pred(&mut core) {
+                    return true;
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+
+    /// Waits until device time reaches `frames` (8 kHz).
+    pub fn wait_device_time(&self, frames: u64, timeout: Duration) -> bool {
+        self.run_until(timeout, |c| c.device_time >= frames)
+    }
+
+    /// Runs `n` engine ticks synchronously (manual-tick servers).
+    pub fn tick_n(&self, n: u64) {
+        let mut core = self.core.lock();
+        for _ in 0..n {
+            crate::engine::tick(&mut core);
+        }
+    }
+}
+
+/// Spawns the reader/writer thread pair for one connection.
+fn spawn_connection(
+    core: &Arc<Mutex<Core>>,
+    shutdown: &Arc<AtomicBool>,
+    threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    duplex: Duplex,
+) {
+    let core = Arc::clone(core);
+    let shutdown = Arc::clone(shutdown);
+    let threads2 = Arc::clone(threads);
+    let handle = std::thread::Builder::new()
+        .name("da-client".into())
+        .spawn(move || serve_connection(core, shutdown, threads2, duplex))
+        .expect("spawn client thread");
+    threads.lock().push(handle);
+}
+
+fn serve_connection(
+    core: Arc<Mutex<Core>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    duplex: Duplex,
+) {
+    let (mut tx, mut rx) = duplex.into_split();
+    // Setup handshake.
+    let setup = loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match rx.recv(Some(Duration::from_millis(100))) {
+            Ok(Some(frame)) if frame.kind == FrameKind::Setup => {
+                match SetupRequest::from_wire(&frame.payload) {
+                    Ok(s) => break s,
+                    Err(_) => return,
+                }
+            }
+            Ok(Some(_)) => return, // protocol violation before setup
+            Ok(None) => continue,
+            Err(_) => return,
+        }
+    };
+    let (msg_tx, msg_rx) = unbounded::<ServerMsg>();
+    let (client, id_base, id_mask) = {
+        let mut core = core.lock();
+        core.add_client(setup.client_name.clone(), msg_tx)
+    };
+    let reply = SetupReply {
+        protocol_major: da_proto::PROTOCOL_MAJOR,
+        protocol_minor: da_proto::PROTOCOL_MINOR,
+        client,
+        id_base,
+        id_mask,
+        vendor: core.lock().config.vendor.clone(),
+    };
+    let mut w = WireWriter::new();
+    reply.write(&mut w);
+    if tx.send(&Frame { kind: FrameKind::SetupReply, payload: w.finish() }).is_err() {
+        core.lock().remove_client(client);
+        return;
+    }
+
+    // Writer thread: drains the client's message channel.
+    let writer = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("da-writer".into())
+            .spawn(move || {
+                loop {
+                    match msg_rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(ServerMsg::Shutdown) => break,
+                        Ok(msg) => {
+                            let frame = encode_msg(msg);
+                            if tx.send(&frame).is_err() {
+                                break;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn writer thread")
+    };
+    threads.lock().push(writer);
+
+    // Reader loop: decode and dispatch requests.
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match rx.recv(Some(Duration::from_millis(100))) {
+            Ok(Some(frame)) => {
+                if frame.kind != FrameKind::Request {
+                    continue;
+                }
+                let mut r = WireReader::new(&frame.payload);
+                let decoded = r.u32().ok().and_then(|seq| {
+                    Request::read(&mut r).ok().map(|req| (seq, req))
+                });
+                match decoded {
+                    Some((seq, req)) => {
+                        let mut core = core.lock();
+                        dispatch(&mut core, client, seq, req);
+                    }
+                    None => {
+                        // Undecodable request: the sequence number (if
+                        // readable) gets a BadRequest error.
+                        let mut r = WireReader::new(&frame.payload);
+                        let seq = r.u32().unwrap_or(0);
+                        let core = core.lock();
+                        core.send_to_client(
+                            client,
+                            ServerMsg::Error(
+                                seq,
+                                da_proto::ProtoError::new(
+                                    da_proto::ErrorCode::BadRequest,
+                                    0,
+                                    "undecodable request",
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+            Ok(None) => continue,
+            Err(TransportError::Closed) | Err(_) => break,
+        }
+    }
+    core.lock().remove_client(client);
+}
+
+fn encode_msg(msg: ServerMsg) -> Frame {
+    match msg {
+        ServerMsg::Reply(seq, reply) => {
+            let mut w = WireWriter::new();
+            w.u32(seq);
+            reply.write(&mut w);
+            Frame { kind: FrameKind::Reply, payload: w.finish() }
+        }
+        ServerMsg::Event(event) => {
+            let mut w = WireWriter::new();
+            event.write(&mut w);
+            Frame { kind: FrameKind::Event, payload: w.finish() }
+        }
+        ServerMsg::Error(seq, e) => {
+            let mut w = WireWriter::new();
+            w.u32(seq);
+            e.write(&mut w);
+            Frame { kind: FrameKind::Error, payload: w.finish() }
+        }
+        ServerMsg::Shutdown => Frame { kind: FrameKind::Error, payload: Bytes::new() },
+    }
+}

@@ -1,0 +1,308 @@
+//! Server-side sounds and catalogues.
+//!
+//! A sound is "a typed object that represents digitized audio data"
+//! (paper §5.6). Its contents live on the server side; data may be
+//! supplied by the client (uploaded, or streamed in real time with the
+//! sound left incomplete) or by the server itself through named
+//! catalogues ("libraries").
+
+use da_dsp::convert::PcmEncoding;
+use da_proto::ids::{ClientId, SoundId};
+use da_proto::types::{Encoding, SoundType};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Converts a protocol encoding to the DSP crate's enum.
+pub fn pcm_encoding(e: Encoding) -> PcmEncoding {
+    match e {
+        Encoding::ULaw => PcmEncoding::ULaw,
+        Encoding::ALaw => PcmEncoding::ALaw,
+        Encoding::Pcm8 => PcmEncoding::Pcm8,
+        Encoding::Pcm16 => PcmEncoding::Pcm16,
+        Encoding::ImaAdpcm => PcmEncoding::ImaAdpcm,
+    }
+}
+
+/// Immutable audio data shared between a catalogue and any number of
+/// client sound bindings.
+#[derive(Debug)]
+pub struct CatalogSound {
+    /// The sound's type.
+    pub stype: SoundType,
+    /// Encoded bytes.
+    pub data: Arc<Vec<u8>>,
+}
+
+/// A live sound resource.
+#[derive(Debug)]
+pub struct Sound {
+    /// Resource id.
+    pub id: SoundId,
+    /// Owning client.
+    pub owner: ClientId,
+    /// The sound's type.
+    pub stype: SoundType,
+    /// Mutable client data (empty when `shared` is set).
+    pub data: Vec<u8>,
+    /// Shared catalogue data, if bound with `OpenCatalogSound`.
+    pub shared: Option<Arc<Vec<u8>>>,
+    /// Whether the final block has been written. Streaming sounds stay
+    /// incomplete while the client supplies data in real time.
+    pub complete: bool,
+}
+
+impl Sound {
+    /// Creates an empty, incomplete client sound.
+    pub fn new(id: SoundId, owner: ClientId, stype: SoundType) -> Self {
+        Sound { id, owner, stype, data: Vec::new(), shared: None, complete: false }
+    }
+
+    /// Creates a sound bound to catalogue data (always complete).
+    pub fn from_catalog(id: SoundId, owner: ClientId, cat: &CatalogSound) -> Self {
+        Sound {
+            id,
+            owner,
+            stype: cat.stype,
+            data: Vec::new(),
+            shared: Some(Arc::clone(&cat.data)),
+            complete: true,
+        }
+    }
+
+    /// The encoded bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.shared {
+            Some(s) => s,
+            None => &self.data,
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.bytes().len() as u64
+    }
+
+    /// Length in sample frames.
+    pub fn len_frames(&self) -> u64 {
+        self.stype.frames_for_bytes(self.len_bytes())
+    }
+
+    /// Appends encoded data (ignored for catalogue-bound sounds).
+    pub fn append(&mut self, data: &[u8], eof: bool) -> bool {
+        if self.shared.is_some() {
+            return false;
+        }
+        self.data.extend_from_slice(data);
+        if eof {
+            self.complete = true;
+        }
+        true
+    }
+
+    /// Replaces contents (used by recorders starting a fresh take).
+    pub fn reset_for_recording(&mut self) {
+        self.shared = None;
+        self.data.clear();
+        self.complete = false;
+    }
+
+    /// Decodes `frames` sample frames starting at frame `from` into
+    /// linear PCM (mono: channels are averaged down). Returns fewer
+    /// frames if the sound is shorter.
+    pub fn decode_frames(&self, from: u64, frames: u64) -> Vec<i16> {
+        let enc = pcm_encoding(self.stype.encoding);
+        let ch = self.stype.channels.max(1) as u64;
+        // ADPCM cannot be decoded from an arbitrary offset without state;
+        // decode from the start (sounds are small at 4 bits/sample).
+        if self.stype.encoding == Encoding::ImaAdpcm {
+            let all = da_dsp::convert::decode_to_pcm16(enc, self.bytes());
+            let start = (from * ch) as usize;
+            let want = (frames * ch) as usize;
+            let end = (start + want).min(all.len());
+            let samples = if start >= all.len() { &[][..] } else { &all[start..end] };
+            return downmix(samples, ch as usize);
+        }
+        let from_byte = self.stype.bytes_for_frames(from) as usize;
+        let want_bytes = self.stype.bytes_for_frames(frames) as usize;
+        let bytes = self.bytes();
+        if from_byte >= bytes.len() {
+            return Vec::new();
+        }
+        let end = (from_byte + want_bytes).min(bytes.len());
+        let samples = da_dsp::convert::decode_to_pcm16(enc, &bytes[from_byte..end]);
+        downmix(&samples, ch as usize)
+    }
+}
+
+fn downmix(samples: &[i16], channels: usize) -> Vec<i16> {
+    if channels <= 1 {
+        return samples.to_vec();
+    }
+    samples
+        .chunks(channels)
+        .map(|frame| {
+            let sum: i32 = frame.iter().map(|&s| s as i32).sum();
+            (sum / channels as i32) as i16
+        })
+        .collect()
+}
+
+/// Named catalogues of server-side sounds.
+#[derive(Debug, Default)]
+pub struct Catalogs {
+    catalogs: BTreeMap<String, BTreeMap<String, CatalogSound>>,
+}
+
+impl Catalogs {
+    /// Creates the catalogue store with the built-in "system" catalogue:
+    /// beep, ring, DTMF digits, a second of silence.
+    pub fn with_system_sounds() -> Self {
+        let mut c = Catalogs::default();
+        let tel = SoundType::TELEPHONE;
+        let to_ulaw = |pcm: &[i16]| da_dsp::mulaw::encode_slice(pcm);
+        c.insert("system", "beep", tel, to_ulaw(&da_dsp::tone::beep(8000)));
+        c.insert(
+            "system",
+            "ring",
+            tel,
+            to_ulaw(&da_dsp::tone::dual_tone(8000, 440.0, 480.0, 8000, 12000)),
+        );
+        c.insert("system", "silence-1s", tel, vec![da_dsp::mulaw::SILENCE; 8000]);
+        let mut digits = Vec::new();
+        for d in b"0123456789*#" {
+            if let Some(s) = da_dsp::dtmf::digit(8000, *d, 100, 50, 12000) {
+                digits.push((*d, s));
+            }
+        }
+        for (d, s) in digits {
+            c.insert("system", &format!("dtmf-{}", d as char), tel, to_ulaw(&s));
+        }
+        c
+    }
+
+    /// Inserts a sound into a catalogue, replacing any previous entry.
+    pub fn insert(&mut self, catalog: &str, name: &str, stype: SoundType, data: Vec<u8>) {
+        self.catalogs
+            .entry(catalog.to_string())
+            .or_default()
+            .insert(name.to_string(), CatalogSound { stype, data: Arc::new(data) });
+    }
+
+    /// Looks up a catalogue sound.
+    pub fn get(&self, catalog: &str, name: &str) -> Option<&CatalogSound> {
+        self.catalogs.get(catalog)?.get(name)
+    }
+
+    /// Lists sound names in a catalogue, or catalogue names if `catalog`
+    /// is empty.
+    pub fn list(&self, catalog: &str) -> Vec<String> {
+        if catalog.is_empty() {
+            return self.catalogs.keys().cloned().collect();
+        }
+        self.catalogs
+            .get(catalog)
+            .map(|m| m.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tel_sound(frames: usize) -> Sound {
+        let mut s = Sound::new(SoundId(1), ClientId(1), SoundType::TELEPHONE);
+        let pcm = da_dsp::tone::sine(8000, 440.0, frames, 10000);
+        s.append(&da_dsp::mulaw::encode_slice(&pcm), true);
+        s
+    }
+
+    #[test]
+    fn length_accounting() {
+        let s = tel_sound(800);
+        assert_eq!(s.len_bytes(), 800);
+        assert_eq!(s.len_frames(), 800);
+        assert!(s.complete);
+    }
+
+    #[test]
+    fn decode_frames_windows() {
+        let s = tel_sound(800);
+        let all = s.decode_frames(0, 800);
+        assert_eq!(all.len(), 800);
+        let mid = s.decode_frames(100, 50);
+        assert_eq!(mid, &all[100..150]);
+        // Past the end: short or empty.
+        assert_eq!(s.decode_frames(790, 50).len(), 10);
+        assert!(s.decode_frames(800, 10).is_empty());
+        assert!(s.decode_frames(9999, 10).is_empty());
+    }
+
+    #[test]
+    fn stereo_downmix() {
+        let mut s = Sound::new(
+            SoundId(1),
+            ClientId(1),
+            SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 2 },
+        );
+        // Two frames: (100, 300), (-100, -300).
+        let pcm: Vec<i16> = vec![100, 300, -100, -300];
+        s.append(&da_dsp::convert::encode_from_pcm16(PcmEncoding::Pcm16, &pcm), true);
+        assert_eq!(s.len_frames(), 2);
+        assert_eq!(s.decode_frames(0, 2), vec![200, -200]);
+    }
+
+    #[test]
+    fn adpcm_offset_decoding_consistent() {
+        let pcm = da_dsp::tone::sine(8000, 300.0, 1000, 9000);
+        let mut s = Sound::new(
+            SoundId(1),
+            ClientId(1),
+            SoundType { encoding: Encoding::ImaAdpcm, sample_rate: 8000, channels: 1 },
+        );
+        s.append(&da_dsp::adpcm::encode_slice(&pcm), true);
+        let whole = s.decode_frames(0, 1000);
+        let part = s.decode_frames(500, 100);
+        assert_eq!(part, &whole[500..600]);
+    }
+
+    #[test]
+    fn streaming_append() {
+        let mut s = Sound::new(SoundId(1), ClientId(1), SoundType::TELEPHONE);
+        assert!(!s.complete);
+        s.append(&[0xFF; 100], false);
+        assert_eq!(s.len_frames(), 100);
+        s.append(&[0xFF; 100], true);
+        assert!(s.complete);
+        assert_eq!(s.len_frames(), 200);
+    }
+
+    #[test]
+    fn catalog_sounds_are_shared_and_immutable() {
+        let cats = Catalogs::with_system_sounds();
+        let beep = cats.get("system", "beep").expect("beep exists");
+        let mut s = Sound::from_catalog(SoundId(2), ClientId(1), beep);
+        assert!(s.complete);
+        assert!(s.len_frames() > 0);
+        assert!(!s.append(&[1, 2, 3], true), "catalogue data must be immutable");
+    }
+
+    #[test]
+    fn catalog_listing() {
+        let cats = Catalogs::with_system_sounds();
+        assert_eq!(cats.list(""), vec!["system".to_string()]);
+        let names = cats.list("system");
+        assert!(names.contains(&"beep".to_string()));
+        assert!(names.contains(&"dtmf-5".to_string()));
+        assert!(cats.list("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn recording_reset() {
+        let mut s = tel_sound(100);
+        s.reset_for_recording();
+        assert_eq!(s.len_frames(), 0);
+        assert!(!s.complete);
+        assert!(s.append(&[0xFF; 10], true));
+    }
+}

@@ -1,0 +1,447 @@
+//! Virtual devices: the protocol's device-independent building blocks.
+//!
+//! "The different classes of virtual devices are subclasses of a common
+//! virtual device object class" (paper §6.1). Here the common object is
+//! [`VDev`]; the subclass payload is [`ClassState`]. Virtual devices hold
+//! *all* state for their operations, which is what lets the server
+//! deactivate a LOUD and later restore its devices "to their state prior
+//! to the moment the LOUD was deactivated" (paper §5.4): a deactivated
+//! device simply stops being stepped by the engine, its state frozen in
+//! place.
+
+use da_dsp::dtmf::Detector as DtmfDetector;
+use da_dsp::silence::PauseDetector;
+use da_proto::command::RecordTermination;
+use da_proto::ids::{Atom, ClientId, VDeviceId};
+use da_proto::types::{Attribute, DeviceClass};
+use da_synth::music::MusicSynth;
+use da_synth::recog::Recognizer;
+use da_synth::tts::Synthesizer;
+use da_hw::pstn::LineId;
+use std::collections::{HashMap, VecDeque};
+
+/// Which physical device a virtual device is bound to while active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwBinding {
+    /// A speaker, by hardware index.
+    Speaker(usize),
+    /// A microphone, by hardware index.
+    Microphone(usize),
+    /// A telephone line.
+    Line(LineId),
+    /// A software device (player, recorder, mixer, ...): no physical
+    /// resource needed (paper §5.9: "The player and recorder will be
+    /// software devices, or algorithms").
+    Software,
+}
+
+/// Class-specific device state.
+#[derive(Debug)]
+pub enum ClassState {
+    /// External input (microphone).
+    Input,
+    /// External output (speaker).
+    Output,
+    /// Sound player.
+    Player,
+    /// Sound recorder.
+    Recorder,
+    /// Telephone line endpoint.
+    Telephone(TelephoneState),
+    /// N-to-1 mixer with per-input percentages.
+    Mixer {
+        /// Percent contribution per sink port.
+        gains: Vec<u8>,
+    },
+    /// Text-to-speech engine.
+    Synth(Box<Synthesizer>),
+    /// Word recognizer.
+    Recognizer(Box<Recognizer>),
+    /// Note synthesizer.
+    Music(Box<MusicSynth>),
+    /// N-to-M routing switch.
+    Crossbar {
+        /// Connected (input, output) pairs.
+        routes: std::collections::HashSet<(u8, u8)>,
+    },
+    /// Generic stream processor (device-control configured).
+    Dsp {
+        /// The active effect.
+        effect: DspEffect,
+    },
+}
+
+/// Effects selectable on a DSP device through the `EFFECT` device control
+/// (paper §2: extensibility "to support new devices and signal processing
+/// algorithms as they emerge" without protocol changes).
+#[derive(Debug)]
+pub enum DspEffect {
+    /// Samples pass through with only the device gain applied.
+    PassThrough,
+    /// Feedback echo.
+    Echo(da_dsp::effects::Echo),
+    /// Single-pole low-pass filter.
+    LowPass(da_dsp::effects::LowPass),
+}
+
+/// Telephone per-device runtime: in-band DTMF detection and call-state
+/// tracking for event generation.
+#[derive(Debug)]
+pub struct TelephoneState {
+    /// Detector running over received audio.
+    pub dtmf: DtmfDetector,
+    /// Last observed line state, for edge-triggered events.
+    pub last_state: da_hw::pstn::LineState,
+}
+
+impl TelephoneState {
+    /// Creates fresh telephone state.
+    pub fn new() -> Self {
+        TelephoneState {
+            dtmf: DtmfDetector::new(da_hw::pstn::LINE_RATE),
+            last_state: da_hw::pstn::LineState::OnHook,
+        }
+    }
+}
+
+impl Default for TelephoneState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A durational operation in progress on a device (driven by the command
+/// queue, or for `SendDtmf` possibly issued immediately).
+#[derive(Debug)]
+pub enum ActiveOp {
+    /// Playing a sound resource.
+    Play {
+        /// The sound's raw resource id.
+        sound: u32,
+        /// Next frame to emit.
+        pos: u64,
+        /// Whether `PlayStarted` has been emitted.
+        started: bool,
+        /// Frames of silence substituted due to streaming underrun.
+        underrun: u64,
+        /// Frame position of the last sync mark.
+        last_sync: u64,
+    },
+    /// Playing a pre-rendered buffer (speech or music synthesis output).
+    Render {
+        /// Rendered samples.
+        buf: Vec<i16>,
+        /// Next sample to emit.
+        pos: usize,
+    },
+    /// Recording into a sound resource.
+    Record {
+        /// The sound's raw resource id.
+        sound: u32,
+        /// Frames recorded so far.
+        frames: u64,
+        /// Termination condition.
+        term: RecordTermination,
+        /// Pause detector for `OnPause` termination.
+        pause: PauseDetector,
+        /// Frames to discard at the start (mid-tick seam alignment).
+        skip: u64,
+        /// Whether `RecordStarted` has been emitted.
+        started: bool,
+        /// Set when the feeding call hung up.
+        hangup_seen: bool,
+        /// Frame position of the last sync mark.
+        last_sync: u64,
+        /// Automatic gain control, when the AGC device control is set
+        /// (paper §5.1 recorder attributes).
+        agc: Option<Box<da_dsp::agc::Agc>>,
+        /// Remove long pauses from the finished recording (paper §5.1:
+        /// "compress the recorded audio by removing pauses").
+        compress_pauses: bool,
+    },
+    /// Dialing and awaiting call progress.
+    Dial {
+        /// The number to dial.
+        number: String,
+        /// Whether the dial has been issued to the line.
+        issued: bool,
+    },
+    /// Waiting for (or having just performed) an answer.
+    Answer,
+    /// Emitting DTMF tones in-band.
+    SendDtmf {
+        /// Pre-rendered tone samples.
+        buf: Vec<i16>,
+        /// Next sample to emit.
+        pos: usize,
+    },
+}
+
+impl ActiveOp {
+    /// Whether this operation produces samples on the device's source
+    /// path toward other devices.
+    pub fn is_producing(&self) -> bool {
+        matches!(self, ActiveOp::Play { .. } | ActiveOp::Render { .. })
+    }
+}
+
+/// The common virtual-device object.
+#[derive(Debug)]
+pub struct VDev {
+    /// Resource id.
+    pub id: VDeviceId,
+    /// Owning client.
+    pub owner: ClientId,
+    /// Containing LOUD (raw id).
+    pub loud: u32,
+    /// Root of the containing LOUD tree (raw id).
+    pub root: u32,
+    /// Device class.
+    pub class: DeviceClass,
+    /// Constraint attributes (grown by `AugmentVDevice`).
+    pub attrs: Vec<Attribute>,
+    /// Output gain in milli-units (1000 = unity).
+    pub gain_milli: u32,
+    /// Physical binding while the LOUD is active.
+    pub binding: Option<HwBinding>,
+    /// Operating sample rate (resolved at activation; 8000 default).
+    pub rate: u32,
+    /// Frames between sync marks (0 = default: 100 ms).
+    pub sync_interval: u32,
+    /// Device controls (paper §5.1): extension knobs by atom.
+    pub controls: HashMap<Atom, Vec<u8>>,
+    /// Class-specific state.
+    pub state: ClassState,
+    /// Source-port buffers: samples produced this tick (and any carry).
+    pub src_bufs: Vec<VecDeque<i16>>,
+    /// Sink-port buffers: samples delivered by wires.
+    pub sink_bufs: Vec<VecDeque<i16>>,
+    /// Paused by an immediate `Pause` command.
+    pub paused: bool,
+    /// Current durational operation.
+    pub op: Option<ActiveOp>,
+    /// Set by an immediate `Stop` to abort `op` at the next engine step.
+    pub abort_op: bool,
+}
+
+/// Number of (source, sink) ports for a device of `class` with `attrs`.
+pub fn port_counts(class: DeviceClass, attrs: &[Attribute]) -> (usize, usize) {
+    let attr_srcs = attrs.iter().find_map(|a| match a {
+        Attribute::SourcePorts(n) => Some(*n as usize),
+        _ => None,
+    });
+    let attr_sinks = attrs.iter().find_map(|a| match a {
+        Attribute::SinkPorts(n) => Some(*n as usize),
+        _ => None,
+    });
+    let (d_src, d_sink) = match class {
+        DeviceClass::Input => (1, 0),
+        DeviceClass::Output => (0, 1),
+        DeviceClass::Player => (1, 0),
+        DeviceClass::Recorder => (0, 1),
+        DeviceClass::Telephone => (1, 1),
+        DeviceClass::Mixer => (1, 2),
+        DeviceClass::SpeechSynthesizer => (1, 0),
+        DeviceClass::SpeechRecognizer => (0, 1),
+        DeviceClass::MusicSynthesizer => (1, 0),
+        DeviceClass::Crossbar => (2, 2),
+        DeviceClass::Dsp => (1, 1),
+    };
+    // Every port the class's engine code addresses must exist: attributes
+    // may widen a device but never remove its mandatory ports (a Recorder
+    // with zero sinks would be unusable — and uncrashable-into).
+    let (min_src, min_sink) = (d_src.min(1), d_sink.min(1));
+    (
+        attr_srcs.unwrap_or(d_src).clamp(min_src, 16),
+        attr_sinks.unwrap_or(d_sink).clamp(min_sink, 16),
+    )
+}
+
+impl VDev {
+    /// Creates a virtual device. The class payload is initialised with
+    /// software engines where the class requires them.
+    pub fn new(
+        id: VDeviceId,
+        owner: ClientId,
+        loud: u32,
+        root: u32,
+        class: DeviceClass,
+        attrs: Vec<Attribute>,
+    ) -> Self {
+        let (n_src, n_sink) = port_counts(class, &attrs);
+        let rate = attrs
+            .iter()
+            .find_map(|a| match a {
+                Attribute::SampleRate(r) => Some(*r),
+                _ => None,
+            })
+            .unwrap_or(8000);
+        let state = match class {
+            DeviceClass::Input => ClassState::Input,
+            DeviceClass::Output => ClassState::Output,
+            DeviceClass::Player => ClassState::Player,
+            DeviceClass::Recorder => ClassState::Recorder,
+            DeviceClass::Telephone => ClassState::Telephone(TelephoneState::new()),
+            DeviceClass::Mixer => ClassState::Mixer { gains: vec![100; n_sink] },
+            DeviceClass::SpeechSynthesizer => {
+                ClassState::Synth(Box::new(Synthesizer::new(rate)))
+            }
+            DeviceClass::SpeechRecognizer => {
+                ClassState::Recognizer(Box::new(Recognizer::new()))
+            }
+            DeviceClass::MusicSynthesizer => ClassState::Music(Box::new(MusicSynth::new(rate))),
+            DeviceClass::Crossbar => ClassState::Crossbar { routes: Default::default() },
+            DeviceClass::Dsp => ClassState::Dsp { effect: DspEffect::PassThrough },
+        };
+        VDev {
+            id,
+            owner,
+            loud,
+            root,
+            class,
+            attrs,
+            gain_milli: da_dsp::gain::UNITY,
+            binding: None,
+            rate,
+            sync_interval: 0,
+            controls: HashMap::new(),
+            state,
+            src_bufs: (0..n_src).map(|_| VecDeque::new()).collect(),
+            sink_bufs: (0..n_sink).map(|_| VecDeque::new()).collect(),
+            paused: false,
+            op: None,
+            abort_op: false,
+        }
+    }
+
+    /// Effective sync-mark spacing in frames.
+    pub fn sync_every(&self) -> u64 {
+        if self.sync_interval > 0 {
+            self.sync_interval as u64
+        } else {
+            (self.rate as u64) / 10
+        }
+    }
+
+    /// Whether a source/sink port index is valid.
+    pub fn has_port(&self, dir: da_proto::types::PortDir, index: u8) -> bool {
+        match dir {
+            da_proto::types::PortDir::Source => (index as usize) < self.src_bufs.len(),
+            da_proto::types::PortDir::Sink => (index as usize) < self.sink_bufs.len(),
+        }
+    }
+
+    /// Drains up to `n` samples from a sink port, padding with silence to
+    /// exactly `n`.
+    pub fn drain_sink(&mut self, port: usize, n: usize) -> Vec<i16> {
+        let buf = &mut self.sink_bufs[port];
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(buf.pop_front().unwrap_or(0));
+        }
+        out
+    }
+
+    /// Clears all port buffers (on deactivate/stop, so stale audio never
+    /// leaks into a later activation).
+    pub fn clear_ports(&mut self) {
+        for b in &mut self.src_bufs {
+            b.clear();
+        }
+        for b in &mut self.sink_bufs {
+            b.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(class: DeviceClass, attrs: Vec<Attribute>) -> VDev {
+        VDev::new(VDeviceId(1), ClientId(1), 10, 10, class, attrs)
+    }
+
+    #[test]
+    fn default_port_counts() {
+        assert_eq!(port_counts(DeviceClass::Player, &[]), (1, 0));
+        assert_eq!(port_counts(DeviceClass::Recorder, &[]), (0, 1));
+        assert_eq!(port_counts(DeviceClass::Telephone, &[]), (1, 1));
+        assert_eq!(port_counts(DeviceClass::Mixer, &[]), (1, 2));
+        assert_eq!(port_counts(DeviceClass::Output, &[]), (0, 1));
+    }
+
+    #[test]
+    fn zero_port_attributes_cannot_strip_mandatory_ports() {
+        // A hostile client must not be able to make the engine index a
+        // missing port.
+        let attrs = vec![Attribute::SinkPorts(0), Attribute::SourcePorts(0)];
+        assert_eq!(port_counts(DeviceClass::Recorder, &attrs), (0, 1));
+        assert_eq!(port_counts(DeviceClass::Player, &attrs), (1, 0));
+        assert_eq!(port_counts(DeviceClass::Telephone, &attrs), (1, 1));
+        assert_eq!(port_counts(DeviceClass::Output, &attrs), (0, 1));
+        assert_eq!(port_counts(DeviceClass::SpeechRecognizer, &attrs), (0, 1));
+        let d = dev(DeviceClass::Recorder, attrs);
+        assert_eq!(d.sink_bufs.len(), 1);
+    }
+
+    #[test]
+    fn attr_port_counts_override() {
+        let attrs = vec![Attribute::SinkPorts(4)];
+        assert_eq!(port_counts(DeviceClass::Mixer, &attrs), (1, 4));
+        let d = dev(DeviceClass::Mixer, attrs);
+        assert_eq!(d.sink_bufs.len(), 4);
+        if let ClassState::Mixer { gains } = &d.state {
+            assert_eq!(gains.len(), 4);
+        } else {
+            panic!("expected mixer state");
+        }
+    }
+
+    #[test]
+    fn rate_from_attrs() {
+        let d = dev(DeviceClass::Player, vec![Attribute::SampleRate(44_100)]);
+        assert_eq!(d.rate, 44_100);
+        let d = dev(DeviceClass::Player, vec![]);
+        assert_eq!(d.rate, 8_000);
+    }
+
+    #[test]
+    fn sync_interval_default_is_100ms() {
+        let d = dev(DeviceClass::Player, vec![]);
+        assert_eq!(d.sync_every(), 800);
+        let mut d = dev(DeviceClass::Player, vec![Attribute::SampleRate(16_000)]);
+        assert_eq!(d.sync_every(), 1600);
+        d.sync_interval = 123;
+        assert_eq!(d.sync_every(), 123);
+    }
+
+    #[test]
+    fn drain_sink_pads_silence() {
+        let mut d = dev(DeviceClass::Output, vec![]);
+        d.sink_bufs[0].extend([1, 2, 3]);
+        assert_eq!(d.drain_sink(0, 5), vec![1, 2, 3, 0, 0]);
+        assert!(d.sink_bufs[0].is_empty());
+    }
+
+    #[test]
+    fn port_validity() {
+        use da_proto::types::PortDir;
+        let d = dev(DeviceClass::Telephone, vec![]);
+        assert!(d.has_port(PortDir::Source, 0));
+        assert!(d.has_port(PortDir::Sink, 0));
+        assert!(!d.has_port(PortDir::Source, 1));
+        let o = dev(DeviceClass::Output, vec![]);
+        assert!(!o.has_port(PortDir::Source, 0));
+    }
+
+    #[test]
+    fn clear_ports_empties_buffers() {
+        let mut d = dev(DeviceClass::Dsp, vec![]);
+        d.src_bufs[0].extend([1, 2]);
+        d.sink_bufs[0].extend([3]);
+        d.clear_ports();
+        assert!(d.src_bufs[0].is_empty());
+        assert!(d.sink_bufs[0].is_empty());
+    }
+}

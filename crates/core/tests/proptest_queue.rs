@@ -1,0 +1,134 @@
+//! Property tests for the command-queue parser: arbitrary entry streams
+//! never panic or lose commands, balanced brackets always parse, and
+//! chunked delivery matches one-shot delivery (entries may arrive split
+//! across any number of `Enqueue` requests, paper §5.5).
+
+use da_proto::command::{DeviceCommand, QueueEntry};
+use da_proto::ids::{SoundId, VDeviceId};
+use da_server::queue::{CommandQueue, QNode};
+use proptest::prelude::*;
+
+fn arb_entry() -> impl Strategy<Value = QueueEntry> {
+    prop_oneof![
+        4 => (any::<u32>(), any::<u32>()).prop_map(|(v, s)| QueueEntry::Device {
+            vdev: VDeviceId(v),
+            cmd: DeviceCommand::Play(SoundId(s)),
+        }),
+        1 => Just(QueueEntry::CoBegin),
+        1 => Just(QueueEntry::CoEnd),
+        1 => (0u32..100_000).prop_map(|ms| QueueEntry::Delay { ms }),
+        1 => Just(QueueEntry::DelayEnd),
+    ]
+}
+
+/// A recursively balanced entry stream.
+fn arb_balanced() -> impl Strategy<Value = Vec<QueueEntry>> {
+    let leaf = (any::<u32>(), any::<u32>()).prop_map(|(v, s)| {
+        vec![QueueEntry::Device { vdev: VDeviceId(v), cmd: DeviceCommand::Play(SoundId(s)) }]
+    });
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(|parts| {
+                let mut out = vec![QueueEntry::CoBegin];
+                for p in parts {
+                    out.extend(p);
+                }
+                out.push(QueueEntry::CoEnd);
+                out
+            }),
+            (0u32..10_000, prop::collection::vec(inner, 0..4)).prop_map(|(ms, parts)| {
+                let mut out = vec![QueueEntry::Delay { ms }];
+                for p in parts {
+                    out.extend(p);
+                }
+                out.push(QueueEntry::DelayEnd);
+                out
+            }),
+        ]
+    })
+}
+
+fn count_commands(nodes: &[QNode]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            QNode::Cmd { .. } => 1,
+            QNode::Par(children) => count_commands(children),
+            QNode::DelaySeg { body, .. } => count_commands(body),
+        })
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(entries in prop::collection::vec(arb_entry(), 0..64)) {
+        let mut q = CommandQueue::new();
+        q.enqueue(entries);
+        let _ = q.pending_len();
+        q.flush();
+        prop_assert!(q.idle());
+    }
+
+    #[test]
+    fn balanced_streams_parse_completely(stream in arb_balanced()) {
+        let commands_in = stream
+            .iter()
+            .filter(|e| matches!(e, QueueEntry::Device { .. }))
+            .count();
+        let mut q = CommandQueue::new();
+        q.enqueue(stream);
+        // Nothing left raw, and every command survives parsing.
+        let parsed: Vec<QNode> = q.pending.iter().cloned().collect();
+        prop_assert_eq!(count_commands(&parsed), commands_in);
+        prop_assert_eq!(q.pending_len() as usize, q.pending.len());
+    }
+
+    #[test]
+    fn chunked_enqueue_equals_oneshot(stream in arb_balanced(), chunk in 1usize..7) {
+        let mut one = CommandQueue::new();
+        one.enqueue(stream.clone());
+        let mut many = CommandQueue::new();
+        for c in stream.chunks(chunk) {
+            many.enqueue(c.to_vec());
+        }
+        let a: Vec<QNode> = one.pending.iter().cloned().collect();
+        let b: Vec<QNode> = many.pending.iter().cloned().collect();
+        // Entry indices differ is impossible: both number sequentially.
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn commands_never_lost_even_unbalanced(entries in prop::collection::vec(arb_entry(), 0..64)) {
+        // Every Device entry is either parsed or still raw; none vanish.
+        let commands_in = entries
+            .iter()
+            .filter(|e| matches!(e, QueueEntry::Device { .. }))
+            .count();
+        let mut q = CommandQueue::new();
+        q.enqueue(entries.clone());
+        let parsed: Vec<QNode> = q.pending.iter().cloned().collect();
+        let parsed_cmds = count_commands(&parsed);
+        let raw_cmds = q.pending_len() as usize - q.pending.len();
+        // raw_cmds counts raw *entries*, some of which are brackets; the
+        // invariant is that parsed commands never exceed input and, once
+        // the stream is force-balanced, everything parses.
+        prop_assert!(parsed_cmds <= commands_in);
+        let _ = raw_cmds;
+        // Force-balance by appending closers, then everything parses.
+        let mut closers = Vec::new();
+        let mut depth = 0i64;
+        for e in &entries {
+            match e {
+                QueueEntry::CoBegin | QueueEntry::Delay { .. } => depth += 1,
+                QueueEntry::CoEnd | QueueEntry::DelayEnd => depth = (depth - 1).max(0),
+                _ => {}
+            }
+        }
+        for _ in 0..depth {
+            closers.push(QueueEntry::CoEnd);
+        }
+        q.enqueue(closers);
+        let parsed: Vec<QNode> = q.pending.iter().cloned().collect();
+        prop_assert_eq!(count_commands(&parsed), commands_in);
+    }
+}

@@ -1,0 +1,111 @@
+//! Automatic gain control.
+//!
+//! Recorder devices may advertise AGC during recording (paper §5.1 device
+//! attributes). This is a simple peak-tracking AGC: it estimates the
+//! recent envelope and steers gain toward a target level, with fast attack
+//! (to catch clipping) and slow release (to avoid pumping).
+
+/// Peak-tracking automatic gain control.
+#[derive(Debug, Clone)]
+pub struct Agc {
+    /// Target envelope level.
+    target: f64,
+    /// Current applied gain (linear).
+    gain: f64,
+    /// Envelope estimate.
+    envelope: f64,
+    /// Per-sample attack coefficient (envelope rise).
+    attack: f64,
+    /// Per-sample release coefficient (envelope fall).
+    release: f64,
+    /// Gain bounds.
+    min_gain: f64,
+    max_gain: f64,
+}
+
+impl Agc {
+    /// Creates an AGC targeting `target` peak amplitude at `rate`
+    /// samples/s.
+    pub fn new(rate: u32, target: i16) -> Self {
+        // Attack ~5 ms, release ~200 ms.
+        let attack = 1.0 - (-1.0 / (0.005 * rate as f64)).exp();
+        let release = 1.0 - (-1.0 / (0.200 * rate as f64)).exp();
+        Agc {
+            target: target as f64,
+            gain: 1.0,
+            envelope: 0.0,
+            attack,
+            release,
+            min_gain: 0.1,
+            max_gain: 8.0,
+        }
+    }
+
+    /// Current gain (linear).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Processes a block in place.
+    pub fn process(&mut self, samples: &mut [i16]) {
+        for s in samples.iter_mut() {
+            let x = (*s as f64).abs();
+            let coeff = if x > self.envelope { self.attack } else { self.release };
+            self.envelope += coeff * (x - self.envelope);
+            // Steer gain so that envelope*gain approaches target; only
+            // adapt when there is signal, so silence keeps the last gain.
+            if self.envelope > self.target / 100.0 {
+                let desired = (self.target / self.envelope).clamp(self.min_gain, self.max_gain);
+                self.gain += 0.001 * (desired - self.gain);
+            }
+            let y = (*s as f64) * self.gain;
+            *s = y.clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::tone;
+
+    #[test]
+    fn boosts_quiet_signal() {
+        let mut agc = Agc::new(8000, 16000);
+        let mut s = tone::sine(8000, 440.0, 80000, 1500);
+        agc.process(&mut s);
+        let tail_rms = analysis::rms(&s[60000..]);
+        // A 1500-peak sine has RMS ~1060; AGC should raise it well above.
+        assert!(tail_rms > 4000.0, "tail rms {tail_rms}");
+    }
+
+    #[test]
+    fn attenuates_hot_signal() {
+        let mut agc = Agc::new(8000, 8000);
+        let mut s = tone::sine(8000, 440.0, 80000, 30000);
+        agc.process(&mut s);
+        let tail_peak = analysis::peak(&s[60000..]);
+        assert!(tail_peak < 16000, "tail peak {tail_peak}");
+    }
+
+    #[test]
+    fn silence_keeps_gain_steady() {
+        let mut agc = Agc::new(8000, 16000);
+        let mut sig = tone::sine(8000, 440.0, 40000, 2000);
+        agc.process(&mut sig);
+        let g_after_signal = agc.gain();
+        let mut quiet = vec![0i16; 40000];
+        agc.process(&mut quiet);
+        assert!((agc.gain() - g_after_signal).abs() < 0.05);
+        assert!(quiet.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn gain_is_bounded() {
+        let mut agc = Agc::new(8000, 16000);
+        let mut s = vec![1i16; 200000];
+        agc.process(&mut s);
+        assert!(agc.gain() <= 8.0 + 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! G.711 A-law companding, the European telephone standard.
+
+/// Segment end points for the A-law encoder (13-bit magnitudes).
+const SEG_END: [i32; 8] = [0x1F, 0x3F, 0x7F, 0xFF, 0x1FF, 0x3FF, 0x7FF, 0xFFF];
+
+/// Encodes one 16-bit linear sample to A-law.
+pub fn encode(sample: i16) -> u8 {
+    // Work on the 13 significant bits, per G.711.
+    let mut pcm = (sample as i32) >> 3;
+    let mask: u8 = if pcm >= 0 {
+        0xD5
+    } else {
+        pcm = -pcm - 1;
+        0x55
+    };
+    match SEG_END.iter().position(|&end| pcm <= end) {
+        None => 0x7F ^ mask,
+        Some(seg) => {
+            let mut aval = (seg as u8) << 4;
+            if seg < 2 {
+                aval |= ((pcm >> 1) & 0x0F) as u8;
+            } else {
+                aval |= ((pcm >> seg) & 0x0F) as u8;
+            }
+            aval ^ mask
+        }
+    }
+}
+
+/// Decodes one A-law byte to 16-bit linear PCM.
+pub fn decode(alaw: u8) -> i16 {
+    let a = alaw ^ 0x55;
+    let mut t = ((a & 0x0F) as i32) << 4;
+    let seg = (a & 0x70) >> 4;
+    match seg {
+        0 => t += 8,
+        1 => t += 0x108,
+        _ => {
+            t += 0x108;
+            t <<= seg - 1;
+        }
+    }
+    // Sign bit set means positive in A-law after the 0x55 toggle.
+    if a & 0x80 != 0 {
+        t as i16
+    } else {
+        -t as i16
+    }
+}
+
+/// Encodes a slice of linear samples to A-law.
+pub fn encode_slice(pcm: &[i16]) -> Vec<u8> {
+    pcm.iter().map(|&s| encode(s)).collect()
+}
+
+/// Decodes a slice of A-law bytes to linear samples.
+pub fn decode_slice(alaw: &[u8]) -> Vec<i16> {
+    alaw.iter().map(|&b| decode(b)).collect()
+}
+
+/// The A-law byte representing the smallest positive level (used as
+/// silence fill).
+pub const SILENCE: u8 = 0xD5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_near_zero() {
+        assert_eq!(encode(0), SILENCE);
+        assert!(decode(SILENCE).abs() <= 64);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        for s in (-32000i32..32000).step_by(13) {
+            let s = s as i16;
+            let r = decode(encode(s)) as i32;
+            let err = (r - s as i32).abs();
+            let bound = ((s as i32).abs() / 16).max(64) + 64;
+            assert!(err <= bound, "sample {s} decoded {r}, err {err}");
+        }
+    }
+
+    #[test]
+    fn decode_monotonic_positive() {
+        let mut last = i16::MIN;
+        for s in (0i32..32600).step_by(5) {
+            let d = decode(encode(s as i16));
+            assert!(d >= last, "decode moved backwards at {s}: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn all_codes_idempotent() {
+        for code in 0u8..=255 {
+            let lin = decode(code);
+            assert_eq!(decode(encode(lin)), lin, "code {code:#x}");
+        }
+    }
+
+    #[test]
+    fn sign_symmetry_close() {
+        // A-law is mid-riser: +x and -x may differ by one quantum.
+        for s in [500i16, 3000, 12000, 30000] {
+            let pos = decode(encode(s)) as i32;
+            let neg = decode(encode(-s)) as i32;
+            assert!((pos + neg).abs() <= 256, "asymmetric at {s}: {pos} vs {neg}");
+        }
+    }
+}

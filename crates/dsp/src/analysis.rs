@@ -1,0 +1,114 @@
+//! Signal analysis helpers: RMS, peak, Goertzel tone power, SNR.
+
+/// Root-mean-square amplitude of a sample block.
+pub fn rms(samples: &[i16]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = samples.iter().map(|&s| (s as f64) * (s as f64)).sum();
+    (sum / samples.len() as f64).sqrt()
+}
+
+/// Peak absolute amplitude.
+pub fn peak(samples: &[i16]) -> i16 {
+    samples.iter().map(|s| s.unsigned_abs()).max().unwrap_or(0).min(i16::MAX as u16) as i16
+}
+
+/// Power at a single frequency via the Goertzel algorithm, normalised by
+/// block length so different-sized blocks compare.
+pub fn goertzel_power(samples: &[i16], rate: u32, freq: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let omega = 2.0 * std::f64::consts::PI * freq / rate as f64;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0f64;
+    let mut s_prev2 = 0.0f64;
+    for &x in samples {
+        let s = x as f64 + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev2 * s_prev2 + s_prev * s_prev - coeff * s_prev * s_prev2;
+    power / (samples.len() as f64 * samples.len() as f64 / 4.0)
+}
+
+/// Signal-to-noise ratio in dB between a reference and a degraded copy of
+/// equal length.
+pub fn snr_db(reference: &[i16], degraded: &[i16]) -> f64 {
+    let n = reference.len().min(degraded.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sig = 0.0f64;
+    let mut noise = 0.0f64;
+    for i in 0..n {
+        let r = reference[i] as f64;
+        let d = degraded[i] as f64;
+        sig += r * r;
+        noise += (r - d) * (r - d);
+    }
+    if noise == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (sig / noise).log10()
+}
+
+/// Counts zero crossings, a cheap pitch/voicing feature used by the
+/// recognizer substrate.
+pub fn zero_crossings(samples: &[i16]) -> usize {
+    samples.windows(2).filter(|w| (w[0] >= 0) != (w[1] >= 0)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone;
+
+    #[test]
+    fn rms_of_constant() {
+        let s = vec![1000i16; 64];
+        assert!((rms(&s) - 1000.0).abs() < 1e-9);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn peak_handles_min() {
+        assert_eq!(peak(&[i16::MIN, 5]), i16::MAX);
+        assert_eq!(peak(&[-7, 5]), 7);
+        assert_eq!(peak(&[]), 0);
+    }
+
+    #[test]
+    fn goertzel_selective() {
+        let s = tone::sine(8000, 697.0, 800, 16000);
+        let hit = goertzel_power(&s, 8000, 697.0);
+        let miss = goertzel_power(&s, 8000, 941.0);
+        assert!(hit > miss * 100.0, "hit {hit} miss {miss}");
+    }
+
+    #[test]
+    fn snr_perfect_copy_is_infinite() {
+        let s = tone::sine(8000, 440.0, 100, 10000);
+        assert!(snr_db(&s, &s).is_infinite());
+    }
+
+    #[test]
+    fn snr_detects_noise() {
+        let s = tone::sine(8000, 440.0, 1000, 10000);
+        let mut noisy = s.clone();
+        for (i, v) in noisy.iter_mut().enumerate() {
+            *v = v.saturating_add(if i % 2 == 0 { 100 } else { -100 });
+        }
+        let db = snr_db(&s, &noisy);
+        assert!(db > 25.0 && db < 50.0, "snr {db}");
+    }
+
+    #[test]
+    fn zero_crossings_of_square() {
+        let s = tone::square(8000, 1000.0, 80, 1000);
+        // 1 kHz at 8 kHz: a crossing every 4 samples, ~20 over 80 samples.
+        let z = zero_crossings(&s);
+        assert!((19..=21).contains(&z), "{z}");
+    }
+}

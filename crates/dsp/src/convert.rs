@@ -1,0 +1,214 @@
+//! Encoding-independent conversion.
+//!
+//! Applications "should be sheltered" from data-representation changes
+//! (paper §2); the server converts between sound encodings at players,
+//! recorders and typed wires. All conversions pass through 16-bit linear
+//! PCM.
+
+use crate::{adpcm, alaw, mulaw};
+
+/// The encodings this substrate can convert, mirroring
+/// `da_proto::types::Encoding` without depending on the protocol crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcmEncoding {
+    /// G.711 µ-law, 8 bits.
+    ULaw,
+    /// G.711 A-law, 8 bits.
+    ALaw,
+    /// Unsigned 8-bit linear with a 128 bias.
+    Pcm8,
+    /// Signed 16-bit little-endian linear.
+    Pcm16,
+    /// IMA ADPCM, 4 bits.
+    ImaAdpcm,
+}
+
+impl PcmEncoding {
+    /// Encoded bytes for `samples` samples.
+    pub fn bytes_for_samples(self, samples: usize) -> usize {
+        match self {
+            PcmEncoding::ULaw | PcmEncoding::ALaw | PcmEncoding::Pcm8 => samples,
+            PcmEncoding::Pcm16 => samples * 2,
+            PcmEncoding::ImaAdpcm => samples.div_ceil(2),
+        }
+    }
+
+    /// Samples represented by `bytes` encoded bytes.
+    pub fn samples_for_bytes(self, bytes: usize) -> usize {
+        match self {
+            PcmEncoding::ULaw | PcmEncoding::ALaw | PcmEncoding::Pcm8 => bytes,
+            PcmEncoding::Pcm16 => bytes / 2,
+            PcmEncoding::ImaAdpcm => bytes * 2,
+        }
+    }
+}
+
+/// Decodes encoded bytes to linear 16-bit samples.
+pub fn decode_to_pcm16(encoding: PcmEncoding, data: &[u8]) -> Vec<i16> {
+    match encoding {
+        PcmEncoding::ULaw => mulaw::decode_slice(data),
+        PcmEncoding::ALaw => alaw::decode_slice(data),
+        PcmEncoding::Pcm8 => {
+            data.iter().map(|&b| ((b as i16) - 128) << 8).collect()
+        }
+        PcmEncoding::Pcm16 => data
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect(),
+        PcmEncoding::ImaAdpcm => adpcm::decode_slice(data),
+    }
+}
+
+/// Encodes linear 16-bit samples to encoded bytes.
+pub fn encode_from_pcm16(encoding: PcmEncoding, pcm: &[i16]) -> Vec<u8> {
+    match encoding {
+        PcmEncoding::ULaw => mulaw::encode_slice(pcm),
+        PcmEncoding::ALaw => alaw::encode_slice(pcm),
+        PcmEncoding::Pcm8 => pcm.iter().map(|&s| ((s >> 8) + 128) as u8).collect(),
+        PcmEncoding::Pcm16 => {
+            let mut out = Vec::with_capacity(pcm.len() * 2);
+            for &s in pcm {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+            out
+        }
+        PcmEncoding::ImaAdpcm => adpcm::encode_slice(pcm),
+    }
+}
+
+/// A stateful transcoder from one encoding to another, safe to feed
+/// incrementally (required for ADPCM, whose codec state spans calls).
+#[derive(Debug)]
+pub struct Codec {
+    from: PcmEncoding,
+    to: PcmEncoding,
+    adpcm_dec: adpcm::Decoder,
+    adpcm_enc: adpcm::Encoder,
+    /// Held byte when a Pcm16 or ADPCM input block splits mid-sample.
+    carry: Vec<u8>,
+}
+
+impl Codec {
+    /// Creates a transcoder from `from` to `to`.
+    pub fn new(from: PcmEncoding, to: PcmEncoding) -> Self {
+        Codec {
+            from,
+            to,
+            adpcm_dec: adpcm::Decoder::new(),
+            adpcm_enc: adpcm::Encoder::new(),
+            carry: Vec::new(),
+        }
+    }
+
+    /// Transcodes a block of encoded input, returning encoded output.
+    pub fn push(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut input = std::mem::take(&mut self.carry);
+        input.extend_from_slice(data);
+        // Hold back a split 16-bit sample.
+        if self.from == PcmEncoding::Pcm16 && input.len() % 2 == 1 {
+            self.carry.push(input.pop().expect("non-empty"));
+        }
+        let pcm = match self.from {
+            PcmEncoding::ImaAdpcm => {
+                let mut out = Vec::with_capacity(input.len() * 2);
+                self.adpcm_dec.decode(&input, &mut out);
+                out
+            }
+            other => decode_to_pcm16(other, &input),
+        };
+        match self.to {
+            PcmEncoding::ImaAdpcm => {
+                let mut out = Vec::with_capacity(pcm.len().div_ceil(2));
+                self.adpcm_enc.encode(&pcm, &mut out);
+                out
+            }
+            other => encode_from_pcm16(other, &pcm),
+        }
+    }
+
+    /// Flushes any held ADPCM half-byte.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if self.to == PcmEncoding::ImaAdpcm {
+            self.adpcm_enc.finish(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::tone;
+
+    #[test]
+    fn pcm16_roundtrip_exact() {
+        let pcm: Vec<i16> = (-100..100).map(|i| (i * 327) as i16).collect();
+        let bytes = encode_from_pcm16(PcmEncoding::Pcm16, &pcm);
+        assert_eq!(decode_to_pcm16(PcmEncoding::Pcm16, &bytes), pcm);
+    }
+
+    #[test]
+    fn pcm8_roundtrip_within_quantum() {
+        let pcm = tone::sine(8000, 500.0, 400, 20000);
+        let bytes = encode_from_pcm16(PcmEncoding::Pcm8, &pcm);
+        let back = decode_to_pcm16(PcmEncoding::Pcm8, &bytes);
+        for (a, b) in pcm.iter().zip(back.iter()) {
+            assert!((*a as i32 - *b as i32).abs() <= 256);
+        }
+    }
+
+    #[test]
+    fn size_arithmetic() {
+        assert_eq!(PcmEncoding::ULaw.bytes_for_samples(8000), 8000);
+        assert_eq!(PcmEncoding::Pcm16.bytes_for_samples(100), 200);
+        assert_eq!(PcmEncoding::ImaAdpcm.bytes_for_samples(100), 50);
+        assert_eq!(PcmEncoding::ImaAdpcm.bytes_for_samples(101), 51);
+        assert_eq!(PcmEncoding::Pcm16.samples_for_bytes(200), 100);
+        assert_eq!(PcmEncoding::ImaAdpcm.samples_for_bytes(50), 100);
+    }
+
+    #[test]
+    fn ulaw_to_pcm16_transcoding_preserves_signal() {
+        let pcm = tone::sine(8000, 440.0, 4000, 15000);
+        let ulaw = encode_from_pcm16(PcmEncoding::ULaw, &pcm);
+        let mut codec = Codec::new(PcmEncoding::ULaw, PcmEncoding::Pcm16);
+        let mut out = Vec::new();
+        for chunk in ulaw.chunks(33) {
+            out.extend(codec.push(chunk));
+        }
+        out.extend(codec.finish());
+        let back = decode_to_pcm16(PcmEncoding::Pcm16, &out);
+        assert_eq!(back.len(), pcm.len());
+        let snr = analysis::snr_db(&pcm, &back);
+        assert!(snr > 30.0, "µ-law SNR only {snr:.1} dB");
+    }
+
+    #[test]
+    fn split_pcm16_sample_carries_across_pushes() {
+        let pcm: Vec<i16> = (0..100).map(|i| (i * 250) as i16).collect();
+        let bytes = encode_from_pcm16(PcmEncoding::Pcm16, &pcm);
+        let mut codec = Codec::new(PcmEncoding::Pcm16, PcmEncoding::Pcm16);
+        let mut out = Vec::new();
+        // Push with odd-sized chunks to split samples.
+        for chunk in bytes.chunks(3) {
+            out.extend(codec.push(chunk));
+        }
+        out.extend(codec.finish());
+        assert_eq!(out, bytes);
+    }
+
+    #[test]
+    fn adpcm_transcode_stream_matches_one_shot() {
+        let pcm = tone::sine(8000, 350.0, 1600, 9000);
+        let mut codec = Codec::new(PcmEncoding::Pcm16, PcmEncoding::ImaAdpcm);
+        let bytes = encode_from_pcm16(PcmEncoding::Pcm16, &pcm);
+        let mut out = Vec::new();
+        for chunk in bytes.chunks(16) {
+            out.extend(codec.push(chunk));
+        }
+        out.extend(codec.finish());
+        assert_eq!(out, crate::adpcm::encode_slice(&pcm));
+    }
+}

@@ -1,0 +1,209 @@
+//! DTMF (touch-tone) generation and detection.
+//!
+//! Touch tones are the input medium for telephone-based applications
+//! ("dial by name", voice-mail menus — paper §1.2). Generation produces
+//! standard dual tones; detection runs a Goertzel filter bank over the
+//! eight DTMF frequencies with an energy-ratio validity test, since even
+//! "touch tone decoding [is] quite error prone" (paper §1.4) and the
+//! detector must give prompt, reliable feedback.
+
+use crate::analysis::goertzel_power;
+use crate::tone::dual_tone;
+
+/// The four DTMF row frequencies, Hz.
+pub const ROWS: [f64; 4] = [697.0, 770.0, 852.0, 941.0];
+/// The four DTMF column frequencies, Hz.
+pub const COLS: [f64; 4] = [1209.0, 1336.0, 1477.0, 1633.0];
+
+/// Key layout indexed by `[row][col]`.
+pub const KEYS: [[u8; 4]; 4] = [
+    [b'1', b'2', b'3', b'A'],
+    [b'4', b'5', b'6', b'B'],
+    [b'7', b'8', b'9', b'C'],
+    [b'*', b'0', b'#', b'D'],
+];
+
+/// Returns the (row, col) frequencies for a DTMF digit, or `None` if the
+/// character is not a DTMF key.
+pub fn freqs_for(digit: u8) -> Option<(f64, f64)> {
+    for (r, row) in KEYS.iter().enumerate() {
+        for (c, &key) in row.iter().enumerate() {
+            if key == digit.to_ascii_uppercase() {
+                return Some((ROWS[r], COLS[c]));
+            }
+        }
+    }
+    None
+}
+
+/// Generates one DTMF digit: `on_ms` of tone followed by `off_ms` of
+/// silence.
+pub fn digit(rate: u32, key: u8, on_ms: u32, off_ms: u32, amplitude: i16) -> Option<Vec<i16>> {
+    let (f1, f2) = freqs_for(key)?;
+    let on = (rate as u64 * on_ms as u64 / 1000) as usize;
+    let off = (rate as u64 * off_ms as u64 / 1000) as usize;
+    let mut s = dual_tone(rate, f1, f2, on, amplitude);
+    crate::tone::apply_ramp(&mut s, (rate / 200) as usize);
+    s.extend(std::iter::repeat_n(0, off));
+    Some(s)
+}
+
+/// Generates a digit string with standard 80 ms on / 80 ms off timing.
+pub fn dial_string(rate: u32, digits: &str, amplitude: i16) -> Vec<i16> {
+    let mut out = Vec::new();
+    for ch in digits.bytes() {
+        if let Some(d) = digit(rate, ch, 80, 80, amplitude) {
+            out.extend(d);
+        }
+    }
+    out
+}
+
+/// Streaming DTMF detector.
+///
+/// Feed sample blocks of any size; the detector analyses fixed windows
+/// (~13 ms) internally and reports each new key press exactly once, after
+/// it has been stable for two consecutive windows.
+#[derive(Debug)]
+pub struct Detector {
+    rate: u32,
+    window: usize,
+    buf: Vec<i16>,
+    last_window: Option<u8>,
+    current: Option<u8>,
+}
+
+impl Detector {
+    /// Creates a detector for the given sample rate.
+    pub fn new(rate: u32) -> Self {
+        // 102 samples at 8 kHz is the classic Goertzel DTMF block; scale
+        // with rate.
+        let window = (rate as usize * 102) / 8000;
+        Detector { rate, window, buf: Vec::new(), last_window: None, current: None }
+    }
+
+    /// Feeds samples, returning digits whose presses began in this block.
+    pub fn push(&mut self, samples: &[i16]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.buf.extend_from_slice(samples);
+        while self.buf.len() >= self.window {
+            let block: Vec<i16> = self.buf.drain(..self.window).collect();
+            let hit = self.analyse(&block);
+            // Debounce: a key registers when seen in two consecutive
+            // windows; it must release (None window) before re-triggering.
+            match (hit, self.last_window) {
+                (Some(k), Some(prev)) if k == prev && self.current != Some(k) => {
+                    self.current = Some(k);
+                    out.push(k);
+                }
+                (None, None) => self.current = None,
+                _ => {}
+            }
+            self.last_window = hit;
+        }
+        out
+    }
+
+    fn analyse(&self, block: &[i16]) -> Option<u8> {
+        let total: f64 = block.iter().map(|&s| (s as f64) * (s as f64)).sum::<f64>()
+            / block.len() as f64;
+        if total < 1000.0 {
+            return None;
+        }
+        let row_p: Vec<f64> =
+            ROWS.iter().map(|&f| goertzel_power(block, self.rate, f)).collect();
+        let col_p: Vec<f64> =
+            COLS.iter().map(|&f| goertzel_power(block, self.rate, f)).collect();
+        let (ri, &rbest) = row_p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let (ci, &cbest) = col_p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        // Validity: the winning row and column must dominate their bands.
+        let row_rest: f64 =
+            row_p.iter().enumerate().filter(|(i, _)| *i != ri).map(|(_, &p)| p).sum();
+        let col_rest: f64 =
+            col_p.iter().enumerate().filter(|(i, _)| *i != ci).map(|(_, &p)| p).sum();
+        if rbest < 4.0 * row_rest.max(1e-12) || cbest < 4.0 * col_rest.max(1e-12) {
+            return None;
+        }
+        // Both tones must carry comparable energy (twist check).
+        if rbest > cbest * 16.0 || cbest > rbest * 16.0 {
+            return None;
+        }
+        Some(KEYS[ri][ci])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_key_has_freqs() {
+        for row in KEYS {
+            for key in row {
+                assert!(freqs_for(key).is_some(), "missing {}", key as char);
+            }
+        }
+        assert!(freqs_for(b'x').is_none());
+        assert_eq!(freqs_for(b'a'), freqs_for(b'A'));
+    }
+
+    #[test]
+    fn detects_every_key() {
+        for row in KEYS {
+            for key in row {
+                let mut det = Detector::new(8000);
+                let samples = digit(8000, key, 100, 100, 12000).unwrap();
+                let got = det.push(&samples);
+                assert_eq!(got, vec![key], "key {}", key as char);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_sequence_once_each() {
+        let mut det = Detector::new(8000);
+        let s = dial_string(8000, "555#2", 12000);
+        let got = det.push(&s);
+        assert_eq!(got, b"555#2".to_vec());
+    }
+
+    #[test]
+    fn silence_and_speech_like_noise_rejected() {
+        let mut det = Detector::new(8000);
+        assert!(det.push(&vec![0i16; 4000]).is_empty());
+        // Single tone (no column component) must not register.
+        let single = crate::tone::sine(8000, 697.0, 2000, 12000);
+        assert!(det.push(&single).is_empty());
+    }
+
+    #[test]
+    fn chunked_feed_equivalent() {
+        let s = dial_string(8000, "1234567890*#", 12000);
+        let mut det1 = Detector::new(8000);
+        let whole = det1.push(&s);
+        let mut det2 = Detector::new(8000);
+        let mut chunked = Vec::new();
+        for chunk in s.chunks(37) {
+            chunked.extend(det2.push(chunk));
+        }
+        assert_eq!(whole, chunked);
+        assert_eq!(whole, b"1234567890*#".to_vec());
+    }
+
+    #[test]
+    fn works_at_other_rates() {
+        for rate in [8000u32, 16000, 44100] {
+            let mut det = Detector::new(rate);
+            let s = digit(rate, b'7', 100, 100, 12000).unwrap();
+            assert_eq!(det.push(&s), vec![b'7'], "rate {rate}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Stream effects for the DSP device class.
+//!
+//! The paper leaves the DSP class's commands unspecified (§5.1) and asks
+//! that audio support be "extensible to support new devices and signal
+//! processing algorithms as they emerge" (§2). Effects here are selected
+//! through device controls; each processes an i16 stream in place with
+//! state that survives tick boundaries.
+
+use std::collections::VecDeque;
+
+/// A feedback echo: `out = in + feedback · delayed(out)`.
+#[derive(Debug, Clone)]
+pub struct Echo {
+    delay: VecDeque<i16>,
+    /// Feedback in milli-units (1000 = unity; values ≥ 1000 are clamped
+    /// to 950 to keep the loop stable).
+    feedback_milli: u32,
+}
+
+impl Echo {
+    /// Creates an echo with `delay_frames` of delay and the given
+    /// feedback.
+    pub fn new(delay_frames: usize, feedback_milli: u32) -> Self {
+        Echo {
+            delay: VecDeque::from(vec![0i16; delay_frames.max(1)]),
+            feedback_milli: feedback_milli.min(950),
+        }
+    }
+
+    /// Delay length in frames.
+    pub fn delay_frames(&self) -> usize {
+        self.delay.len()
+    }
+
+    /// Processes a block in place.
+    pub fn process(&mut self, samples: &mut [i16]) {
+        let fb = self.feedback_milli as i64;
+        for s in samples.iter_mut() {
+            let delayed = self.delay.pop_front().unwrap_or(0) as i64;
+            let out = (*s as i64 + delayed * fb / 1000)
+                .clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+            self.delay.push_back(out);
+            *s = out;
+        }
+    }
+}
+
+/// A single-pole low-pass filter (simple tone control).
+#[derive(Debug, Clone)]
+pub struct LowPass {
+    alpha: f64,
+    y: f64,
+}
+
+impl LowPass {
+    /// Creates a low-pass with cutoff `freq` Hz at `rate` samples/s.
+    pub fn new(rate: u32, freq: f64) -> Self {
+        let dt = 1.0 / rate as f64;
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * freq.max(1.0));
+        LowPass { alpha: dt / (rc + dt), y: 0.0 }
+    }
+
+    /// Processes a block in place.
+    pub fn process(&mut self, samples: &mut [i16]) {
+        for s in samples.iter_mut() {
+            self.y += self.alpha * (*s as f64 - self.y);
+            *s = self.y as i16;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::tone;
+
+    #[test]
+    fn echo_repeats_an_impulse() {
+        let mut e = Echo::new(100, 500);
+        let mut block = vec![0i16; 400];
+        block[0] = 10_000;
+        e.process(&mut block);
+        // Echoes at 100, 200, 300 with halving amplitude.
+        assert_eq!(block[0], 10_000);
+        assert_eq!(block[100], 5_000);
+        assert_eq!(block[200], 2_500);
+        assert_eq!(block[300], 1_250);
+        assert_eq!(block[50], 0);
+    }
+
+    #[test]
+    fn echo_state_spans_blocks() {
+        let mut whole = Echo::new(64, 700);
+        let mut a = vec![0i16; 256];
+        a[0] = 8000;
+        let mut b = a.clone();
+        whole.process(&mut a);
+
+        let mut split = Echo::new(64, 700);
+        let (first, second) = b.split_at_mut(100);
+        split.process(first);
+        split.process(second);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn echo_feedback_clamped_for_stability() {
+        let mut e = Echo::new(8, 5000);
+        assert_eq!(e.feedback_milli, 950, "feedback must be clamped below unity");
+        let mut block = vec![1000i16; 8000];
+        e.process(&mut block);
+        // With feedback below unity and constant input, the loop settles
+        // toward input/(1-fb) = 1000/0.05 = 20000 rather than diverging.
+        let tail = &block[7000..];
+        let mean: i64 = tail.iter().map(|&s| s as i64).sum::<i64>() / tail.len() as i64;
+        assert!((15_000..=25_000).contains(&mean), "echo loop unstable: mean {mean}");
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequencies() {
+        let mut lp = LowPass::new(8000, 400.0);
+        let mut low = tone::sine(8000, 200.0, 4000, 10_000);
+        lp.process(&mut low);
+        let mut lp2 = LowPass::new(8000, 400.0);
+        let mut high = tone::sine(8000, 3000.0, 4000, 10_000);
+        lp2.process(&mut high);
+        let low_rms = analysis::rms(&low[1000..]);
+        let high_rms = analysis::rms(&high[1000..]);
+        assert!(low_rms > high_rms * 4.0, "low {low_rms} high {high_rms}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Gain application.
+//!
+//! `ChangeGain` is the base command of input and output devices (paper
+//! §5.1). Gain is expressed in milli-units: 1000 is unity, 500 is −6 dB,
+//! 2000 is +6 dB. Application is saturating.
+
+/// Unity gain in milli-units.
+pub const UNITY: u32 = 1000;
+
+/// Applies a milli-unit gain to a buffer in place.
+pub fn apply(samples: &mut [i16], gain_milli: u32) {
+    if gain_milli == UNITY {
+        return;
+    }
+    let g = gain_milli as i64;
+    for s in samples.iter_mut() {
+        let v = (*s as i64 * g) / UNITY as i64;
+        *s = v.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+    }
+}
+
+/// Returns a scaled copy.
+pub fn scaled(samples: &[i16], gain_milli: u32) -> Vec<i16> {
+    let mut out = samples.to_vec();
+    apply(&mut out, gain_milli);
+    out
+}
+
+/// Converts decibels to milli-unit gain (clamped at +24 dB).
+pub fn db_to_milli(db: f64) -> u32 {
+    let db = db.min(24.0);
+    (10f64.powf(db / 20.0) * UNITY as f64).round() as u32
+}
+
+/// Converts milli-unit gain to decibels (`-inf` for zero).
+pub fn milli_to_db(gain_milli: u32) -> f64 {
+    if gain_milli == 0 {
+        return f64::NEG_INFINITY;
+    }
+    20.0 * (gain_milli as f64 / UNITY as f64).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_is_identity() {
+        let orig = vec![1i16, -2, 30000, i16::MIN];
+        let mut s = orig.clone();
+        apply(&mut s, UNITY);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn half_gain() {
+        let mut s = vec![1000i16, -1000, 1];
+        apply(&mut s, 500);
+        assert_eq!(s, vec![500, -500, 0]);
+    }
+
+    #[test]
+    fn boost_saturates() {
+        let mut s = vec![20000i16, -20000];
+        apply(&mut s, 2000);
+        assert_eq!(s, vec![i16::MAX, i16::MIN]);
+    }
+
+    #[test]
+    fn zero_gain_mutes() {
+        let mut s = vec![123i16, -55];
+        apply(&mut s, 0);
+        assert_eq!(s, vec![0, 0]);
+    }
+
+    #[test]
+    fn db_conversions() {
+        assert_eq!(db_to_milli(0.0), UNITY);
+        assert!((db_to_milli(-6.0) as i64 - 501).abs() <= 1);
+        assert!((db_to_milli(6.0) as i64 - 1995).abs() <= 2);
+        assert!((milli_to_db(UNITY)).abs() < 1e-9);
+        assert!(milli_to_db(0) == f64::NEG_INFINITY);
+        // Round trip within rounding error.
+        for db in [-20.0, -6.0, 0.0, 6.0, 20.0] {
+            assert!((milli_to_db(db_to_milli(db)) - db).abs() < 0.05);
+        }
+    }
+}

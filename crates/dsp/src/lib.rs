@@ -1,0 +1,39 @@
+//! Audio signal-processing substrate for the desktop-audio system.
+//!
+//! Everything the server needs to manipulate telephone- through CD-quality
+//! audio in software, with no special hardware (paper §1.1: "more and more
+//! audio processing can be implemented on the workstation itself"):
+//!
+//! - G.711 µ-law and A-law companding ([`mulaw`], [`alaw`]);
+//! - IMA/DVI ADPCM at 4 bits per sample ([`adpcm`]);
+//! - encoding-independent conversion through 16-bit linear PCM
+//!   ([`convert`]);
+//! - stream mixing and gain ([`mix`], [`gain`]);
+//! - sample-rate conversion ([`resample`]);
+//! - tone and telephony signal generation ([`tone`]);
+//! - DTMF generation and Goertzel detection ([`dtmf`]);
+//! - stream effects for the DSP device class ([`effects`]);
+//! - automatic gain control ([`agc`]);
+//! - silence/pause detection and pause compression ([`silence`]);
+//! - signal analysis helpers ([`analysis`]);
+//! - a minimal RIFF/WAVE reader and writer ([`wav`]).
+//!
+//! The interchange representation throughout is `i16` linear PCM sample
+//! frames; encoders and decoders translate to and from the wire encodings.
+
+pub mod adpcm;
+pub mod agc;
+pub mod alaw;
+pub mod analysis;
+pub mod convert;
+pub mod dtmf;
+pub mod effects;
+pub mod gain;
+pub mod mix;
+pub mod mulaw;
+pub mod resample;
+pub mod silence;
+pub mod tone;
+pub mod wav;
+
+pub use convert::{decode_to_pcm16, encode_from_pcm16, Codec, PcmEncoding};

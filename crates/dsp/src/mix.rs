@@ -1,0 +1,156 @@
+//! Stream mixing.
+//!
+//! Mixers "take data on multiple inputs, combine the streams and then
+//! present the combined data on one or more output ports. The relative
+//! combination is determined by a percentage assigned to each input"
+//! (paper §5.1). Mixing is saturating: simultaneous loud streams clip
+//! rather than wrap.
+
+/// Mixes `src` into `acc` in place with a percentage weight (100 = unity).
+pub fn mix_into(acc: &mut [i16], src: &[i16], percent: u8) {
+    let p = percent as i32;
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        let contribution = (s as i32 * p) / 100;
+        *a = (*a as i32 + contribution).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+    }
+}
+
+/// Mixes many weighted streams into a fresh buffer of length `len`.
+pub fn mix_streams(streams: &[(&[i16], u8)], len: usize) -> Vec<i16> {
+    let mut acc = vec![0i16; len];
+    for (src, pct) in streams {
+        mix_into(&mut acc, src, *pct);
+    }
+    acc
+}
+
+/// An N-input accumulating mixer that the server's engine drives one tick
+/// at a time.
+#[derive(Debug)]
+pub struct Mixer {
+    gains: Vec<u8>,
+    acc: Vec<i32>,
+}
+
+impl Mixer {
+    /// Creates a mixer with `inputs` inputs, all at 100%.
+    pub fn new(inputs: usize) -> Self {
+        Mixer { gains: vec![100; inputs], acc: Vec::new() }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// Sets the mix percentage of one input (paper: the mixer `SetGain`
+    /// command). Out-of-range inputs are ignored.
+    pub fn set_gain(&mut self, input: usize, percent: u8) {
+        if let Some(g) = self.gains.get_mut(input) {
+            *g = percent;
+        }
+    }
+
+    /// Returns the gain of an input.
+    pub fn gain(&self, input: usize) -> Option<u8> {
+        self.gains.get(input).copied()
+    }
+
+    /// Begins a tick of `len` frames.
+    pub fn begin(&mut self, len: usize) {
+        self.acc.clear();
+        self.acc.resize(len, 0);
+    }
+
+    /// Feeds one input's samples for the current tick.
+    pub fn feed(&mut self, input: usize, samples: &[i16]) {
+        let pct = self.gains.get(input).copied().unwrap_or(0) as i32;
+        for (a, &s) in self.acc.iter_mut().zip(samples.iter()) {
+            *a += s as i32 * pct / 100;
+        }
+    }
+
+    /// Finishes the tick, returning the saturated mix.
+    pub fn take(&mut self) -> Vec<i16> {
+        self.acc
+            .drain(..)
+            .map(|v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unity_mix_adds() {
+        let mut acc = vec![100i16, -50, 0];
+        mix_into(&mut acc, &[1, 2, 3], 100);
+        assert_eq!(acc, vec![101, -48, 3]);
+    }
+
+    #[test]
+    fn percentage_scales() {
+        let mut acc = vec![0i16; 4];
+        mix_into(&mut acc, &[1000, 1000, 1000, 1000], 50);
+        assert_eq!(acc, vec![500; 4]);
+    }
+
+    #[test]
+    fn saturation_not_wraparound() {
+        let mut acc = vec![30000i16, -30000];
+        mix_into(&mut acc, &[10000, -10000], 100);
+        assert_eq!(acc, vec![i16::MAX, i16::MIN]);
+    }
+
+    #[test]
+    fn length_mismatch_uses_shorter() {
+        let mut acc = vec![0i16; 2];
+        mix_into(&mut acc, &[5, 5, 5, 5], 100);
+        assert_eq!(acc, vec![5, 5]);
+    }
+
+    #[test]
+    fn mix_streams_combines_all() {
+        let a = vec![100i16; 8];
+        let b = vec![-40i16; 8];
+        let out = mix_streams(&[(&a, 100), (&b, 50)], 8);
+        assert_eq!(out, vec![80i16; 8]);
+    }
+
+    #[test]
+    fn mixer_object_tick_cycle() {
+        let mut m = Mixer::new(2);
+        m.set_gain(1, 25);
+        m.begin(4);
+        m.feed(0, &[1000, 1000, 1000, 1000]);
+        m.feed(1, &[400, 400, 400, 400]);
+        assert_eq!(m.take(), vec![1100; 4]);
+        // Second tick starts clean.
+        m.begin(2);
+        m.feed(0, &[7, 7]);
+        assert_eq!(m.take(), vec![7, 7]);
+    }
+
+    #[test]
+    fn mixer_accumulates_headroom_before_clipping() {
+        // Three inputs at 20000 each would clip pairwise, but the i32
+        // accumulator only clips once at the end: 60000 -> 32767.
+        let mut m = Mixer::new(3);
+        m.begin(1);
+        for i in 0..3 {
+            m.feed(i, &[20000]);
+        }
+        assert_eq!(m.take(), vec![i16::MAX]);
+    }
+
+    #[test]
+    fn unknown_input_is_silent() {
+        let mut m = Mixer::new(1);
+        m.begin(2);
+        m.feed(5, &[1000, 1000]);
+        assert_eq!(m.take(), vec![0, 0]);
+        assert_eq!(m.gain(5), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! G.711 µ-law companding.
+//!
+//! µ-law maps 14 significant bits of linear PCM onto 8 bits with a
+//! logarithmic characteristic, the North American telephone standard and
+//! the paper's default encoding (8,000 bytes per second at 8 kHz, §1.1).
+
+/// Bias added before segment search, per G.711.
+const BIAS: i32 = 0x84;
+/// Input clip level (13 bits of magnitude after bias headroom).
+const CLIP: i32 = 32_635;
+
+/// Encodes one 16-bit linear sample to µ-law.
+pub fn encode(sample: i16) -> u8 {
+    let mut pcm = sample as i32;
+    let sign: u8 = if pcm < 0 {
+        pcm = -pcm;
+        0x80
+    } else {
+        0
+    };
+    if pcm > CLIP {
+        pcm = CLIP;
+    }
+    pcm += BIAS;
+    // Find the segment (exponent): position of the highest set bit above
+    // bit 7.
+    let mut seg = 0u8;
+    let mut probe = pcm >> 7;
+    while probe > 1 && seg < 7 {
+        probe >>= 1;
+        seg += 1;
+    }
+    let mantissa = ((pcm >> (seg + 3)) & 0x0F) as u8;
+    !(sign | (seg << 4) | mantissa)
+}
+
+/// Decodes one µ-law byte to 16-bit linear PCM.
+pub fn decode(ulaw: u8) -> i16 {
+    let u = !ulaw;
+    let sign = u & 0x80;
+    let seg = (u >> 4) & 0x07;
+    let mantissa = u & 0x0F;
+    let magnitude = (((mantissa as i32) << 3) + BIAS) << seg;
+    let linear = magnitude - BIAS;
+    if sign != 0 {
+        -linear as i16
+    } else {
+        linear as i16
+    }
+}
+
+/// Encodes a slice of linear samples to µ-law.
+pub fn encode_slice(pcm: &[i16]) -> Vec<u8> {
+    pcm.iter().map(|&s| encode(s)).collect()
+}
+
+/// Decodes a slice of µ-law bytes to linear samples.
+pub fn decode_slice(ulaw: &[u8]) -> Vec<i16> {
+    ulaw.iter().map(|&b| decode(b)).collect()
+}
+
+/// The µ-law byte representing digital silence (linear zero).
+pub const SILENCE: u8 = 0xFF;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_silence_byte() {
+        assert_eq!(encode(0), SILENCE);
+        assert_eq!(decode(SILENCE), 0);
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        for s in [100i16, 1000, 5000, 20000, 32000] {
+            let pos = decode(encode(s));
+            let neg = decode(encode(-s));
+            assert_eq!(pos, -neg, "asymmetric at {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_logarithmically_bounded() {
+        // µ-law guarantees a roughly constant *relative* error: the step
+        // size in segment k is 2^(k+3), so error <= half the step of the
+        // containing segment.
+        for s in (-32000i32..32000).step_by(17) {
+            let s = s as i16;
+            let r = decode(encode(s)) as i32;
+            let err = (r - s as i32).abs();
+            let bound = ((s as i32).abs() / 16).max(16) + 16;
+            assert!(err <= bound, "sample {s} decoded {r}, err {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn decode_is_monotonic_over_positive_codes() {
+        // Increasing linear input must never produce a decode that moves
+        // backwards (companding is monotonic).
+        let mut last = decode(encode(0));
+        for s in (0i32..32600).step_by(7) {
+            let d = decode(encode(s as i16));
+            assert!(d >= last, "decode moved backwards at {s}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn clipping_saturates() {
+        assert_eq!(decode(encode(i16::MAX)), decode(encode(32700)));
+        assert_eq!(decode(encode(i16::MIN)), decode(encode(-32700)));
+    }
+
+    #[test]
+    fn all_256_codes_decode_and_reencode() {
+        // Every µ-law code word must survive decode→encode unchanged
+        // (codec idempotence on its own code space), except that 0x7F and
+        // 0xFF both decode to values encoding to silence-adjacent codes.
+        for code in 0u8..=255 {
+            let lin = decode(code);
+            let re = encode(lin);
+            let lin2 = decode(re);
+            assert_eq!(lin, lin2, "code {code:#x} not idempotent");
+        }
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let pcm: Vec<i16> = (-50..50).map(|i| (i * 300) as i16).collect();
+        let enc = encode_slice(&pcm);
+        assert_eq!(enc.len(), pcm.len());
+        let dec = decode_slice(&enc);
+        for (i, (&orig, &got)) in pcm.iter().zip(dec.iter()).enumerate() {
+            assert_eq!(got, decode(encode(orig)), "index {i}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Sample-rate conversion by linear interpolation.
+//!
+//! The server must route sounds between devices of different rates (an
+//! 8 kHz telephone sound to a 44.1 kHz output, or down again). Linear
+//! interpolation is adequate for speech; a stateful [`Resampler`] keeps
+//! fractional position across tick-sized blocks so streams resample
+//! without seams.
+
+/// One-shot resampling of a whole buffer.
+pub fn resample(input: &[i16], from_rate: u32, to_rate: u32) -> Vec<i16> {
+    let mut r = Resampler::new(from_rate, to_rate);
+    let mut out = r.push(input);
+    out.extend(r.finish());
+    out
+}
+
+/// Streaming linear-interpolation resampler.
+#[derive(Debug)]
+pub struct Resampler {
+    from_rate: u32,
+    to_rate: u32,
+    /// Position in input samples of the next output sample, as a fixed
+    /// fraction: `pos = pos_int + pos_frac/to_rate` measured in input
+    /// sample units scaled by `to_rate`.
+    pos_num: u64,
+    /// Input samples consumed so far (origin of `pos_num`).
+    consumed: u64,
+    /// Last sample of the previous block, for interpolation continuity.
+    prev: Option<i16>,
+}
+
+impl Resampler {
+    /// Creates a resampler from `from_rate` to `to_rate` samples/s.
+    pub fn new(from_rate: u32, to_rate: u32) -> Self {
+        assert!(from_rate > 0 && to_rate > 0, "rates must be positive");
+        Resampler { from_rate, to_rate, pos_num: 0, consumed: 0, prev: None }
+    }
+
+    /// Ratio of output to input length, as (numerator, denominator).
+    pub fn ratio(&self) -> (u32, u32) {
+        (self.to_rate, self.from_rate)
+    }
+
+    /// Number of output samples that `input_len` more input samples would
+    /// let the resampler produce right now.
+    pub fn output_len_for(&self, input_len: usize) -> usize {
+        let avail = self.consumed + input_len as u64;
+        if avail == 0 {
+            return 0;
+        }
+        // Output k is taken at input position k*from/to; it is producible
+        // while position+1 <= available (one-sample lookahead for lerp),
+        // except that the final sample is produced in finish().
+        let max_pos = avail.saturating_sub(1);
+        let k_max = max_pos * self.to_rate as u64 / self.from_rate as u64;
+        (k_max + 1).saturating_sub(self.pos_num / self.from_rate as u64) as usize
+    }
+
+    /// Feeds a block, producing resampled output.
+    pub fn push(&mut self, input: &[i16]) -> Vec<i16> {
+        if self.from_rate == self.to_rate {
+            return input.to_vec();
+        }
+        let mut out = Vec::new();
+        // Build a working window: [prev] + input, where prev sits at
+        // absolute index consumed-1.
+        let base = if self.prev.is_some() { self.consumed - 1 } else { self.consumed };
+        let mut window: Vec<i16> = Vec::with_capacity(input.len() + 1);
+        if let Some(p) = self.prev {
+            window.push(p);
+        }
+        window.extend_from_slice(input);
+        let avail_end = self.consumed + input.len() as u64;
+        loop {
+            // Absolute input position of the next output sample.
+            let k = self.pos_num;
+            let int_pos = k / self.to_rate as u64;
+            let frac = (k % self.to_rate as u64) as f64 / self.to_rate as f64;
+            // Need int_pos and int_pos+1 inside the window for lerp.
+            if int_pos + 1 >= avail_end {
+                break;
+            }
+            if int_pos < base {
+                // Should not happen: output can never precede the window.
+                break;
+            }
+            let i0 = (int_pos - base) as usize;
+            let s0 = window[i0] as f64;
+            let s1 = window[i0 + 1] as f64;
+            out.push((s0 + (s1 - s0) * frac) as i16);
+            self.pos_num += self.from_rate as u64;
+        }
+        self.consumed = avail_end;
+        self.prev = input.last().copied().or(self.prev);
+        out
+    }
+
+    /// Flushes the final sample position (which has no lookahead).
+    pub fn finish(&mut self) -> Vec<i16> {
+        match self.prev {
+            Some(p) if self.from_rate != self.to_rate => {
+                let mut out = Vec::new();
+                // Emit output positions that fall exactly on or after the
+                // last input sample, holding its value.
+                while self.pos_num / (self.to_rate as u64) < self.consumed {
+                    out.push(p);
+                    self.pos_num += self.from_rate as u64;
+                }
+                self.prev = None;
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::tone;
+
+    #[test]
+    fn identity_rate_is_passthrough() {
+        let s = tone::sine(8000, 440.0, 100, 10000);
+        assert_eq!(resample(&s, 8000, 8000), s);
+    }
+
+    #[test]
+    fn upsample_doubles_length() {
+        let s = tone::sine(8000, 440.0, 4000, 10000);
+        let out = resample(&s, 8000, 16000);
+        let expect = 8000usize;
+        assert!(
+            (out.len() as i64 - expect as i64).abs() <= 2,
+            "got {} want ~{expect}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn downsample_halves_length() {
+        let s = tone::sine(16000, 440.0, 8000, 10000);
+        let out = resample(&s, 16000, 8000);
+        assert!((out.len() as i64 - 4000).abs() <= 2, "got {}", out.len());
+    }
+
+    #[test]
+    fn tone_frequency_preserved_through_rate_change() {
+        let s = tone::sine(8000, 440.0, 8000, 12000);
+        let up = resample(&s, 8000, 44100);
+        let p440 = analysis::goertzel_power(&up, 44100, 440.0);
+        let p880 = analysis::goertzel_power(&up, 44100, 880.0);
+        assert!(p440 > p880 * 50.0, "440Hz {p440}, 880Hz {p880}");
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let s = tone::sine(8000, 300.0, 3210, 9000);
+        let one = resample(&s, 8000, 11025);
+        let mut r = Resampler::new(8000, 11025);
+        let mut streamed = Vec::new();
+        for chunk in s.chunks(77) {
+            streamed.extend(r.push(chunk));
+        }
+        streamed.extend(r.finish());
+        assert_eq!(one, streamed);
+    }
+
+    #[test]
+    fn non_integer_ratio() {
+        let s = tone::sine(44100, 1000.0, 44100, 10000);
+        let out = resample(&s, 44100, 8000);
+        assert!((out.len() as i64 - 8000).abs() <= 2, "got {}", out.len());
+        let p = analysis::goertzel_power(&out, 8000, 1000.0);
+        let bg = analysis::goertzel_power(&out, 8000, 2000.0);
+        assert!(p > bg * 20.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(resample(&[], 8000, 16000).is_empty());
+        let mut r = Resampler::new(8000, 16000);
+        assert!(r.push(&[]).is_empty());
+        assert!(r.finish().is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Silence detection and pause compression.
+//!
+//! Recorders may detect pauses to terminate recording (the answering
+//! machine of paper §5.9 stops "after a pause") and may "compress the
+//! recorded audio by removing pauses" (paper §5.1 device attributes).
+
+/// Streaming pause detector: reports when `min_silence` consecutive
+/// samples stay below `threshold`.
+#[derive(Debug, Clone)]
+pub struct PauseDetector {
+    threshold: u16,
+    min_silence: u64,
+    run: u64,
+    /// Set once the pause condition has been met; latches until reset.
+    triggered: bool,
+    /// Whether any non-silent sample has been seen (a pause only counts
+    /// after speech has begun).
+    heard_signal: bool,
+}
+
+impl PauseDetector {
+    /// Creates a detector: `min_silence` consecutive sub-`threshold`
+    /// samples end the utterance.
+    pub fn new(threshold: u16, min_silence: u64) -> Self {
+        PauseDetector { threshold, min_silence, run: 0, triggered: false, heard_signal: false }
+    }
+
+    /// Feeds samples; returns `true` if the pause condition has been met
+    /// (now or previously).
+    pub fn push(&mut self, samples: &[i16]) -> bool {
+        if self.triggered {
+            return true;
+        }
+        for &s in samples {
+            if s.unsigned_abs() < self.threshold as u32 as u16 {
+                if self.heard_signal {
+                    self.run += 1;
+                    if self.run >= self.min_silence {
+                        self.triggered = true;
+                        return true;
+                    }
+                }
+            } else {
+                self.heard_signal = true;
+                self.run = 0;
+            }
+        }
+        false
+    }
+
+    /// Whether the detector has fired.
+    pub fn triggered(&self) -> bool {
+        self.triggered
+    }
+
+    /// Resets for a new utterance.
+    pub fn reset(&mut self) {
+        self.run = 0;
+        self.triggered = false;
+        self.heard_signal = false;
+    }
+}
+
+/// Removes pauses longer than `max_pause` samples, leaving exactly
+/// `max_pause` samples of each long pause so speech rhythm survives
+/// (pause compression, paper §5.1).
+pub fn compress_pauses(samples: &[i16], threshold: u16, max_pause: usize) -> Vec<i16> {
+    let mut out = Vec::with_capacity(samples.len());
+    let mut run = 0usize;
+    for &s in samples {
+        if s.unsigned_abs() < threshold as u32 as u16 {
+            run += 1;
+            if run <= max_pause {
+                out.push(s);
+            }
+        } else {
+            run = 0;
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Classifies fixed-size frames as speech or silence by RMS; returns one
+/// bool per frame (`true` = speech). Used by the recognizer for endpoint
+/// detection.
+pub fn frame_activity(samples: &[i16], frame: usize, threshold_rms: f64) -> Vec<bool> {
+    samples
+        .chunks(frame)
+        .map(|c| crate::analysis::rms(c) >= threshold_rms)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone;
+
+    fn speech_then_silence() -> Vec<i16> {
+        let mut s = tone::sine(8000, 300.0, 8000, 10000);
+        s.extend(std::iter::repeat_n(0i16, 8000));
+        s
+    }
+
+    #[test]
+    fn detects_trailing_pause() {
+        let mut det = PauseDetector::new(200, 4000);
+        assert!(det.push(&speech_then_silence()));
+        assert!(det.triggered());
+    }
+
+    #[test]
+    fn leading_silence_does_not_trigger() {
+        let mut det = PauseDetector::new(200, 4000);
+        // 2 s of silence before any speech: not a pause, the caller just
+        // hasn't started talking.
+        assert!(!det.push(&vec![0i16; 16000]));
+        assert!(!det.push(&tone::sine(8000, 300.0, 4000, 10000)));
+        assert!(det.push(&vec![0i16; 4001]));
+    }
+
+    #[test]
+    fn short_gaps_tolerated() {
+        let mut det = PauseDetector::new(200, 4000);
+        let mut signal = Vec::new();
+        for _ in 0..10 {
+            signal.extend(tone::sine(8000, 300.0, 1000, 10000));
+            signal.extend(std::iter::repeat_n(0i16, 1000));
+        }
+        assert!(!det.push(&signal), "inter-word gaps must not trigger");
+    }
+
+    #[test]
+    fn latches_until_reset() {
+        let mut det = PauseDetector::new(200, 100);
+        det.push(&speech_then_silence());
+        assert!(det.push(&tone::sine(8000, 300.0, 100, 10000)));
+        det.reset();
+        assert!(!det.push(&tone::sine(8000, 300.0, 100, 10000)));
+    }
+
+    #[test]
+    fn compression_shortens_long_pauses_only() {
+        let mut s = tone::sine(8000, 300.0, 800, 10000);
+        s.extend(std::iter::repeat_n(0i16, 8000)); // 1 s pause
+        s.extend(tone::sine(8000, 300.0, 800, 10000));
+        let out = compress_pauses(&s, 200, 1600); // keep 200 ms
+        assert!(out.len() < s.len());
+        // Speech content preserved: total retained = 800 + 1600 + 800
+        // plus the near-zero sine-edge samples that fall under threshold.
+        assert!((out.len() as i64 - 3200).abs() < 200, "len {}", out.len());
+    }
+
+    #[test]
+    fn compression_leaves_short_pauses_alone() {
+        let mut s = tone::sine(8000, 300.0, 800, 10000);
+        s.extend(std::iter::repeat_n(0i16, 100));
+        s.extend(tone::sine(8000, 300.0, 800, 10000));
+        let out = compress_pauses(&s, 200, 1600);
+        assert_eq!(out.len(), s.len());
+    }
+
+    #[test]
+    fn frame_activity_labels() {
+        let mut s = vec![0i16; 800];
+        s.extend(tone::sine(8000, 300.0, 800, 10000));
+        let act = frame_activity(&s, 800, 500.0);
+        assert_eq!(act, vec![false, true]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Tone and telephony signal generation.
+//!
+//! Generates the sounds a workstation audio system needs synthetically:
+//! test tones, the "beep" of an answering machine, and North American
+//! call-progress tones (dial tone, ringback, busy) that the PSTN simulator
+//! plays in-band.
+
+use std::f64::consts::TAU;
+
+/// Generates `len` samples of a sine at `freq` Hz, `rate` samples/s, with
+/// peak `amplitude`.
+pub fn sine(rate: u32, freq: f64, len: usize, amplitude: i16) -> Vec<i16> {
+    let mut out = Vec::with_capacity(len);
+    let step = TAU * freq / rate as f64;
+    for n in 0..len {
+        out.push((amplitude as f64 * (step * n as f64).sin()) as i16);
+    }
+    out
+}
+
+/// Generates the sum of two sines (used by every call-progress tone and by
+/// DTMF), clamped to `i16`.
+pub fn dual_tone(rate: u32, f1: f64, f2: f64, len: usize, amplitude: i16) -> Vec<i16> {
+    let s1 = TAU * f1 / rate as f64;
+    let s2 = TAU * f2 / rate as f64;
+    let a = amplitude as f64 / 2.0;
+    (0..len)
+        .map(|n| {
+            let t = n as f64;
+            ((s1 * t).sin() * a + (s2 * t).sin() * a) as i16
+        })
+        .collect()
+}
+
+/// Generates a square wave.
+pub fn square(rate: u32, freq: f64, len: usize, amplitude: i16) -> Vec<i16> {
+    let period = rate as f64 / freq;
+    (0..len)
+        .map(|n| {
+            let phase = (n as f64 % period) / period;
+            if phase < 0.5 {
+                amplitude
+            } else {
+                -amplitude
+            }
+        })
+        .collect()
+}
+
+/// Generates `len` samples of silence.
+pub fn silence(len: usize) -> Vec<i16> {
+    vec![0; len]
+}
+
+/// Applies a linear attack/release ramp of `ramp` samples to both ends,
+/// removing clicks at tone boundaries.
+pub fn apply_ramp(samples: &mut [i16], ramp: usize) {
+    let n = samples.len();
+    let ramp = ramp.min(n / 2);
+    for i in 0..ramp {
+        let g = i as f64 / ramp as f64;
+        samples[i] = (samples[i] as f64 * g) as i16;
+        samples[n - 1 - i] = (samples[n - 1 - i] as f64 * g) as i16;
+    }
+}
+
+/// North American call-progress tones (frequencies per Bell System
+/// precise-tone plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallProgressTone {
+    /// 350 + 440 Hz continuous.
+    Dial,
+    /// 440 + 480 Hz, 2 s on / 4 s off.
+    Ringback,
+    /// 480 + 620 Hz, 0.5 s on / 0.5 s off.
+    Busy,
+    /// 480 + 620 Hz, 0.25 s on / 0.25 s off.
+    Reorder,
+}
+
+impl CallProgressTone {
+    /// The tone's frequency pair.
+    pub fn freqs(self) -> (f64, f64) {
+        match self {
+            CallProgressTone::Dial => (350.0, 440.0),
+            CallProgressTone::Ringback => (440.0, 480.0),
+            CallProgressTone::Busy | CallProgressTone::Reorder => (480.0, 620.0),
+        }
+    }
+
+    /// On/off cadence in milliseconds (`None` = continuous).
+    pub fn cadence_ms(self) -> Option<(u32, u32)> {
+        match self {
+            CallProgressTone::Dial => None,
+            CallProgressTone::Ringback => Some((2000, 4000)),
+            CallProgressTone::Busy => Some((500, 500)),
+            CallProgressTone::Reorder => Some((250, 250)),
+        }
+    }
+
+    /// Produces the tone's sample at absolute stream position `pos`,
+    /// honouring the cadence. Deterministic in `pos`, so the generator is
+    /// stateless and resumable.
+    pub fn sample_at(self, rate: u32, pos: u64, amplitude: i16) -> i16 {
+        if let Some((on_ms, off_ms)) = self.cadence_ms() {
+            let on = on_ms as u64 * rate as u64 / 1000;
+            let off = off_ms as u64 * rate as u64 / 1000;
+            if pos % (on + off) >= on {
+                return 0;
+            }
+        }
+        let (f1, f2) = self.freqs();
+        let t = pos as f64;
+        let s1 = TAU * f1 / rate as f64;
+        let s2 = TAU * f2 / rate as f64;
+        let a = amplitude as f64 / 2.0;
+        ((s1 * t).sin() * a + (s2 * t).sin() * a) as i16
+    }
+
+    /// Fills `out` with the tone starting at stream position `pos`.
+    pub fn fill(self, rate: u32, pos: u64, amplitude: i16, out: &mut [i16]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.sample_at(rate, pos + i as u64, amplitude);
+        }
+    }
+}
+
+/// The standard answering-machine/alert beep: 1 kHz for 250 ms with click
+/// suppression.
+pub fn beep(rate: u32) -> Vec<i16> {
+    let mut s = sine(rate, 1000.0, (rate / 4) as usize, 14000);
+    apply_ramp(&mut s, (rate / 100) as usize);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn sine_frequency_is_correct() {
+        let s = sine(8000, 440.0, 8000, 16000);
+        let e_in = analysis::goertzel_power(&s, 8000, 440.0);
+        let e_out = analysis::goertzel_power(&s, 8000, 880.0);
+        assert!(e_in > e_out * 100.0, "in-band {e_in}, out-of-band {e_out}");
+    }
+
+    #[test]
+    fn dual_tone_has_both_components() {
+        let s = dual_tone(8000, 350.0, 440.0, 8000, 16000);
+        let p1 = analysis::goertzel_power(&s, 8000, 350.0);
+        let p2 = analysis::goertzel_power(&s, 8000, 440.0);
+        let p3 = analysis::goertzel_power(&s, 8000, 1000.0);
+        assert!(p1 > p3 * 50.0);
+        assert!(p2 > p3 * 50.0);
+    }
+
+    #[test]
+    fn square_wave_alternates() {
+        let s = square(8000, 1000.0, 16, 1000);
+        assert_eq!(&s[..8], &[1000, 1000, 1000, 1000, -1000, -1000, -1000, -1000]);
+    }
+
+    #[test]
+    fn ramp_zeroes_endpoints() {
+        let mut s = vec![10000i16; 100];
+        apply_ramp(&mut s, 10);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[99], 0);
+        assert_eq!(s[50], 10000);
+    }
+
+    #[test]
+    fn ringback_cadence() {
+        let t = CallProgressTone::Ringback;
+        // Within the first 2 s: tone present.
+        let on: Vec<i16> = (0..800).map(|i| t.sample_at(8000, i, 16000)).collect();
+        assert!(analysis::rms(&on) > 1000.0);
+        // Between 2 s and 6 s: silence.
+        let off: Vec<i16> =
+            (20000..24000u64).map(|i| t.sample_at(8000, i, 16000)).collect();
+        assert_eq!(analysis::rms(&off), 0.0);
+    }
+
+    #[test]
+    fn dial_tone_continuous() {
+        let t = CallProgressTone::Dial;
+        for start in [0u64, 50_000, 1_000_000] {
+            let s: Vec<i16> = (start..start + 800).map(|i| t.sample_at(8000, i, 16000)).collect();
+            assert!(analysis::rms(&s) > 1000.0, "silent at {start}");
+        }
+    }
+
+    #[test]
+    fn fill_matches_sample_at() {
+        let t = CallProgressTone::Busy;
+        let mut buf = vec![0i16; 128];
+        t.fill(8000, 777, 12000, &mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, t.sample_at(8000, 777 + i as u64, 12000));
+        }
+    }
+
+    #[test]
+    fn beep_is_bounded_and_click_free() {
+        let b = beep(8000);
+        assert_eq!(b.len(), 2000);
+        assert_eq!(b[0], 0);
+        assert!(analysis::rms(&b[500..1500]) > 5000.0);
+    }
+}

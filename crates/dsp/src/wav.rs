@@ -1,0 +1,211 @@
+//! Minimal RIFF/WAVE reading and writing.
+//!
+//! The server's sound catalogues can load and save standard `.wav` files
+//! (PCM-16, PCM-8 and µ-law formats), so recorded messages are usable by
+//! other tools. Only canonical, uncompressed chunk layouts are produced;
+//! the reader tolerates extra chunks.
+
+use crate::convert::PcmEncoding;
+
+/// A decoded WAVE file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavFile {
+    /// Sample rate, Hz.
+    pub sample_rate: u32,
+    /// Channel count.
+    pub channels: u16,
+    /// Interleaved linear samples.
+    pub samples: Vec<i16>,
+}
+
+/// Errors from WAVE parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WavError {
+    /// Missing or malformed RIFF/WAVE header.
+    NotWave,
+    /// The file ends mid-chunk.
+    Truncated,
+    /// The format chunk declares an unsupported codec.
+    UnsupportedFormat(u16),
+    /// No `fmt ` or no `data` chunk was found.
+    MissingChunk(&'static str),
+}
+
+impl std::fmt::Display for WavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WavError::NotWave => write!(f, "not a RIFF/WAVE file"),
+            WavError::Truncated => write!(f, "file truncated mid-chunk"),
+            WavError::UnsupportedFormat(tag) => write!(f, "unsupported WAVE format {tag}"),
+            WavError::MissingChunk(name) => write!(f, "missing {name} chunk"),
+        }
+    }
+}
+
+impl std::error::Error for WavError {}
+
+const FORMAT_PCM: u16 = 1;
+const FORMAT_MULAW: u16 = 7;
+
+fn rd_u32(b: &[u8], off: usize) -> Result<u32, WavError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(WavError::Truncated)
+}
+
+fn rd_u16(b: &[u8], off: usize) -> Result<u16, WavError> {
+    b.get(off..off + 2).map(|s| u16::from_le_bytes([s[0], s[1]])).ok_or(WavError::Truncated)
+}
+
+/// Parses a WAVE file from memory.
+pub fn decode(bytes: &[u8]) -> Result<WavFile, WavError> {
+    if bytes.len() < 12 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(WavError::NotWave);
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // (tag, channels, rate, bits)
+    let mut data: Option<&[u8]> = None;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let size = rd_u32(bytes, pos + 4)? as usize;
+        let body_start = pos + 8;
+        let body_end = body_start.checked_add(size).ok_or(WavError::Truncated)?;
+        if body_end > bytes.len() {
+            return Err(WavError::Truncated);
+        }
+        match id {
+            b"fmt " => {
+                let tag = rd_u16(bytes, body_start)?;
+                let channels = rd_u16(bytes, body_start + 2)?;
+                let rate = rd_u32(bytes, body_start + 4)?;
+                let bits = rd_u16(bytes, body_start + 14)?;
+                fmt = Some((tag, channels, rate, bits));
+            }
+            b"data" => data = Some(&bytes[body_start..body_end]),
+            _ => {}
+        }
+        // Chunks are word-aligned.
+        pos = body_end + (size & 1);
+    }
+    let (tag, channels, rate, bits) = fmt.ok_or(WavError::MissingChunk("fmt "))?;
+    let data = data.ok_or(WavError::MissingChunk("data"))?;
+    let samples = match (tag, bits) {
+        (FORMAT_PCM, 16) => crate::convert::decode_to_pcm16(PcmEncoding::Pcm16, data),
+        (FORMAT_PCM, 8) => crate::convert::decode_to_pcm16(PcmEncoding::Pcm8, data),
+        (FORMAT_MULAW, 8) => crate::convert::decode_to_pcm16(PcmEncoding::ULaw, data),
+        (t, _) => return Err(WavError::UnsupportedFormat(t)),
+    };
+    Ok(WavFile { sample_rate: rate, channels: channels.max(1), samples })
+}
+
+/// Encodes interleaved samples as a canonical PCM-16 WAVE file.
+pub fn encode_pcm16(sample_rate: u32, channels: u16, samples: &[i16]) -> Vec<u8> {
+    encode(sample_rate, channels, samples, PcmEncoding::Pcm16)
+}
+
+/// Encodes interleaved samples as a WAVE file in the given encoding
+/// (PCM-16, PCM-8 or µ-law; other encodings fall back to PCM-16).
+pub fn encode(
+    sample_rate: u32,
+    channels: u16,
+    samples: &[i16],
+    encoding: PcmEncoding,
+) -> Vec<u8> {
+    let (tag, bits, payload) = match encoding {
+        PcmEncoding::Pcm8 => {
+            (FORMAT_PCM, 8u16, crate::convert::encode_from_pcm16(PcmEncoding::Pcm8, samples))
+        }
+        PcmEncoding::ULaw => {
+            (FORMAT_MULAW, 8, crate::convert::encode_from_pcm16(PcmEncoding::ULaw, samples))
+        }
+        _ => (FORMAT_PCM, 16, crate::convert::encode_from_pcm16(PcmEncoding::Pcm16, samples)),
+    };
+    let block_align = channels * (bits / 8);
+    let byte_rate = sample_rate * block_align as u32;
+    let mut out = Vec::with_capacity(44 + payload.len());
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&((36 + payload.len()) as u32).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&channels.to_le_bytes());
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&byte_rate.to_le_bytes());
+    out.extend_from_slice(&block_align.to_le_bytes());
+    out.extend_from_slice(&bits.to_le_bytes());
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    if payload.len() & 1 == 1 {
+        out.push(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone;
+
+    #[test]
+    fn pcm16_roundtrip_exact() {
+        let s = tone::sine(8000, 440.0, 801, 12000);
+        let bytes = encode_pcm16(8000, 1, &s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.sample_rate, 8000);
+        assert_eq!(back.channels, 1);
+        assert_eq!(back.samples, s);
+    }
+
+    #[test]
+    fn ulaw_roundtrip_close() {
+        let s = tone::sine(8000, 440.0, 800, 12000);
+        let bytes = encode(8000, 1, &s, PcmEncoding::ULaw);
+        let back = decode(&bytes).unwrap();
+        let snr = crate::analysis::snr_db(&s, &back.samples);
+        assert!(snr > 30.0, "{snr}");
+    }
+
+    #[test]
+    fn stereo_header() {
+        let s = vec![1i16, 2, 3, 4];
+        let bytes = encode_pcm16(44100, 2, &s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.channels, 2);
+        assert_eq!(back.sample_rate, 44100);
+        assert_eq!(back.samples, s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(b"not a wave"), Err(WavError::NotWave));
+        assert_eq!(decode(b""), Err(WavError::NotWave));
+    }
+
+    #[test]
+    fn rejects_truncated_data_chunk() {
+        let s = tone::sine(8000, 440.0, 100, 12000);
+        let mut bytes = encode_pcm16(8000, 1, &s);
+        bytes.truncate(bytes.len() - 50);
+        assert_eq!(decode(&bytes), Err(WavError::Truncated));
+    }
+
+    #[test]
+    fn skips_unknown_chunks() {
+        let s = vec![5i16, -5];
+        let mut bytes = encode_pcm16(8000, 1, &s);
+        // Splice a LIST chunk between fmt and data (offset 36 is the
+        // start of "data" in the canonical layout).
+        let mut spliced = bytes[..36].to_vec();
+        spliced.extend_from_slice(b"LIST");
+        spliced.extend_from_slice(&4u32.to_le_bytes());
+        spliced.extend_from_slice(b"INFO");
+        spliced.extend_from_slice(&bytes.split_off(36));
+        // Fix the RIFF size.
+        let riff_size = (spliced.len() - 8) as u32;
+        spliced[4..8].copy_from_slice(&riff_size.to_le_bytes());
+        let back = decode(&spliced).unwrap();
+        assert_eq!(back.samples, s);
+    }
+}

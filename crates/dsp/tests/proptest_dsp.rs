@@ -1,0 +1,167 @@
+//! Property tests over the DSP substrate's core invariants.
+
+use proptest::prelude::*;
+
+proptest! {
+    // --- G.711 -------------------------------------------------------------
+
+    #[test]
+    fn mulaw_idempotent_on_code_space(sample in any::<i16>()) {
+        // decode(encode(x)) is a fixed point of the codec.
+        let once = da_dsp::mulaw::decode(da_dsp::mulaw::encode(sample));
+        let twice = da_dsp::mulaw::decode(da_dsp::mulaw::encode(once));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn alaw_idempotent_on_code_space(sample in any::<i16>()) {
+        let once = da_dsp::alaw::decode(da_dsp::alaw::encode(sample));
+        let twice = da_dsp::alaw::decode(da_dsp::alaw::encode(once));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn mulaw_relative_error_bounded(sample in -32000i16..32000) {
+        let back = da_dsp::mulaw::decode(da_dsp::mulaw::encode(sample)) as i32;
+        let err = (back - sample as i32).abs();
+        let bound = ((sample as i32).abs() / 16).max(16) + 16;
+        prop_assert!(err <= bound, "sample {} err {}", sample, err);
+    }
+
+    // --- ADPCM --------------------------------------------------------------
+
+    #[test]
+    fn adpcm_streaming_equals_oneshot(
+        pcm in prop::collection::vec(any::<i16>(), 0..2000),
+        chunk in 1usize..97,
+    ) {
+        let oneshot = da_dsp::adpcm::encode_slice(&pcm);
+        let mut enc = da_dsp::adpcm::Encoder::new();
+        let mut streamed = Vec::new();
+        for c in pcm.chunks(chunk) {
+            enc.encode(c, &mut streamed);
+        }
+        enc.finish(&mut streamed);
+        prop_assert_eq!(oneshot, streamed);
+    }
+
+    #[test]
+    fn adpcm_decode_length(pcm in prop::collection::vec(any::<i16>(), 0..2000)) {
+        let encoded = da_dsp::adpcm::encode_slice(&pcm);
+        let decoded = da_dsp::adpcm::decode_slice(&encoded);
+        // Two samples per byte, rounded up to an even count.
+        prop_assert_eq!(decoded.len(), pcm.len() + pcm.len() % 2);
+    }
+
+    // --- Mixing and gain ------------------------------------------------------
+
+    #[test]
+    fn mix_never_wraps(
+        a in prop::collection::vec(any::<i16>(), 64),
+        bvec in prop::collection::vec(any::<i16>(), 64),
+        pct in 0u8..=100,
+    ) {
+        let mut acc = a.clone();
+        da_dsp::mix::mix_into(&mut acc, &bvec, pct);
+        for (i, (&orig, &mixed)) in a.iter().zip(acc.iter()).enumerate() {
+            let exact = orig as i64 + (bvec[i] as i64 * pct as i64) / 100;
+            let clamped = exact.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
+            prop_assert_eq!(mixed, clamped);
+        }
+    }
+
+    #[test]
+    fn gain_monotone_and_bounded(samples in prop::collection::vec(any::<i16>(), 0..128), g in 0u32..4000) {
+        let mut out = samples.clone();
+        da_dsp::gain::apply(&mut out, g);
+        for (&orig, &scaled) in samples.iter().zip(out.iter()) {
+            // Sign is preserved (or zeroed).
+            prop_assert!(orig.signum() == scaled.signum() || scaled == 0 || orig == 0
+                || (orig == i16::MIN && scaled == i16::MIN));
+            if g <= 1000 {
+                prop_assert!(scaled.unsigned_abs() <= orig.unsigned_abs());
+            }
+        }
+    }
+
+    // --- Resampling -----------------------------------------------------------
+
+    #[test]
+    fn resampler_streaming_equals_oneshot(
+        len in 0usize..3000,
+        chunk in 1usize..257,
+        rates in prop::sample::select(vec![(8000u32, 16000u32), (8000, 11025), (44100, 8000), (16000, 8000)]),
+    ) {
+        let pcm = da_dsp::tone::sine(rates.0, 440.0, len, 9000);
+        let oneshot = da_dsp::resample::resample(&pcm, rates.0, rates.1);
+        let mut r = da_dsp::resample::Resampler::new(rates.0, rates.1);
+        let mut streamed = Vec::new();
+        for c in pcm.chunks(chunk) {
+            streamed.extend(r.push(c));
+        }
+        streamed.extend(r.finish());
+        prop_assert_eq!(oneshot, streamed);
+    }
+
+    #[test]
+    fn resampler_length_tracks_ratio(len in 100usize..4000) {
+        let pcm = vec![0i16; len];
+        let out = da_dsp::resample::resample(&pcm, 8000, 44100);
+        let expect = len as f64 * 44100.0 / 8000.0;
+        prop_assert!((out.len() as f64 - expect).abs() <= 8.0,
+            "len {} out {} expect {}", len, out.len(), expect);
+    }
+
+    // --- Silence handling -------------------------------------------------------
+
+    #[test]
+    fn pause_compression_never_grows(
+        samples in prop::collection::vec(-2000i16..2000, 0..2000),
+        threshold in 1u16..500,
+        max_pause in 1usize..500,
+    ) {
+        let out = da_dsp::silence::compress_pauses(&samples, threshold, max_pause);
+        prop_assert!(out.len() <= samples.len());
+        // Loud samples all survive.
+        let loud_in = samples.iter().filter(|s| s.unsigned_abs() >= threshold as u32 as u16).count();
+        let loud_out = out.iter().filter(|s| s.unsigned_abs() >= threshold as u32 as u16).count();
+        prop_assert_eq!(loud_in, loud_out);
+    }
+
+    #[test]
+    fn pause_detector_needs_signal_first(min_silence in 1u64..1000) {
+        let mut det = da_dsp::silence::PauseDetector::new(100, min_silence);
+        // Pure silence never triggers: the utterance hasn't begun.
+        prop_assert!(!det.push(&vec![0i16; (min_silence * 2) as usize]));
+    }
+
+    // --- WAV ----------------------------------------------------------------------
+
+    #[test]
+    fn wav_pcm16_roundtrip(samples in prop::collection::vec(any::<i16>(), 0..2000), rate in 1u32..100_000) {
+        let bytes = da_dsp::wav::encode_pcm16(rate, 1, &samples);
+        let decoded = da_dsp::wav::decode(&bytes).expect("wav decode");
+        prop_assert_eq!(decoded.sample_rate, rate);
+        prop_assert_eq!(decoded.samples, samples);
+    }
+
+    #[test]
+    fn wav_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = da_dsp::wav::decode(&bytes);
+    }
+
+    // --- DTMF -----------------------------------------------------------------------
+
+    #[test]
+    fn dtmf_single_digit_always_detected(digit in prop::sample::select(b"0123456789*#ABCD".to_vec())) {
+        let samples = da_dsp::dtmf::digit(8000, digit, 100, 100, 12000).expect("valid digit");
+        let mut det = da_dsp::dtmf::Detector::new(8000);
+        prop_assert_eq!(det.push(&samples), vec![digit]);
+    }
+
+    #[test]
+    fn dtmf_detector_never_panics(samples in prop::collection::vec(any::<i16>(), 0..2000)) {
+        let mut det = da_dsp::dtmf::Detector::new(8000);
+        let _ = det.push(&samples);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tick pacing.
+//!
+//! The server engine advances the hardware in fixed quanta of audio time
+//! (default 10 ms). How fast those quanta elapse in *wall-clock* time is
+//! the pacer's business: virtual pacing runs flat out (deterministic
+//! tests, throughput benches), real-time pacing sleeps so one quantum of
+//! audio takes one quantum of wall time (latency measurements, live use).
+
+use std::time::{Duration, Instant};
+
+/// How engine ticks map to wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pacing {
+    /// Run ticks back-to-back as fast as possible.
+    Virtual,
+    /// Pace ticks to wall time.
+    RealTime,
+}
+
+/// A tick pacer: call [`Pacer::wait_tick`] once per engine iteration.
+#[derive(Debug)]
+pub struct Pacer {
+    pacing: Pacing,
+    quantum: Duration,
+    next: Option<Instant>,
+    ticks: u64,
+}
+
+impl Pacer {
+    /// Creates a pacer issuing quanta of `quantum_us` microseconds.
+    pub fn new(pacing: Pacing, quantum_us: u64) -> Self {
+        Pacer { pacing, quantum: Duration::from_micros(quantum_us), next: None, ticks: 0 }
+    }
+
+    /// The audio duration of one tick.
+    pub fn quantum(&self) -> Duration {
+        self.quantum
+    }
+
+    /// Ticks issued so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Blocks (when real-time) until the next tick is due, then accounts
+    /// it. Virtual pacing returns immediately.
+    ///
+    /// The real-time pacer is deadline-based, not sleep-based: if a tick
+    /// overruns, subsequent ticks fire immediately until the schedule
+    /// catches up, so audio time never drifts from wall time.
+    pub fn wait_tick(&mut self) {
+        self.ticks += 1;
+        if self.pacing == Pacing::Virtual {
+            return;
+        }
+        let now = Instant::now();
+        let due = match self.next {
+            None => now,
+            Some(t) => t,
+        };
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        // Schedule the next tick relative to the *deadline*, not to now,
+        // so overruns are amortised instead of accumulating.
+        self.next = Some(due + self.quantum);
+    }
+}
+
+/// Number of sample frames a device at `rate` Hz consumes in a quantum of
+/// `quantum_us` microseconds, accounting for rounding drift.
+///
+/// The returned value depends on the tick index so that over time the
+/// *average* matches the rate exactly: e.g. 44100 Hz at 10 ms quanta
+/// yields 441 every tick; 11025 Hz yields alternating 110/111.
+pub fn frames_this_tick(rate: u32, quantum_us: u64, tick: u64) -> usize {
+    let total_now = (tick + 1) as u128 * quantum_us as u128 * rate as u128 / 1_000_000;
+    let total_before = tick as u128 * quantum_us as u128 * rate as u128 / 1_000_000;
+    (total_now - total_before) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_pacer_does_not_block() {
+        let mut p = Pacer::new(Pacing::Virtual, 10_000);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            p.wait_tick();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(p.ticks(), 1000);
+    }
+
+    #[test]
+    fn realtime_pacer_paces() {
+        let mut p = Pacer::new(Pacing::RealTime, 5_000);
+        let start = Instant::now();
+        for _ in 0..10 {
+            p.wait_tick();
+        }
+        // First tick is immediate; nine more at 5 ms each ≈ 45 ms.
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(40), "{elapsed:?}");
+    }
+
+    #[test]
+    fn frame_count_exact_for_integral_rates() {
+        for tick in 0..100 {
+            assert_eq!(frames_this_tick(8000, 10_000, tick), 80);
+            assert_eq!(frames_this_tick(44100, 10_000, tick), 441);
+        }
+    }
+
+    #[test]
+    fn frame_count_averages_fractional_rates() {
+        // 11025 Hz at 10 ms = 110.25 frames per tick.
+        let total: usize = (0..400).map(|t| frames_this_tick(11025, 10_000, t)).sum();
+        assert_eq!(total, 44100); // exactly 4 s worth
+        let counts: Vec<usize> = (0..4).map(|t| frames_this_tick(11025, 10_000, t)).collect();
+        assert!(counts.iter().all(|&c| c == 110 || c == 111), "{counts:?}");
+    }
+
+    #[test]
+    fn odd_quantum_sizes_still_sum_exactly() {
+        // 7.3 ms quanta at 8 kHz: 58.4 frames per tick on average.
+        let total: usize = (0..1000).map(|t| frames_this_tick(8000, 7_300, t)).sum();
+        assert_eq!(total, 8000 * 7300 / 1000); // 58,400 frames
+    }
+}

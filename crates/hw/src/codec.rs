@@ -1,0 +1,276 @@
+//! Simulated CODEC endpoints: speaker sinks and microphone sources.
+//!
+//! A real CODEC drains its memory-mapped buffer at the sample rate whether
+//! or not software refills it in time. The simulated [`Speaker`] has the
+//! same contract: the engine must call [`Speaker::render`] with exactly
+//! the frames the tick demands; if the engine has no data, it must say so,
+//! and the starvation is *counted* — which is how the reproduction proves
+//! the paper's "continuous playback without gaps" and "not a single
+//! dropped or inserted sample" claims (§6, §6.2).
+
+use da_dsp::analysis;
+
+/// Statistics a speaker accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeakerStats {
+    /// Total frames consumed by the device.
+    pub frames: u64,
+    /// Frames delivered while at least one client stream was active.
+    pub fed_frames: u64,
+    /// Frames of silence inserted because the engine declared starvation
+    /// while a stream was supposed to be playing.
+    pub underrun_frames: u64,
+}
+
+/// A simulated loudspeaker.
+///
+/// When capture is enabled the full output waveform is retained, letting
+/// tests assert sample-exact continuity across command boundaries.
+#[derive(Debug)]
+pub struct Speaker {
+    rate: u32,
+    channels: u8,
+    stats: SpeakerStats,
+    capture: Option<Vec<i16>>,
+    capture_limit: usize,
+}
+
+impl Speaker {
+    /// Creates a speaker at `rate` Hz with `channels` channels.
+    pub fn new(rate: u32, channels: u8) -> Self {
+        Speaker { rate, channels, stats: SpeakerStats::default(), capture: None, capture_limit: 0 }
+    }
+
+    /// Sample rate.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> u8 {
+        self.channels
+    }
+
+    /// Enables waveform capture of up to `limit` frames (0 disables).
+    pub fn set_capture(&mut self, limit: usize) {
+        self.capture_limit = limit;
+        if limit == 0 {
+            self.capture = None;
+        } else {
+            self.capture = Some(Vec::with_capacity(limit.min(1 << 20)));
+        }
+    }
+
+    /// The captured waveform so far.
+    pub fn captured(&self) -> &[i16] {
+        self.capture.as_deref().unwrap_or(&[])
+    }
+
+    /// Takes the captured waveform, leaving capture enabled and empty.
+    pub fn take_captured(&mut self) -> Vec<i16> {
+        match &mut self.capture {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders one tick of interleaved frames. `active` says whether any
+    /// client stream was feeding the device this tick; starvation while
+    /// active counts as underrun.
+    pub fn render(&mut self, frames: &[i16], active: bool, starved_frames: u64) {
+        let nframes = (frames.len() / self.channels.max(1) as usize) as u64;
+        self.stats.frames += nframes;
+        if active {
+            self.stats.fed_frames += nframes;
+            self.stats.underrun_frames += starved_frames;
+        }
+        if let Some(buf) = &mut self.capture {
+            let room = self.capture_limit.saturating_sub(buf.len());
+            let take = frames.len().min(room);
+            buf.extend_from_slice(&frames[..take]);
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> SpeakerStats {
+        self.stats
+    }
+
+    /// RMS level of the captured waveform (0 when capture is off).
+    pub fn captured_rms(&self) -> f64 {
+        analysis::rms(self.captured())
+    }
+}
+
+/// What a microphone "hears": a deterministic signal program.
+#[derive(Debug, Clone)]
+pub enum SignalSource {
+    /// Digital silence.
+    Silence,
+    /// A continuous sine at (freq, amplitude).
+    Sine {
+        /// Frequency in Hz.
+        freq: f64,
+        /// Peak amplitude.
+        amplitude: i16,
+    },
+    /// Fixed samples, then silence.
+    Samples(Vec<i16>),
+    /// Fixed samples, repeated forever.
+    Loop(Vec<i16>),
+}
+
+/// A simulated microphone producing samples on demand.
+#[derive(Debug)]
+pub struct Microphone {
+    rate: u32,
+    source: SignalSource,
+    pos: u64,
+    /// Samples pushed live (e.g. by a test) take priority over `source`.
+    injected: std::collections::VecDeque<i16>,
+}
+
+impl Microphone {
+    /// Creates a microphone at `rate` Hz hearing `source`.
+    pub fn new(rate: u32, source: SignalSource) -> Self {
+        Microphone { rate, source, pos: 0, injected: Default::default() }
+    }
+
+    /// Sample rate.
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// Replaces the signal program and rewinds it.
+    pub fn set_source(&mut self, source: SignalSource) {
+        self.source = source;
+        self.pos = 0;
+    }
+
+    /// Queues live samples that will be heard before the signal program
+    /// resumes (used by tests to "speak into" the microphone).
+    pub fn inject(&mut self, samples: &[i16]) {
+        self.injected.extend(samples.iter().copied());
+    }
+
+    /// Pending injected samples not yet consumed.
+    pub fn injected_pending(&self) -> usize {
+        self.injected.len()
+    }
+
+    /// Produces the next `n` samples.
+    pub fn pull(&mut self, n: usize) -> Vec<i16> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            if let Some(s) = self.injected.pop_front() {
+                out.push(s);
+                continue;
+            }
+            let s = match &self.source {
+                SignalSource::Silence => 0,
+                SignalSource::Sine { freq, amplitude } => {
+                    let step = std::f64::consts::TAU * freq / self.rate as f64;
+                    (*amplitude as f64 * (step * self.pos as f64).sin()) as i16
+                }
+                SignalSource::Samples(data) => {
+                    data.get(self.pos as usize).copied().unwrap_or(0)
+                }
+                SignalSource::Loop(data) => {
+                    if data.is_empty() {
+                        0
+                    } else {
+                        data[(self.pos % data.len() as u64) as usize]
+                    }
+                }
+            };
+            self.pos += 1;
+            out.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speaker_counts_frames() {
+        let mut sp = Speaker::new(8000, 1);
+        sp.render(&[0; 80], false, 0);
+        sp.render(&[1; 80], true, 0);
+        sp.render(&[0; 80], true, 40);
+        let st = sp.stats();
+        assert_eq!(st.frames, 240);
+        assert_eq!(st.fed_frames, 160);
+        assert_eq!(st.underrun_frames, 40);
+    }
+
+    #[test]
+    fn stereo_frame_accounting() {
+        let mut sp = Speaker::new(44100, 2);
+        sp.render(&[0; 882], true, 0); // 441 stereo frames
+        assert_eq!(sp.stats().frames, 441);
+    }
+
+    #[test]
+    fn capture_respects_limit() {
+        let mut sp = Speaker::new(8000, 1);
+        sp.set_capture(100);
+        sp.render(&[7; 80], true, 0);
+        sp.render(&[8; 80], true, 0);
+        assert_eq!(sp.captured().len(), 100);
+        assert_eq!(sp.captured()[0], 7);
+        assert_eq!(sp.captured()[99], 8);
+        let taken = sp.take_captured();
+        assert_eq!(taken.len(), 100);
+        assert!(sp.captured().is_empty());
+    }
+
+    #[test]
+    fn capture_off_by_default() {
+        let mut sp = Speaker::new(8000, 1);
+        sp.render(&[1; 80], true, 0);
+        assert!(sp.captured().is_empty());
+        assert_eq!(sp.captured_rms(), 0.0);
+    }
+
+    #[test]
+    fn microphone_sine_is_periodic_across_pulls() {
+        let mut mic = Microphone::new(8000, SignalSource::Sine { freq: 1000.0, amplitude: 10000 });
+        let a = mic.pull(40);
+        let b = mic.pull(40);
+        let mut mic2 = Microphone::new(8000, SignalSource::Sine { freq: 1000.0, amplitude: 10000 });
+        let whole = mic2.pull(80);
+        assert_eq!([a, b].concat(), whole);
+    }
+
+    #[test]
+    fn microphone_samples_then_silence() {
+        let mut mic = Microphone::new(8000, SignalSource::Samples(vec![5, 6, 7]));
+        assert_eq!(mic.pull(5), vec![5, 6, 7, 0, 0]);
+    }
+
+    #[test]
+    fn microphone_loop_wraps() {
+        let mut mic = Microphone::new(8000, SignalSource::Loop(vec![1, 2]));
+        assert_eq!(mic.pull(5), vec![1, 2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn injection_preempts_program() {
+        let mut mic = Microphone::new(8000, SignalSource::Loop(vec![9]));
+        mic.inject(&[1, 2]);
+        assert_eq!(mic.injected_pending(), 2);
+        assert_eq!(mic.pull(4), vec![1, 2, 9, 9]);
+        assert_eq!(mic.injected_pending(), 0);
+    }
+
+    #[test]
+    fn set_source_rewinds() {
+        let mut mic = Microphone::new(8000, SignalSource::Samples(vec![1, 2, 3]));
+        mic.pull(2);
+        mic.set_source(SignalSource::Samples(vec![4, 5]));
+        assert_eq!(mic.pull(2), vec![4, 5]);
+    }
+}

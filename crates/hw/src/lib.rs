@@ -1,0 +1,25 @@
+//! Simulated audio and telephony hardware.
+//!
+//! The paper's prototype ran on a DECstation 5000 with "a simple CODEC
+//! with memory-mapped buffers" (§6) and telephone hardware. This crate is
+//! the software stand-in (see DESIGN.md "Substitutions"): every device is
+//! driven by an explicit sample clock, so the server's real-time
+//! obligations — feed the CODEC every tick, never drop or insert a sample
+//! — become observable, countable properties instead of analog mysteries.
+//!
+//! - [`clock`] — tick pacing: free-running virtual time for deterministic
+//!   tests, wall-clock pacing for latency measurements;
+//! - [`codec`] — speaker sinks and microphone sources with ring-buffer
+//!   semantics and underrun accounting;
+//! - [`pstn`] — a miniature central office: lines, call routing, ringing,
+//!   busy, caller-ID, in-band call-progress tones, full-duplex audio
+//!   cross-connect, plus a scriptable [`pstn::RemoteParty`] that plays the
+//!   outside world in tests;
+//! - [`registry`] — the hardware inventory a server instance is built
+//!   from, including hard-wired connections and ambient domains
+//!   (paper §5.8).
+
+pub mod clock;
+pub mod codec;
+pub mod pstn;
+pub mod registry;

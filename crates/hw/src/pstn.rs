@@ -1,0 +1,632 @@
+//! A miniature public switched telephone network.
+//!
+//! The paper treats the telephone as "a voice peripheral, just like a
+//! loudspeaker" (§1.1); its server controls real analog/ISDN lines. This
+//! module is the substitute network: software lines with hook state,
+//! ringing with caller-ID, call routing by directory number, busy and
+//! no-answer outcomes, in-band call-progress tones, and full-duplex
+//! audio cross-connect between connected lines — everything the
+//! answering-machine scenario of §5.9 needs, with deterministic timing.
+//!
+//! All lines run at the telephone rate of 8 kHz mono µ-law-equivalent
+//! linear samples ([`LINE_RATE`]).
+
+use da_dsp::tone::CallProgressTone;
+use std::collections::VecDeque;
+
+/// Sample rate of every line, Hz.
+pub const LINE_RATE: u32 = 8000;
+/// Default frames of unanswered ringing before the caller gets NoAnswer
+/// (24 s — four ring cycles).
+pub const DEFAULT_RING_TIMEOUT: u64 = 24 * LINE_RATE as u64;
+/// Cap on buffered cross-connect audio per line (1 s); beyond this the
+/// oldest samples fall off, like any real jitter buffer.
+const TX_CAP: usize = LINE_RATE as usize;
+
+/// Identifies a line within one [`Pstn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineId(pub usize);
+
+/// The call state of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// On-hook, idle.
+    OnHook,
+    /// Off-hook, hearing dial tone, ready to dial.
+    DialTone,
+    /// Outgoing call ringing at the far end (hearing ringback).
+    Calling,
+    /// Incoming call ringing on this line.
+    Ringing,
+    /// Connected to a peer.
+    Connected,
+    /// Off-hook hearing busy/reorder tone.
+    HearingBusy,
+}
+
+/// Events a line reports to its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEvent {
+    /// The line is ringing with an incoming call.
+    IncomingRing {
+        /// Caller's directory number, when the network provides identity.
+        caller_id: Option<String>,
+    },
+    /// An outgoing call was answered; the line is now connected.
+    Connected,
+    /// An outgoing call found the far end busy (or the number invalid).
+    Busy,
+    /// An outgoing call rang unanswered until the timeout.
+    NoAnswer,
+    /// The connected peer hung up.
+    RemoteHangup,
+}
+
+#[derive(Debug)]
+struct Line {
+    number: String,
+    state: LineState,
+    /// Peer for Calling/Ringing/Connected states.
+    peer: Option<usize>,
+    /// Audio from the owner toward the network.
+    tx: VecDeque<i16>,
+    /// Pending events for the owner.
+    events: VecDeque<LineEvent>,
+    /// Caller id shown while Ringing.
+    caller_id: Option<String>,
+    /// Frames of ringing elapsed (for timeout).
+    ring_frames: u64,
+    /// Stream position for in-band tone generation.
+    tone_pos: u64,
+    /// Whether the network delivers caller identity to this line.
+    caller_id_service: bool,
+}
+
+impl Line {
+    fn new(number: String) -> Self {
+        Line {
+            number,
+            state: LineState::OnHook,
+            peer: None,
+            tx: VecDeque::new(),
+            events: VecDeque::new(),
+            caller_id: None,
+            ring_frames: 0,
+            tone_pos: 0,
+            caller_id_service: true,
+        }
+    }
+}
+
+/// The central office: owns all lines and routes calls between them.
+#[derive(Debug, Default)]
+pub struct Pstn {
+    lines: Vec<Line>,
+    ring_timeout: u64,
+}
+
+impl Pstn {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Pstn { lines: Vec::new(), ring_timeout: DEFAULT_RING_TIMEOUT }
+    }
+
+    /// Sets the unanswered-ring timeout in frames.
+    pub fn set_ring_timeout(&mut self, frames: u64) {
+        self.ring_timeout = frames.max(1);
+    }
+
+    /// Registers a line under a directory number.
+    pub fn add_line(&mut self, number: &str) -> LineId {
+        self.lines.push(Line::new(number.to_string()));
+        LineId(self.lines.len() - 1)
+    }
+
+    /// Disables caller-identity delivery to a line (the network-capability
+    /// attribute of paper §5.1).
+    pub fn set_caller_id_service(&mut self, line: LineId, enabled: bool) {
+        self.lines[line.0].caller_id_service = enabled;
+    }
+
+    /// The directory number of a line.
+    pub fn number(&self, line: LineId) -> &str {
+        &self.lines[line.0].number
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, line: LineId) -> LineState {
+        self.lines[line.0].state
+    }
+
+    /// Caller identity while the line is ringing.
+    pub fn caller_id(&self, line: LineId) -> Option<String> {
+        self.lines[line.0].caller_id.clone()
+    }
+
+    /// Drains pending events on a line.
+    pub fn poll_events(&mut self, line: LineId) -> Vec<LineEvent> {
+        self.lines[line.0].events.drain(..).collect()
+    }
+
+    /// Takes a line off-hook. From idle this yields dial tone; while
+    /// ringing it answers the call.
+    pub fn off_hook(&mut self, line: LineId) {
+        match self.lines[line.0].state {
+            LineState::OnHook => {
+                let l = &mut self.lines[line.0];
+                l.state = LineState::DialTone;
+                l.tone_pos = 0;
+            }
+            LineState::Ringing => self.answer(line),
+            _ => {}
+        }
+    }
+
+    /// Answers an incoming call (off-hook while ringing).
+    pub fn answer(&mut self, line: LineId) {
+        if self.lines[line.0].state != LineState::Ringing {
+            return;
+        }
+        let caller = match self.lines[line.0].peer {
+            Some(c) => c,
+            None => return,
+        };
+        {
+            let callee = &mut self.lines[line.0];
+            callee.state = LineState::Connected;
+            callee.ring_frames = 0;
+            callee.tx.clear();
+        }
+        let caller_line = &mut self.lines[caller];
+        caller_line.state = LineState::Connected;
+        caller_line.tx.clear();
+        caller_line.events.push_back(LineEvent::Connected);
+    }
+
+    /// Places a call from an off-hook line to a directory number.
+    ///
+    /// Digits reach the network instantaneously (the 1991 hardware did
+    /// tone dialing in the interface); what matters to the server is the
+    /// resulting call-progress sequence.
+    pub fn dial(&mut self, line: LineId, number: &str) {
+        if self.lines[line.0].state != LineState::DialTone {
+            return;
+        }
+        let callee_idx = self
+            .lines
+            .iter()
+            .position(|l| l.number == number)
+            .filter(|&i| i != line.0);
+        match callee_idx {
+            Some(idx) if self.lines[idx].state == LineState::OnHook => {
+                let caller_number = self.lines[line.0].number.clone();
+                {
+                    let caller = &mut self.lines[line.0];
+                    caller.state = LineState::Calling;
+                    caller.peer = Some(idx);
+                    caller.tone_pos = 0;
+                    caller.ring_frames = 0;
+                }
+                let callee = &mut self.lines[idx];
+                callee.state = LineState::Ringing;
+                callee.peer = Some(line.0);
+                callee.ring_frames = 0;
+                callee.caller_id =
+                    if callee.caller_id_service { Some(caller_number) } else { None };
+                let caller_id = callee.caller_id.clone();
+                callee.events.push_back(LineEvent::IncomingRing { caller_id });
+            }
+            _ => {
+                // Unknown number, self-call, or far end not idle: busy.
+                let caller = &mut self.lines[line.0];
+                caller.state = LineState::HearingBusy;
+                caller.tone_pos = 0;
+                caller.events.push_back(LineEvent::Busy);
+            }
+        }
+    }
+
+    /// Puts a line back on-hook, ending whatever was in progress.
+    pub fn on_hook(&mut self, line: LineId) {
+        let (state, peer) = {
+            let l = &self.lines[line.0];
+            (l.state, l.peer)
+        };
+        {
+            let l = &mut self.lines[line.0];
+            l.state = LineState::OnHook;
+            l.peer = None;
+            l.caller_id = None;
+            l.ring_frames = 0;
+            l.tx.clear();
+        }
+        if let Some(p) = peer {
+            match state {
+                LineState::Connected => {
+                    let pl = &mut self.lines[p];
+                    if pl.state == LineState::Connected {
+                        pl.state = LineState::HearingBusy;
+                        pl.tone_pos = 0;
+                        pl.peer = None;
+                        pl.tx.clear();
+                        pl.events.push_back(LineEvent::RemoteHangup);
+                    }
+                }
+                LineState::Calling => {
+                    // Caller abandoned: stop the callee's ringing.
+                    let pl = &mut self.lines[p];
+                    if pl.state == LineState::Ringing {
+                        pl.state = LineState::OnHook;
+                        pl.peer = None;
+                        pl.caller_id = None;
+                    }
+                }
+                LineState::Ringing => {
+                    // Callee went on-hook without answering: nothing; the
+                    // caller keeps hearing ringback until timeout.
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Writes owner audio toward the network (heard by a connected peer).
+    pub fn write_tx(&mut self, line: LineId, samples: &[i16]) {
+        let l = &mut self.lines[line.0];
+        if l.state != LineState::Connected {
+            return;
+        }
+        l.tx.extend(samples.iter().copied());
+        while l.tx.len() > TX_CAP {
+            l.tx.pop_front();
+        }
+    }
+
+    /// Reads `n` samples of what the line owner hears: dial tone,
+    /// ringback, busy, the connected peer's audio, or silence.
+    pub fn read_rx(&mut self, line: LineId, n: usize) -> Vec<i16> {
+        let state = self.lines[line.0].state;
+        match state {
+            LineState::DialTone => self.tone(line, CallProgressTone::Dial, n),
+            LineState::Calling => self.tone(line, CallProgressTone::Ringback, n),
+            LineState::HearingBusy => self.tone(line, CallProgressTone::Busy, n),
+            LineState::Connected => {
+                let peer = self.lines[line.0].peer;
+                match peer {
+                    Some(p) => {
+                        let ptx = &mut self.lines[p].tx;
+                        let mut out = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            out.push(ptx.pop_front().unwrap_or(0));
+                        }
+                        out
+                    }
+                    None => vec![0; n],
+                }
+            }
+            LineState::OnHook | LineState::Ringing => vec![0; n],
+        }
+    }
+
+    fn tone(&mut self, line: LineId, tone: CallProgressTone, n: usize) -> Vec<i16> {
+        let l = &mut self.lines[line.0];
+        let mut out = vec![0i16; n];
+        tone.fill(LINE_RATE, l.tone_pos, 8000, &mut out);
+        l.tone_pos += n as u64;
+        out
+    }
+
+    /// Advances network time by `frames`: ring timers run, unanswered
+    /// calls time out.
+    pub fn tick(&mut self, frames: u64) {
+        for i in 0..self.lines.len() {
+            if self.lines[i].state == LineState::Ringing {
+                self.lines[i].ring_frames += frames;
+                if self.lines[i].ring_frames >= self.ring_timeout {
+                    let caller = self.lines[i].peer;
+                    let l = &mut self.lines[i];
+                    l.state = LineState::OnHook;
+                    l.peer = None;
+                    l.caller_id = None;
+                    l.ring_frames = 0;
+                    if let Some(c) = caller {
+                        let cl = &mut self.lines[c];
+                        if cl.state == LineState::Calling {
+                            cl.state = LineState::HearingBusy;
+                            cl.tone_pos = 0;
+                            cl.peer = None;
+                            cl.events.push_back(LineEvent::NoAnswer);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A scriptable far-end party: the outside world of the tests and
+/// benches. It owns one PSTN line, plays queued audio into calls and
+/// records everything it hears.
+#[derive(Debug)]
+pub struct RemoteParty {
+    line: LineId,
+    playback: VecDeque<i16>,
+    heard: Vec<i16>,
+    /// Answer incoming calls automatically after this many frames of
+    /// ringing (`None` = never answer).
+    pub auto_answer_after: Option<u64>,
+    ring_seen: u64,
+}
+
+impl RemoteParty {
+    /// Creates a party owning `line`.
+    pub fn new(line: LineId) -> Self {
+        RemoteParty {
+            line,
+            playback: VecDeque::new(),
+            heard: Vec::new(),
+            auto_answer_after: None,
+            ring_seen: 0,
+        }
+    }
+
+    /// The party's line.
+    pub fn line(&self) -> LineId {
+        self.line
+    }
+
+    /// Places a call to `number`.
+    pub fn call(&mut self, pstn: &mut Pstn, number: &str) {
+        pstn.off_hook(self.line);
+        pstn.dial(self.line, number);
+    }
+
+    /// Hangs up.
+    pub fn hang_up(&mut self, pstn: &mut Pstn) {
+        pstn.on_hook(self.line);
+    }
+
+    /// Queues audio to play into the call.
+    pub fn say(&mut self, samples: &[i16]) {
+        self.playback.extend(samples.iter().copied());
+    }
+
+    /// Queues DTMF digits to play into the call.
+    pub fn send_dtmf(&mut self, digits: &str) {
+        let tones = da_dsp::dtmf::dial_string(LINE_RATE, digits, 12000);
+        self.say(&tones);
+    }
+
+    /// Audio still queued to play.
+    pub fn pending_say(&self) -> usize {
+        self.playback.len()
+    }
+
+    /// Everything heard so far.
+    pub fn heard(&self) -> &[i16] {
+        &self.heard
+    }
+
+    /// Exchanges `frames` of audio with the network and runs the
+    /// answering script. Call once per engine tick.
+    pub fn tick(&mut self, pstn: &mut Pstn, frames: usize) {
+        // Auto-answer logic.
+        if pstn.state(self.line) == LineState::Ringing {
+            self.ring_seen += frames as u64;
+            if let Some(after) = self.auto_answer_after {
+                if self.ring_seen >= after {
+                    pstn.answer(self.line);
+                    self.ring_seen = 0;
+                }
+            }
+        } else {
+            self.ring_seen = 0;
+        }
+        // Full-duplex exchange.
+        let heard = pstn.read_rx(self.line, frames);
+        self.heard.extend_from_slice(&heard);
+        if pstn.state(self.line) == LineState::Connected {
+            let mut chunk = Vec::with_capacity(frames);
+            for _ in 0..frames {
+                chunk.push(self.playback.pop_front().unwrap_or(0));
+            }
+            pstn.write_tx(self.line, &chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_dsp::analysis;
+
+    fn net2() -> (Pstn, LineId, LineId) {
+        let mut p = Pstn::new();
+        let a = p.add_line("555-0100");
+        let b = p.add_line("555-0200");
+        (p, a, b)
+    }
+
+    #[test]
+    fn dial_tone_on_off_hook() {
+        let (mut p, a, _) = net2();
+        assert_eq!(p.state(a), LineState::OnHook);
+        p.off_hook(a);
+        assert_eq!(p.state(a), LineState::DialTone);
+        let heard = p.read_rx(a, 800);
+        // Dial tone components present.
+        assert!(analysis::goertzel_power(&heard, 8000, 350.0) > 1000.0);
+        assert!(analysis::goertzel_power(&heard, 8000, 440.0) > 1000.0);
+    }
+
+    #[test]
+    fn basic_call_flow() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        assert_eq!(p.state(a), LineState::Calling);
+        assert_eq!(p.state(b), LineState::Ringing);
+        let ev = p.poll_events(b);
+        assert_eq!(ev, vec![LineEvent::IncomingRing { caller_id: Some("555-0100".into()) }]);
+        assert_eq!(p.caller_id(b), Some("555-0100".to_string()));
+        // Caller hears ringback while waiting.
+        let rb = p.read_rx(a, 800);
+        assert!(analysis::goertzel_power(&rb, 8000, 440.0) > 1000.0);
+        p.answer(b);
+        assert_eq!(p.state(a), LineState::Connected);
+        assert_eq!(p.state(b), LineState::Connected);
+        assert_eq!(p.poll_events(a), vec![LineEvent::Connected]);
+    }
+
+    #[test]
+    fn audio_crosses_connected_call() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        p.answer(b);
+        p.write_tx(a, &[1, 2, 3, 4]);
+        assert_eq!(p.read_rx(b, 6), vec![1, 2, 3, 4, 0, 0]);
+        p.write_tx(b, &[9, 8]);
+        assert_eq!(p.read_rx(a, 2), vec![9, 8]);
+    }
+
+    #[test]
+    fn busy_when_callee_off_hook() {
+        let (mut p, a, b) = net2();
+        p.off_hook(b); // callee busy at dial tone
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        assert_eq!(p.state(a), LineState::HearingBusy);
+        assert_eq!(p.poll_events(a), vec![LineEvent::Busy]);
+        let heard = p.read_rx(a, 800);
+        assert!(analysis::goertzel_power(&heard, 8000, 480.0) > 500.0);
+    }
+
+    #[test]
+    fn unknown_number_is_busy() {
+        let (mut p, a, _) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-9999");
+        assert_eq!(p.state(a), LineState::HearingBusy);
+    }
+
+    #[test]
+    fn cannot_call_self() {
+        let (mut p, a, _) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0100");
+        assert_eq!(p.state(a), LineState::HearingBusy);
+    }
+
+    #[test]
+    fn hangup_notifies_peer() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        p.answer(b);
+        p.poll_events(a);
+        p.on_hook(b);
+        assert_eq!(p.state(b), LineState::OnHook);
+        assert_eq!(p.state(a), LineState::HearingBusy);
+        assert_eq!(p.poll_events(a), vec![LineEvent::RemoteHangup]);
+    }
+
+    #[test]
+    fn caller_abandon_stops_ringing() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        assert_eq!(p.state(b), LineState::Ringing);
+        p.on_hook(a);
+        assert_eq!(p.state(b), LineState::OnHook);
+        assert_eq!(p.caller_id(b), None);
+    }
+
+    #[test]
+    fn ring_timeout_no_answer() {
+        let (mut p, a, b) = net2();
+        p.set_ring_timeout(8000);
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        p.poll_events(b);
+        p.tick(7999);
+        assert_eq!(p.state(b), LineState::Ringing);
+        p.tick(1);
+        assert_eq!(p.state(b), LineState::OnHook);
+        assert_eq!(p.state(a), LineState::HearingBusy);
+        assert_eq!(p.poll_events(a), vec![LineEvent::NoAnswer]);
+    }
+
+    #[test]
+    fn caller_id_service_can_be_disabled() {
+        let (mut p, a, b) = net2();
+        p.set_caller_id_service(b, false);
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        assert_eq!(p.poll_events(b), vec![LineEvent::IncomingRing { caller_id: None }]);
+    }
+
+    #[test]
+    fn off_hook_while_ringing_answers() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        p.off_hook(b);
+        assert_eq!(p.state(b), LineState::Connected);
+        assert_eq!(p.state(a), LineState::Connected);
+    }
+
+    #[test]
+    fn tx_buffer_bounded() {
+        let (mut p, a, b) = net2();
+        p.off_hook(a);
+        p.dial(a, "555-0200");
+        p.answer(b);
+        p.write_tx(a, &vec![1i16; TX_CAP * 3]);
+        // Only the newest TX_CAP samples remain.
+        let heard = p.read_rx(b, TX_CAP + 10);
+        assert_eq!(heard.len(), TX_CAP + 10);
+        assert_eq!(heard[TX_CAP], 0);
+    }
+
+    #[test]
+    fn remote_party_auto_answer_and_exchange() {
+        let mut p = Pstn::new();
+        let a = p.add_line("100");
+        let b = p.add_line("200");
+        let mut callee = RemoteParty::new(b);
+        callee.auto_answer_after = Some(800);
+        callee.say(&da_dsp::tone::sine(8000, 500.0, 1600, 10000));
+        p.off_hook(a);
+        p.dial(a, "200");
+        let mut caller_heard = Vec::new();
+        for _ in 0..40 {
+            callee.tick(&mut p, 80);
+            caller_heard.extend(p.read_rx(a, 80));
+            p.tick(80);
+        }
+        assert_eq!(p.state(a), LineState::Connected);
+        // After connection the caller hears the callee's tone.
+        let tail = &caller_heard[1600..];
+        assert!(analysis::goertzel_power(tail, 8000, 500.0) > 1000.0);
+    }
+
+    #[test]
+    fn remote_party_dtmf_reaches_peer() {
+        let mut p = Pstn::new();
+        let a = p.add_line("100");
+        let b = p.add_line("200");
+        let mut remote = RemoteParty::new(b);
+        remote.call(&mut p, "100");
+        p.answer(a);
+        remote.send_dtmf("42");
+        let mut det = da_dsp::dtmf::Detector::new(8000);
+        let mut digits = Vec::new();
+        for _ in 0..80 {
+            remote.tick(&mut p, 80);
+            let heard = p.read_rx(a, 80);
+            digits.extend(det.push(&heard));
+        }
+        assert_eq!(digits, b"42".to_vec());
+    }
+}

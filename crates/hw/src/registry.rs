@@ -1,0 +1,271 @@
+//! Hardware inventory.
+//!
+//! A server instance is built from a [`HwSpec`]: the set of physical
+//! devices on the workstation, which ambient domains each participates in
+//! (paper §5.8), and any permanent hard-wired connections between them
+//! (paper §5.2's speaker-phone example). [`Hardware`] instantiates the
+//! spec into live simulated devices.
+
+use crate::codec::{Microphone, SignalSource, Speaker};
+use crate::pstn::{LineId, Pstn};
+
+/// What kind of physical device an inventory entry is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceKind {
+    /// A loudspeaker.
+    Speaker {
+        /// Sample rate, Hz.
+        rate: u32,
+        /// Channels.
+        channels: u8,
+    },
+    /// A microphone.
+    Microphone {
+        /// Sample rate, Hz.
+        rate: u32,
+    },
+    /// A telephone line with a directory number.
+    PhoneLine {
+        /// Directory number.
+        number: String,
+        /// Whether the network delivers caller identity.
+        caller_id: bool,
+    },
+}
+
+/// One physical device in the inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name ("left speaker").
+    pub name: String,
+    /// The device kind and parameters.
+    pub kind: DeviceKind,
+    /// Ambient domains the device participates in; domain 0 is the
+    /// desktop, higher numbers are telephone lines etc.
+    pub domains: Vec<u32>,
+}
+
+/// A permanent connection between two inventory entries, by index:
+/// `(src_device, src_port, dst_device, dst_port)`.
+pub type HardWireSpec = (usize, u8, usize, u8);
+
+/// The complete hardware inventory of one workstation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HwSpec {
+    /// Physical devices, in device-id order.
+    pub devices: Vec<DeviceSpec>,
+    /// Hard-wired connections (paper §5.2: "the existence of a wire
+    /// between two virtual devices [in the device LOUD] indicates that
+    /// there is a permanent connection between their respective devices").
+    pub hard_wires: Vec<HardWireSpec>,
+}
+
+impl HwSpec {
+    /// The standard desktop workstation of the paper's examples: one
+    /// speaker and one microphone in the desktop domain (0), one
+    /// telephone line in its own domain (1).
+    pub fn desktop() -> Self {
+        HwSpec {
+            devices: vec![
+                DeviceSpec {
+                    name: "speaker".into(),
+                    kind: DeviceKind::Speaker { rate: 8_000, channels: 1 },
+                    domains: vec![0],
+                },
+                DeviceSpec {
+                    name: "microphone".into(),
+                    kind: DeviceKind::Microphone { rate: 8_000 },
+                    domains: vec![0],
+                },
+                DeviceSpec {
+                    name: "phone line 1".into(),
+                    kind: DeviceKind::PhoneLine { number: "555-0100".into(), caller_id: true },
+                    domains: vec![1],
+                },
+            ],
+            hard_wires: Vec::new(),
+        }
+    }
+
+    /// A desktop with an outboard speaker-phone whose telephone line,
+    /// microphone and speaker are hard-wired together (the wiring-rule
+    /// example of paper §5.2). The speaker-phone sits in both the desktop
+    /// and telephone domains (paper §5.8).
+    pub fn desktop_with_speakerphone() -> Self {
+        let mut spec = Self::desktop();
+        let base = spec.devices.len();
+        spec.devices.push(DeviceSpec {
+            name: "speakerphone line".into(),
+            kind: DeviceKind::PhoneLine { number: "555-0101".into(), caller_id: true },
+            domains: vec![0, 2],
+        });
+        spec.devices.push(DeviceSpec {
+            name: "speakerphone speaker".into(),
+            kind: DeviceKind::Speaker { rate: 8_000, channels: 1 },
+            domains: vec![0, 2],
+        });
+        spec.devices.push(DeviceSpec {
+            name: "speakerphone mic".into(),
+            kind: DeviceKind::Microphone { rate: 8_000 },
+            domains: vec![0, 2],
+        });
+        // Line out -> speaker in; mic out -> line in.
+        spec.hard_wires.push((base, 0, base + 1, 0));
+        spec.hard_wires.push((base + 2, 0, base, 0));
+        spec
+    }
+
+    /// A CD-quality desktop: adds a 44.1 kHz stereo speaker for the
+    /// high-rate experiments (paper §1.1's 175 kB/s end of the scale).
+    pub fn desktop_hifi() -> Self {
+        let mut spec = Self::desktop();
+        spec.devices.push(DeviceSpec {
+            name: "hifi speaker".into(),
+            kind: DeviceKind::Speaker { rate: 44_100, channels: 2 },
+            domains: vec![0],
+        });
+        spec
+    }
+}
+
+/// Live instantiated hardware. Indexed by the same order as the spec's
+/// device list; each entry resolves to one of the per-kind tables.
+#[derive(Debug)]
+pub struct Hardware {
+    spec: HwSpec,
+    /// Per-device handle into the kind tables.
+    slots: Vec<HwSlot>,
+    /// All speakers.
+    pub speakers: Vec<Speaker>,
+    /// All microphones.
+    pub microphones: Vec<Microphone>,
+    /// The telephone network (server lines and any test lines).
+    pub pstn: Pstn,
+}
+
+/// Resolves a spec index to the concrete device table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwSlot {
+    /// Index into [`Hardware::speakers`].
+    Speaker(usize),
+    /// Index into [`Hardware::microphones`].
+    Microphone(usize),
+    /// A PSTN line id.
+    Line(LineId),
+}
+
+impl Hardware {
+    /// Instantiates a spec.
+    pub fn new(spec: HwSpec) -> Self {
+        let mut hw = Hardware {
+            spec: spec.clone(),
+            slots: Vec::new(),
+            speakers: Vec::new(),
+            microphones: Vec::new(),
+            pstn: Pstn::new(),
+        };
+        for dev in &spec.devices {
+            let slot = match &dev.kind {
+                DeviceKind::Speaker { rate, channels } => {
+                    hw.speakers.push(Speaker::new(*rate, *channels));
+                    HwSlot::Speaker(hw.speakers.len() - 1)
+                }
+                DeviceKind::Microphone { rate } => {
+                    hw.microphones.push(Microphone::new(*rate, SignalSource::Silence));
+                    HwSlot::Microphone(hw.microphones.len() - 1)
+                }
+                DeviceKind::PhoneLine { number, caller_id } => {
+                    let line = hw.pstn.add_line(number);
+                    hw.pstn.set_caller_id_service(line, *caller_id);
+                    HwSlot::Line(line)
+                }
+            };
+            hw.slots.push(slot);
+        }
+        hw
+    }
+
+    /// The inventory this hardware was built from.
+    pub fn spec(&self) -> &HwSpec {
+        &self.spec
+    }
+
+    /// Resolves a device index to its concrete slot.
+    pub fn slot(&self, index: usize) -> Option<HwSlot> {
+        self.slots.get(index).copied()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds an outside-world line (for tests' remote parties), without a
+    /// device-LOUD entry.
+    pub fn add_external_line(&mut self, number: &str) -> LineId {
+        self.pstn.add_line(number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desktop_spec_instantiates() {
+        let hw = Hardware::new(HwSpec::desktop());
+        assert_eq!(hw.device_count(), 3);
+        assert_eq!(hw.speakers.len(), 1);
+        assert_eq!(hw.microphones.len(), 1);
+        assert_eq!(hw.slot(0), Some(HwSlot::Speaker(0)));
+        assert_eq!(hw.slot(1), Some(HwSlot::Microphone(0)));
+        assert!(matches!(hw.slot(2), Some(HwSlot::Line(_))));
+        assert_eq!(hw.slot(3), None);
+    }
+
+    #[test]
+    fn speakerphone_spec_has_hard_wires() {
+        let spec = HwSpec::desktop_with_speakerphone();
+        assert_eq!(spec.hard_wires.len(), 2);
+        let hw = Hardware::new(spec);
+        assert_eq!(hw.speakers.len(), 2);
+        assert_eq!(hw.microphones.len(), 2);
+    }
+
+    #[test]
+    fn hifi_spec_has_stereo_speaker() {
+        let hw = Hardware::new(HwSpec::desktop_hifi());
+        let hifi = &hw.speakers[1];
+        assert_eq!(hifi.rate(), 44_100);
+        assert_eq!(hifi.channels(), 2);
+    }
+
+    #[test]
+    fn external_lines_join_the_network() {
+        let mut hw = Hardware::new(HwSpec::desktop());
+        let ext = hw.add_external_line("555-9999");
+        hw.pstn.off_hook(ext);
+        hw.pstn.dial(ext, "555-0100");
+        // The server's line (index 2) should now be ringing.
+        if let Some(HwSlot::Line(server_line)) = hw.slot(2) {
+            assert_eq!(hw.pstn.state(server_line), crate::pstn::LineState::Ringing);
+        } else {
+            panic!("expected line slot");
+        }
+    }
+
+    #[test]
+    fn caller_id_spec_respected() {
+        let mut spec = HwSpec::desktop();
+        if let DeviceKind::PhoneLine { caller_id, .. } = &mut spec.devices[2].kind {
+            *caller_id = false;
+        }
+        let mut hw = Hardware::new(spec);
+        let ext = hw.add_external_line("555-9999");
+        hw.pstn.off_hook(ext);
+        hw.pstn.dial(ext, "555-0100");
+        if let Some(HwSlot::Line(server_line)) = hw.slot(2) {
+            assert_eq!(hw.pstn.caller_id(server_line), None);
+        }
+    }
+}

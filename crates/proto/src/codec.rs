@@ -1,0 +1,531 @@
+//! Low-level wire encoding.
+//!
+//! All protocol values are encoded little-endian. Variable-length data
+//! (strings, byte blocks, lists) is prefixed with a `u32` element count.
+//! Messages travel in frames: a 4-byte little-endian payload length, a
+//! 1-byte [`FrameKind`] tag, then the payload. The encoding is deliberately
+//! independent of host language and operating system (paper §4.1): nothing
+//! here depends on `repr`, alignment, or endianness of the host.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame payload, in bytes.
+///
+/// Large sound transfers must be split into multiple `WriteSoundData`
+/// requests below this bound; the cap protects the server from a malformed
+/// length word claiming a multi-gigabyte frame.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 24;
+
+/// Tag distinguishing the message category of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: a [`crate::request::Request`] preceded by its
+    /// sequence number.
+    Request,
+    /// Server → client: a [`crate::reply::Reply`] preceded by the sequence
+    /// number of the request it answers.
+    Reply,
+    /// Server → client: an asynchronous [`crate::event::Event`].
+    Event,
+    /// Server → client: an asynchronous [`crate::error::ProtoError`].
+    Error,
+    /// Client → server: the connection [`crate::setup::SetupRequest`].
+    Setup,
+    /// Server → client: the connection [`crate::setup::SetupReply`].
+    SetupReply,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Reply => 2,
+            FrameKind::Event => 3,
+            FrameKind::Error => 4,
+            FrameKind::Setup => 5,
+            FrameKind::SetupReply => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            1 => FrameKind::Request,
+            2 => FrameKind::Reply,
+            3 => FrameKind::Event,
+            4 => FrameKind::Error,
+            5 => FrameKind::Setup,
+            6 => FrameKind::SetupReply,
+            other => return Err(CodecError::BadTag("FrameKind", other as u32)),
+        })
+    }
+}
+
+/// A complete protocol frame: a kind tag plus an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message category.
+    pub kind: FrameKind,
+    /// Encoded message payload.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Encodes an entire frame (header + payload) into a byte vector ready
+    /// to be written to the transport.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 5);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.push(self.kind.to_u8());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Attempts to decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` does not yet hold a complete frame; the
+    /// consumed bytes are removed from `buf` only on success.
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Frame>, CodecError> {
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(CodecError::FrameTooLarge(len));
+        }
+        if buf.len() < 5 + len {
+            return Ok(None);
+        }
+        buf.advance(4);
+        let kind = FrameKind::from_u8(buf[0])?;
+        buf.advance(1);
+        let payload = buf.split_to(len).freeze();
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+/// Errors arising while encoding or decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bytes mid-value.
+    Truncated,
+    /// An enum tag byte/word had no defined meaning.
+    BadTag(&'static str, u32),
+    /// A declared length exceeded [`MAX_FRAME_PAYLOAD`].
+    FrameTooLarge(usize),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after a complete message was decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "wire data truncated"),
+            CodecError::BadTag(ty, v) => write!(f, "bad wire tag {v} for {ty}"),
+            CodecError::FrameTooLarge(n) => write!(f, "frame payload of {n} bytes too large"),
+            CodecError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialises protocol values into a growable buffer.
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Finishes writing and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Appends a raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian `i16`.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.put_i16_le(v);
+    }
+
+    /// Appends a little-endian `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Appends a count-prefixed byte block.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a count-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Appends a count-prefixed list of encodable values.
+    pub fn list<T: WireWrite>(&mut self, items: &[T]) {
+        self.u32(items.len() as u32);
+        for item in items {
+            item.write(self);
+        }
+    }
+
+    /// Appends an optional value as a presence byte plus the value.
+    pub fn option<T: WireWrite>(&mut self, v: &Option<T>) {
+        match v {
+            None => self.bool(false),
+            Some(inner) => {
+                self.bool(true);
+                inner.write(self);
+            }
+        }
+    }
+}
+
+impl Default for WireWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deserialises protocol values from a byte slice.
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        WireReader { data, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails with [`CodecError::TrailingBytes`] if any input remains.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool encoded as one byte.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i16`.
+    pub fn i16(&mut self) -> Result<i16, CodecError> {
+        let b = self.take(2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, CodecError> {
+        let b = self.take(4)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a count-prefixed byte block.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME_PAYLOAD {
+            return Err(CodecError::FrameTooLarge(n));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a count-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads a count-prefixed list of decodable values.
+    pub fn list<T: WireRead>(&mut self) -> Result<Vec<T>, CodecError> {
+        let n = self.u32()? as usize;
+        // Guard against absurd counts before allocating; each element needs
+        // at least one byte on the wire.
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::read(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an optional value encoded as a presence byte plus the value.
+    pub fn option<T: WireRead>(&mut self) -> Result<Option<T>, CodecError> {
+        if self.bool()? {
+            Ok(Some(T::read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Types that can be serialised onto the wire.
+pub trait WireWrite {
+    /// Appends `self` to `w`.
+    fn write(&self, w: &mut WireWriter);
+
+    /// Convenience: encodes `self` into a standalone byte buffer.
+    fn to_wire(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+}
+
+/// Types that can be deserialised from the wire.
+pub trait WireRead: Sized {
+    /// Reads one value from `r`.
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: decodes a standalone byte buffer, requiring that every
+    /// byte is consumed.
+    fn from_wire(data: &[u8]) -> Result<Self, CodecError> {
+        let mut r = WireReader::new(data);
+        let v = Self::read(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+impl WireWrite for u8 {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(*self);
+    }
+}
+
+impl WireRead for u8 {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.u8()
+    }
+}
+
+impl WireWrite for u16 {
+    fn write(&self, w: &mut WireWriter) {
+        w.u16(*self);
+    }
+}
+
+impl WireRead for u16 {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.u16()
+    }
+}
+
+impl WireWrite for u32 {
+    fn write(&self, w: &mut WireWriter) {
+        w.u32(*self);
+    }
+}
+
+impl WireRead for u32 {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl WireWrite for u64 {
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(*self);
+    }
+}
+
+impl WireRead for u64 {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl WireWrite for String {
+    fn write(&self, w: &mut WireWriter) {
+        w.string(self);
+    }
+}
+
+impl WireRead for String {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        r.string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.i16(-123);
+        w.i32(-1_000_000);
+        w.bool(true);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.i16().unwrap(), -123);
+        assert_eq!(r.i32().unwrap(), -1_000_000);
+        assert!(r.bool().unwrap());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let mut w = WireWriter::new();
+        w.string("hello, wörld");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.string().unwrap(), "hello, wörld");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_read_fails() {
+        let mut w = WireWriter::new();
+        w.u32(7);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes[..2]);
+        assert_eq!(r.u32(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn list_with_absurd_count_fails_without_alloc() {
+        // A count of u32::MAX with no element bytes must fail fast.
+        let mut w = WireWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(r.list::<u32>().is_err());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let mut w = WireWriter::new();
+        w.option::<u32>(&None);
+        w.option(&Some(9u32));
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.option::<u32>().unwrap(), None);
+        assert_eq!(r.option::<u32>().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = Frame { kind: FrameKind::Event, payload: Bytes::from_static(b"payload") };
+        let encoded = frame.encode();
+        let mut buf = BytesMut::from(&encoded[..]);
+        let decoded = Frame::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frame_partial_returns_none() {
+        let frame = Frame { kind: FrameKind::Reply, payload: Bytes::from_static(b"abcdef") };
+        let encoded = frame.encode();
+        for cut in 0..encoded.len() {
+            let mut buf = BytesMut::from(&encoded[..cut]);
+            assert_eq!(Frame::decode(&mut buf).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_rejects_oversize() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_FRAME_PAYLOAD + 1) as u32);
+        buf.put_u8(1);
+        assert!(Frame::decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = Frame { kind: FrameKind::Request, payload: Bytes::from_static(b"one") };
+        let b = Frame { kind: FrameKind::Error, payload: Bytes::from_static(b"two2") };
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a.encode());
+        buf.extend_from_slice(&b.encode());
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap(), a);
+        assert_eq!(Frame::decode(&mut buf).unwrap().unwrap(), b);
+        assert_eq!(Frame::decode(&mut buf).unwrap(), None);
+    }
+}

@@ -1,0 +1,503 @@
+//! Device commands and command-queue entries.
+//!
+//! A device command is issued in either **queued** or **immediate** mode
+//! (paper §5.1). Commands such as `Play` and `Record` must be synchronised
+//! with other commands and can only be queued; commands such as `Stop` and
+//! `ChangeGain` may be issued in either mode, and in immediate mode take
+//! effect instantaneously — an immediate `Stop` aborts a queued command in
+//! progress.
+//!
+//! Queues additionally accept four pure synchronisation entries —
+//! `CoBegin`, `CoEnd`, `Delay` and `DelayEnd` (paper §5.5) — which do
+//! nothing to devices. They are deliberately not a programming language:
+//! there are no conditionals or branches and the queue is not an
+//! interpreter.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::ids::{SoundId, VDeviceId};
+
+/// Unity gain in milli-units: `ChangeGain(GAIN_UNITY)` leaves samples
+/// untouched.
+pub const GAIN_UNITY: u32 = 1000;
+
+/// Condition terminating a `Record` command (paper §5.9: "The Record
+/// command has a termination condition, which can be either after a pause
+/// or when the caller hangs up").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordTermination {
+    /// Record until explicitly stopped.
+    Manual,
+    /// Record at most this many sample frames.
+    MaxFrames(u64),
+    /// Stop after `min_silence_frames` consecutive frames whose amplitude
+    /// stays below `threshold` (pause detection).
+    OnPause {
+        /// Absolute 16-bit amplitude below which a frame counts as silent.
+        threshold: u16,
+        /// Number of consecutive silent frames ending the recording.
+        min_silence_frames: u64,
+    },
+    /// Stop when the telephone call feeding the recorder hangs up.
+    OnHangup,
+}
+
+impl WireWrite for RecordTermination {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            RecordTermination::Manual => w.u8(0),
+            RecordTermination::MaxFrames(n) => {
+                w.u8(1);
+                w.u64(*n);
+            }
+            RecordTermination::OnPause { threshold, min_silence_frames } => {
+                w.u8(2);
+                w.u16(*threshold);
+                w.u64(*min_silence_frames);
+            }
+            RecordTermination::OnHangup => w.u8(3),
+        }
+    }
+}
+
+impl WireRead for RecordTermination {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => RecordTermination::Manual,
+            1 => RecordTermination::MaxFrames(r.u64()?),
+            2 => RecordTermination::OnPause {
+                threshold: r.u16()?,
+                min_silence_frames: r.u64()?,
+            },
+            3 => RecordTermination::OnHangup,
+            other => return Err(CodecError::BadTag("RecordTermination", other as u32)),
+        })
+    }
+}
+
+/// A note played by a music synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Note {
+    /// MIDI note number (69 = A4 = 440 Hz).
+    pub note: u8,
+    /// Velocity 0–127, scaling amplitude.
+    pub velocity: u8,
+    /// Duration in milliseconds.
+    pub duration_ms: u32,
+}
+
+impl WireWrite for Note {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(self.note);
+        w.u8(self.velocity);
+        w.u32(self.duration_ms);
+    }
+}
+
+impl WireRead for Note {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(Note { note: r.u8()?, velocity: r.u8()?, duration_ms: r.u32()? })
+    }
+}
+
+/// A crossbar routing entry: connect input `input` to output `output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossbarRoute {
+    /// Sink-port index on the crossbar.
+    pub input: u8,
+    /// Source-port index on the crossbar.
+    pub output: u8,
+    /// Whether the connection is made (`true`) or broken (`false`).
+    pub connected: bool,
+}
+
+impl WireWrite for CrossbarRoute {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(self.input);
+        w.u8(self.output);
+        w.bool(self.connected);
+    }
+}
+
+impl WireRead for CrossbarRoute {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(CrossbarRoute { input: r.u8()?, output: r.u8()?, connected: r.bool()? })
+    }
+}
+
+/// A command addressed to a virtual device (paper §5.1 class commands).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceCommand {
+    // Common commands.
+    /// Abort the device's current operation. For a telephone, hang up.
+    Stop,
+    /// Suspend the current operation, retaining position.
+    Pause,
+    /// Resume a paused operation.
+    Resume,
+    /// Set gain in milli-units ([`GAIN_UNITY`] = unchanged); valid on
+    /// inputs, outputs, players and recorders.
+    ChangeGain(u32),
+
+    // Player.
+    /// Play a sound out the player's ports (queued mode only).
+    Play(SoundId),
+
+    // Recorder.
+    /// Record into a sound until `termination` (queued mode only).
+    Record(SoundId, RecordTermination),
+
+    // Telephone.
+    /// Place a call to a number (queued mode only).
+    Dial(String),
+    /// Answer a ringing line (queued mode only).
+    Answer,
+    /// Send DTMF digits in-band.
+    SendDtmf(String),
+
+    // Mixer.
+    /// Set the mix percentage (0–100) for one mixer input.
+    SetMixGain {
+        /// Sink-port index.
+        input: u8,
+        /// Percentage of the input contributed to the mix.
+        percent: u8,
+    },
+
+    // Speech synthesizer.
+    /// Speak a text string (queued mode only).
+    SpeakText(String),
+    /// Select the language used to interpret text.
+    SetTextLanguage(String),
+    /// Set vocal-tract parameters: speaking rate in words-per-minute and
+    /// base pitch in Hz.
+    SetVoiceValues {
+        /// Speaking rate, words per minute.
+        rate_wpm: u16,
+        /// Base pitch of the vocal-tract model, Hz.
+        pitch_hz: u16,
+    },
+    /// Override normal pronunciation for specific words.
+    SetExceptionList(Vec<(String, String)>),
+
+    // Speech recognizer.
+    /// Train a word template from a recorded sound.
+    Train {
+        /// The word being trained.
+        word: String,
+        /// A sound resource holding an utterance of the word.
+        template: SoundId,
+    },
+    /// Restrict recognition to the given active vocabulary.
+    SetVocabulary(Vec<String>),
+    /// Bias the recognizer toward (positive) or away from (negative) the
+    /// current vocabulary, trading insertions for deletions.
+    AdjustContext(i32),
+    /// Persist trained templates under a catalogue name.
+    SaveVocabulary(String),
+
+    // Music synthesizer.
+    /// Play a note (queued mode only).
+    PlayNote(Note),
+    /// Select the synthesis voice by name ("sine", "square", ...).
+    SetVoice(String),
+    /// Set music generation state: tempo in beats per minute.
+    SetMusicState {
+        /// Tempo in beats per minute.
+        tempo_bpm: u16,
+    },
+
+    // Crossbar.
+    /// Reconfigure crossbar routing.
+    SetRoutes(Vec<CrossbarRoute>),
+}
+
+impl DeviceCommand {
+    /// Whether this command may be issued in immediate mode.
+    ///
+    /// Commands that move data through time (`Play`, `Record`, `Dial`,
+    /// `Answer`, `SpeakText`, `PlayNote`) must be synchronised with other
+    /// commands and are queued-only (paper §5.1).
+    pub fn immediate_ok(&self) -> bool {
+        !matches!(
+            self,
+            DeviceCommand::Play(_)
+                | DeviceCommand::Record(..)
+                | DeviceCommand::Dial(_)
+                | DeviceCommand::Answer
+                | DeviceCommand::SpeakText(_)
+                | DeviceCommand::PlayNote(_)
+        )
+    }
+
+    /// Whether this command completes instantaneously once started.
+    ///
+    /// Instantaneous commands (gain changes, vocabulary updates, routing)
+    /// never occupy a queue across ticks; durational commands complete at a
+    /// specific sample time.
+    pub fn instantaneous(&self) -> bool {
+        self.immediate_ok() && !matches!(self, DeviceCommand::SendDtmf(_))
+    }
+}
+
+impl WireWrite for DeviceCommand {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            DeviceCommand::Stop => w.u8(0),
+            DeviceCommand::Pause => w.u8(1),
+            DeviceCommand::Resume => w.u8(2),
+            DeviceCommand::ChangeGain(g) => {
+                w.u8(3);
+                w.u32(*g);
+            }
+            DeviceCommand::Play(s) => {
+                w.u8(4);
+                s.write(w);
+            }
+            DeviceCommand::Record(s, t) => {
+                w.u8(5);
+                s.write(w);
+                t.write(w);
+            }
+            DeviceCommand::Dial(n) => {
+                w.u8(6);
+                w.string(n);
+            }
+            DeviceCommand::Answer => w.u8(7),
+            DeviceCommand::SendDtmf(d) => {
+                w.u8(8);
+                w.string(d);
+            }
+            DeviceCommand::SetMixGain { input, percent } => {
+                w.u8(9);
+                w.u8(*input);
+                w.u8(*percent);
+            }
+            DeviceCommand::SpeakText(t) => {
+                w.u8(10);
+                w.string(t);
+            }
+            DeviceCommand::SetTextLanguage(l) => {
+                w.u8(11);
+                w.string(l);
+            }
+            DeviceCommand::SetVoiceValues { rate_wpm, pitch_hz } => {
+                w.u8(12);
+                w.u16(*rate_wpm);
+                w.u16(*pitch_hz);
+            }
+            DeviceCommand::SetExceptionList(list) => {
+                w.u8(13);
+                w.u32(list.len() as u32);
+                for (word, pron) in list {
+                    w.string(word);
+                    w.string(pron);
+                }
+            }
+            DeviceCommand::Train { word, template } => {
+                w.u8(14);
+                w.string(word);
+                template.write(w);
+            }
+            DeviceCommand::SetVocabulary(words) => {
+                w.u8(15);
+                w.list(words);
+            }
+            DeviceCommand::AdjustContext(bias) => {
+                w.u8(16);
+                w.i32(*bias);
+            }
+            DeviceCommand::SaveVocabulary(name) => {
+                w.u8(17);
+                w.string(name);
+            }
+            DeviceCommand::PlayNote(n) => {
+                w.u8(18);
+                n.write(w);
+            }
+            DeviceCommand::SetVoice(v) => {
+                w.u8(19);
+                w.string(v);
+            }
+            DeviceCommand::SetMusicState { tempo_bpm } => {
+                w.u8(20);
+                w.u16(*tempo_bpm);
+            }
+            DeviceCommand::SetRoutes(routes) => {
+                w.u8(21);
+                w.list(routes);
+            }
+        }
+    }
+}
+
+impl WireRead for DeviceCommand {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => DeviceCommand::Stop,
+            1 => DeviceCommand::Pause,
+            2 => DeviceCommand::Resume,
+            3 => DeviceCommand::ChangeGain(r.u32()?),
+            4 => DeviceCommand::Play(SoundId::read(r)?),
+            5 => DeviceCommand::Record(SoundId::read(r)?, RecordTermination::read(r)?),
+            6 => DeviceCommand::Dial(r.string()?),
+            7 => DeviceCommand::Answer,
+            8 => DeviceCommand::SendDtmf(r.string()?),
+            9 => DeviceCommand::SetMixGain { input: r.u8()?, percent: r.u8()? },
+            10 => DeviceCommand::SpeakText(r.string()?),
+            11 => DeviceCommand::SetTextLanguage(r.string()?),
+            12 => DeviceCommand::SetVoiceValues { rate_wpm: r.u16()?, pitch_hz: r.u16()? },
+            13 => {
+                let n = r.u32()? as usize;
+                let mut list = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    list.push((r.string()?, r.string()?));
+                }
+                DeviceCommand::SetExceptionList(list)
+            }
+            14 => DeviceCommand::Train { word: r.string()?, template: SoundId::read(r)? },
+            15 => DeviceCommand::SetVocabulary(r.list()?),
+            16 => DeviceCommand::AdjustContext(r.i32()?),
+            17 => DeviceCommand::SaveVocabulary(r.string()?),
+            18 => DeviceCommand::PlayNote(Note::read(r)?),
+            19 => DeviceCommand::SetVoice(r.string()?),
+            20 => DeviceCommand::SetMusicState { tempo_bpm: r.u16()? },
+            21 => DeviceCommand::SetRoutes(r.list()?),
+            other => return Err(CodecError::BadTag("DeviceCommand", other as u32)),
+        })
+    }
+}
+
+/// One entry in a root LOUD's command queue (paper §5.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueEntry {
+    /// A device command addressed to a virtual device in the LOUD tree.
+    Device {
+        /// Target virtual device.
+        vdev: VDeviceId,
+        /// The command to run.
+        cmd: DeviceCommand,
+    },
+    /// Start all commands up to the matching [`QueueEntry::CoEnd`]
+    /// simultaneously; the entry after the `CoEnd` does not start until all
+    /// bracketed commands complete.
+    CoBegin,
+    /// Close the innermost `CoBegin` bracket.
+    CoEnd,
+    /// Within a `CoBegin` bracket, wait `ms` milliseconds before processing
+    /// the following commands (which run sequentially until the matching
+    /// [`QueueEntry::DelayEnd`]).
+    Delay {
+        /// Delay in milliseconds of queue-relative time.
+        ms: u32,
+    },
+    /// Close the innermost `Delay` segment.
+    DelayEnd,
+}
+
+impl WireWrite for QueueEntry {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            QueueEntry::Device { vdev, cmd } => {
+                w.u8(0);
+                vdev.write(w);
+                cmd.write(w);
+            }
+            QueueEntry::CoBegin => w.u8(1),
+            QueueEntry::CoEnd => w.u8(2),
+            QueueEntry::Delay { ms } => {
+                w.u8(3);
+                w.u32(*ms);
+            }
+            QueueEntry::DelayEnd => w.u8(4),
+        }
+    }
+}
+
+impl WireRead for QueueEntry {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => QueueEntry::Device { vdev: VDeviceId::read(r)?, cmd: DeviceCommand::read(r)? },
+            1 => QueueEntry::CoBegin,
+            2 => QueueEntry::CoEnd,
+            3 => QueueEntry::Delay { ms: r.u32()? },
+            4 => QueueEntry::DelayEnd,
+            other => return Err(CodecError::BadTag("QueueEntry", other as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cmd: &DeviceCommand) {
+        assert_eq!(&DeviceCommand::from_wire(&cmd.to_wire()).unwrap(), cmd);
+    }
+
+    #[test]
+    fn all_commands_roundtrip() {
+        let cmds = vec![
+            DeviceCommand::Stop,
+            DeviceCommand::Pause,
+            DeviceCommand::Resume,
+            DeviceCommand::ChangeGain(500),
+            DeviceCommand::Play(SoundId(1)),
+            DeviceCommand::Record(SoundId(2), RecordTermination::MaxFrames(8000)),
+            DeviceCommand::Record(
+                SoundId(2),
+                RecordTermination::OnPause { threshold: 400, min_silence_frames: 4000 },
+            ),
+            DeviceCommand::Record(SoundId(2), RecordTermination::OnHangup),
+            DeviceCommand::Dial("555-0123".into()),
+            DeviceCommand::Answer,
+            DeviceCommand::SendDtmf("12#*".into()),
+            DeviceCommand::SetMixGain { input: 1, percent: 60 },
+            DeviceCommand::SpeakText("hello world".into()),
+            DeviceCommand::SetTextLanguage("en".into()),
+            DeviceCommand::SetVoiceValues { rate_wpm: 180, pitch_hz: 120 },
+            DeviceCommand::SetExceptionList(vec![("DEC".into(), "deck".into())]),
+            DeviceCommand::Train { word: "yes".into(), template: SoundId(5) },
+            DeviceCommand::SetVocabulary(vec!["yes".into(), "no".into()]),
+            DeviceCommand::AdjustContext(-3),
+            DeviceCommand::SaveVocabulary("main".into()),
+            DeviceCommand::PlayNote(Note { note: 69, velocity: 100, duration_ms: 250 }),
+            DeviceCommand::SetVoice("square".into()),
+            DeviceCommand::SetMusicState { tempo_bpm: 120 },
+            DeviceCommand::SetRoutes(vec![CrossbarRoute {
+                input: 0,
+                output: 1,
+                connected: true,
+            }]),
+        ];
+        for cmd in &cmds {
+            roundtrip(cmd);
+        }
+    }
+
+    #[test]
+    fn immediate_mode_rules() {
+        // Paper §5.1: Play and Record can be issued only in queued mode;
+        // Stop and ChangeGain may be issued in either mode.
+        assert!(!DeviceCommand::Play(SoundId(1)).immediate_ok());
+        assert!(!DeviceCommand::Record(SoundId(1), RecordTermination::Manual).immediate_ok());
+        assert!(!DeviceCommand::Dial("1".into()).immediate_ok());
+        assert!(!DeviceCommand::Answer.immediate_ok());
+        assert!(DeviceCommand::Stop.immediate_ok());
+        assert!(DeviceCommand::ChangeGain(2000).immediate_ok());
+        assert!(DeviceCommand::SendDtmf("1".into()).immediate_ok());
+    }
+
+    #[test]
+    fn queue_entry_roundtrip() {
+        let entries = vec![
+            QueueEntry::Device { vdev: VDeviceId(7), cmd: DeviceCommand::Answer },
+            QueueEntry::CoBegin,
+            QueueEntry::CoEnd,
+            QueueEntry::Delay { ms: 5000 },
+            QueueEntry::DelayEnd,
+        ];
+        for e in &entries {
+            assert_eq!(&QueueEntry::from_wire(&e.to_wire()).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Asynchronous protocol errors.
+//!
+//! Errors are generated asynchronously, and applications must be prepared
+//! to process them at arbitrary times after the erroneous request (paper
+//! §4.1). An error message quotes the sequence number of the failing
+//! request plus a code and a diagnostic value.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+
+/// Protocol error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// A LOUD id did not name a live LOUD of this client.
+    BadLoud,
+    /// A virtual-device id did not name a live device.
+    BadDevice,
+    /// A wire id did not name a live wire.
+    BadWire,
+    /// A sound id did not name a live sound.
+    BadSound,
+    /// An atom was never interned.
+    BadAtom,
+    /// A numeric or string value was out of range.
+    BadValue,
+    /// Two protocol objects cannot be combined: mismatched wire/port
+    /// types, impossible LOUD configurations, hard-wired constraint
+    /// violations (paper §5.2, §5.9).
+    BadMatch,
+    /// The operation is not permitted for this client (e.g. a second
+    /// client requesting redirection, paper §5.8).
+    BadAccess,
+    /// No physical device satisfies the virtual device's constraints, or
+    /// the device is in exclusive use by another application (paper §5.9).
+    DeviceBusy,
+    /// A queued-only command was issued in immediate mode, or a queue
+    /// operation conflicted with the queue's state.
+    BadQueueMode,
+    /// A resource id was outside the client's allocated range or already
+    /// in use.
+    BadIdChoice,
+    /// The request requires the LOUD to be mapped/active and it is not.
+    NotMapped,
+    /// The request is recognised but not implemented by this server.
+    Unimplemented,
+    /// The request could not be decoded.
+    BadRequest,
+}
+
+impl ErrorCode {
+    const ALL: [ErrorCode; 14] = [
+        ErrorCode::BadLoud,
+        ErrorCode::BadDevice,
+        ErrorCode::BadWire,
+        ErrorCode::BadSound,
+        ErrorCode::BadAtom,
+        ErrorCode::BadValue,
+        ErrorCode::BadMatch,
+        ErrorCode::BadAccess,
+        ErrorCode::DeviceBusy,
+        ErrorCode::BadQueueMode,
+        ErrorCode::BadIdChoice,
+        ErrorCode::NotMapped,
+        ErrorCode::Unimplemented,
+        ErrorCode::BadRequest,
+    ];
+
+    fn tag(self) -> u8 {
+        self as u8
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadLoud => "BadLoud",
+            ErrorCode::BadDevice => "BadDevice",
+            ErrorCode::BadWire => "BadWire",
+            ErrorCode::BadSound => "BadSound",
+            ErrorCode::BadAtom => "BadAtom",
+            ErrorCode::BadValue => "BadValue",
+            ErrorCode::BadMatch => "BadMatch",
+            ErrorCode::BadAccess => "BadAccess",
+            ErrorCode::DeviceBusy => "DeviceBusy",
+            ErrorCode::BadQueueMode => "BadQueueMode",
+            ErrorCode::BadIdChoice => "BadIdChoice",
+            ErrorCode::NotMapped => "NotMapped",
+            ErrorCode::Unimplemented => "Unimplemented",
+            ErrorCode::BadRequest => "BadRequest",
+        };
+        f.write_str(name)
+    }
+}
+
+impl WireWrite for ErrorCode {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(self.tag());
+    }
+}
+
+impl WireRead for ErrorCode {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let t = r.u8()?;
+        ErrorCode::ALL
+            .into_iter()
+            .find(|c| c.tag() == t)
+            .ok_or(CodecError::BadTag("ErrorCode", t as u32))
+    }
+}
+
+/// A protocol error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// The error code.
+    pub code: ErrorCode,
+    /// The offending resource id or value, when meaningful.
+    pub value: u32,
+    /// Human-readable diagnostic.
+    pub detail: String,
+}
+
+impl ProtoError {
+    /// Creates an error with an id value and diagnostic text.
+    pub fn new(code: ErrorCode, value: u32, detail: impl Into<String>) -> Self {
+        ProtoError { code, value, detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (value {:#x}): {}", self.code, self.value, self.detail)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl WireWrite for ProtoError {
+    fn write(&self, w: &mut WireWriter) {
+        self.code.write(w);
+        w.u32(self.value);
+        w.string(&self.detail);
+    }
+}
+
+impl WireRead for ProtoError {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(ProtoError { code: ErrorCode::read(r)?, value: r.u32()?, detail: r.string()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_roundtrip() {
+        for code in ErrorCode::ALL {
+            let e = ProtoError::new(code, 0xdead, "diagnostic");
+            assert_eq!(ProtoError::from_wire(&e.to_wire()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn display_includes_code_and_detail() {
+        let e = ProtoError::new(ErrorCode::BadMatch, 7, "wire type conflict");
+        let s = e.to_string();
+        assert!(s.contains("BadMatch"));
+        assert!(s.contains("wire type conflict"));
+    }
+}

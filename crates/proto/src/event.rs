@@ -1,0 +1,646 @@
+//! Server → client events.
+//!
+//! An event is data generated asynchronously by the server as a result of
+//! device activity or as a side-effect of a request (paper §5.7). The
+//! three major categories are **command queue**, **device** and
+//! **synchronization** events; this implementation adds LOUD lifecycle,
+//! property and audio-manager redirection events (the mechanisms of paper
+//! §5.8). The server sends an event only to clients that selected its
+//! category on the resource concerned.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::ids::{Atom, ClientId, LoudId, ResourceId, SoundId, VDeviceId};
+
+/// Bitmask of event categories a client can select (paper §5.7–5.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(pub u32);
+
+impl EventMask {
+    /// Command-queue state changes: started, stopped, paused, command done.
+    pub const QUEUE: EventMask = EventMask(1 << 0);
+    /// Class-specific device events (telephone, recorder, recognizer...).
+    pub const DEVICE: EventMask = EventMask(1 << 1);
+    /// Synchronization marks for coordinating with other media.
+    pub const SYNC: EventMask = EventMask(1 << 2);
+    /// LOUD lifecycle: map/unmap and activate/deactivate notifications.
+    pub const LOUD_STATE: EventMask = EventMask(1 << 3);
+    /// Property changes.
+    pub const PROPERTY: EventMask = EventMask(1 << 4);
+    /// Redirected map/raise requests (audio managers only).
+    pub const MANAGER: EventMask = EventMask(1 << 5);
+
+    /// The empty mask.
+    pub fn empty() -> EventMask {
+        EventMask(0)
+    }
+
+    /// Every category.
+    pub fn all() -> EventMask {
+        EventMask(0x3F)
+    }
+
+    /// Whether every bit of `other` is present in `self`.
+    pub fn contains(self, other: EventMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: EventMask) -> EventMask {
+        EventMask(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for EventMask {
+    type Output = EventMask;
+
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        self.union(rhs)
+    }
+}
+
+impl WireWrite for EventMask {
+    fn write(&self, w: &mut WireWriter) {
+        w.u32(self.0);
+    }
+}
+
+impl WireRead for EventMask {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(EventMask(r.u32()?))
+    }
+}
+
+/// Why a queue stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueStopReason {
+    /// The client issued `StopQueue`.
+    ClientRequest,
+    /// Every queued entry completed.
+    Drained,
+    /// The current command failed or its device vanished.
+    Error,
+    /// A pause was requested but the active command cannot pause, so the
+    /// queue stopped instead (paper §5.5).
+    Unpausable,
+}
+
+impl WireWrite for QueueStopReason {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            QueueStopReason::ClientRequest => 0,
+            QueueStopReason::Drained => 1,
+            QueueStopReason::Error => 2,
+            QueueStopReason::Unpausable => 3,
+        });
+    }
+}
+
+impl WireRead for QueueStopReason {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => QueueStopReason::ClientRequest,
+            1 => QueueStopReason::Drained,
+            2 => QueueStopReason::Error,
+            3 => QueueStopReason::Unpausable,
+            other => return Err(CodecError::BadTag("QueueStopReason", other as u32)),
+        })
+    }
+}
+
+/// Why a recording ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStopReason {
+    /// Explicit `Stop`.
+    Manual,
+    /// The frame limit was reached.
+    MaxFrames,
+    /// Pause detection fired (paper §5.9).
+    PauseDetected,
+    /// The telephone call feeding the recorder hung up.
+    Hangup,
+}
+
+impl WireWrite for RecordStopReason {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            RecordStopReason::Manual => 0,
+            RecordStopReason::MaxFrames => 1,
+            RecordStopReason::PauseDetected => 2,
+            RecordStopReason::Hangup => 3,
+        });
+    }
+}
+
+impl WireRead for RecordStopReason {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => RecordStopReason::Manual,
+            1 => RecordStopReason::MaxFrames,
+            2 => RecordStopReason::PauseDetected,
+            3 => RecordStopReason::Hangup,
+            other => return Err(CodecError::BadTag("RecordStopReason", other as u32)),
+        })
+    }
+}
+
+/// Progress states of a telephone call (paper §5.7: "a dial request has
+/// been issued", "the telephone has been answered", "the phone is
+/// ringing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallState {
+    /// On-hook, no call.
+    Idle,
+    /// Off-hook, digits being sent.
+    Dialing,
+    /// Outgoing call ringing at the far end.
+    Ringback,
+    /// Incoming call ringing locally.
+    Ringing,
+    /// Call established.
+    Connected,
+    /// Far end busy.
+    Busy,
+    /// Call ended (either side hung up).
+    HungUp,
+    /// Outgoing call not answered.
+    NoAnswer,
+}
+
+impl CallState {
+    const ALL: [CallState; 8] = [
+        CallState::Idle,
+        CallState::Dialing,
+        CallState::Ringback,
+        CallState::Ringing,
+        CallState::Connected,
+        CallState::Busy,
+        CallState::HungUp,
+        CallState::NoAnswer,
+    ];
+
+    fn tag(self) -> u8 {
+        self as u8
+    }
+}
+
+impl WireWrite for CallState {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(self.tag());
+    }
+}
+
+impl WireRead for CallState {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let t = r.u8()?;
+        CallState::ALL
+            .into_iter()
+            .find(|s| s.tag() == t)
+            .ok_or(CodecError::BadTag("CallState", t as u32))
+    }
+}
+
+/// An asynchronous server event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // -- Command-queue events (category QUEUE) --
+    /// A queue began processing.
+    QueueStarted {
+        /// Owning root LOUD.
+        loud: LoudId,
+    },
+    /// A queue stopped.
+    QueueStopped {
+        /// Owning root LOUD.
+        loud: LoudId,
+        /// Why it stopped.
+        reason: QueueStopReason,
+    },
+    /// A queue paused; `by_server` distinguishes server-paused (LOUD
+    /// deactivation) from client-paused.
+    QueuePaused {
+        /// Owning root LOUD.
+        loud: LoudId,
+        /// `true` when the server paused the queue on deactivation.
+        by_server: bool,
+    },
+    /// A paused queue resumed.
+    QueueResumed {
+        /// Owning root LOUD.
+        loud: LoudId,
+    },
+    /// A queued command completed.
+    CommandDone {
+        /// Owning root LOUD.
+        loud: LoudId,
+        /// Device the command ran on.
+        vdev: VDeviceId,
+        /// Index of the entry in enqueue order (0-based, monotonically
+        /// increasing over the queue's lifetime).
+        index: u32,
+        /// Device time (sample frames) at completion.
+        at_frame: u64,
+    },
+
+    // -- Device events (category DEVICE) --
+    /// A player started emitting a sound.
+    PlayStarted {
+        /// The player.
+        vdev: VDeviceId,
+        /// The sound being played.
+        sound: SoundId,
+    },
+    /// A recorder started storing data (paper: recorder "start" event).
+    RecordStarted {
+        /// The recorder.
+        vdev: VDeviceId,
+        /// The sound being recorded into.
+        sound: SoundId,
+    },
+    /// A recorder stopped (paper: recorder "stop" event).
+    RecordStopped {
+        /// The recorder.
+        vdev: VDeviceId,
+        /// The sound recorded into.
+        sound: SoundId,
+        /// Why recording ended.
+        reason: RecordStopReason,
+        /// Frames stored.
+        frames: u64,
+    },
+    /// A telephone call changed state. Sent for virtual telephone devices
+    /// and for the device-LOUD telephone (which unmapped applications
+    /// monitor, paper §5.9 footnote).
+    CallProgress {
+        /// The telephone device (virtual or device-LOUD).
+        device: ResourceId,
+        /// New call state.
+        state: CallState,
+        /// Identity of the calling party, when the network provides it
+        /// (paper §5.1: attributes tell whether this is available).
+        caller_id: Option<String>,
+    },
+    /// A DTMF digit was detected on a telephone or recognizer input.
+    DtmfReceived {
+        /// The detecting device.
+        device: ResourceId,
+        /// The digit: one of `0-9`, `*`, `#`, `A-D`.
+        digit: u8,
+    },
+    /// A speech recognizer detected a word (paper §5.1).
+    WordRecognized {
+        /// The recognizer.
+        vdev: VDeviceId,
+        /// The recognised word.
+        word: String,
+        /// Match quality in milli-units (1000 = perfect).
+        score: u32,
+    },
+    /// A streaming sound ran dry while a player needed data; silence was
+    /// substituted (paper §6.2: the client implements its own policy).
+    SoundUnderrun {
+        /// The starved player.
+        vdev: VDeviceId,
+        /// The incomplete sound.
+        sound: SoundId,
+        /// Frames of silence inserted this tick.
+        missing_frames: u64,
+    },
+
+    // -- Synchronization events (category SYNC) --
+    /// Periodic playback/record position marks used to slave other media
+    /// to the audio stream (paper §5.7, §6 Soundviewer).
+    SyncMark {
+        /// The device emitting marks.
+        vdev: VDeviceId,
+        /// The sound in progress, if any.
+        sound: Option<SoundId>,
+        /// Position within the sound, in sample frames.
+        position: u64,
+        /// Server device time at the mark.
+        device_time: u64,
+    },
+
+    // -- LOUD lifecycle (category LOUD_STATE) --
+    /// A root LOUD was mapped.
+    MapNotify {
+        /// The LOUD.
+        loud: LoudId,
+    },
+    /// A root LOUD was unmapped.
+    UnmapNotify {
+        /// The LOUD.
+        loud: LoudId,
+    },
+    /// The server activated a LOUD: its virtual devices are bound and its
+    /// queue may run (paper §5.4, §5.9).
+    ActivateNotify {
+        /// The LOUD.
+        loud: LoudId,
+    },
+    /// The server deactivated a LOUD; device state was saved for restore.
+    DeactivateNotify {
+        /// The LOUD.
+        loud: LoudId,
+    },
+
+    // -- Property events (category PROPERTY) --
+    /// A property was changed or deleted.
+    PropertyNotify {
+        /// The owning resource.
+        target: ResourceId,
+        /// The property name.
+        name: Atom,
+        /// `true` if the property was deleted.
+        deleted: bool,
+    },
+
+    // -- Audio-manager redirection (category MANAGER) --
+    /// A client asked to map a LOUD while redirection is active; the audio
+    /// manager decides whether to `AllowMap` (paper §5.8).
+    MapRequest {
+        /// The LOUD the client wants mapped.
+        loud: LoudId,
+        /// The requesting client.
+        client: ClientId,
+    },
+    /// A client asked to raise a LOUD while redirection is active.
+    RaiseRequest {
+        /// The LOUD the client wants raised.
+        loud: LoudId,
+        /// The requesting client.
+        client: ClientId,
+    },
+}
+
+impl Event {
+    /// The selection category this event belongs to.
+    pub fn category(&self) -> EventMask {
+        match self {
+            Event::QueueStarted { .. }
+            | Event::QueueStopped { .. }
+            | Event::QueuePaused { .. }
+            | Event::QueueResumed { .. }
+            | Event::CommandDone { .. } => EventMask::QUEUE,
+            Event::PlayStarted { .. }
+            | Event::RecordStarted { .. }
+            | Event::RecordStopped { .. }
+            | Event::CallProgress { .. }
+            | Event::DtmfReceived { .. }
+            | Event::WordRecognized { .. }
+            | Event::SoundUnderrun { .. } => EventMask::DEVICE,
+            Event::SyncMark { .. } => EventMask::SYNC,
+            Event::MapNotify { .. }
+            | Event::UnmapNotify { .. }
+            | Event::ActivateNotify { .. }
+            | Event::DeactivateNotify { .. } => EventMask::LOUD_STATE,
+            Event::PropertyNotify { .. } => EventMask::PROPERTY,
+            Event::MapRequest { .. } | Event::RaiseRequest { .. } => EventMask::MANAGER,
+        }
+    }
+}
+
+impl WireWrite for Event {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            Event::QueueStarted { loud } => {
+                w.u8(0);
+                loud.write(w);
+            }
+            Event::QueueStopped { loud, reason } => {
+                w.u8(1);
+                loud.write(w);
+                reason.write(w);
+            }
+            Event::QueuePaused { loud, by_server } => {
+                w.u8(2);
+                loud.write(w);
+                w.bool(*by_server);
+            }
+            Event::QueueResumed { loud } => {
+                w.u8(3);
+                loud.write(w);
+            }
+            Event::CommandDone { loud, vdev, index, at_frame } => {
+                w.u8(4);
+                loud.write(w);
+                vdev.write(w);
+                w.u32(*index);
+                w.u64(*at_frame);
+            }
+            Event::PlayStarted { vdev, sound } => {
+                w.u8(5);
+                vdev.write(w);
+                sound.write(w);
+            }
+            Event::RecordStarted { vdev, sound } => {
+                w.u8(6);
+                vdev.write(w);
+                sound.write(w);
+            }
+            Event::RecordStopped { vdev, sound, reason, frames } => {
+                w.u8(7);
+                vdev.write(w);
+                sound.write(w);
+                reason.write(w);
+                w.u64(*frames);
+            }
+            Event::CallProgress { device, state, caller_id } => {
+                w.u8(8);
+                device.write(w);
+                state.write(w);
+                w.option(caller_id);
+            }
+            Event::DtmfReceived { device, digit } => {
+                w.u8(9);
+                device.write(w);
+                w.u8(*digit);
+            }
+            Event::WordRecognized { vdev, word, score } => {
+                w.u8(10);
+                vdev.write(w);
+                w.string(word);
+                w.u32(*score);
+            }
+            Event::SoundUnderrun { vdev, sound, missing_frames } => {
+                w.u8(11);
+                vdev.write(w);
+                sound.write(w);
+                w.u64(*missing_frames);
+            }
+            Event::SyncMark { vdev, sound, position, device_time } => {
+                w.u8(12);
+                vdev.write(w);
+                w.option(sound);
+                w.u64(*position);
+                w.u64(*device_time);
+            }
+            Event::MapNotify { loud } => {
+                w.u8(13);
+                loud.write(w);
+            }
+            Event::UnmapNotify { loud } => {
+                w.u8(14);
+                loud.write(w);
+            }
+            Event::ActivateNotify { loud } => {
+                w.u8(15);
+                loud.write(w);
+            }
+            Event::DeactivateNotify { loud } => {
+                w.u8(16);
+                loud.write(w);
+            }
+            Event::PropertyNotify { target, name, deleted } => {
+                w.u8(17);
+                target.write(w);
+                name.write(w);
+                w.bool(*deleted);
+            }
+            Event::MapRequest { loud, client } => {
+                w.u8(18);
+                loud.write(w);
+                client.write(w);
+            }
+            Event::RaiseRequest { loud, client } => {
+                w.u8(19);
+                loud.write(w);
+                client.write(w);
+            }
+        }
+    }
+}
+
+impl WireRead for Event {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Event::QueueStarted { loud: LoudId::read(r)? },
+            1 => Event::QueueStopped { loud: LoudId::read(r)?, reason: QueueStopReason::read(r)? },
+            2 => Event::QueuePaused { loud: LoudId::read(r)?, by_server: r.bool()? },
+            3 => Event::QueueResumed { loud: LoudId::read(r)? },
+            4 => Event::CommandDone {
+                loud: LoudId::read(r)?,
+                vdev: VDeviceId::read(r)?,
+                index: r.u32()?,
+                at_frame: r.u64()?,
+            },
+            5 => Event::PlayStarted { vdev: VDeviceId::read(r)?, sound: SoundId::read(r)? },
+            6 => Event::RecordStarted { vdev: VDeviceId::read(r)?, sound: SoundId::read(r)? },
+            7 => Event::RecordStopped {
+                vdev: VDeviceId::read(r)?,
+                sound: SoundId::read(r)?,
+                reason: RecordStopReason::read(r)?,
+                frames: r.u64()?,
+            },
+            8 => Event::CallProgress {
+                device: ResourceId::read(r)?,
+                state: CallState::read(r)?,
+                caller_id: r.option()?,
+            },
+            9 => Event::DtmfReceived { device: ResourceId::read(r)?, digit: r.u8()? },
+            10 => Event::WordRecognized {
+                vdev: VDeviceId::read(r)?,
+                word: r.string()?,
+                score: r.u32()?,
+            },
+            11 => Event::SoundUnderrun {
+                vdev: VDeviceId::read(r)?,
+                sound: SoundId::read(r)?,
+                missing_frames: r.u64()?,
+            },
+            12 => Event::SyncMark {
+                vdev: VDeviceId::read(r)?,
+                sound: r.option()?,
+                position: r.u64()?,
+                device_time: r.u64()?,
+            },
+            13 => Event::MapNotify { loud: LoudId::read(r)? },
+            14 => Event::UnmapNotify { loud: LoudId::read(r)? },
+            15 => Event::ActivateNotify { loud: LoudId::read(r)? },
+            16 => Event::DeactivateNotify { loud: LoudId::read(r)? },
+            17 => Event::PropertyNotify {
+                target: ResourceId::read(r)?,
+                name: Atom::read(r)?,
+                deleted: r.bool()?,
+            },
+            18 => Event::MapRequest { loud: LoudId::read(r)?, client: ClientId::read(r)? },
+            19 => Event::RaiseRequest { loud: LoudId::read(r)?, client: ClientId::read(r)? },
+            other => return Err(CodecError::BadTag("Event", other as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_algebra() {
+        let m = EventMask::QUEUE | EventMask::SYNC;
+        assert!(m.contains(EventMask::QUEUE));
+        assert!(m.contains(EventMask::SYNC));
+        assert!(!m.contains(EventMask::DEVICE));
+        assert!(EventMask::all().contains(m));
+        assert!(!EventMask::empty().contains(EventMask::QUEUE));
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let events = vec![
+            Event::QueueStarted { loud: LoudId(1) },
+            Event::QueueStopped { loud: LoudId(1), reason: QueueStopReason::Drained },
+            Event::QueuePaused { loud: LoudId(1), by_server: true },
+            Event::QueueResumed { loud: LoudId(1) },
+            Event::CommandDone { loud: LoudId(1), vdev: VDeviceId(2), index: 3, at_frame: 99 },
+            Event::PlayStarted { vdev: VDeviceId(2), sound: SoundId(5) },
+            Event::RecordStarted { vdev: VDeviceId(2), sound: SoundId(5) },
+            Event::RecordStopped {
+                vdev: VDeviceId(2),
+                sound: SoundId(5),
+                reason: RecordStopReason::PauseDetected,
+                frames: 16000,
+            },
+            Event::CallProgress {
+                device: ResourceId::VDevice(VDeviceId(2)),
+                state: CallState::Ringing,
+                caller_id: Some("555-0100".into()),
+            },
+            Event::DtmfReceived { device: ResourceId::VDevice(VDeviceId(2)), digit: b'5' },
+            Event::WordRecognized { vdev: VDeviceId(2), word: "yes".into(), score: 870 },
+            Event::SoundUnderrun { vdev: VDeviceId(2), sound: SoundId(5), missing_frames: 80 },
+            Event::SyncMark {
+                vdev: VDeviceId(2),
+                sound: Some(SoundId(5)),
+                position: 4000,
+                device_time: 123456,
+            },
+            Event::MapNotify { loud: LoudId(1) },
+            Event::UnmapNotify { loud: LoudId(1) },
+            Event::ActivateNotify { loud: LoudId(1) },
+            Event::DeactivateNotify { loud: LoudId(1) },
+            Event::PropertyNotify {
+                target: ResourceId::Loud(LoudId(1)),
+                name: Atom(4),
+                deleted: false,
+            },
+            Event::MapRequest { loud: LoudId(1), client: ClientId(7) },
+            Event::RaiseRequest { loud: LoudId(1), client: ClientId(7) },
+        ];
+        for event in &events {
+            assert_eq!(&Event::from_wire(&event.to_wire()).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn categories_are_consistent() {
+        assert_eq!(Event::QueueStarted { loud: LoudId(1) }.category(), EventMask::QUEUE);
+        assert_eq!(
+            Event::SyncMark { vdev: VDeviceId(1), sound: None, position: 0, device_time: 0 }
+                .category(),
+            EventMask::SYNC
+        );
+        assert_eq!(
+            Event::MapRequest { loud: LoudId(1), client: ClientId(1) }.category(),
+            EventMask::MANAGER
+        );
+    }
+}

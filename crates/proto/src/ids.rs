@@ -1,0 +1,187 @@
+//! Typed resource identifiers.
+//!
+//! Clients allocate resource ids (LOUDs, virtual devices, wires, sounds)
+//! from the range handed to them at connection setup, X-style: the setup
+//! reply carries an `id_base` and `id_mask`; every id the client creates
+//! must satisfy `id & !mask == base`. Server-assigned identities — physical
+//! devices in the device LOUD and interned atoms — live in their own
+//! namespaces.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw 32-bit id value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl WireWrite for $name {
+            fn write(&self, w: &mut WireWriter) {
+                w.u32(self.0);
+            }
+        }
+
+        impl WireRead for $name {
+            fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+                Ok($name(r.u32()?))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a client connection, assigned by the server.
+    ClientId
+}
+
+id_type! {
+    /// A client-allocated id naming a logical audio device (LOUD).
+    LoudId
+}
+
+id_type! {
+    /// A client-allocated id naming a virtual device within a LOUD.
+    VDeviceId
+}
+
+id_type! {
+    /// A client-allocated id naming a wire between two virtual-device ports.
+    WireId
+}
+
+id_type! {
+    /// A client-allocated id naming a sound (an audio data repository).
+    SoundId
+}
+
+id_type! {
+    /// A server-assigned id naming a physical device in the device LOUD.
+    ///
+    /// Unlike client resources, device ids are stable for the life of the
+    /// server and shared by all clients; passing one in a
+    /// [`crate::types::Attribute::Device`] attribute pins a virtual device
+    /// to that physical device (paper §5.3).
+    DeviceId
+}
+
+id_type! {
+    /// A server-interned name, used for properties and device controls.
+    Atom
+}
+
+/// A resource id of any client-allocated kind, used where the protocol
+/// accepts several (property targets, event selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceId {
+    /// A LOUD.
+    Loud(LoudId),
+    /// A virtual device.
+    VDevice(VDeviceId),
+    /// A sound.
+    Sound(SoundId),
+    /// A physical device in the device LOUD.
+    Device(DeviceId),
+}
+
+impl WireWrite for ResourceId {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            ResourceId::Loud(id) => {
+                w.u8(0);
+                id.write(w);
+            }
+            ResourceId::VDevice(id) => {
+                w.u8(1);
+                id.write(w);
+            }
+            ResourceId::Sound(id) => {
+                w.u8(2);
+                id.write(w);
+            }
+            ResourceId::Device(id) => {
+                w.u8(3);
+                id.write(w);
+            }
+        }
+    }
+}
+
+impl WireRead for ResourceId {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => ResourceId::Loud(LoudId::read(r)?),
+            1 => ResourceId::VDevice(VDeviceId::read(r)?),
+            2 => ResourceId::Sound(SoundId::read(r)?),
+            3 => ResourceId::Device(DeviceId::read(r)?),
+            other => return Err(CodecError::BadTag("ResourceId", other as u32)),
+        })
+    }
+}
+
+impl From<LoudId> for ResourceId {
+    fn from(v: LoudId) -> Self {
+        ResourceId::Loud(v)
+    }
+}
+
+impl From<VDeviceId> for ResourceId {
+    fn from(v: VDeviceId) -> Self {
+        ResourceId::VDevice(v)
+    }
+}
+
+impl From<SoundId> for ResourceId {
+    fn from(v: SoundId) -> Self {
+        ResourceId::Sound(v)
+    }
+}
+
+impl From<DeviceId> for ResourceId {
+    fn from(v: DeviceId) -> Self {
+        ResourceId::Device(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WireRead;
+
+    #[test]
+    fn id_roundtrip() {
+        let id = LoudId(0x1234_5678);
+        let bytes = id.to_wire();
+        assert_eq!(LoudId::from_wire(&bytes).unwrap(), id);
+    }
+
+    #[test]
+    fn resource_id_roundtrip() {
+        for rid in [
+            ResourceId::Loud(LoudId(1)),
+            ResourceId::VDevice(VDeviceId(2)),
+            ResourceId::Sound(SoundId(3)),
+            ResourceId::Device(DeviceId(4)),
+        ] {
+            let bytes = rid.to_wire();
+            assert_eq!(ResourceId::from_wire(&bytes).unwrap(), rid);
+        }
+    }
+
+    #[test]
+    fn resource_id_bad_tag() {
+        assert!(ResourceId::from_wire(&[9, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Wire protocol for the desktop-audio server.
+//!
+//! This crate defines the precisely specified, device-independent protocol
+//! spoken between audio clients and the audio server, following the
+//! architecture of *Integrating Audio and Telephony in a Distributed
+//! Workstation Environment* (USENIX Summer 1991). The protocol is layered on
+//! a reliable, full-duplex, 8-bit byte stream; every message is a
+//! length-prefixed frame whose payload is encoded with the little-endian
+//! rules in [`codec`].
+//!
+//! The protocol describes five major pieces (paper §4.1):
+//!
+//! 1. **connections** — see [`setup`] for the handshake that hands each
+//!    client its resource-id range;
+//! 2. **virtual devices** — device-independent abstractions of audio
+//!    hardware, organised into LOUD trees (see [`types`]);
+//! 3. **events** — asynchronous notifications of state changes ([`event`]);
+//! 4. **command queues** — per-root-LOUD queues that synchronise device
+//!    commands ([`command`]);
+//! 5. **sounds** — typed repositories of audio data ([`types::SoundType`]).
+//!
+//! Requests are asynchronous: a client may stream requests without waiting
+//! for completion. Requests that return values generate [`reply::Reply`]
+//! messages matched to the request by sequence number; errors are reported
+//! asynchronously as [`error::ProtoError`] messages carrying the failing
+//! sequence number, exactly as in the X window system protocol.
+
+pub mod codec;
+pub mod command;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod reply;
+pub mod request;
+pub mod setup;
+pub mod transport;
+pub mod types;
+
+pub use codec::{Frame, FrameKind, WireRead, WireReader, WireWrite, WireWriter};
+pub use command::{DeviceCommand, QueueEntry, RecordTermination};
+pub use error::{ErrorCode, ProtoError};
+pub use event::{Event, EventMask};
+pub use ids::{Atom, ClientId, DeviceId, LoudId, ResourceId, SoundId, VDeviceId, WireId};
+pub use reply::Reply;
+pub use request::Request;
+pub use setup::{SetupReply, SetupRequest};
+pub use types::{
+    Attribute, DeviceClass, Encoding, PortDir, QueueState, SoundType, WireType,
+};
+
+/// Protocol major version implemented by this crate.
+pub const PROTOCOL_MAJOR: u16 = 1;
+/// Protocol minor version implemented by this crate.
+pub const PROTOCOL_MINOR: u16 = 0;

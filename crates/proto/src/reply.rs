@@ -1,0 +1,420 @@
+//! Server → client replies.
+//!
+//! A reply answers exactly one request and carries that request's sequence
+//! number in its frame. Clients may block awaiting a reply — which
+//! synchronises them with the server — or process replies asynchronously
+//! (paper §4.1).
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::ids::{Atom, DeviceId, LoudId, VDeviceId, WireId};
+use crate::types::{Attribute, DeviceClass, Property, QueueState, SoundType, WireType};
+
+/// Description of one physical device in the device LOUD (paper §5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysDeviceInfo {
+    /// Stable, server-assigned device id.
+    pub id: DeviceId,
+    /// The device's class.
+    pub class: DeviceClass,
+    /// Capabilities of the actual hardware.
+    pub attrs: Vec<Attribute>,
+    /// Ambient domains the device participates in (paper §5.8).
+    pub domains: Vec<u32>,
+}
+
+impl WireWrite for PhysDeviceInfo {
+    fn write(&self, w: &mut WireWriter) {
+        self.id.write(w);
+        self.class.write(w);
+        w.list(&self.attrs);
+        w.list(&self.domains);
+    }
+}
+
+impl WireRead for PhysDeviceInfo {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(PhysDeviceInfo {
+            id: DeviceId::read(r)?,
+            class: DeviceClass::read(r)?,
+            attrs: r.list()?,
+            domains: r.list()?,
+        })
+    }
+}
+
+/// A permanent (hard-wired) connection between two physical devices, as
+/// exposed in the device LOUD (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardWire {
+    /// Device owning the source end.
+    pub src: DeviceId,
+    /// Source port index.
+    pub src_port: u8,
+    /// Device owning the sink end.
+    pub dst: DeviceId,
+    /// Sink port index.
+    pub dst_port: u8,
+}
+
+impl WireWrite for HardWire {
+    fn write(&self, w: &mut WireWriter) {
+        self.src.write(w);
+        w.u8(self.src_port);
+        self.dst.write(w);
+        w.u8(self.dst_port);
+    }
+}
+
+impl WireRead for HardWire {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(HardWire {
+            src: DeviceId::read(r)?,
+            src_port: r.u8()?,
+            dst: DeviceId::read(r)?,
+            dst_port: r.u8()?,
+        })
+    }
+}
+
+/// One entry of the active stack (top first), for audio managers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEntry {
+    /// The mapped root LOUD.
+    pub loud: LoudId,
+    /// Whether the server currently has it activated.
+    pub active: bool,
+}
+
+impl WireWrite for StackEntry {
+    fn write(&self, w: &mut WireWriter) {
+        self.loud.write(w);
+        w.bool(self.active);
+    }
+}
+
+impl WireRead for StackEntry {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(StackEntry { loud: LoudId::read(r)?, active: r.bool()? })
+    }
+}
+
+/// The body of a reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to `QueryVDeviceAttributes`: the full constraint list plus,
+    /// if the LOUD is mapped, the chosen physical device (paper §5.3).
+    VDeviceAttributes {
+        /// Effective attribute list.
+        attrs: Vec<Attribute>,
+        /// Physical device selected at mapping time.
+        mapped_device: Option<DeviceId>,
+    },
+    /// Answer to `GetDeviceControl`.
+    DeviceControl {
+        /// The control value, or `None` if the control is unset.
+        value: Option<Vec<u8>>,
+    },
+    /// Answer to `QueryWire`.
+    WireInfo {
+        /// Source device.
+        src: VDeviceId,
+        /// Source port.
+        src_port: u8,
+        /// Sink device.
+        dst: VDeviceId,
+        /// Sink port.
+        dst_port: u8,
+        /// Declared type of the data path.
+        wire_type: WireType,
+    },
+    /// Answer to `QueryDeviceWires`.
+    DeviceWires {
+        /// Wires attached to the queried device.
+        wires: Vec<WireId>,
+    },
+    /// Answer to `QueryQueue`.
+    QueueInfo {
+        /// Current queue state.
+        state: QueueState,
+        /// Entries not yet started.
+        pending: u32,
+        /// Queue-relative time in sample frames at the queue's nominal
+        /// rate (suspends while paused, paper §5.5).
+        relative_frames: u64,
+    },
+    /// Answer to `ReadSoundData`.
+    SoundData {
+        /// Encoded bytes starting at the requested offset.
+        data: Vec<u8>,
+        /// Whether the read reached the current end of the sound.
+        at_end: bool,
+    },
+    /// Answer to `QuerySound`.
+    SoundInfo {
+        /// The sound's type.
+        stype: SoundType,
+        /// Encoded length in bytes currently stored.
+        bytes: u64,
+        /// Length in sample frames currently stored.
+        frames: u64,
+        /// Whether the sound is complete (`eof` written).
+        complete: bool,
+    },
+    /// Answer to `ListCatalog`.
+    Catalog {
+        /// Names of sounds in the catalogue (or of catalogues, if the
+        /// empty catalogue name was queried).
+        names: Vec<String>,
+    },
+    /// Answer to `InternAtom`.
+    Atom {
+        /// The interned atom.
+        atom: Atom,
+    },
+    /// Answer to `GetAtomName`.
+    AtomName {
+        /// The atom's name.
+        name: String,
+    },
+    /// Answer to `GetProperty`.
+    Property {
+        /// The property, or `None` if unset.
+        property: Option<Property>,
+    },
+    /// Answer to `ListProperties`.
+    PropertyList {
+        /// Names of properties present on the resource.
+        names: Vec<Atom>,
+    },
+    /// Answer to `QueryDeviceLoud`.
+    DeviceLoud {
+        /// Every physical device controlled by the server.
+        devices: Vec<PhysDeviceInfo>,
+        /// Permanent connections between them.
+        hard_wires: Vec<HardWire>,
+    },
+    /// Answer to `QueryActiveStack` (top of stack first).
+    ActiveStack {
+        /// Mapped root LOUDs in stacking order.
+        entries: Vec<StackEntry>,
+    },
+    /// Answer to `GetServerInfo`.
+    ServerInfo {
+        /// Human-readable vendor string.
+        vendor: String,
+        /// Protocol major version.
+        protocol_major: u16,
+        /// Protocol minor version.
+        protocol_minor: u16,
+        /// Server device time: sample frames elapsed at the server's
+        /// nominal 8 kHz tick rate since startup.
+        device_time: u64,
+    },
+    /// Answer to `Sync`: an empty acknowledgement.
+    Sync,
+}
+
+impl WireWrite for Reply {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            Reply::VDeviceAttributes { attrs, mapped_device } => {
+                w.u8(0);
+                w.list(attrs);
+                w.option(mapped_device);
+            }
+            Reply::DeviceControl { value } => {
+                w.u8(1);
+                match value {
+                    None => w.bool(false),
+                    Some(v) => {
+                        w.bool(true);
+                        w.bytes(v);
+                    }
+                }
+            }
+            Reply::WireInfo { src, src_port, dst, dst_port, wire_type } => {
+                w.u8(2);
+                src.write(w);
+                w.u8(*src_port);
+                dst.write(w);
+                w.u8(*dst_port);
+                wire_type.write(w);
+            }
+            Reply::DeviceWires { wires } => {
+                w.u8(3);
+                w.list(wires);
+            }
+            Reply::QueueInfo { state, pending, relative_frames } => {
+                w.u8(4);
+                state.write(w);
+                w.u32(*pending);
+                w.u64(*relative_frames);
+            }
+            Reply::SoundData { data, at_end } => {
+                w.u8(5);
+                w.bytes(data);
+                w.bool(*at_end);
+            }
+            Reply::SoundInfo { stype, bytes, frames, complete } => {
+                w.u8(6);
+                stype.write(w);
+                w.u64(*bytes);
+                w.u64(*frames);
+                w.bool(*complete);
+            }
+            Reply::Catalog { names } => {
+                w.u8(7);
+                w.list(names);
+            }
+            Reply::Atom { atom } => {
+                w.u8(8);
+                atom.write(w);
+            }
+            Reply::AtomName { name } => {
+                w.u8(9);
+                w.string(name);
+            }
+            Reply::Property { property } => {
+                w.u8(10);
+                w.option(property);
+            }
+            Reply::PropertyList { names } => {
+                w.u8(11);
+                w.list(names);
+            }
+            Reply::DeviceLoud { devices, hard_wires } => {
+                w.u8(12);
+                w.list(devices);
+                w.list(hard_wires);
+            }
+            Reply::ActiveStack { entries } => {
+                w.u8(13);
+                w.list(entries);
+            }
+            Reply::ServerInfo { vendor, protocol_major, protocol_minor, device_time } => {
+                w.u8(14);
+                w.string(vendor);
+                w.u16(*protocol_major);
+                w.u16(*protocol_minor);
+                w.u64(*device_time);
+            }
+            Reply::Sync => w.u8(15),
+        }
+    }
+}
+
+impl WireRead for Reply {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Reply::VDeviceAttributes { attrs: r.list()?, mapped_device: r.option()? },
+            1 => {
+                let value = if r.bool()? { Some(r.bytes()?) } else { None };
+                Reply::DeviceControl { value }
+            }
+            2 => Reply::WireInfo {
+                src: VDeviceId::read(r)?,
+                src_port: r.u8()?,
+                dst: VDeviceId::read(r)?,
+                dst_port: r.u8()?,
+                wire_type: WireType::read(r)?,
+            },
+            3 => Reply::DeviceWires { wires: r.list()? },
+            4 => Reply::QueueInfo {
+                state: QueueState::read(r)?,
+                pending: r.u32()?,
+                relative_frames: r.u64()?,
+            },
+            5 => Reply::SoundData { data: r.bytes()?, at_end: r.bool()? },
+            6 => Reply::SoundInfo {
+                stype: SoundType::read(r)?,
+                bytes: r.u64()?,
+                frames: r.u64()?,
+                complete: r.bool()?,
+            },
+            7 => Reply::Catalog { names: r.list()? },
+            8 => Reply::Atom { atom: Atom::read(r)? },
+            9 => Reply::AtomName { name: r.string()? },
+            10 => Reply::Property { property: r.option()? },
+            11 => Reply::PropertyList { names: r.list()? },
+            12 => Reply::DeviceLoud { devices: r.list()?, hard_wires: r.list()? },
+            13 => Reply::ActiveStack { entries: r.list()? },
+            14 => Reply::ServerInfo {
+                vendor: r.string()?,
+                protocol_major: r.u16()?,
+                protocol_minor: r.u16()?,
+                device_time: r.u64()?,
+            },
+            15 => Reply::Sync,
+            other => return Err(CodecError::BadTag("Reply", other as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Encoding;
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = vec![
+            Reply::VDeviceAttributes {
+                attrs: vec![Attribute::Encoding(Encoding::ULaw)],
+                mapped_device: Some(DeviceId(4)),
+            },
+            Reply::DeviceControl { value: None },
+            Reply::DeviceControl { value: Some(vec![1, 2]) },
+            Reply::WireInfo {
+                src: VDeviceId(1),
+                src_port: 0,
+                dst: VDeviceId(2),
+                dst_port: 1,
+                wire_type: WireType::Any,
+            },
+            Reply::DeviceWires { wires: vec![WireId(9)] },
+            Reply::QueueInfo { state: QueueState::Started, pending: 3, relative_frames: 800 },
+            Reply::SoundData { data: vec![0, 1], at_end: true },
+            Reply::SoundInfo {
+                stype: SoundType::TELEPHONE,
+                bytes: 8000,
+                frames: 8000,
+                complete: true,
+            },
+            Reply::Catalog { names: vec!["beep".into()] },
+            Reply::Atom { atom: Atom(7) },
+            Reply::AtomName { name: "DOMAIN".into() },
+            Reply::Property { property: None },
+            Reply::Property {
+                property: Some(Property { name: Atom(1), type_: Atom(2), value: vec![3] }),
+            },
+            Reply::PropertyList { names: vec![Atom(1), Atom(2)] },
+            Reply::DeviceLoud {
+                devices: vec![PhysDeviceInfo {
+                    id: DeviceId(1),
+                    class: DeviceClass::Output,
+                    attrs: vec![Attribute::Name("speaker".into())],
+                    domains: vec![0],
+                }],
+                hard_wires: vec![HardWire {
+                    src: DeviceId(1),
+                    src_port: 0,
+                    dst: DeviceId(2),
+                    dst_port: 0,
+                }],
+            },
+            Reply::ActiveStack {
+                entries: vec![StackEntry { loud: LoudId(0x100), active: true }],
+            },
+            Reply::ServerInfo {
+                vendor: "desktop-audio".into(),
+                protocol_major: 1,
+                protocol_minor: 0,
+                device_time: 123,
+            },
+            Reply::Sync,
+        ];
+        for reply in &replies {
+            assert_eq!(&Reply::from_wire(&reply.to_wire()).unwrap(), reply);
+        }
+    }
+}

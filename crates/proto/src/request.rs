@@ -1,0 +1,798 @@
+//! Client → server requests.
+//!
+//! Requests are asynchronous (paper §4.1): the client streams them without
+//! waiting. Each request frame carries an explicit `u32` sequence number
+//! followed by the encoded [`Request`]; replies and errors quote that
+//! sequence number back.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::command::{DeviceCommand, QueueEntry};
+use crate::event::EventMask;
+use crate::ids::{Atom, LoudId, ResourceId, SoundId, VDeviceId, WireId};
+use crate::types::{Attribute, DeviceClass, SoundType, WireType};
+
+/// A single protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    // -- LOUDs (paper §5.1) ------------------------------------------------
+    /// Create a logical audio device, optionally as a child of `parent`.
+    /// Root LOUDs receive a command queue.
+    CreateLoud {
+        /// Client-allocated id for the new LOUD.
+        id: LoudId,
+        /// Parent LOUD, or `None` to create a root.
+        parent: Option<LoudId>,
+    },
+    /// Destroy a LOUD and everything beneath it (sub-LOUDs, virtual
+    /// devices, wires).
+    DestroyLoud {
+        /// The LOUD to destroy.
+        id: LoudId,
+    },
+    /// Map a root LOUD: place it on the active stack and bind its virtual
+    /// devices to physical devices (paper §5.4). Subject to audio-manager
+    /// redirection (paper §5.8).
+    MapLoud {
+        /// The root LOUD to map.
+        id: LoudId,
+    },
+    /// Unmap a root LOUD, removing it from the active stack.
+    UnmapLoud {
+        /// The root LOUD to unmap.
+        id: LoudId,
+    },
+    /// Raise a mapped root LOUD to the top of the active stack. Subject to
+    /// redirection.
+    RaiseLoud {
+        /// The root LOUD to raise.
+        id: LoudId,
+    },
+    /// Lower a mapped root LOUD to the bottom of the active stack, yielding
+    /// to higher-priority LOUDs.
+    LowerLoud {
+        /// The root LOUD to lower.
+        id: LoudId,
+    },
+    /// Ask the server to activate a mapped LOUD if resources permit.
+    RequestActivate {
+        /// The root LOUD to activate.
+        id: LoudId,
+    },
+    /// Ask the server to deactivate an active LOUD.
+    RequestDeactivate {
+        /// The root LOUD to deactivate.
+        id: LoudId,
+    },
+    /// Query the active stack, top first (audio-manager support).
+    QueryActiveStack,
+
+    // -- Virtual devices ----------------------------------------------------
+    /// Create a virtual device of `class` inside `loud`, constrained by
+    /// `attrs` (paper §5.1, §5.3).
+    CreateVDevice {
+        /// Client-allocated id for the device.
+        id: VDeviceId,
+        /// Containing LOUD.
+        loud: LoudId,
+        /// Device class.
+        class: DeviceClass,
+        /// Constraining attributes, loose or tight.
+        attrs: Vec<Attribute>,
+    },
+    /// Destroy a virtual device and its wires.
+    DestroyVDevice {
+        /// The device to destroy.
+        id: VDeviceId,
+    },
+    /// Add constraints to an existing virtual device, e.g. pinning it to
+    /// the physical device chosen at mapping time (paper §5.3).
+    AugmentVDevice {
+        /// The device to constrain.
+        id: VDeviceId,
+        /// Attributes appended to the constraint list.
+        attrs: Vec<Attribute>,
+    },
+    /// Query a virtual device's attributes, including (once mapped) the
+    /// id of the physical device selected by the server.
+    QueryVDeviceAttributes {
+        /// The device to query.
+        id: VDeviceId,
+    },
+    /// Set a device control — a `(name, value)` pair giving access to
+    /// device-specific features at the cost of portability (paper §5.1).
+    SetDeviceControl {
+        /// Target virtual device.
+        id: VDeviceId,
+        /// Control name.
+        name: Atom,
+        /// Opaque control value.
+        value: Vec<u8>,
+    },
+    /// Read back a device control.
+    GetDeviceControl {
+        /// Target virtual device.
+        id: VDeviceId,
+        /// Control name.
+        name: Atom,
+    },
+
+    // -- Wires (paper §5.2) --------------------------------------------------
+    /// Connect a source port to a sink port with an optional type
+    /// constraint; the server checks that the ports' types match the wire.
+    CreateWire {
+        /// Client-allocated id for the wire.
+        id: WireId,
+        /// Device owning the source (output) port.
+        src: VDeviceId,
+        /// Source port index.
+        src_port: u8,
+        /// Device owning the sink (input) port.
+        dst: VDeviceId,
+        /// Sink port index.
+        dst_port: u8,
+        /// Required data-path type.
+        wire_type: WireType,
+    },
+    /// Remove a wire.
+    DestroyWire {
+        /// The wire to remove.
+        id: WireId,
+    },
+    /// Query a wire for its endpoints and type.
+    QueryWire {
+        /// The wire to query.
+        id: WireId,
+    },
+    /// Query all wires attached to a virtual device.
+    QueryDeviceWires {
+        /// The device to query.
+        id: VDeviceId,
+    },
+
+    // -- Command queues (paper §5.5) ------------------------------------------
+    /// Append entries to a root LOUD's command queue.
+    Enqueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+        /// Entries appended in order.
+        entries: Vec<QueueEntry>,
+    },
+    /// Issue a command in immediate mode, bypassing the queue; only
+    /// commands for which [`DeviceCommand::immediate_ok`] holds are legal.
+    Immediate {
+        /// Target virtual device.
+        vdev: VDeviceId,
+        /// The command.
+        cmd: DeviceCommand,
+    },
+    /// Begin processing a queue.
+    StartQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+    /// Stop a queue, aborting the current command.
+    StopQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+    /// Pause a queue (client-paused state); queue-relative time suspends.
+    PauseQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+    /// Resume a client-paused queue.
+    ResumeQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+    /// Discard all unprocessed queue entries (the current command keeps
+    /// running).
+    FlushQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+    /// Query queue state, depth and position.
+    QueryQueue {
+        /// Root LOUD owning the queue.
+        loud: LoudId,
+    },
+
+    // -- Sounds (paper §5.6) ---------------------------------------------------
+    /// Create an empty sound of the given type in the server's data space.
+    CreateSound {
+        /// Client-allocated id for the sound.
+        id: SoundId,
+        /// The sound's type.
+        stype: SoundType,
+    },
+    /// Delete a sound.
+    DeleteSound {
+        /// The sound to delete.
+        id: SoundId,
+    },
+    /// Append encoded data to a sound. With `eof`, marks the sound
+    /// complete; streaming (real-time) sounds are written with `eof =
+    /// false` until the final block.
+    WriteSoundData {
+        /// Target sound.
+        id: SoundId,
+        /// Encoded audio data in the sound's own encoding.
+        data: Vec<u8>,
+        /// Whether this is the final block.
+        eof: bool,
+    },
+    /// Read back encoded data from a sound.
+    ReadSoundData {
+        /// Source sound.
+        id: SoundId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Maximum bytes to return.
+        len: u32,
+    },
+    /// Query a sound's type, length and completeness.
+    QuerySound {
+        /// The sound to query.
+        id: SoundId,
+    },
+    /// List the named sounds in a server-side catalogue (paper §5.6:
+    /// sounds grouped into libraries or catalogues).
+    ListCatalog {
+        /// Catalogue name; the empty string lists catalogue names instead.
+        catalog: String,
+    },
+    /// Bind a client sound id to a server-side catalogue sound, so that it
+    /// can be played without transferring the data.
+    OpenCatalogSound {
+        /// Client-allocated id to bind.
+        id: SoundId,
+        /// Catalogue name.
+        catalog: String,
+        /// Sound name within the catalogue.
+        name: String,
+    },
+
+    // -- Events (paper §5.7) -----------------------------------------------------
+    /// Select which event categories the client wants from a resource.
+    SelectEvents {
+        /// The resource to watch (LOUD, virtual device, sound or
+        /// device-LOUD device).
+        target: ResourceId,
+        /// Bitmask of interesting events.
+        mask: EventMask,
+    },
+    /// Set the spacing of synchronization events on a virtual device, in
+    /// sample frames (0 restores the server default).
+    SetSyncInterval {
+        /// The device that emits [`crate::event::Event::SyncMark`].
+        vdev: VDeviceId,
+        /// Frames between marks.
+        interval_frames: u32,
+    },
+
+    // -- Atoms and properties (paper §5.8) ------------------------------------------
+    /// Intern a name, returning its atom.
+    InternAtom {
+        /// The name to intern.
+        name: String,
+    },
+    /// Get the name of an interned atom.
+    GetAtomName {
+        /// The atom to resolve.
+        atom: Atom,
+    },
+    /// Attach or replace a property on a LOUD or sound.
+    ChangeProperty {
+        /// Property owner.
+        target: ResourceId,
+        /// Property name.
+        name: Atom,
+        /// Type atom describing `value`.
+        type_: Atom,
+        /// Opaque property value.
+        value: Vec<u8>,
+    },
+    /// Read a property.
+    GetProperty {
+        /// Property owner.
+        target: ResourceId,
+        /// Property name.
+        name: Atom,
+    },
+    /// Remove a property.
+    DeleteProperty {
+        /// Property owner.
+        target: ResourceId,
+        /// Property name.
+        name: Atom,
+    },
+    /// List the property names on a resource.
+    ListProperties {
+        /// Property owner.
+        target: ResourceId,
+    },
+
+    // -- Device LOUD and audio-manager support -----------------------------------------
+    /// Query the device LOUD: every physical device with its id, class,
+    /// attributes, hard wires and ambient domains (paper §5.1).
+    QueryDeviceLoud,
+    /// Register (or release) this client as the audio manager, redirecting
+    /// map and restack requests to it (paper §5.8). Only one client may
+    /// hold the redirect at a time.
+    SetRedirect {
+        /// Enable or disable redirection.
+        enable: bool,
+    },
+    /// Audio manager: allow a redirected map request to proceed.
+    AllowMap {
+        /// The LOUD whose map was redirected.
+        loud: LoudId,
+    },
+    /// Audio manager: allow a redirected raise request to proceed.
+    AllowRaise {
+        /// The LOUD whose raise was redirected.
+        loud: LoudId,
+    },
+
+    // -- Miscellaneous ------------------------------------------------------------------
+    /// Query server identity, protocol version and current device time.
+    GetServerInfo,
+    /// Round-trip no-op; the reply synchronises client with server.
+    Sync,
+}
+
+impl Request {
+    /// Whether the server generates a [`crate::reply::Reply`] for this
+    /// request.
+    pub fn has_reply(&self) -> bool {
+        matches!(
+            self,
+            Request::QueryVDeviceAttributes { .. }
+                | Request::GetDeviceControl { .. }
+                | Request::QueryWire { .. }
+                | Request::QueryDeviceWires { .. }
+                | Request::QueryQueue { .. }
+                | Request::ReadSoundData { .. }
+                | Request::QuerySound { .. }
+                | Request::ListCatalog { .. }
+                | Request::InternAtom { .. }
+                | Request::GetAtomName { .. }
+                | Request::GetProperty { .. }
+                | Request::ListProperties { .. }
+                | Request::QueryDeviceLoud
+                | Request::QueryActiveStack
+                | Request::GetServerInfo
+                | Request::Sync
+        )
+    }
+}
+
+impl WireWrite for Request {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            Request::CreateLoud { id, parent } => {
+                w.u8(0);
+                id.write(w);
+                w.option(parent);
+            }
+            Request::DestroyLoud { id } => {
+                w.u8(1);
+                id.write(w);
+            }
+            Request::MapLoud { id } => {
+                w.u8(2);
+                id.write(w);
+            }
+            Request::UnmapLoud { id } => {
+                w.u8(3);
+                id.write(w);
+            }
+            Request::RaiseLoud { id } => {
+                w.u8(4);
+                id.write(w);
+            }
+            Request::LowerLoud { id } => {
+                w.u8(5);
+                id.write(w);
+            }
+            Request::RequestActivate { id } => {
+                w.u8(6);
+                id.write(w);
+            }
+            Request::RequestDeactivate { id } => {
+                w.u8(7);
+                id.write(w);
+            }
+            Request::QueryActiveStack => w.u8(8),
+            Request::CreateVDevice { id, loud, class, attrs } => {
+                w.u8(9);
+                id.write(w);
+                loud.write(w);
+                class.write(w);
+                w.list(attrs);
+            }
+            Request::DestroyVDevice { id } => {
+                w.u8(10);
+                id.write(w);
+            }
+            Request::AugmentVDevice { id, attrs } => {
+                w.u8(11);
+                id.write(w);
+                w.list(attrs);
+            }
+            Request::QueryVDeviceAttributes { id } => {
+                w.u8(12);
+                id.write(w);
+            }
+            Request::SetDeviceControl { id, name, value } => {
+                w.u8(13);
+                id.write(w);
+                name.write(w);
+                w.bytes(value);
+            }
+            Request::GetDeviceControl { id, name } => {
+                w.u8(14);
+                id.write(w);
+                name.write(w);
+            }
+            Request::CreateWire { id, src, src_port, dst, dst_port, wire_type } => {
+                w.u8(15);
+                id.write(w);
+                src.write(w);
+                w.u8(*src_port);
+                dst.write(w);
+                w.u8(*dst_port);
+                wire_type.write(w);
+            }
+            Request::DestroyWire { id } => {
+                w.u8(16);
+                id.write(w);
+            }
+            Request::QueryWire { id } => {
+                w.u8(17);
+                id.write(w);
+            }
+            Request::QueryDeviceWires { id } => {
+                w.u8(18);
+                id.write(w);
+            }
+            Request::Enqueue { loud, entries } => {
+                w.u8(19);
+                loud.write(w);
+                w.list(entries);
+            }
+            Request::Immediate { vdev, cmd } => {
+                w.u8(20);
+                vdev.write(w);
+                cmd.write(w);
+            }
+            Request::StartQueue { loud } => {
+                w.u8(21);
+                loud.write(w);
+            }
+            Request::StopQueue { loud } => {
+                w.u8(22);
+                loud.write(w);
+            }
+            Request::PauseQueue { loud } => {
+                w.u8(23);
+                loud.write(w);
+            }
+            Request::ResumeQueue { loud } => {
+                w.u8(24);
+                loud.write(w);
+            }
+            Request::FlushQueue { loud } => {
+                w.u8(25);
+                loud.write(w);
+            }
+            Request::QueryQueue { loud } => {
+                w.u8(26);
+                loud.write(w);
+            }
+            Request::CreateSound { id, stype } => {
+                w.u8(27);
+                id.write(w);
+                stype.write(w);
+            }
+            Request::DeleteSound { id } => {
+                w.u8(28);
+                id.write(w);
+            }
+            Request::WriteSoundData { id, data, eof } => {
+                w.u8(29);
+                id.write(w);
+                w.bytes(data);
+                w.bool(*eof);
+            }
+            Request::ReadSoundData { id, offset, len } => {
+                w.u8(30);
+                id.write(w);
+                w.u64(*offset);
+                w.u32(*len);
+            }
+            Request::QuerySound { id } => {
+                w.u8(31);
+                id.write(w);
+            }
+            Request::ListCatalog { catalog } => {
+                w.u8(32);
+                w.string(catalog);
+            }
+            Request::OpenCatalogSound { id, catalog, name } => {
+                w.u8(33);
+                id.write(w);
+                w.string(catalog);
+                w.string(name);
+            }
+            Request::SelectEvents { target, mask } => {
+                w.u8(34);
+                target.write(w);
+                mask.write(w);
+            }
+            Request::SetSyncInterval { vdev, interval_frames } => {
+                w.u8(35);
+                vdev.write(w);
+                w.u32(*interval_frames);
+            }
+            Request::InternAtom { name } => {
+                w.u8(36);
+                w.string(name);
+            }
+            Request::GetAtomName { atom } => {
+                w.u8(37);
+                atom.write(w);
+            }
+            Request::ChangeProperty { target, name, type_, value } => {
+                w.u8(38);
+                target.write(w);
+                name.write(w);
+                type_.write(w);
+                w.bytes(value);
+            }
+            Request::GetProperty { target, name } => {
+                w.u8(39);
+                target.write(w);
+                name.write(w);
+            }
+            Request::DeleteProperty { target, name } => {
+                w.u8(40);
+                target.write(w);
+                name.write(w);
+            }
+            Request::ListProperties { target } => {
+                w.u8(41);
+                target.write(w);
+            }
+            Request::QueryDeviceLoud => w.u8(42),
+            Request::SetRedirect { enable } => {
+                w.u8(43);
+                w.bool(*enable);
+            }
+            Request::AllowMap { loud } => {
+                w.u8(44);
+                loud.write(w);
+            }
+            Request::AllowRaise { loud } => {
+                w.u8(45);
+                loud.write(w);
+            }
+            Request::GetServerInfo => w.u8(46),
+            Request::Sync => w.u8(47),
+        }
+    }
+}
+
+impl WireRead for Request {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Request::CreateLoud { id: LoudId::read(r)?, parent: r.option()? },
+            1 => Request::DestroyLoud { id: LoudId::read(r)? },
+            2 => Request::MapLoud { id: LoudId::read(r)? },
+            3 => Request::UnmapLoud { id: LoudId::read(r)? },
+            4 => Request::RaiseLoud { id: LoudId::read(r)? },
+            5 => Request::LowerLoud { id: LoudId::read(r)? },
+            6 => Request::RequestActivate { id: LoudId::read(r)? },
+            7 => Request::RequestDeactivate { id: LoudId::read(r)? },
+            8 => Request::QueryActiveStack,
+            9 => Request::CreateVDevice {
+                id: VDeviceId::read(r)?,
+                loud: LoudId::read(r)?,
+                class: DeviceClass::read(r)?,
+                attrs: r.list()?,
+            },
+            10 => Request::DestroyVDevice { id: VDeviceId::read(r)? },
+            11 => Request::AugmentVDevice { id: VDeviceId::read(r)?, attrs: r.list()? },
+            12 => Request::QueryVDeviceAttributes { id: VDeviceId::read(r)? },
+            13 => Request::SetDeviceControl {
+                id: VDeviceId::read(r)?,
+                name: Atom::read(r)?,
+                value: r.bytes()?,
+            },
+            14 => Request::GetDeviceControl { id: VDeviceId::read(r)?, name: Atom::read(r)? },
+            15 => Request::CreateWire {
+                id: WireId::read(r)?,
+                src: VDeviceId::read(r)?,
+                src_port: r.u8()?,
+                dst: VDeviceId::read(r)?,
+                dst_port: r.u8()?,
+                wire_type: WireType::read(r)?,
+            },
+            16 => Request::DestroyWire { id: WireId::read(r)? },
+            17 => Request::QueryWire { id: WireId::read(r)? },
+            18 => Request::QueryDeviceWires { id: VDeviceId::read(r)? },
+            19 => Request::Enqueue { loud: LoudId::read(r)?, entries: r.list()? },
+            20 => Request::Immediate {
+                vdev: VDeviceId::read(r)?,
+                cmd: DeviceCommand::read(r)?,
+            },
+            21 => Request::StartQueue { loud: LoudId::read(r)? },
+            22 => Request::StopQueue { loud: LoudId::read(r)? },
+            23 => Request::PauseQueue { loud: LoudId::read(r)? },
+            24 => Request::ResumeQueue { loud: LoudId::read(r)? },
+            25 => Request::FlushQueue { loud: LoudId::read(r)? },
+            26 => Request::QueryQueue { loud: LoudId::read(r)? },
+            27 => Request::CreateSound { id: SoundId::read(r)?, stype: SoundType::read(r)? },
+            28 => Request::DeleteSound { id: SoundId::read(r)? },
+            29 => Request::WriteSoundData {
+                id: SoundId::read(r)?,
+                data: r.bytes()?,
+                eof: r.bool()?,
+            },
+            30 => Request::ReadSoundData {
+                id: SoundId::read(r)?,
+                offset: r.u64()?,
+                len: r.u32()?,
+            },
+            31 => Request::QuerySound { id: SoundId::read(r)? },
+            32 => Request::ListCatalog { catalog: r.string()? },
+            33 => Request::OpenCatalogSound {
+                id: SoundId::read(r)?,
+                catalog: r.string()?,
+                name: r.string()?,
+            },
+            34 => Request::SelectEvents {
+                target: ResourceId::read(r)?,
+                mask: EventMask::read(r)?,
+            },
+            35 => Request::SetSyncInterval {
+                vdev: VDeviceId::read(r)?,
+                interval_frames: r.u32()?,
+            },
+            36 => Request::InternAtom { name: r.string()? },
+            37 => Request::GetAtomName { atom: Atom::read(r)? },
+            38 => Request::ChangeProperty {
+                target: ResourceId::read(r)?,
+                name: Atom::read(r)?,
+                type_: Atom::read(r)?,
+                value: r.bytes()?,
+            },
+            39 => Request::GetProperty { target: ResourceId::read(r)?, name: Atom::read(r)? },
+            40 => {
+                Request::DeleteProperty { target: ResourceId::read(r)?, name: Atom::read(r)? }
+            }
+            41 => Request::ListProperties { target: ResourceId::read(r)? },
+            42 => Request::QueryDeviceLoud,
+            43 => Request::SetRedirect { enable: r.bool()? },
+            44 => Request::AllowMap { loud: LoudId::read(r)? },
+            45 => Request::AllowRaise { loud: LoudId::read(r)? },
+            46 => Request::GetServerInfo,
+            47 => Request::Sync,
+            other => return Err(CodecError::BadTag("Request", other as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Encoding;
+
+    fn roundtrip(req: &Request) {
+        assert_eq!(&Request::from_wire(&req.to_wire()).unwrap(), req);
+    }
+
+    #[test]
+    fn representative_requests_roundtrip() {
+        let reqs = vec![
+            Request::CreateLoud { id: LoudId(0x100), parent: None },
+            Request::CreateLoud { id: LoudId(0x101), parent: Some(LoudId(0x100)) },
+            Request::DestroyLoud { id: LoudId(0x100) },
+            Request::MapLoud { id: LoudId(0x100) },
+            Request::UnmapLoud { id: LoudId(0x100) },
+            Request::RaiseLoud { id: LoudId(0x100) },
+            Request::LowerLoud { id: LoudId(0x100) },
+            Request::RequestActivate { id: LoudId(1) },
+            Request::RequestDeactivate { id: LoudId(1) },
+            Request::QueryActiveStack,
+            Request::CreateVDevice {
+                id: VDeviceId(0x102),
+                loud: LoudId(0x100),
+                class: DeviceClass::Player,
+                attrs: vec![Attribute::Encoding(Encoding::ULaw), Attribute::SampleRate(8000)],
+            },
+            Request::DestroyVDevice { id: VDeviceId(0x102) },
+            Request::AugmentVDevice {
+                id: VDeviceId(0x102),
+                attrs: vec![Attribute::Device(crate::ids::DeviceId(1))],
+            },
+            Request::QueryVDeviceAttributes { id: VDeviceId(0x102) },
+            Request::SetDeviceControl { id: VDeviceId(1), name: Atom(4), value: vec![1] },
+            Request::GetDeviceControl { id: VDeviceId(1), name: Atom(4) },
+            Request::CreateWire {
+                id: WireId(0x103),
+                src: VDeviceId(0x102),
+                src_port: 0,
+                dst: VDeviceId(0x104),
+                dst_port: 1,
+                wire_type: WireType::Digital(SoundType::TELEPHONE),
+            },
+            Request::DestroyWire { id: WireId(0x103) },
+            Request::QueryWire { id: WireId(0x103) },
+            Request::QueryDeviceWires { id: VDeviceId(0x102) },
+            Request::Enqueue {
+                loud: LoudId(0x100),
+                entries: vec![
+                    QueueEntry::CoBegin,
+                    QueueEntry::Device {
+                        vdev: VDeviceId(0x102),
+                        cmd: DeviceCommand::Play(SoundId(0x105)),
+                    },
+                    QueueEntry::CoEnd,
+                ],
+            },
+            Request::Immediate { vdev: VDeviceId(0x102), cmd: DeviceCommand::Stop },
+            Request::StartQueue { loud: LoudId(0x100) },
+            Request::StopQueue { loud: LoudId(0x100) },
+            Request::PauseQueue { loud: LoudId(0x100) },
+            Request::ResumeQueue { loud: LoudId(0x100) },
+            Request::FlushQueue { loud: LoudId(0x100) },
+            Request::QueryQueue { loud: LoudId(0x100) },
+            Request::CreateSound { id: SoundId(0x105), stype: SoundType::TELEPHONE },
+            Request::DeleteSound { id: SoundId(0x105) },
+            Request::WriteSoundData { id: SoundId(0x105), data: vec![1, 2, 3], eof: true },
+            Request::ReadSoundData { id: SoundId(0x105), offset: 16, len: 256 },
+            Request::QuerySound { id: SoundId(0x105) },
+            Request::ListCatalog { catalog: "system".into() },
+            Request::OpenCatalogSound {
+                id: SoundId(0x106),
+                catalog: "system".into(),
+                name: "beep".into(),
+            },
+            Request::SelectEvents {
+                target: ResourceId::Loud(LoudId(0x100)),
+                mask: EventMask::all(),
+            },
+            Request::SetSyncInterval { vdev: VDeviceId(0x102), interval_frames: 800 },
+            Request::InternAtom { name: "DOMAIN".into() },
+            Request::GetAtomName { atom: Atom(5) },
+            Request::ChangeProperty {
+                target: ResourceId::Loud(LoudId(0x100)),
+                name: Atom(5),
+                type_: Atom(6),
+                value: b"desktop".to_vec(),
+            },
+            Request::GetProperty { target: ResourceId::Loud(LoudId(0x100)), name: Atom(5) },
+            Request::DeleteProperty { target: ResourceId::Loud(LoudId(0x100)), name: Atom(5) },
+            Request::ListProperties { target: ResourceId::Loud(LoudId(0x100)) },
+            Request::QueryDeviceLoud,
+            Request::SetRedirect { enable: true },
+            Request::AllowMap { loud: LoudId(0x100) },
+            Request::AllowRaise { loud: LoudId(0x100) },
+            Request::GetServerInfo,
+            Request::Sync,
+        ];
+        for req in &reqs {
+            roundtrip(req);
+        }
+    }
+
+    #[test]
+    fn reply_expectations() {
+        assert!(Request::Sync.has_reply());
+        assert!(Request::QueryDeviceLoud.has_reply());
+        assert!(Request::InternAtom { name: "x".into() }.has_reply());
+        assert!(!Request::MapLoud { id: LoudId(1) }.has_reply());
+        assert!(!Request::Enqueue { loud: LoudId(1), entries: vec![] }.has_reply());
+    }
+}

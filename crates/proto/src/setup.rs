@@ -1,0 +1,129 @@
+//! Connection setup handshake.
+//!
+//! The first frame a client sends is a [`SetupRequest`]; the server answers
+//! with a [`SetupReply`] granting a resource-id range, or refuses the
+//! connection by closing the stream after an error frame.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::ids::ClientId;
+
+/// The client's opening message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupRequest {
+    /// Highest protocol major version the client speaks.
+    pub protocol_major: u16,
+    /// Highest protocol minor version the client speaks.
+    pub protocol_minor: u16,
+    /// Free-form client name for diagnostics ("answering-machine").
+    pub client_name: String,
+}
+
+impl WireWrite for SetupRequest {
+    fn write(&self, w: &mut WireWriter) {
+        w.u16(self.protocol_major);
+        w.u16(self.protocol_minor);
+        w.string(&self.client_name);
+    }
+}
+
+impl WireRead for SetupRequest {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(SetupRequest {
+            protocol_major: r.u16()?,
+            protocol_minor: r.u16()?,
+            client_name: r.string()?,
+        })
+    }
+}
+
+/// The server's answer to a [`SetupRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupReply {
+    /// Protocol major version the server will speak.
+    pub protocol_major: u16,
+    /// Protocol minor version the server will speak.
+    pub protocol_minor: u16,
+    /// This connection's client id.
+    pub client: ClientId,
+    /// Base of the client's resource-id range: every id the client
+    /// allocates must satisfy `id & !id_mask == id_base`.
+    pub id_base: u32,
+    /// Mask of id bits the client may vary.
+    pub id_mask: u32,
+    /// Server vendor string.
+    pub vendor: String,
+}
+
+impl SetupReply {
+    /// Whether `id` lies inside this client's allocated range.
+    pub fn owns_id(&self, id: u32) -> bool {
+        id & !self.id_mask == self.id_base && id & self.id_mask != 0
+    }
+}
+
+impl WireWrite for SetupReply {
+    fn write(&self, w: &mut WireWriter) {
+        w.u16(self.protocol_major);
+        w.u16(self.protocol_minor);
+        self.client.write(w);
+        w.u32(self.id_base);
+        w.u32(self.id_mask);
+        w.string(&self.vendor);
+    }
+}
+
+impl WireRead for SetupReply {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(SetupReply {
+            protocol_major: r.u16()?,
+            protocol_minor: r.u16()?,
+            client: ClientId::read(r)?,
+            id_base: r.u32()?,
+            id_mask: r.u32()?,
+            vendor: r.string()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_roundtrip() {
+        let req = SetupRequest {
+            protocol_major: 1,
+            protocol_minor: 0,
+            client_name: "quickstart".into(),
+        };
+        assert_eq!(SetupRequest::from_wire(&req.to_wire()).unwrap(), req);
+
+        let reply = SetupReply {
+            protocol_major: 1,
+            protocol_minor: 0,
+            client: ClientId(3),
+            id_base: 0x0030_0000,
+            id_mask: 0x000F_FFFF,
+            vendor: "desktop-audio".into(),
+        };
+        assert_eq!(SetupReply::from_wire(&reply.to_wire()).unwrap(), reply);
+    }
+
+    #[test]
+    fn id_range_ownership() {
+        let reply = SetupReply {
+            protocol_major: 1,
+            protocol_minor: 0,
+            client: ClientId(3),
+            id_base: 0x0030_0000,
+            id_mask: 0x000F_FFFF,
+            vendor: String::new(),
+        };
+        assert!(reply.owns_id(0x0030_0001));
+        assert!(reply.owns_id(0x003F_FFFF));
+        // The base itself (all-zero variable bits) is reserved.
+        assert!(!reply.owns_id(0x0030_0000));
+        assert!(!reply.owns_id(0x0040_0001));
+        assert!(!reply.owns_id(0x0020_0001));
+    }
+}

@@ -1,0 +1,273 @@
+//! Byte-stream transports.
+//!
+//! Clients and server communicate over "a reliable full duplex, 8-bit
+//! byte stream" (paper §4.1). Two transports implement that contract: TCP
+//! (the distributed case of the title) and an in-process duplex pipe
+//! (fast, allocation-cheap, used heavily by tests and by applications
+//! embedding a server).
+//!
+//! A [`Duplex`] owns both directions; [`Duplex::into_split`] separates
+//! them so a connection can be serviced by independent reader and writer
+//! threads (the server's per-client thread pair).
+
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crate::codec::{CodecError, Frame};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Errors surfaced by transports.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer closed the stream.
+    Closed,
+    /// An I/O error occurred.
+    Io(std::io::Error),
+    /// A frame failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed by peer"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Codec(e) => write!(f, "transport framing error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TransportError::Closed
+        } else {
+            TransportError::Io(e)
+        }
+    }
+}
+
+impl From<CodecError> for TransportError {
+    fn from(e: CodecError) -> Self {
+        TransportError::Codec(e)
+    }
+}
+
+/// The sending half of a connection.
+pub trait TxHalf: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError>;
+}
+
+/// The receiving half of a connection.
+pub trait RxHalf: Send {
+    /// Receives the next frame, blocking up to `timeout` (`None` = block
+    /// indefinitely). Returns `Ok(None)` on timeout.
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError>;
+}
+
+/// A full-duplex connection.
+pub struct Duplex {
+    tx: Box<dyn TxHalf>,
+    rx: Box<dyn RxHalf>,
+}
+
+impl Duplex {
+    /// Builds a duplex from halves.
+    pub fn new(tx: Box<dyn TxHalf>, rx: Box<dyn RxHalf>) -> Self {
+        Duplex { tx, rx }
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.tx.send(frame)
+    }
+
+    /// Receives the next frame (see [`RxHalf::recv`]).
+    pub fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError> {
+        self.rx.recv(timeout)
+    }
+
+    /// Splits into independent halves for two-thread servicing.
+    pub fn into_split(self) -> (Box<dyn TxHalf>, Box<dyn RxHalf>) {
+        (self.tx, self.rx)
+    }
+
+    /// Wraps a connected TCP socket.
+    pub fn tcp(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let write = stream.try_clone()?;
+        Ok(Duplex {
+            tx: Box::new(TcpTx { stream: write }),
+            rx: Box::new(TcpRx { stream, buf: BytesMut::with_capacity(8192) }),
+        })
+    }
+}
+
+struct TcpTx {
+    stream: TcpStream,
+}
+
+impl TxHalf for TcpTx {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.stream.write_all(&frame.encode())?;
+        Ok(())
+    }
+}
+
+struct TcpRx {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl RxHalf for TcpRx {
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError> {
+        loop {
+            if let Some(frame) = Frame::decode(&mut self.buf)? {
+                return Ok(Some(frame));
+            }
+            self.stream.set_read_timeout(timeout)?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+struct PipeTx {
+    tx: Sender<Frame>,
+}
+
+impl TxHalf for PipeTx {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.tx.send(frame.clone()).map_err(|_| TransportError::Closed)
+    }
+}
+
+struct PipeRx {
+    rx: Receiver<Frame>,
+}
+
+impl RxHalf for PipeRx {
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError> {
+        match timeout {
+            None => self.rx.recv().map(Some).map_err(|_| TransportError::Closed),
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(f) => Ok(Some(f)),
+                Err(RecvTimeoutError::Timeout) => Ok(None),
+                Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+            },
+        }
+    }
+}
+
+/// Creates a connected pair of in-process duplex pipes.
+pub fn pipe_pair() -> (Duplex, Duplex) {
+    // Generous bound: a stalled peer eventually exerts backpressure
+    // instead of ballooning memory.
+    let (a_tx, a_rx) = bounded(4096);
+    let (b_tx, b_rx) = bounded(4096);
+    (
+        Duplex { tx: Box::new(PipeTx { tx: a_tx }), rx: Box::new(PipeRx { rx: b_rx }) },
+        Duplex { tx: Box::new(PipeTx { tx: b_tx }), rx: Box::new(PipeRx { rx: a_rx }) },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crate::codec::FrameKind;
+
+    fn frame(data: &'static [u8]) -> Frame {
+        Frame { kind: FrameKind::Event, payload: Bytes::from_static(data) }
+    }
+
+    #[test]
+    fn pipe_roundtrip() {
+        let (mut a, mut b) = pipe_pair();
+        a.send(&frame(b"hello")).unwrap();
+        let got = b.recv(Some(Duration::from_millis(100))).unwrap().unwrap();
+        assert_eq!(got.payload.as_ref(), b"hello");
+    }
+
+    #[test]
+    fn pipe_timeout() {
+        let (_a, mut b) = pipe_pair();
+        let got = b.recv(Some(Duration::from_millis(10))).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn pipe_close_detected() {
+        let (a, mut b) = pipe_pair();
+        drop(a);
+        assert!(matches!(b.recv(Some(Duration::from_millis(10))), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn split_halves_work_from_threads() {
+        let (a, mut b) = pipe_pair();
+        let (mut atx, mut arx) = a.into_split();
+        let t = std::thread::spawn(move || {
+            atx.send(&frame(b"from-thread")).unwrap();
+            arx.recv(Some(Duration::from_secs(2))).unwrap().unwrap()
+        });
+        let got = b.recv(Some(Duration::from_secs(2))).unwrap().unwrap();
+        assert_eq!(got.payload.as_ref(), b"from-thread");
+        b.send(&frame(b"reply")).unwrap();
+        let echoed = t.join().unwrap();
+        assert_eq!(echoed.payload.as_ref(), b"reply");
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (sock, _) = listener.accept().unwrap();
+            let mut t = Duplex::tcp(sock).unwrap();
+            let f = t.recv(None).unwrap().unwrap();
+            t.send(&f).unwrap();
+        });
+        let mut c = Duplex::tcp(TcpStream::connect(addr).unwrap()).unwrap();
+        c.send(&frame(b"ping")).unwrap();
+        let echoed = c.recv(Some(Duration::from_secs(2))).unwrap().unwrap();
+        assert_eq!(echoed.payload.as_ref(), b"ping");
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_partial_frames_reassemble() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..=255).collect();
+        let expect = Frame { kind: FrameKind::Reply, payload: Bytes::from(payload.clone()) };
+        let encoded = expect.encode();
+        let join = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // Dribble the frame out in small pieces.
+            for chunk in encoded.chunks(7) {
+                sock.write_all(chunk).unwrap();
+                sock.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let mut c = Duplex::tcp(TcpStream::connect(addr).unwrap()).unwrap();
+        let got = c.recv(Some(Duration::from_secs(5))).unwrap().unwrap();
+        assert_eq!(got, expect);
+        join.join().unwrap();
+    }
+}

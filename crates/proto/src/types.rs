@@ -1,0 +1,579 @@
+//! Shared protocol data types: encodings, device classes, attributes,
+//! sound types, wire types and queue states.
+
+use crate::codec::{CodecError, WireRead, WireReader, WireWrite, WireWriter};
+use crate::ids::{Atom, DeviceId};
+
+/// Audio data encodings understood by the protocol (paper §2, §5.6).
+///
+/// Applications are sheltered from representation changes: players and
+/// recorders convert between a sound's stored encoding and the typed port
+/// they present data on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// 8-bit µ-law companded PCM (G.711), the telephone-quality default.
+    ULaw,
+    /// 8-bit A-law companded PCM (G.711).
+    ALaw,
+    /// 8-bit linear PCM, unsigned with a 128 bias.
+    Pcm8,
+    /// 16-bit linear PCM, signed little-endian.
+    Pcm16,
+    /// IMA/DVI ADPCM, 4 bits per sample — roughly halves the µ-law data
+    /// rate (paper §5.9 footnote).
+    ImaAdpcm,
+}
+
+impl Encoding {
+    /// Bits consumed per sample in this encoding.
+    pub fn bits_per_sample(self) -> u32 {
+        match self {
+            Encoding::ULaw | Encoding::ALaw | Encoding::Pcm8 => 8,
+            Encoding::Pcm16 => 16,
+            Encoding::ImaAdpcm => 4,
+        }
+    }
+
+    /// Bytes of encoded data for `samples` samples of one channel.
+    pub fn bytes_for_samples(self, samples: u64) -> u64 {
+        (samples * self.bits_per_sample() as u64).div_ceil(8)
+    }
+
+    /// Samples represented by `bytes` bytes of one channel.
+    pub fn samples_for_bytes(self, bytes: u64) -> u64 {
+        bytes * 8 / self.bits_per_sample() as u64
+    }
+}
+
+impl WireWrite for Encoding {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            Encoding::ULaw => 0,
+            Encoding::ALaw => 1,
+            Encoding::Pcm8 => 2,
+            Encoding::Pcm16 => 3,
+            Encoding::ImaAdpcm => 4,
+        });
+    }
+}
+
+impl WireRead for Encoding {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Encoding::ULaw,
+            1 => Encoding::ALaw,
+            2 => Encoding::Pcm8,
+            3 => Encoding::Pcm16,
+            4 => Encoding::ImaAdpcm,
+            other => return Err(CodecError::BadTag("Encoding", other as u32)),
+        })
+    }
+}
+
+/// The type of a sound: `(encoding, sample size, sample rate)` plus a
+/// channel count (paper §5.6; channels admit CD-quality stereo, §1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SoundType {
+    /// Data representation.
+    pub encoding: Encoding,
+    /// Samples per second per channel.
+    pub sample_rate: u32,
+    /// Interleaved channels (1 = mono, 2 = stereo).
+    pub channels: u8,
+}
+
+impl SoundType {
+    /// Telephone-quality µ-law mono at 8 kHz — 8,000 bytes per second.
+    pub const TELEPHONE: SoundType =
+        SoundType { encoding: Encoding::ULaw, sample_rate: 8_000, channels: 1 };
+
+    /// CD-quality 16-bit stereo at 44.1 kHz — just over 175,000 bytes per
+    /// second (paper §1.1).
+    pub const CD: SoundType =
+        SoundType { encoding: Encoding::Pcm16, sample_rate: 44_100, channels: 2 };
+
+    /// Bytes per second of audio in this type.
+    pub fn bytes_per_second(&self) -> u64 {
+        self.encoding.bytes_for_samples(self.sample_rate as u64) * self.channels as u64
+    }
+
+    /// Encoded bytes required for `frames` sample frames (one sample per
+    /// channel each).
+    pub fn bytes_for_frames(&self, frames: u64) -> u64 {
+        self.encoding.bytes_for_samples(frames) * self.channels as u64
+    }
+
+    /// Sample frames represented by `bytes` of encoded data.
+    pub fn frames_for_bytes(&self, bytes: u64) -> u64 {
+        if self.channels == 0 {
+            return 0;
+        }
+        self.encoding.samples_for_bytes(bytes / self.channels as u64)
+    }
+}
+
+impl WireWrite for SoundType {
+    fn write(&self, w: &mut WireWriter) {
+        self.encoding.write(w);
+        w.u32(self.sample_rate);
+        w.u8(self.channels);
+    }
+}
+
+impl WireRead for SoundType {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(SoundType {
+            encoding: Encoding::read(r)?,
+            sample_rate: r.u32()?,
+            channels: r.u8()?,
+        })
+    }
+}
+
+/// The classes of virtual devices defined by the protocol (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Connection to an external input such as a microphone.
+    Input,
+    /// Connection to an external output such as a speaker.
+    Output,
+    /// Converts stored sound data and transmits it on typed output ports.
+    Player,
+    /// Stores sound data received on typed input ports.
+    Recorder,
+    /// Combined input and output attached to a telephone line.
+    Telephone,
+    /// Combines multiple input streams onto its outputs with per-input
+    /// gain percentages.
+    Mixer,
+    /// Speaks text strings through a vocal-tract model.
+    SpeechSynthesizer,
+    /// Detects spoken words, reporting them as events.
+    SpeechRecognizer,
+    /// Processes note-based audio.
+    MusicSynthesizer,
+    /// A switch routing N inputs to M outputs.
+    Crossbar,
+    /// Software manipulating one or more audio streams; configured through
+    /// device controls (the paper leaves its commands unspecified).
+    Dsp,
+}
+
+impl DeviceClass {
+    /// All classes, in wire-tag order.
+    pub const ALL: [DeviceClass; 11] = [
+        DeviceClass::Input,
+        DeviceClass::Output,
+        DeviceClass::Player,
+        DeviceClass::Recorder,
+        DeviceClass::Telephone,
+        DeviceClass::Mixer,
+        DeviceClass::SpeechSynthesizer,
+        DeviceClass::SpeechRecognizer,
+        DeviceClass::MusicSynthesizer,
+        DeviceClass::Crossbar,
+        DeviceClass::Dsp,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            DeviceClass::Input => 0,
+            DeviceClass::Output => 1,
+            DeviceClass::Player => 2,
+            DeviceClass::Recorder => 3,
+            DeviceClass::Telephone => 4,
+            DeviceClass::Mixer => 5,
+            DeviceClass::SpeechSynthesizer => 6,
+            DeviceClass::SpeechRecognizer => 7,
+            DeviceClass::MusicSynthesizer => 8,
+            DeviceClass::Crossbar => 9,
+            DeviceClass::Dsp => 10,
+        }
+    }
+}
+
+impl WireWrite for DeviceClass {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(self.tag());
+    }
+}
+
+impl WireRead for DeviceClass {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let t = r.u8()?;
+        DeviceClass::ALL
+            .into_iter()
+            .find(|c| c.tag() == t)
+            .ok_or(CodecError::BadTag("DeviceClass", t as u32))
+    }
+}
+
+/// Direction of a device port: sources emit audio, sinks accept it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// An audio output of the device.
+    Source,
+    /// An audio input of the device.
+    Sink,
+}
+
+impl WireWrite for PortDir {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            PortDir::Source => 0,
+            PortDir::Sink => 1,
+        });
+    }
+}
+
+impl WireRead for PortDir {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => PortDir::Source,
+            1 => PortDir::Sink,
+            other => return Err(CodecError::BadTag("PortDir", other as u32)),
+        })
+    }
+}
+
+/// The type of the data path a wire carries (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireType {
+    /// Accept whatever the connected ports agree on.
+    Any,
+    /// An analog path (e.g. a hard-wired speaker-phone connection).
+    Analog,
+    /// A digital path carrying samples of the given type.
+    Digital(SoundType),
+}
+
+impl WireType {
+    /// Whether a wire declared as `self` may carry data typed `other`.
+    pub fn admits(&self, other: &WireType) -> bool {
+        match (self, other) {
+            (WireType::Any, _) | (_, WireType::Any) => true,
+            (WireType::Analog, WireType::Analog) => true,
+            (WireType::Digital(a), WireType::Digital(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl WireWrite for WireType {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            WireType::Any => w.u8(0),
+            WireType::Analog => w.u8(1),
+            WireType::Digital(st) => {
+                w.u8(2);
+                st.write(w);
+            }
+        }
+    }
+}
+
+impl WireRead for WireType {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => WireType::Any,
+            1 => WireType::Analog,
+            2 => WireType::Digital(SoundType::read(r)?),
+            other => return Err(CodecError::BadTag("WireType", other as u32)),
+        })
+    }
+}
+
+/// Attributes describing or constraining a device (paper §5.1).
+///
+/// A virtual device is requested by a list of attributes that may specify
+/// it loosely ("give me a speaker") or tightly ("give me device 7"). A
+/// physical device's attribute list describes its actual capabilities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attribute {
+    /// Pin the virtual device to a specific device-LOUD entry.
+    Device(DeviceId),
+    /// Human-readable device name ("left speaker").
+    Name(String),
+    /// Data encoding supported/required on the device's ports.
+    Encoding(Encoding),
+    /// Sample rate supported/required.
+    SampleRate(u32),
+    /// Channel count supported/required.
+    Channels(u8),
+    /// Ambient domain the device participates in (paper §5.8). Domain 0 is
+    /// conventionally the desktop.
+    AmbientDomain(u32),
+    /// Preempt all other class-input devices in the same ambient domain.
+    ExclusiveInput,
+    /// Preempt all other class-output devices in the same ambient domain.
+    ExclusiveOutput,
+    /// Claim sole (unshared) use of the mapped physical device.
+    ExclusiveUse,
+    /// Recorder capability: automatic gain control during recording.
+    SupportsAgc,
+    /// Recorder capability: compress recordings by removing pauses.
+    SupportsPauseCompression,
+    /// Recorder capability: pause detection to terminate recording.
+    SupportsPauseDetection,
+    /// Telephone: a directory number assigned to the line.
+    PhoneNumber(String),
+    /// Telephone: number of lines.
+    PhoneLines(u8),
+    /// Telephone: whether incoming-call events carry caller identity.
+    CallerId(bool),
+    /// Number of source (output) ports.
+    SourcePorts(u8),
+    /// Number of sink (input) ports.
+    SinkPorts(u8),
+    /// An extension attribute named by an atom with an opaque value.
+    Extension(Atom, Vec<u8>),
+}
+
+impl WireWrite for Attribute {
+    fn write(&self, w: &mut WireWriter) {
+        match self {
+            Attribute::Device(id) => {
+                w.u8(0);
+                id.write(w);
+            }
+            Attribute::Name(s) => {
+                w.u8(1);
+                w.string(s);
+            }
+            Attribute::Encoding(e) => {
+                w.u8(2);
+                e.write(w);
+            }
+            Attribute::SampleRate(r) => {
+                w.u8(3);
+                w.u32(*r);
+            }
+            Attribute::Channels(c) => {
+                w.u8(4);
+                w.u8(*c);
+            }
+            Attribute::AmbientDomain(d) => {
+                w.u8(5);
+                w.u32(*d);
+            }
+            Attribute::ExclusiveInput => w.u8(6),
+            Attribute::ExclusiveOutput => w.u8(7),
+            Attribute::ExclusiveUse => w.u8(8),
+            Attribute::SupportsAgc => w.u8(9),
+            Attribute::SupportsPauseCompression => w.u8(10),
+            Attribute::SupportsPauseDetection => w.u8(11),
+            Attribute::PhoneNumber(n) => {
+                w.u8(12);
+                w.string(n);
+            }
+            Attribute::PhoneLines(n) => {
+                w.u8(13);
+                w.u8(*n);
+            }
+            Attribute::CallerId(b) => {
+                w.u8(14);
+                w.bool(*b);
+            }
+            Attribute::SourcePorts(n) => {
+                w.u8(15);
+                w.u8(*n);
+            }
+            Attribute::SinkPorts(n) => {
+                w.u8(16);
+                w.u8(*n);
+            }
+            Attribute::Extension(a, v) => {
+                w.u8(17);
+                a.write(w);
+                w.bytes(v);
+            }
+        }
+    }
+}
+
+impl WireRead for Attribute {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Attribute::Device(DeviceId::read(r)?),
+            1 => Attribute::Name(r.string()?),
+            2 => Attribute::Encoding(Encoding::read(r)?),
+            3 => Attribute::SampleRate(r.u32()?),
+            4 => Attribute::Channels(r.u8()?),
+            5 => Attribute::AmbientDomain(r.u32()?),
+            6 => Attribute::ExclusiveInput,
+            7 => Attribute::ExclusiveOutput,
+            8 => Attribute::ExclusiveUse,
+            9 => Attribute::SupportsAgc,
+            10 => Attribute::SupportsPauseCompression,
+            11 => Attribute::SupportsPauseDetection,
+            12 => Attribute::PhoneNumber(r.string()?),
+            13 => Attribute::PhoneLines(r.u8()?),
+            14 => Attribute::CallerId(r.bool()?),
+            15 => Attribute::SourcePorts(r.u8()?),
+            16 => Attribute::SinkPorts(r.u8()?),
+            17 => Attribute::Extension(Atom::read(r)?, r.bytes()?),
+            other => return Err(CodecError::BadTag("Attribute", other as u32)),
+        })
+    }
+}
+
+/// The four states of a command queue (paper §5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueState {
+    /// Processing commands.
+    Started,
+    /// Not processing; the current command (if any) was aborted.
+    Stopped,
+    /// Paused by the application; survives preemption and reactivation.
+    ClientPaused,
+    /// Paused by the server because the owning LOUD was deactivated; the
+    /// queue resumes automatically when the LOUD reactivates.
+    ServerPaused,
+}
+
+impl WireWrite for QueueState {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(match self {
+            QueueState::Started => 0,
+            QueueState::Stopped => 1,
+            QueueState::ClientPaused => 2,
+            QueueState::ServerPaused => 3,
+        });
+    }
+}
+
+impl WireRead for QueueState {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => QueueState::Started,
+            1 => QueueState::Stopped,
+            2 => QueueState::ClientPaused,
+            3 => QueueState::ServerPaused,
+            other => return Err(CodecError::BadTag("QueueState", other as u32)),
+        })
+    }
+}
+
+/// A `(name, value, type)` property triple attachable to any LOUD or sound
+/// (paper §5.8); the value's interpretation is given by the `type` atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    /// Property name.
+    pub name: Atom,
+    /// Atom naming the value's type (e.g. "STRING", "INTEGER").
+    pub type_: Atom,
+    /// Opaque value bytes.
+    pub value: Vec<u8>,
+}
+
+impl WireWrite for Property {
+    fn write(&self, w: &mut WireWriter) {
+        self.name.write(w);
+        self.type_.write(w);
+        w.bytes(&self.value);
+    }
+}
+
+impl WireRead for Property {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(Property { name: Atom::read(r)?, type_: Atom::read(r)?, value: r.bytes()? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_rates_match_paper() {
+        // Paper §1.1: telephone quality is 8,000 bytes/s; CD quality is
+        // just over 175,000 bytes/s.
+        assert_eq!(SoundType::TELEPHONE.bytes_per_second(), 8_000);
+        assert_eq!(SoundType::CD.bytes_per_second(), 176_400);
+    }
+
+    #[test]
+    fn adpcm_halves_ulaw_rate() {
+        // Paper §5.9 footnote: ADPCM reduces audio data rates by about half.
+        let ulaw = SoundType::TELEPHONE;
+        let adpcm =
+            SoundType { encoding: Encoding::ImaAdpcm, sample_rate: 8_000, channels: 1 };
+        assert_eq!(adpcm.bytes_per_second() * 2, ulaw.bytes_per_second());
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        for e in [
+            Encoding::ULaw,
+            Encoding::ALaw,
+            Encoding::Pcm8,
+            Encoding::Pcm16,
+            Encoding::ImaAdpcm,
+        ] {
+            assert_eq!(Encoding::from_wire(&e.to_wire()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn device_class_roundtrip() {
+        for c in DeviceClass::ALL {
+            assert_eq!(DeviceClass::from_wire(&c.to_wire()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn attribute_roundtrip() {
+        let attrs = vec![
+            Attribute::Device(DeviceId(3)),
+            Attribute::Name("left speaker".into()),
+            Attribute::Encoding(Encoding::ULaw),
+            Attribute::SampleRate(8000),
+            Attribute::Channels(2),
+            Attribute::AmbientDomain(1),
+            Attribute::ExclusiveInput,
+            Attribute::ExclusiveOutput,
+            Attribute::ExclusiveUse,
+            Attribute::SupportsAgc,
+            Attribute::SupportsPauseCompression,
+            Attribute::SupportsPauseDetection,
+            Attribute::PhoneNumber("555-0100".into()),
+            Attribute::PhoneLines(2),
+            Attribute::CallerId(true),
+            Attribute::SourcePorts(1),
+            Attribute::SinkPorts(4),
+            Attribute::Extension(Atom(9), vec![1, 2, 3]),
+        ];
+        for a in &attrs {
+            assert_eq!(&Attribute::from_wire(&a.to_wire()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn wire_type_admission() {
+        let tel = WireType::Digital(SoundType::TELEPHONE);
+        let cd = WireType::Digital(SoundType::CD);
+        assert!(WireType::Any.admits(&tel));
+        assert!(tel.admits(&tel));
+        assert!(!tel.admits(&cd));
+        assert!(!tel.admits(&WireType::Analog));
+        assert!(WireType::Analog.admits(&WireType::Analog));
+    }
+
+    #[test]
+    fn queue_state_roundtrip() {
+        for s in [
+            QueueState::Started,
+            QueueState::Stopped,
+            QueueState::ClientPaused,
+            QueueState::ServerPaused,
+        ] {
+            assert_eq!(QueueState::from_wire(&s.to_wire()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn property_roundtrip() {
+        let p = Property { name: Atom(1), type_: Atom(2), value: b"DOMAIN".to_vec() };
+        assert_eq!(Property::from_wire(&p.to_wire()).unwrap(), p);
+    }
+}

@@ -1,0 +1,289 @@
+//! Property tests for the wire protocol: every generated message survives
+//! an encode→decode round trip, and arbitrary bytes never panic the
+//! decoder (a malicious client must not crash the server, paper §4.1's
+//! "precisely defined interface").
+
+use da_proto::codec::{Frame, FrameKind, WireReader};
+use da_proto::command::{DeviceCommand, Note, QueueEntry, RecordTermination};
+use da_proto::event::{CallState, Event, EventMask, QueueStopReason, RecordStopReason};
+use da_proto::ids::{Atom, ClientId, DeviceId, LoudId, ResourceId, SoundId, VDeviceId, WireId};
+use da_proto::request::Request;
+use da_proto::types::{Attribute, DeviceClass, Encoding, SoundType, WireType};
+use da_proto::{WireRead, WireWrite};
+use proptest::prelude::*;
+
+fn arb_encoding() -> impl Strategy<Value = Encoding> {
+    prop_oneof![
+        Just(Encoding::ULaw),
+        Just(Encoding::ALaw),
+        Just(Encoding::Pcm8),
+        Just(Encoding::Pcm16),
+        Just(Encoding::ImaAdpcm),
+    ]
+}
+
+fn arb_sound_type() -> impl Strategy<Value = SoundType> {
+    (arb_encoding(), 1u32..200_000, 1u8..8).prop_map(|(encoding, sample_rate, channels)| {
+        SoundType { encoding, sample_rate, channels }
+    })
+}
+
+fn arb_class() -> impl Strategy<Value = DeviceClass> {
+    prop::sample::select(DeviceClass::ALL.to_vec())
+}
+
+fn arb_attribute() -> impl Strategy<Value = Attribute> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| Attribute::Device(DeviceId(v))),
+        "[a-z ]{0,20}".prop_map(Attribute::Name),
+        arb_encoding().prop_map(Attribute::Encoding),
+        any::<u32>().prop_map(Attribute::SampleRate),
+        any::<u8>().prop_map(Attribute::Channels),
+        any::<u32>().prop_map(Attribute::AmbientDomain),
+        Just(Attribute::ExclusiveInput),
+        Just(Attribute::ExclusiveOutput),
+        Just(Attribute::ExclusiveUse),
+        Just(Attribute::SupportsAgc),
+        "[0-9-]{0,12}".prop_map(Attribute::PhoneNumber),
+        any::<bool>().prop_map(Attribute::CallerId),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(a, v)| Attribute::Extension(Atom(a), v)),
+    ]
+}
+
+fn arb_termination() -> impl Strategy<Value = RecordTermination> {
+    prop_oneof![
+        Just(RecordTermination::Manual),
+        any::<u64>().prop_map(RecordTermination::MaxFrames),
+        (any::<u16>(), any::<u64>()).prop_map(|(threshold, min_silence_frames)| {
+            RecordTermination::OnPause { threshold, min_silence_frames }
+        }),
+        Just(RecordTermination::OnHangup),
+    ]
+}
+
+fn arb_command() -> impl Strategy<Value = DeviceCommand> {
+    prop_oneof![
+        Just(DeviceCommand::Stop),
+        Just(DeviceCommand::Pause),
+        Just(DeviceCommand::Resume),
+        any::<u32>().prop_map(DeviceCommand::ChangeGain),
+        any::<u32>().prop_map(|s| DeviceCommand::Play(SoundId(s))),
+        (any::<u32>(), arb_termination())
+            .prop_map(|(s, t)| DeviceCommand::Record(SoundId(s), t)),
+        "[0-9#*]{0,12}".prop_map(DeviceCommand::Dial),
+        Just(DeviceCommand::Answer),
+        "[0-9#*]{0,12}".prop_map(DeviceCommand::SendDtmf),
+        (any::<u8>(), any::<u8>()).prop_map(|(input, percent)| DeviceCommand::SetMixGain {
+            input,
+            percent
+        }),
+        ".{0,40}".prop_map(DeviceCommand::SpeakText),
+        (any::<u16>(), any::<u16>()).prop_map(|(rate_wpm, pitch_hz)| {
+            DeviceCommand::SetVoiceValues { rate_wpm, pitch_hz }
+        }),
+        prop::collection::vec(("[a-z]{1,8}", "[a-z ]{1,12}"), 0..4)
+            .prop_map(DeviceCommand::SetExceptionList),
+        prop::collection::vec("[a-z]{1,8}", 0..6).prop_map(DeviceCommand::SetVocabulary),
+        any::<i32>().prop_map(DeviceCommand::AdjustContext),
+        (any::<u8>(), any::<u8>(), any::<u32>()).prop_map(|(note, velocity, duration_ms)| {
+            DeviceCommand::PlayNote(Note { note, velocity, duration_ms })
+        }),
+    ]
+}
+
+fn arb_queue_entry() -> impl Strategy<Value = QueueEntry> {
+    prop_oneof![
+        (any::<u32>(), arb_command())
+            .prop_map(|(v, cmd)| QueueEntry::Device { vdev: VDeviceId(v), cmd }),
+        Just(QueueEntry::CoBegin),
+        Just(QueueEntry::CoEnd),
+        any::<u32>().prop_map(|ms| QueueEntry::Delay { ms }),
+        Just(QueueEntry::DelayEnd),
+    ]
+}
+
+fn arb_resource() -> impl Strategy<Value = ResourceId> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| ResourceId::Loud(LoudId(v))),
+        any::<u32>().prop_map(|v| ResourceId::VDevice(VDeviceId(v))),
+        any::<u32>().prop_map(|v| ResourceId::Sound(SoundId(v))),
+        any::<u32>().prop_map(|v| ResourceId::Device(DeviceId(v))),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(id, p)| {
+            Request::CreateLoud { id: LoudId(id), parent: p.map(LoudId) }
+        }),
+        (any::<u32>(), any::<u32>(), arb_class(), prop::collection::vec(arb_attribute(), 0..6))
+            .prop_map(|(id, loud, class, attrs)| Request::CreateVDevice {
+                id: VDeviceId(id),
+                loud: LoudId(loud),
+                class,
+                attrs,
+            }),
+        (any::<u32>(), any::<u32>(), any::<u8>(), any::<u32>(), any::<u8>()).prop_map(
+            |(id, src, sp, dst, dp)| Request::CreateWire {
+                id: WireId(id),
+                src: VDeviceId(src),
+                src_port: sp,
+                dst: VDeviceId(dst),
+                dst_port: dp,
+                wire_type: WireType::Any,
+            }
+        ),
+        (any::<u32>(), prop::collection::vec(arb_queue_entry(), 0..8))
+            .prop_map(|(l, entries)| Request::Enqueue { loud: LoudId(l), entries }),
+        (any::<u32>(), arb_command())
+            .prop_map(|(v, cmd)| Request::Immediate { vdev: VDeviceId(v), cmd }),
+        (any::<u32>(), arb_sound_type())
+            .prop_map(|(id, stype)| Request::CreateSound { id: SoundId(id), stype }),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..256), any::<bool>()).prop_map(
+            |(id, data, eof)| Request::WriteSoundData { id: SoundId(id), data, eof }
+        ),
+        (arb_resource(), any::<u32>()).prop_map(|(target, mask)| Request::SelectEvents {
+            target,
+            mask: EventMask(mask),
+        }),
+        ".{0,32}".prop_map(|name| Request::InternAtom { name }),
+        (arb_resource(), any::<u32>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(target, name, type_, value)| Request::ChangeProperty {
+                target,
+                name: Atom(name),
+                type_: Atom(type_),
+                value,
+            }),
+        Just(Request::QueryDeviceLoud),
+        Just(Request::Sync),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        any::<u32>().prop_map(|l| Event::QueueStarted { loud: LoudId(l) }),
+        (any::<u32>(), prop::sample::select(vec![
+            QueueStopReason::ClientRequest,
+            QueueStopReason::Drained,
+            QueueStopReason::Error,
+            QueueStopReason::Unpausable,
+        ]))
+        .prop_map(|(l, reason)| Event::QueueStopped { loud: LoudId(l), reason }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
+            |(l, v, index, at_frame)| Event::CommandDone {
+                loud: LoudId(l),
+                vdev: VDeviceId(v),
+                index,
+                at_frame,
+            }
+        ),
+        (any::<u32>(), any::<u32>(), prop::sample::select(vec![
+            RecordStopReason::Manual,
+            RecordStopReason::MaxFrames,
+            RecordStopReason::PauseDetected,
+            RecordStopReason::Hangup,
+        ]), any::<u64>())
+            .prop_map(|(v, s, reason, frames)| Event::RecordStopped {
+                vdev: VDeviceId(v),
+                sound: SoundId(s),
+                reason,
+                frames,
+            }),
+        (arb_resource(), prop::sample::select(vec![
+            CallState::Idle,
+            CallState::Dialing,
+            CallState::Ringback,
+            CallState::Ringing,
+            CallState::Connected,
+            CallState::Busy,
+            CallState::HungUp,
+            CallState::NoAnswer,
+        ]), proptest::option::of("[0-9-]{0,12}"))
+            .prop_map(|(device, state, caller_id)| Event::CallProgress {
+                device,
+                state,
+                caller_id,
+            }),
+        (any::<u32>(), ".{0,16}", any::<u32>()).prop_map(|(v, word, score)| {
+            Event::WordRecognized { vdev: VDeviceId(v), word, score }
+        }),
+        (any::<u32>(), proptest::option::of(any::<u32>()), any::<u64>(), any::<u64>())
+            .prop_map(|(v, s, position, device_time)| Event::SyncMark {
+                vdev: VDeviceId(v),
+                sound: s.map(SoundId),
+                position,
+                device_time,
+            }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(l, c)| Event::MapRequest { loud: LoudId(l), client: ClientId(c) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let bytes = req.to_wire();
+        let back = Request::from_wire(&bytes).expect("decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn event_roundtrip(ev in arb_event()) {
+        let bytes = ev.to_wire();
+        let back = Event::from_wire(&bytes).expect("decode");
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn queue_entry_roundtrip(e in arb_queue_entry()) {
+        let bytes = e.to_wire();
+        prop_assert_eq!(QueueEntry::from_wire(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn attribute_roundtrip(a in arb_attribute()) {
+        let bytes = a.to_wire();
+        prop_assert_eq!(Attribute::from_wire(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn sound_type_roundtrip(st in arb_sound_type()) {
+        let bytes = st.to_wire();
+        prop_assert_eq!(SoundType::from_wire(&bytes).unwrap(), st);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever arrives, decoding returns Ok or Err — never panics,
+        // never allocates absurdly.
+        let _ = Request::from_wire(&bytes);
+        let _ = Event::from_wire(&bytes);
+        let _ = da_proto::Reply::from_wire(&bytes);
+        let mut r = WireReader::new(&bytes);
+        let _ = r.list::<u32>();
+    }
+
+    #[test]
+    fn frame_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = bytes::BytesMut::from(&bytes[..]);
+        let _ = Frame::decode(&mut buf);
+    }
+
+    #[test]
+    fn truncated_messages_error_cleanly(req in arb_request(), cut in 0usize..64) {
+        let bytes = req.to_wire();
+        if cut < bytes.len() {
+            // A truncated prefix must decode to an error, not a panic.
+            prop_assert!(Request::from_wire(&bytes[..cut]).is_err() || cut == bytes.len());
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let frame = Frame { kind: FrameKind::Event, payload: bytes::Bytes::from(payload) };
+        let mut buf = bytes::BytesMut::from(&frame.encode()[..]);
+        let decoded = Frame::decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+}

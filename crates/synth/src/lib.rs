@@ -1,0 +1,23 @@
+//! Speech and music substrate for the desktop-audio system.
+//!
+//! The paper's server exposes speech synthesizer, speech recognizer and
+//! music synthesizer device classes (§5.1). The 1991 implementations ran
+//! on DSP hardware; the paper itself observes that "many speech processing
+//! techniques which have traditionally been implemented on DSPs are now
+//! within the capabilities of general purpose microprocessors" (§1.1), so
+//! this crate implements all three in software:
+//!
+//! - [`tts`] — rule-based text-to-speech: text normalisation, letter-to-
+//!   phoneme rules with an exception list, and a formant-style waveform
+//!   generator (two processing steps, exactly as §1.1 describes);
+//! - [`recog`] — small-vocabulary, speaker-trained word recognition:
+//!   frame features (energy, zero crossings, band energies) matched by
+//!   dynamic time warping, as §1.1's description of recognizers implies;
+//! - [`music`] — note-based synthesis with selectable voices and an ADSR
+//!   envelope.
+
+pub mod music;
+pub mod phoneme;
+pub mod recog;
+pub mod text;
+pub mod tts;

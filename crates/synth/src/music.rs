@@ -1,0 +1,252 @@
+//! Note-based music synthesis.
+//!
+//! Music synthesizers "process note-based audio. They accept commands, and
+//! produce audio data on their single output" (paper §5.1): `SetState`
+//! (tempo), `SetVoice` and `Note`.
+
+/// Waveform shapes selectable with `SetVoice`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Voice {
+    /// Pure sine.
+    #[default]
+    Sine,
+    /// Square wave (hollow, clarinet-like).
+    Square,
+    /// Triangle wave (soft).
+    Triangle,
+    /// Sawtooth (bright, string-like).
+    Saw,
+}
+
+impl Voice {
+    /// Parses a voice name; unknown names yield `None`.
+    pub fn from_name(name: &str) -> Option<Voice> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "sine" => Voice::Sine,
+            "square" => Voice::Square,
+            "triangle" => Voice::Triangle,
+            "saw" | "sawtooth" => Voice::Saw,
+            _ => return None,
+        })
+    }
+
+    fn sample(self, phase: f64) -> f64 {
+        match self {
+            Voice::Sine => (phase * std::f64::consts::TAU).sin(),
+            Voice::Square => {
+                if phase < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Voice::Triangle => {
+                if phase < 0.5 {
+                    4.0 * phase - 1.0
+                } else {
+                    3.0 - 4.0 * phase
+                }
+            }
+            Voice::Saw => 2.0 * phase - 1.0,
+        }
+    }
+}
+
+/// Frequency in Hz of a MIDI note number (69 = A4 = 440 Hz).
+pub fn note_frequency(note: u8) -> f64 {
+    440.0 * 2f64.powf((note as f64 - 69.0) / 12.0)
+}
+
+/// ADSR envelope parameters, in milliseconds (sustain as a fraction).
+#[derive(Debug, Clone, Copy)]
+pub struct Envelope {
+    /// Attack time, ms.
+    pub attack_ms: u32,
+    /// Decay time, ms.
+    pub decay_ms: u32,
+    /// Sustain level, 0.0–1.0.
+    pub sustain: f64,
+    /// Release time, ms.
+    pub release_ms: u32,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Envelope { attack_ms: 10, decay_ms: 30, sustain: 0.7, release_ms: 40 }
+    }
+}
+
+impl Envelope {
+    /// Envelope gain at sample `n` of a note lasting `total` samples at
+    /// `rate` Hz.
+    pub fn gain_at(&self, n: usize, total: usize, rate: u32) -> f64 {
+        let ms = |m: u32| (m as usize * rate as usize) / 1000;
+        let a = ms(self.attack_ms).max(1);
+        let d = ms(self.decay_ms).max(1);
+        let r = ms(self.release_ms).max(1).min(total);
+        let release_start = total.saturating_sub(r);
+        if n >= release_start {
+            let base = self.gain_at(release_start.saturating_sub(1), usize::MAX, rate);
+            let frac = (n - release_start) as f64 / r as f64;
+            return base * (1.0 - frac);
+        }
+        if n < a {
+            n as f64 / a as f64
+        } else if n < a + d {
+            1.0 - (1.0 - self.sustain) * ((n - a) as f64 / d as f64)
+        } else {
+            self.sustain
+        }
+    }
+}
+
+/// A note-based synthesizer (one per music-synthesizer virtual device).
+#[derive(Debug, Clone)]
+pub struct MusicSynth {
+    rate: u32,
+    voice: Voice,
+    tempo_bpm: u16,
+    envelope: Envelope,
+}
+
+impl MusicSynth {
+    /// Creates a synthesizer at `sample_rate` Hz.
+    pub fn new(sample_rate: u32) -> Self {
+        MusicSynth {
+            rate: sample_rate,
+            voice: Voice::default(),
+            tempo_bpm: 120,
+            envelope: Envelope::default(),
+        }
+    }
+
+    /// Selects the voice (the `SetVoice` command); unknown names are
+    /// ignored.
+    pub fn set_voice(&mut self, name: &str) -> bool {
+        match Voice::from_name(name) {
+            Some(v) => {
+                self.voice = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the tempo (the `SetState` command).
+    pub fn set_tempo(&mut self, bpm: u16) {
+        self.tempo_bpm = bpm.clamp(20, 400);
+    }
+
+    /// Current tempo in beats per minute.
+    pub fn tempo(&self) -> u16 {
+        self.tempo_bpm
+    }
+
+    /// Duration in sample frames of one beat at the current tempo.
+    pub fn beat_frames(&self) -> usize {
+        (self.rate as u64 * 60 / self.tempo_bpm as u64) as usize
+    }
+
+    /// Renders one note (the `Note` command): MIDI number, velocity
+    /// 0–127, duration in ms.
+    pub fn note(&self, note: u8, velocity: u8, duration_ms: u32) -> Vec<i16> {
+        let total = (self.rate as u64 * duration_ms as u64 / 1000) as usize;
+        let freq = note_frequency(note);
+        let amp = 24000.0 * (velocity.min(127) as f64 / 127.0);
+        let step = freq / self.rate as f64;
+        let mut phase = 0.0f64;
+        (0..total)
+            .map(|n| {
+                let g = self.envelope.gain_at(n, total, self.rate);
+                let s = self.voice.sample(phase) * amp * g;
+                phase += step;
+                if phase >= 1.0 {
+                    phase -= 1.0;
+                }
+                s.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_dsp::analysis;
+
+    #[test]
+    fn a4_is_440() {
+        assert!((note_frequency(69) - 440.0).abs() < 1e-9);
+        assert!((note_frequency(81) - 880.0).abs() < 1e-6);
+        assert!((note_frequency(57) - 220.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn note_has_correct_pitch() {
+        let m = MusicSynth::new(8000);
+        let s = m.note(69, 100, 500);
+        let p440 = analysis::goertzel_power(&s, 8000, 440.0);
+        let p660 = analysis::goertzel_power(&s, 8000, 660.0);
+        assert!(p440 > p660 * 20.0);
+    }
+
+    #[test]
+    fn velocity_scales_amplitude() {
+        let m = MusicSynth::new(8000);
+        let loud = analysis::rms(&m.note(69, 127, 200));
+        let soft = analysis::rms(&m.note(69, 32, 200));
+        assert!(loud > soft * 2.0);
+    }
+
+    #[test]
+    fn envelope_shapes_edges() {
+        let m = MusicSynth::new(8000);
+        let s = m.note(69, 127, 300);
+        assert_eq!(s[0], 0);
+        let last = *s.last().unwrap();
+        assert!(last.unsigned_abs() < 2000, "release did not decay: {last}");
+    }
+
+    #[test]
+    fn voices_differ() {
+        let mut m = MusicSynth::new(8000);
+        let sine = m.note(60, 100, 100);
+        assert!(m.set_voice("square"));
+        let square = m.note(60, 100, 100);
+        assert_ne!(sine, square);
+        // Square has more harmonic energy at 3x the fundamental.
+        let f = note_frequency(60);
+        let h3_sine = analysis::goertzel_power(&sine, 8000, f * 3.0);
+        let h3_square = analysis::goertzel_power(&square, 8000, f * 3.0);
+        assert!(h3_square > h3_sine * 5.0);
+    }
+
+    #[test]
+    fn unknown_voice_rejected() {
+        let mut m = MusicSynth::new(8000);
+        assert!(!m.set_voice("theremin"));
+        assert!(m.set_voice("SAW"));
+    }
+
+    #[test]
+    fn tempo_controls_beat_length() {
+        let mut m = MusicSynth::new(8000);
+        m.set_tempo(120);
+        assert_eq!(m.beat_frames(), 4000);
+        m.set_tempo(60);
+        assert_eq!(m.beat_frames(), 8000);
+        m.set_tempo(0);
+        assert_eq!(m.tempo(), 20);
+    }
+
+    #[test]
+    fn envelope_gain_profile() {
+        let e = Envelope { attack_ms: 10, decay_ms: 10, sustain: 0.5, release_ms: 10 };
+        let rate = 8000;
+        // At 8 kHz: attack 80 samples, decay 80, release 80.
+        assert_eq!(e.gain_at(0, 1000, rate), 0.0);
+        assert!((e.gain_at(80, 1000, rate) - 1.0).abs() < 0.02);
+        assert!((e.gain_at(300, 1000, rate) - 0.5).abs() < 0.01);
+        assert!(e.gain_at(999, 1000, rate) < 0.05);
+    }
+}

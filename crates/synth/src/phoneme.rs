@@ -1,0 +1,439 @@
+//! Phonemes and letter-to-sound rules.
+//!
+//! A compact phoneme inventory and a rule-based grapheme-to-phoneme
+//! converter in the tradition of the Naval Research Laboratory rules:
+//! context-sensitive patterns applied left to right, longest match first.
+//! Accuracy is secondary to producing *distinct, stable* phonetic units —
+//! what the server's speech-synthesizer device class needs to exercise
+//! real data paths.
+
+/// The phoneme inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phoneme {
+    // Vowels.
+    /// `a` in "father".
+    Aa,
+    /// `a` in "cat".
+    Ae,
+    /// `u` in "but" / schwa.
+    Ah,
+    /// `aw` in "law".
+    Ao,
+    /// `e` in "bed".
+    Eh,
+    /// `ee` in "see".
+    Iy,
+    /// `i` in "sit".
+    Ih,
+    /// `o` in "go".
+    Ow,
+    /// `oo` in "boot".
+    Uw,
+    /// `oo` in "book".
+    Uh,
+    /// `ay` in "day".
+    Ey,
+    /// `i` in "time".
+    Ay,
+    /// `oy` in "boy".
+    Oy,
+    /// `ow` in "cow".
+    Aw,
+    /// `er` in "her".
+    Er,
+    // Consonants.
+    /// `b`.
+    B,
+    /// `d`.
+    D,
+    /// `g`.
+    G,
+    /// `p`.
+    P,
+    /// `t`.
+    T,
+    /// `k`.
+    K,
+    /// `m`.
+    M,
+    /// `n`.
+    N,
+    /// `ng` in "sing".
+    Ng,
+    /// `f`.
+    F,
+    /// `v`.
+    V,
+    /// `th` in "thin".
+    Th,
+    /// `th` in "then".
+    Dh,
+    /// `s`.
+    S,
+    /// `z`.
+    Z,
+    /// `sh`.
+    Sh,
+    /// `zh` in "measure".
+    Zh,
+    /// `ch`.
+    Ch,
+    /// `j` in "judge".
+    Jh,
+    /// `h`.
+    Hh,
+    /// `l`.
+    L,
+    /// `r`.
+    R,
+    /// `w`.
+    W,
+    /// `y` in "yes".
+    Y,
+    /// Inter-word or punctuation silence.
+    Sil,
+}
+
+impl Phoneme {
+    /// Whether the phoneme is voiced (has pitch-pulsed excitation).
+    pub fn voiced(self) -> bool {
+        use Phoneme::*;
+        !matches!(self, P | T | K | F | Th | S | Sh | Ch | Hh | Sil)
+    }
+
+    /// Whether the phoneme is a vowel.
+    pub fn is_vowel(self) -> bool {
+        use Phoneme::*;
+        matches!(
+            self,
+            Aa | Ae | Ah | Ao | Eh | Iy | Ih | Ow | Uw | Uh | Ey | Ay | Oy | Aw | Er
+        )
+    }
+
+    /// Nominal duration in milliseconds at the default speaking rate.
+    pub fn base_duration_ms(self) -> u32 {
+        use Phoneme::*;
+        match self {
+            Sil => 60,
+            Aa | Ao | Iy | Uw | Ey | Ay | Oy | Aw | Ow => 140,
+            Ae | Ah | Eh | Ih | Uh | Er => 110,
+            M | N | Ng | L | R | W | Y => 70,
+            S | Z | Sh | Zh | F | V | Th | Dh | Hh => 90,
+            B | D | G | P | T | K | Ch | Jh => 60,
+        }
+    }
+
+    /// Rough formant pair (F1, F2) in Hz for voiced sounds; fricative
+    /// noise centre for unvoiced.
+    pub fn formants(self) -> (f64, f64) {
+        use Phoneme::*;
+        match self {
+            Aa => (730.0, 1090.0),
+            Ae => (660.0, 1720.0),
+            Ah => (640.0, 1190.0),
+            Ao => (570.0, 840.0),
+            Eh => (530.0, 1840.0),
+            Iy => (270.0, 2290.0),
+            Ih => (390.0, 1990.0),
+            Ow => (450.0, 900.0),
+            Uw => (300.0, 870.0),
+            Uh => (440.0, 1020.0),
+            Ey => (400.0, 2100.0),
+            Ay => (660.0, 1500.0),
+            Oy => (500.0, 1100.0),
+            Aw => (700.0, 1100.0),
+            Er => (490.0, 1350.0),
+            M | N | Ng => (280.0, 1300.0),
+            L => (380.0, 1200.0),
+            R => (420.0, 1300.0),
+            W => (300.0, 700.0),
+            Y => (280.0, 2200.0),
+            B | P => (400.0, 1000.0),
+            D | T => (400.0, 1700.0),
+            G | K => (300.0, 2000.0),
+            V | F => (1000.0, 2500.0),
+            Dh | Th => (1400.0, 2700.0),
+            Z | S => (4000.0, 6000.0),
+            Zh | Sh => (2200.0, 3500.0),
+            Jh | Ch => (2000.0, 3200.0),
+            Hh => (1000.0, 1500.0),
+            Sil => (0.0, 0.0),
+        }
+    }
+}
+
+/// One grapheme-to-phoneme rule: when `pattern` matches at the cursor
+/// (and the contexts hold), emit `phonemes` and advance by the pattern
+/// length. `left`/`right` context classes: `#` word edge, `V` a vowel
+/// letter, `C` a consonant letter, `.` anything.
+struct Rule {
+    pattern: &'static str,
+    right: char,
+    phonemes: &'static [Phoneme],
+}
+
+use Phoneme::*;
+
+/// Rules are tried in order at each cursor position; within the table,
+/// longer patterns come first so "sh" wins over "s".
+const RULES: &[Rule] = &[
+    // Multi-letter patterns.
+    Rule { pattern: "tion", right: '.', phonemes: &[Sh, Ah, N] },
+    Rule { pattern: "ough", right: '.', phonemes: &[Ow] },
+    Rule { pattern: "igh", right: '.', phonemes: &[Ay] },
+    Rule { pattern: "eigh", right: '.', phonemes: &[Ey] },
+    Rule { pattern: "ss", right: '.', phonemes: &[S] },
+    Rule { pattern: "sh", right: '.', phonemes: &[Sh] },
+    Rule { pattern: "ch", right: '.', phonemes: &[Ch] },
+    Rule { pattern: "th", right: '.', phonemes: &[Th] },
+    Rule { pattern: "ph", right: '.', phonemes: &[F] },
+    Rule { pattern: "wh", right: '.', phonemes: &[W] },
+    Rule { pattern: "ck", right: '.', phonemes: &[K] },
+    Rule { pattern: "ng", right: '.', phonemes: &[Ng] },
+    Rule { pattern: "qu", right: '.', phonemes: &[K, W] },
+    Rule { pattern: "oo", right: '.', phonemes: &[Uw] },
+    Rule { pattern: "ee", right: '.', phonemes: &[Iy] },
+    Rule { pattern: "ea", right: '.', phonemes: &[Iy] },
+    Rule { pattern: "ai", right: '.', phonemes: &[Ey] },
+    Rule { pattern: "ay", right: '.', phonemes: &[Ey] },
+    Rule { pattern: "oa", right: '.', phonemes: &[Ow] },
+    Rule { pattern: "ou", right: '.', phonemes: &[Aw] },
+    Rule { pattern: "ow", right: '#', phonemes: &[Ow] },
+    Rule { pattern: "ow", right: '.', phonemes: &[Aw] },
+    Rule { pattern: "oy", right: '.', phonemes: &[Oy] },
+    Rule { pattern: "oi", right: '.', phonemes: &[Oy] },
+    Rule { pattern: "au", right: '.', phonemes: &[Ao] },
+    Rule { pattern: "aw", right: '.', phonemes: &[Ao] },
+    Rule { pattern: "er", right: '.', phonemes: &[Er] },
+    Rule { pattern: "ir", right: '.', phonemes: &[Er] },
+    Rule { pattern: "ur", right: '.', phonemes: &[Er] },
+    Rule { pattern: "ar", right: '.', phonemes: &[Aa, R] },
+    Rule { pattern: "or", right: '.', phonemes: &[Ao, R] },
+    Rule { pattern: "ll", right: '.', phonemes: &[L] },
+    Rule { pattern: "tt", right: '.', phonemes: &[T] },
+    Rule { pattern: "pp", right: '.', phonemes: &[P] },
+    Rule { pattern: "bb", right: '.', phonemes: &[B] },
+    Rule { pattern: "dd", right: '.', phonemes: &[D] },
+    Rule { pattern: "mm", right: '.', phonemes: &[M] },
+    Rule { pattern: "nn", right: '.', phonemes: &[N] },
+    Rule { pattern: "rr", right: '.', phonemes: &[R] },
+    Rule { pattern: "ff", right: '.', phonemes: &[F] },
+    Rule { pattern: "gg", right: '.', phonemes: &[G] },
+    Rule { pattern: "zz", right: '.', phonemes: &[Z] },
+    // Magic-e: vowel + consonant + final e lengthens the vowel; handled
+    // as specific common cases.
+    Rule { pattern: "a", right: 'E', phonemes: &[Ey] },
+    Rule { pattern: "i", right: 'E', phonemes: &[Ay] },
+    Rule { pattern: "o", right: 'E', phonemes: &[Ow] },
+    Rule { pattern: "u", right: 'E', phonemes: &[Uw] },
+    // Single letters.
+    Rule { pattern: "a", right: '.', phonemes: &[Ae] },
+    Rule { pattern: "b", right: '.', phonemes: &[B] },
+    Rule { pattern: "c", right: 'I', phonemes: &[S] }, // c before e/i/y
+    Rule { pattern: "c", right: '.', phonemes: &[K] },
+    Rule { pattern: "d", right: '.', phonemes: &[D] },
+    Rule { pattern: "e", right: '.', phonemes: &[Eh] },
+    Rule { pattern: "f", right: '.', phonemes: &[F] },
+    Rule { pattern: "g", right: 'I', phonemes: &[Jh] },
+    Rule { pattern: "g", right: '.', phonemes: &[G] },
+    Rule { pattern: "h", right: '.', phonemes: &[Hh] },
+    Rule { pattern: "i", right: '.', phonemes: &[Ih] },
+    Rule { pattern: "j", right: '.', phonemes: &[Jh] },
+    Rule { pattern: "k", right: '.', phonemes: &[K] },
+    Rule { pattern: "l", right: '.', phonemes: &[L] },
+    Rule { pattern: "m", right: '.', phonemes: &[M] },
+    Rule { pattern: "n", right: '.', phonemes: &[N] },
+    Rule { pattern: "o", right: '.', phonemes: &[Aa] },
+    Rule { pattern: "p", right: '.', phonemes: &[P] },
+    Rule { pattern: "q", right: '.', phonemes: &[K] },
+    Rule { pattern: "r", right: '.', phonemes: &[R] },
+    Rule { pattern: "s", right: '.', phonemes: &[S] },
+    Rule { pattern: "t", right: '.', phonemes: &[T] },
+    Rule { pattern: "u", right: '.', phonemes: &[Ah] },
+    Rule { pattern: "v", right: '.', phonemes: &[V] },
+    Rule { pattern: "w", right: '.', phonemes: &[W] },
+    Rule { pattern: "x", right: '.', phonemes: &[K, S] },
+    Rule { pattern: "y", right: '#', phonemes: &[Iy] },
+    Rule { pattern: "y", right: '.', phonemes: &[Y] },
+    Rule { pattern: "z", right: '.', phonemes: &[Z] },
+];
+
+fn right_context_matches(class: char, word: &[u8], after: usize) -> bool {
+    match class {
+        '.' => true,
+        '#' => after >= word.len(),
+        // 'I': next letter is e, i or y (soft c/g).
+        'I' => matches!(word.get(after), Some(b'e') | Some(b'i') | Some(b'y')),
+        // 'E': consonant followed by word-final 'e' (magic e).
+        'E' => {
+            matches!(word.get(after), Some(c) if !b"aeiou".contains(c))
+                && word.get(after + 1) == Some(&b'e')
+                && after + 2 == word.len()
+        }
+        _ => false,
+    }
+}
+
+/// Converts a lowercase word to phonemes by rule.
+pub fn word_to_phonemes(word: &str) -> Vec<Phoneme> {
+    let bytes = word.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Final 'e': silent when an earlier vowel carries the syllable
+        // ("time"), otherwise the long vowel itself ("she", "be").
+        if bytes[i] == b'e' && i + 1 == bytes.len() {
+            let earlier_vowel = bytes[..i].iter().any(|c| b"aeiouy".contains(c));
+            if !earlier_vowel {
+                out.push(Iy);
+            }
+            break;
+        }
+        let mut matched = false;
+        for rule in RULES {
+            let pat = rule.pattern.as_bytes();
+            if bytes[i..].starts_with(pat) && right_context_matches(rule.right, bytes, i + pat.len())
+            {
+                out.extend_from_slice(rule.phonemes);
+                i += pat.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Unknown character: skip.
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses a user-supplied pronunciation string of phoneme names separated
+/// by spaces (for exception lists, paper §5.1 `SetExceptionList`), e.g.
+/// `"d eh k"`. Unknown names are ignored.
+pub fn parse_pronunciation(pron: &str) -> Vec<Phoneme> {
+    pron.split_whitespace().filter_map(name_to_phoneme).collect()
+}
+
+fn name_to_phoneme(name: &str) -> Option<Phoneme> {
+    Some(match name {
+        "aa" => Aa,
+        "ae" => Ae,
+        "ah" => Ah,
+        "ao" => Ao,
+        "eh" => Eh,
+        "iy" => Iy,
+        "ih" => Ih,
+        "ow" => Ow,
+        "uw" => Uw,
+        "uh" => Uh,
+        "ey" => Ey,
+        "ay" => Ay,
+        "oy" => Oy,
+        "aw" => Aw,
+        "er" => Er,
+        "b" => B,
+        "d" => D,
+        "g" => G,
+        "p" => P,
+        "t" => T,
+        "k" => K,
+        "m" => M,
+        "n" => N,
+        "ng" => Ng,
+        "f" => F,
+        "v" => V,
+        "th" => Th,
+        "dh" => Dh,
+        "s" => S,
+        "z" => Z,
+        "sh" => Sh,
+        "zh" => Zh,
+        "ch" => Ch,
+        "jh" => Jh,
+        "hh" | "h" => Hh,
+        "l" => L,
+        "r" => R,
+        "w" => W,
+        "y" => Y,
+        "sil" => Sil,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digraphs_beat_single_letters() {
+        assert_eq!(word_to_phonemes("she"), vec![Sh, Iy]);
+        assert_eq!(word_to_phonemes("thin")[0], Th);
+        assert_eq!(word_to_phonemes("phone")[0], F);
+    }
+
+    #[test]
+    fn soft_and_hard_c() {
+        assert_eq!(word_to_phonemes("cat")[0], K);
+        assert_eq!(word_to_phonemes("cell")[0], S);
+        assert_eq!(word_to_phonemes("city")[0], S);
+    }
+
+    #[test]
+    fn magic_e() {
+        assert_eq!(word_to_phonemes("time"), vec![T, Ay, M]);
+        assert_eq!(word_to_phonemes("home"), vec![Hh, Ow, M]);
+        // Without magic e the vowel stays short.
+        assert_eq!(word_to_phonemes("tim"), vec![T, Ih, M]);
+    }
+
+    #[test]
+    fn final_y_is_vowel() {
+        assert_eq!(*word_to_phonemes("city").last().unwrap(), Iy);
+        assert_eq!(word_to_phonemes("yes")[0], Y);
+    }
+
+    #[test]
+    fn ow_final_vs_medial() {
+        // Word-final "ow" reads long ("show", "know"); medial "ow"
+        // reads as the diphthong ("howl", "tower").
+        assert_eq!(word_to_phonemes("show"), vec![Sh, Ow]);
+        assert_eq!(word_to_phonemes("howl"), vec![Hh, Aw, L]);
+    }
+
+    #[test]
+    fn every_letter_produces_something() {
+        for c in b'a'..=b'z' {
+            if c == b'e' {
+                continue; // final silent e legitimately drops
+            }
+            let w = String::from_utf8(vec![c]).unwrap();
+            assert!(!word_to_phonemes(&w).is_empty(), "letter {}", c as char);
+        }
+    }
+
+    #[test]
+    fn pronunciation_strings_parse() {
+        assert_eq!(parse_pronunciation("d eh k"), vec![D, Eh, K]);
+        assert_eq!(parse_pronunciation("zz d"), vec![D]);
+        assert!(parse_pronunciation("").is_empty());
+    }
+
+    #[test]
+    fn voicing_classification() {
+        assert!(Aa.voiced());
+        assert!(Z.voiced());
+        assert!(!S.voiced());
+        assert!(!T.voiced());
+        assert!(!Sil.voiced());
+        assert!(Aa.is_vowel());
+        assert!(!M.is_vowel());
+    }
+
+    #[test]
+    fn durations_positive() {
+        for p in [Aa, S, T, Sil, M, Ch] {
+            assert!(p.base_duration_ms() > 0);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Small-vocabulary speech recognition.
+//!
+//! The paper's recognizer class detects words spoken by a user, trained
+//! per application and user (§5.1: `Train`, `SetVocabulary`,
+//! `AdjustContext`, `SaveVocabulary`). Recognition of 1991 vintage
+//! "usually employs a digital signal processor to extract acoustically
+//! significant features from the audio signal, and a general purpose
+//! processor for pattern matching" (§1.1). Both halves are implemented
+//! here in software:
+//!
+//! - **features**: 20 ms frames reduced to log energy, zero-crossing rate
+//!   and four band energies (a crude filter bank);
+//! - **matching**: dynamic time warping against stored word templates,
+//!   with energy-based endpoint detection.
+
+use da_dsp::analysis::{goertzel_power, rms, zero_crossings};
+use std::collections::HashMap;
+
+/// Frame length in samples at 8 kHz (20 ms).
+const FRAME: usize = 160;
+/// Features per frame.
+const NDIM: usize = 6;
+/// RMS threshold separating speech from silence.
+const SPEECH_RMS: f64 = 400.0;
+/// Consecutive silent frames ending an utterance (320 ms).
+const END_SILENCE: usize = 16;
+/// Minimum speech frames for a valid utterance (100 ms).
+const MIN_SPEECH: usize = 5;
+
+/// A feature vector for one frame.
+pub type Feature = [f64; NDIM];
+
+/// Extracts the per-frame feature sequence from 8 kHz linear samples.
+pub fn extract_features(samples: &[i16]) -> Vec<Feature> {
+    samples
+        .chunks(FRAME)
+        .filter(|c| c.len() == FRAME)
+        .map(|frame| {
+            let energy = rms(frame).max(1.0).ln();
+            let zcr = zero_crossings(frame) as f64 / FRAME as f64;
+            let bands = [250.0, 500.0, 1000.0, 2000.0]
+                .map(|f| goertzel_power(frame, 8000, f).max(1.0).ln());
+            [energy, zcr * 10.0, bands[0], bands[1], bands[2], bands[3]]
+        })
+        .collect()
+}
+
+fn frame_distance(a: &Feature, b: &Feature) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Dynamic-time-warping distance between two feature sequences,
+/// normalised by path length. Lower is more similar.
+pub fn dtw_distance(a: &[Feature], b: &[Feature]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return f64::INFINITY;
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur[0] = f64::INFINITY;
+        for j in 1..=m {
+            let cost = frame_distance(&a[i - 1], &b[j - 1]);
+            cur[j] = cost + prev[j].min(cur[j - 1]).min(prev[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] / (n + m) as f64
+}
+
+/// A recognition result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// The matched word.
+    pub word: String,
+    /// Match quality in milli-units (1000 = identical to the template).
+    pub score: u32,
+}
+
+/// A trainable, streaming word recognizer.
+#[derive(Debug, Clone, Default)]
+pub struct Recognizer {
+    templates: HashMap<String, Vec<Vec<Feature>>>,
+    vocabulary: Option<Vec<String>>,
+    /// Acceptance bias from `AdjustContext`: positive loosens matching,
+    /// negative tightens it.
+    context_bias: i32,
+    // Streaming endpointer state.
+    buf: Vec<i16>,
+    utterance: Vec<Feature>,
+    in_speech: bool,
+    silent_run: usize,
+}
+
+impl Recognizer {
+    /// Creates an empty recognizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trains a word from an 8 kHz utterance recording (the `Train`
+    /// command). Multiple trainings of one word accumulate templates.
+    pub fn train(&mut self, word: &str, samples: &[i16]) {
+        let feats = trim_silence(extract_features(samples));
+        if feats.len() >= MIN_SPEECH {
+            self.templates.entry(word.to_lowercase()).or_default().push(feats);
+        }
+    }
+
+    /// Number of stored templates for a word.
+    pub fn template_count(&self, word: &str) -> usize {
+        self.templates.get(&word.to_lowercase()).map_or(0, |t| t.len())
+    }
+
+    /// Restricts recognition to `words` (the `SetVocabulary` command);
+    /// an empty list reverts to the full trained set.
+    pub fn set_vocabulary(&mut self, words: &[String]) {
+        if words.is_empty() {
+            self.vocabulary = None;
+        } else {
+            self.vocabulary = Some(words.iter().map(|w| w.to_lowercase()).collect());
+        }
+    }
+
+    /// Biases acceptance (the `AdjustContext` command).
+    pub fn adjust_context(&mut self, bias: i32) {
+        self.context_bias = bias.clamp(-10, 10);
+    }
+
+    /// Feeds 8 kHz samples; returns a recognition when an utterance
+    /// endpoint is found and a template matches.
+    pub fn push(&mut self, samples: &[i16]) -> Vec<Recognition> {
+        let mut results = Vec::new();
+        self.buf.extend_from_slice(samples);
+        while self.buf.len() >= FRAME {
+            let frame: Vec<i16> = self.buf.drain(..FRAME).collect();
+            let loud = rms(&frame) >= SPEECH_RMS;
+            if loud {
+                self.in_speech = true;
+                self.silent_run = 0;
+            } else if self.in_speech {
+                self.silent_run += 1;
+            }
+            if self.in_speech {
+                self.utterance.extend(extract_features(&frame));
+                if self.silent_run >= END_SILENCE {
+                    let utt = trim_silence(std::mem::take(&mut self.utterance));
+                    self.in_speech = false;
+                    self.silent_run = 0;
+                    if utt.len() >= MIN_SPEECH {
+                        if let Some(r) = self.classify(&utt) {
+                            results.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        results
+    }
+
+    /// Classifies a complete utterance against the active vocabulary.
+    pub fn classify(&self, utterance: &[Feature]) -> Option<Recognition> {
+        let mut best: Option<(f64, &str)> = None;
+        for (word, templates) in &self.templates {
+            if let Some(vocab) = &self.vocabulary {
+                if !vocab.contains(word) {
+                    continue;
+                }
+            }
+            for t in templates {
+                let d = dtw_distance(utterance, t);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, word));
+                }
+            }
+        }
+        let (dist, word) = best?;
+        // Acceptance threshold, loosened/tightened by context bias.
+        let threshold = 3.0 * (1.0 + self.context_bias as f64 * 0.1);
+        if dist > threshold {
+            return None;
+        }
+        let score = (1000.0 / (1.0 + dist)).min(1000.0) as u32;
+        Some(Recognition { word: word.to_string(), score })
+    }
+
+    /// Serialises all trained templates (the `SaveVocabulary` command).
+    pub fn save(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"DAV1");
+        out.extend_from_slice(&(self.templates.len() as u32).to_le_bytes());
+        let mut words: Vec<_> = self.templates.keys().collect();
+        words.sort();
+        for word in words {
+            let templates = &self.templates[word];
+            out.extend_from_slice(&(word.len() as u32).to_le_bytes());
+            out.extend_from_slice(word.as_bytes());
+            out.extend_from_slice(&(templates.len() as u32).to_le_bytes());
+            for t in templates {
+                out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+                for f in t {
+                    for v in f {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores templates from [`Recognizer::save`] output.
+    pub fn load(data: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = data.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        if take(&mut pos, 4)? != b"DAV1" {
+            return None;
+        }
+        let nwords = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let mut r = Recognizer::new();
+        for _ in 0..nwords {
+            let wlen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            let word = String::from_utf8(take(&mut pos, wlen)?.to_vec()).ok()?;
+            let ntmpl = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+            let mut templates = Vec::with_capacity(ntmpl);
+            for _ in 0..ntmpl {
+                let nframes = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+                let mut t = Vec::with_capacity(nframes);
+                for _ in 0..nframes {
+                    let mut f = [0f64; NDIM];
+                    for v in f.iter_mut() {
+                        *v = f64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+                    }
+                    t.push(f);
+                }
+                templates.push(t);
+            }
+            r.templates.insert(word, templates);
+        }
+        Some(r)
+    }
+}
+
+fn trim_silence(mut feats: Vec<Feature>) -> Vec<Feature> {
+    // Feature 0 is log RMS; trim leading/trailing frames below the
+    // speech threshold.
+    let thresh = SPEECH_RMS.ln();
+    let start = feats.iter().position(|f| f[0] >= thresh).unwrap_or(feats.len());
+    let end = feats.iter().rposition(|f| f[0] >= thresh).map_or(0, |i| i + 1);
+    if start >= end {
+        return Vec::new();
+    }
+    feats.truncate(end);
+    feats.drain(..start);
+    feats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tts::Synthesizer;
+
+    fn utterance(word: &str) -> Vec<i16> {
+        Synthesizer::new(8000).speak(word)
+    }
+
+    fn padded(word: &str) -> Vec<i16> {
+        let mut s = vec![0i16; 2400];
+        s.extend(utterance(word));
+        s.extend(std::iter::repeat_n(0i16, 4000));
+        s
+    }
+
+    #[test]
+    fn features_have_fixed_dimension() {
+        let f = extract_features(&utterance("test"));
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|v| v.iter().all(|x| x.is_finite())));
+    }
+
+    #[test]
+    fn dtw_identity_is_zero() {
+        let f = extract_features(&utterance("zero"));
+        assert!(dtw_distance(&f, &f) < 1e-9);
+    }
+
+    #[test]
+    fn dtw_orders_similarity() {
+        let yes1 = extract_features(&utterance("yes"));
+        let no = extract_features(&utterance("no"));
+        // TTS is deterministic, so perturb the pitch for a second "yes".
+        let mut tts = Synthesizer::new(8000);
+        tts.set_values(170, 130);
+        let yes2 = extract_features(&tts.speak("yes"));
+        assert!(dtw_distance(&yes1, &yes2) < dtw_distance(&yes1, &no));
+    }
+
+    #[test]
+    fn trains_and_recognises() {
+        let mut r = Recognizer::new();
+        r.train("yes", &utterance("yes"));
+        r.train("no", &utterance("no"));
+        r.train("stop", &utterance("stop"));
+        assert_eq!(r.template_count("yes"), 1);
+        let got = r.push(&padded("yes"));
+        assert_eq!(got.len(), 1, "expected one recognition, got {got:?}");
+        assert_eq!(got[0].word, "yes");
+        assert!(got[0].score > 500);
+    }
+
+    #[test]
+    fn distinguishes_vocabulary_words() {
+        let mut r = Recognizer::new();
+        for w in ["yes", "no", "stop", "play"] {
+            r.train(w, &utterance(w));
+        }
+        for w in ["yes", "no", "stop", "play"] {
+            let got = r.push(&padded(w));
+            assert_eq!(got.len(), 1, "word {w}: {got:?}");
+            assert_eq!(got[0].word, w);
+        }
+    }
+
+    #[test]
+    fn vocabulary_restriction() {
+        let mut r = Recognizer::new();
+        r.train("yes", &utterance("yes"));
+        r.train("no", &utterance("no"));
+        r.set_vocabulary(&["no".to_string()]);
+        let got = r.push(&padded("no"));
+        assert_eq!(got[0].word, "no");
+        // A "yes" utterance can now only match "no" — or be rejected.
+        let got = r.push(&padded("yes"));
+        assert!(got.is_empty() || got[0].word == "no");
+        // Empty vocabulary restores everything.
+        r.set_vocabulary(&[]);
+        let got = r.push(&padded("yes"));
+        assert_eq!(got[0].word, "yes");
+    }
+
+    #[test]
+    fn silence_produces_nothing() {
+        let mut r = Recognizer::new();
+        r.train("yes", &utterance("yes"));
+        assert!(r.push(&vec![0i16; 32000]).is_empty());
+    }
+
+    #[test]
+    fn untrained_recognizer_rejects() {
+        let mut r = Recognizer::new();
+        assert!(r.push(&padded("hello")).is_empty());
+    }
+
+    #[test]
+    fn tight_context_rejects_marginal() {
+        let mut r = Recognizer::new();
+        r.train("yes", &utterance("yes"));
+        r.adjust_context(-10);
+        // A quite different word should fail the tightened threshold.
+        let got = r.push(&padded("completely"));
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut r = Recognizer::new();
+        r.train("yes", &utterance("yes"));
+        r.train("no", &utterance("no"));
+        let blob = r.save();
+        let mut r2 = Recognizer::load(&blob).expect("load");
+        assert_eq!(r2.template_count("yes"), 1);
+        assert_eq!(r2.template_count("no"), 1);
+        let got = r2.push(&padded("yes"));
+        assert_eq!(got[0].word, "yes");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Recognizer::load(b"junk").is_none());
+        assert!(Recognizer::load(b"").is_none());
+        assert!(Recognizer::load(b"DAV1\xff\xff\xff\xff").is_none());
+    }
+
+    #[test]
+    fn chunked_streaming_equivalent() {
+        let mut r1 = Recognizer::new();
+        r1.train("go", &utterance("go"));
+        let mut r2 = r1.clone();
+        let s = padded("go");
+        let whole = r1.push(&s);
+        let mut chunked = Vec::new();
+        for chunk in s.chunks(333) {
+            chunked.extend(r2.push(chunk));
+        }
+        assert_eq!(whole, chunked);
+    }
+}

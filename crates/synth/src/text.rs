@@ -1,0 +1,267 @@
+//! Text normalisation for speech synthesis.
+//!
+//! The first step of synthesis "converts the text to phonetic units;
+//! although a linguistically difficult task, this is most easily
+//! implemented on a general purpose processor" (paper §1.1). Before
+//! letter-to-sound rules run, raw text is normalised: digits and numbers
+//! are expanded to words, common abbreviations are spelled out, and
+//! punctuation becomes explicit pause tokens.
+
+/// A normalised token: a speakable word or a pause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A lowercase word of letters only.
+    Word(String),
+    /// A pause, in milliseconds.
+    Pause(u32),
+}
+
+const ONES: [&str; 20] = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+    "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+    "nineteen",
+];
+
+const TENS: [&str; 10] =
+    ["", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety"];
+
+/// Expands a non-negative integer below one million into words.
+pub fn number_to_words(n: u64) -> Vec<String> {
+    fn under_thousand(n: u64, out: &mut Vec<String>) {
+        if n >= 100 {
+            out.push(ONES[(n / 100) as usize].to_string());
+            out.push("hundred".to_string());
+            if !n.is_multiple_of(100) {
+                under_thousand(n % 100, out);
+            }
+        } else if n >= 20 {
+            out.push(TENS[(n / 10) as usize].to_string());
+            if !n.is_multiple_of(10) {
+                out.push(ONES[(n % 10) as usize].to_string());
+            }
+        } else {
+            out.push(ONES[n as usize].to_string());
+        }
+    }
+    let mut out = Vec::new();
+    if n >= 1_000_000 {
+        // Speak huge numbers digit by digit.
+        for d in n.to_string().bytes() {
+            out.push(ONES[(d - b'0') as usize].to_string());
+        }
+        return out;
+    }
+    if n >= 1000 {
+        under_thousand(n / 1000, &mut out);
+        out.push("thousand".to_string());
+        if !n.is_multiple_of(1000) {
+            under_thousand(n % 1000, &mut out);
+        }
+        return out;
+    }
+    under_thousand(n, &mut out);
+    out
+}
+
+/// Expands a digit string (e.g. a phone number) digit by digit.
+pub fn digits_to_words(digits: &str) -> Vec<String> {
+    digits
+        .bytes()
+        .filter(|b| b.is_ascii_digit())
+        .map(|d| ONES[(d - b'0') as usize].to_string())
+        .collect()
+}
+
+fn abbreviation(word: &str) -> Option<&'static [&'static str]> {
+    Some(match word {
+        "mr" => &["mister"],
+        "mrs" => &["missus"],
+        "dr" => &["doctor"],
+        "st" => &["street"],
+        "etc" => &["et", "cetera"],
+        "vs" => &["versus"],
+        "dec" => &["deck"],
+        _ => return None,
+    })
+}
+
+/// Normalises raw text into speakable tokens.
+///
+/// # Examples
+///
+/// ```
+/// use da_synth::text::{normalize, Token};
+/// let toks = normalize("Room 12.");
+/// assert_eq!(
+///     toks,
+///     vec![
+///         Token::Word("room".into()),
+///         Token::Word("twelve".into()),
+///         Token::Pause(400),
+///     ]
+/// );
+/// ```
+pub fn normalize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut digits = String::new();
+    let flush_word = |word: &mut String, out: &mut Vec<Token>| {
+        if word.is_empty() {
+            return;
+        }
+        let w = word.to_lowercase();
+        match abbreviation(&w) {
+            Some(expansion) => {
+                for e in expansion {
+                    out.push(Token::Word((*e).to_string()));
+                }
+            }
+            None => out.push(Token::Word(w)),
+        }
+        word.clear();
+    };
+    let flush_digits = |digits: &mut String, out: &mut Vec<Token>| {
+        if digits.is_empty() {
+            return;
+        }
+        // Short digit runs read as numbers; long runs (phone numbers)
+        // read digit by digit.
+        if digits.len() <= 4 {
+            if let Ok(n) = digits.parse::<u64>() {
+                for w in number_to_words(n) {
+                    out.push(Token::Word(w));
+                }
+                digits.clear();
+                return;
+            }
+        }
+        for w in digits_to_words(digits) {
+            out.push(Token::Word(w));
+        }
+        digits.clear();
+    };
+    for ch in text.chars() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '\'' => {
+                flush_digits(&mut digits, &mut out);
+                if ch != '\'' {
+                    word.push(ch);
+                }
+            }
+            '0'..='9' => {
+                flush_word(&mut word, &mut out);
+                digits.push(ch);
+            }
+            '.' | '!' | '?' => {
+                flush_word(&mut word, &mut out);
+                flush_digits(&mut digits, &mut out);
+                if !matches!(out.last(), Some(Token::Pause(_))) {
+                    out.push(Token::Pause(400));
+                }
+            }
+            ',' | ';' | ':' | '-' => {
+                flush_word(&mut word, &mut out);
+                flush_digits(&mut digits, &mut out);
+                if !matches!(out.last(), Some(Token::Pause(_))) {
+                    out.push(Token::Pause(200));
+                }
+            }
+            _ => {
+                flush_word(&mut word, &mut out);
+                flush_digits(&mut digits, &mut out);
+            }
+        }
+    }
+    flush_word(&mut word, &mut out);
+    flush_digits(&mut digits, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(toks: &[Token]) -> Vec<String> {
+        toks.iter()
+            .filter_map(|t| match t {
+                Token::Word(w) => Some(w.clone()),
+                Token::Pause(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_sentence() {
+        let t = normalize("Hello world");
+        assert_eq!(words(&t), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn numbers_expand() {
+        assert_eq!(number_to_words(0), vec!["zero"]);
+        assert_eq!(number_to_words(15), vec!["fifteen"]);
+        assert_eq!(number_to_words(42), vec!["forty", "two"]);
+        assert_eq!(number_to_words(300), vec!["three", "hundred"]);
+        assert_eq!(number_to_words(1991), vec!["one", "thousand", "nine", "hundred", "ninety", "one"]);
+        assert_eq!(number_to_words(70), vec!["seventy"]);
+    }
+
+    #[test]
+    fn huge_numbers_read_digitwise() {
+        assert_eq!(number_to_words(5551212), words(&normalize("5551212")));
+        assert_eq!(number_to_words(1234567)[0], "one");
+        assert_eq!(number_to_words(1234567).len(), 7);
+    }
+
+    #[test]
+    fn short_digit_runs_read_as_numbers() {
+        assert_eq!(words(&normalize("room 42")), vec!["room", "forty", "two"]);
+    }
+
+    #[test]
+    fn long_digit_runs_read_digitwise() {
+        assert_eq!(
+            words(&normalize("call 55512")),
+            vec!["call", "five", "five", "five", "one", "two"]
+        );
+    }
+
+    #[test]
+    fn punctuation_pauses() {
+        let t = normalize("yes, no. maybe");
+        assert_eq!(
+            t,
+            vec![
+                Token::Word("yes".into()),
+                Token::Pause(200),
+                Token::Word("no".into()),
+                Token::Pause(400),
+                Token::Word("maybe".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn consecutive_punctuation_single_pause() {
+        let t = normalize("wait... what");
+        let pauses = t.iter().filter(|t| matches!(t, Token::Pause(_))).count();
+        assert_eq!(pauses, 1);
+    }
+
+    #[test]
+    fn abbreviations_expand() {
+        assert_eq!(words(&normalize("Dr Smith")), vec!["doctor", "smith"]);
+        assert_eq!(words(&normalize("DEC")), vec!["deck"]);
+    }
+
+    #[test]
+    fn apostrophes_elide() {
+        assert_eq!(words(&normalize("don't")), vec!["dont"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert!(normalize("").is_empty());
+        assert!(words(&normalize("@#$%")).is_empty());
+    }
+}

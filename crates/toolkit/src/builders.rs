@@ -1,0 +1,326 @@
+//! LOUD-shape builders: auto-wiring for the common device structures.
+
+use da_alib::{AlibError, Connection};
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{CallState, Event, EventMask};
+use da_proto::ids::{LoudId, SoundId, VDeviceId};
+use da_proto::types::{Attribute, DeviceClass, WireType};
+use std::time::Duration;
+
+/// A playback structure: player wired to an output.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayLoud {
+    /// The root LOUD.
+    pub loud: LoudId,
+    /// The player device.
+    pub player: VDeviceId,
+    /// The output device.
+    pub output: VDeviceId,
+}
+
+impl PlayLoud {
+    /// Builds, wires and maps a playback LOUD; selects queue and device
+    /// events so callers can block on completion.
+    pub fn build(conn: &mut Connection, output_attrs: Vec<Attribute>) -> Result<Self, AlibError> {
+        let loud = conn.create_loud(None)?;
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![])?;
+        let output = conn.create_vdevice(loud, DeviceClass::Output, output_attrs)?;
+        conn.create_wire(player, 0, output, 0, WireType::Any)?;
+        conn.select_events(loud, EventMask::QUEUE | EventMask::LOUD_STATE)?;
+        conn.select_events(player, EventMask::DEVICE | EventMask::SYNC)?;
+        conn.map_loud(loud)?;
+        Ok(PlayLoud { loud, player, output })
+    }
+
+    /// Enqueues a play and starts the queue.
+    pub fn play(&self, conn: &mut Connection, sound: SoundId) -> Result<(), AlibError> {
+        conn.enqueue_cmd(self.loud, self.player, DeviceCommand::Play(sound))?;
+        conn.start_queue(self.loud)
+    }
+
+    /// Plays a sound and blocks until its `CommandDone` arrives.
+    pub fn play_blocking(
+        &self,
+        conn: &mut Connection,
+        sound: SoundId,
+        timeout: Duration,
+    ) -> Result<(), AlibError> {
+        self.play(conn, sound)?;
+        let loud = self.loud;
+        conn.wait_event(timeout, |e| {
+            matches!(e, Event::CommandDone { loud: l, .. } if *l == loud)
+        })?;
+        Ok(())
+    }
+
+    /// Stops playback immediately.
+    pub fn stop(&self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.stop_queue(self.loud)
+    }
+
+    /// Tears the structure down.
+    pub fn destroy(self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.destroy_loud(self.loud)
+    }
+}
+
+/// A recording structure: input wired to a recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordLoud {
+    /// The root LOUD.
+    pub loud: LoudId,
+    /// The input (microphone) device.
+    pub input: VDeviceId,
+    /// The recorder device.
+    pub recorder: VDeviceId,
+}
+
+impl RecordLoud {
+    /// Builds, wires and maps a recording LOUD.
+    pub fn build(conn: &mut Connection, input_attrs: Vec<Attribute>) -> Result<Self, AlibError> {
+        let loud = conn.create_loud(None)?;
+        let input = conn.create_vdevice(loud, DeviceClass::Input, input_attrs)?;
+        let recorder = conn.create_vdevice(loud, DeviceClass::Recorder, vec![])?;
+        conn.create_wire(input, 0, recorder, 0, WireType::Any)?;
+        conn.select_events(loud, EventMask::QUEUE | EventMask::LOUD_STATE)?;
+        conn.select_events(recorder, EventMask::DEVICE | EventMask::SYNC)?;
+        conn.map_loud(loud)?;
+        Ok(RecordLoud { loud, input, recorder })
+    }
+
+    /// Starts recording into `sound` until `termination`.
+    pub fn record(
+        &self,
+        conn: &mut Connection,
+        sound: SoundId,
+        termination: RecordTermination,
+    ) -> Result<(), AlibError> {
+        conn.enqueue_cmd(self.loud, self.recorder, DeviceCommand::Record(sound, termination))?;
+        conn.start_queue(self.loud)
+    }
+
+    /// Records until termination and blocks for the stop event; returns
+    /// the recorded frame count.
+    pub fn record_blocking(
+        &self,
+        conn: &mut Connection,
+        sound: SoundId,
+        termination: RecordTermination,
+        timeout: Duration,
+    ) -> Result<u64, AlibError> {
+        self.record(conn, sound, termination)?;
+        let rec = self.recorder;
+        let ev = conn.wait_event(timeout, |e| {
+            matches!(e, Event::RecordStopped { vdev, .. } if *vdev == rec)
+        })?;
+        match ev {
+            Event::RecordStopped { frames, .. } => Ok(frames),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Tears the structure down.
+    pub fn destroy(self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.destroy_loud(self.loud)
+    }
+}
+
+/// A telephone dialogue structure: synthesizer and player feeding the
+/// line, the line feeding a recorder; a recognizer can be attached for
+/// voice dialogues.
+#[derive(Debug, Clone, Copy)]
+pub struct PhoneLoud {
+    /// The root LOUD.
+    pub loud: LoudId,
+    /// The telephone device.
+    pub telephone: VDeviceId,
+    /// A player whose output reaches the caller.
+    pub player: VDeviceId,
+    /// A speech synthesizer whose output reaches the caller.
+    pub synth: VDeviceId,
+    /// A mixer combining player and synthesizer onto the line.
+    pub mixer: VDeviceId,
+    /// A recorder capturing the caller's audio.
+    pub recorder: VDeviceId,
+}
+
+impl PhoneLoud {
+    /// Builds the full telephone dialogue structure, mapped and with
+    /// events selected.
+    pub fn build(conn: &mut Connection, phone_attrs: Vec<Attribute>) -> Result<Self, AlibError> {
+        let loud = conn.create_loud(None)?;
+        let telephone = conn.create_vdevice(loud, DeviceClass::Telephone, phone_attrs)?;
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![])?;
+        let synth = conn.create_vdevice(loud, DeviceClass::SpeechSynthesizer, vec![])?;
+        let mixer = conn.create_vdevice(loud, DeviceClass::Mixer, vec![])?;
+        let recorder = conn.create_vdevice(loud, DeviceClass::Recorder, vec![])?;
+        conn.create_wire(player, 0, mixer, 0, WireType::Any)?;
+        conn.create_wire(synth, 0, mixer, 1, WireType::Any)?;
+        conn.create_wire(mixer, 0, telephone, 0, WireType::Any)?;
+        conn.create_wire(telephone, 0, recorder, 0, WireType::Any)?;
+        conn.select_events(loud, EventMask::QUEUE | EventMask::LOUD_STATE)?;
+        conn.select_events(telephone, EventMask::DEVICE)?;
+        conn.select_events(recorder, EventMask::DEVICE)?;
+        conn.map_loud(loud)?;
+        Ok(PhoneLoud { loud, telephone, player, synth, mixer, recorder })
+    }
+
+    /// Places a call and blocks until connected. Returns `false` when the
+    /// far end was busy or did not answer.
+    pub fn dial_blocking(
+        &self,
+        conn: &mut Connection,
+        number: &str,
+        timeout: Duration,
+    ) -> Result<bool, AlibError> {
+        conn.enqueue_cmd(self.loud, self.telephone, DeviceCommand::Dial(number.to_string()))?;
+        conn.start_queue(self.loud)?;
+        let tel = self.telephone;
+        let loud = self.loud;
+        let ev = conn.wait_event(timeout, |e| match e {
+            Event::CallProgress { device, state, .. } => {
+                *device == da_proto::ids::ResourceId::VDevice(tel)
+                    && matches!(
+                        state,
+                        CallState::Connected | CallState::Busy | CallState::NoAnswer
+                    )
+            }
+            Event::QueueStopped { loud: l, .. } => *l == loud,
+            _ => false,
+        })?;
+        Ok(matches!(ev, Event::CallProgress { state: CallState::Connected, .. }))
+    }
+
+    /// Waits for the line to ring, then answers.
+    pub fn answer_blocking(
+        &self,
+        conn: &mut Connection,
+        timeout: Duration,
+    ) -> Result<Option<String>, AlibError> {
+        let tel = self.telephone;
+        let ring = conn.wait_event(timeout, |e| {
+            matches!(
+                e,
+                Event::CallProgress { device, state: CallState::Ringing, .. }
+                    if *device == da_proto::ids::ResourceId::VDevice(tel)
+            )
+        })?;
+        let caller = match ring {
+            Event::CallProgress { caller_id, .. } => caller_id,
+            _ => None,
+        };
+        conn.enqueue_cmd(self.loud, self.telephone, DeviceCommand::Answer)?;
+        conn.start_queue(self.loud)?;
+        conn.wait_event(timeout, |e| {
+            matches!(
+                e,
+                Event::CallProgress { device, state: CallState::Connected, .. }
+                    if *device == da_proto::ids::ResourceId::VDevice(tel)
+            )
+        })?;
+        Ok(caller)
+    }
+
+    /// Speaks text to the connected caller, blocking until done.
+    pub fn speak_blocking(
+        &self,
+        conn: &mut Connection,
+        text: &str,
+        timeout: Duration,
+    ) -> Result<(), AlibError> {
+        conn.enqueue_cmd(self.loud, self.synth, DeviceCommand::SpeakText(text.to_string()))?;
+        conn.start_queue(self.loud)?;
+        let loud = self.loud;
+        let synth = self.synth;
+        conn.wait_event(timeout, |e| {
+            matches!(e, Event::CommandDone { loud: l, vdev, .. } if *l == loud && *vdev == synth)
+        })?;
+        Ok(())
+    }
+
+    /// Hangs up.
+    pub fn hang_up(&self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.immediate(self.telephone, DeviceCommand::Stop)
+    }
+
+    /// Tears the structure down.
+    pub fn destroy(self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.destroy_loud(self.loud)
+    }
+}
+
+/// The answering machine of paper §5.9: telephone, player and recorder,
+/// with the player feeding the line and the line feeding the recorder
+/// (Figures 5-2 through 5-4).
+#[derive(Debug, Clone, Copy)]
+pub struct AnsweringMachine {
+    /// The root LOUD.
+    pub loud: LoudId,
+    /// The telephone device.
+    pub telephone: VDeviceId,
+    /// The greeting/beep player.
+    pub player: VDeviceId,
+    /// The message recorder.
+    pub recorder: VDeviceId,
+}
+
+impl AnsweringMachine {
+    /// Builds the LOUD tree and wiring of Figure 5-3 (unmapped: "Since
+    /// most of the time the phone is not ringing, the LOUD can stay
+    /// unmapped").
+    pub fn build(conn: &mut Connection, phone_attrs: Vec<Attribute>) -> Result<Self, AlibError> {
+        let loud = conn.create_loud(None)?;
+        let telephone = conn.create_vdevice(loud, DeviceClass::Telephone, phone_attrs)?;
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![])?;
+        let recorder = conn.create_vdevice(loud, DeviceClass::Recorder, vec![])?;
+        // Player output -> telephone input (the greeting reaches the
+        // caller); telephone output -> recorder input (the message is
+        // stored).
+        conn.create_wire(player, 0, telephone, 0, WireType::Any)?;
+        conn.create_wire(telephone, 0, recorder, 0, WireType::Any)?;
+        conn.select_events(loud, EventMask::QUEUE | EventMask::LOUD_STATE)?;
+        conn.select_events(telephone, EventMask::DEVICE)?;
+        conn.select_events(recorder, EventMask::DEVICE)?;
+        Ok(AnsweringMachine { loud, telephone, player, recorder })
+    }
+
+    /// Preloads the answering script (Figure 5-4): answer, play the
+    /// greeting, play the beep, record the message.
+    pub fn arm(
+        &self,
+        conn: &mut Connection,
+        greeting: SoundId,
+        beep: SoundId,
+        message: SoundId,
+        termination: RecordTermination,
+    ) -> Result<(), AlibError> {
+        conn.enqueue(
+            self.loud,
+            vec![
+                da_proto::QueueEntry::Device { vdev: self.telephone, cmd: DeviceCommand::Answer },
+                da_proto::QueueEntry::Device { vdev: self.player, cmd: DeviceCommand::Play(greeting) },
+                da_proto::QueueEntry::Device { vdev: self.player, cmd: DeviceCommand::Play(beep) },
+                da_proto::QueueEntry::Device {
+                    vdev: self.recorder,
+                    cmd: DeviceCommand::Record(message, termination),
+                },
+            ],
+        )
+    }
+
+    /// On an incoming ring: raise, map and start the preloaded queue
+    /// (paper §5.9: "the application would raise the LOUD to the top of
+    /// the active stack, map it and start the queue").
+    pub fn engage(&self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.map_loud(self.loud)?;
+        conn.raise_loud(self.loud)?;
+        conn.start_queue(self.loud)
+    }
+
+    /// After the call: stop the queue and unmap, ready for the next call.
+    pub fn disengage(&self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.stop_queue(self.loud)?;
+        conn.immediate(self.telephone, DeviceCommand::Stop)?;
+        conn.unmap_loud(self.loud)
+    }
+}

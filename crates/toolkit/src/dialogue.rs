@@ -1,0 +1,146 @@
+//! Touch-tone dialogues.
+//!
+//! Telephone-based access — voice mail menus, "dial by name" (paper
+//! §1.2) — is built from spoken prompts and DTMF input. The toolkit's
+//! dialogue helpers provide the mechanism; the application provides the
+//! menu structure (policy).
+
+use crate::builders::PhoneLoud;
+use da_alib::{AlibError, Connection};
+use da_proto::event::Event;
+use da_proto::ids::ResourceId;
+use std::time::Duration;
+
+/// One option of a touch-tone menu.
+#[derive(Debug, Clone)]
+pub struct MenuOption {
+    /// The DTMF key selecting this option.
+    pub key: u8,
+    /// Spoken description ("press one for new messages").
+    pub description: String,
+}
+
+/// A touch-tone menu runnable over a connected call.
+#[derive(Debug, Clone)]
+pub struct TouchToneMenu {
+    /// Spoken introduction.
+    pub intro: String,
+    /// Selectable options.
+    pub options: Vec<MenuOption>,
+    /// How long to wait for a key after the prompt.
+    pub input_timeout: Duration,
+    /// Attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl TouchToneMenu {
+    /// Creates a menu with defaults (10 s input timeout, 3 attempts).
+    pub fn new(intro: &str) -> Self {
+        TouchToneMenu {
+            intro: intro.to_string(),
+            options: Vec::new(),
+            input_timeout: Duration::from_secs(10),
+            max_attempts: 3,
+        }
+    }
+
+    /// Adds an option.
+    pub fn option(mut self, key: u8, description: &str) -> Self {
+        self.options.push(MenuOption { key, description: description.to_string() });
+        self
+    }
+
+    /// The full prompt text (intro plus option descriptions).
+    pub fn prompt_text(&self) -> String {
+        let mut text = self.intro.clone();
+        for opt in &self.options {
+            text.push_str(". ");
+            text.push_str(&opt.description);
+        }
+        text
+    }
+
+    /// Whether a key is one of the menu's options.
+    pub fn valid(&self, key: u8) -> bool {
+        self.options.iter().any(|o| o.key == key)
+    }
+
+    /// Runs the menu over a connected call: speak the prompt, wait for a
+    /// valid key, repeat up to `max_attempts`. Returns the selected key,
+    /// or `None` if the caller never chose.
+    pub fn run(
+        &self,
+        conn: &mut Connection,
+        phone: &PhoneLoud,
+    ) -> Result<Option<u8>, AlibError> {
+        for _ in 0..self.max_attempts {
+            phone.speak_blocking(conn, &self.prompt_text(), Duration::from_secs(60))?;
+            // Collect DTMF until timeout or valid key.
+            let deadline = std::time::Instant::now() + self.input_timeout;
+            loop {
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                let tel = phone.telephone;
+                let ev = conn.next_event(left.min(Duration::from_millis(50)))?;
+                if let Some(Event::DtmfReceived { device, digit }) = ev {
+                    if device == ResourceId::VDevice(tel) && self.valid(digit) {
+                        return Ok(Some(digit));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Collects a fixed number of DTMF digits from a connected call (e.g. an
+/// extension or mailbox number).
+pub fn collect_digits(
+    conn: &mut Connection,
+    phone: &PhoneLoud,
+    count: usize,
+    timeout: Duration,
+) -> Result<Option<String>, AlibError> {
+    let mut digits = String::new();
+    let deadline = std::time::Instant::now() + timeout;
+    while digits.len() < count {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            return Ok(None);
+        }
+        let tel = phone.telephone;
+        let ev = conn.next_event(left.min(Duration::from_millis(50)))?;
+        if let Some(Event::DtmfReceived { device, digit }) = ev {
+            if device == ResourceId::VDevice(tel) {
+                digits.push(digit as char);
+            }
+        }
+    }
+    Ok(Some(digits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_concatenates_options() {
+        let m = TouchToneMenu::new("main menu")
+            .option(b'1', "press one for messages")
+            .option(b'2', "press two to record");
+        let p = m.prompt_text();
+        assert!(p.starts_with("main menu"));
+        assert!(p.contains("press one"));
+        assert!(p.contains("press two"));
+    }
+
+    #[test]
+    fn validity() {
+        let m = TouchToneMenu::new("x").option(b'1', "one").option(b'#', "pound");
+        assert!(m.valid(b'1'));
+        assert!(m.valid(b'#'));
+        assert!(!m.valid(b'9'));
+    }
+}

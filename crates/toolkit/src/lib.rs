@@ -1,0 +1,24 @@
+//! The audio toolkit: policy-free building blocks above Alib.
+//!
+//! "We have built a toolkit that sits on top of Alib. The goals of the
+//! toolkit are to: hide or automate wiring of devices for greater
+//! portability, hide the location and format of sound data, hide and
+//! manage device queue management, and provide mechanisms for
+//! synchronizing audio with other media" (paper §4.2). The toolkit is
+//! policy free: it provides mechanism, not interaction style.
+//!
+//! - [`builders`] — one-call construction of the common LOUD shapes:
+//!   playback, recording, telephone dialogues, and the §5.9 answering
+//!   machine;
+//! - [`sounds`] — format-hiding sound handles (PCM in, any encoding up);
+//! - [`soundviewer`] — the Figure 6-1 Soundviewer as a headless model
+//!   driven by synchronization events;
+//! - [`dialogue`] — touch-tone menus for telephone-based interfaces;
+//! - [`manager`] — a reference audio manager enforcing contention policy
+//!   through map/raise redirection (paper §4.3, §5.8).
+
+pub mod builders;
+pub mod dialogue;
+pub mod manager;
+pub mod soundviewer;
+pub mod sounds;

@@ -1,0 +1,156 @@
+//! A reference audio manager.
+//!
+//! "Because the audio protocol allows multiple clients to access the
+//! audio hardware simultaneously, an application similar to a window
+//! manager is needed to enforce contention policy. We call this the audio
+//! manager" (paper §4.3). This client claims map/raise redirection
+//! (paper §5.8) and arbitrates with a pluggable policy.
+
+use da_alib::{AlibError, Connection};
+use da_proto::event::Event;
+use da_proto::ids::{ClientId, LoudId};
+use std::time::Duration;
+
+/// What the manager decides about a redirected request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the operation proceed.
+    Allow,
+    /// Silently refuse the operation.
+    Deny,
+}
+
+/// Contention policy: inspects the requesting client and LOUD.
+pub trait MapPolicy: Send {
+    /// Decides a redirected map request.
+    fn on_map(&mut self, loud: LoudId, client: ClientId) -> Verdict;
+
+    /// Decides a redirected raise request.
+    fn on_raise(&mut self, loud: LoudId, client: ClientId) -> Verdict;
+}
+
+/// The permissive default policy: everything is allowed (the protocol's
+/// "sensible defaults in the absence of an audio manager" made explicit).
+#[derive(Debug, Default)]
+pub struct AllowAll;
+
+impl MapPolicy for AllowAll {
+    fn on_map(&mut self, _loud: LoudId, _client: ClientId) -> Verdict {
+        Verdict::Allow
+    }
+
+    fn on_raise(&mut self, _loud: LoudId, _client: ClientId) -> Verdict {
+        Verdict::Allow
+    }
+}
+
+/// A quota policy: each client may hold at most `max_mapped` mapped
+/// LOUDs; raises are always allowed.
+#[derive(Debug)]
+pub struct QuotaPolicy {
+    /// Maximum simultaneously mapped LOUDs per client.
+    pub max_mapped: usize,
+    mapped: std::collections::HashMap<u32, Vec<u32>>,
+}
+
+impl QuotaPolicy {
+    /// Creates a quota policy.
+    pub fn new(max_mapped: usize) -> Self {
+        QuotaPolicy { max_mapped, mapped: Default::default() }
+    }
+}
+
+impl MapPolicy for QuotaPolicy {
+    fn on_map(&mut self, loud: LoudId, client: ClientId) -> Verdict {
+        let entry = self.mapped.entry(client.0).or_default();
+        if entry.len() >= self.max_mapped {
+            return Verdict::Deny;
+        }
+        entry.push(loud.0);
+        Verdict::Allow
+    }
+
+    fn on_raise(&mut self, _loud: LoudId, _client: ClientId) -> Verdict {
+        Verdict::Allow
+    }
+}
+
+/// Outcome counters from one processing pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Map requests allowed.
+    pub maps_allowed: u64,
+    /// Map requests denied.
+    pub maps_denied: u64,
+    /// Raise requests allowed.
+    pub raises_allowed: u64,
+    /// Raise requests denied.
+    pub raises_denied: u64,
+}
+
+/// The audio manager client.
+pub struct AudioManager<P: MapPolicy> {
+    policy: P,
+    stats: ManagerStats,
+}
+
+impl<P: MapPolicy> AudioManager<P> {
+    /// Claims redirection on the connection and returns the manager.
+    pub fn attach(conn: &mut Connection, policy: P) -> Result<Self, AlibError> {
+        conn.set_redirect(true)?;
+        // Synchronise so a racing second manager gets its error now.
+        conn.sync()?;
+        if let Some((_, error)) = conn.take_error() {
+            return Err(AlibError::Server { seq: 0, error });
+        }
+        Ok(AudioManager { policy, stats: ManagerStats::default() })
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// Processes redirected requests for up to `window`; returns how many
+    /// were handled.
+    pub fn process(&mut self, conn: &mut Connection, window: Duration) -> Result<usize, AlibError> {
+        let deadline = std::time::Instant::now() + window;
+        let mut handled = 0;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Ok(handled);
+            }
+            let ev = conn.next_event(left.min(Duration::from_millis(20)))?;
+            match ev {
+                Some(Event::MapRequest { loud, client }) => {
+                    match self.policy.on_map(loud, client) {
+                        Verdict::Allow => {
+                            conn.allow_map(loud)?;
+                            self.stats.maps_allowed += 1;
+                        }
+                        Verdict::Deny => self.stats.maps_denied += 1,
+                    }
+                    handled += 1;
+                }
+                Some(Event::RaiseRequest { loud, client }) => {
+                    match self.policy.on_raise(loud, client) {
+                        Verdict::Allow => {
+                            conn.allow_raise(loud)?;
+                            self.stats.raises_allowed += 1;
+                        }
+                        Verdict::Deny => self.stats.raises_denied += 1,
+                    }
+                    handled += 1;
+                }
+                Some(_) => {}
+                None => {}
+            }
+        }
+    }
+
+    /// Releases redirection.
+    pub fn detach(self, conn: &mut Connection) -> Result<(), AlibError> {
+        conn.set_redirect(false)
+    }
+}

@@ -1,0 +1,96 @@
+//! Format-hiding sound handles.
+//!
+//! The toolkit hides "the location and format of sound data" (paper
+//! §4.2): applications hand over linear PCM, WAV bytes or a catalogue
+//! name and get a playable [`SoundHandle`].
+
+use da_alib::{AlibError, Connection};
+use da_proto::ids::SoundId;
+use da_proto::types::{Encoding, SoundType};
+use std::time::Duration;
+
+/// A sound living on the server, with its type remembered client-side.
+#[derive(Debug, Clone, Copy)]
+pub struct SoundHandle {
+    /// The server-side sound id.
+    pub id: SoundId,
+    /// The sound's type.
+    pub stype: SoundType,
+    /// Length in sample frames at upload time.
+    pub frames: u64,
+}
+
+impl SoundHandle {
+    /// Uploads linear PCM, letting the toolkit pick the telephone-quality
+    /// default representation.
+    pub fn from_pcm(conn: &mut Connection, rate: u32, pcm: &[i16]) -> Result<Self, AlibError> {
+        let stype = SoundType { encoding: Encoding::ULaw, sample_rate: rate, channels: 1 };
+        Self::from_pcm_typed(conn, stype, pcm)
+    }
+
+    /// Uploads linear PCM into a specific sound type.
+    pub fn from_pcm_typed(
+        conn: &mut Connection,
+        stype: SoundType,
+        pcm: &[i16],
+    ) -> Result<Self, AlibError> {
+        let id = conn.upload_pcm(stype, pcm)?;
+        Ok(SoundHandle { id, stype, frames: pcm.len() as u64 / stype.channels.max(1) as u64 })
+    }
+
+    /// Uploads the contents of a RIFF/WAVE file.
+    pub fn from_wav(conn: &mut Connection, wav_bytes: &[u8]) -> Result<Self, AlibError> {
+        let wav = da_dsp::wav::decode(wav_bytes)
+            .map_err(|e| AlibError::Connection(format!("bad wav: {e}")))?;
+        let stype = SoundType {
+            encoding: Encoding::Pcm16,
+            sample_rate: wav.sample_rate,
+            channels: wav.channels.min(255) as u8,
+        };
+        Self::from_pcm_typed(conn, stype, &wav.samples)
+    }
+
+    /// Binds a server catalogue sound.
+    pub fn from_catalog(
+        conn: &mut Connection,
+        catalog: &str,
+        name: &str,
+    ) -> Result<Self, AlibError> {
+        let id = conn.open_catalog_sound(catalog, name)?;
+        let (stype, _bytes, frames, _complete) = conn.query_sound(id)?;
+        Ok(SoundHandle { id, stype, frames })
+    }
+
+    /// Wraps an existing sound id, querying its metadata.
+    pub fn wrap(conn: &mut Connection, id: SoundId) -> Result<Self, AlibError> {
+        let (stype, _bytes, frames, _complete) = conn.query_sound(id)?;
+        Ok(SoundHandle { id, stype, frames })
+    }
+
+    /// Downloads the sound and decodes it to linear PCM.
+    pub fn download_pcm(&self, conn: &mut Connection) -> Result<Vec<i16>, AlibError> {
+        let data = conn.read_sound_all(self.id)?;
+        Ok(da_alib::connection::decode_from(self.stype, &data))
+    }
+
+    /// Downloads the sound as a PCM-16 WAV file.
+    pub fn download_wav(&self, conn: &mut Connection) -> Result<Vec<u8>, AlibError> {
+        let pcm = self.download_pcm(conn)?;
+        Ok(da_dsp::wav::encode_pcm16(self.stype.sample_rate, self.stype.channels as u16, &pcm))
+    }
+
+    /// The sound's duration.
+    pub fn duration(&self) -> Duration {
+        if self.stype.sample_rate == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.frames * 1_000_000 / self.stype.sample_rate as u64)
+    }
+
+    /// Refreshes the cached frame count (after recording into the sound).
+    pub fn refresh(&mut self, conn: &mut Connection) -> Result<(), AlibError> {
+        let (_, _, frames, _) = conn.query_sound(self.id)?;
+        self.frames = frames;
+        Ok(())
+    }
+}

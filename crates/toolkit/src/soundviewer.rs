@@ -1,0 +1,230 @@
+//! The Soundviewer model.
+//!
+//! The paper's prototype includes "a graphical sound viewer widget ...
+//! The widget displays a continually updated bar graph as a sound is
+//! played. Audio server synchronization events are used to control the
+//! graphics" (paper §6, Figure 6-1). This is that widget as a headless
+//! model: it consumes [`da_proto::event::Event::SyncMark`] events and
+//! maintains playhead, tick marks and a selection; `render_ascii`
+//! produces the bar graph for terminal applications (the examples use
+//! it), and a GUI would read the same state.
+
+use da_proto::event::Event;
+use da_proto::ids::{SoundId, VDeviceId};
+
+/// Display modes of the Soundviewer (Figure 6-1 shows several).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DisplayMode {
+    /// A filled bar up to the playhead.
+    #[default]
+    Bar,
+    /// Tick marks every second with a moving cursor.
+    Ticks,
+}
+
+/// The Soundviewer model.
+#[derive(Debug, Clone)]
+pub struct Soundviewer {
+    /// The device whose sync marks drive this view.
+    pub vdev: VDeviceId,
+    /// The sound being viewed, if known.
+    pub sound: Option<SoundId>,
+    /// Total length in frames.
+    pub total_frames: u64,
+    /// Sample rate (for tick marks).
+    pub sample_rate: u32,
+    /// Current playhead position in frames.
+    pub position: u64,
+    /// Selected region (start, end) in frames, if any — "a part of the
+    /// sound that has been selected, to be pasted into another
+    /// application" (paper §6).
+    pub selection: Option<(u64, u64)>,
+    /// Display mode.
+    pub mode: DisplayMode,
+    /// Sync marks consumed.
+    pub marks_seen: u64,
+}
+
+impl Soundviewer {
+    /// Creates a viewer for a device playing a sound of `total_frames`.
+    pub fn new(vdev: VDeviceId, total_frames: u64, sample_rate: u32) -> Self {
+        Soundviewer {
+            vdev,
+            sound: None,
+            total_frames,
+            sample_rate,
+            position: 0,
+            selection: None,
+            mode: DisplayMode::default(),
+            marks_seen: 0,
+        }
+    }
+
+    /// Feeds one server event; returns `true` if the view changed.
+    pub fn handle_event(&mut self, event: &Event) -> bool {
+        match event {
+            Event::SyncMark { vdev, sound, position, .. } if *vdev == self.vdev => {
+                self.sound = *sound;
+                self.position = (*position).min(self.total_frames);
+                self.marks_seen += 1;
+                true
+            }
+            Event::PlayStarted { vdev, sound } if *vdev == self.vdev => {
+                self.sound = Some(*sound);
+                self.position = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fraction played, 0.0–1.0.
+    pub fn fraction(&self) -> f64 {
+        if self.total_frames == 0 {
+            return 0.0;
+        }
+        self.position as f64 / self.total_frames as f64
+    }
+
+    /// Selects a region by frame indices (clamped and ordered).
+    pub fn select(&mut self, start: u64, end: u64) {
+        let a = start.min(end).min(self.total_frames);
+        let b = start.max(end).min(self.total_frames);
+        self.selection = if a == b { None } else { Some((a, b)) };
+    }
+
+    /// Clears the selection.
+    pub fn clear_selection(&mut self) {
+        self.selection = None;
+    }
+
+    /// Renders the bar graph, `width` characters wide.
+    ///
+    /// Played material is `█`, unplayed `·`, the selection is marked with
+    /// `▒` (overlaying unplayed) — the darkened area and dashed selection
+    /// of Figure 6-1.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(4);
+        let mut chars: Vec<char> = Vec::with_capacity(width);
+        let frames_per_cell = (self.total_frames.max(1) as f64) / width as f64;
+        for i in 0..width {
+            let cell_start = (i as f64 * frames_per_cell) as u64;
+            let cell_mid = ((i as f64 + 0.5) * frames_per_cell) as u64;
+            let selected = self
+                .selection
+                .map(|(a, b)| cell_mid >= a && cell_mid < b)
+                .unwrap_or(false);
+            let played = cell_start < self.position;
+            let tick = match self.mode {
+                DisplayMode::Ticks => {
+                    let sec = self.sample_rate.max(1) as f64;
+                    let cell_secs_start = cell_start as f64 / sec;
+                    let cell_secs_end = (cell_start as f64 + frames_per_cell) / sec;
+                    cell_secs_start.ceil() < cell_secs_end.ceil()
+                        || (cell_secs_start == 0.0 && i == 0)
+                }
+                DisplayMode::Bar => false,
+            };
+            chars.push(match (selected, played, tick) {
+                (true, _, _) => '▒',
+                (false, true, _) => '█',
+                (false, false, true) => '|',
+                (false, false, false) => '·',
+            });
+        }
+        let secs = self.total_frames as f64 / self.sample_rate.max(1) as f64;
+        format!("[{}] {:>4.1}s {:>3.0}%", chars.into_iter().collect::<String>(), secs, self.fraction() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(vdev: u32, pos: u64) -> Event {
+        Event::SyncMark {
+            vdev: VDeviceId(vdev),
+            sound: Some(SoundId(9)),
+            position: pos,
+            device_time: 0,
+        }
+    }
+
+    #[test]
+    fn tracks_sync_marks() {
+        let mut v = Soundviewer::new(VDeviceId(1), 8000, 8000);
+        assert!(v.handle_event(&mark(1, 800)));
+        assert_eq!(v.position, 800);
+        assert!((v.fraction() - 0.1).abs() < 1e-9);
+        assert!(v.handle_event(&mark(1, 4000)));
+        assert_eq!(v.marks_seen, 2);
+    }
+
+    #[test]
+    fn ignores_other_devices() {
+        let mut v = Soundviewer::new(VDeviceId(1), 8000, 8000);
+        assert!(!v.handle_event(&mark(2, 800)));
+        assert_eq!(v.position, 0);
+    }
+
+    #[test]
+    fn position_clamped_to_total() {
+        let mut v = Soundviewer::new(VDeviceId(1), 100, 8000);
+        v.handle_event(&mark(1, 5000));
+        assert_eq!(v.position, 100);
+        assert_eq!(v.fraction(), 1.0);
+    }
+
+    #[test]
+    fn play_started_resets() {
+        let mut v = Soundviewer::new(VDeviceId(1), 8000, 8000);
+        v.handle_event(&mark(1, 4000));
+        assert!(v.handle_event(&Event::PlayStarted { vdev: VDeviceId(1), sound: SoundId(3) }));
+        assert_eq!(v.position, 0);
+        assert_eq!(v.sound, Some(SoundId(3)));
+    }
+
+    #[test]
+    fn bar_rendering_progresses() {
+        let mut v = Soundviewer::new(VDeviceId(1), 1000, 8000);
+        let empty = v.render_ascii(20);
+        assert!(!empty.contains('█'));
+        v.handle_event(&mark(1, 500));
+        let half = v.render_ascii(20);
+        let filled = half.chars().filter(|&c| c == '█').count();
+        assert!((9..=11).contains(&filled), "{half}");
+        v.handle_event(&mark(1, 1000));
+        let full = v.render_ascii(20);
+        assert_eq!(full.chars().filter(|&c| c == '█').count(), 20);
+        assert!(full.contains("100%"));
+    }
+
+    #[test]
+    fn selection_renders_and_clamps() {
+        let mut v = Soundviewer::new(VDeviceId(1), 1000, 8000);
+        v.select(900, 200); // reversed and partly out of range
+        assert_eq!(v.selection, Some((200, 900)));
+        let s = v.render_ascii(10);
+        assert!(s.contains('▒'), "{s}");
+        v.select(5, 5);
+        assert_eq!(v.selection, None);
+        v.clear_selection();
+        assert_eq!(v.selection, None);
+    }
+
+    #[test]
+    fn tick_mode_marks_seconds() {
+        let mut v = Soundviewer::new(VDeviceId(1), 8000 * 4, 8000);
+        v.mode = DisplayMode::Ticks;
+        let s = v.render_ascii(40);
+        assert!(s.contains('|'), "{s}");
+    }
+
+    #[test]
+    fn zero_length_sound_is_safe() {
+        let v = Soundviewer::new(VDeviceId(1), 0, 8000);
+        assert_eq!(v.fraction(), 0.0);
+        let s = v.render_ascii(8);
+        assert!(s.contains("0%") || s.contains("  0%"), "{s}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The answering machine of paper §5.9, end to end.
+//!
+//! Builds the exact LOUD tree of Figures 5-2/5-3, preloads the command
+//! queue of Figure 5-4 (answer → greeting → beep → record), monitors the
+//! device-LOUD telephone for rings while unmapped, and services two
+//! complete incoming calls — one that leaves a message and one that hangs
+//! up mid-greeting (the paper's exception case).
+//!
+//! Run with `cargo run -p da-examples --bin answering_machine`.
+
+use da_alib::Connection;
+use da_proto::command::RecordTermination;
+use da_proto::event::{CallState, Event, EventMask};
+use da_proto::types::{DeviceClass, SoundType};
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::AnsweringMachine;
+use da_toolkit::sounds::SoundHandle;
+use std::time::Duration;
+
+fn main() {
+    let server = AudioServer::start(ServerConfig::default()).expect("start server");
+    let control = server.control();
+    let mut conn = Connection::establish(server.connect_pipe(), "answering-machine")
+        .expect("connect");
+
+    // The greeting is synthesized text — in 1991 this would have come
+    // from the DECtalk; here the software synthesizer speaks it.
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let greeting_pcm = tts.speak("you have reached five five five. please leave a message");
+    let greeting = SoundHandle::from_pcm(&mut conn, 8000, &greeting_pcm).expect("greeting");
+    let beep = SoundHandle::from_catalog(&mut conn, "system", "beep").expect("beep");
+    println!(
+        "greeting: {} frames; beep: {} frames",
+        greeting.frames, beep.frames
+    );
+
+    // Build the §5.9 structure (stays unmapped between calls).
+    let am = AnsweringMachine::build(&mut conn, vec![]).expect("build");
+
+    // Monitor the device-LOUD telephone: "Because the answering machine
+    // LOUD is unmapped, the application cannot tell, from the LOUD, if
+    // the telephone rings. Therefore it monitors the device LOUD
+    // telephone" (§5.9 footnote).
+    let (devices, _) = conn.query_device_loud().expect("device loud");
+    let phone_dev =
+        devices.iter().find(|d| d.class == DeviceClass::Telephone).expect("telephone");
+    conn.select_events(phone_dev.id, EventMask::DEVICE).expect("select");
+    conn.sync().expect("sync");
+
+    let wait_frames = (greeting.frames + beep.frames + 4000) as usize;
+    for call_no in 1..=2 {
+        // Script the outside world.
+        let caller_number = format!("555-010{call_no}");
+        let caller = control.add_remote_party(&caller_number);
+        control.with_party(caller, |p, pstn| {
+            if call_no == 1 {
+                // Waits out the greeting and beep, speaks for 1.5 s,
+                // hangs up.
+                p.say(&vec![0i16; wait_frames]);
+                p.say(&da_dsp::tone::sine(8000, 350.0, 12000, 12000));
+            }
+            // Call 2 says nothing and will hang up mid-greeting.
+            p.call(pstn, "555-0100");
+        });
+
+        // Wait for the ring (device LOUD).
+        let ring = conn
+            .wait_event(Duration::from_secs(20), |e| {
+                matches!(e, Event::CallProgress { state: CallState::Ringing, .. })
+            })
+            .expect("ring");
+        if let Event::CallProgress { caller_id, .. } = &ring {
+            println!("call {call_no}: ringing, caller id {caller_id:?}");
+        }
+
+        // Arm the queue for THIS call and engage.
+        let message = conn.create_sound(SoundType::TELEPHONE).expect("message sound");
+        am.arm(&mut conn, greeting.id, beep.id, message, RecordTermination::OnHangup)
+            .expect("arm");
+        am.engage(&mut conn).expect("engage");
+
+        if call_no == 2 {
+            // The impatient caller hangs up one second into the greeting.
+            control.run_until(Duration::from_secs(10), |c| c.device_time > 0);
+            std::thread::sleep(Duration::from_millis(30));
+            control.with_party(caller, |p, pstn| p.hang_up(pstn));
+            println!("call {call_no}: caller hung up early");
+            // The application sees the hangup and resets (the paper's
+            // exception handling: "The caller may hang up before the
+            // beep is played").
+            let _ = conn.wait_event(Duration::from_secs(20), |e| {
+                matches!(e, Event::CallProgress { state: CallState::HungUp, .. })
+                    | matches!(e, Event::RecordStopped { .. })
+            });
+            am.disengage(&mut conn).expect("disengage");
+            conn.sync().expect("sync");
+            continue;
+        }
+
+        // Normal call: caller hangs up after speaking.
+        control.run_until(Duration::from_secs(60), |c| {
+            c.remote_parties[caller].pending_say() == 0
+        });
+        control.with_party(caller, |p, pstn| p.hang_up(pstn));
+
+        let stopped = conn
+            .wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+            .expect("record stop");
+        if let Event::RecordStopped { frames, reason, .. } = stopped {
+            println!("call {call_no}: message recorded, {frames} frames, ended by {reason:?}");
+        }
+        let handle = SoundHandle::wrap(&mut conn, message).expect("wrap");
+        let pcm = handle.download_pcm(&mut conn).expect("download");
+        println!(
+            "call {call_no}: message RMS {:.0}, dominant energy at 350 Hz: {:.0}",
+            da_dsp::analysis::rms(&pcm),
+            da_dsp::analysis::goertzel_power(&pcm, 8000, 350.0),
+        );
+        am.disengage(&mut conn).expect("disengage");
+        // Let the hang-up reach the line before the next call arrives.
+        conn.sync().expect("sync");
+        control.run_until(Duration::from_secs(10), |c| {
+            use da_hw::registry::HwSlot;
+            match c.hw.slot(2) {
+                Some(HwSlot::Line(l)) => {
+                    c.hw.pstn.state(l) == da_hw::pstn::LineState::OnHook
+                }
+                _ => true,
+            }
+        });
+    }
+
+    server.shutdown();
+    println!("done: two calls serviced");
+}

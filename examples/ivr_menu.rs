@@ -1,0 +1,68 @@
+//! Telephone-based remote access with a touch-tone menu (paper §1.2).
+//!
+//! "Speech synthesis and recognition allow for remote, telephone-based
+//! access to information accessible by the workstation." A remote user
+//! calls the workstation; the application answers, speaks a menu, and
+//! reacts to DTMF selections — the voice-mail-by-phone pattern.
+//!
+//! Run with `cargo run -p da-examples --bin ivr_menu`.
+
+use da_alib::Connection;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PhoneLoud;
+use da_toolkit::dialogue::TouchToneMenu;
+use std::time::Duration;
+
+fn main() {
+    let server = AudioServer::start(ServerConfig::default()).expect("start server");
+    let control = server.control();
+    let mut conn = Connection::establish(server.connect_pipe(), "ivr").expect("connect");
+
+    let phone = PhoneLoud::build(&mut conn, vec![]).expect("phone loud");
+    conn.sync().expect("sync");
+
+    // The remote user: calls in, listens to the prompt, presses 2.
+    let user = control.add_remote_party("555-4242");
+    control.with_party(user, |p, pstn| {
+        // The menu prompt is ~8 s of synthesized speech; wait it out,
+        // then press a key.
+        p.say(&vec![0i16; 8000 * 9]);
+        p.send_dtmf("2");
+        p.call(pstn, "555-0100");
+    });
+
+    // Answer the incoming call.
+    let caller_id = phone.answer_blocking(&mut conn, Duration::from_secs(30)).expect("answer");
+    println!("answered call from {caller_id:?}");
+
+    // Run the menu.
+    let menu = TouchToneMenu::new("workstation remote access")
+        .option(b'1', "press one to hear new mail")
+        .option(b'2', "press two for your calendar")
+        .option(b'3', "press three to hang up");
+    let choice = menu.run(&mut conn, &phone).expect("menu");
+    println!("caller chose {:?}", choice.map(|c| c as char));
+
+    match choice {
+        Some(b'1') => {
+            phone
+                .speak_blocking(&mut conn, "you have no new mail", Duration::from_secs(60))
+                .expect("speak");
+        }
+        Some(b'2') => {
+            phone
+                .speak_blocking(
+                    &mut conn,
+                    "your next appointment is at three pm",
+                    Duration::from_secs(60),
+                )
+                .expect("speak");
+            println!("read the calendar to the caller");
+        }
+        _ => println!("no valid selection"),
+    }
+
+    phone.hang_up(&mut conn).expect("hang up");
+    server.shutdown();
+    println!("done");
+}

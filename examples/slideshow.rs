@@ -1,0 +1,84 @@
+//! A narrated slide show (paper §1.2, §5.7).
+//!
+//! "Stored voice can be used more formally as an essential component of
+//! multi-media presentations"; §5.7's example application "displaying a
+//! set of images while playing a stored digital sound track ... monitors
+//! the audio server synchronization events on the sound track, and uses
+//! them to time the update of the display." The display here is the
+//! terminal; the mechanism is exactly the paper's.
+//!
+//! Run with `cargo run -p da-examples --bin slideshow`.
+
+use da_alib::Connection;
+use da_proto::event::Event;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PlayLoud;
+use da_toolkit::soundviewer::Soundviewer;
+use da_toolkit::sounds::SoundHandle;
+use std::time::Duration;
+
+const SLIDES: [&str; 4] = [
+    "[slide 1] desktop audio: a unified view",
+    "[slide 2] the client-server model",
+    "[slide 3] LOUDs, wires and command queues",
+    "[slide 4] seamless real-time playback",
+];
+
+fn main() {
+    let server = AudioServer::start(ServerConfig::default()).expect("start server");
+    let mut conn = Connection::establish(server.connect_pipe(), "slideshow").expect("connect");
+
+    // The narration track: one synthesized sentence per slide, recorded
+    // into a single sound with slide boundaries noted in frames.
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let narration = [
+        "welcome to desktop audio",
+        "a single server shares the hardware among many applications",
+        "virtual devices are wired into logical audio devices",
+        "command queues keep playback seamless",
+    ];
+    let mut track: Vec<i16> = Vec::new();
+    let mut boundaries = Vec::new();
+    for text in narration {
+        boundaries.push(track.len() as u64);
+        track.extend(tts.speak(text));
+        track.extend(std::iter::repeat_n(0i16, 2000)); // a beat between slides
+    }
+    let total = track.len() as u64;
+    let sound = SoundHandle::from_pcm(&mut conn, 8000, &track).expect("upload");
+    println!(
+        "narration: {:.1} s, slide boundaries at {:?} frames\n",
+        total as f64 / 8000.0,
+        boundaries
+    );
+
+    let play = PlayLoud::build(&mut conn, vec![]).expect("play loud");
+    let mut viewer = Soundviewer::new(play.player, total, 8000);
+    let mut current = usize::MAX;
+
+    play.play(&mut conn, sound.id).expect("play");
+    loop {
+        match conn.next_event(Duration::from_secs(15)).expect("event") {
+            Some(Event::SyncMark { position, .. }) => {
+                viewer.handle_event(&Event::SyncMark {
+                    vdev: play.player,
+                    sound: Some(sound.id),
+                    position,
+                    device_time: 0,
+                });
+                // The display slaves to the audio position.
+                let slide = boundaries.iter().take_while(|&&b| b <= position).count() - 1;
+                if slide != current {
+                    current = slide;
+                    println!("{}", SLIDES[slide]);
+                }
+                println!("  {}", viewer.render_ascii(44));
+            }
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    println!("\npresentation complete ({} sync marks)", viewer.marks_seen);
+    server.shutdown();
+}

@@ -1,0 +1,73 @@
+//! A graphical speed dialer / address book (paper §1.2).
+//!
+//! "With the ability to control the telephone, a workstation can be used
+//! to place calls from graphical speed dialers, an address book..."
+//! This example keeps an address book, places calls through the server's
+//! telephone device, reports call progress, and handles the busy and
+//! no-answer outcomes.
+//!
+//! Run with `cargo run -p da-examples --bin speed_dialer`.
+
+use da_alib::Connection;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PhoneLoud;
+use std::time::Duration;
+
+struct Entry {
+    name: &'static str,
+    number: &'static str,
+}
+
+fn main() {
+    let server = AudioServer::start(ServerConfig::default()).expect("start server");
+    let control = server.control();
+    let mut conn =
+        Connection::establish(server.connect_pipe(), "speed-dialer").expect("connect");
+
+    let address_book = [
+        Entry { name: "Susan", number: "555-1001" },
+        Entry { name: "Chris", number: "555-1002" },
+        Entry { name: "Nobody", number: "555-9999" }, // not in service
+    ];
+
+    // The outside world: Susan answers after one ring and says hello;
+    // Chris's line exists but he never answers.
+    let susan = control.add_remote_party("555-1001");
+    control.with_party(susan, |p, _| {
+        p.auto_answer_after = Some(4000);
+        p.say(&da_dsp::tone::sine(8000, 300.0, 8000, 10000));
+    });
+    let _chris = control.add_remote_party("555-1002");
+    control.with_core(|c| c.hw.pstn.set_ring_timeout(16_000)); // 2 s no-answer
+
+    let phone = PhoneLoud::build(&mut conn, vec![]).expect("phone loud");
+
+    for entry in &address_book {
+        println!("dialing {} at {} ...", entry.name, entry.number);
+        let connected = phone
+            .dial_blocking(&mut conn, entry.number, Duration::from_secs(60))
+            .expect("dial");
+        if connected {
+            println!("  connected! saying hello");
+            phone
+                .speak_blocking(&mut conn, "hello from the workstation", Duration::from_secs(60))
+                .expect("speak");
+            phone.hang_up(&mut conn).expect("hang up");
+            println!("  call complete");
+        } else {
+            println!("  busy or no answer");
+            phone.hang_up(&mut conn).expect("hang up");
+        }
+    }
+
+    // Susan heard the synthesized greeting.
+    let heard = control.with_party(susan, |p, _| p.heard().to_vec());
+    println!(
+        "Susan heard {} frames of us (RMS {:.0})",
+        heard.len(),
+        da_dsp::analysis::rms(&heard)
+    );
+
+    server.shutdown();
+    println!("done: {} address-book entries dialed", address_book.len());
+}

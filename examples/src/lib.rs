@@ -1,0 +1,1 @@
+//! Example-applications crate; the binaries live at the directory root.

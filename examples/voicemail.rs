@@ -1,0 +1,98 @@
+//! A workstation voice-mail browser (paper §1.2, Figure 1-1).
+//!
+//! "Workstation-based personal voice mail allows graphic display and
+//! interaction with voice messages, and can provide the ability to move
+//! messages to other voice-capable applications, such as an appointment
+//! calendar." This example records a mailbox of messages, browses them
+//! with the Soundviewer (ASCII rendering of Figure 6-1), selects a
+//! region, and "moves" a message to a calendar application by attaching
+//! it as a property — the protocol's inter-application data channel
+//! (paper §5.8).
+//!
+//! Run with `cargo run -p da-examples --bin voicemail`.
+
+use da_alib::Connection;
+use da_proto::event::Event;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PlayLoud;
+use da_toolkit::soundviewer::{DisplayMode, Soundviewer};
+use da_toolkit::sounds::SoundHandle;
+use std::time::Duration;
+
+fn main() {
+    let server = AudioServer::start(ServerConfig::default()).expect("start server");
+    let mut conn = Connection::establish(server.connect_pipe(), "voicemail").expect("connect");
+
+    // Three "messages" (synthesized callers of different pitch/length).
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let texts = [
+        "meeting moved to three pm",
+        "call me back about the budget",
+        "lunch on friday",
+    ];
+    let mut mailbox: Vec<SoundHandle> = Vec::new();
+    for (i, text) in texts.iter().enumerate() {
+        let mut voice = da_synth::tts::Synthesizer::new(8000);
+        voice.set_values(180, 100 + 30 * i as u16);
+        let pcm = voice.speak(text);
+        mailbox.push(SoundHandle::from_pcm(&mut conn, 8000, &pcm).expect("upload"));
+    }
+    let _ = tts;
+
+    let play = PlayLoud::build(&mut conn, vec![]).expect("play loud");
+
+    // Browse: play each message while the Soundviewer tracks it.
+    for (i, msg) in mailbox.iter().enumerate() {
+        let mut viewer = Soundviewer::new(play.player, msg.frames, 8000);
+        viewer.mode = if i == 1 { DisplayMode::Ticks } else { DisplayMode::Bar };
+        println!("message {} ({}): {:?}", i + 1, texts[i], msg.duration());
+        play.play(&mut conn, msg.id).expect("play");
+        while let Some(ev) = conn.next_event(Duration::from_secs(10)).expect("event") {
+            if viewer.handle_event(&ev) {
+                println!("  {}", viewer.render_ascii(48));
+            }
+            if matches!(ev, Event::CommandDone { .. }) {
+                break;
+            }
+        }
+    }
+
+    // Select the middle of message 2 (the dashes of Figure 6-1)...
+    let msg = &mailbox[1];
+    let mut viewer = Soundviewer::new(play.player, msg.frames, 8000);
+    viewer.select(msg.frames / 4, 3 * msg.frames / 4);
+    println!("selection in message 2: {}", viewer.render_ascii(48));
+
+    // ... and paste it into the "calendar": attach the selected audio as
+    // a property on a calendar LOUD owned by another client.
+    let mut calendar =
+        Connection::establish(server.connect_pipe(), "calendar").expect("calendar connect");
+    let cal_loud = calendar.create_loud(None).expect("calendar loud");
+    calendar.sync().expect("sync");
+
+    let (a, b) = viewer.selection.expect("selection set");
+    let pcm = msg.download_pcm(&mut conn).expect("download");
+    let clip = &pcm[a as usize..b as usize];
+    let clip_handle = SoundHandle::from_pcm(&mut calendar, 8000, clip).expect("clip upload");
+
+    let appt = calendar.intern_atom("APPOINTMENT_AUDIO").expect("atom");
+    let integer = calendar.intern_atom("INTEGER").expect("atom");
+    calendar
+        .change_property(
+            cal_loud,
+            appt,
+            integer,
+            clip_handle.id.raw().to_le_bytes().to_vec(),
+        )
+        .expect("property");
+    let stored = calendar.get_property(cal_loud, appt).expect("get").expect("present");
+    let stored_id = u32::from_le_bytes(stored.value[..4].try_into().unwrap());
+    println!(
+        "calendar received clip: sound {:#x}, {} frames",
+        stored_id,
+        clip_handle.frames
+    );
+
+    server.shutdown();
+    println!("done: {} messages browsed, 1 clip moved to the calendar", mailbox.len());
+}

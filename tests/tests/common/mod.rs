@@ -1,0 +1,28 @@
+//! Shared fixture for integration tests.
+//!
+//! Each integration binary includes this module separately, so any one
+//! binary may use only a subset of the helpers.
+#![allow(dead_code)]
+
+use da_alib::Connection;
+use da_server::{AudioServer, ServerConfig};
+
+/// Starts a default virtual-paced server with a connected client.
+pub fn start() -> (AudioServer, Connection) {
+    let server = AudioServer::start(ServerConfig::default()).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "itest").expect("connect");
+    (server, conn)
+}
+
+/// Starts a server with a specific hardware inventory.
+pub fn start_with_hw(hw: da_hw::registry::HwSpec) -> (AudioServer, Connection) {
+    let config = ServerConfig { hw, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "itest").expect("connect");
+    (server, conn)
+}
+
+/// Connects an additional client to a running server.
+pub fn connect(server: &AudioServer, name: &str) -> Connection {
+    Connection::establish(server.connect_pipe(), name).expect("connect")
+}

@@ -1,0 +1,325 @@
+//! Device-class behaviour through the protocol: speech synthesis and
+//! recognition, music, crossbar, DSP, mixers (paper §5.1).
+
+mod common;
+
+use common::start;
+use da_proto::command::{CrossbarRoute, DeviceCommand, Note};
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{Attribute, DeviceClass, SoundType, WireType};
+use std::time::Duration;
+
+#[test]
+fn speech_synthesizer_speaks_to_speaker() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 400_000);
+
+    let loud = conn.create_loud(None).unwrap();
+    let synth = conn.create_vdevice(loud, DeviceClass::SpeechSynthesizer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(synth, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    // Configure the voice, then speak.
+    conn.enqueue(
+        loud,
+        vec![
+            da_proto::QueueEntry::Device {
+                vdev: synth,
+                cmd: DeviceCommand::SetVoiceValues { rate_wpm: 200, pitch_hz: 110 },
+            },
+            da_proto::QueueEntry::Device {
+                vdev: synth,
+                cmd: DeviceCommand::SpeakText("testing one two three".into()),
+            },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    // Both commands complete.
+    for _ in 0..2 {
+        conn.wait_event(Duration::from_secs(20), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() > 4000);
+    let cap = control.take_captured(0);
+    assert!(da_dsp::analysis::rms(&cap) > 200.0, "no speech reached the speaker");
+    server.shutdown();
+}
+
+#[test]
+fn exception_list_changes_synthesis() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    let loud = conn.create_loud(None).unwrap();
+    let synth = conn.create_vdevice(loud, DeviceClass::SpeechSynthesizer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(synth, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    control.set_speaker_capture(0, 400_000);
+    conn.enqueue_cmd(loud, synth, DeviceCommand::SpeakText("vax".into())).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(20), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() > 1000);
+    let plain = control.take_captured(0);
+
+    conn.immediate(
+        synth,
+        DeviceCommand::SetExceptionList(vec![(
+            "vax".to_string(),
+            "v ae ae ae ae k s s s s".to_string(),
+        )]),
+    )
+    .unwrap();
+    conn.enqueue_cmd(loud, synth, DeviceCommand::SpeakText("vax".into())).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(20), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() > 1000);
+    let custom = control.take_captured(0);
+    let plain_len = plain.iter().filter(|&&s| s != 0).count();
+    let custom_len = custom.iter().filter(|&&s| s != 0).count();
+    assert!(
+        custom_len > plain_len + 1000,
+        "exception pronunciation should be longer: {custom_len} vs {plain_len}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn recognizer_trained_over_protocol_recognises_microphone() {
+    let (server, mut conn) = start();
+    let control = server.control();
+
+    // Training material synthesized client-side, uploaded as sounds.
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let yes = conn.upload_pcm(SoundType::TELEPHONE, &tts.speak("yes")).unwrap();
+    let no = conn.upload_pcm(SoundType::TELEPHONE, &tts.speak("no")).unwrap();
+
+    let loud = conn.create_loud(None).unwrap();
+    let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).unwrap();
+    let recog = conn.create_vdevice(loud, DeviceClass::SpeechRecognizer, vec![]).unwrap();
+    conn.create_wire(input, 0, recog, 0, WireType::Any).unwrap();
+    conn.select_events(recog, EventMask::DEVICE).unwrap();
+
+    conn.immediate(recog, DeviceCommand::Train { word: "yes".into(), template: yes }).unwrap();
+    conn.immediate(recog, DeviceCommand::Train { word: "no".into(), template: no }).unwrap();
+    conn.immediate(
+        recog,
+        DeviceCommand::SetVocabulary(vec!["yes".into(), "no".into()]),
+    )
+    .unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+
+    // The user says "no" into the microphone (with endpoint silence).
+    let mut utterance = vec![0i16; 2400];
+    utterance.extend(tts.speak("no"));
+    utterance.extend(std::iter::repeat_n(0i16, 8000));
+    control.speak_into_microphone(0, &utterance);
+
+    let ev = conn
+        .wait_event(Duration::from_secs(20), |e| matches!(e, Event::WordRecognized { .. }))
+        .unwrap();
+    match ev {
+        Event::WordRecognized { word, score, .. } => {
+            assert_eq!(word, "no");
+            assert!(score > 300, "score {score}");
+        }
+        _ => unreachable!(),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn save_vocabulary_lands_in_catalog() {
+    let (server, mut conn) = start();
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    let yes = conn.upload_pcm(SoundType::TELEPHONE, &tts.speak("yes")).unwrap();
+    let loud = conn.create_loud(None).unwrap();
+    let recog = conn.create_vdevice(loud, DeviceClass::SpeechRecognizer, vec![]).unwrap();
+    conn.immediate(recog, DeviceCommand::Train { word: "yes".into(), template: yes }).unwrap();
+    conn.immediate(recog, DeviceCommand::SaveVocabulary("main".into())).unwrap();
+    conn.sync().unwrap();
+    let names = conn.list_catalog("vocabularies").unwrap();
+    assert_eq!(names, vec!["main".to_string()]);
+    server.shutdown();
+}
+
+#[test]
+fn music_synthesizer_plays_notes() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+    let loud = conn.create_loud(None).unwrap();
+    let music = conn.create_vdevice(loud, DeviceClass::MusicSynthesizer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(music, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            da_proto::QueueEntry::Device {
+                vdev: music,
+                cmd: DeviceCommand::SetVoice("square".into()),
+            },
+            da_proto::QueueEntry::Device {
+                vdev: music,
+                cmd: DeviceCommand::PlayNote(Note { note: 69, velocity: 100, duration_ms: 500 }),
+            },
+            da_proto::QueueEntry::Device {
+                vdev: music,
+                cmd: DeviceCommand::PlayNote(Note { note: 76, velocity: 100, duration_ms: 500 }),
+            },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    for _ in 0..3 {
+        conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 8000);
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s != 0).unwrap_or(0);
+    let first = &cap[start..start + 3500];
+    let second = &cap[start + 4200..start + 7500];
+    assert!(da_dsp::analysis::goertzel_power(first, 8000, 440.0) > 100_000.0);
+    let e4 = da_synth::music::note_frequency(76);
+    assert!(da_dsp::analysis::goertzel_power(second, 8000, e4) > 100_000.0);
+    server.shutdown();
+}
+
+#[test]
+fn crossbar_routes_and_reroutes() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 300_000);
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let xbar = conn
+        .create_vdevice(
+            loud,
+            DeviceClass::Crossbar,
+            vec![Attribute::SinkPorts(2), Attribute::SourcePorts(2)],
+        )
+        .unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, xbar, 0, WireType::Any).unwrap();
+    conn.create_wire(xbar, 1, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    let tone = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 500.0, 8000, 10000))
+        .unwrap();
+
+    // Without a route, nothing reaches the output.
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(tone)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    let silent = control.take_captured(0);
+    assert!(da_dsp::analysis::rms(&silent) < 50.0, "unrouted crossbar leaked audio");
+
+    // Connect input 0 → output 1 and play again.
+    conn.immediate(
+        xbar,
+        DeviceCommand::SetRoutes(vec![CrossbarRoute { input: 0, output: 1, connected: true }]),
+    )
+    .unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(tone)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 4000);
+    let routed = control.take_captured(0);
+    assert!(
+        da_dsp::analysis::goertzel_power(&routed, 8000, 500.0) > 100_000.0,
+        "routed crossbar did not pass audio"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn dsp_device_applies_gain_inline() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, dsp, 0, WireType::Any).unwrap();
+    conn.create_wire(dsp, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.immediate(dsp, DeviceCommand::ChangeGain(250)).unwrap();
+    conn.map_loud(loud).unwrap();
+    let tone = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 500.0, 8000, 12000))
+        .unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(tone)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 4000);
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s.unsigned_abs() > 10).unwrap_or(0);
+    let rms = da_dsp::analysis::rms(&cap[start..start + 4000]);
+    // 12000-peak sine has RMS ~8485; at gain 0.25 expect ~2120.
+    assert!((1600.0..2800.0).contains(&rms), "dsp gain not applied: rms {rms}");
+    server.shutdown();
+}
+
+#[test]
+fn mixer_percentages_weight_inputs() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+    let loud = conn.create_loud(None).unwrap();
+    let p1 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let p2 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let mixer = conn.create_vdevice(loud, DeviceClass::Mixer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(p1, 0, mixer, 0, WireType::Any).unwrap();
+    conn.create_wire(p2, 0, mixer, 1, WireType::Any).unwrap();
+    conn.create_wire(mixer, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    // Input 1 at 10%: the 1100 Hz tone should be strongly attenuated.
+    conn.immediate(mixer, DeviceCommand::SetMixGain { input: 1, percent: 10 }).unwrap();
+    conn.map_loud(loud).unwrap();
+    let a = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 400.0, 8000, 10000))
+        .unwrap();
+    let b = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 1100.0, 8000, 10000))
+        .unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            da_proto::QueueEntry::CoBegin,
+            da_proto::QueueEntry::Device { vdev: p1, cmd: DeviceCommand::Play(a) },
+            da_proto::QueueEntry::Device { vdev: p2, cmd: DeviceCommand::Play(b) },
+            da_proto::QueueEntry::CoEnd,
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    for _ in 0..2 {
+        conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 8000);
+    let cap = control.take_captured(0);
+    let p400 = da_dsp::analysis::goertzel_power(&cap, 8000, 400.0);
+    let p1100 = da_dsp::analysis::goertzel_power(&cap, 8000, 1100.0);
+    // Amplitude ratio 10:1 → power ratio ~100:1.
+    assert!(p400 > p1100 * 30.0, "mix weights wrong: {p400} vs {p1100}");
+    server.shutdown();
+}

@@ -1,0 +1,136 @@
+//! Deterministic engine properties under manual ticking: sample-exact
+//! state restoration across preemption (paper §5.4) and gap-free playback
+//! under awkward quantum sizes.
+
+mod common;
+
+use da_alib::Connection;
+use da_proto::command::DeviceCommand;
+use da_proto::event::EventMask;
+use da_proto::types::{Attribute, DeviceClass, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig};
+
+fn manual_server(quantum_us: u64) -> (AudioServer, Connection) {
+    let config = ServerConfig { manual_ticks: true, quantum_us, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "det").expect("connect");
+    (server, conn)
+}
+
+fn play_rig(conn: &mut Connection) -> (da_proto::LoudId, da_proto::VDeviceId) {
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    (loud, player)
+}
+
+#[test]
+fn preemption_restores_playback_sample_exactly() {
+    // Paper §5.4: on reactivation the server restores devices "to their
+    // state prior to the moment the LOUD was deactivated". The captured
+    // waveform of a preempted-then-resumed play must contain every sample
+    // of the source exactly once.
+    let (server, mut a) = manual_server(10_000);
+    let control = server.control();
+    control.set_speaker_capture(0, 1 << 20);
+    let mut b = Connection::establish(server.connect_pipe(), "preemptor").expect("connect");
+
+    let (loud_a, player_a) = play_rig(&mut a);
+    // Use PCM-16 so the staircase survives encoding exactly.
+    let stype =
+        SoundType { encoding: da_proto::types::Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let ramp: Vec<i16> = (0..16_000).map(|i| (i % 30_000) as i16 + 1).collect();
+    let sound = a.upload_pcm(stype, &ramp).unwrap();
+    a.map_loud(loud_a).unwrap();
+    a.enqueue_cmd(loud_a, player_a, DeviceCommand::Play(sound)).unwrap();
+    a.start_queue(loud_a).unwrap();
+    a.sync().unwrap();
+
+    // 37 ticks of playback (2,960 frames), then B preempts exclusively.
+    control.tick_n(37);
+    let loud_b = b.create_loud(None).unwrap();
+    b.create_vdevice(loud_b, DeviceClass::Output, vec![Attribute::ExclusiveUse]).unwrap();
+    b.map_loud(loud_b).unwrap();
+    b.sync().unwrap();
+    control.tick_n(23); // silence while A is preempted
+    b.unmap_loud(loud_b).unwrap();
+    b.sync().unwrap();
+    control.tick_n(200); // let A finish
+
+    let cap = control.take_captured(0);
+    // Strip zeros (pre-roll, preemption gap, post-roll): what remains
+    // must be the ramp, complete and in order.
+    let nonzero: Vec<i16> = cap.into_iter().filter(|&s| s != 0).collect();
+    assert_eq!(nonzero.len(), ramp.len(), "samples lost or duplicated across preemption");
+    assert_eq!(nonzero, ramp, "playback did not resume at the exact sample");
+    server.shutdown();
+}
+
+#[test]
+fn seamless_playback_with_fractional_quantum() {
+    // A 7.3 ms quantum gives 58.4 frames per tick — every tick boundary
+    // falls mid-frame-count. Back-to-back plays must still concatenate
+    // exactly.
+    let (server, mut conn) = manual_server(7_300);
+    let control = server.control();
+    control.set_speaker_capture(0, 1 << 20);
+    let (loud, player) = play_rig(&mut conn);
+    let stype =
+        SoundType { encoding: da_proto::types::Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let total = 6000usize;
+    let ramp: Vec<i16> = (0..total).map(|i| i as i16 + 1).collect();
+    let cuts = [0usize, 811, 1900, 2857, 4231, total];
+    for w in cuts.windows(2) {
+        let s = conn.upload_pcm(stype, &ramp[w[0]..w[1]]).unwrap();
+        conn.enqueue_cmd(loud, player, DeviceCommand::Play(s)).unwrap();
+    }
+    conn.start_queue(loud).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(160); // > 6000 frames at 58.4/tick
+
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s == 1).expect("ramp start");
+    assert_eq!(&cap[start..start + total], &ramp[..], "seam error under fractional quantum");
+    server.shutdown();
+}
+
+#[test]
+fn device_time_tracks_ticks_exactly() {
+    let (server, conn) = manual_server(10_000);
+    let control = server.control();
+    assert_eq!(control.device_time(), 0);
+    control.tick_n(123);
+    assert_eq!(control.device_time(), 123 * 80);
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn immediate_pause_freezes_position_not_time() {
+    let (server, mut conn) = manual_server(10_000);
+    let control = server.control();
+    control.set_speaker_capture(0, 1 << 20);
+    let (loud, player) = play_rig(&mut conn);
+    let stype =
+        SoundType { encoding: da_proto::types::Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let ramp: Vec<i16> = (1..=4000).map(|i| i as i16).collect();
+    let sound = conn.upload_pcm(stype, &ramp).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(10); // 800 frames played
+    conn.immediate(player, DeviceCommand::Pause).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(20); // paused: silence, device time advances
+    conn.immediate(player, DeviceCommand::Resume).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(60);
+    let cap = control.take_captured(0);
+    let nonzero: Vec<i16> = cap.into_iter().filter(|&s| s != 0).collect();
+    assert_eq!(nonzero, ramp, "pause/resume lost or duplicated samples");
+    server.shutdown();
+}

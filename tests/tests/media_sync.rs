@@ -1,0 +1,190 @@
+//! Cross-media synchronization (paper §5.7): "consider an application
+//! displaying a set of images while playing a stored digital sound track
+//! ... The application monitors the audio server synchronization events
+//! on the sound track, and uses them to time the update of the display."
+//! Plus the DSP effect extension point (§2).
+
+mod common;
+
+use common::start;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{DeviceClass, SoundType, WireType};
+use da_toolkit::soundviewer::Soundviewer;
+use std::time::Duration;
+
+/// A mock slide show: advances one frame per second of audio.
+struct SlideShow {
+    frames_per_slide: u64,
+    current: usize,
+    transitions: Vec<u64>,
+}
+
+impl SlideShow {
+    fn new(frames_per_slide: u64) -> Self {
+        SlideShow { frames_per_slide, current: 0, transitions: Vec::new() }
+    }
+
+    fn on_audio_position(&mut self, position: u64) {
+        let slide = (position / self.frames_per_slide) as usize;
+        while self.current < slide {
+            self.current += 1;
+            self.transitions.push(position);
+        }
+    }
+}
+
+#[test]
+fn sync_events_drive_a_slide_show() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.select_events(player, EventMask::SYNC).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    // A 3.5 s sound track; one slide per second (the last half-slide
+    // keeps the end-of-track mark off a slide boundary).
+    let sound = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 440.0, 28_000, 9000))
+        .unwrap();
+    let mut show = SlideShow::new(8000);
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+
+    loop {
+        match conn.next_event(Duration::from_secs(15)).unwrap() {
+            Some(Event::SyncMark { position, .. }) => show.on_audio_position(position),
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => panic!("playback never finished"),
+        }
+    }
+    // Three slide transitions (at 1 s, 2 s, 3 s of audio), each within
+    // one sync interval (800 frames) of its nominal time.
+    assert_eq!(show.current, 3, "transitions at {:?}", show.transitions);
+    for (i, &at) in show.transitions.iter().enumerate() {
+        let nominal = (i as u64 + 1) * 8000;
+        assert!(
+            at >= nominal && at < nominal + 800,
+            "slide {} flipped at {} (nominal {})",
+            i + 1,
+            at,
+            nominal
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn soundviewer_and_display_share_one_event_stream() {
+    // The same stream of events drives both the Soundviewer bar graph and
+    // the slide show — the point of server-generated sync marks.
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.select_events(player, EventMask::SYNC | EventMask::DEVICE).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    let total = 14_000u64;
+    let sound = conn
+        .upload_pcm(
+            SoundType::TELEPHONE,
+            &da_dsp::tone::sine(8000, 440.0, total as usize, 9000),
+        )
+        .unwrap();
+    let mut viewer = Soundviewer::new(player, total, 8000);
+    let mut show = SlideShow::new(4000);
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    loop {
+        match conn.next_event(Duration::from_secs(15)).unwrap() {
+            Some(ev) => {
+                if let Event::SyncMark { position, .. } = &ev {
+                    show.on_audio_position(*position);
+                }
+                viewer.handle_event(&ev);
+                if matches!(ev, Event::CommandDone { .. }) {
+                    break;
+                }
+            }
+            None => panic!("no event"),
+        }
+    }
+    assert!(viewer.fraction() > 0.95);
+    assert_eq!(show.current, 3);
+    server.shutdown();
+}
+
+#[test]
+fn dsp_echo_effect_via_device_control() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, dsp, 0, WireType::Any).unwrap();
+    conn.create_wire(dsp, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+
+    // Echo: 2000-frame (250 ms) delay, 50% feedback.
+    let effect = conn.intern_atom("EFFECT").unwrap();
+    conn.set_device_control(dsp, effect, b"echo:2000:500".to_vec()).unwrap();
+    conn.map_loud(loud).unwrap();
+
+    // A short burst: the echo repeats it after the original ends.
+    let mut burst = da_dsp::tone::sine(8000, 700.0, 800, 12_000);
+    burst.extend(std::iter::repeat_n(0i16, 7200)); // 1 s total
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &burst).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 8000);
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s != 0).expect("audio");
+    // Original burst region and the first echo region both carry 700 Hz.
+    let original = &cap[start..start + 800];
+    let echo1 = &cap[start + 2000..start + 2800];
+    let between = &cap[start + 1000..start + 1800];
+    let p_orig = da_dsp::analysis::goertzel_power(original, 8000, 700.0);
+    let p_echo = da_dsp::analysis::goertzel_power(echo1, 8000, 700.0);
+    let p_gap = da_dsp::analysis::goertzel_power(between, 8000, 700.0);
+    assert!(p_echo > p_gap * 10.0, "no echo: echo {p_echo} gap {p_gap}");
+    assert!(p_orig > p_echo, "echo louder than the source");
+    server.shutdown();
+}
+
+#[test]
+fn dsp_effect_control_validation() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let effect = conn.intern_atom("EFFECT").unwrap();
+    // Unknown effect name rejected.
+    conn.set_device_control(dsp, effect, b"flanger".to_vec()).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("unknown effect must fail");
+    assert_eq!(err.code, da_proto::ErrorCode::BadValue);
+    // EFFECT on a non-DSP device rejected.
+    conn.set_device_control(player, effect, b"echo".to_vec()).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("wrong class must fail");
+    assert_eq!(err.code, da_proto::ErrorCode::BadMatch);
+    // Valid specs accepted.
+    for spec in [&b"none"[..], b"echo:4000:300", b"lowpass:500"] {
+        conn.set_device_control(dsp, effect, spec.to_vec()).unwrap();
+    }
+    conn.sync().unwrap();
+    assert!(conn.take_error().is_none());
+    server.shutdown();
+}

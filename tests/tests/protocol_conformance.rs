@@ -1,0 +1,306 @@
+//! Protocol conformance: error codes, id ranges, wire rules, event
+//! selection discipline (paper §4.1, §5.2).
+
+mod common;
+
+use common::{connect, start};
+use da_proto::event::{Event, EventMask};
+use da_proto::ids::{LoudId, SoundId, VDeviceId, WireId};
+use da_proto::request::Request;
+use da_proto::types::{DeviceClass, Encoding, SoundType, WireType};
+use da_proto::ErrorCode;
+use std::time::Duration;
+
+fn expect_error(conn: &mut da_alib::Connection, code: ErrorCode) {
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().unwrap_or_else(|| panic!("expected {code:?}"));
+    assert_eq!(err.code, code);
+}
+
+#[test]
+fn bad_resource_ids() {
+    let (server, mut conn) = start();
+    conn.send(&Request::DestroyLoud { id: LoudId(0xF00) }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadLoud);
+    conn.send(&Request::DestroyVDevice { id: VDeviceId(0xF00) }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadDevice);
+    conn.send(&Request::DestroyWire { id: WireId(0xF00) }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadWire);
+    conn.send(&Request::DeleteSound { id: SoundId(0xF00) }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadSound);
+    conn.send(&Request::GetAtomName { atom: da_proto::Atom(0xF00) }).unwrap();
+    let err = conn.round_trip(&Request::GetAtomName { atom: da_proto::Atom(0xF00) });
+    assert!(err.is_err());
+    server.shutdown();
+}
+
+#[test]
+fn id_range_enforced() {
+    let (server, mut conn) = start();
+    // An id outside the client's granted range is rejected.
+    conn.send(&Request::CreateLoud { id: LoudId(0x1), parent: None }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadIdChoice);
+    // Reusing an id is rejected.
+    let loud = conn.create_loud(None).unwrap();
+    conn.send(&Request::CreateLoud { id: loud, parent: None }).unwrap();
+    expect_error(&mut conn, ErrorCode::BadIdChoice);
+    server.shutdown();
+}
+
+#[test]
+fn wire_rules() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+
+    // Self-wire rejected.
+    conn.create_wire(dsp, 0, dsp, 0, WireType::Any).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+
+    // Bad port index rejected.
+    conn.create_wire(player, 5, out, 0, WireType::Any).unwrap();
+    expect_error(&mut conn, ErrorCode::BadValue);
+
+    // Analog wires exist only in the device LOUD.
+    conn.create_wire(player, 0, out, 0, WireType::Analog).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+
+    // Typed wire mismatching both endpoints rejected ("If one end can
+    // only produce 8-bit µ-law and the other can only take ADPCM, a
+    // protocol error will be generated", §5.9).
+    conn.create_wire(
+        player,
+        0,
+        out,
+        0,
+        WireType::Digital(SoundType { encoding: Encoding::Pcm16, sample_rate: 96_000, channels: 1 }),
+    )
+    .unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+
+    // Cycles rejected: player -> dsp -> out is fine, out -> player isn't
+    // (out has no source), so use two dsps.
+    let dsp2 = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+    conn.create_wire(dsp, 0, dsp2, 0, WireType::Any).unwrap();
+    conn.sync().unwrap();
+    assert!(conn.take_error().is_none());
+    conn.create_wire(dsp2, 0, dsp, 0, WireType::Any).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+
+    // Cross-tree wires rejected.
+    let loud2 = conn.create_loud(None).unwrap();
+    let player2 = conn.create_vdevice(loud2, DeviceClass::Player, vec![]).unwrap();
+    conn.create_wire(player2, 0, out, 0, WireType::Any).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+    server.shutdown();
+}
+
+#[test]
+fn wire_queries() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    let w = conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    let (src, sp, dst, dp, wt) = conn.query_wire(w).unwrap();
+    assert_eq!((src, sp, dst, dp), (player, 0, out, 0));
+    assert_eq!(wt, WireType::Any);
+    assert_eq!(conn.query_device_wires(player).unwrap(), vec![w]);
+    conn.destroy_wire(w).unwrap();
+    conn.sync().unwrap();
+    assert!(conn.query_device_wires(player).unwrap().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn sub_loud_hierarchy() {
+    // The answering-machine LOUD of Figure 5-1 contains a recorder
+    // sub-LOUD; commands go to the root's queue.
+    let (server, mut conn) = start();
+    let root = conn.create_loud(None).unwrap();
+    let sub = conn.create_loud(Some(root)).unwrap();
+    let player = conn.create_vdevice(root, DeviceClass::Player, vec![]).unwrap();
+    let rec = conn.create_vdevice(sub, DeviceClass::Recorder, vec![]).unwrap();
+    // Wires may span the tree (same root).
+    conn.create_wire(player, 0, rec, 0, WireType::Any).unwrap();
+    conn.sync().unwrap();
+    assert!(conn.take_error().is_none());
+    // Sub-LOUDs have no queue.
+    let err = conn.query_queue(sub);
+    assert!(err.is_err());
+    // Destroying the root destroys the subtree.
+    conn.destroy_loud(root).unwrap();
+    conn.send(&Request::DestroyVDevice { id: rec }).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("device should be gone");
+    assert_eq!(err.code, ErrorCode::BadDevice);
+    server.shutdown();
+}
+
+#[test]
+fn event_selection_is_per_client_and_per_resource() {
+    let (server, mut a) = start();
+    let mut b = connect(&server, "watcher");
+    let loud = a.create_loud(None).unwrap();
+    let player = a.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = a.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    a.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    // A's resources must exist before B can select on them.
+    a.sync().unwrap();
+    // Only B selects; B sees the events, A does not.
+    b.select_events(loud, EventMask::QUEUE).unwrap();
+    b.sync().unwrap();
+    a.map_loud(loud).unwrap();
+    let sound = a
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 500.0, 800, 5000))
+        .unwrap();
+    a.enqueue_cmd(loud, player, da_proto::DeviceCommand::Play(sound)).unwrap();
+    a.start_queue(loud).unwrap();
+    let got = b
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    assert!(matches!(got, Event::CommandDone { .. }));
+    assert!(a.next_event(Duration::from_millis(200)).unwrap().is_none());
+    // Deselect: no more events for B either.
+    b.select_events(loud, EventMask::empty()).unwrap();
+    b.sync().unwrap();
+    // Drain events buffered from the first play before asserting silence.
+    while b.poll_event().unwrap().is_some() {}
+    a.enqueue_cmd(loud, player, da_proto::DeviceCommand::Play(sound)).unwrap();
+    a.start_queue(loud).unwrap();
+    a.sync().unwrap();
+    assert!(b.next_event(Duration::from_millis(300)).unwrap().is_none());
+    server.shutdown();
+}
+
+#[test]
+fn sync_interval_controls_mark_spacing() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(player, EventMask::SYNC).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.set_sync_interval(player, 400).unwrap();
+    conn.map_loud(loud).unwrap();
+    let sound = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 500.0, 4000, 5000))
+        .unwrap();
+    conn.enqueue_cmd(loud, player, da_proto::DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    let mut positions = Vec::new();
+    loop {
+        match conn.next_event(Duration::from_secs(10)).unwrap() {
+            Some(Event::SyncMark { position, .. }) => positions.push(position),
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    assert!(positions.len() >= 8, "only {} marks", positions.len());
+    // Marks are monotone and spaced by [400, 480] frames (the interval
+    // rounded up to tick granularity).
+    for pair in positions.windows(2) {
+        let gap = pair[1] - pair[0];
+        assert!((400..=480).contains(&gap), "gap {gap}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn device_controls_roundtrip() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let atom = conn.intern_atom("MY_CONTROL").unwrap();
+    assert_eq!(conn.get_device_control(player, atom).unwrap(), None);
+    conn.set_device_control(player, atom, vec![1, 2, 3]).unwrap();
+    assert_eq!(conn.get_device_control(player, atom).unwrap(), Some(vec![1, 2, 3]));
+    // SYNC_INTERVAL is a live control.
+    let sync_atom = conn.intern_atom("SYNC_INTERVAL").unwrap();
+    conn.set_device_control(player, sync_atom, 320u32.to_le_bytes().to_vec()).unwrap();
+    conn.sync().unwrap();
+    assert!(conn.take_error().is_none());
+    server.shutdown();
+}
+
+#[test]
+fn queued_only_commands_rejected_immediate() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let tel = conn.create_vdevice(loud, DeviceClass::Telephone, vec![]).unwrap();
+    for cmd in [
+        da_proto::DeviceCommand::Dial("1".into()),
+        da_proto::DeviceCommand::Answer,
+        da_proto::DeviceCommand::Play(SoundId(1)),
+        da_proto::DeviceCommand::Record(SoundId(1), da_proto::RecordTermination::Manual),
+    ] {
+        conn.immediate(tel, cmd).unwrap();
+        expect_error(&mut conn, ErrorCode::BadQueueMode);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn class_mismatched_commands_rejected() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    conn.immediate(player, da_proto::DeviceCommand::SendDtmf("1".into())).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+    conn.immediate(player, da_proto::DeviceCommand::SetVoice("sine".into())).unwrap();
+    expect_error(&mut conn, ErrorCode::BadMatch);
+    server.shutdown();
+}
+
+#[test]
+fn zero_port_devices_cannot_crash_the_engine() {
+    // SinkPorts(0)/SourcePorts(0) attributes are clamped to the class
+    // minimums; recording through such a device works normally.
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.speak_into_microphone(0, &da_dsp::tone::sine(8000, 440.0, 16_000, 9000));
+    let loud = conn.create_loud(None).unwrap();
+    let input = conn
+        .create_vdevice(loud, DeviceClass::Input, vec![da_proto::types::Attribute::SourcePorts(0)])
+        .unwrap();
+    let rec = conn
+        .create_vdevice(
+            loud,
+            DeviceClass::Recorder,
+            vec![da_proto::types::Attribute::SinkPorts(0)],
+        )
+        .unwrap();
+    conn.create_wire(input, 0, rec, 0, WireType::Any).unwrap();
+    conn.select_events(rec, EventMask::DEVICE).unwrap();
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(
+        loud,
+        rec,
+        da_proto::DeviceCommand::Record(sound, da_proto::RecordTermination::MaxFrames(800)),
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    let ev = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    assert!(matches!(ev, Event::RecordStopped { frames: 800, .. }));
+    server.shutdown();
+}
+
+#[test]
+fn zero_rate_sound_rejected() {
+    let (server, mut conn) = start();
+    let id = SoundId(conn.alloc_id());
+    conn.send(&Request::CreateSound {
+        id,
+        stype: SoundType { encoding: Encoding::ULaw, sample_rate: 0, channels: 1 },
+    })
+    .unwrap();
+    expect_error(&mut conn, ErrorCode::BadValue);
+    server.shutdown();
+}

@@ -1,0 +1,312 @@
+//! Command-queue semantics across the protocol (paper §5.5, §6.2).
+
+mod common;
+
+use common::start;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask, QueueStopReason};
+use da_proto::ids::SoundId;
+use da_proto::types::{DeviceClass, QueueState, SoundType, WireType};
+use da_proto::QueueEntry;
+use std::time::Duration;
+
+fn tone_sound(conn: &mut da_alib::Connection, freq: f64, frames: usize) -> SoundId {
+    let pcm = da_dsp::tone::sine(8000, freq, frames, 10000);
+    conn.upload_pcm(SoundType::TELEPHONE, &pcm).expect("upload")
+}
+
+#[test]
+fn cobegin_starts_players_simultaneously() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+
+    // Two players into a mixer into the output (the paper's CoBegin
+    // example: both sounds must start at the same time).
+    let loud = conn.create_loud(None).unwrap();
+    let p1 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let p2 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let mixer = conn.create_vdevice(loud, DeviceClass::Mixer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(p1, 0, mixer, 0, WireType::Any).unwrap();
+    conn.create_wire(p2, 0, mixer, 1, WireType::Any).unwrap();
+    conn.create_wire(mixer, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+
+    let a = tone_sound(&mut conn, 400.0, 8000);
+    let b = tone_sound(&mut conn, 1100.0, 8000);
+    let c = tone_sound(&mut conn, 700.0, 4000);
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            QueueEntry::CoBegin,
+            QueueEntry::Device { vdev: p1, cmd: DeviceCommand::Play(a) },
+            QueueEntry::Device { vdev: p2, cmd: DeviceCommand::Play(b) },
+            QueueEntry::CoEnd,
+            QueueEntry::Device { vdev: p1, cmd: DeviceCommand::Play(c) },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+
+    // Three CommandDone events.
+    for _ in 0..3 {
+        conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    control.run_until(Duration::from_secs(5), |c| {
+        c.hw.speakers[0].captured().len() >= 12000
+    });
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s != 0).unwrap_or(0);
+    // During the first second both tones sound simultaneously...
+    let dual = &cap[start..start + 8000];
+    assert!(da_dsp::analysis::goertzel_power(dual, 8000, 400.0) > 100_000.0);
+    assert!(da_dsp::analysis::goertzel_power(dual, 8000, 1100.0) > 100_000.0);
+    // ...and C starts only after both finish.
+    let tail = &cap[start + 8000..start + 12000];
+    assert!(da_dsp::analysis::goertzel_power(tail, 8000, 700.0) > 100_000.0);
+    assert!(da_dsp::analysis::goertzel_power(tail, 8000, 400.0) < 10_000.0);
+    server.shutdown();
+}
+
+#[test]
+fn paper_delay_example_stops_first_play() {
+    // §5.5: "plays sound A, waits 5 seconds and then starts playing B.
+    // When B is finished, sound A is stopped." (500 ms here.)
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 200_000);
+
+    let loud = conn.create_loud(None).unwrap();
+    let p1 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let p2 = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let mixer = conn.create_vdevice(loud, DeviceClass::Mixer, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(p1, 0, mixer, 0, WireType::Any).unwrap();
+    conn.create_wire(p2, 0, mixer, 1, WireType::Any).unwrap();
+    conn.create_wire(mixer, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+
+    let a = tone_sound(&mut conn, 400.0, 40_000); // 5 s, would run long
+    let b = tone_sound(&mut conn, 1100.0, 2000); // 250 ms
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            QueueEntry::CoBegin,
+            QueueEntry::Device { vdev: p1, cmd: DeviceCommand::Play(a) },
+            QueueEntry::Delay { ms: 500 },
+            QueueEntry::Device { vdev: p2, cmd: DeviceCommand::Play(b) },
+            QueueEntry::Device { vdev: p1, cmd: DeviceCommand::Stop },
+            QueueEntry::DelayEnd,
+            QueueEntry::CoEnd,
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+
+    // A is stopped early: its CommandDone arrives well before 5 s of
+    // queue-relative time.
+    let mut done = 0;
+    while done < 3 {
+        let ev = conn.next_event(Duration::from_secs(15)).unwrap().expect("event");
+        if matches!(ev, Event::CommandDone { .. }) {
+            done += 1;
+        }
+    }
+    let (_, _, relative) = conn.query_queue(loud).unwrap();
+    // 500 ms delay + 250 ms of B = 6000 frames; generous bound well under
+    // the 40000 frames sound A would have needed.
+    assert!(relative < 20_000, "queue ran {relative} frames; stop did not cut A short");
+    server.shutdown();
+}
+
+#[test]
+fn queued_change_gain_between_plays() {
+    // Footnote 4 of the paper: Play, queued ChangeGain, Play — the gain
+    // change happens exactly between the sounds.
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 100_000);
+
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+
+    let a = tone_sound(&mut conn, 500.0, 4000);
+    let b = tone_sound(&mut conn, 500.0, 4000);
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(a) },
+            QueueEntry::Device { vdev: player, cmd: DeviceCommand::ChangeGain(250) },
+            QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(b) },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    for _ in 0..3 {
+        conn.wait_event(Duration::from_secs(15), |e| matches!(e, Event::CommandDone { .. }))
+            .unwrap();
+    }
+    control.run_until(Duration::from_secs(5), |c| c.hw.speakers[0].captured().len() >= 8000);
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s != 0).unwrap_or(0);
+    let first = da_dsp::analysis::rms(&cap[start + 500..start + 3500]);
+    let second = da_dsp::analysis::rms(&cap[start + 4500..start + 7500]);
+    let ratio = first / second.max(1.0);
+    assert!((3.0..5.5).contains(&ratio), "gain ratio {ratio}, want ~4");
+    server.shutdown();
+}
+
+#[test]
+fn pause_suspends_relative_time_and_position() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    let a = tone_sound(&mut conn, 500.0, 80_000); // 10 s
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueStarted { .. }))
+        .unwrap();
+
+    conn.pause_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| {
+        matches!(e, Event::QueuePaused { by_server: false, .. })
+    })
+    .unwrap();
+    let (state, _, t1) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::ClientPaused);
+    // Relative time must not advance while paused.
+    std::thread::sleep(Duration::from_millis(100));
+    let (_, _, t2) = conn.query_queue(loud).unwrap();
+    assert_eq!(t1, t2, "relative time advanced while paused");
+
+    conn.resume_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueResumed { .. }))
+        .unwrap();
+    let (state, _, t3) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::Started);
+    // After resuming, time moves again.
+    std::thread::sleep(Duration::from_millis(50));
+    let (_, _, t4) = conn.query_queue(loud).unwrap();
+    assert!(t4 > t3, "relative time stuck after resume");
+    server.shutdown();
+}
+
+#[test]
+fn immediate_stop_aborts_queued_play() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    let a = tone_sound(&mut conn, 500.0, 800_000); // 100 s
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueStarted { .. }))
+        .unwrap();
+
+    // Immediate-mode Stop "can stop processing of a queued command".
+    conn.immediate(player, DeviceCommand::Stop).unwrap();
+    let done = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    assert!(matches!(done, Event::CommandDone { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn stop_queue_emits_reason() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    let a = tone_sound(&mut conn, 500.0, 800_000);
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueStarted { .. }))
+        .unwrap();
+    conn.stop_queue(loud).unwrap();
+    let stopped = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueStopped { .. }))
+        .unwrap();
+    assert!(matches!(
+        stopped,
+        Event::QueueStopped { reason: QueueStopReason::ClientRequest, .. }
+    ));
+    let (state, ..) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::Stopped);
+    server.shutdown();
+}
+
+#[test]
+fn flush_discards_pending_only() {
+    let (server, mut conn) = start();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let a = tone_sound(&mut conn, 500.0, 800);
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    let (_, pending, _) = conn.query_queue(loud).unwrap();
+    assert_eq!(pending, 2);
+    conn.flush_queue(loud).unwrap();
+    let (_, pending, _) = conn.query_queue(loud).unwrap();
+    assert_eq!(pending, 0);
+    server.shutdown();
+}
+
+#[test]
+fn queue_survives_unmap_and_resumes() {
+    // Deactivation pauses the queue (server-paused); remapping restores
+    // the device state saved in the virtual devices (paper §5.4).
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.set_speaker_capture(0, 300_000);
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE | EventMask::LOUD_STATE).unwrap();
+    let a = tone_sound(&mut conn, 500.0, 16_000); // 2 s
+
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(a)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::QueueStarted { .. }))
+        .unwrap();
+
+    // Unmap mid-play: queue goes server-paused.
+    conn.unmap_loud(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::UnmapNotify { .. }))
+        .unwrap();
+    let (state, ..) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::ServerPaused);
+
+    // Remap: queue resumes automatically and playback completes.
+    conn.map_loud(loud).unwrap();
+    let done = conn
+        .wait_event(Duration::from_secs(20), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    assert!(matches!(done, Event::CommandDone { .. }));
+    server.shutdown();
+}

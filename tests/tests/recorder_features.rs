@@ -1,0 +1,179 @@
+//! Optional recorder behaviours (paper §5.1 attributes): AGC, pause
+//! compression, pause-detection termination — plus the §5.2 hard-wired
+//! wiring rule.
+
+mod common;
+
+use common::{start, start_with_hw};
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{Attribute, DeviceClass, Encoding, SoundType, WireType};
+use std::time::Duration;
+
+fn record_rig(
+    conn: &mut da_alib::Connection,
+) -> (da_proto::LoudId, da_proto::VDeviceId, da_proto::VDeviceId) {
+    let loud = conn.create_loud(None).unwrap();
+    let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).unwrap();
+    let rec = conn.create_vdevice(loud, DeviceClass::Recorder, vec![]).unwrap();
+    conn.create_wire(input, 0, rec, 0, WireType::Any).unwrap();
+    conn.select_events(rec, EventMask::DEVICE).unwrap();
+    (loud, input, rec)
+}
+
+#[test]
+fn agc_control_boosts_quiet_recording() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    // A very quiet voice at the microphone.
+    control.speak_into_microphone(0, &da_dsp::tone::sine(8000, 440.0, 80_000, 1200));
+
+    let (loud, _input, rec) = record_rig(&mut conn);
+    let agc_atom = conn.intern_atom("AGC").unwrap();
+    conn.set_device_control(rec, agc_atom, vec![1]).unwrap();
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, rec, DeviceCommand::Record(sound, RecordTermination::MaxFrames(64_000)))
+        .unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    let data = conn.read_sound_all(sound).unwrap();
+    let pcm = da_alib::connection::decode_from(SoundType::TELEPHONE, &data);
+    // The tail (after AGC settles) should be much louder than the source.
+    let tail = &pcm[pcm.len() - 16_000..];
+    let rms = da_dsp::analysis::rms(tail);
+    assert!(rms > 2500.0, "AGC did not boost: tail rms {rms}");
+    server.shutdown();
+}
+
+#[test]
+fn pause_compression_control_shrinks_recording() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    // Speech – long pause – speech.
+    let mut signal = da_dsp::tone::sine(8000, 440.0, 8000, 10_000);
+    signal.extend(std::iter::repeat_n(0i16, 16_000)); // 2 s pause
+    signal.extend(da_dsp::tone::sine(8000, 440.0, 8000, 10_000));
+    let total = signal.len() as u64;
+    control.speak_into_microphone(0, &signal);
+
+    let (loud, _input, rec) = record_rig(&mut conn);
+    let pc_atom = conn.intern_atom("PAUSE_COMPRESSION").unwrap();
+    conn.set_device_control(rec, pc_atom, vec![1]).unwrap();
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, rec, DeviceCommand::Record(sound, RecordTermination::MaxFrames(total)))
+        .unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    let (_, _, frames, _) = conn.query_sound(sound).unwrap();
+    // 2 s of pause squeezed to 250 ms: expect roughly 16000 + 2000 frames.
+    assert!(frames < total - 10_000, "pause not compressed: {frames} of {total}");
+    assert!(frames > 16_000, "speech content lost: {frames}");
+    server.shutdown();
+}
+
+#[test]
+fn pause_detection_terminates_recording() {
+    let (server, mut conn) = start();
+    let control = server.control();
+    let mut signal = da_dsp::tone::sine(8000, 440.0, 8000, 10_000); // 1 s speech
+    signal.extend(std::iter::repeat_n(0i16, 32_000)); // long silence
+    control.speak_into_microphone(0, &signal);
+
+    let (loud, _input, rec) = record_rig(&mut conn);
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(
+        loud,
+        rec,
+        DeviceCommand::Record(
+            sound,
+            RecordTermination::OnPause { threshold: 300, min_silence_frames: 8000 },
+        ),
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    let ev = conn
+        .wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    match ev {
+        Event::RecordStopped { reason, frames, .. } => {
+            assert_eq!(reason, da_proto::event::RecordStopReason::PauseDetected);
+            // ~1 s of speech + ~1 s of trailing silence until detection.
+            assert!((12_000..24_000).contains(&frames), "frames {frames}");
+        }
+        _ => unreachable!(),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn recording_in_adpcm_halves_stored_bytes() {
+    // The representation is below the application (paper §2): record the
+    // same audio in µ-law and ADPCM; the protocol hides the difference.
+    let (server, mut conn) = start();
+    let control = server.control();
+    control.speak_into_microphone(0, &da_dsp::tone::sine(8000, 440.0, 64_000, 10_000));
+    let (loud, _input, rec) = record_rig(&mut conn);
+    conn.map_loud(loud).unwrap();
+    let adpcm = conn
+        .create_sound(SoundType { encoding: Encoding::ImaAdpcm, sample_rate: 8000, channels: 1 })
+        .unwrap();
+    conn.enqueue_cmd(loud, rec, DeviceCommand::Record(adpcm, RecordTermination::MaxFrames(16_000)))
+        .unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    let (stype, bytes, frames, complete) = conn.query_sound(adpcm).unwrap();
+    assert!(complete);
+    assert_eq!(stype.encoding, Encoding::ImaAdpcm);
+    assert_eq!(frames, 16_000);
+    assert!((7_990..=8_010).contains(&bytes), "ADPCM bytes {bytes} for {frames} frames");
+    server.shutdown();
+}
+
+#[test]
+fn hard_wired_devices_constrain_virtual_wiring() {
+    // Paper §5.2: the speaker-phone's line, mic and speaker are
+    // permanently connected; virtual wires between devices pinned to
+    // that hardware must follow the physical topology.
+    let (server, mut conn) = start_with_hw(da_hw::registry::HwSpec::desktop_with_speakerphone());
+    let (devices, hard_wires) = conn.query_device_loud().unwrap();
+    assert_eq!(hard_wires.len(), 2);
+    let find = |name: &str| {
+        devices
+            .iter()
+            .find(|d| d.attrs.iter().any(|a| matches!(a, Attribute::Name(n) if n == name)))
+            .map(|d| d.id)
+            .expect("device present")
+    };
+    let sp_line = find("speakerphone line");
+    let sp_speaker = find("speakerphone speaker");
+    let desk_speaker = find("speaker");
+
+    let loud = conn.create_loud(None).unwrap();
+    let tel = conn
+        .create_vdevice(loud, DeviceClass::Telephone, vec![Attribute::Device(sp_line)])
+        .unwrap();
+    let good_out = conn
+        .create_vdevice(loud, DeviceClass::Output, vec![Attribute::Device(sp_speaker)])
+        .unwrap();
+    let bad_out = conn
+        .create_vdevice(loud, DeviceClass::Output, vec![Attribute::Device(desk_speaker)])
+        .unwrap();
+
+    // Following the hard wire (line → its own speaker): allowed.
+    conn.create_wire(tel, 0, good_out, 0, WireType::Any).unwrap();
+    conn.sync().unwrap();
+    assert!(conn.take_error().is_none(), "hard-wired path should be allowed");
+
+    // Crossing the hard-wired unit (line → the desk speaker): rejected.
+    conn.create_wire(tel, 0, bad_out, 0, WireType::Any).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("mismatched wiring must fail");
+    assert_eq!(err.code, da_proto::ErrorCode::BadMatch);
+    server.shutdown();
+}

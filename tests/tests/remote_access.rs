@@ -1,0 +1,174 @@
+//! Telephone-based remote access (paper §1.2): "Speech synthesis and
+//! recognition allow for remote, telephone-based access to information
+//! accessible by the workstation." Voice commands over the phone line,
+//! pause-terminated message taking, and robustness when clients vanish.
+
+mod common;
+
+use common::start;
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{DeviceClass, SoundType, WireType};
+use std::time::Duration;
+
+#[test]
+fn voice_command_recognised_over_the_phone() {
+    let (server, mut conn) = start();
+    let control = server.control();
+
+    // Telephone source feeds a speech recognizer: the remote caller's
+    // words become WordRecognized events.
+    let loud = conn.create_loud(None).unwrap();
+    let tel = conn.create_vdevice(loud, DeviceClass::Telephone, vec![]).unwrap();
+    let recog = conn.create_vdevice(loud, DeviceClass::SpeechRecognizer, vec![]).unwrap();
+    conn.create_wire(tel, 0, recog, 0, WireType::Any).unwrap();
+    conn.select_events(tel, EventMask::DEVICE).unwrap();
+    conn.select_events(recog, EventMask::DEVICE).unwrap();
+
+    // Train over the protocol with synthesized utterances.
+    let tts = da_synth::tts::Synthesizer::new(8000);
+    for word in ["mail", "calendar"] {
+        let template = conn.upload_pcm(SoundType::TELEPHONE, &tts.speak(word)).unwrap();
+        conn.immediate(recog, DeviceCommand::Train { word: word.into(), template }).unwrap();
+    }
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+
+    // The remote caller dials in and says "calendar".
+    let caller = control.add_remote_party("555-6000");
+    control.with_party(caller, |p, pstn| {
+        let mut utterance = vec![0i16; 2400];
+        utterance.extend(tts.speak("calendar"));
+        utterance.extend(std::iter::repeat_n(0i16, 8000));
+        p.say(&utterance);
+        p.call(pstn, "555-0100");
+    });
+
+    // Answer when it rings.
+    conn.wait_event(Duration::from_secs(15), |e| {
+        matches!(
+            e,
+            Event::CallProgress { state: da_proto::event::CallState::Ringing, .. }
+        )
+    })
+    .unwrap();
+    conn.enqueue_cmd(loud, tel, DeviceCommand::Answer).unwrap();
+    conn.start_queue(loud).unwrap();
+
+    let ev = conn
+        .wait_event(Duration::from_secs(20), |e| matches!(e, Event::WordRecognized { .. }))
+        .unwrap();
+    match ev {
+        Event::WordRecognized { word, .. } => assert_eq!(word, "calendar"),
+        _ => unreachable!(),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn answering_machine_pause_termination_over_pstn() {
+    // The §5.9 termination alternative: "after a pause" instead of on
+    // hangup — the caller stops talking and the machine stops recording.
+    let (server, mut conn) = start();
+    let control = server.control();
+
+    let loud = conn.create_loud(None).unwrap();
+    let tel = conn.create_vdevice(loud, DeviceClass::Telephone, vec![]).unwrap();
+    let rec = conn.create_vdevice(loud, DeviceClass::Recorder, vec![]).unwrap();
+    conn.create_wire(tel, 0, rec, 0, WireType::Any).unwrap();
+    conn.select_events(tel, EventMask::DEVICE).unwrap();
+    conn.select_events(rec, EventMask::DEVICE).unwrap();
+
+    let message = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.enqueue(
+        loud,
+        vec![
+            da_proto::QueueEntry::Device { vdev: tel, cmd: DeviceCommand::Answer },
+            da_proto::QueueEntry::Device {
+                vdev: rec,
+                cmd: DeviceCommand::Record(
+                    message,
+                    RecordTermination::OnPause { threshold: 300, min_silence_frames: 8000 },
+                ),
+            },
+        ],
+    )
+    .unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+
+    // Caller speaks 1.5 s then stays silent (without hanging up).
+    let caller = control.add_remote_party("555-6001");
+    control.with_party(caller, |p, pstn| {
+        p.say(&da_dsp::tone::sine(8000, 350.0, 12_000, 11_000));
+        p.call(pstn, "555-0100");
+    });
+
+    let stopped = conn
+        .wait_event(Duration::from_secs(30), |e| matches!(e, Event::RecordStopped { .. }))
+        .unwrap();
+    match stopped {
+        Event::RecordStopped { reason, frames, .. } => {
+            assert_eq!(reason, da_proto::event::RecordStopReason::PauseDetected);
+            // ~1.5 s of speech + ~1 s of silence before the detector fires.
+            assert!((16_000..32_000).contains(&frames), "frames {frames}");
+        }
+        _ => unreachable!(),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_vanishing_mid_call_releases_the_line() {
+    let (server, mut survivor) = start();
+    let control = server.control();
+    let mut doomed =
+        da_alib::Connection::establish(server.connect_pipe(), "doomed").expect("connect");
+
+    // The doomed client holds a connected call.
+    let loud = doomed.create_loud(None).unwrap();
+    let tel = doomed.create_vdevice(loud, DeviceClass::Telephone, vec![]).unwrap();
+    doomed.select_events(tel, EventMask::DEVICE).unwrap();
+    doomed.map_loud(loud).unwrap();
+    doomed.sync().unwrap();
+    let remote = control.add_remote_party("555-6002");
+    control.with_party(remote, |p, _| p.auto_answer_after = Some(800));
+    doomed.enqueue_cmd(loud, tel, DeviceCommand::Dial("555-6002".into())).unwrap();
+    doomed.start_queue(loud).unwrap();
+    doomed
+        .wait_event(Duration::from_secs(15), |e| {
+            matches!(
+                e,
+                Event::CallProgress { state: da_proto::event::CallState::Connected, .. }
+            )
+        })
+        .unwrap();
+
+    // The client dies; the server reaps its resources. The line is
+    // released so the survivor can use it.
+    drop(doomed);
+    let reaped = control.run_until(Duration::from_secs(5), |c| c.louds.is_empty());
+    assert!(reaped, "resources not reaped after disconnect");
+
+    // The zombie call was torn down: the server line is back on-hook.
+    let on_hook = control.run_until(Duration::from_secs(5), |c| {
+        match c.hw.slot(2) {
+            Some(da_hw::registry::HwSlot::Line(l)) => {
+                c.hw.pstn.state(l) == da_hw::pstn::LineState::OnHook
+            }
+            _ => false,
+        }
+    });
+    assert!(on_hook, "line left off-hook after owner died");
+
+    let loud2 = survivor.create_loud(None).unwrap();
+    let tel2 = survivor.create_vdevice(loud2, DeviceClass::Telephone, vec![]).unwrap();
+    survivor.select_events(tel2, EventMask::DEVICE).unwrap();
+    survivor.map_loud(loud2).unwrap();
+    survivor.sync().unwrap();
+    // The survivor's LOUD is active and bound to the line.
+    let (_, mapped) = survivor.query_vdevice(tel2).unwrap();
+    assert!(mapped.is_some(), "line not rebindable after owner died");
+    server.shutdown();
+}

@@ -1,0 +1,139 @@
+//! Client-supplied real-time sound data (paper §5.6, §6.2).
+//!
+//! "When an application is providing data in real-time there is the
+//! possibility that the application or the application's source ... will
+//! not have the data when it is needed." The protocol lets the client
+//! trade buffering for latency; the server substitutes silence and
+//! reports underruns when the client falls behind.
+
+mod common;
+
+use common::start;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask};
+use da_proto::types::{DeviceClass, SoundType, WireType};
+use std::time::Duration;
+
+fn play_rig(
+    conn: &mut da_alib::Connection,
+) -> (da_proto::LoudId, da_proto::VDeviceId) {
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    conn.select_events(player, EventMask::DEVICE).unwrap();
+    conn.map_loud(loud).unwrap();
+    (loud, player)
+}
+
+#[test]
+fn starved_stream_underruns_and_recovers() {
+    let (server, mut conn) = start();
+    let (loud, player) = play_rig(&mut conn);
+
+    // A streaming sound with almost no initial data.
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    let chunk = da_alib::connection::encode_for(
+        SoundType::TELEPHONE,
+        &da_dsp::tone::sine(8000, 500.0, 400, 10000),
+    );
+    conn.write_sound(sound, &chunk, false).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+
+    // The engine free-runs in virtual time, so it exhausts 50 ms of data
+    // immediately and must underrun.
+    let under = conn
+        .wait_event(Duration::from_secs(10), |e| matches!(e, Event::SoundUnderrun { .. }))
+        .unwrap();
+    match under {
+        Event::SoundUnderrun { missing_frames, .. } => assert!(missing_frames > 0),
+        _ => unreachable!(),
+    }
+
+    // Feed the rest and close the stream: playback completes.
+    conn.write_sound(sound, &chunk, true).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| matches!(e, Event::CommandDone { .. }))
+        .unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn complete_sound_never_underruns() {
+    let (server, mut conn) = start();
+    let (loud, player) = play_rig(&mut conn);
+    let sound = conn
+        .upload_pcm(SoundType::TELEPHONE, &da_dsp::tone::sine(8000, 500.0, 16_000, 10000))
+        .unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    let mut saw_underrun = false;
+    loop {
+        match conn.next_event(Duration::from_secs(15)).unwrap() {
+            Some(Event::SoundUnderrun { .. }) => saw_underrun = true,
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => panic!("playback never finished"),
+        }
+    }
+    assert!(!saw_underrun, "a complete sound must play without underruns");
+    server.shutdown();
+}
+
+#[test]
+fn generous_prebuffer_prevents_underrun() {
+    // The buffering/latency trade-off (paper §6.2): prebuffering a large
+    // window before starting playback absorbs a slow producer.
+    let (server, mut conn) = start();
+    let (loud, player) = play_rig(&mut conn);
+
+    let pcm = da_dsp::tone::sine(8000, 500.0, 24_000, 10000); // 3 s total
+    let encoded = da_alib::connection::encode_for(SoundType::TELEPHONE, &pcm);
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    // Prebuffer 2 s, then trickle the rest quickly while playing.
+    conn.write_sound(sound, &encoded[..16_000], false).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    for chunk in encoded[16_000..].chunks(4000) {
+        conn.write_sound(sound, chunk, false).unwrap();
+    }
+    conn.write_sound(sound, &[], true).unwrap();
+
+    let mut underrun_frames = 0u64;
+    loop {
+        match conn.next_event(Duration::from_secs(15)).unwrap() {
+            Some(Event::SoundUnderrun { missing_frames, .. }) => {
+                underrun_frames += missing_frames;
+            }
+            Some(Event::CommandDone { .. }) => break,
+            Some(_) => {}
+            None => panic!("playback never finished"),
+        }
+    }
+    assert_eq!(underrun_frames, 0, "prebuffered stream still underran");
+    server.shutdown();
+}
+
+#[test]
+fn write_after_eof_rejected() {
+    let (server, mut conn) = start();
+    let sound = conn.create_sound(SoundType::TELEPHONE).unwrap();
+    conn.write_sound(sound, &[0xFF; 10], true).unwrap();
+    conn.write_sound(sound, &[0xFF; 10], false).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("write after eof must fail");
+    assert_eq!(err.code, da_proto::ErrorCode::BadMatch);
+    server.shutdown();
+}
+
+#[test]
+fn catalog_sound_immutable() {
+    let (server, mut conn) = start();
+    let beep = conn.open_catalog_sound("system", "beep").unwrap();
+    conn.write_sound(beep, &[0xFF; 10], false).unwrap();
+    conn.sync().unwrap();
+    let (_, err) = conn.take_error().expect("catalogue writes must fail");
+    assert_eq!(err.code, da_proto::ErrorCode::BadMatch);
+    server.shutdown();
+}
