@@ -1,0 +1,117 @@
+//! Route-plan and data-plane cost: cached plans versus per-tick
+//! recomputation, across deep chains, wide fan-out and a many-client mix.
+//!
+//! The `cached` variants measure the shipped engine (plans rebuilt only
+//! when `Core::topology_gen` moves). The `invalidated` variants call
+//! `Core::invalidate_plans` before every tick, forcing the plan rebuild
+//! the old engine effectively performed per tick — the ratio between the
+//! two is the tentpole's win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use da_bench::ManualRig;
+use da_proto::command::DeviceCommand;
+use da_proto::ids::VDeviceId;
+use da_proto::types::{Attribute, DeviceClass, SoundType, WireType};
+use da_server::ServerControl;
+
+/// player → dsp → dsp → … → output, `depth` intermediates long.
+fn build_deep_chain(rig: &mut ManualRig, depth: usize) {
+    let conn = &mut rig.conn;
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let mut prev = player;
+    for _ in 0..depth {
+        let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+        conn.create_wire(prev, 0, dsp, 0, WireType::Any).unwrap();
+        prev = dsp;
+    }
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(prev, 0, output, 0, WireType::Any).unwrap();
+    start_play(rig, loud.0, player);
+}
+
+/// One player fanning out through a crossbar to `width` mixers that all
+/// feed one output through a mixer tree.
+fn build_wide_fanout(rig: &mut ManualRig, width: usize) {
+    let conn = &mut rig.conn;
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let mix = conn.create_vdevice(
+        loud,
+        DeviceClass::Mixer,
+        vec![Attribute::SinkPorts(width as u8)],
+    )
+    .unwrap();
+    for port in 0..width {
+        let dsp = conn.create_vdevice(loud, DeviceClass::Dsp, vec![]).unwrap();
+        conn.create_wire(player, 0, dsp, 0, WireType::Any).unwrap();
+        conn.create_wire(dsp, 0, mix, port as u8, WireType::Any).unwrap();
+    }
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(mix, 0, output, 0, WireType::Any).unwrap();
+    start_play(rig, loud.0, player);
+}
+
+fn start_play(rig: &mut ManualRig, loud: u32, player: VDeviceId) {
+    let conn = &mut rig.conn;
+    let loud = da_proto::ids::LoudId(loud);
+    // An hour of telephone audio so the bench never drains it.
+    let pcm = da_dsp::tone::sine(8000, 440.0, 8000 * 3600, 10_000);
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+    rig.tick(5); // warm the plan cache and scratch pools
+}
+
+fn bench_pair(c: &mut Criterion, name: &str, control: &ServerControl) {
+    c.bench_function(&format!("routing_{name}_cached"), |b| {
+        b.iter(|| control.tick_n(1))
+    });
+    c.bench_function(&format!("routing_{name}_invalidated"), |b| {
+        b.iter(|| {
+            control.with_core(|core| core.invalidate_plans());
+            control.tick_n(1);
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    // Deep chain: 16 DSP stages between player and speaker.
+    let mut rig = ManualRig::desktop();
+    build_deep_chain(&mut rig, 16);
+    bench_pair(c, "deep_chain_16", &rig.control);
+
+    // Wide fan-out: 1 player → 12 parallel DSPs → 12-input mixer.
+    let mut rig = ManualRig::desktop();
+    build_wide_fanout(&mut rig, 12);
+    bench_pair(c, "fanout_12", &rig.control);
+
+    // Many clients: 16 independent player→output LOUDs sharing the
+    // speaker, each with its own route plan.
+    let rig = ManualRig::desktop();
+    let mut conns: Vec<_> = (0..16)
+        .map(|i| {
+            da_alib::Connection::establish(rig.server.connect_pipe(), &format!("c{i}"))
+                .expect("connect")
+        })
+        .collect();
+    let pcm = da_dsp::tone::sine(8000, 300.0, 8000 * 3600, 10_000);
+    for conn in conns.iter_mut() {
+        let loud = conn.create_loud(None).unwrap();
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+        let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+        conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+        let sound = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+        conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+        conn.start_queue(loud).unwrap();
+        conn.map_loud(loud).unwrap();
+        conn.sync().unwrap();
+    }
+    rig.tick(5);
+    bench_pair(c, "mix_16_clients", &rig.control);
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

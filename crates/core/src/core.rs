@@ -73,6 +73,13 @@ pub struct EngineStats {
     pub busy: Duration,
     /// Total frames delivered to all speakers.
     pub speaker_frames: u64,
+    /// Wall time of the most recent tick.
+    pub last_tick: Duration,
+    /// Longest single tick observed.
+    pub max_tick: Duration,
+    /// Route-plan cache rebuilds (cache misses after topology changes).
+    /// Stays flat across steady-state ticks.
+    pub plan_rebuilds: u64,
 }
 
 /// Server configuration.
@@ -146,6 +153,12 @@ pub struct Core {
     pub tick_index: u64,
     /// Engine statistics.
     pub stats: EngineStats,
+    /// Topology generation: bumped by every mutation that can change
+    /// routing (wires, devices, LOUD structure, activation/bindings).
+    /// The engine's plan cache rebuilds when this moves.
+    pub topology_gen: u64,
+    /// Cached route plans and scratch buffers (engine data plane).
+    pub plane: crate::plan::DataPlane,
     /// Next client id to hand out.
     pub next_client: u32,
     /// Set when the server is shutting down.
@@ -176,9 +189,18 @@ impl Core {
             device_time: 0,
             tick_index: 0,
             stats: EngineStats::default(),
+            topology_gen: 0,
+            plane: crate::plan::DataPlane::default(),
             next_client: 1,
         shutting_down: false,
         }
+    }
+
+    /// Marks the routing topology as changed: the engine rebuilds its
+    /// cached route plans before the next tick. Cheap (a counter bump),
+    /// so every mutation path calls it unconditionally.
+    pub fn invalidate_plans(&mut self) {
+        self.topology_gen = self.topology_gen.wrapping_add(1);
     }
 
     // ---- clients -----------------------------------------------------------
@@ -290,7 +312,11 @@ impl Core {
 
     /// Destroys a LOUD subtree: children, devices, wires, queue.
     pub fn destroy_loud(&mut self, loud: u32) {
-        let Some(l) = self.louds.get(&loud) else { return };
+        if !self.louds.contains_key(&loud) {
+            return;
+        }
+        self.invalidate_plans();
+        let l = self.louds.get(&loud).expect("checked above");
         let is_root = l.is_root();
         let parent = l.parent;
         let children = l.children.clone();
@@ -320,6 +346,7 @@ impl Core {
 
     /// Destroys a virtual device and its wires.
     pub fn destroy_vdev(&mut self, vdev: u32) {
+        self.invalidate_plans();
         let wire_ids: Vec<u32> = self
             .wires
             .values()
@@ -405,6 +432,9 @@ impl Core {
     /// paper §5.4).
     pub fn recompute_activation(&mut self) {
         use std::collections::HashSet;
+        // Bindings and the active set feed the engine's cached plans;
+        // any recompute may change them.
+        self.invalidate_plans();
         let mut exclusive_devices: HashSet<usize> = HashSet::new();
         let mut used_devices: HashSet<usize> = HashSet::new();
         let mut excl_in_domains: HashSet<u32> = HashSet::new();

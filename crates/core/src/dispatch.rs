@@ -199,6 +199,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
             let root = core.root_of(loud.0);
             let v = VDev::new(*id, client, loud.0, root, *class, attrs.clone());
             core.vdevs.insert(id.0, v);
+            core.invalidate_plans();
             if let Some(l) = core.louds.get_mut(&loud.0) {
                 l.vdevs.push(id.0);
             }
@@ -419,6 +420,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
             core.wires
                 .insert(id.0, Wire::new(*id, client, *src, *src_port, *dst, *dst_port, *wire_type));
             let _ = root;
+            core.invalidate_plans();
             Ok(None)
         }
         Request::DestroyWire { id } => {
@@ -427,6 +429,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 return Err(err(ErrorCode::BadAccess, id.0, "not owner"));
             }
             core.wires.remove(&id.0);
+            core.invalidate_plans();
             Ok(None)
         }
         Request::QueryWire { id } => {

@@ -21,6 +21,7 @@
 //!   reactivation resumes exactly where deactivation paused.
 
 use crate::core::{Core, ResKey};
+use crate::plan::{DataPlane, EngineScratch, PlanCache, RoutePlan};
 use crate::queue::{CmdState, QNode, RunNode};
 use crate::sound::pcm_encoding;
 use crate::vdevice::{ActiveOp, ClassState, HwBinding, VDev};
@@ -48,64 +49,64 @@ pub fn tick(core: &mut Core) {
     // 2. Network timers (ring timeout etc.).
     core.hw.pstn.tick(n8 as u64);
 
+    // The data plane (cached plans + scratch buffers) is detached from
+    // the core for the tick so its borrows never conflict with core
+    // mutations. Nothing inside a tick changes topology, so the plans
+    // stay valid for the whole tick.
+    let mut plane = std::mem::take(&mut core.plane);
+    if plane.plans.ensure_fresh(core) {
+        core.stats.plan_rebuilds += 1;
+    }
+    let DataPlane { plans, scratch } = &mut plane;
+
     // 3. Telephone line events fan out to the device LOUD and bound
     //    virtual devices.
-    fan_out_line_events(core);
+    fan_out_line_events(core, plans);
 
     // 4. Command queues of active roots, in stack order.
-    let roots: Vec<u32> = core.active_stack.clone();
-    for root in &roots {
-        if core.louds.get(root).map(|l| l.active) == Some(true) {
-            step_queue(core, *root, n8 as u64);
-        }
+    for i in 0..plans.active_roots.len() {
+        step_queue(core, plans.active_roots[i], n8 as u64, scratch);
     }
 
     // 5. Continuous producers: microphones and telephone receive.
-    produce_continuous(core, quantum, t);
+    produce_continuous(core, quantum, t, plans, scratch);
 
     // 6. Wires (and intermediate devices) in topological order per tree.
-    for root in &roots {
-        if core.louds.get(root).map(|l| l.active) == Some(true) {
-            route_tree(core, *root, quantum, t);
+    for i in 0..plans.active_roots.len() {
+        if let Some(plan) = plans.routes.get(&plans.active_roots[i]) {
+            route_tree(core, plan, quantum, t, scratch);
         }
     }
 
     // 7. Consumers: speakers, telephone transmit, recorders, recognizers.
-    consume(core, quantum, t, n8);
+    consume(core, quantum, t, plans, scratch);
+
+    core.plane = plane;
 
     // 8. Advance time.
     core.device_time += n8 as u64;
     core.tick_index += 1;
     core.stats.ticks += 1;
-    core.stats.busy += started.elapsed();
+    let spent = started.elapsed();
+    core.stats.busy += spent;
+    core.stats.last_tick = spent;
+    if spent > core.stats.max_tick {
+        core.stats.max_tick = spent;
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Line events
 // ---------------------------------------------------------------------------
 
-fn vdevs_bound_to_line(core: &Core, line: da_hw::pstn::LineId) -> Vec<u32> {
-    core.vdevs
-        .values()
-        .filter(|v| v.binding == Some(HwBinding::Line(line)))
-        .map(|v| v.id.0)
-        .collect()
-}
-
-fn fan_out_line_events(core: &mut Core) {
+fn fan_out_line_events(core: &mut Core, plans: &PlanCache) {
     use da_hw::pstn::LineEvent;
-    let line_slots: Vec<(usize, da_hw::pstn::LineId)> = (0..core.hw.device_count())
-        .filter_map(|i| match core.hw.slot(i) {
-            Some(da_hw::registry::HwSlot::Line(l)) => Some((i, l)),
-            _ => None,
-        })
-        .collect();
-    for (dev_idx, line) in line_slots {
+    for (slot, &(dev_idx, line)) in plans.line_slots.iter().enumerate() {
         let events = core.hw.pstn.poll_events(line);
         if events.is_empty() {
             continue;
         }
-        let bound = vdevs_bound_to_line(core, line);
+        let bound = &plans.line_bound[slot];
         for ev in events {
             let (state, caller_id) = match &ev {
                 LineEvent::IncomingRing { caller_id } => (CallState::Ringing, caller_id.clone()),
@@ -124,7 +125,7 @@ fn fan_out_line_events(core: &mut Core) {
                     caller_id: caller_id.clone(),
                 },
             );
-            for &vid in &bound {
+            for &vid in bound {
                 core.send_event(
                     ResKey(1, vid),
                     Event::CallProgress {
@@ -157,7 +158,7 @@ fn fan_out_line_events(core: &mut Core) {
 // Queue execution
 // ---------------------------------------------------------------------------
 
-fn step_queue(core: &mut Core, root: u32, budget_8k: u64) {
+fn step_queue(core: &mut Core, root: u32, budget_8k: u64, scratch: &mut EngineScratch) {
     let state = match core.queue_mut(root) {
         Some(q) => q.state,
         None => return,
@@ -186,7 +187,7 @@ fn step_queue(core: &mut Core, root: u32, budget_8k: u64) {
         }
         let Some(q) = core.queue_mut(root) else { return };
         let Some(mut run) = q.running.take() else { return };
-        let consumed = step_node(core, root, &mut run, budget);
+        let consumed = step_node(core, root, &mut run, budget, scratch);
         let done = run.done();
         let Some(q) = core.queue_mut(root) else { return };
         if !done {
@@ -398,7 +399,13 @@ fn make_op(core: &mut Core, vid: u32, cmd: &DeviceCommand) -> Result<Option<Acti
 
 /// Steps a running node within the tick budget (8 kHz frames); returns
 /// frames of budget consumed.
-fn step_node(core: &mut Core, root: u32, run: &mut RunNode, budget: u64) -> u64 {
+fn step_node(
+    core: &mut Core,
+    root: u32,
+    run: &mut RunNode,
+    budget: u64,
+    scratch: &mut EngineScratch,
+) -> u64 {
     match run {
         RunNode::Cmd { .. } => {
             let waiting = matches!(run, RunNode::Cmd { state: CmdState::Waiting, .. });
@@ -411,7 +418,7 @@ fn step_node(core: &mut Core, root: u32, run: &mut RunNode, budget: u64) -> u64 
             }
             let vid = vdev.0;
             let idx = *index;
-            let (consumed, done) = step_device_op(core, vid, budget);
+            let (consumed, done) = step_device_op(core, vid, budget, scratch);
             if done {
                 *state = CmdState::Done;
                 emit_command_done(core, root, vid, idx);
@@ -422,7 +429,7 @@ fn step_node(core: &mut Core, root: u32, run: &mut RunNode, budget: u64) -> u64 
             let mut max_consumed = 0;
             for c in children.iter_mut() {
                 if !c.done() {
-                    let used = step_node(core, root, c, budget);
+                    let used = step_node(core, root, c, budget, scratch);
                     max_consumed = max_consumed.max(used);
                 }
             }
@@ -451,7 +458,7 @@ fn step_node(core: &mut Core, root: u32, run: &mut RunNode, budget: u64) -> u64 
                     }
                 }
                 let cur = current.as_mut().expect("just set");
-                let step_used = step_node(core, root, cur, left);
+                let step_used = step_node(core, root, cur, left, scratch);
                 used += step_used;
                 left = left.saturating_sub(step_used);
                 if cur.done() {
@@ -474,7 +481,7 @@ enum OpSnap {
     Play { sound: u32, pos: u64, started: bool },
     Render,
     Record { started: bool, sound: u32 },
-    Dial { number: String, issued: bool },
+    Dial { issued: bool },
     Answer,
     SendDtmf,
 }
@@ -482,7 +489,12 @@ enum OpSnap {
 /// Steps the active operation on one device. Returns (budget consumed in
 /// 8 kHz frames, completed). Queue-stopping failures (a dial that got
 /// busy) are pushed onto `core.queue_failures`.
-fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
+fn step_device_op(
+    core: &mut Core,
+    vid: u32,
+    budget: u64,
+    scratch: &mut EngineScratch,
+) -> (u64, bool) {
     // Snapshot scalar device state first; all borrows are sequential.
     let (abort, paused, rate, gain, sync_every, binding, root) = {
         let Some(v) = core.vdevs.get(&vid) else { return (0, true) };
@@ -521,9 +533,7 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
             Some(ActiveOp::Record { started, sound, .. }) => {
                 OpSnap::Record { started: *started, sound: *sound }
             }
-            Some(ActiveOp::Dial { number, issued }) => {
-                OpSnap::Dial { number: number.clone(), issued: *issued }
-            }
+            Some(ActiveOp::Dial { issued, .. }) => OpSnap::Dial { issued: *issued },
             Some(ActiveOp::Answer) => OpSnap::Answer,
             Some(ActiveOp::SendDtmf { .. }) => OpSnap::SendDtmf,
         }
@@ -539,7 +549,8 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
             let avail = snd.len_frames();
             let complete = snd.complete;
             let want = demand.min(avail.saturating_sub(from));
-            let mut samples = snd.decode_frames(from, want);
+            let mut samples = scratch.take_i16();
+            snd.decode_frames_into(from, want, &mut samples);
             let got = samples.len() as u64;
             da_dsp::gain::apply(&mut samples, gain);
             let mut missing = 0u64;
@@ -581,6 +592,7 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
                     v.op = None;
                 }
             }
+            scratch.put_i16(samples);
             if !was_started {
                 core.send_event(
                     ResKey(1, vid),
@@ -612,25 +624,28 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
             (budget_frames * 8000 / rate, finished)
         }
         OpSnap::Render => {
-            let (mut chunk, finished) = {
+            let mut chunk = scratch.take_i16();
+            let finished = {
                 let v = core.vdevs.get_mut(&vid).expect("checked");
                 let Some(ActiveOp::Render { buf, pos }) = v.op.as_mut() else {
+                    scratch.put_i16(chunk);
                     return (0, true);
                 };
                 let want = (demand as usize).min(buf.len() - *pos);
-                let chunk: Vec<i16> = buf[*pos..*pos + want].to_vec();
+                chunk.extend_from_slice(&buf[*pos..*pos + want]);
                 *pos += want;
-                (chunk, *pos >= buf.len())
+                *pos >= buf.len()
             };
             let want = chunk.len();
             da_dsp::gain::apply(&mut chunk, gain);
             {
                 let v = core.vdevs.get_mut(&vid).expect("checked");
-                v.src_bufs[0].extend(chunk);
+                v.src_bufs[0].extend(chunk.iter().copied());
                 if finished {
                     v.op = None;
                 }
             }
+            scratch.put_i16(chunk);
             (want as u64 * 8000 / rate, finished)
         }
         OpSnap::Record { started, sound: sid } => {
@@ -661,7 +676,7 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
                 (budget, false)
             }
         }
-        OpSnap::Dial { number, issued } => {
+        OpSnap::Dial { issued } => {
             let line = match binding {
                 Some(HwBinding::Line(l)) => l,
                 _ => {
@@ -672,12 +687,15 @@ fn step_device_op(core: &mut Core, vid: u32, budget: u64) -> (u64, bool) {
                 }
             };
             if !issued {
-                core.hw.pstn.off_hook(line);
-                core.hw.pstn.dial(line, &number);
-                if let Some(v) = core.vdevs.get_mut(&vid) {
-                    if let Some(ActiveOp::Dial { issued, .. }) = v.op.as_mut() {
-                        *issued = true;
-                    }
+                // Disjoint borrows: the number stays on the device while
+                // the line dials it (no clone).
+                let Core { vdevs, hw, .. } = core;
+                if let Some(ActiveOp::Dial { number, issued }) =
+                    vdevs.get_mut(&vid).and_then(|v| v.op.as_mut())
+                {
+                    hw.pstn.off_hook(line);
+                    hw.pstn.dial(line, number);
+                    *issued = true;
                 }
                 core.send_event(
                     ResKey(1, vid),
@@ -868,15 +886,15 @@ pub fn stop_queue(core: &mut Core, root: u32, reason: QueueStopReason) {
 // Continuous producers
 // ---------------------------------------------------------------------------
 
-fn produce_continuous(core: &mut Core, quantum: u64, tick: u64) {
-    let active_vdevs: Vec<u32> = core
-        .vdevs
-        .values()
-        .filter(|v| v.binding.is_some())
-        .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
-        .map(|v| v.id.0)
-        .collect();
-    for vid in active_vdevs {
+fn produce_continuous(
+    core: &mut Core,
+    quantum: u64,
+    tick: u64,
+    plans: &PlanCache,
+    scratch: &mut EngineScratch,
+) {
+    for i in 0..plans.active_bound.len() {
+        let vid = plans.active_bound[i];
         let Some(v) = core.vdevs.get(&vid) else { continue };
         if v.paused {
             continue;
@@ -886,29 +904,31 @@ fn produce_continuous(core: &mut Core, quantum: u64, tick: u64) {
                 let rate = v.rate;
                 let gain = v.gain_milli;
                 let n = frames_this_tick(rate, quantum, tick);
-                let mut samples = core.hw.microphones[m].pull(n);
+                let mut samples = scratch.take_i16();
+                core.hw.microphones[m].pull_into(n, &mut samples);
                 da_dsp::gain::apply(&mut samples, gain);
                 if let Some(v) = core.vdevs.get_mut(&vid) {
                     if !v.src_bufs.is_empty() {
-                        v.src_bufs[0].extend(samples);
+                        v.src_bufs[0].extend(samples.iter().copied());
                     }
                 }
+                scratch.put_i16(samples);
             }
             (DeviceClass::Telephone, Some(HwBinding::Line(l))) => {
                 let n = frames_this_tick(da_hw::pstn::LINE_RATE, quantum, tick);
-                let samples = core.hw.pstn.read_rx(l, n);
+                let mut samples = scratch.take_i16();
+                core.hw.pstn.read_rx_into(l, n, &mut samples);
                 // In-band DTMF detection on received audio.
-                let digits = {
-                    let Some(v) = core.vdevs.get_mut(&vid) else { continue };
-                    let digits = match &mut v.state {
-                        ClassState::Telephone(t) => t.dtmf.push(&samples),
-                        _ => Vec::new(),
-                    };
+                let mut digits = Vec::new();
+                if let Some(v) = core.vdevs.get_mut(&vid) {
+                    if let ClassState::Telephone(t) = &mut v.state {
+                        digits = t.dtmf.push(&samples);
+                    }
                     if !v.src_bufs.is_empty() {
                         v.src_bufs[0].extend(samples.iter().copied());
                     }
-                    digits
-                };
+                }
+                scratch.put_i16(samples);
                 for d in digits {
                     core.send_event(
                         ResKey(1, vid),
@@ -928,157 +948,179 @@ fn produce_continuous(core: &mut Core, quantum: u64, tick: u64) {
 // Wire routing
 // ---------------------------------------------------------------------------
 
-/// Topological order of the virtual devices in a tree (wires define the
-/// edges). Cycles are prevented at `CreateWire`.
-fn topo_order(core: &Core, root: u32) -> Vec<u32> {
-    let vdevs = core.tree_vdevs(root);
-    let set: std::collections::HashSet<u32> = vdevs.iter().copied().collect();
-    let mut indegree: std::collections::HashMap<u32, usize> =
-        vdevs.iter().map(|&v| (v, 0)).collect();
-    for w in core.wires.values() {
-        if set.contains(&w.src.0) && set.contains(&w.dst.0) {
-            *indegree.entry(w.dst.0).or_insert(0) += 1;
-        }
-    }
-    let mut queue: std::collections::VecDeque<u32> = vdevs
-        .iter()
-        .copied()
-        .filter(|v| indegree.get(v).copied().unwrap_or(0) == 0)
-        .collect();
-    let mut order = Vec::with_capacity(vdevs.len());
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
-        for w in core.wires.values() {
-            if w.src.0 == v && set.contains(&w.dst.0) {
-                let e = indegree.get_mut(&w.dst.0).expect("present");
-                *e -= 1;
-                if *e == 0 {
-                    queue.push_back(w.dst.0);
+/// Routes one tree along its cached plan: intermediate devices process
+/// sinks to sources in topological order, then each wired source port is
+/// drained once and fanned out to its wires in stable (wire-id) order.
+fn route_tree(
+    core: &mut Core,
+    plan: &RoutePlan,
+    quantum: u64,
+    tick: u64,
+    scratch: &mut EngineScratch,
+) {
+    for dev in &plan.order {
+        let vid = dev.vid;
+        // Intermediate devices transform sinks to sources first.
+        process_intermediate(core, vid, quantum, tick, scratch);
+        let src_rate = core.vdevs.get(&vid).map(|v| v.rate).unwrap_or(8000);
+        for pp in &dev.ports {
+            let mut samples = scratch.take_i16();
+            match core.vdevs.get_mut(&vid) {
+                Some(v) if (pp.port as usize) < v.src_bufs.len() => {
+                    let buf = &mut v.src_bufs[pp.port as usize];
+                    let (a, b) = buf.as_slices();
+                    samples.extend_from_slice(a);
+                    samples.extend_from_slice(b);
+                    buf.clear();
+                }
+                _ => {
+                    scratch.put_i16(samples);
+                    continue;
                 }
             }
-        }
-    }
-    order
-}
-
-fn route_tree(core: &mut Core, root: u32, quantum: u64, tick: u64) {
-    let order = topo_order(core, root);
-    for vid in order {
-        // Intermediate devices transform sinks to sources first.
-        process_intermediate(core, vid, quantum, tick);
-        // Then push along outgoing wires. A source port may feed several
-        // wires (fan-out): drain it once and deliver the same samples to
-        // every wire, in stable (wire-id) order.
-        let src_rate = core.vdevs.get(&vid).map(|v| v.rate).unwrap_or(8000);
-        let n_ports = core.vdevs.get(&vid).map(|v| v.src_bufs.len()).unwrap_or(0);
-        for port in 0..n_ports as u8 {
-            let mut wire_ids: Vec<u32> = core
-                .wires
-                .values()
-                .filter(|w| w.src.0 == vid && w.src_port == port)
-                .map(|w| w.id.0)
-                .collect();
-            if wire_ids.is_empty() {
-                continue;
-            }
-            wire_ids.sort_unstable();
-            let samples: Vec<i16> = match core.vdevs.get_mut(&vid) {
-                Some(v) => v.src_bufs[port as usize].drain(..).collect(),
-                None => continue,
-            };
-            for wid in wire_ids {
-                let Some(w) = core.wires.get(&wid) else { continue };
-                let (dst, dst_port) = (w.dst.0, w.dst_port);
-                let dst_rate = core.vdevs.get(&dst).map(|v| v.rate).unwrap_or(8000);
-                let out = match core.wires.get_mut(&wid) {
-                    Some(w) => w.transfer(&samples, src_rate, dst_rate),
-                    None => continue,
+            for pw in &pp.wires {
+                let dst_rate = core.vdevs.get(&pw.dst).map(|v| v.rate).unwrap_or(8000);
+                // Same-rate wires skip the staging copy entirely; a rate
+                // change drops any stale resampler, exactly as
+                // `Wire::transfer` would.
+                let mut staged = if src_rate == dst_rate {
+                    None
+                } else {
+                    Some(scratch.take_i16())
                 };
-                if let Some(v) = core.vdevs.get_mut(&dst) {
-                    if (dst_port as usize) < v.sink_bufs.len() {
-                        v.sink_bufs[dst_port as usize].extend(out);
+                match core.wires.get_mut(&pw.wire) {
+                    Some(w) => match &mut staged {
+                        None => w.resampler = None,
+                        Some(out) => w.transfer_into(&samples, src_rate, dst_rate, out),
+                    },
+                    None => {
+                        if let Some(out) = staged {
+                            scratch.put_i16(out);
+                        }
+                        continue;
                     }
                 }
+                if let Some(v) = core.vdevs.get_mut(&pw.dst) {
+                    if (pw.dst_port as usize) < v.sink_bufs.len() {
+                        let sink = &mut v.sink_bufs[pw.dst_port as usize];
+                        match &staged {
+                            None => sink.extend(samples.iter().copied()),
+                            Some(out) => sink.extend(out.iter().copied()),
+                        }
+                    }
+                }
+                if let Some(out) = staged {
+                    scratch.put_i16(out);
+                }
             }
+            scratch.put_i16(samples);
         }
     }
 }
 
-fn process_intermediate(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
+/// Adds up to `demand` samples from a sink buffer into `acc`, scaled by
+/// `pct` percent, using the deque's slices directly (no per-sample
+/// pops). Returns how many samples were read.
+fn accumulate_scaled(
+    buf: &std::collections::VecDeque<i16>,
+    demand: usize,
+    pct: i32,
+    acc: &mut [i32],
+) -> usize {
+    let take = buf.len().min(demand);
+    let (a, b) = buf.as_slices();
+    let from_a = take.min(a.len());
+    for (slot, &s) in acc.iter_mut().zip(a[..from_a].iter()) {
+        *slot += s as i32 * pct / 100;
+    }
+    for (slot, &s) in acc[from_a..].iter_mut().zip(b[..take - from_a].iter()) {
+        *slot += s as i32 * pct / 100;
+    }
+    take
+}
+
+fn process_intermediate(
+    core: &mut Core,
+    vid: u32,
+    quantum: u64,
+    tick: u64,
+    scratch: &mut EngineScratch,
+) {
     let Some(v) = core.vdevs.get_mut(&vid) else { return };
     if v.paused {
         return;
     }
     let demand = frames_this_tick(v.rate, quantum, tick);
-    match &mut v.state {
+    // Destructure the device so the class state, port buffers and gain
+    // borrow disjointly: no clones of mixer gains or crossbar routes.
+    let VDev { state, sink_bufs, src_bufs, gain_milli, .. } = v;
+    match state {
         ClassState::Mixer { gains } => {
-            let gains = gains.clone();
-            let mut mix = vec![0i32; demand];
+            let mut mix = scratch.take_i32();
+            mix.resize(demand, 0);
             for (port, pct) in gains.iter().enumerate() {
-                if port >= v.sink_bufs.len() {
+                if port >= sink_bufs.len() {
                     break;
                 }
-                let buf = &mut v.sink_bufs[port];
-                for slot in mix.iter_mut() {
-                    match buf.pop_front() {
-                        Some(s) => *slot += s as i32 * *pct as i32 / 100,
-                        None => break,
-                    }
-                }
+                let took = accumulate_scaled(&sink_bufs[port], demand, *pct as i32, &mut mix);
+                sink_bufs[port].drain(..took);
             }
-            let gain = v.gain_milli;
-            let mut out: Vec<i16> = mix
-                .into_iter()
-                .map(|s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
-                .collect();
-            da_dsp::gain::apply(&mut out, gain);
-            if !v.src_bufs.is_empty() {
-                v.src_bufs[0].extend(out);
+            let mut out = scratch.take_i16();
+            out.extend(mix.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
+            da_dsp::gain::apply(&mut out, *gain_milli);
+            if !src_bufs.is_empty() {
+                src_bufs[0].extend(out.iter().copied());
             }
+            scratch.put_i16(out);
+            scratch.put_i32(mix);
         }
         ClassState::Crossbar { routes } => {
-            let routes = routes.clone();
-            let n_sinks = v.sink_bufs.len();
-            let n_srcs = v.src_bufs.len();
-            let mut inputs: Vec<Vec<i16>> = Vec::with_capacity(n_sinks);
-            for port in 0..n_sinks {
-                let take = v.sink_bufs[port].len().min(demand);
-                inputs.push(v.sink_bufs[port].drain(..take).collect());
-            }
-            let mut outputs = vec![vec![0i32; demand]; n_srcs];
-            for (i, o) in routes {
-                let (i, o) = (i as usize, o as usize);
-                if i >= inputs.len() || o >= outputs.len() {
-                    continue;
-                }
-                for (k, &s) in inputs[i].iter().enumerate() {
-                    if k < outputs[o].len() {
-                        outputs[o][k] += s as i32;
+            // Several routes may tap one input, so inputs are read first
+            // and drained only after every output is built. One pooled
+            // accumulator serves all outputs in turn.
+            let n_sinks = sink_bufs.len();
+            let mut acc = scratch.take_i32();
+            let mut out = scratch.take_i16();
+            for (port, src) in src_bufs.iter_mut().enumerate() {
+                acc.clear();
+                acc.resize(demand, 0);
+                for &(i, o) in routes.iter() {
+                    if o as usize != port || i as usize >= n_sinks {
+                        continue;
                     }
+                    accumulate_scaled(&sink_bufs[i as usize], demand, 100, &mut acc);
                 }
+                out.clear();
+                out.extend(acc.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
+                src.extend(out.iter().copied());
             }
-            for (port, out) in outputs.into_iter().enumerate() {
-                let clipped: Vec<i16> = out
-                    .into_iter()
-                    .map(|s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
-                    .collect();
-                v.src_bufs[port].extend(clipped);
+            for buf in sink_bufs.iter_mut() {
+                let take = buf.len().min(demand);
+                buf.drain(..take);
             }
+            scratch.put_i16(out);
+            scratch.put_i32(acc);
         }
         ClassState::Dsp { effect } => {
             // The extension point for new signal-processing algorithms
             // (paper §5.1 leaves DSP commands unspecified; the EFFECT
             // device control selects behaviour).
-            let take = v.sink_bufs.first().map(|b| b.len()).unwrap_or(0);
-            if take > 0 && !v.src_bufs.is_empty() {
-                let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+            let take = sink_bufs.first().map(|b| b.len()).unwrap_or(0);
+            if take > 0 && !src_bufs.is_empty() {
+                let mut data = scratch.take_i16();
+                let buf = &mut sink_bufs[0];
+                let (a, b) = buf.as_slices();
+                data.extend_from_slice(a);
+                data.extend_from_slice(b);
+                buf.clear();
                 match effect {
                     crate::vdevice::DspEffect::PassThrough => {}
                     crate::vdevice::DspEffect::Echo(e) => e.process(&mut data),
                     crate::vdevice::DspEffect::LowPass(lp) => lp.process(&mut data),
                 }
-                da_dsp::gain::apply(&mut data, v.gain_milli);
-                v.src_bufs[0].extend(data);
+                da_dsp::gain::apply(&mut data, *gain_milli);
+                src_bufs[0].extend(data.iter().copied());
+                scratch.put_i16(data);
             }
         }
         _ => {}
@@ -1089,27 +1131,23 @@ fn process_intermediate(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
 // Consumers
 // ---------------------------------------------------------------------------
 
-fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
-    // Speaker accumulators: (samples, fed, starved).
+fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch: &mut EngineScratch) {
+    // Speaker accumulators persist in the scratch pool across ticks so
+    // their capacity is paid once.
     let n_speakers = core.hw.speakers.len();
-    let mut speaker_acc: Vec<Vec<i32>> = Vec::with_capacity(n_speakers);
-    let mut speaker_fed: Vec<bool> = vec![false; n_speakers];
+    scratch.speaker_acc.resize_with(n_speakers, Vec::new);
+    scratch.speaker_fed.clear();
+    scratch.speaker_fed.resize(n_speakers, false);
     for s in 0..n_speakers {
         let rate = core.hw.speakers[s].rate();
         let ch = core.hw.speakers[s].channels().max(1) as usize;
         let frames = frames_this_tick(rate, quantum, tick);
-        speaker_acc.push(vec![0i32; frames * ch]);
+        scratch.speaker_acc[s].clear();
+        scratch.speaker_acc[s].resize(frames * ch, 0);
     }
 
-    let active_vdevs: Vec<u32> = core
-        .vdevs
-        .values()
-        .filter(|v| v.binding.is_some())
-        .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
-        .map(|v| v.id.0)
-        .collect();
-
-    for vid in active_vdevs {
+    for i in 0..plans.active_bound.len() {
+        let vid = plans.active_bound[i];
         let Some(v) = core.vdevs.get(&vid) else { continue };
         if v.paused {
             continue;
@@ -1126,11 +1164,16 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
                     continue;
                 }
                 let take = had.min(frames);
-                let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+                let mut data = scratch.take_i16();
+                let (a, b) = v.sink_bufs[0].as_slices();
+                let from_a = take.min(a.len());
+                data.extend_from_slice(&a[..from_a]);
+                data.extend_from_slice(&b[..take - from_a]);
+                v.sink_bufs[0].drain(..take);
                 da_dsp::gain::apply(&mut data, gain);
-                speaker_fed[s] = true;
+                scratch.speaker_fed[s] = true;
                 // Mono sources fan out to every channel.
-                let acc = &mut speaker_acc[s];
+                let acc = &mut scratch.speaker_acc[s];
                 for (i, &sample) in data.iter().enumerate() {
                     for c in 0..ch {
                         let idx = i * ch + c;
@@ -1139,11 +1182,13 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
                         }
                     }
                 }
+                scratch.put_i16(data);
             }
             (DeviceClass::Telephone, Some(HwBinding::Line(l))) => {
                 let frames = frames_this_tick(da_hw::pstn::LINE_RATE, quantum, tick);
                 let Some(v) = core.vdevs.get_mut(&vid) else { continue };
-                let mut data = v.drain_sink(0, frames);
+                let mut data = scratch.take_i16();
+                v.drain_sink_into(0, frames, &mut data);
                 // Overlay in-flight DTMF.
                 let mut dtmf_done = false;
                 if let Some(ActiveOp::SendDtmf { buf, pos }) = &mut v.op {
@@ -1158,20 +1203,26 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
                     // observes completion via step_device_op.
                 }
                 core.hw.pstn.write_tx(l, &data);
+                scratch.put_i16(data);
             }
             (DeviceClass::Recorder, _) => {
-                consume_recorder(core, vid, quantum, tick);
+                consume_recorder(core, vid, quantum, tick, scratch);
             }
             (DeviceClass::SpeechRecognizer, _) => {
                 let Some(v) = core.vdevs.get_mut(&vid) else { continue };
-                let data: Vec<i16> = v.sink_bufs[0].drain(..).collect();
-                if data.is_empty() {
+                if v.sink_bufs[0].is_empty() {
                     continue;
                 }
+                let mut data = scratch.take_i16();
+                let (a, b) = v.sink_bufs[0].as_slices();
+                data.extend_from_slice(a);
+                data.extend_from_slice(b);
+                v.sink_bufs[0].clear();
                 let results = match &mut v.state {
                     ClassState::Recognizer(r) => r.push(&data),
                     _ => Vec::new(),
                 };
+                scratch.put_i16(data);
                 for r in results {
                     core.send_event(
                         ResKey(1, vid),
@@ -1188,18 +1239,18 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, _n8: usize) {
     }
 
     // Deliver accumulated audio to speakers.
-    for (s, acc) in speaker_acc.into_iter().enumerate() {
-        let data: Vec<i16> = acc
-            .into_iter()
-            .map(|v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
-            .collect();
+    for s in 0..n_speakers {
+        let acc = &scratch.speaker_acc[s];
+        let data = &mut scratch.speaker_out;
+        data.clear();
+        data.extend(acc.iter().map(|&v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
         let frames = data.len() as u64 / core.hw.speakers[s].channels().max(1) as u64;
-        core.hw.speakers[s].render(&data, speaker_fed[s], 0);
+        core.hw.speakers[s].render(data, scratch.speaker_fed[s], 0);
         core.stats.speaker_frames += frames;
     }
 }
 
-fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
+fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64, scratch: &mut EngineScratch) {
     let Some(v) = core.vdevs.get_mut(&vid) else { return };
     if v.op.is_none() {
         // Not recording: discard arriving audio so a later Record starts
@@ -1214,7 +1265,14 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
     if take == 0 {
         return;
     }
-    let mut data: Vec<i16> = v.sink_bufs[0].drain(..take).collect();
+    let mut data = scratch.take_i16();
+    {
+        let (a, b) = v.sink_bufs[0].as_slices();
+        let from_a = take.min(a.len());
+        data.extend_from_slice(&a[..from_a]);
+        data.extend_from_slice(&b[..take - from_a]);
+    }
+    v.sink_bufs[0].drain(..take);
     let (sid, sync_every) = {
         let sync_every = v.sync_every();
         match &mut v.op {
@@ -1235,21 +1293,30 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
                 }
                 (*sound, sync_every)
             }
-            _ => return,
+            _ => {
+                scratch.put_i16(data);
+                return;
+            }
         }
     };
     if data.is_empty() {
+        scratch.put_i16(data);
         return;
     }
     let mut sync_pos = None;
     let stype = match core.sounds.get(&sid) {
         Some(s) => s.stype,
-        None => return,
+        None => {
+            scratch.put_i16(data);
+            return;
+        }
     };
-    let encoded = da_dsp::convert::encode_from_pcm16(pcm_encoding(stype.encoding), &data);
+    let mut encoded = scratch.take_u8();
+    da_dsp::convert::encode_from_pcm16_into(pcm_encoding(stype.encoding), &data, &mut encoded);
     if let Some(s) = core.sounds.get_mut(&sid) {
         s.data.extend_from_slice(&encoded);
     }
+    scratch.put_u8(encoded);
     let mut reached_limit = false;
     if let Some(v) = core.vdevs.get_mut(&vid) {
         if let Some(ActiveOp::Record { frames, pause, last_sync, term, .. }) = &mut v.op {
@@ -1264,6 +1331,7 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64) {
             }
         }
     }
+    scratch.put_i16(data);
     if let Some(p) = sync_pos {
         let dt = core.device_time;
         core.send_event(

@@ -28,6 +28,9 @@
 //!   domains and redirection (§5.8);
 //! - [`engine`] — the per-quantum streaming engine with seamless
 //!   command transitions (§6.2);
+//! - [`plan`] — the cached engine data plane: route plans invalidated
+//!   by a topology generation counter, plus pooled scratch buffers so
+//!   steady-state ticks are allocation-free;
 //! - [`dispatch`] — request execution (§4.1);
 //! - [`server`] — the thread architecture (§6.1).
 
@@ -36,6 +39,7 @@ pub mod core;
 pub mod dispatch;
 pub mod engine;
 pub mod loud;
+pub mod plan;
 pub mod queue;
 pub mod server;
 pub mod sound;

@@ -1,0 +1,275 @@
+//! The cached engine data plane: route plans and scratch buffers.
+//!
+//! The engine's steady state — audio flowing through an unchanging wire
+//! graph — is by far the common case: topology mutations (creating
+//! wires, mapping LOUDs, activation changes) happen at human speed while
+//! ticks happen hundreds of times per second. This module caches
+//! everything the tick loop would otherwise recompute per tick:
+//!
+//! - [`RoutePlan`]: per active root LOUD, the topological device order
+//!   and, per source port, the resolved outgoing wire list. Computed by
+//!   the pure [`compute_route_plan`] so property tests can compare a
+//!   cached plan against a fresh recompute.
+//! - [`PlanCache`]: the plans plus the other per-tick scans (hardware
+//!   line slots, line→device bindings, the active bound-device list),
+//!   invalidated by [`Core::topology_gen`](crate::core::Core), a
+//!   generation counter bumped on every topology mutation.
+//! - [`EngineScratch`]: pooled sample buffers the engine threads through
+//!   routing, mixing and consumption so the steady-state tick makes no
+//!   heap allocations.
+
+use crate::core::Core;
+use crate::vdevice::HwBinding;
+use da_hw::pstn::LineId;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One outgoing wire, resolved to its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanWire {
+    /// Wire resource id.
+    pub wire: u32,
+    /// Destination device.
+    pub dst: u32,
+    /// Destination sink port.
+    pub dst_port: u8,
+}
+
+/// A source port with at least one outgoing wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanPort {
+    /// Source port index.
+    pub port: u8,
+    /// Outgoing wires in stable (wire-id) order.
+    pub wires: Vec<PlanWire>,
+}
+
+/// One device at its topological position, with resolved fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDevice {
+    /// Device resource id.
+    pub vid: u32,
+    /// Wired source ports only; unwired ports are never drained.
+    pub ports: Vec<PlanPort>,
+}
+
+/// The routing plan for one root LOUD: devices in topological order
+/// (wires define the edges; cycles are prevented at `CreateWire`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RoutePlan {
+    /// Devices in a deterministic topological order (smallest id first
+    /// among ready devices).
+    pub order: Vec<PlanDevice>,
+}
+
+/// Computes the routing plan for `root` from the live topology. Pure and
+/// deterministic: the plan cache stores its output, and the property
+/// tests verify a cached plan is identical to a fresh recompute.
+pub fn compute_route_plan(core: &Core, root: u32) -> RoutePlan {
+    let mut vdevs = core.tree_vdevs(root);
+    vdevs.sort_unstable();
+    let set: HashSet<u32> = vdevs.iter().copied().collect();
+    // Edges within the tree: (src, src_port, wire, dst, dst_port),
+    // sorted so per-port wire lists come out in wire-id order.
+    let mut edges: Vec<(u32, u8, u32, u32, u8)> = core
+        .wires
+        .values()
+        .filter(|w| set.contains(&w.src.0) && set.contains(&w.dst.0))
+        .map(|w| (w.src.0, w.src_port, w.id.0, w.dst.0, w.dst_port))
+        .collect();
+    edges.sort_unstable();
+    // Contiguous edge range per source device.
+    let mut by_src: HashMap<u32, std::ops::Range<usize>> = HashMap::new();
+    let mut i = 0;
+    while i < edges.len() {
+        let src = edges[i].0;
+        let start = i;
+        while i < edges.len() && edges[i].0 == src {
+            i += 1;
+        }
+        by_src.insert(src, start..i);
+    }
+    // Kahn's algorithm, smallest ready id first for determinism.
+    let mut indegree: HashMap<u32, usize> = vdevs.iter().map(|&v| (v, 0)).collect();
+    for &(_, _, _, dst, _) in &edges {
+        *indegree.get_mut(&dst).expect("dst in tree") += 1;
+    }
+    let mut ready: BinaryHeap<std::cmp::Reverse<u32>> = vdevs
+        .iter()
+        .copied()
+        .filter(|v| indegree[v] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(vdevs.len());
+    while let Some(std::cmp::Reverse(vid)) = ready.pop() {
+        let mut ports: Vec<PlanPort> = Vec::new();
+        if let Some(range) = by_src.get(&vid) {
+            for &(_, src_port, wire, dst, dst_port) in &edges[range.clone()] {
+                if ports.last().map(|p| p.port) != Some(src_port) {
+                    ports.push(PlanPort { port: src_port, wires: Vec::new() });
+                }
+                ports
+                    .last_mut()
+                    .expect("just pushed")
+                    .wires
+                    .push(PlanWire { wire, dst, dst_port });
+                let e = indegree.get_mut(&dst).expect("dst in tree");
+                *e -= 1;
+                if *e == 0 {
+                    ready.push(std::cmp::Reverse(dst));
+                }
+            }
+        }
+        order.push(PlanDevice { vid, ports });
+    }
+    RoutePlan { order }
+}
+
+/// Cached per-tick topology state, rebuilt only when the core's topology
+/// generation moves.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Generation the cache was built at; `None` forces the first build.
+    built_gen: Option<u64>,
+    /// Active roots in stack order (the engine's iteration order).
+    pub active_roots: Vec<u32>,
+    /// Routing plan per active root.
+    pub routes: HashMap<u32, RoutePlan>,
+    /// Hardware telephone lines: (device index, line id).
+    pub line_slots: Vec<(usize, LineId)>,
+    /// Devices bound to each line, parallel to `line_slots`.
+    pub line_bound: Vec<Vec<u32>>,
+    /// Hardware-bound devices in active trees, sorted by id.
+    pub active_bound: Vec<u32>,
+}
+
+impl PlanCache {
+    /// Rebuilds the cache if the topology generation moved since the
+    /// last build. Returns whether a rebuild happened.
+    pub fn ensure_fresh(&mut self, core: &Core) -> bool {
+        if self.built_gen == Some(core.topology_gen) {
+            return false;
+        }
+        self.rebuild(core);
+        self.built_gen = Some(core.topology_gen);
+        true
+    }
+
+    fn rebuild(&mut self, core: &Core) {
+        self.active_roots.clear();
+        self.active_roots.extend(
+            core.active_stack
+                .iter()
+                .copied()
+                .filter(|r| core.louds.get(r).map(|l| l.active) == Some(true)),
+        );
+        self.routes.clear();
+        for &root in &self.active_roots {
+            self.routes.insert(root, compute_route_plan(core, root));
+        }
+        self.line_slots.clear();
+        for i in 0..core.hw.device_count() {
+            if let Some(da_hw::registry::HwSlot::Line(l)) = core.hw.slot(i) {
+                self.line_slots.push((i, l));
+            }
+        }
+        self.line_bound.clear();
+        for &(_, line) in &self.line_slots {
+            let mut bound: Vec<u32> = core
+                .vdevs
+                .values()
+                .filter(|v| v.binding == Some(HwBinding::Line(line)))
+                .map(|v| v.id.0)
+                .collect();
+            bound.sort_unstable();
+            self.line_bound.push(bound);
+        }
+        self.active_bound.clear();
+        self.active_bound.extend(
+            core.vdevs
+                .values()
+                .filter(|v| v.binding.is_some())
+                .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
+                .map(|v| v.id.0),
+        );
+        self.active_bound.sort_unstable();
+    }
+}
+
+/// Reusable sample buffers for the tick loop. Buffers are taken, used
+/// and put back cleared; after warm-up their capacities stabilise and
+/// the steady-state tick allocates nothing.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    i16_pool: Vec<Vec<i16>>,
+    i32_pool: Vec<Vec<i32>>,
+    u8_pool: Vec<Vec<u8>>,
+    /// Per-speaker mix accumulators, kept across ticks.
+    pub speaker_acc: Vec<Vec<i32>>,
+    /// Whether any device fed each speaker this tick.
+    pub speaker_fed: Vec<bool>,
+    /// Clipped speaker output staging buffer.
+    pub speaker_out: Vec<i16>,
+}
+
+impl EngineScratch {
+    /// Takes a cleared `i16` buffer from the pool.
+    pub fn take_i16(&mut self) -> Vec<i16> {
+        self.i16_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an `i16` buffer to the pool, keeping its capacity.
+    pub fn put_i16(&mut self, mut buf: Vec<i16>) {
+        buf.clear();
+        self.i16_pool.push(buf);
+    }
+
+    /// Takes a cleared `i32` buffer from the pool.
+    pub fn take_i32(&mut self) -> Vec<i32> {
+        self.i32_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an `i32` buffer to the pool, keeping its capacity.
+    pub fn put_i32(&mut self, mut buf: Vec<i32>) {
+        buf.clear();
+        self.i32_pool.push(buf);
+    }
+
+    /// Takes a cleared byte buffer from the pool.
+    pub fn take_u8(&mut self) -> Vec<u8> {
+        self.u8_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a byte buffer to the pool, keeping its capacity.
+    pub fn put_u8(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.u8_pool.push(buf);
+    }
+}
+
+/// The engine's persistent tick state: plan cache plus scratch pool.
+/// Detached from the core with `mem::take` for the duration of a tick so
+/// its borrows never conflict with core mutations.
+#[derive(Debug, Default)]
+pub struct DataPlane {
+    /// Cached topology.
+    pub plans: PlanCache,
+    /// Pooled buffers.
+    pub scratch: EngineScratch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_buffers_keep_capacity() {
+        let mut s = EngineScratch::default();
+        let mut b = s.take_i16();
+        b.extend_from_slice(&[1; 1000]);
+        let cap = b.capacity();
+        s.put_i16(b);
+        let b = s.take_i16();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+}

@@ -110,6 +110,15 @@ impl Sound {
     /// linear PCM (mono: channels are averaged down). Returns fewer
     /// frames if the sound is shorter.
     pub fn decode_frames(&self, from: u64, frames: u64) -> Vec<i16> {
+        let mut out = Vec::new();
+        self.decode_frames_into(from, frames, &mut out);
+        out
+    }
+
+    /// Decodes `frames` sample frames starting at frame `from`, appending
+    /// linear PCM to `out`. Allocation-free when `out` has capacity and
+    /// the hot path applies (mono, non-ADPCM).
+    pub fn decode_frames_into(&self, from: u64, frames: u64, out: &mut Vec<i16>) {
         let enc = pcm_encoding(self.stype.encoding);
         let ch = self.stype.channels.max(1) as u64;
         // ADPCM cannot be decoded from an arbitrary offset without state;
@@ -120,31 +129,35 @@ impl Sound {
             let want = (frames * ch) as usize;
             let end = (start + want).min(all.len());
             let samples = if start >= all.len() { &[][..] } else { &all[start..end] };
-            return downmix(samples, ch as usize);
+            downmix_into(samples, ch as usize, out);
+            return;
         }
         let from_byte = self.stype.bytes_for_frames(from) as usize;
         let want_bytes = self.stype.bytes_for_frames(frames) as usize;
         let bytes = self.bytes();
         if from_byte >= bytes.len() {
-            return Vec::new();
+            return;
         }
         let end = (from_byte + want_bytes).min(bytes.len());
-        let samples = da_dsp::convert::decode_to_pcm16(enc, &bytes[from_byte..end]);
-        downmix(&samples, ch as usize)
+        if ch <= 1 {
+            // Hot path: decode straight into the caller's buffer.
+            da_dsp::convert::decode_to_pcm16_into(enc, &bytes[from_byte..end], out);
+        } else {
+            let samples = da_dsp::convert::decode_to_pcm16(enc, &bytes[from_byte..end]);
+            downmix_into(&samples, ch as usize, out);
+        }
     }
 }
 
-fn downmix(samples: &[i16], channels: usize) -> Vec<i16> {
+fn downmix_into(samples: &[i16], channels: usize, out: &mut Vec<i16>) {
     if channels <= 1 {
-        return samples.to_vec();
+        out.extend_from_slice(samples);
+        return;
     }
-    samples
-        .chunks(channels)
-        .map(|frame| {
-            let sum: i32 = frame.iter().map(|&s| s as i32).sum();
-            (sum / channels as i32) as i16
-        })
-        .collect()
+    out.extend(samples.chunks(channels).map(|frame| {
+        let sum: i32 = frame.iter().map(|&s| s as i32).sum();
+        (sum / channels as i32) as i16
+    }));
 }
 
 /// Named catalogues of server-side sounds.

@@ -334,12 +334,23 @@ impl VDev {
     /// Drains up to `n` samples from a sink port, padding with silence to
     /// exactly `n`.
     pub fn drain_sink(&mut self, port: usize, n: usize) -> Vec<i16> {
-        let buf = &mut self.sink_bufs[port];
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(buf.pop_front().unwrap_or(0));
-        }
+        self.drain_sink_into(port, n, &mut out);
         out
+    }
+
+    /// Drains up to `n` samples from a sink port into `out`, padding with
+    /// silence to exactly `n` appended samples. Bulk slice copies instead
+    /// of per-sample pops; allocation-free when `out` has capacity.
+    pub fn drain_sink_into(&mut self, port: usize, n: usize, out: &mut Vec<i16>) {
+        let buf = &mut self.sink_bufs[port];
+        let have = buf.len().min(n);
+        let (a, b) = buf.as_slices();
+        let from_a = have.min(a.len());
+        out.extend_from_slice(&a[..from_a]);
+        out.extend_from_slice(&b[..have - from_a]);
+        buf.drain(..have);
+        out.resize(out.len() + (n - have), 0);
     }
 
     /// Clears all port buffers (on deactivate/stop, so stale audio never

@@ -59,15 +59,31 @@ impl Wire {
     /// Moves `samples` from the source to the sink side, adapting sample
     /// rates as needed.
     pub fn transfer(&mut self, samples: &[i16], src_rate: u32, dst_rate: u32) -> Vec<i16> {
+        let mut out = Vec::new();
+        self.transfer_into(samples, src_rate, dst_rate, &mut out);
+        out
+    }
+
+    /// Moves `samples` from the source to the sink side, appending to
+    /// `out`. Allocation-free when `out` has capacity (except the one-time
+    /// resampler construction when endpoint rates change).
+    pub fn transfer_into(
+        &mut self,
+        samples: &[i16],
+        src_rate: u32,
+        dst_rate: u32,
+        out: &mut Vec<i16>,
+    ) {
         if src_rate == dst_rate {
             self.resampler = None;
-            return samples.to_vec();
+            out.extend_from_slice(samples);
+            return;
         }
         if self.resampler.is_none() || self.resampler_rates != (src_rate, dst_rate) {
             self.resampler = Some(Resampler::new(src_rate, dst_rate));
             self.resampler_rates = (src_rate, dst_rate);
         }
-        self.resampler.as_mut().expect("just set").push(samples)
+        self.resampler.as_mut().expect("just set").push_into(samples, out);
     }
 }
 

@@ -1,0 +1,235 @@
+//! Property tests for the cached engine data plane: after an arbitrary
+//! sequence of topology mutations (device/wire creation and destruction,
+//! mapping, raising, unmapping) with cache refreshes interleaved at
+//! arbitrary points — exactly what engine ticks do — a refreshed
+//! [`PlanCache`] is identical to a fresh recompute. This catches any
+//! mutation path that forgets to bump `Core::topology_gen`: the final
+//! `ensure_fresh` is a no-op unless the generation moved, so a missing
+//! bump leaves the cache stale and the comparison fails.
+
+use crossbeam::channel::unbounded;
+use da_proto::ids::{LoudId, VDeviceId, WireId};
+use da_proto::request::Request;
+use da_proto::types::{DeviceClass, WireType};
+use da_server::core::{Core, ServerConfig};
+use da_server::dispatch::dispatch;
+use da_server::plan::{compute_route_plan, PlanCache};
+use da_server::vdevice::HwBinding;
+use proptest::prelude::*;
+
+/// One topology mutation (or a simulated engine tick's cache refresh).
+/// Slots index small fixed id spaces; many combinations are rejected by
+/// dispatch (bad ports, cycles, duplicate ids) which is fine — errors
+/// leave the topology unchanged.
+#[derive(Debug, Clone)]
+enum Op {
+    CreateVDev { slot: u8, class: u8, loud: u8 },
+    DestroyVDev { slot: u8 },
+    CreateWire { slot: u8, src: u8, sport: u8, dst: u8, dport: u8 },
+    DestroyWire { slot: u8 },
+    Map { loud: u8 },
+    Unmap { loud: u8 },
+    Raise { loud: u8 },
+    /// An engine tick: refresh the cache if the generation moved.
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..8, 0u8..4, 0u8..2)
+            .prop_map(|(slot, class, loud)| Op::CreateVDev { slot, class, loud }),
+        1 => (0u8..8).prop_map(|slot| Op::DestroyVDev { slot }),
+        4 => (0u8..12, 0u8..8, 0u8..2, 0u8..8, 0u8..3)
+            .prop_map(|(slot, src, sport, dst, dport)| Op::CreateWire {
+                slot,
+                src,
+                sport,
+                dst,
+                dport,
+            }),
+        1 => (0u8..12).prop_map(|slot| Op::DestroyWire { slot }),
+        2 => (0u8..2).prop_map(|loud| Op::Map { loud }),
+        1 => (0u8..2).prop_map(|loud| Op::Unmap { loud }),
+        1 => (0u8..2).prop_map(|loud| Op::Raise { loud }),
+        2 => Just(Op::Sync),
+    ]
+}
+
+fn class_of(idx: u8) -> DeviceClass {
+    match idx % 4 {
+        0 => DeviceClass::Mixer,
+        1 => DeviceClass::Crossbar,
+        2 => DeviceClass::Dsp,
+        _ => DeviceClass::Player,
+    }
+}
+
+proptest! {
+    #[test]
+    fn cached_plan_matches_fresh_recompute(ops in prop::collection::vec(arb_op(), 0..48)) {
+        let mut core = Core::new(ServerConfig::default());
+        let (tx, _rx) = unbounded();
+        let (client, base, _mask) = core.add_client("prop".into(), tx);
+        let loud_id = |l: u8| LoudId(base + 1 + l as u32);
+        let vdev_id = |s: u8| VDeviceId(base + 0x10 + s as u32);
+        let wire_id = |s: u8| WireId(base + 0x100 + s as u32);
+        dispatch(&mut core, client, 0, Request::CreateLoud { id: loud_id(0), parent: None });
+        dispatch(&mut core, client, 0, Request::CreateLoud { id: loud_id(1), parent: None });
+
+        let mut cache = PlanCache::default();
+        cache.ensure_fresh(&core);
+
+        for op in ops {
+            match op {
+                Op::CreateVDev { slot, class, loud } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::CreateVDevice {
+                        id: vdev_id(slot),
+                        loud: loud_id(loud),
+                        class: class_of(class),
+                        attrs: Vec::new(),
+                    },
+                ),
+                Op::DestroyVDev { slot } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::DestroyVDevice { id: vdev_id(slot) },
+                ),
+                Op::CreateWire { slot, src, sport, dst, dport } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::CreateWire {
+                        id: wire_id(slot),
+                        src: vdev_id(src),
+                        src_port: sport,
+                        dst: vdev_id(dst),
+                        dst_port: dport,
+                        wire_type: WireType::Any,
+                    },
+                ),
+                Op::DestroyWire { slot } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::DestroyWire { id: wire_id(slot) },
+                ),
+                Op::Map { loud } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::MapLoud { id: loud_id(loud) },
+                ),
+                Op::Unmap { loud } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::UnmapLoud { id: loud_id(loud) },
+                ),
+                Op::Raise { loud } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::RaiseLoud { id: loud_id(loud) },
+                ),
+                Op::Sync => {
+                    cache.ensure_fresh(&core);
+                }
+            }
+        }
+
+        // The next tick's refresh: a no-op unless the generation moved,
+        // so a mutation path that forgot to invalidate leaves the cache
+        // stale and the assertions below catch it.
+        cache.ensure_fresh(&core);
+
+        let expected_roots: Vec<u32> = core
+            .active_stack
+            .iter()
+            .copied()
+            .filter(|r| core.louds.get(r).map(|l| l.active) == Some(true))
+            .collect();
+        prop_assert_eq!(&cache.active_roots, &expected_roots);
+        prop_assert_eq!(cache.routes.len(), expected_roots.len());
+        for &root in &expected_roots {
+            let fresh = compute_route_plan(&core, root);
+            prop_assert_eq!(cache.routes.get(&root), Some(&fresh));
+        }
+        let mut expected_bound: Vec<u32> = core
+            .vdevs
+            .values()
+            .filter(|v| v.binding.is_some())
+            .filter(|v| core.louds.get(&v.root).map(|l| l.active) == Some(true))
+            .map(|v| v.id.0)
+            .collect();
+        expected_bound.sort_unstable();
+        prop_assert_eq!(&cache.active_bound, &expected_bound);
+        for (i, &(_, line)) in cache.line_slots.iter().enumerate() {
+            let mut bound: Vec<u32> = core
+                .vdevs
+                .values()
+                .filter(|v| v.binding == Some(HwBinding::Line(line)))
+                .map(|v| v.id.0)
+                .collect();
+            bound.sort_unstable();
+            prop_assert_eq!(&cache.line_bound[i], &bound);
+        }
+    }
+
+    // The plan computation itself is deterministic: recomputing from the
+    // same topology yields an identical plan (HashMap iteration order
+    // must not leak into the result).
+    #[test]
+    fn plan_computation_is_deterministic(ops in prop::collection::vec(arb_op(), 0..32)) {
+        let mut core = Core::new(ServerConfig::default());
+        let (tx, _rx) = unbounded();
+        let (client, base, _mask) = core.add_client("prop".into(), tx);
+        let loud_id = |l: u8| LoudId(base + 1 + l as u32);
+        dispatch(&mut core, client, 0, Request::CreateLoud { id: loud_id(0), parent: None });
+        dispatch(&mut core, client, 0, Request::CreateLoud { id: loud_id(1), parent: None });
+        for op in ops {
+            match op {
+                Op::CreateVDev { slot, class, loud } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::CreateVDevice {
+                        id: VDeviceId(base + 0x10 + slot as u32),
+                        loud: loud_id(loud),
+                        class: class_of(class),
+                        attrs: Vec::new(),
+                    },
+                ),
+                Op::CreateWire { slot, src, sport, dst, dport } => dispatch(
+                    &mut core,
+                    client,
+                    0,
+                    Request::CreateWire {
+                        id: WireId(base + 0x100 + slot as u32),
+                        src: VDeviceId(base + 0x10 + src as u32),
+                        src_port: sport,
+                        dst: VDeviceId(base + 0x10 + dst as u32),
+                        dst_port: dport,
+                        wire_type: WireType::Any,
+                    },
+                ),
+                _ => {}
+            }
+        }
+        for l in 0..2u8 {
+            let root = loud_id(l).0;
+            let a = compute_route_plan(&core, root);
+            let b = compute_route_plan(&core, root);
+            prop_assert_eq!(&a, &b);
+            // Every tree device appears exactly once in the order.
+            let mut vdevs = core.tree_vdevs(root);
+            vdevs.sort_unstable();
+            let mut planned: Vec<u32> = a.order.iter().map(|d| d.vid).collect();
+            planned.sort_unstable();
+            prop_assert_eq!(planned, vdevs);
+        }
+    }
+}

@@ -45,34 +45,52 @@ impl PcmEncoding {
 
 /// Decodes encoded bytes to linear 16-bit samples.
 pub fn decode_to_pcm16(encoding: PcmEncoding, data: &[u8]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(encoding.samples_for_bytes(data.len()));
+    decode_to_pcm16_into(encoding, data, &mut out);
+    out
+}
+
+/// Decodes encoded bytes, appending linear 16-bit samples to `out`.
+/// Allocation-free when `out` has capacity.
+pub fn decode_to_pcm16_into(encoding: PcmEncoding, data: &[u8], out: &mut Vec<i16>) {
     match encoding {
-        PcmEncoding::ULaw => mulaw::decode_slice(data),
-        PcmEncoding::ALaw => alaw::decode_slice(data),
+        PcmEncoding::ULaw => out.extend(data.iter().map(|&b| mulaw::decode(b))),
+        PcmEncoding::ALaw => out.extend(data.iter().map(|&b| alaw::decode(b))),
         PcmEncoding::Pcm8 => {
-            data.iter().map(|&b| ((b as i16) - 128) << 8).collect()
+            out.extend(data.iter().map(|&b| ((b as i16) - 128) << 8));
         }
-        PcmEncoding::Pcm16 => data
-            .chunks_exact(2)
-            .map(|c| i16::from_le_bytes([c[0], c[1]]))
-            .collect(),
-        PcmEncoding::ImaAdpcm => adpcm::decode_slice(data),
+        PcmEncoding::Pcm16 => out.extend(
+            data.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]])),
+        ),
+        PcmEncoding::ImaAdpcm => adpcm::Decoder::new().decode(data, out),
     }
 }
 
 /// Encodes linear 16-bit samples to encoded bytes.
 pub fn encode_from_pcm16(encoding: PcmEncoding, pcm: &[i16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoding.bytes_for_samples(pcm.len()));
+    encode_from_pcm16_into(encoding, pcm, &mut out);
+    out
+}
+
+/// Encodes linear 16-bit samples, appending encoded bytes to `out`.
+/// Allocation-free when `out` has capacity. ADPCM output rounds any
+/// trailing half-byte up, matching [`adpcm::encode_slice`].
+pub fn encode_from_pcm16_into(encoding: PcmEncoding, pcm: &[i16], out: &mut Vec<u8>) {
     match encoding {
-        PcmEncoding::ULaw => mulaw::encode_slice(pcm),
-        PcmEncoding::ALaw => alaw::encode_slice(pcm),
-        PcmEncoding::Pcm8 => pcm.iter().map(|&s| ((s >> 8) + 128) as u8).collect(),
+        PcmEncoding::ULaw => out.extend(pcm.iter().map(|&s| mulaw::encode(s))),
+        PcmEncoding::ALaw => out.extend(pcm.iter().map(|&s| alaw::encode(s))),
+        PcmEncoding::Pcm8 => out.extend(pcm.iter().map(|&s| ((s >> 8) + 128) as u8)),
         PcmEncoding::Pcm16 => {
-            let mut out = Vec::with_capacity(pcm.len() * 2);
             for &s in pcm {
                 out.extend_from_slice(&s.to_le_bytes());
             }
-            out
         }
-        PcmEncoding::ImaAdpcm => adpcm::encode_slice(pcm),
+        PcmEncoding::ImaAdpcm => {
+            let mut enc = adpcm::Encoder::new();
+            enc.encode(pcm, out);
+            enc.finish(out);
+        }
     }
 }
 

@@ -58,18 +58,31 @@ impl Resampler {
 
     /// Feeds a block, producing resampled output.
     pub fn push(&mut self, input: &[i16]) -> Vec<i16> {
-        if self.from_rate == self.to_rate {
-            return input.to_vec();
-        }
         let mut out = Vec::new();
-        // Build a working window: [prev] + input, where prev sits at
+        self.push_into(input, &mut out);
+        out
+    }
+
+    /// Feeds a block, appending resampled output to `out`. Allocation-free
+    /// when `out` has capacity: the interpolation window is addressed
+    /// virtually ([prev] + input) rather than materialised.
+    pub fn push_into(&mut self, input: &[i16], out: &mut Vec<i16>) {
+        if self.from_rate == self.to_rate {
+            out.extend_from_slice(input);
+            return;
+        }
+        // The working window is [prev] + input, where prev sits at
         // absolute index consumed-1.
         let base = if self.prev.is_some() { self.consumed - 1 } else { self.consumed };
-        let mut window: Vec<i16> = Vec::with_capacity(input.len() + 1);
-        if let Some(p) = self.prev {
-            window.push(p);
-        }
-        window.extend_from_slice(input);
+        let consumed = self.consumed;
+        let prev = self.prev;
+        let sample_at = |abs: u64| -> f64 {
+            if abs < consumed {
+                prev.unwrap_or(0) as f64
+            } else {
+                input[(abs - consumed) as usize] as f64
+            }
+        };
         let avail_end = self.consumed + input.len() as u64;
         loop {
             // Absolute input position of the next output sample.
@@ -84,15 +97,13 @@ impl Resampler {
                 // Should not happen: output can never precede the window.
                 break;
             }
-            let i0 = (int_pos - base) as usize;
-            let s0 = window[i0] as f64;
-            let s1 = window[i0 + 1] as f64;
+            let s0 = sample_at(int_pos);
+            let s1 = sample_at(int_pos + 1);
             out.push((s0 + (s1 - s0) * frac) as i16);
             self.pos_num += self.from_rate as u64;
         }
         self.consumed = avail_end;
         self.prev = input.last().copied().or(self.prev);
-        out
     }
 
     /// Flushes the final sample position (which has no lookahead).
@@ -175,6 +186,22 @@ mod tests {
         let p = analysis::goertzel_power(&out, 8000, 1000.0);
         let bg = analysis::goertzel_power(&out, 8000, 2000.0);
         assert!(p > bg * 20.0);
+    }
+
+    #[test]
+    fn push_into_reuses_buffer() {
+        let s = tone::sine(8000, 300.0, 1000, 9000);
+        let one = resample(&s, 8000, 11025);
+        let mut r = Resampler::new(8000, 11025);
+        let mut streamed = Vec::new();
+        let mut chunk_out = Vec::new();
+        for chunk in s.chunks(64) {
+            chunk_out.clear();
+            r.push_into(chunk, &mut chunk_out);
+            streamed.extend_from_slice(&chunk_out);
+        }
+        streamed.extend(r.finish());
+        assert_eq!(one, streamed);
     }
 
     #[test]

@@ -161,7 +161,15 @@ impl Microphone {
     /// Produces the next `n` samples.
     pub fn pull(&mut self, n: usize) -> Vec<i16> {
         let mut out = Vec::with_capacity(n);
-        while out.len() < n {
+        self.pull_into(n, &mut out);
+        out
+    }
+
+    /// Produces the next `n` samples, appending to `out`. Allocation-free
+    /// when `out` has capacity.
+    pub fn pull_into(&mut self, n: usize, out: &mut Vec<i16>) {
+        let target = out.len() + n;
+        while out.len() < target {
             if let Some(s) = self.injected.pop_front() {
                 out.push(s);
                 continue;
@@ -186,7 +194,6 @@ impl Microphone {
             self.pos += 1;
             out.push(s);
         }
-        out
     }
 }
 

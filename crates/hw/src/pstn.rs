@@ -285,35 +285,45 @@ impl Pstn {
     /// Reads `n` samples of what the line owner hears: dial tone,
     /// ringback, busy, the connected peer's audio, or silence.
     pub fn read_rx(&mut self, line: LineId, n: usize) -> Vec<i16> {
+        let mut out = Vec::with_capacity(n);
+        self.read_rx_into(line, n, &mut out);
+        out
+    }
+
+    /// Reads `n` samples of line audio, appending to `out`.
+    /// Allocation-free when `out` has capacity.
+    pub fn read_rx_into(&mut self, line: LineId, n: usize, out: &mut Vec<i16>) {
         let state = self.lines[line.0].state;
         match state {
-            LineState::DialTone => self.tone(line, CallProgressTone::Dial, n),
-            LineState::Calling => self.tone(line, CallProgressTone::Ringback, n),
-            LineState::HearingBusy => self.tone(line, CallProgressTone::Busy, n),
+            LineState::DialTone => self.tone_into(line, CallProgressTone::Dial, n, out),
+            LineState::Calling => self.tone_into(line, CallProgressTone::Ringback, n, out),
+            LineState::HearingBusy => self.tone_into(line, CallProgressTone::Busy, n, out),
             LineState::Connected => {
                 let peer = self.lines[line.0].peer;
                 match peer {
                     Some(p) => {
                         let ptx = &mut self.lines[p].tx;
-                        let mut out = Vec::with_capacity(n);
-                        for _ in 0..n {
-                            out.push(ptx.pop_front().unwrap_or(0));
-                        }
-                        out
+                        let have = ptx.len().min(n);
+                        let (a, b) = ptx.as_slices();
+                        let from_a = have.min(a.len());
+                        out.extend_from_slice(&a[..from_a]);
+                        out.extend_from_slice(&b[..have - from_a]);
+                        ptx.drain(..have);
+                        out.resize(out.len() + (n - have), 0);
                     }
-                    None => vec![0; n],
+                    None => out.resize(out.len() + n, 0),
                 }
             }
-            LineState::OnHook | LineState::Ringing => vec![0; n],
+            LineState::OnHook | LineState::Ringing => out.resize(out.len() + n, 0),
         }
     }
 
-    fn tone(&mut self, line: LineId, tone: CallProgressTone, n: usize) -> Vec<i16> {
+    fn tone_into(&mut self, line: LineId, tone: CallProgressTone, n: usize, out: &mut Vec<i16>) {
         let l = &mut self.lines[line.0];
-        let mut out = vec![0i16; n];
-        tone.fill(LINE_RATE, l.tone_pos, 8000, &mut out);
+        let start = out.len();
+        out.resize(start + n, 0);
+        tone.fill(LINE_RATE, l.tone_pos, 8000, &mut out[start..]);
         l.tone_pos += n as u64;
-        out
     }
 
     /// Advances network time by `frames`: ring timers run, unanswered

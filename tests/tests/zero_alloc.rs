@@ -1,0 +1,239 @@
+//! The steady-state engine tick is allocation-free, and the pooled data
+//! plane preserves the paper's seamlessness guarantees.
+//!
+//! A counting global allocator (gated by a thread-local flag so only the
+//! manually-ticking test thread is measured) proves the tentpole claim:
+//! after a few warm-up ticks stabilise the scratch-buffer capacities and
+//! the cached route plan, a tick performs zero heap allocations. The
+//! E2/E4-style tests then re-verify "not a single dropped or inserted
+//! sample" (paper §6.2) on top of the pooled engine.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use da_alib::Connection;
+use da_proto::command::{DeviceCommand, RecordTermination};
+use da_proto::types::{DeviceClass, Encoding, SoundType, WireType};
+use da_server::{AudioServer, ServerConfig};
+
+thread_local! {
+    static GATED: Cell<bool> = const { Cell::new(false) };
+}
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// Counts allocations made while the current thread's gate is open.
+struct CountingAlloc;
+
+// SAFETY: delegates to `System` for every operation; the bookkeeping
+// touches only an atomic and a const-initialised thread-local.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if GATED.with(|g| g.get()) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if GATED.with(|g| g.get()) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if GATED.with(|g| g.get()) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with this thread's allocation gate open, returning how many
+/// allocations it made.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    GATED.with(|g| g.set(true));
+    f();
+    GATED.with(|g| g.set(false));
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn manual_server() -> (AudioServer, Connection) {
+    let config = ServerConfig { manual_ticks: true, quantum_us: 10_000, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "zero-alloc").expect("connect");
+    (server, conn)
+}
+
+#[test]
+fn steady_state_tick_is_allocation_free() {
+    let (server, mut conn) = manual_server();
+    let control = server.control();
+    // The microphone hears a continuous tone so the full produce → route
+    // → mix → consume path carries real audio every tick.
+    control.with_core(|c| {
+        c.hw.microphones[0].set_source(da_hw::codec::SignalSource::Sine {
+            freq: 440.0,
+            amplitude: 8000,
+        })
+    });
+
+    // mic → mixer ← player, mixer → speaker: continuous production, an
+    // intermediate device, and a long durational Play all at once.
+    let loud = conn.create_loud(None).unwrap();
+    let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).unwrap();
+    let mixer = conn.create_vdevice(loud, DeviceClass::Mixer, vec![]).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(input, 0, mixer, 0, WireType::Any).unwrap();
+    conn.create_wire(player, 0, mixer, 1, WireType::Any).unwrap();
+    conn.create_wire(mixer, 0, output, 0, WireType::Any).unwrap();
+
+    let stype = SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let pcm: Vec<i16> = (0..40_000).map(|i| (i % 3000) as i16).collect();
+    let sound = conn.upload_pcm(stype, &pcm).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    conn.start_queue(loud).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+
+    // Warm-up: builds the route plan and grows every pooled buffer and
+    // port deque to its steady-state capacity.
+    control.tick_n(50);
+
+    let rebuilds_before = control.stats().plan_rebuilds;
+    let allocs = count_allocs(|| control.tick_n(200));
+    let rebuilds_after = control.stats().plan_rebuilds;
+
+    assert_eq!(allocs, 0, "steady-state ticks allocated {allocs} times");
+    assert_eq!(
+        rebuilds_after, rebuilds_before,
+        "route plan was rebuilt during steady state"
+    );
+    assert_eq!(control.stats().ticks, 250);
+    server.shutdown();
+}
+
+#[test]
+fn plan_rebuild_happens_once_per_topology_change() {
+    let (server, mut conn) = manual_server();
+    let control = server.control();
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    let wire = conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+
+    control.tick_n(10);
+    let base = control.stats().plan_rebuilds;
+    control.tick_n(10);
+    assert_eq!(control.stats().plan_rebuilds, base, "rebuild without topology change");
+
+    conn.destroy_wire(wire).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(10);
+    assert_eq!(control.stats().plan_rebuilds, base + 1, "one change, one rebuild");
+    server.shutdown();
+}
+
+#[test]
+fn back_to_back_plays_remain_seamless() {
+    // E2 on the pooled engine: a staircase split into unevenly sized
+    // sounds queued back-to-back must reach the speaker without a single
+    // dropped or inserted sample (paper §6.2).
+    let (server, mut conn) = manual_server();
+    let control = server.control();
+    control.set_speaker_capture(0, 1 << 20);
+
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+
+    let stype = SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+    let total = 8000usize;
+    let ramp: Vec<i16> = (0..total).map(|i| i as i16 + 1).collect();
+    let cuts = [0usize, 137, 1603, 2400, 4777, 6001, total];
+    for w in cuts.windows(2) {
+        let s = conn.upload_pcm(stype, &ramp[w[0]..w[1]]).unwrap();
+        conn.enqueue_cmd(loud, player, DeviceCommand::Play(s)).unwrap();
+    }
+    conn.start_queue(loud).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.sync().unwrap();
+    control.tick_n(120);
+
+    let cap = control.take_captured(0);
+    let start = cap.iter().position(|&s| s == 1).expect("ramp start");
+    assert_eq!(
+        &cap[start..start + total],
+        &ramp[..],
+        "dropped or inserted samples across play seams"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn play_record_transition_remains_seamless() {
+    // E4 on the pooled engine: recording must begin at exactly the
+    // microphone sample where playback ends, even when the seam falls
+    // mid-tick (paper §6.2).
+    for play_frames in [777u64, 1234] {
+        let (server, mut conn) = manual_server();
+        let control = server.control();
+        // The microphone hears an index ramp: sample i has value i.
+        let ramp: Vec<i16> = (0..32_000).map(|i| i as i16).collect();
+        control.with_core(|c| {
+            c.hw.microphones[0].set_source(da_hw::codec::SignalSource::Samples(ramp))
+        });
+
+        let loud = conn.create_loud(None).unwrap();
+        let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+        let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+        let input = conn.create_vdevice(loud, DeviceClass::Input, vec![]).unwrap();
+        let recorder = conn.create_vdevice(loud, DeviceClass::Recorder, vec![]).unwrap();
+        conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+        conn.create_wire(input, 0, recorder, 0, WireType::Any).unwrap();
+
+        let stype = SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 1 };
+        let tone: Vec<i16> = vec![1000; play_frames as usize];
+        let tone = conn.upload_pcm(stype, &tone).unwrap();
+        let rec_sound = conn.create_sound(stype).unwrap();
+        conn.enqueue_cmd(loud, player, DeviceCommand::Play(tone)).unwrap();
+        conn.enqueue_cmd(
+            loud,
+            recorder,
+            DeviceCommand::Record(rec_sound, RecordTermination::MaxFrames(2000)),
+        )
+        .unwrap();
+        conn.start_queue(loud).unwrap();
+        // Mapping last aligns queue start with the first microphone pull.
+        conn.map_loud(loud).unwrap();
+        conn.sync().unwrap();
+        control.tick_n(play_frames / 80 + 40);
+
+        let data = conn.read_sound_all(rec_sound).unwrap();
+        let recorded = da_alib::connection::decode_from(stype, &data);
+        assert_eq!(recorded.len(), 2000, "recording truncated");
+        assert_eq!(
+            recorded[0] as u64, play_frames,
+            "recording did not start at the exact seam sample"
+        );
+        assert!(
+            recorded.windows(2).all(|w| w[1] as i64 - w[0] as i64 == 1),
+            "recording is not internally continuous"
+        );
+        server.shutdown();
+    }
+}

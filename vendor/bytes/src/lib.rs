@@ -1,0 +1,332 @@
+//! Minimal vendored reimplementation of the parts of the `bytes` crate
+//! this workspace uses. The container building this repository has no
+//! network access and no registry cache, so external crates are shimmed
+//! as path dependencies with API-compatible subsets.
+//!
+//! Covered surface: [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`]
+//! traits with the little-endian `put_*` writers used by the protocol
+//! codec.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance past end of Bytes");
+        self.data = Arc::from(&self.data[cnt..]);
+    }
+}
+
+/// Growable byte buffer with an amortised-O(1) front cursor.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Index of the first live byte; bytes before it have been consumed
+    /// by `advance`/`split_to` and are reclaimed lazily.
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new(), start: 0 }
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), start: 0 }
+    }
+
+    /// Length of the live region.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether the live region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes to the back of the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_large();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` live bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to past end of BytesMut");
+        let head = self.data[self.start..self.start + at].to_vec();
+        self.start += at;
+        self.compact_if_large();
+        BytesMut { data: head, start: 0 }
+    }
+
+    /// Converts the live region into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        if self.start == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(&self.data[self.start..])
+        }
+    }
+
+    fn compact_if_large(&mut self) {
+        // Reclaim consumed space once it dominates the allocation.
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { data: v.to_vec(), start: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::from(&self[..]), f)
+    }
+}
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The next contiguous chunk.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes from the front.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_le_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.start += cnt;
+        self.compact_if_large();
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i16`.
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytesmut_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(7);
+        b.put_u8(0xAA);
+        b.extend_from_slice(b"hello");
+        assert_eq!(b.len(), 10);
+        assert_eq!(u32::from_le_bytes([b[0], b[1], b[2], b[3]]), 7);
+        b.advance(4);
+        assert_eq!(b[0], 0xAA);
+        b.advance(1);
+        let head = b.split_to(5).freeze();
+        assert_eq!(head.as_ref(), b"hello");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(b"abc".to_vec());
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c.len(), 3);
+        assert_eq!(&*c, b"abc");
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&vec![1u8; 10000]);
+        b.advance(9000);
+        b.extend_from_slice(&[2u8; 8]);
+        assert_eq!(b.len(), 1008);
+        assert_eq!(b[1000], 2);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal vendored benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses. The build container has no
+//! network access, so external crates are shimmed as path dependencies.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until the measurement budget elapses and reports the mean
+//! time per iteration to stdout. When invoked by `cargo test` (any
+//! `--test`-like argument present), each benchmark runs a single
+//! iteration as a smoke test so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{name}/{param}") }
+    }
+
+    /// Parameter-only id (group supplies the function name).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    /// Mean seconds per iteration measured by the last `iter` call.
+    mean_secs: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_secs = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        // Warm-up and batch-size calibration: aim for batches of >= 1ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            black_box(t.elapsed());
+            iters += batch;
+        }
+        let total = start.elapsed();
+        self.iterations = iters.max(1);
+        self.mean_secs = total.as_secs_f64() / self.iterations as f64;
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion { test_mode, measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    fn run_one(
+        &self,
+        name: &str,
+        throughput: Option<Throughput>,
+        budget: Duration,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            budget,
+            mean_secs: 0.0,
+            iterations: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {name} ... ok (1 iteration)");
+            return;
+        }
+        let mut line = format!("{name:<48} time: {}", format_time(b.mean_secs));
+        if let Some(t) = throughput {
+            let per_sec = |units: u64| units as f64 / b.mean_secs.max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} MiB/s", per_sec(n) / (1 << 20) as f64));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let budget = self.measurement;
+        self.run_one(name, None, budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            measurement: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/measurement config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units of work per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap so full bench runs stay interactive with many benchmarks.
+        self.measurement = Some(d.min(Duration::from_secs(2)));
+        self
+    }
+
+    /// Sets the warm-up time (calibration is automatic; accepted for API
+    /// compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.name);
+        let budget = self.measurement.unwrap_or(self.criterion.measurement);
+        self.criterion.run_one(&name, self.throughput, budget, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { test_mode: false, measurement: Duration::from_millis(20) };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Elements(100));
+        g.measurement_time(Duration::from_millis(20));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, measurement: Duration::from_secs(60) };
+        let mut runs = 0;
+        c.bench_function("counted", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,586 @@
+//! Minimal vendored property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses. The build container has no network
+//! access, so external crates are shimmed as path dependencies.
+//!
+//! Differences from real proptest: no shrinking, no failure persistence,
+//! a fixed deterministic seed per test (derived from file/line), and a
+//! simplified regex subset for string strategies (`[class]{m,n}`,
+//! `.{m,n}`, literals).
+
+use std::rc::Rc;
+
+/// Deterministic xorshift generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a nonzero seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with a reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+/// Result of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases each property runs.
+pub const CASES: u32 = 96;
+
+/// Runs `body` for [`CASES`] deterministic cases, panicking with the case
+/// index on the first failure. Used by the [`proptest!`] macro.
+pub fn run_proptest<F>(file: &str, line: u32, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // Deterministic per-test seed so failures reproduce run to run.
+    let mut seed = 0xcbf29ce484222325u64;
+    for b in file.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    seed = (seed ^ line as u64).wrapping_mul(0x100000001b3);
+    for case in 0..CASES {
+        let mut rng = TestRng::new(seed.wrapping_add((case as u64).wrapping_mul(0x9E3779B97F4A7C15)));
+        if let Err(TestCaseError(reason)) = body(&mut rng) {
+            panic!("proptest case {case}/{CASES} failed at {file}:{line}: {reason}");
+        }
+    }
+}
+
+/// A generation strategy for values of type `Value`.
+pub trait Strategy: Clone + Sized + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Arb<O>
+    where
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Arb::new(move |rng| f(self.generate(rng)))
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> Arb<Self::Value> {
+        Arb::new(move |rng| self.generate(rng))
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the inner
+    /// level and returns the composite level, nested up to `depth` deep.
+    fn prop_recursive<S, F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> Arb<Self::Value>
+    where
+        S: Strategy<Value = Self::Value>,
+        F: Fn(Arb<Self::Value>) -> S,
+    {
+        let leaf = self.clone().boxed();
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = f(strat).boxed();
+        }
+        Arb::new(move |rng| {
+            if rng.below(4) == 0 {
+                leaf.generate(rng)
+            } else {
+                strat.generate(rng)
+            }
+        })
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct Arb<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Arb<T> {
+    /// Wraps a generation closure.
+    pub fn new<F: Fn(&mut TestRng) -> T + 'static>(f: F) -> Self {
+        Arb { gen_fn: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for Arb<T> {
+    fn clone(&self) -> Self {
+        Arb { gen_fn: Rc::clone(&self.gen_fn) }
+    }
+}
+
+impl<T: 'static> Strategy for Arb<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Alias matching real proptest's boxed strategy name.
+pub type BoxedStrategy<T> = Arb<T>;
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text valid everywhere.
+        (0x20u8 + rng.below(0x5F) as u8) as char
+    }
+}
+
+/// Strategy for any value of `T`.
+#[derive(Debug)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy { _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T: Arbitrary + 'static> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary + 'static>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span.saturating_add(1).max(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a simplified regex subset: literals, `.`,
+/// `[chars]` classes with `a-z` ranges, each optionally quantified with
+/// `{m,n}` or `{m}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a char class, a dot, or a literal.
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated [class] in pattern")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("ascii range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                (0x20u8..0x7F).map(|b| b as char).collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {m,n} / {m} quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {quantifier} in pattern")
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.parse::<usize>().expect("bad quantifier"),
+                    n.parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let m = spec.parse::<usize>().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Arb, Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Resolves to inclusive `(min, max)` lengths.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> Arb<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        let (lo, hi) = size.bounds();
+        Arb::new(move |rng: &mut TestRng| {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Arb, TestRng};
+
+    /// Strategy choosing uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Arb<T> {
+        assert!(!options.is_empty(), "select from empty options");
+        Arb::new(move |rng: &mut TestRng| {
+            options[rng.below(options.len() as u64) as usize].clone()
+        })
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Arb, Strategy, TestRng};
+
+    /// Strategy producing `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> Arb<Option<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        Arb::new(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+/// Chooses one strategy from weighted or unweighted alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let arms = vec![$(($weight as u64, $crate::Strategy::boxed($strat))),+];
+        let total: u64 = arms.iter().map(|(w, _)| *w).sum();
+        $crate::Arb::new(move |rng: &mut $crate::TestRng| {
+            let mut pick = rng.below(total.max(1));
+            for (w, strat) in &arms {
+                if pick < *w {
+                    return $crate::Strategy::generate(strat, rng);
+                }
+                pick -= *w;
+            }
+            $crate::Strategy::generate(&arms[0].1, rng)
+        })
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                $crate::run_proptest(file!(), line!(), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arb, Arbitrary, BoxedStrategy,
+        Just, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Module-path mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, String)> {
+        (any::<u32>(), "[a-z ]{0,20}").prop_map(|(n, s)| (n % 100, s))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u32..20, y in -5i16..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![Just(1u8), Just(2), Just(3)],
+                            y in prop::sample::select(vec![10u8, 20, 30])) {
+            prop_assert!([1, 2, 3].contains(&x));
+            prop_assert_eq!(y % 10, 0);
+        }
+
+        #[test]
+        fn mapped_pairs(p in arb_pair()) {
+            prop_assert!(p.0 < 100);
+            prop_assert!(p.1.len() <= 20);
+            prop_assert!(p.1.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn option_of_covers_none(opts in prop::collection::vec(crate::option::of(any::<u8>()), 64)) {
+            prop_assert!(opts.iter().any(|o| o.is_none()));
+            prop_assert!(opts.iter().any(|o| o.is_some()));
+        }
+    }
+
+    #[test]
+    fn pattern_quantifiers() {
+        let mut rng = crate::TestRng::new(42);
+        for _ in 0..200 {
+            let s = crate::generate_from_pattern("[0-9#*]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c == '#' || c == '*'));
+            let t = crate::generate_from_pattern("ab.{2}", &mut rng);
+            assert_eq!(t.len(), 4);
+            assert!(t.starts_with("ab"));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).boxed().prop_recursive(4, 64, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(7);
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 6);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal vendored reimplementation of the `rand` 0.9 API surface used
+//! by this workspace: [`rng()`] plus [`Rng::random_range`] over integer
+//! ranges. Backed by a xorshift64* generator seeded from the clock and a
+//! per-thread counter. The build container has no network access, so
+//! external crates are shimmed as path dependencies.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A fast non-cryptographic generator (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    state: u64,
+}
+
+/// Returns a generator seeded from the clock and a per-call counter.
+pub fn rng() -> ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9E3779B97F4A7C15);
+    let salt = COUNTER.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed);
+    ThreadRng { state: (nanos ^ salt) | 1 }
+}
+
+impl ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// Integer types samplable from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[lo, hi]` (inclusive).
+    fn sample_inclusive(rng: &mut ThreadRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut ThreadRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample(self, rng: &mut ThreadRng) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Bounded> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut ThreadRng) -> T {
+        assert!(self.start < self.end, "empty sample range");
+        T::sample_inclusive(rng, self.start, T::prev(self.end))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut ThreadRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait Bounded {
+    /// The value immediately below `self`.
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_bounded {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            fn prev(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_bounded!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random value generation methods.
+pub trait Rng {
+    /// Samples uniformly from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>;
+
+    /// Samples a random bool.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for ThreadRng {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v: u64 = r.random_range(40..=160);
+            assert!((40..=160).contains(&v));
+            let w: i32 = r.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generators_diverge() {
+        let mut a = rng();
+        let mut b = rng();
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..=u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..=u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+}
