@@ -1,5 +1,6 @@
 //! Alib error type.
 
+use da_proto::error::ErrorCode;
 use da_proto::ProtoError;
 
 /// Errors surfaced to Alib callers.
@@ -19,6 +20,44 @@ pub enum AlibError {
     Timeout,
     /// The server sent a reply of an unexpected shape.
     UnexpectedReply,
+}
+
+impl AlibError {
+    /// The protocol error code, when the server rejected a request.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            AlibError::Server { error, .. } => Some(error.code),
+            _ => None,
+        }
+    }
+
+    /// Whether retrying the same request can possibly succeed without
+    /// the client first changing something. Classifies every protocol
+    /// error code; `xtask lint` checks the table stays exhaustive when
+    /// `proto::error` grows.
+    pub fn retryable(&self) -> bool {
+        let Some(code) = self.code() else { return false };
+        match code {
+            // Transient contention: the resource can free up by itself.
+            ErrorCode::DeviceBusy => true,
+            // Everything else needs a different request: malformed or
+            // unknown ids, type mismatches, access violations, state
+            // errors, unimplemented surface.
+            ErrorCode::BadRequest
+            | ErrorCode::BadValue
+            | ErrorCode::BadLoud
+            | ErrorCode::BadDevice
+            | ErrorCode::BadWire
+            | ErrorCode::BadSound
+            | ErrorCode::BadAtom
+            | ErrorCode::BadMatch
+            | ErrorCode::BadAccess
+            | ErrorCode::BadIdChoice
+            | ErrorCode::BadQueueMode
+            | ErrorCode::NotMapped
+            | ErrorCode::Unimplemented => false,
+        }
+    }
 }
 
 impl std::fmt::Display for AlibError {

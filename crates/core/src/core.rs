@@ -9,7 +9,7 @@
 
 use crate::atoms::AtomTable;
 use crate::loud::Loud;
-use crate::queue::CommandQueue;
+use crate::queue::{CommandQueue, TypedQueue};
 use crate::sound::{Catalogs, Sound};
 use crate::vdevice::{HwBinding, VDev};
 use crate::wire::Wire;
@@ -559,10 +559,14 @@ impl Core {
         for (root, activated) in &transitions {
             if let Some(l) = self.louds.get_mut(root) {
                 if let Some(q) = &mut l.queue {
-                    if *activated && q.state == QueueState::ServerPaused {
-                        q.state = QueueState::Started;
-                    } else if !*activated && q.state == QueueState::Started {
-                        q.state = QueueState::ServerPaused;
+                    match q.typed() {
+                        TypedQueue::ServerPaused(t) if *activated => {
+                            t.reactivate();
+                        }
+                        TypedQueue::Started(t) if !*activated => {
+                            t.server_pause();
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -578,9 +582,9 @@ impl Core {
             // Queue pause/resume notifications accompany the transition.
             if let Some(l) = self.louds.get(&root) {
                 if let Some(q) = &l.queue {
-                    if activated && q.state == QueueState::Started {
+                    if activated && q.state() == QueueState::Started {
                         self.send_event(ResKey(0, root), Event::QueueResumed { loud: lid });
-                    } else if !activated && q.state == QueueState::ServerPaused {
+                    } else if !activated && q.state() == QueueState::ServerPaused {
                         self.send_event(
                             ResKey(0, root),
                             Event::QueuePaused { loud: lid, by_server: true },
@@ -621,8 +625,8 @@ impl Core {
         l.mapped = false;
         l.active = false;
         if let Some(q) = &mut l.queue {
-            if q.state == QueueState::Started {
-                q.state = QueueState::ServerPaused;
+            if let TypedQueue::Started(t) = q.typed() {
+                t.server_pause();
             }
         }
         self.active_stack.retain(|&r| r != root);

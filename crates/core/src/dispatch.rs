@@ -8,6 +8,7 @@
 use crate::core::{res_key, Core, ResKey, ServerMsg};
 use crate::engine;
 use crate::loud::Loud;
+use crate::queue::TypedQueue;
 use crate::sound::Sound;
 use crate::vdevice::VDev;
 use crate::wire::Wire;
@@ -46,6 +47,15 @@ pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
             }
         }
         Err(e) => core.send_to_client(client, ServerMsg::Error(seq, e)),
+    }
+    // In debug builds every dispatch re-establishes the full structural
+    // invariant set (paper §5); a handler that corrupts the structure
+    // fails here, at the request that did it, not ticks later.
+    #[cfg(debug_assertions)]
+    if let Err(v) = crate::validate::check(core) {
+        let dbg = format!("{request:?}");
+        let name = dbg.split(|c: char| !c.is_alphanumeric()).next().unwrap_or("?");
+        panic!("protocol invariant violated after {name}: {v}");
     }
 }
 
@@ -496,9 +506,16 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 let Some(q) = core.queue_mut(root) else {
                     return Err(err(ErrorCode::BadLoud, root, "not a root loud"));
                 };
-                let prior = q.state;
-                if matches!(prior, QueueState::Stopped | QueueState::ClientPaused) {
-                    q.state = QueueState::Started;
+                let prior = q.state();
+                match q.typed() {
+                    TypedQueue::Stopped(t) => {
+                        t.start();
+                    }
+                    // StartQueue on a client-paused queue acts as a resume.
+                    TypedQueue::ClientPaused(t) => {
+                        t.resume();
+                    }
+                    TypedQueue::Started(_) | TypedQueue::ServerPaused(_) => {}
                 }
                 prior
             };
@@ -532,7 +549,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 let Some(q) = core.queue_mut(root) else {
                     return Err(err(ErrorCode::BadLoud, root, "not a root loud"));
                 };
-                if q.state != QueueState::Started {
+                if q.state() != QueueState::Started {
                     return Ok(None);
                 }
                 let mut devs = Vec::new();
@@ -559,7 +576,9 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 }
             }
             if let Some(q) = core.queue_mut(root) {
-                q.state = QueueState::ClientPaused;
+                if let TypedQueue::Started(t) = q.typed() {
+                    t.client_pause();
+                }
             }
             core.send_event(
                 ResKey(0, root),
@@ -577,8 +596,8 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 let Some(q) = core.queue_mut(root) else {
                     return Err(err(ErrorCode::BadLoud, root, "not a root loud"));
                 };
-                if q.state == QueueState::ClientPaused {
-                    q.state = QueueState::Started;
+                if let TypedQueue::ClientPaused(t) = q.typed() {
+                    t.resume();
                     true
                 } else {
                     false
@@ -606,7 +625,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 return Err(err(ErrorCode::BadLoud, loud.0, "not a root loud"));
             };
             Ok(Some(Reply::QueueInfo {
-                state: q.state,
+                state: q.state(),
                 pending: q.pending_len(),
                 relative_frames: q.relative_frames,
             }))

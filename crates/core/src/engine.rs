@@ -160,7 +160,7 @@ fn fan_out_line_events(core: &mut Core, plans: &PlanCache) {
 
 fn step_queue(core: &mut Core, root: u32, budget_8k: u64, scratch: &mut EngineScratch) {
     let state = match core.queue_mut(root) {
-        Some(q) => q.state,
+        Some(q) => q.state(),
         None => return,
     };
     if state != QueueState::Started {
@@ -877,7 +877,9 @@ pub fn stop_queue(core: &mut Core, root: u32, reason: QueueStopReason) {
         }
     }
     if let Some(q) = core.queue_mut(root) {
-        q.state = QueueState::Stopped;
+        // Stopping is the one transition legal from every state; the
+        // `QueueStopped` event is emitted even when already stopped.
+        q.typed().stop();
     }
     core.send_event(ResKey(0, root), Event::QueueStopped { loud: LoudId(root), reason });
 }

@@ -44,6 +44,7 @@ pub mod queue;
 pub mod server;
 pub mod sound;
 
+pub mod validate;
 pub mod vdevice;
 
 /// Byte-stream transports (re-exported from [`da_proto::transport`]).

@@ -143,6 +143,14 @@ pub struct PlanCache {
 }
 
 impl PlanCache {
+    /// The topology generation this cache was built at, if it has been
+    /// built. The invariant checker ([`crate::validate`]) uses this to
+    /// verify a cache claiming to be current really matches a fresh
+    /// recompute.
+    pub fn built_generation(&self) -> Option<u64> {
+        self.built_gen
+    }
+
     /// Rebuilds the cache if the topology generation moved since the
     /// last build. Returns whether a rebuild happened.
     pub fn ensure_fresh(&mut self, core: &Core) -> bool {

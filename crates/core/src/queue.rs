@@ -17,6 +17,7 @@ use da_proto::command::{DeviceCommand, QueueEntry};
 use da_proto::ids::VDeviceId;
 use da_proto::types::QueueState;
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 
 /// A parsed queue node.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,8 +131,10 @@ pub struct CommandQueue {
     pub pending: VecDeque<QNode>,
     /// The node currently executing.
     pub running: Option<RunNode>,
-    /// One of the four states of paper §5.5.
-    pub state: QueueState,
+    /// One of the four states of paper §5.5. Private: all transitions go
+    /// through the typestate API ([`CommandQueue::typed`]) so that only
+    /// the legal edges of the §5.5 state machine can be expressed.
+    state: QueueState,
     /// Queue-relative time in frames at the nominal 8 kHz rate; suspends
     /// while paused (paper §5.5: "When a queue is paused, command queue
     /// relative time is suspended").
@@ -157,6 +160,25 @@ impl CommandQueue {
     pub fn enqueue(&mut self, entries: Vec<QueueEntry>) {
         self.raw.extend(entries);
         self.parse_available();
+    }
+
+    /// The current dynamic state (paper §5.5).
+    pub fn state(&self) -> QueueState {
+        self.state
+    }
+
+    /// Borrows the queue as its current typestate. Callers match on the
+    /// returned [`TypedQueue`] and can then only invoke the transitions
+    /// that are legal from that state — illegal edges (e.g. resuming a
+    /// stopped queue) do not exist on the corresponding [`Queue`] type
+    /// and fail to compile.
+    pub fn typed(&mut self) -> TypedQueue<'_> {
+        match self.state {
+            QueueState::Stopped => TypedQueue::Stopped(Queue::wrap(self)),
+            QueueState::Started => TypedQueue::Started(Queue::wrap(self)),
+            QueueState::ClientPaused => TypedQueue::ClientPaused(Queue::wrap(self)),
+            QueueState::ServerPaused => TypedQueue::ServerPaused(Queue::wrap(self)),
+        }
     }
 
     /// Number of unstarted parsed nodes plus raw entries.
@@ -283,6 +305,138 @@ impl CommandQueue {
 impl Default for CommandQueue {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typestate transitions (paper §5.5)
+// ---------------------------------------------------------------------------
+//
+// The four queue states are mirrored as zero-sized marker types so the
+// legal-transition matrix is enforced by the compiler inside `core`:
+//
+//   Stopped      --start-->        Started
+//   Started      --client_pause--> ClientPaused
+//   Started      --server_pause--> ServerPaused
+//   ClientPaused --resume-->       Started
+//   ServerPaused --reactivate-->   Started
+//   any          --stop-->         Stopped
+//
+// The dynamic [`QueueState`] enum remains the representation at the wire
+// and dispatch boundary; [`CommandQueue::typed`] bridges from it into the
+// typed world.
+
+/// Marker: the queue is stopped (paper §5.5 "Stopped").
+pub struct Stopped;
+/// Marker: the queue is running (paper §5.5 "Started").
+pub struct Started;
+/// Marker: the client paused the queue with `PauseQueue`.
+pub struct ClientPaused;
+/// Marker: the server paused the queue because its root LOUD lost
+/// activation (unmap or covered on the active stack).
+pub struct ServerPaused;
+
+/// A borrow of a [`CommandQueue`] whose state is pinned at type level.
+/// Only the transitions legal from `S` are defined, so an illegal edge is
+/// a compile error:
+///
+/// ```compile_fail
+/// use da_server::queue::{CommandQueue, TypedQueue};
+/// let mut q = CommandQueue::new();
+/// if let TypedQueue::Stopped(t) = q.typed() {
+///     t.resume(); // ERROR: no `resume` on Queue<'_, Stopped>
+/// }
+/// ```
+///
+/// ```compile_fail
+/// use da_server::queue::{CommandQueue, TypedQueue};
+/// let mut q = CommandQueue::new();
+/// if let TypedQueue::ServerPaused(t) = q.typed() {
+///     t.start(); // ERROR: a server-paused queue reactivates, it is not started
+/// }
+/// ```
+pub struct Queue<'q, S> {
+    q: &'q mut CommandQueue,
+    _state: PhantomData<S>,
+}
+
+/// The runtime state of a queue lifted into the type system; the entry
+/// point for all state transitions.
+pub enum TypedQueue<'q> {
+    /// The queue is stopped.
+    Stopped(Queue<'q, Stopped>),
+    /// The queue is running.
+    Started(Queue<'q, Started>),
+    /// The queue was paused by its owning client.
+    ClientPaused(Queue<'q, ClientPaused>),
+    /// The queue was paused by the server on deactivation.
+    ServerPaused(Queue<'q, ServerPaused>),
+}
+
+impl<'q, S> Queue<'q, S> {
+    fn wrap(q: &'q mut CommandQueue) -> Self {
+        Queue { q, _state: PhantomData }
+    }
+
+    fn transition<T>(self, to: QueueState) -> Queue<'q, T> {
+        self.q.state = to;
+        Queue { q: self.q, _state: PhantomData }
+    }
+
+    /// Stopping is legal from every state (paper §5.5: `StopQueue`
+    /// "stops the queue"; the engine also stops a drained or failed
+    /// queue regardless of how it was paused).
+    pub fn stop(self) -> Queue<'q, Stopped> {
+        self.transition(QueueState::Stopped)
+    }
+}
+
+impl<'q> TypedQueue<'q> {
+    /// Stops the queue from whichever state it is in. `StopQueue` and the
+    /// engine's drain/error paths are the only transitions legal from all
+    /// four states, so they get a convenience that erases the match.
+    pub fn stop(self) -> Queue<'q, Stopped> {
+        match self {
+            TypedQueue::Stopped(t) => t.stop(),
+            TypedQueue::Started(t) => t.stop(),
+            TypedQueue::ClientPaused(t) => t.stop(),
+            TypedQueue::ServerPaused(t) => t.stop(),
+        }
+    }
+}
+
+impl<'q> Queue<'q, Stopped> {
+    /// `StartQueue` on a stopped queue: begins execution.
+    pub fn start(self) -> Queue<'q, Started> {
+        self.transition(QueueState::Started)
+    }
+}
+
+impl<'q> Queue<'q, Started> {
+    /// `PauseQueue`: the owning client suspends execution.
+    pub fn client_pause(self) -> Queue<'q, ClientPaused> {
+        self.transition(QueueState::ClientPaused)
+    }
+
+    /// The root LOUD lost activation (unmapped or covered): the server
+    /// suspends execution until it is activated again.
+    pub fn server_pause(self) -> Queue<'q, ServerPaused> {
+        self.transition(QueueState::ServerPaused)
+    }
+}
+
+impl<'q> Queue<'q, ClientPaused> {
+    /// `ResumeQueue` (or `StartQueue`, which the protocol treats as a
+    /// resume on a client-paused queue): execution continues.
+    pub fn resume(self) -> Queue<'q, Started> {
+        self.transition(QueueState::Started)
+    }
+}
+
+impl<'q> Queue<'q, ServerPaused> {
+    /// The root LOUD regained activation: execution continues.
+    pub fn reactivate(self) -> Queue<'q, Started> {
+        self.transition(QueueState::Started)
     }
 }
 

@@ -1,0 +1,423 @@
+//! Full-structure invariant checker: the mechanical form of the
+//! protocol's consistency rules (paper §5).
+//!
+//! [`check_all`] walks the whole [`Core`] and returns every violated
+//! invariant; [`check`] returns the first. The invariant identifiers
+//! (`V1` ...) match the "Invariants catalog" section of `DESIGN.md`.
+//!
+//! The checker runs in three roles:
+//!
+//! - after every dispatched request in debug builds (a `debug_assert!`
+//!   style hook in [`crate::dispatch::dispatch`]), so any request
+//!   handler that corrupts the structure fails loudly in tests;
+//! - as the oracle of the model-checking property test
+//!   (`crates/core/tests/proptest_validate.rs`), which drives arbitrary
+//!   request sequences and asserts the structure stays consistent;
+//! - in dedicated negative tests that seed a corrupt structure and
+//!   assert the checker catches it.
+//!
+//! Everything checked here is a *structural* invariant — true between
+//! any two dispatches regardless of timing. Creation-time-only rules
+//! (e.g. a `Digital` wire type admitting an endpoint's rate, which can
+//! legally drift when activation rebinds the endpoint's hardware rate)
+//! are enforced in dispatch but deliberately not re-checked here.
+
+use crate::core::Core;
+use crate::plan::compute_route_plan;
+use crate::vdevice::HwBinding;
+use da_hw::registry::HwSlot;
+use da_proto::types::{PortDir, QueueState, WireType};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Catalog identifier (`V1` ... `V10`), matching DESIGN.md.
+    pub invariant: &'static str,
+    /// What exactly is inconsistent.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+fn violate(out: &mut Vec<Violation>, invariant: &'static str, detail: String) {
+    out.push(Violation { invariant, detail });
+}
+
+/// Checks every invariant; returns the first violation, if any.
+pub fn check(core: &Core) -> Result<(), Violation> {
+    match check_all(core).into_iter().next() {
+        None => Ok(()),
+        Some(v) => Err(v),
+    }
+}
+
+/// Checks every invariant and returns all violations.
+pub fn check_all(core: &Core) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_loud_tree(core, &mut out);
+    check_vdev_containment(core, &mut out);
+    check_wires(core, &mut out);
+    check_active_stack(core, &mut out);
+    check_queues(core, &mut out);
+    check_bindings(core, &mut out);
+    check_plan_cache(core, &mut out);
+    out
+}
+
+/// The root of a LOUD, walking parents with a cycle guard. Returns
+/// `None` when the chain is broken or cyclic (already reported by V1).
+fn root_of(core: &Core, mut id: u32) -> Option<u32> {
+    let mut hops = 0usize;
+    loop {
+        let l = core.louds.get(&id)?;
+        match l.parent {
+            None => return Some(id),
+            Some(p) => {
+                hops += 1;
+                if hops > core.louds.len() {
+                    return None;
+                }
+                id = p;
+            }
+        }
+    }
+}
+
+/// V1: the LOUD forest is a forest — parent and child pointers agree,
+/// every LOUD has at most one parent, and parent chains are acyclic
+/// (paper §5.4: LOUDs "form a tree").
+fn check_loud_tree(core: &Core, out: &mut Vec<Violation>) {
+    let mut child_seen: HashMap<u32, u32> = HashMap::new();
+    for (&id, l) in &core.louds {
+        if let Some(p) = l.parent {
+            if p == id {
+                violate(out, "V1", format!("loud {id} is its own parent"));
+                continue;
+            }
+            match core.louds.get(&p) {
+                None => violate(out, "V1", format!("loud {id} has dangling parent {p}")),
+                Some(pl) => {
+                    if !pl.children.contains(&id) {
+                        violate(
+                            out,
+                            "V1",
+                            format!("loud {id} has parent {p} but is not among its children"),
+                        );
+                    }
+                }
+            }
+        }
+        let mut dedup = HashSet::new();
+        for &c in &l.children {
+            if !dedup.insert(c) {
+                violate(out, "V1", format!("loud {id} lists child {c} twice"));
+                continue;
+            }
+            if let Some(prev) = child_seen.insert(c, id) {
+                violate(
+                    out,
+                    "V1",
+                    format!("loud {c} is a child of both {prev} and {id}"),
+                );
+            }
+            match core.louds.get(&c) {
+                None => violate(out, "V1", format!("loud {id} has dangling child {c}")),
+                Some(cl) => {
+                    if cl.parent != Some(id) {
+                        violate(
+                            out,
+                            "V1",
+                            format!(
+                                "loud {id} lists child {c} whose parent is {:?}",
+                                cl.parent
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if root_of(core, id).is_none() {
+            violate(out, "V1", format!("loud {id} has a broken or cyclic parent chain"));
+        }
+    }
+}
+
+/// V2: every virtual device lives in an existing LOUD, the LOUD lists it
+/// back, and its cached `root` matches the tree it is actually in
+/// (paper §5.1, §5.4).
+fn check_vdev_containment(core: &Core, out: &mut Vec<Violation>) {
+    for (&id, v) in &core.vdevs {
+        if id != v.id.0 {
+            violate(out, "V2", format!("vdev key {id} != id field {}", v.id.0));
+        }
+        match core.louds.get(&v.loud) {
+            None => violate(out, "V2", format!("vdev {id} in dangling loud {}", v.loud)),
+            Some(l) => {
+                if !l.vdevs.contains(&id) {
+                    violate(
+                        out,
+                        "V2",
+                        format!("vdev {id} not listed by its loud {}", v.loud),
+                    );
+                }
+                if root_of(core, v.loud).is_some_and(|r| r != v.root) {
+                    violate(
+                        out,
+                        "V2",
+                        format!("vdev {id} caches root {} but its tree root differs", v.root),
+                    );
+                }
+            }
+        }
+    }
+    for (&id, l) in &core.louds {
+        for &d in &l.vdevs {
+            match core.vdevs.get(&d) {
+                None => violate(out, "V2", format!("loud {id} lists dangling vdev {d}")),
+                Some(v) => {
+                    if v.loud != id {
+                        violate(
+                            out,
+                            "V2",
+                            format!("loud {id} lists vdev {d} which claims loud {}", v.loud),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// V3 + V4 + V5: wires connect two distinct existing devices of the same
+/// tree through valid ports (V3), carry a digital or unconstrained type —
+/// analog wires exist only inside the hardware's device LOUD, never as
+/// client resources (V4, paper §5.2/§5.9) — and the wire graph stays
+/// acyclic so topological routing is sound (V5).
+fn check_wires(core: &Core, out: &mut Vec<Violation>) {
+    for (&id, w) in &core.wires {
+        if id != w.id.0 {
+            violate(out, "V3", format!("wire key {id} != id field {}", w.id.0));
+        }
+        let (src, dst) = (core.vdevs.get(&w.src.0), core.vdevs.get(&w.dst.0));
+        match (src, dst) {
+            (Some(s), Some(d)) => {
+                if w.src.0 == w.dst.0 {
+                    violate(out, "V3", format!("wire {id} connects vdev {} to itself", w.src.0));
+                }
+                if s.root != d.root {
+                    violate(
+                        out,
+                        "V3",
+                        format!("wire {id} crosses trees ({} -> {})", s.root, d.root),
+                    );
+                }
+                if !s.has_port(PortDir::Source, w.src_port) {
+                    violate(
+                        out,
+                        "V3",
+                        format!("wire {id} uses bad source port {} on vdev {}", w.src_port, w.src.0),
+                    );
+                }
+                if !d.has_port(PortDir::Sink, w.dst_port) {
+                    violate(
+                        out,
+                        "V3",
+                        format!("wire {id} uses bad sink port {} on vdev {}", w.dst_port, w.dst.0),
+                    );
+                }
+            }
+            _ => {
+                violate(out, "V3", format!("wire {id} has a dangling endpoint"));
+            }
+        }
+        match w.wire_type {
+            WireType::Analog => violate(
+                out,
+                "V4",
+                format!("wire {id} is analog; analog wires exist only in the device LOUD"),
+            ),
+            WireType::Digital(t) => {
+                if t.sample_rate == 0 || t.channels == 0 {
+                    violate(
+                        out,
+                        "V4",
+                        format!(
+                            "wire {id} has degenerate digital type ({} Hz, {} ch)",
+                            t.sample_rate, t.channels
+                        ),
+                    );
+                }
+            }
+            WireType::Any => {}
+        }
+    }
+    // V5: DFS over the wire graph (edges src -> dst).
+    let mut edges: HashMap<u32, Vec<u32>> = HashMap::new();
+    for w in core.wires.values() {
+        edges.entry(w.src.0).or_default().push(w.dst.0);
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut mark: HashMap<u32, u8> = HashMap::new();
+    fn dfs(v: u32, edges: &HashMap<u32, Vec<u32>>, mark: &mut HashMap<u32, u8>) -> bool {
+        match mark.get(&v).copied().unwrap_or(0) {
+            1 => return false,
+            2 => return true,
+            _ => {}
+        }
+        mark.insert(v, 1);
+        for &n in edges.get(&v).into_iter().flatten() {
+            if !dfs(n, edges, mark) {
+                return false;
+            }
+        }
+        mark.insert(v, 2);
+        true
+    }
+    let mut srcs: Vec<u32> = edges.keys().copied().collect();
+    srcs.sort_unstable();
+    for v in srcs {
+        if !dfs(v, &edges, &mut mark) {
+            violate(out, "V5", format!("wire graph has a cycle reachable from vdev {v}"));
+            break;
+        }
+    }
+}
+
+/// V6: the active stack holds each mapped root exactly once, every entry
+/// is an existing root LOUD, a root is mapped iff it is on the stack,
+/// and only mapped LOUDs are active (paper §5.6: the activation stack
+/// orders the mapped LOUDs).
+fn check_active_stack(core: &Core, out: &mut Vec<Violation>) {
+    let mut seen = HashSet::new();
+    for &r in &core.active_stack {
+        if !seen.insert(r) {
+            violate(out, "V6", format!("root {r} appears twice on the active stack"));
+        }
+        match core.louds.get(&r) {
+            None => violate(out, "V6", format!("active stack names dangling loud {r}")),
+            Some(l) => {
+                if l.parent.is_some() {
+                    violate(out, "V6", format!("active stack names non-root loud {r}"));
+                }
+                if !l.mapped {
+                    violate(out, "V6", format!("stacked root {r} is not mapped"));
+                }
+            }
+        }
+    }
+    for (&id, l) in &core.louds {
+        if l.parent.is_none() && l.mapped && !seen.contains(&id) {
+            violate(out, "V6", format!("mapped root {id} missing from the active stack"));
+        }
+        if l.active && !l.mapped {
+            violate(out, "V6", format!("loud {id} is active but not mapped"));
+        }
+    }
+    // Manager redirection bookkeeping: deferred maps/raises exist only
+    // while a manager is registered, and only for live roots (paper §6).
+    if core.redirect_client.is_none()
+        && (!core.pending_maps.is_empty() || !core.pending_raises.is_empty())
+    {
+        violate(out, "V6", "pending redirected maps without a manager".into());
+    }
+    for &r in core.pending_maps.iter().chain(core.pending_raises.iter()) {
+        if !core.louds.contains_key(&r) {
+            violate(out, "V6", format!("pending redirect names dangling loud {r}"));
+        }
+    }
+}
+
+/// V7 + V8: exactly the root LOUDs own command queues (paper §5.5: "Each
+/// root LOUD owns a command queue"), and a server-paused queue implies a
+/// deactivated root — the server pauses queues only on deactivation and
+/// resumes them on reactivation.
+fn check_queues(core: &Core, out: &mut Vec<Violation>) {
+    for (&id, l) in &core.louds {
+        let is_root = l.parent.is_none();
+        if is_root && l.queue.is_none() {
+            violate(out, "V7", format!("root loud {id} has no command queue"));
+        }
+        if !is_root && l.queue.is_some() {
+            violate(out, "V7", format!("non-root loud {id} has a command queue"));
+        }
+        if let Some(q) = &l.queue {
+            if q.state() == QueueState::ServerPaused && l.active {
+                violate(
+                    out,
+                    "V8",
+                    format!("queue of root {id} is server-paused while the root is active"),
+                );
+            }
+        }
+    }
+}
+
+/// V9: every hardware binding names a slot the registry actually has
+/// (paper §5.9: activation assigns physical devices).
+fn check_bindings(core: &Core, out: &mut Vec<Violation>) {
+    let lines: HashSet<_> = (0..core.hw.device_count())
+        .filter_map(|i| match core.hw.slot(i) {
+            Some(HwSlot::Line(l)) => Some(l),
+            _ => None,
+        })
+        .collect();
+    for (&id, v) in &core.vdevs {
+        match v.binding {
+            Some(HwBinding::Speaker(i)) if i >= core.hw.speakers.len() => {
+                violate(out, "V9", format!("vdev {id} bound to missing speaker {i}"));
+            }
+            Some(HwBinding::Microphone(i)) if i >= core.hw.microphones.len() => {
+                violate(out, "V9", format!("vdev {id} bound to missing microphone {i}"));
+            }
+            Some(HwBinding::Line(l)) if !lines.contains(&l) => {
+                violate(out, "V9", format!("vdev {id} bound to unknown line {l:?}"));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// V10: a plan cache claiming to be built at the current topology
+/// generation really describes the current topology — the active-root
+/// list and every cached route equal a fresh recompute. A stale
+/// generation is fine (the next tick rebuilds); a *lying* generation is
+/// the bug class `Core::invalidate_plans` exists to prevent.
+fn check_plan_cache(core: &Core, out: &mut Vec<Violation>) {
+    let plans = &core.plane.plans;
+    if plans.built_generation() != Some(core.topology_gen) {
+        return;
+    }
+    let expected_roots: Vec<u32> = core
+        .active_stack
+        .iter()
+        .copied()
+        .filter(|r| core.louds.get(r).map(|l| l.active) == Some(true))
+        .collect();
+    if plans.active_roots != expected_roots {
+        violate(
+            out,
+            "V10",
+            format!(
+                "plan cache active roots {:?} != live {:?} at generation {}",
+                plans.active_roots, expected_roots, core.topology_gen
+            ),
+        );
+        return;
+    }
+    for &root in &expected_roots {
+        let fresh = compute_route_plan(core, root);
+        if plans.routes.get(&root) != Some(&fresh) {
+            violate(
+                out,
+                "V10",
+                format!("cached route plan for root {root} differs from a fresh recompute"),
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! `cargo run -p xtask -- lint`: run the workspace consistency lints
+//! and exit non-zero if any finding survives the allowlist.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        other => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            if let Some(cmd) = other {
+                eprintln!("unknown command: {cmd}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    let root = workspace_root();
+    match xtask::run_workspace_lint(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: workspace is consistent");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: cannot read workspace at {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Table-driven check of the queue state machine (paper §5.5): every
+//! (state × command) pair is driven through a live server and compared
+//! against the legal-transition matrix that the `core::queue` typestate
+//! API encodes at compile time. The table is the runtime half of that
+//! guarantee: the typestate makes illegal transitions unrepresentable
+//! in server code, this test pins down which transitions the protocol
+//! actually performs, including the silent no-ops.
+
+mod common;
+
+use common::start;
+use da_alib::Connection;
+use da_proto::command::DeviceCommand;
+use da_proto::event::{Event, EventMask};
+use da_proto::ids::LoudId;
+use da_proto::types::{DeviceClass, QueueState, SoundType, WireType};
+use std::time::Duration;
+
+#[derive(Clone, Copy, Debug)]
+enum Cmd {
+    Start,
+    Stop,
+    Pause,
+    Resume,
+}
+
+/// The queue event the command must (or must not) emit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Emits {
+    Started,
+    Stopped,
+    PausedByClient,
+    Resumed,
+    Nothing,
+}
+
+/// The legal-transition matrix, spelled out row by row.
+/// (from-state, command, to-state, emitted event)
+const MATRIX: &[(QueueState, Cmd, QueueState, Emits)] = &[
+    // StartQueue: starts a stopped queue, resumes a client pause
+    // ("StartQueue on a paused queue acts as resume"), and is a silent
+    // no-op on a queue that is already running or server-paused.
+    (QueueState::Stopped, Cmd::Start, QueueState::Started, Emits::Started),
+    (QueueState::Started, Cmd::Start, QueueState::Started, Emits::Nothing),
+    (QueueState::ClientPaused, Cmd::Start, QueueState::Started, Emits::Resumed),
+    (QueueState::ServerPaused, Cmd::Start, QueueState::ServerPaused, Emits::Nothing),
+    // StopQueue: always lands in Stopped and always reports it, even
+    // when the queue was already stopped.
+    (QueueState::Stopped, Cmd::Stop, QueueState::Stopped, Emits::Stopped),
+    (QueueState::Started, Cmd::Stop, QueueState::Stopped, Emits::Stopped),
+    (QueueState::ClientPaused, Cmd::Stop, QueueState::Stopped, Emits::Stopped),
+    (QueueState::ServerPaused, Cmd::Stop, QueueState::Stopped, Emits::Stopped),
+    // PauseQueue: only a running queue can be client-paused.
+    (QueueState::Stopped, Cmd::Pause, QueueState::Stopped, Emits::Nothing),
+    (QueueState::Started, Cmd::Pause, QueueState::ClientPaused, Emits::PausedByClient),
+    (QueueState::ClientPaused, Cmd::Pause, QueueState::ClientPaused, Emits::Nothing),
+    (QueueState::ServerPaused, Cmd::Pause, QueueState::ServerPaused, Emits::Nothing),
+    // ResumeQueue: only undoes a *client* pause; a server pause ends
+    // when the LOUD reactivates, not when the client asks.
+    (QueueState::Stopped, Cmd::Resume, QueueState::Stopped, Emits::Nothing),
+    (QueueState::Started, Cmd::Resume, QueueState::Started, Emits::Nothing),
+    (QueueState::ClientPaused, Cmd::Resume, QueueState::Started, Emits::Resumed),
+    (QueueState::ServerPaused, Cmd::Resume, QueueState::ServerPaused, Emits::Nothing),
+];
+
+fn is_queue_event_for(e: &Event, loud: LoudId) -> bool {
+    matches!(e,
+        Event::QueueStarted { loud: l }
+        | Event::QueueStopped { loud: l, .. }
+        | Event::QueuePaused { loud: l, .. }
+        | Event::QueueResumed { loud: l }
+        if *l == loud
+    )
+}
+
+fn drain_queue_events(conn: &mut Connection, loud: LoudId) {
+    while conn
+        .wait_event(Duration::from_millis(80), |e| is_queue_event_for(e, loud))
+        .is_ok()
+    {}
+}
+
+/// Builds a mapped playing topology and drives its queue into `state`.
+fn reach(conn: &mut Connection, state: QueueState) -> LoudId {
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let out = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, out, 0, WireType::Any).unwrap();
+    conn.select_events(loud, EventMask::QUEUE).unwrap();
+    // Long enough that a started queue cannot drain mid-case.
+    let pcm = da_dsp::tone::sine(8000, 440.0, 400_000, 10000);
+    let sound = conn.upload_pcm(SoundType::TELEPHONE, &pcm).unwrap();
+    conn.map_loud(loud).unwrap();
+    conn.enqueue_cmd(loud, player, DeviceCommand::Play(sound)).unwrap();
+    if state != QueueState::Stopped {
+        conn.start_queue(loud).unwrap();
+        conn.wait_event(Duration::from_secs(10), |e| {
+            matches!(e, Event::QueueStarted { loud: l } if *l == loud)
+        })
+        .unwrap();
+    }
+    match state {
+        QueueState::Stopped | QueueState::Started => {}
+        QueueState::ClientPaused => {
+            conn.pause_queue(loud).unwrap();
+            conn.wait_event(Duration::from_secs(10), |e| {
+                matches!(e, Event::QueuePaused { loud: l, by_server: false } if *l == loud)
+            })
+            .unwrap();
+        }
+        QueueState::ServerPaused => {
+            // Deactivation pauses the queue on the server's initiative;
+            // unmapping is the simplest way to force it.
+            conn.unmap_loud(loud).unwrap();
+            conn.sync().unwrap();
+        }
+    }
+    let (got, ..) = conn.query_queue(loud).unwrap();
+    assert_eq!(got, state, "fixture failed to reach {state:?}");
+    drain_queue_events(conn, loud);
+    loud
+}
+
+#[test]
+fn every_state_command_pair_matches_the_matrix() {
+    let (server, mut conn) = start();
+    for &(from, cmd, to, emits) in MATRIX {
+        let loud = reach(&mut conn, from);
+        match cmd {
+            Cmd::Start => conn.start_queue(loud).unwrap(),
+            Cmd::Stop => conn.stop_queue(loud).unwrap(),
+            Cmd::Pause => conn.pause_queue(loud).unwrap(),
+            Cmd::Resume => conn.resume_queue(loud).unwrap(),
+        }
+        conn.sync().unwrap();
+        let case = format!("{from:?} × {cmd:?}");
+        match emits {
+            Emits::Nothing => {
+                let got = conn.wait_event(Duration::from_millis(200), |e| {
+                    is_queue_event_for(e, loud)
+                });
+                assert!(got.is_err(), "{case}: unexpected event {got:?}");
+            }
+            _ => {
+                let ev = conn
+                    .wait_event(Duration::from_secs(10), |e| is_queue_event_for(e, loud))
+                    .unwrap_or_else(|e| panic!("{case}: no event: {e}"));
+                let matched = match emits {
+                    Emits::Started => matches!(ev, Event::QueueStarted { .. }),
+                    Emits::Stopped => matches!(ev, Event::QueueStopped { .. }),
+                    Emits::PausedByClient => {
+                        matches!(ev, Event::QueuePaused { by_server: false, .. })
+                    }
+                    Emits::Resumed => matches!(ev, Event::QueueResumed { .. }),
+                    Emits::Nothing => unreachable!(),
+                };
+                assert!(matched, "{case}: expected {emits:?}, got {ev:?}");
+            }
+        }
+        let (state, ..) = conn.query_queue(loud).unwrap();
+        assert_eq!(state, to, "{case}: wrong resulting state");
+        // Tear the case down so later rows start from a quiet server.
+        conn.stop_queue(loud).unwrap();
+        conn.destroy_loud(loud).unwrap();
+        conn.sync().unwrap();
+    }
+    server.shutdown();
+}
+
+/// The two server-initiated edges the client cannot command directly:
+/// deactivation (unmap) pauses a running queue, reactivation (map)
+/// resumes it with a `QueueResumed` notification.
+#[test]
+fn server_pause_and_reactivate_round_trip() {
+    let (server, mut conn) = start();
+    let loud = reach(&mut conn, QueueState::Started);
+
+    conn.unmap_loud(loud).unwrap();
+    conn.sync().unwrap();
+    let (state, ..) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::ServerPaused);
+
+    conn.map_loud(loud).unwrap();
+    conn.wait_event(Duration::from_secs(10), |e| {
+        matches!(e, Event::QueueResumed { loud: l } if *l == loud)
+    })
+    .unwrap();
+    let (state, ..) = conn.query_queue(loud).unwrap();
+    assert_eq!(state, QueueState::Started);
+    server.shutdown();
+}

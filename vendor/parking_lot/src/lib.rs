@@ -6,17 +6,119 @@
 use std::ops::{Deref, DerefMut};
 use std::sync;
 
+#[cfg(feature = "deadlock_detect")]
+mod order {
+    //! Lock-order tracking (feature `deadlock_detect`).
+    //!
+    //! Every mutex gets a process-unique id on first acquisition. A
+    //! global graph records the edge `held -> acquired` whenever a lock
+    //! is taken while another is held; if adding an edge closes a cycle,
+    //! two locks have been taken in inconsistent order somewhere in the
+    //! process — a potential deadlock — and we panic immediately, on
+    //! whichever thread completed the cycle, without waiting for the
+    //! interleaving that actually deadlocks. The bookkeeping uses `std`
+    //! primitives directly so it never recurses into itself.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+    static EDGES: StdMutex<Option<HashMap<usize, HashSet<usize>>>> = StdMutex::new(None);
+
+    thread_local! {
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn id_of(slot: &AtomicUsize) -> usize {
+        let cur = slot.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+
+    fn reaches(edges: &HashMap<usize, HashSet<usize>>, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(v) = stack.pop() {
+            if v == to {
+                return true;
+            }
+            if seen.insert(v) {
+                stack.extend(edges.get(&v).into_iter().flatten());
+            }
+        }
+        false
+    }
+
+    /// Called before acquiring; records order edges and panics on an
+    /// inversion. Returns the lock's id for the guard to release.
+    pub(crate) fn on_acquire(slot: &AtomicUsize) -> usize {
+        let id = id_of(slot);
+        let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+        if !held.is_empty() {
+            let mut g = EDGES.lock().unwrap_or_else(|p| p.into_inner());
+            let edges = g.get_or_insert_with(HashMap::new);
+            let mut inverted = None;
+            for &h in &held {
+                if h == id {
+                    inverted = Some(h);
+                    break;
+                }
+                if reaches(edges, id, h) {
+                    inverted = Some(h);
+                    break;
+                }
+                edges.entry(h).or_default().insert(id);
+            }
+            // Release the registry before panicking so other threads'
+            // bookkeeping survives the unwind.
+            drop(g);
+            if let Some(h) = inverted {
+                panic!(
+                    "lock order inversion: acquiring lock #{id} while holding lock #{h} \
+                     contradicts a previously observed acquisition order"
+                );
+            }
+        }
+        HELD.with(|h| h.borrow_mut().push(id));
+        id
+    }
+
+    /// Called when a guard drops.
+    pub(crate) fn on_release(id: usize) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
 /// A mutex that never poisons: a panic while holding the lock leaves the
 /// data accessible to later lockers, matching parking_lot semantics.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "deadlock_detect")]
+    order_id: std::sync::atomic::AtomicUsize,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
     /// Creates a mutex guarding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            #[cfg(feature = "deadlock_detect")]
+            order_id: std::sync::atomic::AtomicUsize::new(0),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the value.
@@ -31,19 +133,36 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
-            Ok(g) => MutexGuard { guard: g },
-            Err(p) => MutexGuard { guard: p.into_inner() },
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
         }
     }
 
     /// Acquires the lock if it is free right now.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { guard: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { guard: p.into_inner() }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // A successful try_lock participates in order tracking like any
+        // acquisition (it cannot deadlock itself, but it can hold while
+        // something else acquires).
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        Some(MutexGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -58,6 +177,15 @@ impl<T: ?Sized> Mutex<T> {
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
     guard: sync::MutexGuard<'a, T>,
+    #[cfg(feature = "deadlock_detect")]
+    order_id: usize,
+}
+
+#[cfg(feature = "deadlock_detect")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.order_id);
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -96,5 +224,64 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[cfg(feature = "deadlock_detect")]
+    mod deadlock_detect {
+        use super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        #[test]
+        fn consistent_order_is_silent() {
+            let a = Mutex::new(1);
+            let b = Mutex::new(2);
+            for _ in 0..3 {
+                let ga = a.lock();
+                let gb = b.lock();
+                assert_eq!(*ga + *gb, 3);
+            }
+        }
+
+        #[test]
+        fn inverted_order_panics() {
+            let a = Mutex::new(1);
+            let b = Mutex::new(2);
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            // The opposite order contradicts the recorded a -> b edge.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }));
+            let msg = *r.expect_err("inversion must panic").downcast::<String>().unwrap();
+            assert!(msg.contains("lock order inversion"), "{msg}");
+        }
+
+        #[test]
+        fn reentrant_lock_panics_instead_of_deadlocking() {
+            let a = Mutex::new(1);
+            let g = a.lock();
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _again = a.lock();
+            }));
+            drop(g);
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn guard_drop_releases_for_ordering() {
+            let a = Mutex::new(1);
+            let b = Mutex::new(2);
+            {
+                let _ga = a.lock();
+            }
+            // `a` is no longer held: taking b then a creates no edge
+            // conflict with any still-held lock.
+            let _gb = b.lock();
+            drop(_gb);
+            let _ga = a.lock();
+        }
     }
 }
