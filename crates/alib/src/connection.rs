@@ -5,7 +5,9 @@ use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
 use da_proto::command::{DeviceCommand, QueueEntry};
 use da_proto::event::{Event, EventMask};
 use da_proto::ids::{Atom, LoudId, ResourceId, SoundId, VDeviceId, WireId};
-use da_proto::reply::{HardWire, PhysDeviceInfo, Reply, StackEntry};
+use da_proto::reply::{
+    ClientStatsData, HardWire, PhysDeviceInfo, Reply, ServerStatsData, StackEntry,
+};
 use da_proto::request::Request;
 use da_proto::setup::{SetupReply, SetupRequest};
 use da_proto::transport::{Duplex, TransportError};
@@ -16,6 +18,25 @@ use std::time::{Duration, Instant};
 
 /// Default timeout for blocking waits.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Client-side wire accounting: frames and payload bytes seen by this
+/// connection, split by direction and frame kind. Plain `u64`s — the
+/// connection is single-threaded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Request frames sent.
+    pub requests_sent: u64,
+    /// Payload bytes sent (including sequence numbers).
+    pub bytes_sent: u64,
+    /// Reply frames received.
+    pub replies_received: u64,
+    /// Event frames received.
+    pub events_received: u64,
+    /// Error frames received.
+    pub errors_received: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+}
 
 /// Largest data block sent in one `WriteSoundData` request.
 const UPLOAD_CHUNK: usize = 64 * 1024;
@@ -39,6 +60,7 @@ pub struct Connection {
     events: VecDeque<Event>,
     errors: VecDeque<(u32, ProtoError)>,
     replies: HashMap<u32, Reply>,
+    wire_stats: WireStats,
     /// Timeout applied to blocking waits.
     pub timeout: Duration,
 }
@@ -81,6 +103,7 @@ impl Connection {
             events: VecDeque::new(),
             errors: VecDeque::new(),
             replies: HashMap::new(),
+            wire_stats: WireStats::default(),
             timeout: DEFAULT_TIMEOUT,
         })
     }
@@ -114,10 +137,18 @@ impl Connection {
         let mut w = WireWriter::new();
         w.u32(seq);
         request.write(&mut w);
+        let payload = w.finish();
+        self.wire_stats.requests_sent += 1;
+        self.wire_stats.bytes_sent += payload.len() as u64;
         self.duplex
-            .send(&Frame { kind: FrameKind::Request, payload: w.finish() })
+            .send(&Frame { kind: FrameKind::Request, payload })
             .map_err(|e| AlibError::Connection(e.to_string()))?;
         Ok(seq)
+    }
+
+    /// This connection's wire accounting so far.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire_stats
     }
 
     fn pump_one(&mut self, timeout: Duration) -> Result<bool, AlibError> {
@@ -135,19 +166,23 @@ impl Connection {
     }
 
     fn absorb(&mut self, frame: Frame) -> Result<(), AlibError> {
+        self.wire_stats.bytes_received += frame.payload.len() as u64;
         match frame.kind {
             FrameKind::Reply => {
+                self.wire_stats.replies_received += 1;
                 let mut r = WireReader::new(&frame.payload);
                 let seq = r.u32().map_err(|_| AlibError::UnexpectedReply)?;
                 let reply = Reply::read(&mut r).map_err(|_| AlibError::UnexpectedReply)?;
                 self.replies.insert(seq, reply);
             }
             FrameKind::Event => {
+                self.wire_stats.events_received += 1;
                 if let Ok(ev) = Event::from_wire(&frame.payload) {
                     self.events.push_back(ev);
                 }
             }
             FrameKind::Error => {
+                self.wire_stats.errors_received += 1;
                 let mut r = WireReader::new(&frame.payload);
                 if let (Ok(seq), Ok(err)) = (r.u32(), ProtoError::read(&mut r)) {
                     self.errors.push_back((seq, err));
@@ -653,6 +688,43 @@ impl Connection {
             }
             _ => Err(AlibError::UnexpectedReply),
         }
+    }
+
+    // ---- Telemetry ------------------------------------------------------------------------------
+
+    /// Queries the server's telemetry snapshot (per-opcode dispatch
+    /// counts, counters, gauges, histograms). Servers that predate the
+    /// telemetry opcodes answer with a protocol error, surfaced here as
+    /// [`AlibError::Unsupported`].
+    pub fn query_server_stats(&mut self) -> Result<ServerStatsData, AlibError> {
+        match self.round_trip(&Request::QueryServerStats) {
+            Ok(Reply::ServerStats { stats }) => Ok(stats),
+            Ok(_) => Err(AlibError::UnexpectedReply),
+            Err(e) => Err(map_unsupported(e, "QueryServerStats")),
+        }
+    }
+
+    /// Lists connected clients with their per-connection accounting.
+    /// Surfaces [`AlibError::Unsupported`] against pre-telemetry servers.
+    pub fn list_clients(&mut self) -> Result<Vec<ClientStatsData>, AlibError> {
+        match self.round_trip(&Request::ListClients) {
+            Ok(Reply::ClientList { clients }) => Ok(clients),
+            Ok(_) => Err(AlibError::UnexpectedReply),
+            Err(e) => Err(map_unsupported(e, "ListClients")),
+        }
+    }
+}
+
+/// Maps the errors an old server sends for an opcode it does not know —
+/// `BadRequest` from the frame decoder, `Unimplemented` from a stub
+/// dispatcher — to the typed [`AlibError::Unsupported`].
+fn map_unsupported(e: AlibError, feature: &'static str) -> AlibError {
+    use da_proto::error::ErrorCode;
+    match e.code() {
+        Some(ErrorCode::BadRequest) | Some(ErrorCode::Unimplemented) => {
+            AlibError::Unsupported { feature }
+        }
+        _ => e,
     }
 }
 

@@ -20,6 +20,14 @@ pub enum AlibError {
     Timeout,
     /// The server sent a reply of an unexpected shape.
     UnexpectedReply,
+    /// The server predates the named feature and rejected its request
+    /// (e.g. `QueryServerStats` against a pre-telemetry server, which
+    /// answers an unknown opcode with `BadRequest`). Never retryable:
+    /// the peer will reject the same request forever.
+    Unsupported {
+        /// The feature the server lacks.
+        feature: &'static str,
+    },
 }
 
 impl AlibError {
@@ -67,8 +75,24 @@ impl std::fmt::Display for AlibError {
             AlibError::Server { seq, error } => write!(f, "server error for request {seq}: {error}"),
             AlibError::Timeout => write!(f, "timed out waiting for the server"),
             AlibError::UnexpectedReply => write!(f, "unexpected reply shape"),
+            AlibError::Unsupported { feature } => {
+                write!(f, "server does not support {feature}")
+            }
         }
     }
 }
 
 impl std::error::Error for AlibError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_is_never_retryable() {
+        let e = AlibError::Unsupported { feature: "QueryServerStats" };
+        assert!(e.code().is_none());
+        assert!(!e.retryable());
+        assert!(e.to_string().contains("QueryServerStats"));
+    }
+}

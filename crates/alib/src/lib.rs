@@ -14,7 +14,7 @@
 pub mod connection;
 pub mod error;
 
-pub use connection::Connection;
+pub use connection::{Connection, WireStats};
 pub use error::AlibError;
 
 // Re-export the protocol so applications need only one dependency.

@@ -5,6 +5,7 @@
 //! Run with `cargo run -p da-bench --bin experiments --release`.
 
 use da_alib::Connection;
+use da_bench::report::Report;
 use da_bench::{build_play_rig, latency_stats, play, upload_tone, wait_done, ManualRig};
 use da_proto::command::{DeviceCommand, RecordTermination};
 use da_proto::event::{Event, EventMask};
@@ -16,16 +17,21 @@ fn main() {
     println!("desktop-audio experiment harness");
     println!("paper: Integrating Audio and Telephony in a Distributed Workstation");
     println!("Environment (USENIX Summer 1991), evaluation section 6\n");
-    e1_start_latency();
-    e2_seamless_playback();
-    e3_cpu_fraction();
-    e4_play_record_seam();
-    e5_multiclient_scaling();
-    e6_streaming_jitter();
-    e7_sync_event_cadence();
-    e8_codecs();
-    p1_quantum_ablation();
-    println!("\nall experiments complete");
+    let mut report = Report::new();
+    e1_start_latency(&mut report);
+    e2_seamless_playback(&mut report);
+    e3_cpu_fraction(&mut report);
+    e4_play_record_seam(&mut report);
+    e5_multiclient_scaling(&mut report);
+    e6_streaming_jitter(&mut report);
+    e7_sync_event_cadence(&mut report);
+    e8_codecs(&mut report);
+    p1_quantum_ablation(&mut report);
+    match report.write_file("BENCH_results.json") {
+        Ok(()) => println!("\nwrote {} records to BENCH_results.json", report.records().len()),
+        Err(e) => eprintln!("\ncould not write BENCH_results.json: {e}"),
+    }
+    println!("all experiments complete");
 }
 
 fn banner(id: &str, claim: &str) {
@@ -37,7 +43,7 @@ fn banner(id: &str, claim: &str) {
 // E1 — playback start latency (paper §6: "start playback of a sound, using
 // an existing server connection, in less than several hundred milliseconds")
 // ---------------------------------------------------------------------------
-fn e1_start_latency() {
+fn e1_start_latency(report: &mut Report) {
     banner("E1", "playback start latency < several hundred ms (paper goal)");
     let config = ServerConfig {
         pacing: da_hw::clock::Pacing::RealTime,
@@ -61,6 +67,10 @@ fn e1_start_latency() {
         wait_done(&mut conn, rig.loud, Duration::from_secs(5));
     }
     let s = latency_stats(samples);
+    report.push("E1", "start_latency_min_us", s.min_us as f64, "us");
+    report.push("E1", "start_latency_p50_us", s.p50_us as f64, "us");
+    report.push("E1", "start_latency_p95_us", s.p95_us as f64, "us");
+    report.push("E1", "start_latency_max_us", s.max_us as f64, "us");
     println!("  request→PlayStarted over an existing connection, {trials} trials:");
     println!(
         "  min {:.2} ms   median {:.2} ms   p95 {:.2} ms   max {:.2} ms",
@@ -81,7 +91,7 @@ fn e1_start_latency() {
 // E2 — seamless back-to-back playback (paper §6.2: "without a single
 // dropped or inserted sample")
 // ---------------------------------------------------------------------------
-fn e2_seamless_playback() {
+fn e2_seamless_playback(report: &mut Report) {
     banner("E2", "back-to-back plays: zero dropped or inserted samples (§6.2)");
     println!("  N sounds | total frames | discontinuities | verdict");
     for n in [2usize, 4, 8, 16, 32, 64] {
@@ -131,6 +141,7 @@ fn e2_seamless_playback() {
                 }
             }
         }
+        report.push("E2", &format!("discontinuities_{n}_sounds"), discontinuities as f64, "samples");
         println!(
             "  {n:>8} | {total:>12} | {discontinuities:>15} | {}",
             if discontinuities == 0 { "PASS (gap-free)" } else { "FAIL" }
@@ -142,7 +153,7 @@ fn e2_seamless_playback() {
 // E3 — CPU fraction vs data rate (paper §6: "well under 10% of the CPU";
 // §1.1: 8,000 B/s telephone … 175,000 B/s CD)
 // ---------------------------------------------------------------------------
-fn e3_cpu_fraction() {
+fn e3_cpu_fraction(report: &mut Report) {
     banner("E3", "continuous playback CPU fraction across the paper's rate range");
     println!("  stream                         | bytes/s | CPU fraction | paper goal");
     let cases: Vec<(&str, SoundType, bool)> = vec![
@@ -200,6 +211,12 @@ fn e3_cpu_fraction() {
         let after = control.stats();
         let busy = after.busy - before.busy;
         let fraction = busy.as_secs_f64() / 10.0;
+        report.push(
+            "E3",
+            &format!("cpu_fraction_{}_bytes_per_s", stype.bytes_per_second()),
+            fraction,
+            "ratio",
+        );
         println!(
             "  {name} | {:>7} | {:>11.3}% | {}",
             stype.bytes_per_second(),
@@ -217,7 +234,7 @@ fn e3_cpu_fraction() {
 // E4 — play→record transition (paper §6.2: "Recording back-to-back with a
 // play is accomplished in the same manner" — sample-exact pre-issue)
 // ---------------------------------------------------------------------------
-fn e4_play_record_seam() {
+fn e4_play_record_seam(report: &mut Report) {
     banner("E4", "play→record transition lands on the exact sample (§6.2)");
     println!("  play length (frames) | seam offset (frames) | recording continuous | verdict");
     for play_frames in [777u64, 1000, 1234, 4000] {
@@ -275,6 +292,13 @@ fn e4_play_record_seam() {
         let offset = first - play_frames as i64;
         let continuous =
             recorded.windows(2).all(|w| w[1] as i64 - w[0] as i64 == 1);
+        report.push("E4", &format!("seam_offset_{play_frames}_frames"), offset as f64, "frames");
+        report.push(
+            "E4",
+            &format!("recording_continuous_{play_frames}_frames"),
+            continuous as u8 as f64,
+            "bool",
+        );
         println!(
             "  {play_frames:>20} | {offset:>20} | {continuous:>20} | {}",
             if offset == 0 && continuous { "PASS (exact)" } else { "FAIL" }
@@ -285,7 +309,7 @@ fn e4_play_record_seam() {
 // ---------------------------------------------------------------------------
 // E5 — multiple simultaneous clients on one speaker (paper §2)
 // ---------------------------------------------------------------------------
-fn e5_multiclient_scaling() {
+fn e5_multiclient_scaling(report: &mut Report) {
     banner("E5", "K simultaneous clients multiplexed onto one speaker (§2)");
     println!("  clients | engine time per audio-second | mix verified");
     for k in [1usize, 2, 4, 8, 16] {
@@ -314,6 +338,8 @@ fn e5_multiclient_scaling() {
         let all_present = freqs
             .iter()
             .all(|&f| da_dsp::analysis::goertzel_power(window, 8000, f) > 10_000.0);
+        report.push("E5", &format!("engine_ms_per_audio_s_{k}_clients"), busy * 1000.0, "ms");
+        report.push("E5", &format!("mix_verified_{k}_clients"), all_present as u8 as f64, "bool");
         println!(
             "  {k:>7} | {:>17.3} ms/s           | {}",
             busy * 1000.0,
@@ -326,7 +352,7 @@ fn e5_multiclient_scaling() {
 // ---------------------------------------------------------------------------
 // E6 — client-supplied real-time data vs buffering (paper §5.6, §6.2)
 // ---------------------------------------------------------------------------
-fn e6_streaming_jitter() {
+fn e6_streaming_jitter(report: &mut Report) {
     banner("E6", "real-time client data: buffering absorbs source jitter (§6.2)");
     println!("  prebuffer | producer jitter   | underrun frames (3 s stream)");
     use rand::Rng;
@@ -382,6 +408,12 @@ fn e6_streaming_jitter() {
                 break;
             }
         }
+        report.push(
+            "E6",
+            &format!("underrun_frames_prebuffer_{prebuffer_ms}_ms"),
+            underruns as f64,
+            "frames",
+        );
         println!("  {prebuffer_ms:>6} ms | 40–160 ms/100 ms  | {underruns:>15}");
         server.shutdown();
     }
@@ -391,7 +423,7 @@ fn e6_streaming_jitter() {
 // ---------------------------------------------------------------------------
 // E7 — synchronization events drive other media (paper §5.7, Figure 6-1)
 // ---------------------------------------------------------------------------
-fn e7_sync_event_cadence() {
+fn e7_sync_event_cadence(report: &mut Report) {
     banner("E7", "sync marks arrive steadily enough to drive a display (§5.7)");
     let config = ServerConfig {
         pacing: da_hw::clock::Pacing::RealTime,
@@ -427,6 +459,10 @@ fn e7_sync_event_cadence() {
     let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
         / gaps.len().max(1) as f64;
     let monotone = positions.windows(2).all(|w| w[1] > w[0]);
+    report.push("E7", "sync_marks_over_3s", n as f64, "events");
+    report.push("E7", "sync_gap_mean_ms", mean, "ms");
+    report.push("E7", "sync_gap_stddev_ms", var.sqrt(), "ms");
+    report.push("E7", "sync_positions_monotone", monotone as u8 as f64, "bool");
     println!("  marks over 3 s of playback: {n} (expected ~30 at the 100 ms default)");
     println!(
         "  inter-arrival: mean {mean:.1} ms, stddev {:.1} ms; positions monotone: {monotone}",
@@ -443,7 +479,7 @@ fn e7_sync_event_cadence() {
 // E8 — multiple data representations below the application (paper §2;
 // §5.9 footnote: ADPCM halves the data rate)
 // ---------------------------------------------------------------------------
-fn e8_codecs() {
+fn e8_codecs(report: &mut Report) {
     banner("E8", "encodings: rate ratios, quality and software codec speed (§2)");
     let tts = da_synth::tts::Synthesizer::new(8000);
     let mut speech = Vec::new();
@@ -479,6 +515,10 @@ fn e8_codecs() {
         let decoded = dec(&encoded);
         let snr = da_dsp::analysis::snr_db(&speech, &decoded);
         let ratio = encoded.len() as f64 / (speech.len() * 2) as f64;
+        let key = name.trim().to_lowercase().replace([' ', '-'], "_");
+        report.push("E8", &format!("{key}_rate_vs_pcm16"), ratio, "ratio");
+        report.push("E8", &format!("{key}_snr_db"), snr, "db");
+        report.push("E8", &format!("{key}_encode_speed_x"), seconds / enc_time.max(1e-9), "ratio");
         println!(
             "  {name} | {:>17.0}% | {snr:>8.1} | {:>8.0}x",
             ratio * 100.0,
@@ -492,7 +532,7 @@ fn e8_codecs() {
 // ---------------------------------------------------------------------------
 // P1 — engine quantum ablation (design choice documented in DESIGN.md)
 // ---------------------------------------------------------------------------
-fn p1_quantum_ablation() {
+fn p1_quantum_ablation(report: &mut Report) {
     banner("P1", "ablation: engine quantum vs CPU cost and reaction latency");
     println!("  quantum | CPU fraction (8 kHz play) | quantum-bound added latency");
     for quantum_us in [2_500u64, 10_000, 40_000] {
@@ -508,6 +548,7 @@ fn p1_quantum_ablation() {
         control.tick_n(ticks);
         let after = control.stats();
         let busy = (after.busy - before.busy).as_secs_f64() / 10.0;
+        report.push("P1", &format!("cpu_fraction_quantum_{quantum_us}_us"), busy, "ratio");
         println!(
             "  {:>5.1} ms | {:>24.3}% | up to {:>5.1} ms",
             quantum_us as f64 / 1000.0,

@@ -5,6 +5,8 @@
 //! the `experiments` binary replays the paper's evaluation claims
 //! end-to-end and prints the comparison tables.
 
+pub mod report;
+
 use da_alib::Connection;
 use da_proto::command::DeviceCommand;
 use da_proto::event::{Event, EventMask};

@@ -1,0 +1,134 @@
+//! Machine-readable experiment results.
+//!
+//! The experiment harness prints human tables; this module accumulates
+//! the same figures as flat records and serialises them to
+//! `BENCH_results.json` so regressions can be diffed by tooling. JSON is
+//! written by hand — the workspace carries no serialisation dependency.
+
+use std::fmt::Write as _;
+
+/// One measured figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Experiment id ("E1", "P1", ...).
+    pub experiment: String,
+    /// Metric name, snake_case ("start_latency_p95_us").
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit ("us", "percent", "frames", "ratio", ...).
+    pub unit: String,
+}
+
+/// An accumulating set of experiment records.
+#[derive(Debug, Default)]
+pub struct Report {
+    records: Vec<Record>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Appends one figure.
+    pub fn push(&mut self, experiment: &str, metric: &str, value: f64, unit: &str) {
+        self.records.push(Record {
+            experiment: experiment.to_string(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
+    }
+
+    /// The records accumulated so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Serialises the report as a JSON document:
+    /// `{"results": [{"experiment": ..., "metric": ..., ...}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"experiment\": {}, \"metric\": {}, \"value\": {}, \"unit\": {}}}",
+                json_string(&r.experiment),
+                json_string(&r.metric),
+                json_number(r.value),
+                json_string(&r.unit),
+            );
+            out.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_file(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite number as a JSON literal (JSON has no NaN/Inf).
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_to_valid_shape() {
+        let mut r = Report::new();
+        r.push("E1", "start_latency_p95_us", 1234.0, "us");
+        r.push("E3", "cpu_fraction", 0.0125, "ratio");
+        let json = r.to_json();
+        assert!(json.starts_with("{\n  \"results\": [\n"));
+        assert!(json.contains("\"experiment\": \"E1\""));
+        assert!(json.contains("\"value\": 1234"));
+        assert!(json.contains("\"value\": 0.0125"));
+        assert!(json.ends_with("  ]\n}\n"));
+        // Exactly one comma between the two records.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(2.0), "2");
+        assert_eq!(json_number(2.5), "2.5");
+    }
+}

@@ -61,6 +61,9 @@ pub struct ClientState {
     pub tx: Sender<ServerMsg>,
     /// Event selections: resource → mask.
     pub selections: HashMap<ResKey, EventMask>,
+    /// Wire counters shared with the connection's reader/writer threads
+    /// (per-client accounting for `ListClients`).
+    pub counters: std::sync::Arc<da_telemetry::ConnCounters>,
 }
 
 /// Aggregate engine statistics (the E3 CPU-fraction experiment reads
@@ -80,6 +83,10 @@ pub struct EngineStats {
     /// Route-plan cache rebuilds (cache misses after topology changes).
     /// Stays flat across steady-state ticks.
     pub plan_rebuilds: u64,
+    /// Tick index at which this snapshot was taken. `0` on the live
+    /// struct inside the core; [`crate::server::ServerControl::stats`]
+    /// stamps it so a copy can be dated against later ones.
+    pub captured_at_tick: u64,
 }
 
 /// Server configuration.
@@ -159,6 +166,8 @@ pub struct Core {
     pub topology_gen: u64,
     /// Cached route plans and scratch buffers (engine data plane).
     pub plane: crate::plan::DataPlane,
+    /// Metrics registry, journal, and per-opcode dispatch counts.
+    pub tel: crate::telem::ServerTelemetry,
     /// Next client id to hand out.
     pub next_client: u32,
     /// Set when the server is shutting down.
@@ -191,6 +200,7 @@ impl Core {
             stats: EngineStats::default(),
             topology_gen: 0,
             plane: crate::plan::DataPlane::default(),
+            tel: crate::telem::ServerTelemetry::default(),
             next_client: 1,
         shutting_down: false,
         }
@@ -207,13 +217,25 @@ impl Core {
 
     /// Registers a new client, returning its id and id range.
     pub fn add_client(&mut self, name: String, tx: Sender<ServerMsg>) -> (ClientId, u32, u32) {
+        self.add_client_with_counters(name, tx, Default::default())
+    }
+
+    /// Registers a new client whose connection threads share `counters`.
+    pub fn add_client_with_counters(
+        &mut self,
+        name: String,
+        tx: Sender<ServerMsg>,
+        counters: std::sync::Arc<da_telemetry::ConnCounters>,
+    ) -> (ClientId, u32, u32) {
         let id = self.next_client;
         self.next_client += 1;
         let client = ClientId(id);
         self.clients.insert(
             id,
-            ClientState { id: client, name, tx, selections: HashMap::new() },
+            ClientState { id: client, name, tx, selections: HashMap::new(), counters },
         );
+        self.tel.metrics.clients_total.inc();
+        self.tel.metrics.clients_connected.set(self.clients.len() as i64);
         // 20 bits of id space per client, X-style.
         let base = id << 20;
         let mask = 0x000F_FFFF;
@@ -249,6 +271,7 @@ impl Core {
             cs.selections.retain(|_, _| true);
         }
         self.clients.remove(&client.0);
+        self.tel.metrics.clients_connected.set(self.clients.len() as i64);
         self.recompute_activation();
     }
 

@@ -33,7 +33,18 @@ fn owns_id(client: ClientId, id: u32) -> bool {
 /// Executes one request for a client, sending any reply or error to the
 /// client's channel.
 pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
+    let started = std::time::Instant::now();
+    let op = request.opcode();
+    let _span = da_telemetry::span!(core.tel.journal, "dispatch", client = client.0, opcode = op);
     let result = execute(core, client, &request);
+    if let Some(slot) = core.tel.per_opcode.get_mut(op as usize) {
+        *slot += 1;
+    }
+    core.tel.metrics.dispatch_requests_total.inc();
+    if result.is_err() {
+        core.tel.metrics.dispatch_errors_total.inc();
+    }
+    core.tel.metrics.dispatch_latency_us.record_duration_us(started.elapsed());
     match result {
         Ok(Some(reply)) => core.send_to_client(client, ServerMsg::Reply(seq, reply)),
         Ok(None) => {
@@ -848,6 +859,8 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
             device_time: core.device_time,
         })),
         Request::Sync => Ok(Some(Reply::Sync)),
+        Request::QueryServerStats => Ok(Some(crate::telem::server_stats_reply(core))),
+        Request::ListClients => Ok(Some(crate::telem::client_list_reply(core))),
     }
 }
 

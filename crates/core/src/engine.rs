@@ -54,8 +54,12 @@ pub fn tick(core: &mut Core) {
     // mutations. Nothing inside a tick changes topology, so the plans
     // stay valid for the whole tick.
     let mut plane = std::mem::take(&mut core.plane);
+    core.tel.metrics.plan_cache_lookups_total.inc();
+    let plan_started = std::time::Instant::now();
     if plane.plans.ensure_fresh(core) {
         core.stats.plan_rebuilds += 1;
+        core.tel.metrics.plan_cache_rebuilds_total.inc();
+        core.tel.metrics.plan_build_us.record_duration_us(plan_started.elapsed());
     }
     let DataPlane { plans, scratch } = &mut plane;
 
@@ -83,6 +87,20 @@ pub fn tick(core: &mut Core) {
 
     core.plane = plane;
 
+    // Drain the per-tick DSP meter accumulated by the routing phases
+    // into the leaf-timing histograms.
+    let meter = core.plane.scratch.meter.take();
+    let m = &core.tel.metrics;
+    if meter.convert_ns > 0 {
+        m.dsp_convert_ns.record(meter.convert_ns);
+    }
+    if meter.mix_ns > 0 {
+        m.dsp_mix_ns.record(meter.mix_ns);
+    }
+    if meter.resample_ns > 0 {
+        m.dsp_resample_ns.record(meter.resample_ns);
+    }
+
     // 8. Advance time.
     core.device_time += n8 as u64;
     core.tick_index += 1;
@@ -92,6 +110,20 @@ pub fn tick(core: &mut Core) {
     core.stats.last_tick = spent;
     if spent > core.stats.max_tick {
         core.stats.max_tick = spent;
+    }
+    core.tel.metrics.engine_ticks_total.inc();
+    // Sub-microsecond ticks land in the "≤ 1 us" bucket rather than
+    // vanishing into bucket zero.
+    core.tel.metrics.engine_tick_us.record((spent.as_micros() as u64).max(1));
+    if spent > std::time::Duration::from_micros(quantum) {
+        core.tel.metrics.engine_tick_overruns_total.inc();
+        if core.tel.journal.enabled(da_telemetry::Level::Warn) {
+            core.tel.journal.event(
+                da_telemetry::Level::Warn,
+                "engine.tick_overrun",
+                format!(" tick={t} spent_us={} quantum_us={quantum}", spent.as_micros()),
+            );
+        }
     }
 }
 
@@ -600,6 +632,7 @@ fn step_device_op(
                 );
             }
             if missing > 0 {
+                core.tel.metrics.engine_underrun_frames_total.add(missing);
                 core.send_event(
                     ResKey(1, vid),
                     Event::SoundUnderrun {
@@ -993,7 +1026,10 @@ fn route_tree(
                 match core.wires.get_mut(&pw.wire) {
                     Some(w) => match &mut staged {
                         None => w.resampler = None,
-                        Some(out) => w.transfer_into(&samples, src_rate, dst_rate, out),
+                        Some(out) => da_dsp::meter::DspMeter::timed(
+                            &mut scratch.meter.resample_ns,
+                            || w.transfer_into(&samples, src_rate, dst_rate, out),
+                        ),
                     },
                     None => {
                         if let Some(out) = staged {
@@ -1196,7 +1232,9 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
                 if let Some(ActiveOp::SendDtmf { buf, pos }) = &mut v.op {
                     let want = frames.min(buf.len() - *pos);
                     let chunk = &buf[*pos..*pos + want];
-                    da_dsp::mix::mix_into(&mut data[..want], chunk, 100);
+                    da_dsp::meter::DspMeter::timed(&mut scratch.meter.mix_ns, || {
+                        da_dsp::mix::mix_into(&mut data[..want], chunk, 100)
+                    });
                     *pos += want;
                     dtmf_done = *pos >= buf.len();
                 }
@@ -1314,7 +1352,9 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64, scratch:
         }
     };
     let mut encoded = scratch.take_u8();
-    da_dsp::convert::encode_from_pcm16_into(pcm_encoding(stype.encoding), &data, &mut encoded);
+    da_dsp::meter::DspMeter::timed(&mut scratch.meter.convert_ns, || {
+        da_dsp::convert::encode_from_pcm16_into(pcm_encoding(stype.encoding), &data, &mut encoded)
+    });
     if let Some(s) = core.sounds.get_mut(&sid) {
         s.data.extend_from_slice(&encoded);
     }

@@ -43,6 +43,7 @@ pub mod plan;
 pub mod queue;
 pub mod server;
 pub mod sound;
+pub mod telem;
 
 pub mod validate;
 pub mod vdevice;

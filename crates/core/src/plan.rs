@@ -217,6 +217,8 @@ pub struct EngineScratch {
     pub speaker_fed: Vec<bool>,
     /// Clipped speaker output staging buffer.
     pub speaker_out: Vec<i16>,
+    /// Per-tick DSP leaf timings, drained into telemetry at tick end.
+    pub meter: da_dsp::meter::DspMeter,
 }
 
 impl EngineScratch {

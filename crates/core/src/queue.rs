@@ -141,6 +141,11 @@ pub struct CommandQueue {
     pub relative_frames: u64,
     /// Next lifetime entry index.
     next_index: u32,
+    /// Lifetime count of state transitions (mirrored into telemetry).
+    pub transitions: u64,
+    /// Lifetime count of entries accepted by `enqueue` (mirrored into
+    /// telemetry).
+    pub enqueued_entries: u64,
 }
 
 impl CommandQueue {
@@ -153,11 +158,14 @@ impl CommandQueue {
             state: QueueState::Stopped,
             relative_frames: 0,
             next_index: 0,
+            transitions: 0,
+            enqueued_entries: 0,
         }
     }
 
     /// Appends entries and parses any newly completed top-level units.
     pub fn enqueue(&mut self, entries: Vec<QueueEntry>) {
+        self.enqueued_entries += entries.len() as u64;
         self.raw.extend(entries);
         self.parse_available();
     }
@@ -380,6 +388,7 @@ impl<'q, S> Queue<'q, S> {
 
     fn transition<T>(self, to: QueueState) -> Queue<'q, T> {
         self.q.state = to;
+        self.q.transitions += 1;
         Queue { q: self.q, _state: PhantomData }
     }
 

@@ -161,9 +161,13 @@ impl ServerControl {
         self.core.lock().device_time
     }
 
-    /// Engine statistics snapshot.
+    /// Engine statistics snapshot, stamped with the tick it was captured
+    /// at so callers can tell two snapshots apart.
     pub fn stats(&self) -> crate::core::EngineStats {
-        self.core.lock().stats
+        let core = self.core.lock();
+        let mut s = core.stats;
+        s.captured_at_tick = core.tick_index;
+        s
     }
 
     /// Adds a scripted remote party on a new external line; returns its
@@ -280,9 +284,14 @@ fn serve_connection(
         }
     };
     let (msg_tx, msg_rx) = unbounded::<ServerMsg>();
-    let (client, id_base, id_mask) = {
+    // Shared between the reader loop, the writer thread, and the core's
+    // client table (for `ListClients`).
+    let counters = Arc::new(da_telemetry::ConnCounters::default());
+    let (client, id_base, id_mask, wire_metrics) = {
         let mut core = core.lock();
-        core.add_client(setup.client_name.clone(), msg_tx)
+        let (client, id_base, id_mask) =
+            core.add_client_with_counters(setup.client_name.clone(), msg_tx, Arc::clone(&counters));
+        (client, id_base, id_mask, core.tel.metrics.clone())
     };
     let reply = SetupReply {
         protocol_major: da_proto::PROTOCOL_MAJOR,
@@ -302,6 +311,8 @@ fn serve_connection(
     // Writer thread: drains the client's message channel.
     let writer = {
         let shutdown = Arc::clone(&shutdown);
+        let counters = Arc::clone(&counters);
+        let metrics = wire_metrics.clone();
         std::thread::Builder::new()
             .name("da-writer".into())
             .spawn(move || {
@@ -309,7 +320,22 @@ fn serve_connection(
                     match msg_rx.recv_timeout(Duration::from_millis(100)) {
                         Ok(ServerMsg::Shutdown) => break,
                         Ok(msg) => {
+                            let slot = match &msg {
+                                ServerMsg::Reply(..) => Some(&counters.replies),
+                                ServerMsg::Event(..) => Some(&counters.events),
+                                ServerMsg::Error(..) => Some(&counters.errors),
+                                ServerMsg::Shutdown => None,
+                            };
                             let frame = encode_msg(msg);
+                            if let Some(slot) = slot {
+                                da_telemetry::ConnCounters::bump(slot, 1);
+                                da_telemetry::ConnCounters::bump(
+                                    &counters.bytes_out,
+                                    frame.payload.len() as u64,
+                                );
+                                metrics.wire_frames_out_total.inc();
+                                metrics.wire_bytes_out_total.add(frame.payload.len() as u64);
+                            }
                             if tx.send(&frame).is_err() {
                                 break;
                             }
@@ -337,6 +363,10 @@ fn serve_connection(
                 if frame.kind != FrameKind::Request {
                     continue;
                 }
+                da_telemetry::ConnCounters::bump(&counters.requests, 1);
+                da_telemetry::ConnCounters::bump(&counters.bytes_in, frame.payload.len() as u64);
+                wire_metrics.wire_frames_in_total.inc();
+                wire_metrics.wire_bytes_in_total.add(frame.payload.len() as u64);
                 let mut r = WireReader::new(&frame.payload);
                 let decoded = r.u32().ok().and_then(|seq| {
                     Request::read(&mut r).ok().map(|req| (seq, req))

@@ -1,0 +1,233 @@
+//! Server telemetry: the metric registry, journal, and protocol
+//! snapshots.
+//!
+//! Every metric name in the server is registered exactly once, here, in
+//! [`ServerMetrics::new`] — `xtask lint` enforces that each
+//! `counter!`/`gauge!`/`histogram!` name is unique, snake_case, and
+//! listed in the DESIGN.md §10 catalog. Hot paths hold pre-registered
+//! handles (relaxed atomics), never the registry lock.
+//!
+//! The registry is **per-core**, not process-global: tests and benches
+//! run many servers concurrently in one process and must not
+//! cross-contaminate each other's numbers.
+
+use crate::core::Core;
+use da_proto::reply::{
+    ClientStatsData, CounterSample, GaugeSample, HistogramSample, Reply, ServerStatsData,
+};
+use da_proto::request::Request;
+use da_telemetry::{counter, gauge, histogram};
+use da_telemetry::{ConnCounters, Counter, Gauge, Histogram, Journal, Registry};
+use std::sync::Arc;
+
+/// Pre-registered handles for every server metric.
+///
+/// Grouped by subsystem; see DESIGN.md §10 for the catalog with
+/// semantics and units.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    // -- dispatch ---------------------------------------------------------
+    /// Requests dispatched (all opcodes).
+    pub dispatch_requests_total: Counter,
+    /// Dispatches that produced a protocol error.
+    pub dispatch_errors_total: Counter,
+    /// Wall time of one dispatch, in microseconds.
+    pub dispatch_latency_us: Histogram,
+    // -- engine -----------------------------------------------------------
+    /// Engine ticks executed.
+    pub engine_ticks_total: Counter,
+    /// Wall time of one tick, in microseconds.
+    pub engine_tick_us: Histogram,
+    /// Ticks whose wall time exceeded the configured quantum.
+    pub engine_tick_overruns_total: Counter,
+    /// Frames of silence substituted because a playing stream starved.
+    pub engine_underrun_frames_total: Counter,
+    // -- plan cache -------------------------------------------------------
+    /// Route-plan cache consultations (one per tick).
+    pub plan_cache_lookups_total: Counter,
+    /// Route-plan cache rebuilds (misses after topology changes).
+    pub plan_cache_rebuilds_total: Counter,
+    /// Wall time of one cache rebuild, in microseconds.
+    pub plan_build_us: Histogram,
+    // -- queues -----------------------------------------------------------
+    /// Queue state transitions, summed over all queues (mirrored).
+    pub queue_transitions_total: Counter,
+    /// Entries accepted by `Enqueue`, summed over all queues (mirrored).
+    pub queue_entries_enqueued_total: Counter,
+    /// Pending entries across all live queues.
+    pub queue_depth: Gauge,
+    /// Active root LOUDs.
+    pub active_roots: Gauge,
+    // -- connections ------------------------------------------------------
+    /// Currently connected clients.
+    pub clients_connected: Gauge,
+    /// Clients ever connected.
+    pub clients_total: Counter,
+    /// Request payload bytes received, all connections.
+    pub wire_bytes_in_total: Counter,
+    /// Reply/event/error payload bytes sent, all connections.
+    pub wire_bytes_out_total: Counter,
+    /// Request frames received, all connections.
+    pub wire_frames_in_total: Counter,
+    /// Reply/event/error frames sent, all connections.
+    pub wire_frames_out_total: Counter,
+    // -- hardware ---------------------------------------------------------
+    /// Speaker-reported underrun frames, all speakers (mirrored).
+    pub speaker_underrun_frames_total: Counter,
+    // -- dsp --------------------------------------------------------------
+    /// Per-tick nanoseconds spent in encode/decode conversions.
+    pub dsp_convert_ns: Histogram,
+    /// Per-tick nanoseconds spent mixing.
+    pub dsp_mix_ns: Histogram,
+    /// Per-tick nanoseconds spent resampling.
+    pub dsp_resample_ns: Histogram,
+}
+
+impl ServerMetrics {
+    /// Registers every server metric on `reg`.
+    pub fn new(reg: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            dispatch_requests_total: counter!(reg, "dispatch_requests_total"),
+            dispatch_errors_total: counter!(reg, "dispatch_errors_total"),
+            dispatch_latency_us: histogram!(reg, "dispatch_latency_us"),
+            engine_ticks_total: counter!(reg, "engine_ticks_total"),
+            engine_tick_us: histogram!(reg, "engine_tick_us"),
+            engine_tick_overruns_total: counter!(reg, "engine_tick_overruns_total"),
+            engine_underrun_frames_total: counter!(reg, "engine_underrun_frames_total"),
+            plan_cache_lookups_total: counter!(reg, "plan_cache_lookups_total"),
+            plan_cache_rebuilds_total: counter!(reg, "plan_cache_rebuilds_total"),
+            plan_build_us: histogram!(reg, "plan_build_us"),
+            queue_transitions_total: counter!(reg, "queue_transitions_total"),
+            queue_entries_enqueued_total: counter!(reg, "queue_entries_enqueued_total"),
+            queue_depth: gauge!(reg, "queue_depth"),
+            active_roots: gauge!(reg, "active_roots"),
+            clients_connected: gauge!(reg, "clients_connected"),
+            clients_total: counter!(reg, "clients_total"),
+            wire_bytes_in_total: counter!(reg, "wire_bytes_in_total"),
+            wire_bytes_out_total: counter!(reg, "wire_bytes_out_total"),
+            wire_frames_in_total: counter!(reg, "wire_frames_in_total"),
+            wire_frames_out_total: counter!(reg, "wire_frames_out_total"),
+            speaker_underrun_frames_total: counter!(reg, "speaker_underrun_frames_total"),
+            dsp_convert_ns: histogram!(reg, "dsp_convert_ns"),
+            dsp_mix_ns: histogram!(reg, "dsp_mix_ns"),
+            dsp_resample_ns: histogram!(reg, "dsp_resample_ns"),
+        }
+    }
+}
+
+/// Telemetry state owned by one [`Core`].
+pub struct ServerTelemetry {
+    /// The registry backing [`ServerTelemetry::metrics`].
+    pub registry: Arc<Registry>,
+    /// Pre-registered metric handles.
+    pub metrics: ServerMetrics,
+    /// The structured event journal (Info filter by default).
+    pub journal: Arc<Journal>,
+    /// Per-opcode dispatch counts, indexed by request opcode. Plain
+    /// `u64`s: dispatch already holds the core mutably.
+    pub per_opcode: Vec<u64>,
+}
+
+impl Default for ServerTelemetry {
+    fn default() -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = ServerMetrics::new(&registry);
+        ServerTelemetry {
+            registry,
+            metrics,
+            journal: Arc::new(Journal::new(1024)),
+            per_opcode: vec![0; Request::COUNT],
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerTelemetry")
+            .field("journal", &self.journal)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Refreshes registry metrics that mirror state tracked elsewhere:
+/// queue counters (plain fields behind the core lock), queue depth,
+/// active roots, and hardware lifetime stats.
+pub fn refresh_mirrors(core: &mut Core) {
+    let mut transitions = 0u64;
+    let mut enqueued = 0u64;
+    let mut depth = 0i64;
+    for l in core.louds.values() {
+        if let Some(q) = &l.queue {
+            transitions += q.transitions;
+            enqueued += q.enqueued_entries;
+            depth += q.pending_len() as i64;
+        }
+    }
+    let m = &core.tel.metrics;
+    m.queue_transitions_total.mirror(transitions);
+    m.queue_entries_enqueued_total.mirror(enqueued);
+    m.queue_depth.set(depth);
+    m.active_roots.set(core.plane.plans.active_roots.len() as i64);
+    m.speaker_underrun_frames_total.mirror(core.hw.total_speaker_underruns());
+}
+
+/// Builds the `QueryServerStats` reply from the live core.
+pub fn server_stats_reply(core: &mut Core) -> Reply {
+    refresh_mirrors(core);
+    let snap = core.tel.registry.snapshot();
+    Reply::ServerStats {
+        stats: ServerStatsData {
+            captured_at_tick: core.tick_index,
+            device_time: core.device_time,
+            per_opcode: core.tel.per_opcode.clone(),
+            counters: snap
+                .counters
+                .into_iter()
+                .map(|(name, value)| CounterSample { name, value })
+                .collect(),
+            gauges: snap
+                .gauges
+                .into_iter()
+                .map(|(name, value)| GaugeSample { name, value })
+                .collect(),
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|(name, h)| HistogramSample {
+                    name,
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.to_vec(),
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Builds the `ListClients` reply from the live core.
+pub fn client_list_reply(core: &Core) -> Reply {
+    let mut ids: Vec<u32> = core.clients.keys().copied().collect();
+    ids.sort_unstable();
+    let clients = ids
+        .iter()
+        .filter_map(|id| core.clients.get(id))
+        .map(|cs| {
+            let c = &cs.counters;
+            ClientStatsData {
+                client: cs.id,
+                name: cs.name.clone(),
+                requests: ConnCounters::load(&c.requests),
+                replies: ConnCounters::load(&c.replies),
+                events: ConnCounters::load(&c.events),
+                errors: ConnCounters::load(&c.errors),
+                bytes_in: ConnCounters::load(&c.bytes_in),
+                bytes_out: ConnCounters::load(&c.bytes_out),
+                louds: core.louds.values().filter(|l| l.owner == cs.id).count() as u32,
+                vdevs: core.vdevs.values().filter(|v| v.owner == cs.id).count() as u32,
+                wires: core.wires.values().filter(|w| w.owner == cs.id).count() as u32,
+                sounds: core.sounds.values().filter(|s| s.owner == cs.id).count() as u32,
+            }
+        })
+        .collect();
+    Reply::ClientList { clients }
+}

@@ -16,7 +16,8 @@
 //! - automatic gain control ([`agc`]);
 //! - silence/pause detection and pause compression ([`silence`]);
 //! - signal analysis helpers ([`analysis`]);
-//! - a minimal RIFF/WAVE reader and writer ([`wav`]).
+//! - a minimal RIFF/WAVE reader and writer ([`wav`]);
+//! - leaf-call timing for the server's telemetry ([`meter`]).
 //!
 //! The interchange representation throughout is `i16` linear PCM sample
 //! frames; encoders and decoders translate to and from the wire encodings.
@@ -29,6 +30,7 @@ pub mod convert;
 pub mod dtmf;
 pub mod effects;
 pub mod gain;
+pub mod meter;
 pub mod mix;
 pub mod mulaw;
 pub mod resample;

@@ -195,6 +195,12 @@ impl Hardware {
         self.slots.get(index).copied()
     }
 
+    /// Underrun frames summed over every speaker — the hardware's own
+    /// count of audible starvation, mirrored into server telemetry.
+    pub fn total_speaker_underruns(&self) -> u64 {
+        self.speakers.iter().map(|s| s.stats().underrun_frames).sum()
+    }
+
     /// Number of devices.
     pub fn device_count(&self) -> usize {
         self.slots.len()

@@ -98,6 +98,244 @@ impl WireRead for StackEntry {
     }
 }
 
+/// One named counter in a [`Reply::ServerStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Metric name (snake_case, from the DESIGN.md §10 catalog).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+impl WireWrite for CounterSample {
+    fn write(&self, w: &mut WireWriter) {
+        w.string(&self.name);
+        w.u64(self.value);
+    }
+}
+
+impl WireRead for CounterSample {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(CounterSample { name: r.string()?, value: r.u64()? })
+    }
+}
+
+/// One named gauge in a [`Reply::ServerStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time (signed, carried as two's complement).
+    pub value: i64,
+}
+
+impl WireWrite for GaugeSample {
+    fn write(&self, w: &mut WireWriter) {
+        w.string(&self.name);
+        w.u64(self.value as u64);
+    }
+}
+
+impl WireRead for GaugeSample {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(GaugeSample { name: r.string()?, value: r.u64()? as i64 })
+    }
+}
+
+/// One named log2 histogram in a [`Reply::ServerStats`] snapshot.
+///
+/// Bucket `0` holds zero samples; bucket `i` holds samples in
+/// `[2^(i-1), 2^i - 1]`; the last bucket absorbs the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSample {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `p`-th percentile (`0.0..=1.0`): the upper bound of
+    /// the bucket where the cumulative count crosses `p * count`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl WireWrite for HistogramSample {
+    fn write(&self, w: &mut WireWriter) {
+        w.string(&self.name);
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.list(&self.buckets);
+    }
+}
+
+impl WireRead for HistogramSample {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(HistogramSample {
+            name: r.string()?,
+            count: r.u64()?,
+            sum: r.u64()?,
+            buckets: r.list()?,
+        })
+    }
+}
+
+/// The full registry snapshot carried by [`Reply::ServerStats`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerStatsData {
+    /// Engine tick index the snapshot was taken at.
+    pub captured_at_tick: u64,
+    /// Device time (8 kHz frames) at snapshot.
+    pub device_time: u64,
+    /// Per-opcode dispatch counts, indexed by request opcode
+    /// (`Request::NAMES` names them).
+    pub per_opcode: Vec<u64>,
+    /// Every registered counter.
+    pub counters: Vec<CounterSample>,
+    /// Every registered gauge.
+    pub gauges: Vec<GaugeSample>,
+    /// Every registered histogram.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl ServerStatsData {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl WireWrite for ServerStatsData {
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(self.captured_at_tick);
+        w.u64(self.device_time);
+        w.list(&self.per_opcode);
+        w.list(&self.counters);
+        w.list(&self.gauges);
+        w.list(&self.histograms);
+    }
+}
+
+impl WireRead for ServerStatsData {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(ServerStatsData {
+            captured_at_tick: r.u64()?,
+            device_time: r.u64()?,
+            per_opcode: r.list()?,
+            counters: r.list()?,
+            gauges: r.list()?,
+            histograms: r.list()?,
+        })
+    }
+}
+
+/// Per-client accounting carried by [`Reply::ClientList`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientStatsData {
+    /// The client's connection id.
+    pub client: crate::ids::ClientId,
+    /// Diagnostic name from setup.
+    pub name: String,
+    /// Requests dispatched for this client.
+    pub requests: u64,
+    /// Replies sent to this client.
+    pub replies: u64,
+    /// Events sent to this client.
+    pub events: u64,
+    /// Errors sent to this client.
+    pub errors: u64,
+    /// Request payload bytes received from this client.
+    pub bytes_in: u64,
+    /// Payload bytes sent to this client.
+    pub bytes_out: u64,
+    /// LOUDs the client currently owns.
+    pub louds: u32,
+    /// Virtual devices the client currently owns.
+    pub vdevs: u32,
+    /// Wires the client currently owns.
+    pub wires: u32,
+    /// Sounds the client currently owns.
+    pub sounds: u32,
+}
+
+impl WireWrite for ClientStatsData {
+    fn write(&self, w: &mut WireWriter) {
+        self.client.write(w);
+        w.string(&self.name);
+        w.u64(self.requests);
+        w.u64(self.replies);
+        w.u64(self.events);
+        w.u64(self.errors);
+        w.u64(self.bytes_in);
+        w.u64(self.bytes_out);
+        w.u32(self.louds);
+        w.u32(self.vdevs);
+        w.u32(self.wires);
+        w.u32(self.sounds);
+    }
+}
+
+impl WireRead for ClientStatsData {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(ClientStatsData {
+            client: crate::ids::ClientId::read(r)?,
+            name: r.string()?,
+            requests: r.u64()?,
+            replies: r.u64()?,
+            events: r.u64()?,
+            errors: r.u64()?,
+            bytes_in: r.u64()?,
+            bytes_out: r.u64()?,
+            louds: r.u32()?,
+            vdevs: r.u32()?,
+            wires: r.u32()?,
+            sounds: r.u32()?,
+        })
+    }
+}
+
 /// The body of a reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -212,6 +450,16 @@ pub enum Reply {
     },
     /// Answer to `Sync`: an empty acknowledgement.
     Sync,
+    /// Answer to `QueryServerStats`: the telemetry registry snapshot.
+    ServerStats {
+        /// The snapshot.
+        stats: ServerStatsData,
+    },
+    /// Answer to `ListClients`: per-client resource accounting.
+    ClientList {
+        /// One entry per connected client, in connection order.
+        clients: Vec<ClientStatsData>,
+    },
 }
 
 impl WireWrite for Reply {
@@ -299,6 +547,14 @@ impl WireWrite for Reply {
                 w.u64(*device_time);
             }
             Reply::Sync => w.u8(15),
+            Reply::ServerStats { stats } => {
+                w.u8(16);
+                stats.write(w);
+            }
+            Reply::ClientList { clients } => {
+                w.u8(17);
+                w.list(clients);
+            }
         }
     }
 }
@@ -345,6 +601,8 @@ impl WireRead for Reply {
                 device_time: r.u64()?,
             },
             15 => Reply::Sync,
+            16 => Reply::ServerStats { stats: ServerStatsData::read(r)? },
+            17 => Reply::ClientList { clients: r.list()? },
             other => return Err(CodecError::BadTag("Reply", other as u32)),
         })
     }
@@ -412,9 +670,69 @@ mod tests {
                 device_time: 123,
             },
             Reply::Sync,
+            Reply::ServerStats {
+                stats: ServerStatsData {
+                    captured_at_tick: 42,
+                    device_time: 336_000,
+                    per_opcode: vec![0, 3, 1],
+                    counters: vec![CounterSample {
+                        name: "dispatch_requests_total".into(),
+                        value: 4,
+                    }],
+                    gauges: vec![GaugeSample { name: "queue_depth".into(), value: -1 }],
+                    histograms: vec![HistogramSample {
+                        name: "engine_tick_us".into(),
+                        count: 2,
+                        sum: 300,
+                        buckets: vec![0, 0, 0, 0, 0, 0, 0, 1, 1],
+                    }],
+                },
+            },
+            Reply::ClientList {
+                clients: vec![ClientStatsData {
+                    client: crate::ids::ClientId(1),
+                    name: "audiostat".into(),
+                    requests: 10,
+                    replies: 2,
+                    events: 1,
+                    errors: 0,
+                    bytes_in: 640,
+                    bytes_out: 128,
+                    louds: 1,
+                    vdevs: 2,
+                    wires: 1,
+                    sounds: 1,
+                }],
+            },
         ];
         for reply in &replies {
             assert_eq!(&Reply::from_wire(&reply.to_wire()).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn stats_lookup_helpers() {
+        let stats = ServerStatsData {
+            captured_at_tick: 1,
+            device_time: 80,
+            per_opcode: vec![],
+            counters: vec![CounterSample { name: "a_total".into(), value: 7 }],
+            gauges: vec![GaugeSample { name: "depth".into(), value: -3 }],
+            histograms: vec![HistogramSample {
+                name: "lat_us".into(),
+                count: 4,
+                sum: 40,
+                // Buckets: one zero, one in [1,1], two in [8,15].
+                buckets: vec![1, 1, 0, 0, 2],
+            }],
+        };
+        assert_eq!(stats.counter("a_total"), Some(7));
+        assert_eq!(stats.counter("missing"), None);
+        assert_eq!(stats.gauge("depth"), Some(-3));
+        let h = stats.histogram("lat_us").expect("present");
+        assert_eq!(h.percentile(0.25), 0);
+        assert_eq!(h.percentile(0.5), 1);
+        assert_eq!(h.percentile(0.99), 15);
+        assert!((h.mean() - 10.0).abs() < 1e-9);
     }
 }

@@ -339,9 +339,132 @@ pub enum Request {
     GetServerInfo,
     /// Round-trip no-op; the reply synchronises client with server.
     Sync,
+    /// Query the server's telemetry registry: per-opcode dispatch
+    /// counts, engine/queue/wire counters and latency histograms.
+    QueryServerStats,
+    /// List connected clients with per-client resource and wire-byte
+    /// accounting.
+    ListClients,
 }
 
 impl Request {
+    /// Number of request opcodes (opcodes are dense, `0..COUNT`).
+    pub const COUNT: usize = 50;
+
+    /// Human-readable opcode names, indexed by opcode.
+    pub const NAMES: [&'static str; Request::COUNT] = [
+        "CreateLoud",
+        "DestroyLoud",
+        "MapLoud",
+        "UnmapLoud",
+        "RaiseLoud",
+        "LowerLoud",
+        "RequestActivate",
+        "RequestDeactivate",
+        "QueryActiveStack",
+        "CreateVDevice",
+        "DestroyVDevice",
+        "AugmentVDevice",
+        "QueryVDeviceAttributes",
+        "SetDeviceControl",
+        "GetDeviceControl",
+        "CreateWire",
+        "DestroyWire",
+        "QueryWire",
+        "QueryDeviceWires",
+        "Enqueue",
+        "Immediate",
+        "StartQueue",
+        "StopQueue",
+        "PauseQueue",
+        "ResumeQueue",
+        "FlushQueue",
+        "QueryQueue",
+        "CreateSound",
+        "DeleteSound",
+        "WriteSoundData",
+        "ReadSoundData",
+        "QuerySound",
+        "ListCatalog",
+        "OpenCatalogSound",
+        "SelectEvents",
+        "SetSyncInterval",
+        "InternAtom",
+        "GetAtomName",
+        "ChangeProperty",
+        "GetProperty",
+        "DeleteProperty",
+        "ListProperties",
+        "QueryDeviceLoud",
+        "SetRedirect",
+        "AllowMap",
+        "AllowRaise",
+        "GetServerInfo",
+        "Sync",
+        "QueryServerStats",
+        "ListClients",
+    ];
+
+    /// The opcode this request encodes to (the first wire byte).
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::CreateLoud { .. } => 0,
+            Request::DestroyLoud { .. } => 1,
+            Request::MapLoud { .. } => 2,
+            Request::UnmapLoud { .. } => 3,
+            Request::RaiseLoud { .. } => 4,
+            Request::LowerLoud { .. } => 5,
+            Request::RequestActivate { .. } => 6,
+            Request::RequestDeactivate { .. } => 7,
+            Request::QueryActiveStack => 8,
+            Request::CreateVDevice { .. } => 9,
+            Request::DestroyVDevice { .. } => 10,
+            Request::AugmentVDevice { .. } => 11,
+            Request::QueryVDeviceAttributes { .. } => 12,
+            Request::SetDeviceControl { .. } => 13,
+            Request::GetDeviceControl { .. } => 14,
+            Request::CreateWire { .. } => 15,
+            Request::DestroyWire { .. } => 16,
+            Request::QueryWire { .. } => 17,
+            Request::QueryDeviceWires { .. } => 18,
+            Request::Enqueue { .. } => 19,
+            Request::Immediate { .. } => 20,
+            Request::StartQueue { .. } => 21,
+            Request::StopQueue { .. } => 22,
+            Request::PauseQueue { .. } => 23,
+            Request::ResumeQueue { .. } => 24,
+            Request::FlushQueue { .. } => 25,
+            Request::QueryQueue { .. } => 26,
+            Request::CreateSound { .. } => 27,
+            Request::DeleteSound { .. } => 28,
+            Request::WriteSoundData { .. } => 29,
+            Request::ReadSoundData { .. } => 30,
+            Request::QuerySound { .. } => 31,
+            Request::ListCatalog { .. } => 32,
+            Request::OpenCatalogSound { .. } => 33,
+            Request::SelectEvents { .. } => 34,
+            Request::SetSyncInterval { .. } => 35,
+            Request::InternAtom { .. } => 36,
+            Request::GetAtomName { .. } => 37,
+            Request::ChangeProperty { .. } => 38,
+            Request::GetProperty { .. } => 39,
+            Request::DeleteProperty { .. } => 40,
+            Request::ListProperties { .. } => 41,
+            Request::QueryDeviceLoud => 42,
+            Request::SetRedirect { .. } => 43,
+            Request::AllowMap { .. } => 44,
+            Request::AllowRaise { .. } => 45,
+            Request::GetServerInfo => 46,
+            Request::Sync => 47,
+            Request::QueryServerStats => 48,
+            Request::ListClients => 49,
+        }
+    }
+
+    /// The name of an opcode, if it is in range.
+    pub fn opcode_name(op: u8) -> Option<&'static str> {
+        Request::NAMES.get(op as usize).copied()
+    }
     /// Whether the server generates a [`crate::reply::Reply`] for this
     /// request.
     pub fn has_reply(&self) -> bool {
@@ -363,6 +486,8 @@ impl Request {
                 | Request::QueryActiveStack
                 | Request::GetServerInfo
                 | Request::Sync
+                | Request::QueryServerStats
+                | Request::ListClients
         )
     }
 }
@@ -579,6 +704,8 @@ impl WireWrite for Request {
             }
             Request::GetServerInfo => w.u8(46),
             Request::Sync => w.u8(47),
+            Request::QueryServerStats => w.u8(48),
+            Request::ListClients => w.u8(49),
         }
     }
 }
@@ -678,6 +805,8 @@ impl WireRead for Request {
             45 => Request::AllowRaise { loud: LoudId::read(r)? },
             46 => Request::GetServerInfo,
             47 => Request::Sync,
+            48 => Request::QueryServerStats,
+            49 => Request::ListClients,
             other => return Err(CodecError::BadTag("Request", other as u32)),
         })
     }
@@ -781,15 +910,30 @@ mod tests {
             Request::AllowRaise { loud: LoudId(0x100) },
             Request::GetServerInfo,
             Request::Sync,
+            Request::QueryServerStats,
+            Request::ListClients,
         ];
         for req in &reqs {
             roundtrip(req);
         }
+        // The opcode()/NAMES tables agree with the wire encoding, and
+        // the representative list covers every opcode.
+        let mut seen = [false; Request::COUNT];
+        for req in &reqs {
+            let op = req.opcode();
+            assert_eq!(req.to_wire()[0], op, "{req:?}");
+            assert!(Request::opcode_name(op).is_some());
+            seen[op as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "representative list misses an opcode");
+        assert_eq!(Request::opcode_name(Request::COUNT as u8), None);
     }
 
     #[test]
     fn reply_expectations() {
         assert!(Request::Sync.has_reply());
+        assert!(Request::QueryServerStats.has_reply());
+        assert!(Request::ListClients.has_reply());
         assert!(Request::QueryDeviceLoud.has_reply());
         assert!(Request::InternAtom { name: "x".into() }.has_reply());
         assert!(!Request::MapLoud { id: LoudId(1) }.has_reply());

@@ -1,0 +1,97 @@
+//! Telemetry substrate: lock-light metrics and structured tracing.
+//!
+//! The server multiplexes many clients over real-time hardware; you
+//! cannot keep a deadline you cannot measure. This crate provides the
+//! two primitives everything else builds on:
+//!
+//! - [`metrics`] — a registry of counters, gauges and fixed-bucket log2
+//!   histograms. Handles are clone-cheap `Arc`s over atomics; the hot
+//!   path never takes a lock (the registry's mutex is touched only at
+//!   registration and snapshot time).
+//! - [`trace`] — a structured event journal: a bounded ring buffer of
+//!   timestamped events and spans with an atomic level filter, plus
+//!   pluggable sinks (stderr pretty-printer, JSONL writer).
+//!
+//! No external dependencies (std only), consistent with the workspace's
+//! vendored-shim policy.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_upper_bound, ConnCounters, Counter, Gauge, Histogram,
+    HistogramSnapshot, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{Journal, JournalEvent, JsonlSink, Level, Sink, SpanGuard, StderrPretty};
+
+/// Registers (or fetches) a counter by name on a registry.
+///
+/// The name must be a string literal: `xtask lint` scans `counter!`
+/// invocations to enforce the metric-name catalog (snake_case, each name
+/// registered exactly once, listed in DESIGN.md §10).
+#[macro_export]
+macro_rules! counter {
+    ($reg:expr, $name:literal) => {
+        $reg.counter($name)
+    };
+}
+
+/// Registers (or fetches) a gauge by name on a registry. See [`counter!`].
+#[macro_export]
+macro_rules! gauge {
+    ($reg:expr, $name:literal) => {
+        $reg.gauge($name)
+    };
+}
+
+/// Registers (or fetches) a histogram by name on a registry. See
+/// [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($reg:expr, $name:literal) => {
+        $reg.histogram($name)
+    };
+}
+
+/// Opens a debug-level span on a journal, returning an
+/// `Option<SpanGuard>` that records the span's duration when dropped.
+///
+/// When the journal's level filter is above `Debug` this evaluates to
+/// `None` after a single relaxed atomic load — per-request spans on hot
+/// paths cost nearly nothing while disabled.
+///
+/// ```
+/// use da_telemetry::{span, Journal, Level};
+/// use std::sync::Arc;
+///
+/// let journal = Arc::new(Journal::new(64));
+/// journal.set_level(Level::Debug);
+/// {
+///     let _span = span!(journal, "dispatch", client = 3, opcode = 47);
+/// }
+/// assert_eq!(journal.recent(16).len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($journal:expr, $target:literal $(, $key:ident = $val:expr)* $(,)?) => {{
+        let __j = &$journal;
+        if __j.enabled($crate::Level::Debug) {
+            #[allow(unused_mut)]
+            let mut __fields = String::new();
+            $(
+                {
+                    use std::fmt::Write as _;
+                    let _ = write!(__fields, concat!(" ", stringify!($key), "={}"), $val);
+                }
+            )*
+            Some($crate::Journal::begin_span(
+                __j,
+                $crate::Level::Debug,
+                $target,
+                __fields,
+            ))
+        } else {
+            None
+        }
+    }};
+}

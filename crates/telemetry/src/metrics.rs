@@ -1,0 +1,440 @@
+//! Lock-light metric primitives and the registry that names them.
+//!
+//! All hot-path operations (`inc`, `add`, `set`, `record`) are relaxed
+//! atomic writes on `Arc`-shared state; the registry's internal lock is
+//! taken only at registration and snapshot time. Snapshots are
+//! best-effort consistent: each value is read atomically but the set is
+//! not a single transaction, which is fine for observability.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log2 buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The bucket a value lands in: bucket 0 holds zero, bucket `i` holds
+/// values in `[2^(i-1), 2^i - 1]`, and the last bucket absorbs
+/// everything `>= 2^(HISTOGRAM_BUCKETS-2)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (inclusive).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value. Only for mirroring a total that is tracked
+    /// elsewhere (e.g. plain `u64` fields behind the core lock, hardware
+    /// lifetime stats) into the registry at snapshot time; never call it
+    /// from a hot path that also uses [`Counter::add`].
+    pub fn mirror(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous signed value.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Recording is three relaxed atomic adds; there is no lock and no
+/// allocation. Bucket boundaries are powers of two, which is plenty for
+/// latency distributions where one cares about orders of magnitude and
+/// coarse percentiles.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration_us(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `p`-th percentile (`0.0..=1.0`): the upper bound of
+    /// the bucket where the cumulative count crosses `p * count`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Wire-level counters for one client connection, shared between the
+/// connection's reader thread, writer thread, and the core's client
+/// state (for `ListClients`-style per-client accounting).
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    /// Requests decoded and dispatched.
+    pub requests: AtomicU64,
+    /// Replies sent.
+    pub replies: AtomicU64,
+    /// Events sent.
+    pub events: AtomicU64,
+    /// Errors sent.
+    pub errors: AtomicU64,
+    /// Request payload bytes received.
+    pub bytes_in: AtomicU64,
+    /// Reply/event/error payload bytes sent.
+    pub bytes_out: AtomicU64,
+}
+
+impl ConnCounters {
+    /// Relaxed load of one field — convenience for snapshot code.
+    pub fn load(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed add — convenience for the connection threads.
+    pub fn bump(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+enum RegEntry {
+    Counter(&'static str, Counter),
+    Gauge(&'static str, Gauge),
+    Histogram(&'static str, Histogram),
+}
+
+impl RegEntry {
+    fn name(&self) -> &'static str {
+        match self {
+            RegEntry::Counter(n, _) | RegEntry::Gauge(n, _) | RegEntry::Histogram(n, _) => n,
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Registration hands out clone-cheap handles; re-registering an
+/// existing name returns a handle to the same underlying metric (same
+/// kind) or panics (kind mismatch). Names must be `snake_case` — the
+/// registry enforces it at runtime and `xtask lint` enforces it
+/// statically on `counter!`/`gauge!`/`histogram!` call sites.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<RegEntry>>,
+}
+
+fn assert_snake_case(name: &str) {
+    let ok = !name.is_empty()
+        && name.starts_with(|c: char| c.is_ascii_lowercase())
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+    assert!(ok, "metric name {name:?} is not snake_case");
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        assert_snake_case(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for e in entries.iter() {
+            if e.name() == name {
+                match e {
+                    RegEntry::Counter(_, c) => return c.clone(),
+                    _ => panic!("metric {name:?} already registered with another kind"),
+                }
+            }
+        }
+        let c = Counter::default();
+        entries.push(RegEntry::Counter(name, c.clone()));
+        c
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        assert_snake_case(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for e in entries.iter() {
+            if e.name() == name {
+                match e {
+                    RegEntry::Gauge(_, g) => return g.clone(),
+                    _ => panic!("metric {name:?} already registered with another kind"),
+                }
+            }
+        }
+        let g = Gauge::default();
+        entries.push(RegEntry::Gauge(name, g.clone()));
+        g
+    }
+
+    /// Registers (or fetches) a histogram.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        assert_snake_case(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for e in entries.iter() {
+            if e.name() == name {
+                match e {
+                    RegEntry::Histogram(_, h) => return h.clone(),
+                    _ => panic!("metric {name:?} already registered with another kind"),
+                }
+            }
+        }
+        let h = Histogram::default();
+        entries.push(RegEntry::Histogram(name, h.clone()));
+        h
+    }
+
+    /// A point-in-time copy of every registered metric, in registration
+    /// order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for e in entries.iter() {
+            match e {
+                RegEntry::Counter(n, c) => snap.counters.push((n.to_string(), c.get())),
+                RegEntry::Gauge(n, g) => snap.gauges.push((n.to_string(), g.get())),
+                RegEntry::Histogram(n, h) => snap.histograms.push((n.to_string(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Bucket 0 holds only zero; bucket i holds [2^(i-1), 2^i - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+            let lo = (bucket_upper_bound(i - 1)).saturating_add(1);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        }
+        // The last bucket absorbs everything up to u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        // p50 of 1..=1000 lands in the bucket holding 500, i.e. [256,511].
+        assert_eq!(s.percentile(0.5), 511);
+        assert_eq!(s.percentile(1.0), 1023);
+        // p0 returns the first non-empty bucket's bound.
+        assert_eq!(s.percentile(0.0), 1);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.percentile(0.99), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let reg = Registry::new();
+        let c = reg.counter("smoke_total");
+        let g = reg.gauge("smoke_level");
+        let h = reg.histogram("smoke_us");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let g = g.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        g.adjust(1);
+                        h.record(i % 257);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker panicked");
+        }
+        assert_eq!(c.get(), 80_000);
+        assert_eq!(g.get(), 80_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 80_000);
+    }
+
+    #[test]
+    fn registry_snapshot_and_reuse() {
+        let reg = Registry::new();
+        let a = reg.counter("a_total");
+        let b = reg.counter("a_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        reg.gauge("depth").set(-4);
+        reg.histogram("lat_us").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("a_total".to_string(), 3)]);
+        assert_eq!(snap.gauges, vec![("depth".to_string(), -4)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("same_name");
+        let _ = reg.gauge("same_name");
+    }
+
+    #[test]
+    #[should_panic(expected = "snake_case")]
+    fn bad_name_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("NotSnake");
+    }
+
+    #[test]
+    fn conn_counters_roundtrip() {
+        let c = ConnCounters::default();
+        ConnCounters::bump(&c.bytes_in, 10);
+        ConnCounters::bump(&c.bytes_in, 5);
+        assert_eq!(ConnCounters::load(&c.bytes_in), 15);
+        assert_eq!(ConnCounters::load(&c.bytes_out), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Structured tracing: a ring-buffer event journal with spans and sinks.
+//!
+//! The journal is a bounded in-memory ring of timestamped events. An
+//! atomic level filter gates recording: a disabled event or span costs a
+//! single relaxed load, so per-request spans can live permanently on hot
+//! paths. Sinks observe events as they are recorded — a stderr
+//! pretty-printer for interactive debugging and a JSONL writer for
+//! machine consumption ship in-crate; anything implementing [`Sink`]
+//! can be attached.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Severity / verbosity of a journal event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Finest-grained tracing.
+    Trace = 0,
+    /// Per-request spans and similar high-volume detail.
+    Debug = 1,
+    /// Notable but expected occurrences (the default filter).
+    Info = 2,
+    /// Deadline misses, degraded behavior.
+    Warn = 3,
+    /// Things that should never happen.
+    Error = 4,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+
+    /// Lower-case name, fixed width friendly.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One recorded journal entry.
+#[derive(Clone, Debug)]
+pub struct JournalEvent {
+    /// Monotonic sequence number (1-based).
+    pub seq: u64,
+    /// Microseconds since the journal was created.
+    pub at_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Static event/span name, e.g. `"dispatch"`.
+    pub target: &'static str,
+    /// Formatted `key=value` fields (may be empty).
+    pub fields: String,
+    /// For span-close events, the span's duration in microseconds.
+    pub elapsed_us: Option<u64>,
+}
+
+/// Receives every recorded event.
+pub trait Sink: Send {
+    /// Called with each event as it is recorded (journal lock held —
+    /// keep it quick).
+    fn emit(&mut self, event: &JournalEvent);
+}
+
+/// Pretty-prints events to stderr.
+#[derive(Debug, Default)]
+pub struct StderrPretty;
+
+impl Sink for StderrPretty {
+    fn emit(&mut self, event: &JournalEvent) {
+        let elapsed = match event.elapsed_us {
+            Some(us) => format!(" ({us}us)"),
+            None => String::new(),
+        };
+        eprintln!(
+            "[{:>10.3}ms {:<5}] {}{}{}",
+            event.at_us as f64 / 1000.0,
+            event.level.name(),
+            event.target,
+            event.fields,
+            elapsed,
+        );
+    }
+}
+
+/// Writes events as JSON Lines to any `Write`.
+pub struct JsonlSink<W: Write + Send> {
+    w: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Returns the wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn emit(&mut self, event: &JournalEvent) {
+        let mut line = String::with_capacity(96);
+        line.push_str(&format!(
+            "{{\"seq\":{},\"at_us\":{},\"level\":\"{}\",\"target\":\"",
+            event.seq,
+            event.at_us,
+            event.level.name(),
+        ));
+        json_escape_into(&mut line, event.target);
+        line.push_str("\",\"fields\":\"");
+        json_escape_into(&mut line, event.fields.trim_start());
+        line.push('"');
+        if let Some(us) = event.elapsed_us {
+            line.push_str(&format!(",\"elapsed_us\":{us}"));
+        }
+        line.push('}');
+        let _ = writeln!(self.w, "{line}");
+    }
+}
+
+struct JournalInner {
+    ring: VecDeque<JournalEvent>,
+    capacity: usize,
+    next_seq: u64,
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+/// A bounded ring buffer of structured events with an atomic level
+/// filter.
+pub struct Journal {
+    level: AtomicU8,
+    epoch: Instant,
+    inner: Mutex<JournalInner>,
+}
+
+impl Journal {
+    /// Creates a journal retaining at most `capacity` events (the filter
+    /// defaults to [`Level::Info`]).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            level: AtomicU8::new(Level::Info as u8),
+            epoch: Instant::now(),
+            inner: Mutex::new(JournalInner {
+                ring: VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                next_seq: 1,
+                sinks: Vec::new(),
+            }),
+        }
+    }
+
+    /// Sets the level filter; events below it are dropped at the cost of
+    /// one atomic load.
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// The current level filter.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Whether events at `level` are currently recorded.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 >= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a sink that observes every subsequently recorded event.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.inner.lock().expect("journal poisoned").sinks.push(sink);
+    }
+
+    /// Records an event if the filter allows it.
+    pub fn event(&self, level: Level, target: &'static str, fields: String) {
+        if self.enabled(level) {
+            self.push(level, target, fields, None);
+        }
+    }
+
+    /// Opens a span; the returned guard records a close event with the
+    /// span's duration when dropped. Callers should gate on
+    /// [`Journal::enabled`] first (the [`crate::span!`] macro does).
+    pub fn begin_span(
+        self: &Arc<Self>,
+        level: Level,
+        target: &'static str,
+        fields: String,
+    ) -> SpanGuard {
+        SpanGuard {
+            journal: Arc::clone(self),
+            level,
+            target,
+            fields,
+            started: Instant::now(),
+        }
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<JournalEvent> {
+        let inner = self.inner.lock().expect("journal poisoned");
+        inner.ring.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// Total events recorded (including ones the ring has evicted).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").next_seq - 1
+    }
+
+    fn push(
+        &self,
+        level: Level,
+        target: &'static str,
+        fields: String,
+        elapsed_us: Option<u64>,
+    ) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let event = JournalEvent { seq, at_us, level, target, fields, elapsed_us };
+        for sink in &mut inner.sinks {
+            sink.emit(&event);
+        }
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event);
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("level", &self.level()).finish_non_exhaustive()
+    }
+}
+
+/// Closes its span on drop, recording the elapsed time.
+pub struct SpanGuard {
+    journal: Arc<Journal>,
+    level: Level,
+    target: &'static str,
+    fields: String,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed().as_micros() as u64;
+        self.journal.push(
+            self.level,
+            self.target,
+            std::mem::take(&mut self.fields),
+            Some(elapsed),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filter_gates_recording() {
+        let j = Journal::new(8);
+        j.event(Level::Debug, "hidden", String::new());
+        j.event(Level::Info, "shown", String::new());
+        let events = j.recent(8);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].target, "shown");
+        j.set_level(Level::Trace);
+        j.event(Level::Debug, "now_shown", String::new());
+        assert_eq!(j.recent(8).len(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let j = Journal::new(3);
+        for _ in 0..5 {
+            j.event(Level::Info, "e", String::new());
+        }
+        let events = j.recent(10);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[2].seq, 5);
+        assert_eq!(j.recorded(), 5);
+    }
+
+    #[test]
+    fn span_records_duration() {
+        let j = Arc::new(Journal::new(8));
+        j.set_level(Level::Debug);
+        {
+            let _span = crate::span!(j, "dispatch", client = 3, opcode = 47);
+        }
+        let events = j.recent(8);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].target, "dispatch");
+        assert_eq!(events[0].fields, " client=3 opcode=47");
+        assert!(events[0].elapsed_us.is_some());
+        // Disabled level: the span macro is a no-op.
+        j.set_level(Level::Warn);
+        {
+            let _span = crate::span!(j, "dispatch", client = 4);
+        }
+        assert_eq!(j.recent(8).len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let j = Journal::new(8);
+        j.add_sink(Box::new(JsonlSink::new(Vec::<u8>::new())));
+        j.event(Level::Warn, "tick_overrun", " spent_us=12345 \"q\"".to_string());
+        // The sink is boxed away; verify via a second, inspectable sink
+        // instead: re-emit manually.
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        for e in j.recent(8) {
+            sink.emit(&e);
+        }
+        let out = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert!(out.starts_with("{\"seq\":1,"));
+        assert!(out.contains("\"level\":\"warn\""));
+        assert!(out.contains("\"target\":\"tick_overrun\""));
+        assert!(out.contains("spent_us=12345 \\\"q\\\""));
+        assert!(out.ends_with("}\n"));
+    }
+}

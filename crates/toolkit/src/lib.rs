@@ -15,10 +15,13 @@
 //!   driven by synchronization events;
 //! - [`dialogue`] — touch-tone menus for telephone-based interfaces;
 //! - [`manager`] — a reference audio manager enforcing contention policy
-//!   through map/raise redirection (paper §4.3, §5.8).
+//!   through map/raise redirection (paper §4.3, §5.8);
+//! - [`stats`] — server-statistics snapshots and the top-style rendering
+//!   behind the `audiostat` tool.
 
 pub mod builders;
 pub mod dialogue;
 pub mod manager;
 pub mod soundviewer;
 pub mod sounds;
+pub mod stats;

@@ -536,6 +536,125 @@ pub fn lint_doc_rows(request_src: &str, design: &str) -> Vec<Finding> {
     out
 }
 
+/// `(name, file, line)` for every `counter!`/`gauge!`/`histogram!`
+/// registration in the server sources. Names are string literals by
+/// construction — the macros take a literal — so a text scan sees them
+/// all.
+pub fn metric_registrations(server_files: &[(String, String)]) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (path, text) in server_files {
+        for (n, line) in text.lines().enumerate() {
+            let code = strip_comment(line);
+            for needle in ["counter!(", "gauge!(", "histogram!("] {
+                let mut rest = code;
+                while let Some(i) = rest.find(needle) {
+                    rest = &rest[i + needle.len()..];
+                    let Some(q) = rest.find('"') else { break };
+                    let after = &rest[q + 1..];
+                    let Some(e) = after.find('"') else { break };
+                    out.push((after[..e].to_string(), path.clone(), n + 1));
+                    rest = &after[e + 1..];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The lines of the DESIGN.md section whose `## ` heading contains
+/// `title`, up to the next `## ` heading. `None` when no such heading
+/// exists.
+fn design_section_lines<'a>(design: &'a str, title: &str) -> Option<Vec<&'a str>> {
+    let mut in_section = false;
+    let mut out = Vec::new();
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            if in_section {
+                break;
+            }
+            in_section = line.contains(title);
+            continue;
+        }
+        if in_section {
+            out.push(line);
+        }
+    }
+    in_section.then_some(out)
+}
+
+/// Metric-name coverage: every registered metric name is snake_case,
+/// registered exactly once, and listed in DESIGN.md's Observability
+/// catalog; and every catalog row names a metric that is actually
+/// registered. Telemetry without a catalog is write-only — nobody knows
+/// a metric exists to look at it.
+pub fn lint_metrics_names(server_files: &[(String, String)], design: &str) -> Vec<Finding> {
+    const PASS: &str = "metrics-names";
+    let mut out = Vec::new();
+    let regs = metric_registrations(server_files);
+    let is_snake = |s: &str| {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+    let mut by_name: BTreeMap<&str, Vec<&(String, String, usize)>> = BTreeMap::new();
+    for r in &regs {
+        by_name.entry(r.0.as_str()).or_default().push(r);
+    }
+    let section = design_section_lines(design, "Observability");
+    if section.is_none() && !regs.is_empty() {
+        out.push(finding(
+            PASS,
+            DESIGN_MD,
+            "metrics are registered but DESIGN.md has no Observability section".into(),
+        ));
+    }
+    for (name, sites) in &by_name {
+        let (_, file, line) = sites[0];
+        if !is_snake(name) {
+            out.push(finding(PASS, file, format!("line {line}: metric name \"{name}\" is not snake_case")));
+        }
+        if sites.len() > 1 {
+            let places: Vec<String> =
+                sites.iter().map(|(_, f, l)| format!("{f}:{l}")).collect();
+            out.push(finding(
+                PASS,
+                file,
+                format!("metric \"{name}\" registered {} times ({})", sites.len(), places.join(", ")),
+            ));
+        }
+        if let Some(lines) = &section {
+            let tagged = format!("`{name}`");
+            if !lines.iter().any(|l| l.contains(&tagged)) {
+                out.push(finding(
+                    PASS,
+                    DESIGN_MD,
+                    format!("metric \"{name}\" is not listed in the Observability catalog"),
+                ));
+            }
+        }
+    }
+    // Catalog rows must correspond to registered metrics.
+    for line in section.as_deref().unwrap_or(&[]) {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let Some(first) = t.trim_matches('|').split('|').next() else { continue };
+        let cell = first.trim();
+        let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        if is_snake(name) && name.contains('_') && !by_name.contains_key(name) {
+            out.push(finding(
+                PASS,
+                DESIGN_MD,
+                format!("Observability catalog lists \"{name}\" but nothing registers it"),
+            ));
+        }
+    }
+    out
+}
+
 /// `unwrap` lint: no bare `.unwrap()` in server code. A panic in the
 /// server kills every client's session; recoverable paths must handle
 /// the error and justified infallible cases use `.expect("why")` or a
@@ -645,6 +764,7 @@ pub fn run_all(s: &Sources) -> Vec<Finding> {
     out.extend(lint_event_emission(&s.event, &s.server_files));
     out.extend(lint_error_codes(&s.error, &s.server_files, &s.alib_error));
     out.extend(lint_doc_rows(&s.request, &s.design));
+    out.extend(lint_metrics_names(&s.server_files, &s.design));
     out.extend(lint_unwrap(&s.server_files));
     out.extend(lint_lock_order(&s.server_files));
     out
@@ -889,6 +1009,57 @@ impl std::fmt::Display for ErrorCode {
         assert!(lint_doc_rows(REQUEST_OK, &wrong_op)[0].message.contains("documented as"));
         let wrong_reply = design.replace("| `QueryThing` | yes", "| `QueryThing` | –");
         assert!(lint_doc_rows(REQUEST_OK, &wrong_reply)[0].message.contains("reply flag"));
+    }
+
+    #[test]
+    fn metrics_names_checked_against_catalog() {
+        let files = vec![(
+            "crates/core/src/telem.rs".to_string(),
+            "fn build(reg: &Registry) {\n    let a = counter!(reg, \"dispatch_requests_total\");\n    let b = gauge!(reg, \"queue_depth\");\n    let c = histogram!(reg, \"engine_tick_us\");\n}\n"
+                .to_string(),
+        )];
+        let design = "\
+## 10. Observability
+
+| Metric | Kind | Meaning |
+|--------|------|---------|
+| `dispatch_requests_total` | counter | requests |
+| `queue_depth` | gauge | depth |
+| `engine_tick_us` | histogram | tick time |
+";
+        assert_eq!(lint_metrics_names(&files, design), Vec::new());
+        // A registered metric missing from the catalog.
+        let missing = design.replace("| `queue_depth` | gauge | depth |\n", "");
+        assert!(lint_metrics_names(&files, &missing)
+            .iter()
+            .any(|f| f.message.contains("queue_depth") && f.message.contains("not listed")));
+        // A catalog row nothing registers.
+        let stale = format!("{design}| `ghost_metric_total` | counter | gone |\n");
+        assert!(lint_metrics_names(&files, &stale)
+            .iter()
+            .any(|f| f.message.contains("ghost_metric_total")
+                && f.message.contains("nothing registers")));
+        // The same name registered twice.
+        let mut dup = files.clone();
+        dup.push((
+            "crates/core/src/engine.rs".to_string(),
+            "fn again(reg: &Registry) { let d = gauge!(reg, \"queue_depth\"); }\n".to_string(),
+        ));
+        assert!(lint_metrics_names(&dup, design)
+            .iter()
+            .any(|f| f.message.contains("registered 2 times")));
+        // Names must be snake_case.
+        let bad = vec![(
+            "crates/core/src/telem.rs".to_string(),
+            "fn b(reg: &Registry) { let x = counter!(reg, \"BadName\"); }\n".to_string(),
+        )];
+        assert!(lint_metrics_names(&bad, "## 10. Observability\n\ntext\n")
+            .iter()
+            .any(|f| f.message.contains("not snake_case")));
+        // Registrations with no catalog section at all.
+        assert!(lint_metrics_names(&files, "## 8. Wire protocol\n\ntext\n")
+            .iter()
+            .any(|f| f.message.contains("no Observability section")));
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! audiostat: top-style server telemetry introspection.
+//!
+//! With a server address, connects over TCP and prints a statistics
+//! snapshot every second (or once with `--once`):
+//!
+//! ```text
+//! cargo run -p da-examples --bin audiostat -- 127.0.0.1:7700
+//! cargo run -p da-examples --bin audiostat -- --once 127.0.0.1:7700
+//! ```
+//!
+//! With no address, starts an in-process demo server, runs a scripted
+//! workload against it, and prints one snapshot. In that mode the tool
+//! doubles as a smoke test: it exits non-zero unless every headline
+//! figure — per-opcode dispatch counts, tick percentiles, plan-cache hit
+//! rate, per-client byte counters — came back non-zero.
+
+use da_alib::Connection;
+use da_server::core::ServerConfig;
+use da_server::server::AudioServer;
+use da_toolkit::builders::PlayLoud;
+use da_toolkit::sounds::SoundHandle;
+use da_toolkit::stats::StatsSnapshot;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let once = args.iter().any(|a| a == "--once");
+    let addr = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let ok = match addr {
+        Some(addr) => watch(&addr, once),
+        None => demo(),
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Connects to a running server and prints snapshots.
+fn watch(addr: &str, once: bool) -> bool {
+    let mut conn = match Connection::open_tcp(addr, "audiostat") {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("audiostat: cannot connect to {addr}: {e}");
+            return false;
+        }
+    };
+    loop {
+        match StatsSnapshot::fetch(&mut conn) {
+            Ok(snap) => print!("{}", snap.render()),
+            Err(e) => {
+                eprintln!("audiostat: {e}");
+                return false;
+            }
+        }
+        if once {
+            return true;
+        }
+        println!();
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+/// Starts an in-process server, exercises it, and prints one snapshot.
+fn demo() -> bool {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("start server");
+    let control = server.control();
+    let mut conn = Connection::establish(server.connect_pipe(), "audiostat-demo").expect("connect");
+
+    // Scripted workload: build a playback LOUD, upload a tone, play it
+    // while the engine ticks, and let a topology change force one plan
+    // rebuild beyond the initial one.
+    let play = PlayLoud::build(&mut conn, vec![]).expect("build play loud");
+    let pcm = da_dsp::tone::sine(8000, 440.0, 4000, 12000);
+    let sound = SoundHandle::from_pcm(&mut conn, 8000, &pcm).expect("upload");
+    play.play(&mut conn, sound.id).expect("play");
+    conn.sync().expect("sync");
+    control.tick_n(20);
+    let extra = PlayLoud::build(&mut conn, vec![]).expect("second loud");
+    conn.sync().expect("sync");
+    control.tick_n(20);
+    play.stop(&mut conn).ok();
+    extra.stop(&mut conn).ok();
+    conn.sync().expect("sync");
+
+    let snap = StatsSnapshot::fetch(&mut conn).expect("fetch stats");
+    print!("{}", snap.render());
+
+    // Smoke-check the headline figures.
+    let mut failures = Vec::new();
+    if snap.opcode_counts().is_empty() {
+        failures.push("no per-opcode dispatch counts".to_string());
+    }
+    if snap.tick_p50_us() == 0 || snap.tick_p99_us() == 0 {
+        failures.push(format!(
+            "zero tick percentiles (p50 {} us, p99 {} us)",
+            snap.tick_p50_us(),
+            snap.tick_p99_us()
+        ));
+    }
+    match snap.plan_cache_hit_rate() {
+        Some(rate) if rate > 0.0 => {}
+        other => failures.push(format!("plan-cache hit rate not positive: {other:?}")),
+    }
+    if !snap.clients.iter().any(|c| c.bytes_in > 0 && c.bytes_out > 0) {
+        failures.push("no client with non-zero byte counters".to_string());
+    }
+    server.shutdown();
+    for f in &failures {
+        eprintln!("audiostat: FAIL: {f}");
+    }
+    failures.is_empty()
+}

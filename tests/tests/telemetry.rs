@@ -1,0 +1,120 @@
+//! End-to-end telemetry: the introspection opcodes round-trip live
+//! numbers, per-connection accounting matches the client's own view,
+//! and engine stats are stamped with their capture tick.
+
+mod common;
+
+use da_alib::Connection;
+use da_proto::request::Request;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PlayLoud;
+use da_toolkit::sounds::SoundHandle;
+
+/// A manual-tick server plus a connected client, so tick counts in the
+/// assertions are exact.
+fn start_manual() -> (AudioServer, Connection) {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let conn = Connection::establish(server.connect_pipe(), "itest").expect("connect");
+    (server, conn)
+}
+
+#[test]
+fn query_server_stats_round_trips_live_counters() {
+    let (server, mut conn) = start_manual();
+    let control = server.control();
+
+    // Scripted workload: one playing LOUD, twenty engine ticks, then a
+    // second LOUD to force a plan rebuild, twenty more ticks.
+    let play = PlayLoud::build(&mut conn, vec![]).expect("play loud");
+    let pcm = da_dsp::tone::sine(8000, 440.0, 4000, 12000);
+    let sound = SoundHandle::from_pcm(&mut conn, 8000, &pcm).expect("upload");
+    play.play(&mut conn, sound.id).expect("play");
+    conn.sync().expect("sync");
+    control.tick_n(20);
+    let _extra = PlayLoud::build(&mut conn, vec![]).expect("second loud");
+    conn.sync().expect("sync");
+    control.tick_n(20);
+
+    let stats = conn.query_server_stats().expect("stats");
+
+    // Dispatch accounting: the per-opcode vector covers every opcode,
+    // sums to the total dispatch counter, and the workload's opcodes
+    // registered.
+    assert_eq!(stats.per_opcode.len(), Request::COUNT);
+    let per_opcode_sum: u64 = stats.per_opcode.iter().sum();
+    assert!(per_opcode_sum > 0);
+    assert_eq!(Some(per_opcode_sum), stats.counter("dispatch_requests_total"));
+    assert!(stats.per_opcode[Request::Sync.opcode() as usize] >= 2);
+
+    // Engine accounting: every tick counted and timed, percentiles
+    // non-zero (sub-microsecond ticks are clamped up to 1).
+    assert_eq!(stats.captured_at_tick, 40);
+    assert_eq!(stats.counter("engine_ticks_total"), Some(40));
+    let tick = stats.histogram("engine_tick_us").expect("tick histogram");
+    assert_eq!(tick.count, 40);
+    assert!(tick.percentile(0.50) >= 1);
+    assert!(tick.percentile(0.99) >= tick.percentile(0.50));
+
+    // Plan cache: consulted every tick, rebuilt at least twice (initial
+    // map plus the second LOUD).
+    assert_eq!(stats.counter("plan_cache_lookups_total"), Some(40));
+    let rebuilds = stats.counter("plan_cache_rebuilds_total").expect("rebuilds");
+    assert!((2..40).contains(&rebuilds), "rebuilds = {rebuilds}");
+
+    // Wire accounting: both directions moved bytes and frames.
+    for name in
+        ["wire_bytes_in_total", "wire_bytes_out_total", "wire_frames_in_total", "wire_frames_out_total"]
+    {
+        assert!(stats.counter(name).unwrap_or(0) > 0, "{name} is zero");
+    }
+    assert_eq!(stats.gauge("clients_connected"), Some(1));
+
+    server.shutdown();
+}
+
+#[test]
+fn list_clients_matches_client_side_wire_stats() {
+    let (server, mut builder) = common::start();
+    let mut watcher = common::connect(&server, "watcher");
+
+    let _play = PlayLoud::build(&mut builder, vec![]).expect("play loud");
+    builder.sync().expect("sync");
+
+    let clients = watcher.list_clients().expect("list");
+    assert_eq!(clients.len(), 2);
+    let b = clients.iter().find(|c| c.name == "itest").expect("builder row");
+    let w = clients.iter().find(|c| c.name == "watcher").expect("watcher row");
+
+    // The server's per-connection counters agree with the client
+    // library's own wire accounting.
+    let local = builder.wire_stats();
+    assert_eq!(b.requests, local.requests_sent);
+    assert_eq!(b.bytes_in, local.bytes_sent);
+    assert_eq!(b.replies, local.replies_received);
+    assert!(b.bytes_out >= local.bytes_received);
+
+    // Resource ownership is attributed to the right connection.
+    assert!(b.louds >= 1 && b.vdevs >= 2 && b.wires >= 1);
+    assert_eq!(w.louds, 0);
+    assert!(w.requests >= 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn engine_stats_are_stamped_with_capture_tick() {
+    let (server, mut conn) = start_manual();
+    let control = server.control();
+
+    control.tick_n(7);
+    assert_eq!(control.stats().captured_at_tick, 7);
+    control.tick_n(5);
+    assert_eq!(control.stats().captured_at_tick, 12);
+
+    // The protocol snapshot carries the same stamp.
+    let stats = conn.query_server_stats().expect("stats");
+    assert_eq!(stats.captured_at_tick, 12);
+
+    server.shutdown();
+}
