@@ -27,6 +27,7 @@ fn main() {
     e7_sync_event_cadence(&mut report);
     e8_codecs(&mut report);
     p1_quantum_ablation(&mut report);
+    mc1_exploration_throughput(&mut report);
     match report.write_file("BENCH_results.json") {
         Ok(()) => println!("\nwrote {} records to BENCH_results.json", report.records().len()),
         Err(e) => eprintln!("\ncould not write BENCH_results.json: {e}"),
@@ -557,4 +558,43 @@ fn p1_quantum_ablation(report: &mut Report) {
         );
     }
     println!("  expected shape: smaller quanta buy reaction latency with more CPU");
+}
+
+// ---------------------------------------------------------------------------
+// MC1 — bounded model checker throughput (DESIGN.md §11). Not a paper
+// claim: this sizes the CI exploration budget — how many deduplicated
+// states of the queue/activation machine the V1-V12 + T1 oracle can
+// cover per second of wall time.
+// ---------------------------------------------------------------------------
+fn mc1_exploration_throughput(report: &mut Report) {
+    use da_modelcheck::{explore::explore, Config};
+    banner("MC1", "model-checker exploration throughput (DESIGN.md §11)");
+    let cfg = Config { max_states: 6_000, ..Config::default() };
+    let r = explore(&cfg);
+    assert!(
+        r.counterexamples().is_empty(),
+        "explore found a violation during benchmarking: {:?}",
+        r.counterexamples()
+    );
+    report.push("MC1", "explore_states_visited", r.states() as f64, "states");
+    report.push("MC1", "explore_states_per_sec", r.states_per_sec(), "states/s");
+    report.push("MC1", "explore_replayed_actions", r.replayed_actions() as f64, "actions");
+    println!("  seed     | states | transitions | depth reached");
+    for run in &r.seeds {
+        println!(
+            "  {:<8} | {:>6} | {:>11} | {:>13}",
+            run.seed.name(),
+            run.states,
+            run.transitions,
+            run.depth_reached
+        );
+    }
+    println!(
+        "  {} deduplicated states in {:.2} s ({:.0} states/s, {} replayed actions)",
+        r.states(),
+        r.elapsed.as_secs_f64(),
+        r.states_per_sec(),
+        r.replayed_actions()
+    );
+    println!("  (sizes the CI budget: 50k states ≈ {:.0} s)", 50_000.0 / r.states_per_sec());
 }

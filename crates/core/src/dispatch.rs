@@ -288,7 +288,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                             ) => l == bl,
                             _ => false,
                         })
-                        .map(|i| da_proto::ids::DeviceId(i as u32))
+                        .map(|i| da_proto::ids::DeviceId(i as u32)) // cast-ok: device-LOUD slot index, bounded by physical device count
                 }
                 _ => None,
             };
@@ -372,10 +372,10 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
                 return Err(err(ErrorCode::BadMatch, id.0, "wire crosses LOUD trees"));
             }
             if !sv.has_port(PortDir::Source, *src_port) {
-                return Err(err(ErrorCode::BadValue, *src_port as u32, "bad source port"));
+                return Err(err(ErrorCode::BadValue, u32::from(*src_port), "bad source port"));
             }
             if !dv.has_port(PortDir::Sink, *dst_port) {
-                return Err(err(ErrorCode::BadValue, *dst_port as u32, "bad sink port"));
+                return Err(err(ErrorCode::BadValue, u32::from(*dst_port), "bad sink port"));
             }
             // Type check (paper §5.2): the declared wire type must admit
             // both endpoints' digital types. Software endpoints are

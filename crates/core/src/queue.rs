@@ -194,6 +194,37 @@ impl CommandQueue {
         (self.pending.len() + self.raw.len()) as u32
     }
 
+    /// The raw entries not yet parsed into nodes (an unbalanced bracket
+    /// tail), in enqueue order. Read-only: observers such as the model
+    /// checker fingerprint queue contents without disturbing the parser.
+    pub fn raw_entries(&self) -> impl ExactSizeIterator<Item = &QueueEntry> {
+        self.raw.iter()
+    }
+
+    /// Lifetime entry cursor: the index the next parsed device command
+    /// will receive. Monotonically non-decreasing; a frozen (paused or
+    /// stopped) queue must not move it.
+    pub fn entry_cursor(&self) -> u32 {
+        self.next_index
+    }
+
+    /// Number of unmatched `CoBegin`/`Delay` openers in the raw tail.
+    ///
+    /// The parser consumes balanced units greedily, so all bracket
+    /// imbalance lives in `raw`; a drained (idle) queue therefore always
+    /// reports depth zero (paper §5.5 brackets).
+    pub fn open_depth(&self) -> u32 {
+        let mut depth = 0u32;
+        for e in &self.raw {
+            match e {
+                QueueEntry::CoBegin | QueueEntry::Delay { .. } => depth += 1,
+                QueueEntry::CoEnd | QueueEntry::DelayEnd => depth = depth.saturating_sub(1),
+                QueueEntry::Device { .. } => {}
+            }
+        }
+        depth
+    }
+
     /// Discards everything not yet started (the `FlushQueue` request).
     pub fn flush(&mut self) {
         self.raw.clear();

@@ -67,6 +67,8 @@ pub fn check_all(core: &Core) -> Vec<Violation> {
     check_queues(core, &mut out);
     check_bindings(core, &mut out);
     check_plan_cache(core, &mut out);
+    check_worklists(core, &mut out);
+    check_queue_parser(core, &mut out);
     out
 }
 
@@ -379,6 +381,58 @@ fn check_bindings(core: &Core, out: &mut Vec<Violation>) {
                 violate(out, "V9", format!("vdev {id} bound to unknown line {l:?}"));
             }
             _ => {}
+        }
+    }
+}
+
+/// V11: deferred work-lists reference live root LOUDs. `pending_maps`
+/// and `pending_raises` hold redirected requests awaiting an audio
+/// manager's decision (paper §5.8); `queue_failures` holds roots whose
+/// current command failed mid-tick. A destroyed LOUD must be purged
+/// from all three, or a later drain would act on a dangling id.
+fn check_worklists(core: &Core, out: &mut Vec<Violation>) {
+    let lists: [(&str, &[u32]); 3] = [
+        ("pending_maps", &core.pending_maps),
+        ("pending_raises", &core.pending_raises),
+        ("queue_failures", &core.queue_failures),
+    ];
+    for (name, list) in lists {
+        for &r in list {
+            match core.louds.get(&r) {
+                None => violate(out, "V11", format!("{name} references destroyed loud {r}")),
+                Some(l) if l.parent.is_some() => {
+                    violate(out, "V11", format!("{name} references non-root loud {r}"));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// V12: queue parser conservation (paper §5.5 brackets). The parser
+/// consumes balanced `CoBegin`/`CoEnd` and `Delay`/`DelayEnd` units
+/// greedily, so (a) an idle queue has no open brackets left, and (b) a
+/// non-empty raw tail always begins with an opener still awaiting its
+/// closer — anything parseable must already have been parsed.
+fn check_queue_parser(core: &Core, out: &mut Vec<Violation>) {
+    use da_proto::command::QueueEntry;
+    for (&id, l) in &core.louds {
+        let Some(q) = &l.queue else { continue };
+        if q.idle() && q.open_depth() != 0 {
+            violate(
+                out,
+                "V12",
+                format!("idle queue of root {id} reports open bracket depth {}", q.open_depth()),
+            );
+        }
+        if let Some(head) = q.raw_entries().next() {
+            if !matches!(head, QueueEntry::CoBegin | QueueEntry::Delay { .. }) {
+                violate(
+                    out,
+                    "V12",
+                    format!("queue of root {id} left a parseable head entry {head:?} unparsed"),
+                );
+            }
         }
     }
 }

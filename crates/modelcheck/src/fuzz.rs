@@ -1,0 +1,1095 @@
+//! Structure-aware fuzzer for the `da-proto` wire codec.
+//!
+//! Three complementary properties are checked on every iteration, all
+//! driven by the deterministic [`crate::Rng`] so a run is reproducible
+//! from its `--seed` alone:
+//!
+//! 1. **Round-trip identity** — grammar-based generators build every
+//!    request, reply, event, error and setup shape the protocol defines;
+//!    `decode(encode(x)) == x` must hold for each.
+//! 2. **Decode totality** — the valid encodings are then mangled by
+//!    byte-level mutators (truncation, bit flips, length-prefix
+//!    corruption, tag splicing, cross-message splicing) and fed back to
+//!    the decoder, which must return `Ok` or `Err` without panicking, and
+//!    — at the frame layer — must never consume more bytes than the
+//!    declared payload length.
+//! 3. **`has_reply`/dispatch agreement** — every generated request is
+//!    dispatched into a live [`Core`]; a request for which
+//!    [`Request::has_reply`] holds must produce exactly one reply or
+//!    error carrying its sequence number, and one for which it does not
+//!    hold must never produce a reply.
+//!
+//! Inputs that break a property are captured as [`Failure`]s in the
+//! corpus file format (see [`corpus`]) so `xtask fuzz --corpus-out` can
+//! write them straight into `tests/corpus/` as regression pins.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crossbeam::channel::{unbounded, Receiver};
+use da_proto::codec::{Frame, FrameKind, WireRead, WireWrite};
+use da_proto::command::{CrossbarRoute, DeviceCommand, Note, QueueEntry, RecordTermination};
+use da_proto::error::{ErrorCode, ProtoError};
+use da_proto::event::{CallState, Event, EventMask, QueueStopReason, RecordStopReason};
+use da_proto::ids::{Atom, ClientId, DeviceId, LoudId, ResourceId, SoundId, VDeviceId, WireId};
+use da_proto::reply::{
+    ClientStatsData, CounterSample, GaugeSample, HardWire, HistogramSample, PhysDeviceInfo,
+    Reply, ServerStatsData, StackEntry,
+};
+use da_proto::request::Request;
+use da_proto::setup::{SetupReply, SetupRequest};
+use da_proto::types::{
+    Attribute, DeviceClass, Encoding, Property, QueueState, SoundType, WireType,
+};
+use da_server::core::ServerMsg;
+use da_server::{Core, ServerConfig};
+
+use crate::Rng;
+
+/// Fuzzing parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Iterations to run.
+    pub iters: u64,
+    /// PRNG seed; equal seeds give byte-identical runs.
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { iters: 20_000, seed: 0 }
+    }
+}
+
+/// A property violation, with the offending input in corpus format.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Property and message kind, e.g. `roundtrip-kind1`.
+    pub name: String,
+    /// The input, encoded in the corpus file format.
+    pub corpus_bytes: Vec<u8>,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+/// Statistics and failures from one fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Round-trip checks performed.
+    pub roundtrips: u64,
+    /// Mutated-input decode checks performed.
+    pub mutations: u64,
+    /// Requests dispatched for the agreement check.
+    pub dispatches: u64,
+    /// Mutated inputs the decoder (correctly) rejected.
+    pub rejected: u64,
+    /// Property violations found.
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzReport {
+    /// True when every property held for every input.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus file format
+// ---------------------------------------------------------------------------
+
+/// Corpus file helpers.
+///
+/// A corpus file is `[kind, expect, payload...]`:
+///
+/// - `kind` — which decoder to aim the payload at: `0` = a raw frame
+///   stream for [`Frame::decode`]; `1`–`6` = the payload of a
+///   [`FrameKind`] with that wire tag (`1` request, `2` reply, `3` event,
+///   `4` error, `5` setup request, `6` setup reply).
+/// - `expect` — `1`: the payload is a canonical encoding and must decode
+///   successfully (and re-encode byte-identically for kinds 1–6); `0`:
+///   the payload is adversarial and the decoder may accept or reject it,
+///   but must not panic or over-consume.
+pub mod corpus {
+    use super::*;
+
+    /// `expect` value for canonical, must-round-trip payloads.
+    pub const EXPECT_OK: u8 = 1;
+    /// `expect` value for adversarial payloads.
+    pub const EXPECT_TOTAL: u8 = 0;
+
+    /// Builds a corpus file image.
+    pub fn entry(kind: u8, expect: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + 2);
+        out.push(kind);
+        out.push(expect);
+        out.extend_from_slice(payload);
+        out
+    }
+
+    /// Replays one corpus file, re-checking the property it pins.
+    ///
+    /// Returns `Err` with a description if the property no longer holds.
+    pub fn replay(bytes: &[u8]) -> Result<(), String> {
+        if bytes.len() < 2 {
+            return Err("corpus file shorter than its 2-byte header".into());
+        }
+        let (kind, expect, payload) = (bytes[0], bytes[1], &bytes[2..]);
+        if kind == 0 {
+            return replay_frame_stream(expect, payload);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| decode_reencode(kind, payload)));
+        match outcome {
+            Err(_) => Err(format!("decoder panicked on kind-{kind} corpus payload")),
+            Ok(Err(e)) if expect == EXPECT_OK => {
+                Err(format!("canonical kind-{kind} payload no longer decodes: {e}"))
+            }
+            Ok(Ok(reencoded)) if expect == EXPECT_OK && reencoded != payload => {
+                Err(format!("kind-{kind} payload decodes but re-encodes differently"))
+            }
+            Ok(_) => Ok(()),
+        }
+    }
+
+    /// Decodes `payload` as the message kind with wire tag `kind` and
+    /// returns its re-encoding (for the canonical round-trip check).
+    fn decode_reencode(kind: u8, payload: &[u8]) -> Result<Vec<u8>, String> {
+        fn go<T: WireRead + WireWrite>(payload: &[u8]) -> Result<Vec<u8>, String> {
+            T::from_wire(payload).map(|v| v.to_wire().to_vec()).map_err(|e| e.to_string())
+        }
+        match kind {
+            1 => go::<Request>(payload),
+            2 => go::<Reply>(payload),
+            3 => go::<Event>(payload),
+            4 => go::<ProtoError>(payload),
+            5 => go::<SetupRequest>(payload),
+            6 => go::<SetupReply>(payload),
+            other => Err(format!("unknown corpus kind {other}")),
+        }
+    }
+
+    /// Replays a kind-0 corpus file: runs [`Frame::decode`] over the byte
+    /// stream, checking panic-freedom and the consumption bound; with
+    /// [`EXPECT_OK`], at least one complete frame must decode.
+    fn replay_frame_stream(expect: u8, payload: &[u8]) -> Result<(), String> {
+        let mut decoded = 0usize;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut buf = bytes::BytesMut::from(payload);
+            loop {
+                let before = buf.len();
+                match Frame::decode(&mut buf) {
+                    Ok(Some(frame)) => {
+                        let consumed = before - buf.len();
+                        if consumed != frame.payload.len() + 5 {
+                            return Err(format!(
+                                "frame declared {} payload bytes but decode consumed {}",
+                                frame.payload.len(),
+                                consumed
+                            ));
+                        }
+                        decoded += 1;
+                    }
+                    Ok(None) => return Ok(()),
+                    Err(_) => return Ok(()),
+                }
+            }
+        }));
+        match outcome {
+            Err(_) => Err("Frame::decode panicked on corpus stream".into()),
+            Ok(Err(e)) => Err(e),
+            Ok(Ok(())) if expect == EXPECT_OK && decoded == 0 => {
+                Err("canonical frame stream no longer yields a frame".into())
+            }
+            Ok(Ok(())) => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grammar-based generators
+// ---------------------------------------------------------------------------
+
+/// Generators for every message shape the protocol defines.
+///
+/// Ids mix small values (which hit live resources when dispatched) with
+/// arbitrary 32-bit ones; strings and lists stay short so throughput is
+/// dominated by shape coverage, not payload size.
+pub mod gen {
+    use super::*;
+
+    fn small_u32(rng: &mut Rng) -> u32 {
+        match rng.below(3) {
+            0 => rng.below(8) as u32,
+            1 => 0x100 + rng.below(16) as u32,
+            _ => rng.next_u32(),
+        }
+    }
+
+    pub fn string(rng: &mut Rng) -> String {
+        const WORDS: [&str; 8] =
+            ["", "a", "speaker", "phone", "µ-law", "desktop", "catalog/greetings", "x"];
+        WORDS[rng.below(WORDS.len() as u64) as usize].to_string()
+    }
+
+    pub fn blob(rng: &mut Rng) -> Vec<u8> {
+        let n = rng.below(24) as usize;
+        (0..n).map(|_| rng.next_u8()).collect()
+    }
+
+    pub fn loud(rng: &mut Rng) -> LoudId {
+        LoudId(small_u32(rng))
+    }
+
+    pub fn vdev(rng: &mut Rng) -> VDeviceId {
+        VDeviceId(small_u32(rng))
+    }
+
+    pub fn wire(rng: &mut Rng) -> WireId {
+        WireId(small_u32(rng))
+    }
+
+    pub fn sound(rng: &mut Rng) -> SoundId {
+        SoundId(small_u32(rng))
+    }
+
+    pub fn atom(rng: &mut Rng) -> Atom {
+        Atom(small_u32(rng))
+    }
+
+    pub fn resource(rng: &mut Rng) -> ResourceId {
+        match rng.below(4) {
+            0 => ResourceId::Loud(loud(rng)),
+            1 => ResourceId::VDevice(vdev(rng)),
+            2 => ResourceId::Sound(sound(rng)),
+            _ => ResourceId::Device(DeviceId(small_u32(rng))),
+        }
+    }
+
+    pub fn encoding(rng: &mut Rng) -> Encoding {
+        [Encoding::ULaw, Encoding::ALaw, Encoding::Pcm8, Encoding::Pcm16, Encoding::ImaAdpcm]
+            [rng.below(5) as usize]
+    }
+
+    pub fn sound_type(rng: &mut Rng) -> SoundType {
+        SoundType {
+            encoding: encoding(rng),
+            sample_rate: [8_000, 11_025, 44_100, 0][rng.below(4) as usize],
+            channels: rng.below(3) as u8,
+        }
+    }
+
+    pub fn device_class(rng: &mut Rng) -> DeviceClass {
+        DeviceClass::ALL[rng.below(DeviceClass::ALL.len() as u64) as usize]
+    }
+
+    pub fn wire_type(rng: &mut Rng) -> WireType {
+        match rng.below(3) {
+            0 => WireType::Any,
+            1 => WireType::Analog,
+            _ => WireType::Digital(sound_type(rng)),
+        }
+    }
+
+    pub fn attribute(rng: &mut Rng) -> Attribute {
+        match rng.below(18) {
+            0 => Attribute::Device(DeviceId(small_u32(rng))),
+            1 => Attribute::Name(string(rng)),
+            2 => Attribute::Encoding(encoding(rng)),
+            3 => Attribute::SampleRate(small_u32(rng)),
+            4 => Attribute::Channels(rng.next_u8()),
+            5 => Attribute::AmbientDomain(small_u32(rng)),
+            6 => Attribute::ExclusiveInput,
+            7 => Attribute::ExclusiveOutput,
+            8 => Attribute::ExclusiveUse,
+            9 => Attribute::SupportsAgc,
+            10 => Attribute::SupportsPauseCompression,
+            11 => Attribute::SupportsPauseDetection,
+            12 => Attribute::PhoneNumber(string(rng)),
+            13 => Attribute::PhoneLines(rng.next_u8()),
+            14 => Attribute::CallerId(rng.chance(1, 2)),
+            15 => Attribute::SourcePorts(rng.next_u8()),
+            16 => Attribute::SinkPorts(rng.next_u8()),
+            _ => Attribute::Extension(atom(rng), blob(rng)),
+        }
+    }
+
+    pub fn attributes(rng: &mut Rng) -> Vec<Attribute> {
+        let n = rng.below(4) as usize;
+        (0..n).map(|_| attribute(rng)).collect()
+    }
+
+    pub fn record_termination(rng: &mut Rng) -> RecordTermination {
+        match rng.below(4) {
+            0 => RecordTermination::Manual,
+            1 => RecordTermination::MaxFrames(rng.next_u64() >> rng.below(60)),
+            2 => RecordTermination::OnPause {
+                threshold: rng.next_u32() as u16,
+                min_silence_frames: rng.below(16_000),
+            },
+            _ => RecordTermination::OnHangup,
+        }
+    }
+
+    /// One of all 22 device-command shapes.
+    pub fn device_command(rng: &mut Rng) -> DeviceCommand {
+        match rng.below(22) {
+            0 => DeviceCommand::Stop,
+            1 => DeviceCommand::Pause,
+            2 => DeviceCommand::Resume,
+            3 => DeviceCommand::ChangeGain(small_u32(rng)),
+            4 => DeviceCommand::Play(sound(rng)),
+            5 => DeviceCommand::Record(sound(rng), record_termination(rng)),
+            6 => DeviceCommand::Dial(string(rng)),
+            7 => DeviceCommand::Answer,
+            8 => DeviceCommand::SendDtmf(string(rng)),
+            9 => DeviceCommand::SetMixGain { input: rng.next_u8(), percent: rng.next_u8() },
+            10 => DeviceCommand::SpeakText(string(rng)),
+            11 => DeviceCommand::SetTextLanguage(string(rng)),
+            12 => DeviceCommand::SetVoiceValues {
+                rate_wpm: rng.next_u32() as u16,
+                pitch_hz: rng.next_u32() as u16,
+            },
+            13 => {
+                let n = rng.below(3) as usize;
+                DeviceCommand::SetExceptionList(
+                    (0..n).map(|_| (string(rng), string(rng))).collect(),
+                )
+            }
+            14 => DeviceCommand::Train { word: string(rng), template: sound(rng) },
+            15 => {
+                let n = rng.below(4) as usize;
+                DeviceCommand::SetVocabulary((0..n).map(|_| string(rng)).collect())
+            }
+            16 => DeviceCommand::AdjustContext(rng.next_u32() as i32),
+            17 => DeviceCommand::SaveVocabulary(string(rng)),
+            18 => DeviceCommand::PlayNote(Note {
+                note: rng.next_u8(),
+                velocity: rng.next_u8(),
+                duration_ms: rng.below(5_000) as u32,
+            }),
+            19 => DeviceCommand::SetVoice(string(rng)),
+            20 => DeviceCommand::SetMusicState { tempo_bpm: rng.next_u32() as u16 },
+            _ => {
+                let n = rng.below(3) as usize;
+                DeviceCommand::SetRoutes(
+                    (0..n)
+                        .map(|_| CrossbarRoute {
+                            input: rng.next_u8(),
+                            output: rng.next_u8(),
+                            connected: rng.chance(1, 2),
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// One of all 5 queue-entry shapes.
+    pub fn queue_entry(rng: &mut Rng) -> QueueEntry {
+        match rng.below(5) {
+            0 => QueueEntry::Device { vdev: vdev(rng), cmd: device_command(rng) },
+            1 => QueueEntry::CoBegin,
+            2 => QueueEntry::CoEnd,
+            3 => QueueEntry::Delay { ms: rng.below(1_000) as u32 },
+            _ => QueueEntry::DelayEnd,
+        }
+    }
+
+    /// One of all 50 request opcodes, chosen uniformly.
+    pub fn request(rng: &mut Rng) -> Request {
+        match rng.below(Request::COUNT as u64) {
+            0 => Request::CreateLoud {
+                id: loud(rng),
+                parent: if rng.chance(1, 2) { Some(loud(rng)) } else { None },
+            },
+            1 => Request::DestroyLoud { id: loud(rng) },
+            2 => Request::MapLoud { id: loud(rng) },
+            3 => Request::UnmapLoud { id: loud(rng) },
+            4 => Request::RaiseLoud { id: loud(rng) },
+            5 => Request::LowerLoud { id: loud(rng) },
+            6 => Request::RequestActivate { id: loud(rng) },
+            7 => Request::RequestDeactivate { id: loud(rng) },
+            8 => Request::QueryActiveStack,
+            9 => Request::CreateVDevice {
+                id: vdev(rng),
+                loud: loud(rng),
+                class: device_class(rng),
+                attrs: attributes(rng),
+            },
+            10 => Request::DestroyVDevice { id: vdev(rng) },
+            11 => Request::AugmentVDevice { id: vdev(rng), attrs: attributes(rng) },
+            12 => Request::QueryVDeviceAttributes { id: vdev(rng) },
+            13 => Request::SetDeviceControl { id: vdev(rng), name: atom(rng), value: blob(rng) },
+            14 => Request::GetDeviceControl { id: vdev(rng), name: atom(rng) },
+            15 => Request::CreateWire {
+                id: wire(rng),
+                src: vdev(rng),
+                src_port: rng.next_u8(),
+                dst: vdev(rng),
+                dst_port: rng.next_u8(),
+                wire_type: wire_type(rng),
+            },
+            16 => Request::DestroyWire { id: wire(rng) },
+            17 => Request::QueryWire { id: wire(rng) },
+            18 => Request::QueryDeviceWires { id: vdev(rng) },
+            19 => {
+                let n = rng.below(4) as usize;
+                Request::Enqueue {
+                    loud: loud(rng),
+                    entries: (0..n).map(|_| queue_entry(rng)).collect(),
+                }
+            }
+            20 => Request::Immediate { vdev: vdev(rng), cmd: device_command(rng) },
+            21 => Request::StartQueue { loud: loud(rng) },
+            22 => Request::StopQueue { loud: loud(rng) },
+            23 => Request::PauseQueue { loud: loud(rng) },
+            24 => Request::ResumeQueue { loud: loud(rng) },
+            25 => Request::FlushQueue { loud: loud(rng) },
+            26 => Request::QueryQueue { loud: loud(rng) },
+            27 => Request::CreateSound { id: sound(rng), stype: sound_type(rng) },
+            28 => Request::DeleteSound { id: sound(rng) },
+            29 => Request::WriteSoundData {
+                id: sound(rng),
+                data: blob(rng),
+                eof: rng.chance(1, 2),
+            },
+            30 => Request::ReadSoundData {
+                id: sound(rng),
+                offset: rng.below(1 << 20),
+                len: rng.below(4_096) as u32,
+            },
+            31 => Request::QuerySound { id: sound(rng) },
+            32 => Request::ListCatalog { catalog: string(rng) },
+            33 => Request::OpenCatalogSound {
+                id: sound(rng),
+                catalog: string(rng),
+                name: string(rng),
+            },
+            34 => Request::SelectEvents {
+                target: resource(rng),
+                mask: EventMask(rng.next_u32() & EventMask::all().0),
+            },
+            35 => Request::SetSyncInterval {
+                vdev: vdev(rng),
+                interval_frames: rng.below(16_000) as u32,
+            },
+            36 => Request::InternAtom { name: string(rng) },
+            37 => Request::GetAtomName { atom: atom(rng) },
+            38 => Request::ChangeProperty {
+                target: resource(rng),
+                name: atom(rng),
+                type_: atom(rng),
+                value: blob(rng),
+            },
+            39 => Request::GetProperty { target: resource(rng), name: atom(rng) },
+            40 => Request::DeleteProperty { target: resource(rng), name: atom(rng) },
+            41 => Request::ListProperties { target: resource(rng) },
+            42 => Request::QueryDeviceLoud,
+            43 => Request::SetRedirect { enable: rng.chance(1, 2) },
+            44 => Request::AllowMap { loud: loud(rng) },
+            45 => Request::AllowRaise { loud: loud(rng) },
+            46 => Request::GetServerInfo,
+            47 => Request::Sync,
+            48 => Request::QueryServerStats,
+            _ => Request::ListClients,
+        }
+    }
+
+    pub fn queue_state(rng: &mut Rng) -> QueueState {
+        [QueueState::Started, QueueState::Stopped, QueueState::ClientPaused,
+            QueueState::ServerPaused][rng.below(4) as usize]
+    }
+
+    fn counter_samples(rng: &mut Rng) -> Vec<CounterSample> {
+        let n = rng.below(3) as usize;
+        (0..n).map(|_| CounterSample { name: string(rng), value: rng.next_u64() }).collect()
+    }
+
+    fn server_stats(rng: &mut Rng) -> ServerStatsData {
+        ServerStatsData {
+            captured_at_tick: rng.next_u64(),
+            device_time: rng.next_u64(),
+            per_opcode: (0..rng.below(8)).map(|_| rng.next_u64()).collect(),
+            counters: counter_samples(rng),
+            gauges: (0..rng.below(3))
+                .map(|_| GaugeSample { name: string(rng), value: rng.next_u64() as i64 })
+                .collect(),
+            histograms: (0..rng.below(2))
+                .map(|_| HistogramSample {
+                    name: string(rng),
+                    count: rng.below(1_000),
+                    sum: rng.next_u64(),
+                    buckets: (0..rng.below(8)).map(|_| rng.below(100)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// One of all 18 reply shapes.
+    pub fn reply(rng: &mut Rng) -> Reply {
+        match rng.below(18) {
+            0 => Reply::VDeviceAttributes {
+                attrs: attributes(rng),
+                mapped_device: if rng.chance(1, 2) {
+                    Some(DeviceId(small_u32(rng)))
+                } else {
+                    None
+                },
+            },
+            1 => Reply::DeviceControl {
+                value: if rng.chance(1, 2) { Some(blob(rng)) } else { None },
+            },
+            2 => Reply::WireInfo {
+                src: vdev(rng),
+                src_port: rng.next_u8(),
+                dst: vdev(rng),
+                dst_port: rng.next_u8(),
+                wire_type: wire_type(rng),
+            },
+            3 => {
+                let n = rng.below(4) as usize;
+                Reply::DeviceWires { wires: (0..n).map(|_| wire(rng)).collect() }
+            }
+            4 => Reply::QueueInfo {
+                state: queue_state(rng),
+                pending: rng.below(64) as u32,
+                relative_frames: rng.next_u64(),
+            },
+            5 => Reply::SoundData { data: blob(rng), at_end: rng.chance(1, 2) },
+            6 => Reply::SoundInfo {
+                stype: sound_type(rng),
+                bytes: rng.next_u64(),
+                frames: rng.next_u64(),
+                complete: rng.chance(1, 2),
+            },
+            7 => {
+                let n = rng.below(4) as usize;
+                Reply::Catalog { names: (0..n).map(|_| string(rng)).collect() }
+            }
+            8 => Reply::Atom { atom: atom(rng) },
+            9 => Reply::AtomName { name: string(rng) },
+            10 => Reply::Property {
+                property: if rng.chance(1, 2) {
+                    Some(Property { name: atom(rng), type_: atom(rng), value: blob(rng) })
+                } else {
+                    None
+                },
+            },
+            11 => {
+                let n = rng.below(4) as usize;
+                Reply::PropertyList { names: (0..n).map(|_| atom(rng)).collect() }
+            }
+            12 => Reply::DeviceLoud {
+                devices: (0..rng.below(3))
+                    .map(|_| PhysDeviceInfo {
+                        id: DeviceId(small_u32(rng)),
+                        class: device_class(rng),
+                        attrs: attributes(rng),
+                        domains: (0..rng.below(3)).map(|_| small_u32(rng)).collect(),
+                    })
+                    .collect(),
+                hard_wires: (0..rng.below(3))
+                    .map(|_| HardWire {
+                        src: DeviceId(small_u32(rng)),
+                        src_port: rng.next_u8(),
+                        dst: DeviceId(small_u32(rng)),
+                        dst_port: rng.next_u8(),
+                    })
+                    .collect(),
+            },
+            13 => Reply::ActiveStack {
+                entries: (0..rng.below(4))
+                    .map(|_| StackEntry { loud: loud(rng), active: rng.chance(1, 2) })
+                    .collect(),
+            },
+            14 => Reply::ServerInfo {
+                vendor: string(rng),
+                protocol_major: rng.next_u32() as u16,
+                protocol_minor: rng.next_u32() as u16,
+                device_time: rng.next_u64(),
+            },
+            15 => Reply::Sync,
+            16 => Reply::ServerStats { stats: server_stats(rng) },
+            _ => Reply::ClientList {
+                clients: (0..rng.below(3))
+                    .map(|_| ClientStatsData {
+                        client: ClientId(small_u32(rng)),
+                        name: string(rng),
+                        requests: rng.next_u64(),
+                        replies: rng.next_u64(),
+                        events: rng.next_u64(),
+                        errors: rng.next_u64(),
+                        bytes_in: rng.next_u64(),
+                        bytes_out: rng.next_u64(),
+                        louds: rng.below(16) as u32,
+                        vdevs: rng.below(16) as u32,
+                        wires: rng.below(16) as u32,
+                        sounds: rng.below(16) as u32,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// One of all 20 event shapes.
+    pub fn event(rng: &mut Rng) -> Event {
+        let queue_stop = [QueueStopReason::ClientRequest, QueueStopReason::Drained,
+            QueueStopReason::Error, QueueStopReason::Unpausable];
+        let record_stop = [RecordStopReason::Manual, RecordStopReason::MaxFrames,
+            RecordStopReason::PauseDetected, RecordStopReason::Hangup];
+        let call_states = [CallState::Idle, CallState::Dialing, CallState::Ringback,
+            CallState::Ringing, CallState::Connected, CallState::Busy, CallState::HungUp,
+            CallState::NoAnswer];
+        match rng.below(20) {
+            0 => Event::QueueStarted { loud: loud(rng) },
+            1 => Event::QueueStopped {
+                loud: loud(rng),
+                reason: queue_stop[rng.below(4) as usize],
+            },
+            2 => Event::QueuePaused { loud: loud(rng), by_server: rng.chance(1, 2) },
+            3 => Event::QueueResumed { loud: loud(rng) },
+            4 => Event::CommandDone {
+                loud: loud(rng),
+                vdev: vdev(rng),
+                index: rng.below(256) as u32,
+                at_frame: rng.next_u64(),
+            },
+            5 => Event::PlayStarted { vdev: vdev(rng), sound: sound(rng) },
+            6 => Event::RecordStarted { vdev: vdev(rng), sound: sound(rng) },
+            7 => Event::RecordStopped {
+                vdev: vdev(rng),
+                sound: sound(rng),
+                reason: record_stop[rng.below(4) as usize],
+                frames: rng.next_u64(),
+            },
+            8 => Event::CallProgress {
+                device: resource(rng),
+                state: call_states[rng.below(8) as usize],
+                caller_id: if rng.chance(1, 2) { Some(string(rng)) } else { None },
+            },
+            9 => Event::DtmfReceived { device: resource(rng), digit: rng.next_u8() },
+            10 => Event::WordRecognized {
+                vdev: vdev(rng),
+                word: string(rng),
+                score: rng.below(1_001) as u32,
+            },
+            11 => Event::SoundUnderrun {
+                vdev: vdev(rng),
+                sound: sound(rng),
+                missing_frames: rng.next_u64(),
+            },
+            12 => Event::SyncMark {
+                vdev: vdev(rng),
+                sound: if rng.chance(1, 2) { Some(sound(rng)) } else { None },
+                position: rng.next_u64(),
+                device_time: rng.next_u64(),
+            },
+            13 => Event::MapNotify { loud: loud(rng) },
+            14 => Event::UnmapNotify { loud: loud(rng) },
+            15 => Event::ActivateNotify { loud: loud(rng) },
+            16 => Event::DeactivateNotify { loud: loud(rng) },
+            17 => Event::PropertyNotify {
+                target: resource(rng),
+                name: atom(rng),
+                deleted: rng.chance(1, 2),
+            },
+            18 => Event::MapRequest { loud: loud(rng), client: ClientId(small_u32(rng)) },
+            _ => Event::RaiseRequest { loud: loud(rng), client: ClientId(small_u32(rng)) },
+        }
+    }
+
+    /// One of all 14 protocol-error shapes.
+    pub fn proto_error(rng: &mut Rng) -> ProtoError {
+        let code = ErrorCode::ALL[rng.below(ErrorCode::ALL.len() as u64) as usize];
+        ProtoError::new(code, rng.next_u32(), string(rng))
+    }
+
+    pub fn setup_request(rng: &mut Rng) -> SetupRequest {
+        SetupRequest {
+            protocol_major: rng.next_u32() as u16,
+            protocol_minor: rng.next_u32() as u16,
+            client_name: string(rng),
+        }
+    }
+
+    pub fn setup_reply(rng: &mut Rng) -> SetupReply {
+        SetupReply {
+            protocol_major: rng.next_u32() as u16,
+            protocol_minor: rng.next_u32() as u16,
+            client: ClientId(small_u32(rng)),
+            id_base: rng.next_u32() & 0xFFFF_0000,
+            id_mask: 0xFFFF,
+            vendor: string(rng),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level mutators
+// ---------------------------------------------------------------------------
+
+/// Mangles a valid encoding into an adversarial one.
+///
+/// Strategies: truncation at a random cut, random bit flips, length-prefix
+/// corruption (a 4-byte window forced to `0xFF` or zero — count prefixes
+/// are little-endian `u32`s, so this manufactures absurd declared
+/// lengths), leading-tag splice, and cross-encoding splicing (head of one
+/// message grafted onto the tail of another).
+pub fn mutate(rng: &mut Rng, bytes: &[u8], other: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.below(5) {
+        // Truncate.
+        0 => {
+            let cut = rng.below(out.len() as u64 + 1) as usize;
+            out.truncate(cut);
+        }
+        // Flip 1-4 random bits.
+        1 => {
+            if !out.is_empty() {
+                for _ in 0..=rng.below(4) {
+                    let i = rng.below(out.len() as u64) as usize;
+                    out[i] ^= 1 << rng.below(8);
+                }
+            }
+        }
+        // Corrupt a (potential) length prefix.
+        2 => {
+            if out.len() >= 4 {
+                let i = rng.below(out.len() as u64 - 3) as usize;
+                let v = if rng.chance(1, 2) { 0xFF } else { 0x00 };
+                out[i..i + 4].fill(v);
+            }
+        }
+        // Splice the leading tag byte.
+        3 => {
+            if let Some(first) = out.first_mut() {
+                *first = rng.next_u8();
+            }
+        }
+        // Cross-splice with another encoding.
+        _ => {
+            let head = rng.below(out.len() as u64 + 1) as usize;
+            let tail = rng.below(other.len() as u64 + 1) as usize;
+            out.truncate(head);
+            out.extend_from_slice(&other[..tail]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The fuzzing loop
+// ---------------------------------------------------------------------------
+
+/// A live dispatch target for the `has_reply` agreement check.
+struct DispatchRig {
+    core: Core,
+    client: ClientId,
+    rx: Receiver<ServerMsg>,
+}
+
+impl DispatchRig {
+    fn new() -> Self {
+        let mut core = Core::new(ServerConfig::default());
+        let (tx, rx) = unbounded();
+        let (client, _base, _mask) = core.add_client("fuzz".into(), tx);
+        DispatchRig { core, client, rx }
+    }
+
+    /// Dispatches `request` and checks reply/seq agreement. Returns an
+    /// error description on disagreement; `None` when the property held.
+    fn check(&mut self, seq: u32, request: &Request) -> Option<String> {
+        let wants_reply = request.has_reply();
+        da_server::dispatch::dispatch(&mut self.core, self.client, seq, request.clone());
+        let mut replies = 0u32;
+        let mut errors = 0u32;
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                ServerMsg::Reply(s, _) if s == seq => replies += 1,
+                ServerMsg::Error(s, _) if s == seq => errors += 1,
+                _ => {}
+            }
+        }
+        if wants_reply && replies + errors != 1 {
+            Some(format!(
+                "has_reply request got {replies} replies + {errors} errors (want exactly 1)"
+            ))
+        } else if !wants_reply && replies > 0 {
+            Some(format!("fire-and-forget request got {replies} replies"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds the canonical payload for message kind `kind` (wire tags as in
+/// [`corpus`]), returning the encoded bytes.
+fn gen_payload(rng: &mut Rng, kind: u8) -> (Vec<u8>, Option<Request>) {
+    match kind {
+        1 => {
+            let req = gen::request(rng);
+            (req.to_wire().to_vec(), Some(req))
+        }
+        2 => (gen::reply(rng).to_wire().to_vec(), None),
+        3 => (gen::event(rng).to_wire().to_vec(), None),
+        4 => (gen::proto_error(rng).to_wire().to_vec(), None),
+        5 => (gen::setup_request(rng).to_wire().to_vec(), None),
+        _ => (gen::setup_reply(rng).to_wire().to_vec(), None),
+    }
+}
+
+/// Runs the fuzzer. Deterministic in `cfg.seed`; every iteration
+/// exercises all three properties on a freshly generated message.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = Rng::new(cfg.seed);
+    let mut report = FuzzReport::default();
+    let mut rig = DispatchRig::new();
+    let mut prev_encoding: Vec<u8> = Vec::new();
+
+    for iter in 0..cfg.iters {
+        report.iters = iter + 1;
+        // Requests get half the budget (they also feed the dispatch
+        // check); the other kinds share the rest.
+        let kind = if rng.chance(1, 2) { 1 } else { 2 + rng.below(5) as u8 };
+        let (payload, request) = gen_payload(&mut rng, kind);
+
+        // Property 1: round-trip identity on the canonical encoding.
+        report.roundtrips += 1;
+        if let Err(detail) = check_roundtrip(kind, &payload) {
+            report.failures.push(Failure {
+                name: format!("roundtrip-kind{kind}"),
+                corpus_bytes: corpus::entry(kind, corpus::EXPECT_OK, &payload),
+                detail,
+            });
+        }
+
+        // Property 3: has_reply/dispatch agreement on valid requests.
+        if let Some(req) = request {
+            let seq = iter as u32;
+            let outcome = catch_unwind(AssertUnwindSafe(|| rig.check(seq, &req)));
+            match outcome {
+                Err(_) => {
+                    report.failures.push(Failure {
+                        name: "dispatch-panic".into(),
+                        corpus_bytes: corpus::entry(1, corpus::EXPECT_OK, &payload),
+                        detail: format!("dispatch panicked on {req:?}"),
+                    });
+                    rig = DispatchRig::new();
+                }
+                Ok(Some(detail)) => report.failures.push(Failure {
+                    name: "dispatch-agreement".into(),
+                    corpus_bytes: corpus::entry(1, corpus::EXPECT_OK, &payload),
+                    detail,
+                }),
+                Ok(None) => {}
+            }
+            report.dispatches += 1;
+            // Bound resource growth from thousands of creation requests.
+            if iter % 1024 == 1023 {
+                rig = DispatchRig::new();
+            }
+        }
+
+        // Property 2: decode totality on mutated encodings.
+        let mutated = mutate(&mut rng, &payload, &prev_encoding);
+        report.mutations += 1;
+        match catch_unwind(AssertUnwindSafe(|| decode_any(kind, &mutated))) {
+            Err(_) => report.failures.push(Failure {
+                name: format!("decode-panic-kind{kind}"),
+                corpus_bytes: corpus::entry(kind, corpus::EXPECT_TOTAL, &mutated),
+                detail: "decoder panicked on mutated input".into(),
+            }),
+            Ok(false) => report.rejected += 1,
+            Ok(true) => {}
+        }
+
+        // Frame-layer check on a small multi-frame stream.
+        if iter % 16 == 0 {
+            let stream = build_frame_stream(&mut rng, &payload);
+            let mangled = mutate(&mut rng, &stream, &prev_encoding);
+            report.mutations += 1;
+            if let Err(detail) =
+                corpus::replay(&corpus::entry(0, corpus::EXPECT_TOTAL, &mangled))
+            {
+                report.failures.push(Failure {
+                    name: "frame-stream".into(),
+                    corpus_bytes: corpus::entry(0, corpus::EXPECT_TOTAL, &mangled),
+                    detail,
+                });
+            }
+        }
+
+        prev_encoding = payload;
+        // A runaway failure count means something fundamental broke;
+        // stop early and keep the evidence readable.
+        if report.failures.len() >= 16 {
+            break;
+        }
+    }
+    report
+}
+
+/// Round-trip check: decode the canonical payload and compare.
+fn check_roundtrip(kind: u8, payload: &[u8]) -> Result<(), String> {
+    corpus::replay(&corpus::entry(kind, corpus::EXPECT_OK, payload))
+}
+
+/// Decode-totality probe: `true` if the decoder accepted the bytes,
+/// `false` if it returned an error. Panics propagate to the caller's
+/// `catch_unwind`.
+fn decode_any(kind: u8, bytes: &[u8]) -> bool {
+    match kind {
+        1 => Request::from_wire(bytes).is_ok(),
+        2 => Reply::from_wire(bytes).is_ok(),
+        3 => Event::from_wire(bytes).is_ok(),
+        4 => ProtoError::from_wire(bytes).is_ok(),
+        5 => SetupRequest::from_wire(bytes).is_ok(),
+        _ => SetupReply::from_wire(bytes).is_ok(),
+    }
+}
+
+/// Concatenates 1-3 frames wrapping `payload` into one byte stream.
+fn build_frame_stream(rng: &mut Rng, payload: &[u8]) -> Vec<u8> {
+    let kinds = [FrameKind::Request, FrameKind::Reply, FrameKind::Event, FrameKind::Error,
+        FrameKind::Setup, FrameKind::SetupReply];
+    let mut out = Vec::new();
+    for _ in 0..=rng.below(3) {
+        let frame =
+            Frame { kind: kinds[rng.below(6) as usize], payload: bytes::Bytes::from(payload) };
+        out.extend_from_slice(&frame.encode());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Seed corpus
+// ---------------------------------------------------------------------------
+
+/// Deterministically builds the checked-in seed corpus: for every message
+/// kind a canonical encoding plus truncated, tag-spliced and
+/// length-corrupted mutants, and frame-stream edges (oversized declared
+/// length, bad kind tag, truncated header). `xtask fuzz --corpus-out`
+/// writes these to `tests/corpus/`, where an integration test replays
+/// them.
+pub fn seed_corpus() -> Vec<(String, Vec<u8>)> {
+    let mut rng = Rng::new(0x00C0_FFEE);
+    let mut out = Vec::new();
+    for kind in 1u8..=6 {
+        let name = ["frames", "request", "reply", "event", "error", "setup", "setup-reply"]
+            [kind as usize];
+        let (payload, _) = gen_payload(&mut rng, kind);
+        out.push((format!("rt-{name}.bin"), corpus::entry(kind, corpus::EXPECT_OK, &payload)));
+        let truncated = &payload[..payload.len() / 2];
+        out.push((
+            format!("trunc-{name}.bin"),
+            corpus::entry(kind, corpus::EXPECT_TOTAL, truncated),
+        ));
+        let mut spliced = payload.clone();
+        if let Some(first) = spliced.first_mut() {
+            *first = 0xEE;
+        }
+        out.push((
+            format!("badtag-{name}.bin"),
+            corpus::entry(kind, corpus::EXPECT_TOTAL, &spliced),
+        ));
+        let mut lencorrupt = payload.clone();
+        if lencorrupt.len() >= 5 {
+            let n = lencorrupt.len();
+            lencorrupt[n - 4..].fill(0xFF);
+        }
+        out.push((
+            format!("len-{name}.bin"),
+            corpus::entry(kind, corpus::EXPECT_TOTAL, &lencorrupt),
+        ));
+    }
+
+    // Frame-stream edges.
+    let (payload, _) = gen_payload(&mut rng, 1);
+    let frame = Frame { kind: FrameKind::Request, payload: bytes::Bytes::from(&payload[..]) };
+    out.push(("rt-frames.bin".into(), corpus::entry(0, corpus::EXPECT_OK, &frame.encode())));
+    // Declared length over MAX_FRAME_PAYLOAD: decode must reject, not
+    // allocate.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&(da_proto::codec::MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+    oversized.push(1);
+    oversized.extend_from_slice(&[0u8; 16]);
+    out.push(("frame-oversized.bin".into(), corpus::entry(0, corpus::EXPECT_TOTAL, &oversized)));
+    // Unknown frame-kind tag after a valid length.
+    let mut badkind = Vec::new();
+    badkind.extend_from_slice(&4u32.to_le_bytes());
+    badkind.push(0xEE);
+    badkind.extend_from_slice(&[0u8; 4]);
+    out.push(("frame-badkind.bin".into(), corpus::entry(0, corpus::EXPECT_TOTAL, &badkind)));
+    // Truncated header.
+    out.push(("frame-short.bin".into(), corpus::entry(0, corpus::EXPECT_TOTAL, &[0x03, 0x00])));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_run_is_deterministic() {
+        let cfg = FuzzConfig { iters: 500, seed: 42 };
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.roundtrips, b.roundtrips);
+        assert_eq!(a.mutations, b.mutations);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let report = fuzz(&FuzzConfig { iters: 2_000, seed: 0 });
+        assert!(
+            report.clean(),
+            "fuzzer found violations: {:?}",
+            report.failures.iter().map(|f| (&f.name, &f.detail)).collect::<Vec<_>>()
+        );
+        assert_eq!(report.iters, 2_000);
+        assert!(report.rejected > 0, "mutators never produced a rejected input");
+        assert!(report.dispatches > 0, "agreement check never dispatched");
+    }
+
+    #[test]
+    fn generators_cover_every_request_opcode() {
+        let mut rng = Rng::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            // The opcode is the first byte of the encoding.
+            seen.insert(gen::request(&mut rng).to_wire()[0]);
+        }
+        assert_eq!(seen.len(), Request::COUNT, "generator misses opcodes");
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_panicking() {
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            let payload = gen::request(&mut rng).to_wire();
+            for cut in 0..payload.len() {
+                assert!(Request::from_wire(&payload[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_corpus_replays_clean() {
+        let entries = seed_corpus();
+        assert!(entries.len() >= 24);
+        for (name, bytes) in &entries {
+            corpus::replay(bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_detects_a_non_canonical_expect_ok_payload() {
+        // A canonical-flagged file whose payload is garbage must fail
+        // replay — this is what pins decoder regressions.
+        let bad = corpus::entry(3, corpus::EXPECT_OK, &[0xEE, 1, 2, 3]);
+        assert!(corpus::replay(&bad).is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! The model: seed topologies and the action alphabet.
+//!
+//! A [`World`] is one in-memory [`Core`] plus the client connections
+//! driving it. Exploration never clones a world (the core owns live
+//! hardware and channel state); instead a world is *replayed* — rebuilt
+//! from its [`Seed`] and a trace of [`Action`]s, which is deterministic
+//! because the core's dispatch and engine are.
+//!
+//! The alphabet is deliberately small and protocol-shaped: every action
+//! is either one legal client request, one engine tick, or one
+//! connection teardown. Illegal *combinations* (resuming a stopped
+//! queue, mapping a destroyed root) are still reachable — dispatch must
+//! reject them without corrupting state, and the oracle checks that it
+//! does.
+
+use crossbeam::channel::{unbounded, Receiver};
+use da_proto::command::{DeviceCommand, QueueEntry};
+use da_proto::ids::{ClientId, LoudId, SoundId, VDeviceId, WireId};
+use da_proto::request::Request;
+use da_proto::types::{Attribute, DeviceClass, QueueState, SoundType, WireType};
+use da_server::core::{Core, ServerConfig, ServerMsg};
+use da_server::dispatch::dispatch;
+use da_server::engine;
+
+/// Which root LOUD an action addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Root {
+    /// The first root (present in every seed).
+    A,
+    /// The second root (present in `Duet`).
+    B,
+}
+
+/// A seed topology the checker explores from (paper scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seed {
+    /// One client, one root LOUD with a player wired to an output, one
+    /// uploaded sound, mapped. The §5.5 queue state machine in
+    /// isolation.
+    Solo,
+    /// Two roots contending for the single speaker: both outputs carry
+    /// [`Attribute::ExclusiveUse`], so activating one preempts the other
+    /// (paper §5.4 activation/preemption, server pause).
+    Duet,
+    /// A second connection holds `SetRedirect`: map and raise requests
+    /// detour through the audio manager's approval queue (paper §5.8),
+    /// including the manager crashing with approvals outstanding.
+    Manager,
+}
+
+impl Seed {
+    /// Every seed, in a stable order.
+    pub const ALL: [Seed; 3] = [Seed::Solo, Seed::Duet, Seed::Manager];
+
+    /// Stable lowercase name (reports, bench records).
+    pub fn name(self) -> &'static str {
+        match self {
+            Seed::Solo => "solo",
+            Seed::Duet => "duet",
+            Seed::Manager => "manager",
+        }
+    }
+}
+
+/// One transition of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// `StartQueue` on a root.
+    Start(Root),
+    /// `StopQueue` on a root.
+    Stop(Root),
+    /// `PauseQueue` on a root.
+    Pause(Root),
+    /// `ResumeQueue` on a root.
+    Resume(Root),
+    /// `FlushQueue` on a root.
+    Flush(Root),
+    /// Enqueue one `Play` command.
+    EnqueuePlay(Root),
+    /// Enqueue a balanced `CoBegin [Play, Delay [Play]] CoEnd` group.
+    EnqueueGroup(Root),
+    /// Enqueue an *unbalanced* `CoBegin, Play` prefix (open bracket).
+    EnqueueOpen(Root),
+    /// Enqueue the closing `CoEnd` of a previously opened bracket (a
+    /// stray closer if none is open — the parser must drop it).
+    EnqueueClose(Root),
+    /// `MapLoud`: push the root onto the active stack (or the manager's
+    /// approval queue in the `Manager` seed).
+    Map(Root),
+    /// `UnmapLoud`: pop the root, server-pausing its queue.
+    Unmap(Root),
+    /// `RaiseLoud`: restack to the top.
+    Raise(Root),
+    /// `LowerLoud`: restack to the bottom.
+    Lower(Root),
+    /// Destroy the root's player→output wire.
+    WireDisconnect(Root),
+    /// Recreate the root's player→output wire.
+    WireConnect(Root),
+    /// One engine tick (`engine::tick`): queues advance, drains stop,
+    /// failures surface.
+    Tick,
+    /// Manager approves the oldest pending map (`AllowMap`).
+    AllowMap(Root),
+    /// Manager approves the oldest pending raise (`AllowRaise`).
+    AllowRaise(Root),
+    /// The manager connection drops; its redirect and approval queues
+    /// must be cleaned up.
+    DisconnectManager,
+}
+
+/// A live model instance: the core plus the connections driving it.
+pub struct World {
+    /// The server state under test.
+    pub core: Core,
+    /// The primary client (owns all topology in every seed).
+    pub client: ClientId,
+    /// The audio-manager client (`Manager` seed only).
+    pub manager: Option<ClientId>,
+    /// Whether the manager connection is still up.
+    pub manager_connected: bool,
+    /// Primary client's id base (resource ids are `base + offset`).
+    pub base: u32,
+    rx: Receiver<ServerMsg>,
+    manager_rx: Option<Receiver<ServerMsg>>,
+}
+
+// Stable id offsets inside the primary client's range.
+const LOUD_A: u32 = 1;
+const LOUD_B: u32 = 2;
+const PLAYER_A: u32 = 0x10;
+const OUT_A: u32 = 0x11;
+const PLAYER_B: u32 = 0x12;
+const OUT_B: u32 = 0x13;
+const WIRE_A: u32 = 0x100;
+const WIRE_B: u32 = 0x101;
+const SOUND: u32 = 0x200;
+
+impl World {
+    /// Builds a seed topology by dispatching ordinary setup requests.
+    pub fn new(seed: Seed) -> World {
+        let mut core = Core::new(ServerConfig::default());
+        let (tx, rx) = unbounded();
+        let (client, base, _mask) = core.add_client("modelcheck".into(), tx);
+        let mut w = World {
+            core,
+            client,
+            manager: None,
+            manager_connected: false,
+            base,
+            rx,
+            manager_rx: None,
+        };
+
+        // Root A: player -> output, one short sound, mapped.
+        let exclusive = match seed {
+            Seed::Duet => vec![Attribute::ExclusiveUse],
+            _ => Vec::new(),
+        };
+        w.req(Request::CreateLoud { id: w.loud(Root::A), parent: None });
+        w.req(Request::CreateVDevice {
+            id: w.player(Root::A),
+            loud: w.loud(Root::A),
+            class: DeviceClass::Player,
+            attrs: Vec::new(),
+        });
+        w.req(Request::CreateVDevice {
+            id: w.out(Root::A),
+            loud: w.loud(Root::A),
+            class: DeviceClass::Output,
+            attrs: exclusive.clone(),
+        });
+        w.req(Request::CreateWire {
+            id: w.wire(Root::A),
+            src: w.player(Root::A),
+            src_port: 0,
+            dst: w.out(Root::A),
+            dst_port: 0,
+            wire_type: WireType::Any,
+        });
+        w.req(Request::CreateSound { id: SoundId(base + SOUND), stype: SoundType::TELEPHONE });
+        // 400 frames at 8 kHz: drains after a handful of 10 ms ticks, so
+        // the engine's drain/stop edge is reachable within the depth
+        // budget.
+        w.req(Request::WriteSoundData {
+            id: SoundId(base + SOUND),
+            data: vec![0x55; 400],
+            eof: true,
+        });
+
+        match seed {
+            Seed::Solo => {
+                w.req(Request::MapLoud { id: w.loud(Root::A) });
+            }
+            Seed::Duet => {
+                w.req(Request::CreateLoud { id: w.loud(Root::B), parent: None });
+                w.req(Request::CreateVDevice {
+                    id: w.player(Root::B),
+                    loud: w.loud(Root::B),
+                    class: DeviceClass::Player,
+                    attrs: Vec::new(),
+                });
+                w.req(Request::CreateVDevice {
+                    id: w.out(Root::B),
+                    loud: w.loud(Root::B),
+                    class: DeviceClass::Output,
+                    attrs: exclusive,
+                });
+                w.req(Request::CreateWire {
+                    id: w.wire(Root::B),
+                    src: w.player(Root::B),
+                    src_port: 0,
+                    dst: w.out(Root::B),
+                    dst_port: 0,
+                    wire_type: WireType::Any,
+                });
+                w.req(Request::MapLoud { id: w.loud(Root::A) });
+            }
+            Seed::Manager => {
+                let (mtx, mrx) = unbounded();
+                let (mgr, _mbase, _mmask) = w.core.add_client("manager".into(), mtx);
+                dispatch(&mut w.core, mgr, 0, Request::SetRedirect { enable: true });
+                w.manager = Some(mgr);
+                w.manager_connected = true;
+                w.manager_rx = Some(mrx);
+                // Root A intentionally left unmapped: mapping is the
+                // redirected edge under study.
+            }
+        }
+        w.drain();
+        w
+    }
+
+    /// The action alphabet available from this seed.
+    pub fn alphabet(seed: Seed) -> Vec<Action> {
+        use Action::*;
+        use Root::{A, B};
+        let mut acts = vec![
+            Start(A),
+            Stop(A),
+            Pause(A),
+            Resume(A),
+            Flush(A),
+            EnqueuePlay(A),
+            EnqueueGroup(A),
+            EnqueueOpen(A),
+            EnqueueClose(A),
+            Map(A),
+            Unmap(A),
+            Raise(A),
+            Lower(A),
+            Tick,
+        ];
+        match seed {
+            Seed::Solo => {
+                acts.push(WireDisconnect(A));
+                acts.push(WireConnect(A));
+            }
+            Seed::Duet => {
+                // Root B exercises contention: map/restack preempt A.
+                acts.extend([
+                    Start(B),
+                    EnqueuePlay(B),
+                    Map(B),
+                    Unmap(B),
+                    Raise(B),
+                    Lower(B),
+                ]);
+            }
+            Seed::Manager => {
+                acts.extend([AllowMap(A), AllowRaise(A), DisconnectManager]);
+            }
+        }
+        acts
+    }
+
+    /// Applies one action. Deterministic; pending client messages are
+    /// drained (and dropped) so channels never grow across a long trace.
+    pub fn apply(&mut self, action: Action) {
+        use Action::*;
+        match action {
+            Start(r) => self.req(Request::StartQueue { loud: self.loud(r) }),
+            Stop(r) => self.req(Request::StopQueue { loud: self.loud(r) }),
+            Pause(r) => self.req(Request::PauseQueue { loud: self.loud(r) }),
+            Resume(r) => self.req(Request::ResumeQueue { loud: self.loud(r) }),
+            Flush(r) => self.req(Request::FlushQueue { loud: self.loud(r) }),
+            EnqueuePlay(r) => {
+                let e = self.play_entry(r);
+                self.req(Request::Enqueue { loud: self.loud(r), entries: vec![e] });
+            }
+            EnqueueGroup(r) => {
+                let p = self.play_entry(r);
+                let entries = vec![
+                    QueueEntry::CoBegin,
+                    p.clone(),
+                    QueueEntry::Delay { ms: 20 },
+                    p,
+                    QueueEntry::DelayEnd,
+                    QueueEntry::CoEnd,
+                ];
+                self.req(Request::Enqueue { loud: self.loud(r), entries });
+            }
+            EnqueueOpen(r) => {
+                let p = self.play_entry(r);
+                self.req(Request::Enqueue {
+                    loud: self.loud(r),
+                    entries: vec![QueueEntry::CoBegin, p],
+                });
+            }
+            EnqueueClose(r) => self.req(Request::Enqueue {
+                loud: self.loud(r),
+                entries: vec![QueueEntry::CoEnd],
+            }),
+            Map(r) => self.req(Request::MapLoud { id: self.loud(r) }),
+            Unmap(r) => self.req(Request::UnmapLoud { id: self.loud(r) }),
+            Raise(r) => self.req(Request::RaiseLoud { id: self.loud(r) }),
+            Lower(r) => self.req(Request::LowerLoud { id: self.loud(r) }),
+            WireDisconnect(r) => self.req(Request::DestroyWire { id: self.wire(r) }),
+            WireConnect(r) => self.req(Request::CreateWire {
+                id: self.wire(r),
+                src: self.player(r),
+                src_port: 0,
+                dst: self.out(r),
+                dst_port: 0,
+                wire_type: WireType::Any,
+            }),
+            Tick => engine::tick(&mut self.core),
+            AllowMap(r) => self.manager_req(Request::AllowMap { loud: self.loud(r) }),
+            AllowRaise(r) => self.manager_req(Request::AllowRaise { loud: self.loud(r) }),
+            DisconnectManager => {
+                if self.manager_connected {
+                    if let Some(mgr) = self.manager {
+                        self.core.remove_client(mgr);
+                    }
+                    self.manager_connected = false;
+                }
+            }
+        }
+        self.drain();
+    }
+
+    /// Snapshot of every queue for the frozen-queue temporal invariant:
+    /// `(root, state, relative_frames, pending_len, entry_cursor)`.
+    pub fn queue_snapshot(&self) -> Vec<(u32, QueueState, u64, u32, u32)> {
+        let mut snap: Vec<_> = self
+            .core
+            .louds
+            .iter()
+            .filter_map(|(&id, l)| {
+                l.queue.as_ref().map(|q| {
+                    (id, q.state(), q.relative_frames, q.pending_len(), q.entry_cursor())
+                })
+            })
+            .collect();
+        snap.sort_unstable_by_key(|s| s.0);
+        snap
+    }
+
+    /// The protocol id of a root.
+    pub fn loud(&self, r: Root) -> LoudId {
+        LoudId(self.base + if r == Root::A { LOUD_A } else { LOUD_B })
+    }
+
+    fn player(&self, r: Root) -> VDeviceId {
+        VDeviceId(self.base + if r == Root::A { PLAYER_A } else { PLAYER_B })
+    }
+
+    fn out(&self, r: Root) -> VDeviceId {
+        VDeviceId(self.base + if r == Root::A { OUT_A } else { OUT_B })
+    }
+
+    fn wire(&self, r: Root) -> WireId {
+        WireId(self.base + if r == Root::A { WIRE_A } else { WIRE_B })
+    }
+
+    fn play_entry(&self, r: Root) -> QueueEntry {
+        QueueEntry::Device {
+            vdev: self.player(r),
+            cmd: DeviceCommand::Play(SoundId(self.base + SOUND)),
+        }
+    }
+
+    fn req(&mut self, request: Request) {
+        dispatch(&mut self.core, self.client, 0, request);
+    }
+
+    fn manager_req(&mut self, request: Request) {
+        // A crashed manager sends nothing; the action degrades to a
+        // no-op so traces stay well-formed after `DisconnectManager`.
+        if !self.manager_connected {
+            return;
+        }
+        if let Some(mgr) = self.manager {
+            dispatch(&mut self.core, mgr, 0, request);
+        }
+    }
+
+    fn drain(&mut self) {
+        while self.rx.try_recv().is_ok() {}
+        if let Some(mrx) = &self.manager_rx {
+            while mrx.try_recv().is_ok() {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_build_clean() {
+        for seed in Seed::ALL {
+            let w = World::new(seed);
+            assert!(
+                da_server::validate::check_all(&w.core).is_empty(),
+                "{seed:?} seed violates invariants"
+            );
+        }
+    }
+
+    #[test]
+    fn solo_reaches_server_paused_via_unmap() {
+        let mut w = World::new(Seed::Solo);
+        w.apply(Action::EnqueuePlay(Root::A));
+        w.apply(Action::Start(Root::A));
+        w.apply(Action::Unmap(Root::A));
+        let q = &w.core.louds[&w.loud(Root::A).0].queue;
+        assert_eq!(q.as_ref().unwrap().state(), QueueState::ServerPaused);
+    }
+
+    #[test]
+    fn duet_map_preempts_exclusive_speaker() {
+        let mut w = World::new(Seed::Duet);
+        w.apply(Action::EnqueuePlay(Root::A));
+        w.apply(Action::Start(Root::A));
+        // B maps on top; its exclusive output takes the only speaker, so
+        // A deactivates and its queue server-pauses (paper §5.4).
+        w.apply(Action::Map(Root::B));
+        let qa = w.core.louds[&w.loud(Root::A).0].queue.as_ref().unwrap().state();
+        assert_eq!(qa, QueueState::ServerPaused);
+    }
+
+    #[test]
+    fn manager_redirect_holds_maps_until_allowed() {
+        let mut w = World::new(Seed::Manager);
+        w.apply(Action::Map(Root::A));
+        assert!(w.core.pending_maps.contains(&w.loud(Root::A).0));
+        assert!(w.core.active_stack.is_empty());
+        w.apply(Action::AllowMap(Root::A));
+        assert!(w.core.pending_maps.is_empty());
+        assert_eq!(w.core.active_stack, vec![w.loud(Root::A).0]);
+    }
+
+    #[test]
+    fn manager_disconnect_clears_redirect_state() {
+        let mut w = World::new(Seed::Manager);
+        w.apply(Action::Map(Root::A));
+        w.apply(Action::DisconnectManager);
+        assert!(
+            da_server::validate::check_all(&w.core).is_empty(),
+            "stale manager state after disconnect"
+        );
+        // Post-crash manager actions are no-ops, not panics.
+        w.apply(Action::AllowMap(Root::A));
+        w.apply(Action::DisconnectManager);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = [
+            Action::EnqueueGroup(Root::A),
+            Action::Start(Root::A),
+            Action::Tick,
+            Action::Pause(Root::A),
+            Action::Tick,
+            Action::Resume(Root::A),
+            Action::Tick,
+        ];
+        let run = |(): ()| {
+            let mut w = World::new(Seed::Solo);
+            for &a in &trace {
+                w.apply(a);
+            }
+            crate::explore::fingerprint(&w.core)
+        };
+        assert_eq!(run(()), run(()));
+    }
+}

@@ -55,7 +55,7 @@ impl FrameKind {
             4 => FrameKind::Error,
             5 => FrameKind::Setup,
             6 => FrameKind::SetupReply,
-            other => return Err(CodecError::BadTag("FrameKind", other as u32)),
+            other => return Err(CodecError::BadTag("FrameKind", u32::from(other))),
         })
     }
 }
@@ -72,9 +72,20 @@ pub struct Frame {
 impl Frame {
     /// Encodes an entire frame (header + payload) into a byte vector ready
     /// to be written to the transport.
+    ///
+    /// # Panics
+    ///
+    /// If the payload exceeds [`MAX_FRAME_PAYLOAD`]: such a frame could
+    /// never be decoded, so a truncated length word must not be sent.
     pub fn encode(&self) -> Vec<u8> {
+        assert!(
+            self.payload.len() <= MAX_FRAME_PAYLOAD,
+            "frame payload of {} bytes exceeds MAX_FRAME_PAYLOAD",
+            self.payload.len()
+        );
+        let len = u32::try_from(self.payload.len()).expect("payload bounded by MAX_FRAME_PAYLOAD");
         let mut out = Vec::with_capacity(self.payload.len() + 5);
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
         out.push(self.kind.to_u8());
         out.extend_from_slice(&self.payload);
         out
@@ -155,7 +166,7 @@ impl WireWriter {
 
     /// Appends a bool as one byte (0 or 1).
     pub fn bool(&mut self, v: bool) {
-        self.buf.put_u8(v as u8);
+        self.buf.put_u8(u8::from(v));
     }
 
     /// Appends a little-endian `u16`.
@@ -184,8 +195,13 @@ impl WireWriter {
     }
 
     /// Appends a count-prefixed byte block.
+    ///
+    /// # Panics
+    ///
+    /// If the block's length does not fit the `u32` count prefix — a
+    /// silently wrapped count would desynchronise the decoder.
     pub fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
+        self.u32(u32::try_from(v.len()).expect("byte block length exceeds u32 count prefix"));
         self.buf.put_slice(v);
     }
 
@@ -195,8 +211,12 @@ impl WireWriter {
     }
 
     /// Appends a count-prefixed list of encodable values.
+    ///
+    /// # Panics
+    ///
+    /// If the list's length does not fit the `u32` count prefix.
     pub fn list<T: WireWrite>(&mut self, items: &[T]) {
-        self.u32(items.len() as u32);
+        self.u32(u32::try_from(items.len()).expect("list length exceeds u32 count prefix"));
         for item in items {
             item.write(self);
         }

@@ -69,7 +69,7 @@ impl WireRead for RecordTermination {
                 min_silence_frames: r.u64()?,
             },
             3 => RecordTermination::OnHangup,
-            other => return Err(CodecError::BadTag("RecordTermination", other as u32)),
+            other => return Err(CodecError::BadTag("RecordTermination", u32::from(other))),
         })
     }
 }
@@ -287,7 +287,7 @@ impl WireWrite for DeviceCommand {
             }
             DeviceCommand::SetExceptionList(list) => {
                 w.u8(13);
-                w.u32(list.len() as u32);
+                w.u32(u32::try_from(list.len()).expect("exception list exceeds u32 count"));
                 for (word, pron) in list {
                     w.string(word);
                     w.string(pron);
@@ -348,7 +348,12 @@ impl WireRead for DeviceCommand {
             12 => DeviceCommand::SetVoiceValues { rate_wpm: r.u16()?, pitch_hz: r.u16()? },
             13 => {
                 let n = r.u32()? as usize;
-                let mut list = Vec::with_capacity(n.min(1024));
+                // Each pair needs at least 8 bytes (two count prefixes);
+                // reject absurd declared counts before allocating.
+                if n > r.remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                let mut list = Vec::with_capacity(n);
                 for _ in 0..n {
                     list.push((r.string()?, r.string()?));
                 }
@@ -362,7 +367,7 @@ impl WireRead for DeviceCommand {
             19 => DeviceCommand::SetVoice(r.string()?),
             20 => DeviceCommand::SetMusicState { tempo_bpm: r.u16()? },
             21 => DeviceCommand::SetRoutes(r.list()?),
-            other => return Err(CodecError::BadTag("DeviceCommand", other as u32)),
+            other => return Err(CodecError::BadTag("DeviceCommand", u32::from(other))),
         })
     }
 }
@@ -421,7 +426,7 @@ impl WireRead for QueueEntry {
             2 => QueueEntry::CoEnd,
             3 => QueueEntry::Delay { ms: r.u32()? },
             4 => QueueEntry::DelayEnd,
-            other => return Err(CodecError::BadTag("QueueEntry", other as u32)),
+            other => return Err(CodecError::BadTag("QueueEntry", u32::from(other))),
         })
     }
 }

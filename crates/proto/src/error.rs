@@ -47,7 +47,8 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    const ALL: [ErrorCode; 14] = [
+    /// All error codes, in wire-tag order.
+    pub const ALL: [ErrorCode; 14] = [
         ErrorCode::BadLoud,
         ErrorCode::BadDevice,
         ErrorCode::BadWire,
@@ -65,7 +66,7 @@ impl ErrorCode {
     ];
 
     fn tag(self) -> u8 {
-        self as u8
+        self as u8 // cast-ok: fieldless enum discriminant, 14 < 256
     }
 }
 
@@ -103,7 +104,7 @@ impl WireRead for ErrorCode {
         ErrorCode::ALL
             .into_iter()
             .find(|c| c.tag() == t)
-            .ok_or(CodecError::BadTag("ErrorCode", t as u32))
+            .ok_or(CodecError::BadTag("ErrorCode", u32::from(t)))
     }
 }
 

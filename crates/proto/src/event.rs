@@ -102,7 +102,7 @@ impl WireRead for QueueStopReason {
             1 => QueueStopReason::Drained,
             2 => QueueStopReason::Error,
             3 => QueueStopReason::Unpausable,
-            other => return Err(CodecError::BadTag("QueueStopReason", other as u32)),
+            other => return Err(CodecError::BadTag("QueueStopReason", u32::from(other))),
         })
     }
 }
@@ -138,7 +138,7 @@ impl WireRead for RecordStopReason {
             1 => RecordStopReason::MaxFrames,
             2 => RecordStopReason::PauseDetected,
             3 => RecordStopReason::Hangup,
-            other => return Err(CodecError::BadTag("RecordStopReason", other as u32)),
+            other => return Err(CodecError::BadTag("RecordStopReason", u32::from(other))),
         })
     }
 }
@@ -179,7 +179,7 @@ impl CallState {
     ];
 
     fn tag(self) -> u8 {
-        self as u8
+        self as u8 // cast-ok: fieldless enum discriminant, 8 < 256
     }
 }
 
@@ -195,7 +195,7 @@ impl WireRead for CallState {
         CallState::ALL
             .into_iter()
             .find(|s| s.tag() == t)
-            .ok_or(CodecError::BadTag("CallState", t as u32))
+            .ok_or(CodecError::BadTag("CallState", u32::from(t)))
     }
 }
 
@@ -564,7 +564,7 @@ impl WireRead for Event {
             },
             18 => Event::MapRequest { loud: LoudId::read(r)?, client: ClientId::read(r)? },
             19 => Event::RaiseRequest { loud: LoudId::read(r)?, client: ClientId::read(r)? },
-            other => return Err(CodecError::BadTag("Event", other as u32)),
+            other => return Err(CodecError::BadTag("Event", u32::from(other))),
         })
     }
 }

@@ -126,7 +126,7 @@ impl WireRead for ResourceId {
             1 => ResourceId::VDevice(VDeviceId::read(r)?),
             2 => ResourceId::Sound(SoundId::read(r)?),
             3 => ResourceId::Device(DeviceId::read(r)?),
-            other => return Err(CodecError::BadTag("ResourceId", other as u32)),
+            other => return Err(CodecError::BadTag("ResourceId", u32::from(other))),
         })
     }
 }

@@ -603,7 +603,7 @@ impl WireRead for Reply {
             15 => Reply::Sync,
             16 => Reply::ServerStats { stats: ServerStatsData::read(r)? },
             17 => Reply::ClientList { clients: r.list()? },
-            other => return Err(CodecError::BadTag("Reply", other as u32)),
+            other => return Err(CodecError::BadTag("Reply", u32::from(other))),
         })
     }
 }

@@ -807,7 +807,7 @@ impl WireRead for Request {
             47 => Request::Sync,
             48 => Request::QueryServerStats,
             49 => Request::ListClients,
-            other => return Err(CodecError::BadTag("Request", other as u32)),
+            other => return Err(CodecError::BadTag("Request", u32::from(other))),
         })
     }
 }

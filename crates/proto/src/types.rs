@@ -65,7 +65,7 @@ impl WireRead for Encoding {
             2 => Encoding::Pcm8,
             3 => Encoding::Pcm16,
             4 => Encoding::ImaAdpcm,
-            other => return Err(CodecError::BadTag("Encoding", other as u32)),
+            other => return Err(CodecError::BadTag("Encoding", u32::from(other))),
         })
     }
 }
@@ -204,7 +204,7 @@ impl WireRead for DeviceClass {
         DeviceClass::ALL
             .into_iter()
             .find(|c| c.tag() == t)
-            .ok_or(CodecError::BadTag("DeviceClass", t as u32))
+            .ok_or(CodecError::BadTag("DeviceClass", u32::from(t)))
     }
 }
 
@@ -231,7 +231,7 @@ impl WireRead for PortDir {
         Ok(match r.u8()? {
             0 => PortDir::Source,
             1 => PortDir::Sink,
-            other => return Err(CodecError::BadTag("PortDir", other as u32)),
+            other => return Err(CodecError::BadTag("PortDir", u32::from(other))),
         })
     }
 }
@@ -278,7 +278,7 @@ impl WireRead for WireType {
             0 => WireType::Any,
             1 => WireType::Analog,
             2 => WireType::Digital(SoundType::read(r)?),
-            other => return Err(CodecError::BadTag("WireType", other as u32)),
+            other => return Err(CodecError::BadTag("WireType", u32::from(other))),
         })
     }
 }
@@ -412,7 +412,7 @@ impl WireRead for Attribute {
             15 => Attribute::SourcePorts(r.u8()?),
             16 => Attribute::SinkPorts(r.u8()?),
             17 => Attribute::Extension(Atom::read(r)?, r.bytes()?),
-            other => return Err(CodecError::BadTag("Attribute", other as u32)),
+            other => return Err(CodecError::BadTag("Attribute", u32::from(other))),
         })
     }
 }
@@ -449,7 +449,7 @@ impl WireRead for QueueState {
             1 => QueueState::Stopped,
             2 => QueueState::ClientPaused,
             3 => QueueState::ServerPaused,
-            other => return Err(CodecError::BadTag("QueueState", other as u32)),
+            other => return Err(CodecError::BadTag("QueueState", u32::from(other))),
         })
     }
 }

@@ -61,6 +61,9 @@ pub struct Sources {
     /// All server-side sources: `(path, text)` for `core/src/*.rs` and
     /// `hw/src/*.rs`.
     pub server_files: Vec<(String, String)>,
+    /// All codec sources: `(path, text)` for `proto/src/*.rs` (the
+    /// `casts` pass scans these plus the dispatcher).
+    pub proto_files: Vec<(String, String)>,
     /// `DESIGN.md`.
     pub design: String,
 }
@@ -69,22 +72,26 @@ impl Sources {
     /// Reads the real workspace rooted at `root`.
     pub fn load(root: &Path) -> io::Result<Sources> {
         let read = |rel: &str| fs::read_to_string(root.join(rel));
-        let mut server_files = Vec::new();
-        for dir in ["crates/core/src", "crates/hw/src"] {
+        let read_dir_sources = |dir: &str| -> io::Result<Vec<(String, String)>> {
             let mut entries: Vec<_> = fs::read_dir(root.join(dir))?
                 .filter_map(Result::ok)
                 .map(|e| e.path())
                 .filter(|p| p.extension().is_some_and(|x| x == "rs"))
                 .collect();
             entries.sort();
+            let mut out = Vec::new();
             for p in entries {
                 let rel = format!(
                     "{dir}/{}",
                     p.file_name().map(|n| n.to_string_lossy()).unwrap_or_default()
                 );
-                server_files.push((rel, fs::read_to_string(&p)?));
+                out.push((rel, fs::read_to_string(&p)?));
             }
-        }
+            Ok(out)
+        };
+        let mut server_files = read_dir_sources("crates/core/src")?;
+        server_files.extend(read_dir_sources("crates/hw/src")?);
+        let proto_files = read_dir_sources("crates/proto/src")?;
         Ok(Sources {
             request: read("crates/proto/src/request.rs")?,
             event: read("crates/proto/src/event.rs")?,
@@ -92,6 +99,7 @@ impl Sources {
             alib_error: read("crates/alib/src/error.rs")?,
             dispatch: read("crates/core/src/dispatch.rs")?,
             server_files,
+            proto_files,
             design: read("DESIGN.md")?,
         })
     }
@@ -751,6 +759,68 @@ pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
     out
 }
 
+/// Narrowing casts the `casts` pass flags: `value as <ty>` can silently
+/// truncate, and in wire paths a wrapped length or tag desynchronises the
+/// codec on the other end.
+const NARROWING_CASTS: [&str; 6] = [" as u8", " as u16", " as u32", " as i8", " as i16", " as i32"];
+
+/// Cast lint: no unchecked `as` integer narrowing in the wire paths
+/// (`crates/proto/src/*.rs` and `crates/core/src/dispatch.rs`).
+///
+/// Lossless conversions should use `From`; fallible ones `TryFrom` with
+/// an explicit policy. Justified casts (fieldless-enum discriminants,
+/// values bounded by construction) carry a `// cast-ok: <reason>` marker
+/// on the same line. Test modules are skipped.
+pub fn lint_casts(wire_files: &[(String, String)]) -> Vec<Finding> {
+    const PASS: &str = "casts";
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    for (path, text) in wire_files {
+        let mut pending_cfg_test = false;
+        for (n, line) in text.lines().enumerate() {
+            let t = line.trim();
+            if t.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+                continue;
+            }
+            if pending_cfg_test {
+                if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                    // Test module: everything below is test code.
+                    break;
+                }
+                if !t.starts_with("#[") {
+                    pending_cfg_test = false;
+                }
+            }
+            if line.contains("cast-ok:") {
+                continue;
+            }
+            let code = strip_comment(line);
+            for pat in NARROWING_CASTS {
+                for (i, _) in code.match_indices(pat) {
+                    // Require a token boundary after the type name so
+                    // ` as u32` does not also match ` as u32x4` etc.
+                    let end = i + pat.len();
+                    if code[end..].chars().next().is_some_and(is_ident) {
+                        continue;
+                    }
+                    out.push(finding(
+                        PASS,
+                        path,
+                        format!(
+                            "line {}: unchecked narrowing `{}` — use From/TryFrom or \
+                             annotate `// cast-ok: <reason>`",
+                            n + 1,
+                            pat.trim_start(),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -767,6 +837,9 @@ pub fn run_all(s: &Sources) -> Vec<Finding> {
     out.extend(lint_metrics_names(&s.server_files, &s.design));
     out.extend(lint_unwrap(&s.server_files));
     out.extend(lint_lock_order(&s.server_files));
+    let mut wire_files = s.proto_files.clone();
+    wire_files.push((DISPATCH_RS.to_string(), s.dispatch.clone()));
+    out.extend(lint_casts(&wire_files));
     out
 }
 
@@ -1102,6 +1175,41 @@ impl std::fmt::Display for ErrorCode {
         let left = apply_allowlist(findings, &allow);
         assert_eq!(left.len(), 1);
         assert!(left[0].message.contains("Pong"));
+    }
+
+    #[test]
+    fn casts_lint_flags_unmarked_narrowing_only() {
+        let files = vec![(
+            "crates/proto/src/fixture.rs".to_string(),
+            "fn f(n: usize, b: u8) -> u32 {\n\
+             \x20   let a = n as u32;\n\
+             \x20   let b2 = u32::from(b);\n\
+             \x20   let c = n as u32; // cast-ok: bounded by MAX_FRAME_PAYLOAD\n\
+             \x20   let d = n as u64;\n\
+             \x20   a + b2 + c + (d as u32)\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn g(n: usize) -> u8 { n as u8 }\n\
+             }\n"
+                .to_string(),
+        )];
+        let findings = lint_casts(&files);
+        // Lines 2 and 6 are flagged; the cast-ok line, the widening to
+        // u64, and the test module are not.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.pass == "casts"));
+        assert!(findings[0].message.contains("line 2"));
+        assert!(findings[1].message.contains("line 6"));
+    }
+
+    #[test]
+    fn casts_lint_respects_token_boundaries() {
+        let files = vec![(
+            "crates/proto/src/fixture.rs".to_string(),
+            "fn f(v: V) -> u32x4 { v as u32x4 }\n".to_string(),
+        )];
+        assert!(lint_casts(&files).is_empty());
     }
 
     /// The real workspace must lint clean: this is the tree the passes

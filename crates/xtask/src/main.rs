@@ -1,8 +1,22 @@
-//! `cargo run -p xtask -- lint`: run the workspace consistency lints
-//! and exit non-zero if any finding survives the allowlist.
+//! Workspace automation.
+//!
+//! - `cargo run -p xtask -- lint` — the workspace consistency lints;
+//!   exits non-zero if any finding survives the allowlist.
+//! - `cargo run -p xtask -- explore [--budget N] [--depth N] [--seed-topology NAME]`
+//!   — the bounded model checker over the queue/activation state machine;
+//!   exits non-zero and prints a minimized, replayable counterexample on
+//!   an invariant violation.
+//! - `cargo run -p xtask -- fuzz [--iters N] [--seed N] [--corpus-out DIR]`
+//!   — the structure-aware wire-codec fuzzer; exits non-zero on a
+//!   property violation, and with `--corpus-out` (re)writes the seed
+//!   corpus plus any failing inputs as corpus files.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use da_modelcheck::explore::{explore, Config};
+use da_modelcheck::fuzz::{fuzz, seed_corpus, FuzzConfig};
+use da_modelcheck::Seed;
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/crates/xtask.
@@ -14,17 +28,22 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => {}
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("explore") => run_explore(&args[1..]),
+        Some("fuzz") => run_fuzz(&args[1..]),
         other => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | explore | fuzz> [options]");
             if let Some(cmd) = other {
                 eprintln!("unknown command: {cmd}");
             }
-            return ExitCode::FAILURE;
+            ExitCode::FAILURE
         }
     }
+}
+
+fn run_lint() -> ExitCode {
     let root = workspace_root();
     match xtask::run_workspace_lint(&root) {
         Ok(findings) if findings.is_empty() => {
@@ -43,4 +62,139 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses `--flag value` pairs from `args`; returns `None` (after
+/// printing a diagnostic) on an unknown flag or missing/bad value.
+fn parse_flags(args: &[String], known: &[&str]) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !known.contains(&flag.as_str()) {
+            eprintln!("unknown option: {flag} (expected one of {})", known.join(", "));
+            return None;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("option {flag} needs a value");
+            return None;
+        };
+        out.push((flag.clone(), value.clone()));
+    }
+    Some(out)
+}
+
+fn run_explore(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args, &["--budget", "--depth", "--seed-topology"]) else {
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = Config::default();
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--budget" => match value.parse() {
+                Ok(n) => cfg.max_states = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--depth" => match value.parse() {
+                Ok(n) => cfg.max_depth = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            _ => match Seed::ALL.iter().find(|s| s.name() == value) {
+                Some(&s) => cfg.seeds = vec![s],
+                None => return bad_value(&flag, &value),
+            },
+        }
+    }
+    let report = explore(&cfg);
+    for run in &report.seeds {
+        println!(
+            "explore[{}]: {} states, {} transitions, depth {} reached",
+            run.seed.name(),
+            run.states,
+            run.transitions,
+            run.depth_reached,
+        );
+    }
+    println!(
+        "explore: {} states total in {:.2}s ({:.0} states/sec), {} replayed actions",
+        report.states(),
+        report.elapsed.as_secs_f64(),
+        report.states_per_sec(),
+        report.replayed_actions(),
+    );
+    let counterexamples = report.counterexamples();
+    if counterexamples.is_empty() {
+        println!("explore: all invariants hold within the budget");
+        ExitCode::SUCCESS
+    } else {
+        for cx in counterexamples {
+            eprintln!("{}", cx.render());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_fuzz(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args, &["--iters", "--seed", "--corpus-out"]) else {
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = FuzzConfig::default();
+    let mut corpus_out: Option<PathBuf> = None;
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--iters" => match value.parse() {
+                Ok(n) => cfg.iters = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            _ => corpus_out = Some(PathBuf::from(value)),
+        }
+    }
+    let report = fuzz(&cfg);
+    println!(
+        "fuzz: {} iterations (seed {}): {} round-trips, {} mutations ({} rejected), \
+         {} dispatches",
+        report.iters, cfg.seed, report.roundtrips, report.mutations, report.rejected,
+        report.dispatches,
+    );
+    if let Some(dir) = corpus_out {
+        if let Err(e) = write_corpus(&dir, &report.failures) {
+            eprintln!("fuzz: cannot write corpus to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.clean() {
+        println!("fuzz: all properties hold");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.failures {
+            eprintln!("fuzz[{}]: {}", f.name, f.detail);
+        }
+        eprintln!("fuzz: {} violation(s)", report.failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Writes the deterministic seed corpus plus any fuzzer-found failing
+/// inputs into `dir` as corpus-format files.
+fn write_corpus(dir: &Path, failures: &[da_modelcheck::fuzz::Failure]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0usize;
+    for (name, bytes) in seed_corpus() {
+        std::fs::write(dir.join(name), bytes)?;
+        written += 1;
+    }
+    for (i, f) in failures.iter().enumerate() {
+        std::fs::write(dir.join(format!("fail-{}-{i}.bin", f.name)), &f.corpus_bytes)?;
+        written += 1;
+    }
+    println!("fuzz: wrote {written} corpus file(s) to {}", dir.display());
+    Ok(())
+}
+
+fn bad_value(flag: &str, value: &str) -> ExitCode {
+    eprintln!("bad value for {flag}: {value}");
+    ExitCode::FAILURE
 }

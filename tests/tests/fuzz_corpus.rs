@@ -1,0 +1,80 @@
+//! Replays the checked-in wire-codec fuzz corpus (`tests/corpus/*.bin`).
+//!
+//! Every corpus file is a self-describing `[kind, expect, payload..]`
+//! record (see `da_modelcheck::fuzz::corpus`): `kind` selects the frame
+//! body type (0 = raw frame stream, 1..=6 = a `FrameKind` wire tag) and
+//! `expect` says whether the payload must round-trip byte-identically
+//! (`EXPECT_OK`) or merely decode totally — no panic, no reading past
+//! the declared length (`EXPECT_TOTAL`).
+//!
+//! The corpus is regenerated with
+//! `cargo run --release -p xtask -- fuzz --corpus-out tests/corpus`;
+//! any fuzzer-found failing input lands here as `fail-*.bin` and keeps
+//! replaying forever as a regression check.
+
+use std::path::PathBuf;
+
+use da_modelcheck::fuzz::{corpus, seed_corpus};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Every `*.bin` under `tests/corpus/` replays without a property
+/// violation.
+#[test]
+fn every_corpus_file_replays_clean() {
+    let mut names: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 24,
+        "corpus unexpectedly small: {} files (regenerate with \
+         `cargo run --release -p xtask -- fuzz --corpus-out tests/corpus`)",
+        names.len()
+    );
+    let mut failures = Vec::new();
+    for path in &names {
+        let bytes = std::fs::read(path).expect("readable corpus file");
+        if let Err(e) = corpus::replay(&bytes) {
+            failures.push(format!("{}: {e}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "corpus replay failures:\n{}", failures.join("\n"));
+}
+
+/// The checked-in seed corpus matches what `seed_corpus()` generates
+/// today — codec changes that alter the wire image show up as a diff
+/// here, prompting a deliberate corpus regeneration.
+#[test]
+fn checked_in_seed_corpus_matches_generator() {
+    let dir = corpus_dir();
+    for (name, bytes) in seed_corpus() {
+        let on_disk = std::fs::read(dir.join(&name))
+            .unwrap_or_else(|e| panic!("missing seed corpus file {name}: {e}"));
+        assert_eq!(
+            on_disk, bytes,
+            "seed corpus file {name} is stale (regenerate with \
+             `cargo run --release -p xtask -- fuzz --corpus-out tests/corpus`)"
+        );
+    }
+}
+
+/// A corrupted round-trip entry is rejected by the replayer (the replay
+/// oracle itself is live, not vacuously passing).
+#[test]
+fn replay_rejects_a_corrupted_expect_ok_entry() {
+    let (name, mut bytes) = seed_corpus()
+        .into_iter()
+        .find(|(n, _)| n == "rt-request.bin")
+        .expect("seed corpus contains rt-request.bin");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    assert!(
+        corpus::replay(&bytes).is_err(),
+        "corrupting the tail of {name} should break the round-trip property"
+    );
+}

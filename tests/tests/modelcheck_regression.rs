@@ -1,0 +1,99 @@
+//! Regression traces pinned from the bounded model checker.
+//!
+//! Each test replays a concrete action trace through
+//! `da_modelcheck::explore::replay`, which runs the full oracle
+//! (`core::validate` structural invariants plus the temporal T1
+//! "a non-`Started` queue never advances during a tick" check from
+//! DESIGN.md §11) after every step. The traces here are the minimized
+//! counterexamples and near-miss edges the checker surfaced while this
+//! harness was built; they must stay pinned even if exploration budgets
+//! or seed topologies change.
+
+use da_modelcheck::explore::{replay, Fault};
+use da_modelcheck::{Action, Root, Seed};
+
+/// The minimized T1 counterexample: start the queue, unmap the LOUD
+/// (server-pausing the queue, paper §5.5), then tick. With the §5.5
+/// guard simulated away (`Fault::AdvanceServerPaused`) the paused queue
+/// advances during the tick and the temporal oracle must flag it at
+/// exactly the `Tick` step.
+#[test]
+fn minimal_t1_counterexample_is_caught() {
+    let trace = [Action::Start(Root::A), Action::Unmap(Root::A), Action::Tick];
+    let (_, breach) = replay(Seed::Solo, Fault::AdvanceServerPaused, &trace);
+    let breach = breach.expect("faulted engine must violate T1 on this trace");
+    assert_eq!(breach.step, 2, "the violation lands on the Tick step");
+    assert!(
+        breach.breaches.iter().any(|b| b.invariant == "T1"),
+        "expected a T1 breach, got: {:?}",
+        breach.breaches
+    );
+}
+
+/// The same trace on the real engine is clean: the §5.5 guard holds and
+/// a `ServerPaused` queue is frozen across ticks.
+#[test]
+fn minimal_t1_trace_is_clean_without_the_fault() {
+    let trace = [Action::Start(Root::A), Action::Unmap(Root::A), Action::Tick];
+    let (_, breach) = replay(Seed::Solo, Fault::None, &trace);
+    assert!(breach.is_none(), "real engine breached: {breach:?}");
+}
+
+/// Server pause arriving while a `CoBegin` bracket is still open: the
+/// queue holds an unbalanced group when the LOUD is unmapped. The
+/// freeze must preserve the half-built group; remapping and closing the
+/// bracket later must leave every invariant intact. This is the edge
+/// the ISSUE singled out for pinning.
+#[test]
+fn server_pause_during_open_cobegin_stays_clean() {
+    let trace = [
+        Action::EnqueueOpen(Root::A),
+        Action::Start(Root::A),
+        Action::Unmap(Root::A),
+        Action::Tick,
+        Action::Tick,
+        Action::Map(Root::A),
+        Action::EnqueueClose(Root::A),
+        Action::Tick,
+        Action::Tick,
+    ];
+    let (_, breach) = replay(Seed::Solo, Fault::None, &trace);
+    assert!(breach.is_none(), "open-bracket server pause breached: {breach:?}");
+}
+
+/// Duet preemption soak: both roots contend for the exclusive-use
+/// speaker, so mapping B preempts A (server pause), and the preempted
+/// queue must stay frozen through ticks until A is raised back.
+#[test]
+fn duet_preemption_trace_is_clean() {
+    let trace = [
+        Action::Start(Root::A),
+        Action::Map(Root::B),
+        Action::Start(Root::B),
+        Action::Tick,
+        Action::Tick,
+        Action::Raise(Root::A),
+        Action::Tick,
+        Action::Stop(Root::A),
+        Action::Tick,
+    ];
+    let (_, breach) = replay(Seed::Duet, Fault::None, &trace);
+    assert!(breach.is_none(), "duet preemption trace breached: {breach:?}");
+}
+
+/// Manager-redirect soak: approvals outstanding when the manager
+/// connection drops must be cleaned up without tripping any invariant.
+#[test]
+fn manager_crash_with_pending_approvals_is_clean() {
+    let trace = [
+        Action::Unmap(Root::A),
+        Action::Map(Root::A),
+        Action::Tick,
+        Action::DisconnectManager,
+        Action::Tick,
+        Action::Start(Root::A),
+        Action::Tick,
+    ];
+    let (_, breach) = replay(Seed::Manager, Fault::None, &trace);
+    assert!(breach.is_none(), "manager crash trace breached: {breach:?}");
+}
