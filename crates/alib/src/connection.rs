@@ -36,6 +36,10 @@ pub struct WireStats {
     pub errors_received: u64,
     /// Payload bytes received.
     pub bytes_received: u64,
+    /// Blocking waits that gave up at their deadline.
+    pub timeouts: u64,
+    /// Times the transport reported the server connection closed.
+    pub disconnects: u64,
 }
 
 /// Largest data block sent in one `WriteSoundData` request.
@@ -159,10 +163,18 @@ impl Connection {
                 Ok(true)
             }
             Err(TransportError::Closed) => {
+                self.wire_stats.disconnects += 1;
                 Err(AlibError::Connection("server closed the connection".into()))
             }
             Err(e) => Err(AlibError::Connection(e.to_string())),
         }
+    }
+
+    /// Gives up on a blocking wait: counts the timeout and surfaces the
+    /// typed, retryable error.
+    fn timed_out(&mut self) -> AlibError {
+        self.wire_stats.timeouts += 1;
+        AlibError::Timeout
     }
 
     fn absorb(&mut self, frame: Frame) -> Result<(), AlibError> {
@@ -195,21 +207,29 @@ impl Connection {
 
     /// Waits for the reply to request `seq` (blocking on a request with a
     /// reply is tantamount to synchronizing with the server, §4.1).
+    ///
+    /// Polls with exponential backoff (1 ms doubling to 50 ms) up to
+    /// the connection's `timeout`, then surfaces the typed, *retryable*
+    /// [`AlibError::Timeout`] — a dead or wedged server never blocks
+    /// the caller forever (DESIGN.md §12).
     pub fn wait_reply(&mut self, seq: u32) -> Result<Reply, AlibError> {
         let deadline = Instant::now() + self.timeout;
+        let mut poll = Duration::from_millis(1);
         loop {
             if let Some(reply) = self.replies.remove(&seq) {
                 return Ok(reply);
             }
             if let Some(pos) = self.errors.iter().position(|(s, _)| *s == seq) {
-                let (s, error) = self.errors.remove(pos).expect("present");
-                return Err(AlibError::Server { seq: s, error });
+                if let Some((s, error)) = self.errors.remove(pos) {
+                    return Err(AlibError::Server { seq: s, error });
+                }
             }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                return Err(AlibError::Timeout);
+                return Err(self.timed_out());
             }
-            self.pump_one(left.min(Duration::from_millis(50)))?;
+            self.pump_one(left.min(poll))?;
+            poll = (poll * 2).min(Duration::from_millis(50));
         }
     }
 
@@ -259,13 +279,18 @@ impl Connection {
         let deadline = Instant::now() + timeout;
         let mut stash = VecDeque::new();
         let result = loop {
-            if let Some(pos) = self.events.iter().position(&mut pred) {
-                break Ok(self.events.remove(pos).expect("present"));
+            if let Some(ev) = self
+                .events
+                .iter()
+                .position(&mut pred)
+                .and_then(|pos| self.events.remove(pos))
+            {
+                break Ok(ev);
             }
             stash.append(&mut self.events);
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                break Err(AlibError::Timeout);
+                break Err(self.timed_out());
             }
             self.pump_one(left.min(Duration::from_millis(50)))?;
         };

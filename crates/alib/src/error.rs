@@ -44,6 +44,12 @@ impl AlibError {
     /// error code; `xtask lint` checks the table stays exhaustive when
     /// `proto::error` grows.
     pub fn retryable(&self) -> bool {
+        // A timed-out wait is inherently transient: the server may be
+        // slow, wedged briefly, or the deadline too tight — the same
+        // request can succeed on a later attempt (DESIGN.md §12).
+        if matches!(self, AlibError::Timeout) {
+            return true;
+        }
         let Some(code) = self.code() else { return false };
         match code {
             // Transient contention: the resource can free up by itself.

@@ -13,7 +13,7 @@ use crate::queue::{CommandQueue, TypedQueue};
 use crate::sound::{Catalogs, Sound};
 use crate::vdevice::{HwBinding, VDev};
 use crate::wire::Wire;
-use crossbeam::channel::Sender;
+use crossbeam::channel::{Sender, TrySendError};
 use da_hw::registry::{DeviceKind, Hardware, HwSlot, HwSpec};
 use da_proto::event::{Event, EventMask};
 use da_proto::ids::{Atom, ClientId, DeviceId, ResourceId};
@@ -32,9 +32,25 @@ pub enum ServerMsg {
     Event(Event),
     /// An asynchronous error for request `seq`.
     Error(u32, ProtoError),
-    /// The server is closing this connection.
-    Shutdown,
+    /// The server is closing this connection, with the reason why.
+    Shutdown(DisconnectReason),
 }
+
+/// Why the server is closing a connection (DESIGN.md §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectReason {
+    /// The whole server is shutting down.
+    ServerShutdown,
+    /// The client stopped draining replies and its bounded outbound
+    /// channel filled: after low-priority events were already dropped,
+    /// a reply or error could not be queued.
+    SlowClient,
+}
+
+/// Depth of each client's bounded outbound channel (frames of
+/// reply/event/error backlog a client may accumulate before the
+/// slow-client policy engages; DESIGN.md §12).
+pub const CLIENT_CHANNEL_DEPTH: usize = 256;
 
 /// Normalised key for event selections and properties.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +80,9 @@ pub struct ClientState {
     /// Wire counters shared with the connection's reader/writer threads
     /// (per-client accounting for `ListClients`).
     pub counters: std::sync::Arc<da_telemetry::ConnCounters>,
+    /// Set when the slow-client policy decides to evict this client;
+    /// the connection's reader thread polls it and tears down.
+    pub kicked: std::sync::Arc<std::sync::atomic::AtomicBool>,
 }
 
 /// Aggregate engine statistics (the E3 CPU-fraction experiment reads
@@ -232,7 +251,14 @@ impl Core {
         let client = ClientId(id);
         self.clients.insert(
             id,
-            ClientState { id: client, name, tx, selections: HashMap::new(), counters },
+            ClientState {
+                id: client,
+                name,
+                tx,
+                selections: HashMap::new(),
+                counters,
+                kicked: Default::default(),
+            },
         );
         self.tel.metrics.clients_total.inc();
         self.tel.metrics.clients_connected.set(self.clients.len() as i64);
@@ -254,7 +280,19 @@ impl Core {
         for root in roots {
             self.destroy_loud(root);
         }
-        self.sounds.retain(|_, s| s.owner != client);
+        // Sounds die with their owner — and so must their property
+        // tables, which `DeleteSound` removes but a plain `retain` on
+        // the sound map would leak.
+        let dead_sounds: Vec<u32> = self
+            .sounds
+            .iter()
+            .filter(|(_, s)| s.owner == client)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead_sounds {
+            self.sounds.remove(&id);
+            self.properties.remove(&ResKey(2, id));
+        }
         if self.redirect_client == Some(client.0) {
             self.redirect_client = None;
             // Approve anything the departed manager was sitting on.
@@ -267,10 +305,18 @@ impl Core {
                 self.raise_loud_now(loud);
             }
         }
-        for cs in self.clients.values_mut() {
-            cs.selections.retain(|_, _| true);
-        }
         self.clients.remove(&client.0);
+        // Surviving clients may hold event selections keyed on the
+        // resources that just died with the departed client; sweep them
+        // so nothing references a destroyed id (invariant V13).
+        for cs in self.clients.values_mut() {
+            cs.selections.retain(|key, _| match key.0 {
+                0 => self.louds.contains_key(&key.1),
+                1 => self.vdevs.contains_key(&key.1),
+                2 => self.sounds.contains_key(&key.1),
+                _ => (key.1 as usize) < self.hw.device_count(),
+            });
+        }
         self.tel.metrics.clients_connected.set(self.clients.len() as i64);
         self.recompute_activation();
     }
@@ -284,7 +330,7 @@ impl Core {
         for cs in self.clients.values() {
             if let Some(mask) = cs.selections.get(&key) {
                 if mask.contains(cat) {
-                    let _ = cs.tx.send(ServerMsg::Event(event.clone()));
+                    self.queue_event(cs, event.clone());
                 }
             }
         }
@@ -294,15 +340,53 @@ impl Core {
     pub fn send_manager_event(&self, event: Event) {
         if let Some(mgr) = self.redirect_client {
             if let Some(cs) = self.clients.get(&mgr) {
-                let _ = cs.tx.send(ServerMsg::Event(event));
+                self.queue_event(cs, event);
             }
         }
     }
 
-    /// Sends an event directly to one client regardless of selections.
+    /// Queues an event on one client's bounded channel. Events are the
+    /// low-priority tier of the slow-client policy (DESIGN.md §12): a
+    /// full channel drops the event (counted, never blocking — these
+    /// sends run under the core lock, so blocking here would stall the
+    /// engine for every other client).
+    fn queue_event(&self, cs: &ClientState, event: Event) {
+        match cs.tx.try_send(ServerMsg::Event(event)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                da_telemetry::ConnCounters::bump(&cs.counters.events_dropped, 1);
+                self.tel.metrics.events_dropped_total.inc();
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Sends a message directly to one client regardless of selections.
+    ///
+    /// Replies and errors are the high-priority tier: a client whose
+    /// channel is still full after events have been dropped is beyond
+    /// coalescing, so it is marked for eviction (its reader thread
+    /// polls the flag and tears the connection down with
+    /// [`DisconnectReason::SlowClient`]). Never blocks: callers hold
+    /// the core lock.
     pub fn send_to_client(&self, client: ClientId, msg: ServerMsg) {
-        if let Some(cs) = self.clients.get(&client.0) {
-            let _ = cs.tx.send(msg);
+        let Some(cs) = self.clients.get(&client.0) else { return };
+        match msg {
+            ServerMsg::Event(event) => self.queue_event(cs, event),
+            ServerMsg::Shutdown(_) => {
+                // Best-effort farewell; the connection is closing
+                // either way.
+                let _ = cs.tx.try_send(msg);
+            }
+            reply_or_error => match cs.tx.try_send(reply_or_error) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    if !cs.kicked.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                        self.tel.metrics.clients_evicted_total.inc();
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            },
         }
     }
 
@@ -333,6 +417,15 @@ impl Core {
         out
     }
 
+    /// Removes every client's event selection on a resource being
+    /// destroyed: no selection may outlive its resource (invariant
+    /// V13), whether it dies by explicit destroy or owner disconnect.
+    pub fn purge_selections(&mut self, key: ResKey) {
+        for cs in self.clients.values_mut() {
+            cs.selections.remove(&key);
+        }
+    }
+
     /// Destroys a LOUD subtree: children, devices, wires, queue.
     pub fn destroy_loud(&mut self, loud: u32) {
         if !self.louds.contains_key(&loud) {
@@ -361,6 +454,7 @@ impl Core {
             self.pending_raises.retain(|&r| r != loud);
         }
         self.properties.remove(&ResKey(0, loud));
+        self.purge_selections(ResKey(0, loud));
         self.louds.remove(&loud);
         if is_root {
             self.recompute_activation();
@@ -390,6 +484,7 @@ impl Core {
             }
         }
         self.properties.remove(&ResKey(1, vdev));
+        self.purge_selections(ResKey(1, vdev));
     }
 
     // ---- mapping: virtual → physical (paper §5.3) ---------------------------

@@ -660,6 +660,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
             }
             core.sounds.remove(&id.0);
             core.properties.remove(&ResKey(2, id.0));
+            core.purge_selections(ResKey(2, id.0));
             Ok(None)
         }
         Request::WriteSoundData { id, data, eof } => {

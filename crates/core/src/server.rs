@@ -9,12 +9,11 @@
 //! the 1991 prototype — run as state machines inside the engine tick,
 //! which makes the streaming guarantees deterministic (see DESIGN.md).
 
-use crate::core::{Core, ServerConfig, ServerMsg};
+use crate::core::{Core, DisconnectReason, ServerConfig, ServerMsg, CLIENT_CHANNEL_DEPTH};
 use crate::dispatch::dispatch;
 use crate::engine;
-use da_proto::transport::{pipe_pair, Duplex, TransportError};
-use bytes::Bytes;
-use crossbeam::channel::unbounded;
+use da_proto::transport::{pipe_pair, Duplex, TransportError, TxHalf};
+use crossbeam::channel::bounded;
 use da_hw::clock::Pacer;
 use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
 use da_proto::{Request, SetupReply, SetupRequest, WireRead, WireWrite};
@@ -252,11 +251,14 @@ fn spawn_connection(
     let core = Arc::clone(core);
     let shutdown = Arc::clone(shutdown);
     let threads2 = Arc::clone(threads);
-    let handle = std::thread::Builder::new()
+    let spawned = std::thread::Builder::new()
         .name("da-client".into())
-        .spawn(move || serve_connection(core, shutdown, threads2, duplex))
-        .expect("spawn client thread");
-    threads.lock().push(handle);
+        .spawn(move || serve_connection(core, shutdown, threads2, duplex));
+    // Spawn failure (resource exhaustion) refuses the connection rather
+    // than killing the server.
+    if let Ok(handle) = spawned {
+        threads.lock().push(handle);
+    }
 }
 
 fn serve_connection(
@@ -283,15 +285,19 @@ fn serve_connection(
             Err(_) => return,
         }
     };
-    let (msg_tx, msg_rx) = unbounded::<ServerMsg>();
+    // Bounded: a client that stops reading exerts backpressure on its
+    // own channel only; the slow-client policy (DESIGN.md §12) drops
+    // its events and eventually evicts it, never blocking the core.
+    let (msg_tx, msg_rx) = bounded::<ServerMsg>(CLIENT_CHANNEL_DEPTH);
     // Shared between the reader loop, the writer thread, and the core's
     // client table (for `ListClients`).
     let counters = Arc::new(da_telemetry::ConnCounters::default());
-    let (client, id_base, id_mask, wire_metrics) = {
+    let (client, id_base, id_mask, wire_metrics, kicked) = {
         let mut core = core.lock();
         let (client, id_base, id_mask) =
             core.add_client_with_counters(setup.client_name.clone(), msg_tx, Arc::clone(&counters));
-        (client, id_base, id_mask, core.tel.metrics.clone())
+        let kicked = Arc::clone(&core.clients[&client.0].kicked);
+        (client, id_base, id_mask, core.tel.metrics.clone(), kicked)
     };
     let reply = SetupReply {
         protocol_major: da_proto::PROTOCOL_MAJOR,
@@ -313,49 +319,56 @@ fn serve_connection(
         let shutdown = Arc::clone(&shutdown);
         let counters = Arc::clone(&counters);
         let metrics = wire_metrics.clone();
-        std::thread::Builder::new()
-            .name("da-writer".into())
-            .spawn(move || {
-                loop {
-                    match msg_rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(ServerMsg::Shutdown) => break,
-                        Ok(msg) => {
-                            let slot = match &msg {
-                                ServerMsg::Reply(..) => Some(&counters.replies),
-                                ServerMsg::Event(..) => Some(&counters.events),
-                                ServerMsg::Error(..) => Some(&counters.errors),
-                                ServerMsg::Shutdown => None,
-                            };
-                            let frame = encode_msg(msg);
-                            if let Some(slot) = slot {
-                                da_telemetry::ConnCounters::bump(slot, 1);
-                                da_telemetry::ConnCounters::bump(
-                                    &counters.bytes_out,
-                                    frame.payload.len() as u64,
-                                );
-                                metrics.wire_frames_out_total.inc();
-                                metrics.wire_bytes_out_total.add(frame.payload.len() as u64);
-                            }
-                            if tx.send(&frame).is_err() {
-                                break;
-                            }
+        std::thread::Builder::new().name("da-writer".into()).spawn(move || {
+            loop {
+                match msg_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(msg) => {
+                        let last = matches!(msg, ServerMsg::Shutdown(_));
+                        if !emit_msg(&mut tx, &counters, &metrics, msg) || last {
+                            break;
                         }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
-                        }
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            // Server shutdown can race replies already
+                            // queued on this channel; drain them before
+                            // exiting so nothing queued is ever lost.
+                            while let Ok(msg) = msg_rx.try_recv() {
+                                let last = matches!(msg, ServerMsg::Shutdown(_));
+                                if !emit_msg(&mut tx, &counters, &metrics, msg) || last {
+                                    break;
+                                }
+                            }
+                            break;
+                        }
+                    }
+                    // The shim only reports disconnection once the
+                    // channel is drained, so nothing is lost here.
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                 }
-            })
-            .expect("spawn writer thread")
+            }
+        })
     };
-    threads.lock().push(writer);
+    match writer {
+        Ok(handle) => threads.lock().push(handle),
+        Err(_) => {
+            // No writer means no replies: refuse the connection.
+            core.lock().remove_client(client);
+            return;
+        }
+    }
 
-    // Reader loop: decode and dispatch requests.
+    // Reader loop: decode and dispatch requests. `farewell` is the
+    // typed reason sent to the client when *we* end the connection;
+    // `None` means the peer vanished and there is nobody to tell.
+    let mut farewell = None;
     loop {
         if shutdown.load(Ordering::Relaxed) {
+            farewell = Some(DisconnectReason::ServerShutdown);
+            break;
+        }
+        if kicked.load(Ordering::Relaxed) {
+            farewell = Some(DisconnectReason::SlowClient);
             break;
         }
         match rx.recv(Some(Duration::from_millis(100))) {
@@ -400,7 +413,40 @@ fn serve_connection(
             Err(TransportError::Closed) | Err(_) => break,
         }
     }
-    core.lock().remove_client(client);
+    {
+        let mut core = core.lock();
+        if let Some(reason) = farewell {
+            // Best-effort typed notice; queued FIFO behind any replies
+            // still in flight, and the writer exits after sending it.
+            core.send_to_client(client, ServerMsg::Shutdown(reason));
+        }
+        core.remove_client(client);
+    }
+}
+
+/// Encodes and sends one queued message on the writer thread, keeping
+/// the per-connection and server wire counters in step. Returns whether
+/// the transport accepted it.
+fn emit_msg(
+    tx: &mut Box<dyn TxHalf>,
+    counters: &da_telemetry::ConnCounters,
+    metrics: &crate::telem::ServerMetrics,
+    msg: ServerMsg,
+) -> bool {
+    let slot = match &msg {
+        ServerMsg::Reply(..) => Some(&counters.replies),
+        ServerMsg::Event(..) => Some(&counters.events),
+        ServerMsg::Error(..) => Some(&counters.errors),
+        ServerMsg::Shutdown(_) => None,
+    };
+    let frame = encode_msg(msg);
+    if let Some(slot) = slot {
+        da_telemetry::ConnCounters::bump(slot, 1);
+        da_telemetry::ConnCounters::bump(&counters.bytes_out, frame.payload.len() as u64);
+        metrics.wire_frames_out_total.inc();
+        metrics.wire_bytes_out_total.add(frame.payload.len() as u64);
+    }
+    tx.send(&frame).is_ok()
 }
 
 fn encode_msg(msg: ServerMsg) -> Frame {
@@ -422,6 +468,18 @@ fn encode_msg(msg: ServerMsg) -> Frame {
             e.write(&mut w);
             Frame { kind: FrameKind::Error, payload: w.finish() }
         }
-        ServerMsg::Shutdown => Frame { kind: FrameKind::Error, payload: Bytes::new() },
+        ServerMsg::Shutdown(reason) => {
+            // The farewell rides the error channel with sequence 0
+            // (never a live request), so old clients fail soft and new
+            // ones can surface the reason.
+            let detail = match reason {
+                DisconnectReason::ServerShutdown => "server shutting down",
+                DisconnectReason::SlowClient => "evicted: outbound channel full (slow client)",
+            };
+            let mut w = WireWriter::new();
+            w.u32(0);
+            da_proto::ProtoError::new(da_proto::ErrorCode::BadAccess, 0, detail).write(&mut w);
+            Frame { kind: FrameKind::Error, payload: w.finish() }
+        }
     }
 }

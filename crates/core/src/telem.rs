@@ -71,6 +71,10 @@ pub struct ServerMetrics {
     pub wire_frames_in_total: Counter,
     /// Reply/event/error frames sent, all connections.
     pub wire_frames_out_total: Counter,
+    /// Events dropped because a client's bounded channel was full.
+    pub events_dropped_total: Counter,
+    /// Clients evicted by the slow-client policy.
+    pub clients_evicted_total: Counter,
     // -- hardware ---------------------------------------------------------
     /// Speaker-reported underrun frames, all speakers (mirrored).
     pub speaker_underrun_frames_total: Counter,
@@ -107,6 +111,8 @@ impl ServerMetrics {
             wire_bytes_out_total: counter!(reg, "wire_bytes_out_total"),
             wire_frames_in_total: counter!(reg, "wire_frames_in_total"),
             wire_frames_out_total: counter!(reg, "wire_frames_out_total"),
+            events_dropped_total: counter!(reg, "events_dropped_total"),
+            clients_evicted_total: counter!(reg, "clients_evicted_total"),
             speaker_underrun_frames_total: counter!(reg, "speaker_underrun_frames_total"),
             dsp_convert_ns: histogram!(reg, "dsp_convert_ns"),
             dsp_mix_ns: histogram!(reg, "dsp_mix_ns"),

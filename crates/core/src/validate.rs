@@ -33,7 +33,7 @@ use std::fmt;
 /// One violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Catalog identifier (`V1` ... `V10`), matching DESIGN.md.
+    /// Catalog identifier (`V1` ... `V13`), matching DESIGN.md.
     pub invariant: &'static str,
     /// What exactly is inconsistent.
     pub detail: String,
@@ -69,6 +69,7 @@ pub fn check_all(core: &Core) -> Vec<Violation> {
     check_plan_cache(core, &mut out);
     check_worklists(core, &mut out);
     check_queue_parser(core, &mut out);
+    check_client_liveness(core, &mut out);
     out
 }
 
@@ -431,6 +432,71 @@ fn check_queue_parser(core: &Core, out: &mut Vec<Violation>) {
                     out,
                     "V12",
                     format!("queue of root {id} left a parseable head entry {head:?} unparsed"),
+                );
+            }
+        }
+    }
+}
+
+/// V13: no state references a departed client. Every resource's owner
+/// is a connected client, the audio-manager redirect names a connected
+/// client, and every event selection and property table is keyed on a
+/// resource that still exists. `Core::remove_client` must cascade —
+/// destroying the departed client's trees, sounds and redirections and
+/// sweeping survivors' selections — and this is the invariant that
+/// catches any missed sweep (the original bug was a no-op
+/// `selections.retain(|_, _| true)`).
+fn check_client_liveness(core: &Core, out: &mut Vec<Violation>) {
+    let live = |key: &crate::core::ResKey| match key.0 {
+        0 => core.louds.contains_key(&key.1),
+        1 => core.vdevs.contains_key(&key.1),
+        2 => core.sounds.contains_key(&key.1),
+        _ => (key.1 as usize) < core.hw.device_count(),
+    };
+    for (&id, l) in &core.louds {
+        if !core.clients.contains_key(&l.owner.0) {
+            violate(out, "V13", format!("loud {id} owned by departed client {}", l.owner.0));
+        }
+    }
+    for (&id, v) in &core.vdevs {
+        if !core.clients.contains_key(&v.owner.0) {
+            violate(out, "V13", format!("vdev {id} owned by departed client {}", v.owner.0));
+        }
+    }
+    for (&id, w) in &core.wires {
+        if !core.clients.contains_key(&w.owner.0) {
+            violate(out, "V13", format!("wire {id} owned by departed client {}", w.owner.0));
+        }
+    }
+    for (&id, s) in &core.sounds {
+        if !core.clients.contains_key(&s.owner.0) {
+            violate(out, "V13", format!("sound {id} owned by departed client {}", s.owner.0));
+        }
+    }
+    if let Some(mgr) = core.redirect_client {
+        if !core.clients.contains_key(&mgr) {
+            violate(out, "V13", format!("redirect held by departed client {mgr}"));
+        }
+    }
+    for key in core.properties.keys() {
+        if !live(key) {
+            violate(
+                out,
+                "V13",
+                format!("property table keyed on destroyed resource ({}, {})", key.0, key.1),
+            );
+        }
+    }
+    for (&cid, cs) in &core.clients {
+        for key in cs.selections.keys() {
+            if !live(key) {
+                violate(
+                    out,
+                    "V13",
+                    format!(
+                        "client {cid} holds a selection on destroyed resource ({}, {})",
+                        key.0, key.1
+                    ),
                 );
             }
         }

@@ -1,0 +1,148 @@
+//! Regression tests for client-disconnect cleanup: when a client
+//! departs, nothing in the core may keep referencing the resources that
+//! died with it (invariant V13, DESIGN.md §9).
+//!
+//! The original bug: `Core::remove_client` contained a no-op
+//! `selections.retain(|_, _| true)`, so a surviving client that had
+//! selected events on a departed client's LOUD kept a selection keyed
+//! on the destroyed resource forever — a per-disconnect memory leak and
+//! a dangling id waiting for reuse.
+
+use crossbeam::channel::unbounded;
+use da_proto::event::EventMask;
+use da_proto::ids::{LoudId, ResourceId, SoundId};
+use da_proto::request::Request;
+use da_proto::types::{Encoding, SoundType};
+use da_server::core::{Core, ResKey, ServerConfig};
+use da_server::dispatch::dispatch;
+use da_server::validate;
+
+/// Selections a survivor holds on a departed client's LOUD must be
+/// purged when that client (and hence the LOUD) goes away.
+#[test]
+fn survivor_selections_on_departed_resources_are_purged() {
+    let mut core = Core::new(ServerConfig::default());
+    let (atx, _arx) = unbounded();
+    let (btx, _brx) = unbounded();
+    let (a, abase, _) = core.add_client("departing".into(), atx);
+    let (b, _bbase, _) = core.add_client("survivor".into(), btx);
+
+    let loud = LoudId(abase + 1);
+    dispatch(&mut core, a, 0, Request::CreateLoud { id: loud, parent: None });
+    dispatch(&mut core, b, 1, Request::SelectEvents {
+        target: ResourceId::Loud(loud),
+        mask: EventMask::all(),
+    });
+    let key = ResKey(0, loud.0);
+    assert!(
+        core.clients[&b.0].selections.contains_key(&key),
+        "survivor's selection must be registered before the disconnect"
+    );
+
+    core.remove_client(a);
+
+    assert!(
+        !core.louds.contains_key(&loud.0),
+        "departed client's LOUD must be destroyed"
+    );
+    assert!(
+        !core.clients[&b.0].selections.contains_key(&key),
+        "survivor still holds a selection on the departed client's LOUD"
+    );
+    assert_eq!(validate::check_all(&core), Vec::new());
+}
+
+/// A selection the survivor holds on its *own* (still live) resources
+/// must survive another client's disconnect untouched.
+#[test]
+fn survivor_selections_on_live_resources_survive() {
+    let mut core = Core::new(ServerConfig::default());
+    let (atx, _arx) = unbounded();
+    let (btx, _brx) = unbounded();
+    let (a, _abase, _) = core.add_client("departing".into(), atx);
+    let (b, bbase, _) = core.add_client("survivor".into(), btx);
+
+    let own = LoudId(bbase + 1);
+    dispatch(&mut core, b, 0, Request::CreateLoud { id: own, parent: None });
+    dispatch(&mut core, b, 1, Request::SelectEvents {
+        target: ResourceId::Loud(own),
+        mask: EventMask::QUEUE,
+    });
+
+    core.remove_client(a);
+
+    assert_eq!(
+        core.clients[&b.0].selections.get(&ResKey(0, own.0)),
+        Some(&EventMask::QUEUE),
+        "selection on a live resource must not be swept"
+    );
+    assert_eq!(validate::check_all(&core), Vec::new());
+}
+
+/// Properties attached to a departed client's sounds must go with the
+/// sounds; `remove_client`'s sound sweep used to leak them.
+#[test]
+fn departed_sound_properties_are_purged() {
+    let mut core = Core::new(ServerConfig::default());
+    let (atx, _arx) = unbounded();
+    let (a, abase, _) = core.add_client("departing".into(), atx);
+
+    let sound = SoundId(abase + 0x200);
+    let stype = SoundType { encoding: Encoding::ULaw, sample_rate: 8000, channels: 1 };
+    dispatch(&mut core, a, 0, Request::CreateSound { id: sound, stype });
+    let name = dispatch_intern(&mut core, a, "TITLE");
+    dispatch(&mut core, a, 1, Request::ChangeProperty {
+        target: ResourceId::Sound(sound),
+        name,
+        type_: name,
+        value: b"voicemail greeting".to_vec(),
+    });
+    assert!(core.properties.contains_key(&ResKey(2, sound.0)));
+
+    core.remove_client(a);
+
+    assert!(
+        !core.sounds.contains_key(&sound.0),
+        "departed client's sound must be destroyed"
+    );
+    assert!(
+        !core.properties.contains_key(&ResKey(2, sound.0)),
+        "properties of the departed client's sound leaked"
+    );
+    assert_eq!(validate::check_all(&core), Vec::new());
+}
+
+/// The acceptance fixture for V13: re-break `remove_client` by seeding
+/// exactly the stale state the old code left behind, and assert the
+/// validate oracle catches it. If someone reverts the sweep, both the
+/// tests above and this invariant trip.
+#[test]
+fn v13_catches_rebroken_remove_client() {
+    let mut core = Core::new(ServerConfig::default());
+    let (atx, _arx) = unbounded();
+    let (btx, _brx) = unbounded();
+    let (a, abase, _) = core.add_client("departing".into(), atx);
+    let (b, _bbase, _) = core.add_client("survivor".into(), btx);
+
+    let loud = LoudId(abase + 1);
+    dispatch(&mut core, a, 0, Request::CreateLoud { id: loud, parent: None });
+    dispatch(&mut core, b, 1, Request::SelectEvents {
+        target: ResourceId::Loud(loud),
+        mask: EventMask::all(),
+    });
+    core.remove_client(a);
+    assert_eq!(validate::check_all(&core), Vec::new());
+
+    // Re-break: a selection keyed on the destroyed LOUD, as the no-op
+    // retain used to leave behind.
+    if let Some(cs) = core.clients.get_mut(&b.0) {
+        cs.selections.insert(ResKey(0, loud.0), EventMask::all());
+    }
+    let found: Vec<_> = validate::check_all(&core).into_iter().map(|v| v.invariant).collect();
+    assert!(found.contains(&"V13"), "expected a V13 violation, got {found:?}");
+}
+
+fn dispatch_intern(core: &mut Core, client: da_proto::ids::ClientId, name: &str) -> da_proto::ids::Atom {
+    dispatch(core, client, 99, Request::InternAtom { name: name.to_string() });
+    core.atoms.lookup(name).expect("atom interned")
+}

@@ -9,7 +9,7 @@
 //!
 //! The oracle, run after every transition:
 //!
-//! - every structural invariant of [`da_server::validate`] (V1–V12);
+//! - every structural invariant of [`da_server::validate`] (V1–V13);
 //! - **T1 (frozen queues, paper §5.5)**: a queue that was not `Started`
 //!   before an engine tick is byte-identical after it — state,
 //!   queue-relative time, pending depth and entry cursor all unchanged
@@ -262,7 +262,7 @@ pub fn fingerprint(core: &Core) -> u64 {
 /// One violated invariant, structural or temporal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Breach {
-    /// Catalog identifier: `V1`..`V12` (structural, DESIGN.md §9) or
+    /// Catalog identifier: `V1`..`V13` (structural, DESIGN.md §9) or
     /// `T1` (temporal, DESIGN.md §11).
     pub invariant: String,
     /// What exactly went wrong.

@@ -19,11 +19,17 @@
 //!   splicing), checking round-trip identity, panic-freedom on arbitrary
 //!   bytes, and `has_reply`/dispatch agreement.
 //!
-//! Both are exposed through the workspace automation binary:
-//! `cargo run -p xtask -- explore` and `cargo run -p xtask -- fuzz`.
+//! - [`soak`]: a concurrency soak that churns many short fault-injected
+//!   Alib client sessions (via [`da_proto::fault::FaultyDuplex`]) against
+//!   a live in-process server, asserting the validate catalog, engine
+//!   liveness, and complete disconnect cleanup after every wave.
+//!
+//! All are exposed through the workspace automation binary:
+//! `cargo run -p xtask -- explore`, `-- fuzz`, and `-- soak`.
 
 pub mod explore;
 pub mod fuzz;
+pub mod soak;
 pub mod world;
 
 pub use explore::{Breach, Config, Counterexample, Fault, Report};

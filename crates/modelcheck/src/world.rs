@@ -15,7 +15,8 @@
 
 use crossbeam::channel::{unbounded, Receiver};
 use da_proto::command::{DeviceCommand, QueueEntry};
-use da_proto::ids::{ClientId, LoudId, SoundId, VDeviceId, WireId};
+use da_proto::event::EventMask;
+use da_proto::ids::{ClientId, LoudId, ResourceId, SoundId, VDeviceId, WireId};
 use da_proto::request::Request;
 use da_proto::types::{Attribute, DeviceClass, QueueState, SoundType, WireType};
 use da_server::core::{Core, ServerConfig, ServerMsg};
@@ -218,8 +219,21 @@ impl World {
             }
             Seed::Manager => {
                 let (mtx, mrx) = unbounded();
-                let (mgr, _mbase, _mmask) = w.core.add_client("manager".into(), mtx);
+                let (mgr, mbase, _mmask) = w.core.add_client("manager".into(), mtx);
                 dispatch(&mut w.core, mgr, 0, Request::SetRedirect { enable: true });
+                // The manager owns a LOUD of its own, and the primary
+                // client selects events on it: `DisconnectManager` must
+                // then cascade the LOUD away *and* sweep the survivor's
+                // cross-client selection (invariant V13).
+                let mgr_loud = LoudId(mbase + 1);
+                dispatch(&mut w.core, mgr, 1, Request::CreateLoud {
+                    id: mgr_loud,
+                    parent: None,
+                });
+                w.req(Request::SelectEvents {
+                    target: ResourceId::Loud(mgr_loud),
+                    mask: EventMask::all(),
+                });
                 w.manager = Some(mgr);
                 w.manager_connected = true;
                 w.manager_rx = Some(mrx);

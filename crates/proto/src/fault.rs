@@ -1,0 +1,427 @@
+//! Deterministic fault injection for transports.
+//!
+//! The paper's architecture (§6.1) assumes clients misbehave, stall and
+//! vanish; this module makes those failures *reproducible*. A
+//! [`FaultPlan`] is a seeded schedule of transport faults; wrapping a
+//! [`Duplex`] with [`FaultyDuplex::wrap`] produces a transport that
+//! injects them at frame granularity while counting every injection in
+//! a shared [`FaultStats`]. The same seed always produces the same
+//! fault sequence, so a soak failure replays exactly (`xtask -- soak`).
+//!
+//! Fault kinds (DESIGN.md §12):
+//!
+//! - **short read** — `recv` spuriously reports a timeout even though
+//!   the peer may have sent data (an incomplete read that did not
+//!   assemble a frame);
+//! - **torn frame** — an outbound frame's payload is truncated at a
+//!   random byte; the frame itself stays well-formed, so the peer's
+//!   *body* decoder sees garbage and must answer with a protocol error,
+//!   not corrupt state;
+//! - **byte corruption** — one payload byte is bit-flipped in flight;
+//! - **delayed write** — the sender stalls a few milliseconds before
+//!   the frame goes out (a slow or congested peer);
+//! - **disconnect** — the transport fails mid-stream with
+//!   [`TransportError::Closed`] and both halves stay dead afterwards
+//!   (a crashed peer; further use keeps failing, as a real socket
+//!   would).
+
+use crate::codec::Frame;
+use crate::transport::{Duplex, RxHalf, TransportError, TxHalf};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One kind of injectable transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `recv` spuriously returns `Ok(None)` (no frame assembled).
+    ShortRead,
+    /// An outbound payload is truncated at a random byte.
+    TornFrame,
+    /// One outbound payload byte is bit-flipped.
+    CorruptByte,
+    /// The sender sleeps a few milliseconds before writing.
+    DelayWrite,
+    /// The transport fails with `Closed` and stays dead.
+    Disconnect,
+}
+
+impl FaultKind {
+    /// Every kind, in stats order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::ShortRead,
+        FaultKind::TornFrame,
+        FaultKind::CorruptByte,
+        FaultKind::DelayWrite,
+        FaultKind::Disconnect,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::ShortRead => 0,
+            FaultKind::TornFrame => 1,
+            FaultKind::CorruptByte => 2,
+            FaultKind::DelayWrite => 3,
+            FaultKind::Disconnect => 4,
+        }
+    }
+
+    /// Human-readable name (soak reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ShortRead => "short-read",
+            FaultKind::TornFrame => "torn-frame",
+            FaultKind::CorruptByte => "corrupt-byte",
+            FaultKind::DelayWrite => "delay-write",
+            FaultKind::Disconnect => "disconnect",
+        }
+    }
+}
+
+/// Shared injection counters, one per [`FaultKind`], bumped by both
+/// halves of a faulty transport. Clone the `Arc` before wrapping to
+/// observe the counts from the test harness.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    counts: [AtomicU64; 5],
+}
+
+impl FaultStats {
+    /// Injections of one kind so far.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections of every kind.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// How many distinct kinds have fired at least once.
+    pub fn kinds_seen(&self) -> usize {
+        self.counts.iter().filter(|c| c.load(Ordering::Relaxed) > 0).count()
+    }
+
+    fn bump(&self, kind: FaultKind) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A seeded fault schedule: per-kind rates in **per-mille** (a rate of
+/// 25 injects that fault on ~2.5% of opportunities), drawn from a
+/// deterministic xorshift64* stream. The plan is split per half when
+/// the transport is wrapped, so reader and writer threads never
+/// contend — and each half's sub-stream is itself deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-mille injection rate per kind, indexed by `FaultKind::index`.
+    rates: [u16; 5],
+}
+
+impl FaultPlan {
+    /// The default plan: every kind enabled at a low rate, heavy on the
+    /// benign faults and light on hard disconnects so soak sessions do
+    /// useful work before dying.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: [
+                40, // short reads: common, harmless
+                15, // torn frames
+                15, // corrupt bytes
+                20, // delayed writes
+                8,  // disconnects: rare, terminal
+            ],
+        }
+    }
+
+    /// A plan that never injects (control runs).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan { seed, rates: [0; 5] }
+    }
+
+    /// Overrides one kind's per-mille rate (values above 1000 saturate).
+    pub fn with_rate(mut self, kind: FaultKind, per_mille: u16) -> Self {
+        self.rates[kind.index()] = per_mille.min(1000);
+        self
+    }
+
+    fn split(&self, salt: u64) -> FaultRoller {
+        FaultRoller {
+            rng: Xorshift64Star::new(self.seed ^ salt),
+            rates: self.rates,
+        }
+    }
+}
+
+/// xorshift64* — tiny, seedable, good enough for fault scheduling, and
+/// dependency-free (same generator family the fuzzer uses).
+#[derive(Debug)]
+struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    fn new(seed: u64) -> Self {
+        // A zero state would be a fixed point; displace it.
+        Xorshift64Star { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// One half's private fault stream.
+#[derive(Debug)]
+struct FaultRoller {
+    rng: Xorshift64Star,
+    rates: [u16; 5],
+}
+
+impl FaultRoller {
+    /// Rolls one opportunity for `kind`; true means inject.
+    fn roll(&mut self, kind: FaultKind) -> bool {
+        let rate = self.rates[kind.index()];
+        if rate == 0 {
+            return false;
+        }
+        (self.rng.next() % 1000) < u64::from(rate)
+    }
+
+    /// A value in `0..bound` (bound > 0).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.rng.next() % (bound as u64)) as usize
+    }
+}
+
+/// Wraps a [`Duplex`] so both halves inject faults from a shared,
+/// seeded plan.
+pub struct FaultyDuplex;
+
+impl FaultyDuplex {
+    /// Wraps `inner`, returning the faulty transport and the shared
+    /// stats the injections are counted into.
+    pub fn wrap(inner: Duplex, plan: &FaultPlan) -> (Duplex, Arc<FaultStats>) {
+        let stats = Arc::new(FaultStats::default());
+        let dead = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = inner.into_split();
+        let faulty_tx = FaultyTx {
+            inner: tx,
+            roller: plan.split(0x7458_5f54_585f_3031), // "tx" sub-stream
+            stats: Arc::clone(&stats),
+            dead: Arc::clone(&dead),
+        };
+        let faulty_rx = FaultyRx {
+            inner: rx,
+            roller: plan.split(0x7258_5f52_585f_3032), // "rx" sub-stream
+            stats: Arc::clone(&stats),
+            dead,
+        };
+        (Duplex::new(Box::new(faulty_tx), Box::new(faulty_rx)), stats)
+    }
+}
+
+struct FaultyTx {
+    inner: Box<dyn TxHalf>,
+    roller: FaultRoller,
+    stats: Arc<FaultStats>,
+    dead: Arc<AtomicBool>,
+}
+
+impl TxHalf for FaultyTx {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(TransportError::Closed);
+        }
+        if self.roller.roll(FaultKind::Disconnect) {
+            self.stats.bump(FaultKind::Disconnect);
+            self.dead.store(true, Ordering::Relaxed);
+            return Err(TransportError::Closed);
+        }
+        if self.roller.roll(FaultKind::DelayWrite) {
+            self.stats.bump(FaultKind::DelayWrite);
+            std::thread::sleep(Duration::from_millis(1 + (self.roller.below(4) as u64)));
+        }
+        if !frame.payload.is_empty() && self.roller.roll(FaultKind::TornFrame) {
+            self.stats.bump(FaultKind::TornFrame);
+            let cut = self.roller.below(frame.payload.len());
+            let torn = Frame {
+                kind: frame.kind,
+                payload: Bytes::from(frame.payload[..cut].to_vec()),
+            };
+            return self.inner.send(&torn);
+        }
+        if !frame.payload.is_empty() && self.roller.roll(FaultKind::CorruptByte) {
+            self.stats.bump(FaultKind::CorruptByte);
+            let mut bytes = frame.payload.to_vec();
+            let at = self.roller.below(bytes.len());
+            let bit = self.roller.below(8);
+            bytes[at] ^= 1 << bit;
+            let corrupted = Frame { kind: frame.kind, payload: Bytes::from(bytes) };
+            return self.inner.send(&corrupted);
+        }
+        self.inner.send(frame)
+    }
+}
+
+struct FaultyRx {
+    inner: Box<dyn RxHalf>,
+    roller: FaultRoller,
+    stats: Arc<FaultStats>,
+    dead: Arc<AtomicBool>,
+}
+
+impl RxHalf for FaultyRx {
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(TransportError::Closed);
+        }
+        if self.roller.roll(FaultKind::Disconnect) {
+            self.stats.bump(FaultKind::Disconnect);
+            self.dead.store(true, Ordering::Relaxed);
+            return Err(TransportError::Closed);
+        }
+        if self.roller.roll(FaultKind::ShortRead) {
+            self.stats.bump(FaultKind::ShortRead);
+            // An incomplete read: nothing assembled this round. Real
+            // short reads still consume wall-clock; emulate a sliver of
+            // the timeout so spinning callers do not busy-loop.
+            if timeout.is_some() {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            return Ok(None);
+        }
+        self.inner.recv(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::FrameKind;
+    use crate::transport::pipe_pair;
+
+    fn frame(data: &'static [u8]) -> Frame {
+        Frame { kind: FrameKind::Event, payload: Bytes::from_static(data) }
+    }
+
+    /// Same seed, same plan ⇒ byte-identical fault schedule.
+    #[test]
+    fn plans_are_deterministic() {
+        let run = |seed: u64| {
+            let mut roller = FaultPlan::new(seed).split(0xAB);
+            (0..256).map(|_| roller.rng.next()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    /// The tx and rx halves draw from distinct sub-streams.
+    #[test]
+    fn halves_get_distinct_streams() {
+        let plan = FaultPlan::new(1);
+        let mut a = plan.split(0x01);
+        let mut b = plan.split(0x02);
+        let sa: Vec<u64> = (0..64).map(|_| a.rng.next()).collect();
+        let sb: Vec<u64> = (0..64).map(|_| b.rng.next()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    /// A quiet plan is a perfect pass-through.
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let (a, mut b) = pipe_pair();
+        let (mut fa, stats) = FaultyDuplex::wrap(a, &FaultPlan::quiet(3));
+        for _ in 0..100 {
+            fa.send(&frame(b"payload")).unwrap();
+        }
+        for _ in 0..100 {
+            let got = b.recv(Some(Duration::from_millis(100))).unwrap().unwrap();
+            assert_eq!(got.payload.as_ref(), b"payload");
+        }
+        assert_eq!(stats.total(), 0);
+    }
+
+    /// With every rate saturated, each kind fires and is counted.
+    #[test]
+    fn saturated_plan_counts_every_kind() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::quiet(11).with_rate(kind, 1000);
+            let (a, mut b) = pipe_pair();
+            let (mut fa, stats) = FaultyDuplex::wrap(a, &plan);
+            for _ in 0..8 {
+                let _ = fa.send(&frame(b"xyzzy"));
+                let _ = fa.recv(Some(Duration::from_millis(1)));
+                let _ = b.recv(Some(Duration::from_millis(1)));
+            }
+            assert!(
+                stats.count(kind) > 0,
+                "kind {} never fired at saturation",
+                kind.name()
+            );
+        }
+    }
+
+    /// Disconnect poisons both halves permanently.
+    #[test]
+    fn disconnect_poisons_both_halves() {
+        let plan = FaultPlan::quiet(5).with_rate(FaultKind::Disconnect, 1000);
+        let (a, _b) = pipe_pair();
+        let (mut fa, stats) = FaultyDuplex::wrap(a, &plan);
+        assert!(matches!(fa.send(&frame(b"x")), Err(TransportError::Closed)));
+        assert!(matches!(fa.recv(Some(Duration::from_millis(1))), Err(TransportError::Closed)));
+        assert!(matches!(fa.send(&frame(b"x")), Err(TransportError::Closed)));
+        assert_eq!(stats.count(FaultKind::Disconnect), 1, "poison must not re-count");
+    }
+
+    /// Torn frames shrink the payload but stay frame-decodable.
+    #[test]
+    fn torn_frames_stay_well_formed() {
+        let plan = FaultPlan::quiet(9).with_rate(FaultKind::TornFrame, 1000);
+        let (a, mut b) = pipe_pair();
+        let (mut fa, stats) = FaultyDuplex::wrap(a, &plan);
+        fa.send(&frame(b"0123456789abcdef")).unwrap();
+        let got = b.recv(Some(Duration::from_millis(100))).unwrap().unwrap();
+        assert!(got.payload.len() < 16, "payload must be truncated");
+        assert_eq!(stats.count(FaultKind::TornFrame), 1);
+    }
+
+    /// Corruption flips exactly one bit of the payload.
+    #[test]
+    fn corruption_flips_one_bit() {
+        let plan = FaultPlan::quiet(13).with_rate(FaultKind::CorruptByte, 1000);
+        let (a, mut b) = pipe_pair();
+        let (mut fa, _stats) = FaultyDuplex::wrap(a, &plan);
+        let original = b"abcdefgh";
+        fa.send(&frame(original)).unwrap();
+        let got = b.recv(Some(Duration::from_millis(100))).unwrap().unwrap();
+        assert_eq!(got.payload.len(), original.len());
+        let differing: u32 = got
+            .payload
+            .iter()
+            .zip(original.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one bit must differ");
+    }
+
+    /// Short reads surface as timeouts, never as errors.
+    #[test]
+    fn short_reads_look_like_timeouts() {
+        let plan = FaultPlan::quiet(17).with_rate(FaultKind::ShortRead, 1000);
+        let (a, mut b) = pipe_pair();
+        let (mut fa, stats) = FaultyDuplex::wrap(a, &plan);
+        b.send(&frame(b"waiting")).unwrap();
+        let got = fa.recv(Some(Duration::from_millis(5))).unwrap();
+        assert!(got.is_none(), "short read must present as a timeout");
+        assert!(stats.count(FaultKind::ShortRead) > 0);
+    }
+}

@@ -29,6 +29,7 @@ pub mod codec;
 pub mod command;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod reply;
 pub mod request;

@@ -190,6 +190,9 @@ pub struct ConnCounters {
     pub bytes_in: AtomicU64,
     /// Reply/event/error payload bytes sent.
     pub bytes_out: AtomicU64,
+    /// Events dropped by the slow-client policy (bounded outbound
+    /// channel full; events are the low-priority tier).
+    pub events_dropped: AtomicU64,
 }
 
 impl ConnCounters {

@@ -64,6 +64,10 @@ pub struct Sources {
     /// All codec sources: `(path, text)` for `proto/src/*.rs` (the
     /// `casts` pass scans these plus the dispatcher).
     pub proto_files: Vec<(String, String)>,
+    /// All client-library sources: `(path, text)` for `alib/src/*.rs`
+    /// (the `unwrap` pass scans these — a panic in Alib kills the
+    /// application just as surely as one in the server).
+    pub alib_files: Vec<(String, String)>,
     /// `DESIGN.md`.
     pub design: String,
 }
@@ -92,6 +96,7 @@ impl Sources {
         let mut server_files = read_dir_sources("crates/core/src")?;
         server_files.extend(read_dir_sources("crates/hw/src")?);
         let proto_files = read_dir_sources("crates/proto/src")?;
+        let alib_files = read_dir_sources("crates/alib/src")?;
         Ok(Sources {
             request: read("crates/proto/src/request.rs")?,
             event: read("crates/proto/src/event.rs")?,
@@ -100,6 +105,7 @@ impl Sources {
             dispatch: read("crates/core/src/dispatch.rs")?,
             server_files,
             proto_files,
+            alib_files,
             design: read("DESIGN.md")?,
         })
     }
@@ -836,6 +842,7 @@ pub fn run_all(s: &Sources) -> Vec<Finding> {
     out.extend(lint_doc_rows(&s.request, &s.design));
     out.extend(lint_metrics_names(&s.server_files, &s.design));
     out.extend(lint_unwrap(&s.server_files));
+    out.extend(lint_unwrap(&s.alib_files));
     out.extend(lint_lock_order(&s.server_files));
     let mut wire_files = s.proto_files.clone();
     wire_files.push((DISPATCH_RS.to_string(), s.dispatch.clone()));

@@ -10,12 +10,18 @@
 //!   — the structure-aware wire-codec fuzzer; exits non-zero on a
 //!   property violation, and with `--corpus-out` (re)writes the seed
 //!   corpus plus any failing inputs as corpus files.
+//! - `cargo run -p xtask -- soak [--seed N] [--iters N] [--concurrency N]`
+//!   — fault-injected client churn against a live in-process server
+//!   (`--iters` = client sessions); exits non-zero on any invariant
+//!   violation, leaked client, engine stall, or — at 100+ sessions —
+//!   if fewer than all five fault kinds were actually injected.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use da_modelcheck::explore::{explore, Config};
 use da_modelcheck::fuzz::{fuzz, seed_corpus, FuzzConfig};
+use da_modelcheck::soak::{soak, SoakConfig};
 use da_modelcheck::Seed;
 
 fn workspace_root() -> PathBuf {
@@ -33,8 +39,9 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(),
         Some("explore") => run_explore(&args[1..]),
         Some("fuzz") => run_fuzz(&args[1..]),
+        Some("soak") => run_soak(&args[1..]),
         other => {
-            eprintln!("usage: cargo run -p xtask -- <lint | explore | fuzz> [options]");
+            eprintln!("usage: cargo run -p xtask -- <lint | explore | fuzz | soak> [options]");
             if let Some(cmd) = other {
                 eprintln!("unknown command: {cmd}");
             }
@@ -173,6 +180,62 @@ fn run_fuzz(args: &[String]) -> ExitCode {
             eprintln!("fuzz[{}]: {}", f.name, f.detail);
         }
         eprintln!("fuzz: {} violation(s)", report.failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_soak(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args, &["--seed", "--iters", "--concurrency"]) else {
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SoakConfig::default();
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--iters" => match value.parse() {
+                Ok(n) => cfg.sessions = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            _ => match value.parse() {
+                Ok(n) => cfg.concurrency = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+        }
+    }
+    let report = soak(&cfg);
+    println!(
+        "soak: {} sessions (seed {}): {} completed, {} cut short by faults",
+        report.sessions, cfg.seed, report.completed_ok, report.died_early,
+    );
+    println!(
+        "soak: {} faults injected across {} kind(s); {} event(s) dropped, \
+         {} client(s) evicted, {} engine ticks",
+        report.total_faults(),
+        report.kinds_seen(),
+        report.events_dropped,
+        report.clients_evicted,
+        report.engine_ticks,
+    );
+    // At CI scale every fault kind has thousands of chances to fire; all
+    // five missing means the injector itself regressed.
+    let starved = report.sessions >= 100 && report.kinds_seen() < 5;
+    if starved {
+        eprintln!(
+            "soak: only {} of 5 fault kinds injected over {} sessions",
+            report.kinds_seen(),
+            report.sessions,
+        );
+    }
+    if report.clean() && !starved {
+        println!("soak: all invariants hold, no clients leaked");
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("soak: {v}");
+        }
         ExitCode::FAILURE
     }
 }

@@ -18,6 +18,24 @@ pub mod channel {
         }
     }
 
+    /// Error returned by a non-blocking send.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is full; the message is handed back.
+        Full(T),
+        /// The receiving side has disconnected.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned when all senders have disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -87,6 +105,19 @@ pub mod channel {
             match &self.tx {
                 Tx::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
                 Tx::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends without blocking: a full bounded channel hands the
+        /// message back as [`TrySendError::Full`] (an unbounded channel
+        /// never is).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s.send(msg).map_err(|e| TrySendError::Disconnected(e.0)),
+                Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -167,5 +198,16 @@ mod tests {
         tx.send(1u8).unwrap();
         drop(rx);
         assert!(tx.send(2).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1u8), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 }
