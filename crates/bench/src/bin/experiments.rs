@@ -14,6 +14,12 @@ use da_server::{AudioServer, ServerConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
+    // `--e5xl-smoke` runs only the CI regression gate: E5-XL start
+    // latency at 256 clients, compared against the baseline recorded in
+    // the committed BENCH_results.json (fail if p95 regressed > 2x).
+    if std::env::args().any(|a| a == "--e5xl-smoke") {
+        std::process::exit(e5xl_smoke());
+    }
     println!("desktop-audio experiment harness");
     println!("paper: Integrating Audio and Telephony in a Distributed Workstation");
     println!("Environment (USENIX Summer 1991), evaluation section 6\n");
@@ -23,6 +29,7 @@ fn main() {
     e3_cpu_fraction(&mut report);
     e4_play_record_seam(&mut report);
     e5_multiclient_scaling(&mut report);
+    e5xl_connection_plane(&mut report);
     e6_streaming_jitter(&mut report);
     e7_sync_event_cadence(&mut report);
     e8_codecs(&mut report);
@@ -347,6 +354,198 @@ fn e5_multiclient_scaling(report: &mut Report) {
             if all_present { "PASS" } else { "FAIL" }
         );
         server.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E5-XL — the event-driven connection plane at scale (DESIGN.md §13):
+// engine+dispatch cost and play-start latency at 64..1024 concurrent
+// clients, with the I/O thread count asserted bounded by the worker pool.
+// ---------------------------------------------------------------------------
+
+/// OS threads of this process, from /proc/self/status (Linux only;
+/// returns 0 elsewhere, which disables the thread-bound assertion).
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Engine+dispatch cost with `k` clients all actively playing: rig
+/// setup wall time per client, then engine ms per audio-second.
+fn e5xl_engine_cost(report: &mut Report, k: usize) {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let control = server.control();
+    let setup0 = Instant::now();
+    let mut conns = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut conn =
+            Connection::establish(server.connect_pipe(), &format!("xl{i}")).expect("conn");
+        let rig = build_play_rig(&mut conn);
+        let sound = upload_tone(&mut conn, 300.0 + (i % 16) as f64 * 90.0, 12_000); // 1.5 s
+        play(&mut conn, &rig, sound);
+        conns.push(conn);
+    }
+    // One probe sync flushes every queued request through dispatch.
+    conns[0].sync().expect("sync");
+    let setup_us_per_client = setup0.elapsed().as_micros() as f64 / k as f64;
+    let before = control.stats();
+    control.tick_n(100); // 1 s of audio
+    let after = control.stats();
+    let busy_ms = (after.busy - before.busy).as_secs_f64() * 1000.0;
+    report.push("E5-XL", &format!("rig_setup_us_per_client_{k}_clients"), setup_us_per_client, "us");
+    report.push("E5-XL", &format!("engine_ms_per_audio_s_{k}_clients"), busy_ms, "ms");
+    println!(
+        "  {k:>5} | setup {setup_us_per_client:>7.0} us/client | engine {busy_ms:>8.3} ms/s",
+    );
+    drop(conns);
+    server.shutdown();
+}
+
+/// Play-start latency with `k` connected clients: up to 16 probe
+/// threads each run E1-style play→PlayStarted trials while the other
+/// clients stay connected. Returns (p50, p95) in microseconds.
+fn e5xl_start_latency(report: &mut Report, k: usize, trials: usize) -> (u64, u64) {
+    let config = ServerConfig {
+        pacing: da_hw::clock::Pacing::RealTime,
+        quantum_us: 10_000,
+        ..ServerConfig::default()
+    };
+    let threads_floor = process_threads();
+    let server = AudioServer::start(config).expect("server");
+    let probes = k.min(16);
+    // Background population: connected, resident in the client table,
+    // owned by the plane — but idle during the measurement.
+    let background: Vec<Connection> = (0..k - probes)
+        .map(|i| Connection::establish(server.connect_pipe(), &format!("bg{i}")).expect("conn"))
+        .collect();
+    let io_threads = process_threads();
+    let workers = server.io_workers();
+    report.push("E5-XL", &format!("io_threads_total_{k}_clients"), io_threads as f64, "threads");
+    if threads_floor > 0 {
+        // The tentpole bound: workers + engine + main, never O(clients).
+        assert!(
+            io_threads <= threads_floor + workers + 2,
+            "I/O threads not bounded by the worker pool: \
+             {threads_floor} -> {io_threads} with {k} clients ({workers} workers)"
+        );
+    }
+    let mut handles = Vec::new();
+    for p in 0..probes {
+        let duplex = server.connect_pipe();
+        handles.push(std::thread::spawn(move || {
+            let mut conn =
+                Connection::establish(duplex, &format!("probe{p}")).expect("probe conn");
+            let rig = build_play_rig(&mut conn);
+            let sound = upload_tone(&mut conn, 440.0, 400); // 50 ms
+            conn.sync().expect("sync");
+            let mut samples = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                let t0 = Instant::now();
+                play(&mut conn, &rig, sound);
+                conn.wait_event(Duration::from_secs(10), |e| {
+                    matches!(e, Event::PlayStarted { .. })
+                })
+                .expect("play started");
+                samples.push(t0.elapsed().as_micros() as u64);
+                wait_done(&mut conn, rig.loud, Duration::from_secs(10));
+            }
+            samples
+        }));
+    }
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().expect("probe thread"));
+    }
+    let s = latency_stats(samples);
+    report.push("E5-XL", &format!("start_latency_p50_us_{k}_clients"), s.p50_us as f64, "us");
+    report.push("E5-XL", &format!("start_latency_p95_us_{k}_clients"), s.p95_us as f64, "us");
+    println!(
+        "  {k:>5} | p50 {:>7.2} ms | p95 {:>7.2} ms | {io_threads} threads ({workers} I/O workers)",
+        s.p50_us as f64 / 1000.0,
+        s.p95_us as f64 / 1000.0,
+    );
+    drop(background);
+    server.shutdown();
+    (s.p50_us, s.p95_us)
+}
+
+fn e5xl_connection_plane(report: &mut Report) {
+    banner("E5-XL", "connection plane at scale: 16 -> 1024 clients (DESIGN.md §13)");
+    println!("  engine+dispatch cost (manual ticks, all clients playing):");
+    println!("  clients | rig setup          | engine time per audio-second");
+    for k in [16usize, 64, 256, 512, 1024] {
+        e5xl_engine_cost(report, k);
+    }
+    println!("  play-start latency (real-time pacing, 16 concurrent probes):");
+    println!("  clients | start latency      | process threads");
+    let mut p95_at_16 = 0u64;
+    let mut p95_at_512 = 0u64;
+    for k in [16usize, 64, 256, 512, 1024] {
+        let (_p50, p95) = e5xl_start_latency(report, k, 5);
+        if k == 16 {
+            p95_at_16 = p95;
+        }
+        if k == 512 {
+            p95_at_512 = p95;
+        }
+    }
+    // Acceptance: p95 start latency at 512 clients within 2x of the
+    // 16-client value.
+    let ratio = p95_at_512 as f64 / p95_at_16.max(1) as f64;
+    report.push("E5-XL", "p95_ratio_512_vs_16_clients", ratio, "ratio");
+    println!(
+        "  p95(512 clients) / p95(16 clients) = {ratio:.2}    {}",
+        if ratio <= 2.0 { "PASS (within 2x)" } else { "FAIL (> 2x)" }
+    );
+}
+
+/// Reads the recorded E5-XL 256-client p95 baseline from the committed
+/// BENCH_results.json, if present.
+fn e5xl_recorded_baseline() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_results.json").ok()?;
+    let needle = "\"metric\": \"start_latency_p95_us_256_clients\"";
+    let at = text.find(needle)?;
+    let rest = &text[at + needle.len()..];
+    let vat = rest.find("\"value\": ")?;
+    let tail = &rest[vat + 9..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// CI smoke gate: exit nonzero if p95 start latency at 256 clients
+/// regressed more than 2x over the recorded baseline.
+fn e5xl_smoke() -> i32 {
+    println!("E5-XL smoke: start latency at 256 clients vs recorded baseline");
+    let mut report = Report::new();
+    let (_p50, p95) = e5xl_start_latency(&mut report, 256, 5);
+    match e5xl_recorded_baseline() {
+        None => {
+            println!("  no recorded baseline in BENCH_results.json; measurement-only run");
+            0
+        }
+        Some(baseline) => {
+            let limit = baseline * 2.0;
+            println!(
+                "  measured p95 {:.2} ms, baseline {:.2} ms, limit {:.2} ms",
+                p95 as f64 / 1000.0,
+                baseline / 1000.0,
+                limit / 1000.0
+            );
+            if (p95 as f64) <= limit {
+                println!("  PASS");
+                0
+            } else {
+                eprintln!("  FAIL: p95 start latency regressed more than 2x");
+                1
+            }
+        }
     }
 }
 

@@ -1,0 +1,753 @@
+//! The event-driven connection plane (DESIGN.md §13).
+//!
+//! A small pool of I/O worker threads replaces the old two-threads-per-
+//! client design: each worker owns many connections and drives them with
+//! non-blocking reads/writes over the [`Pollable`] readiness abstraction
+//! — total I/O threads are O(workers), never O(clients). Per connection
+//! the worker performs incremental length-prefixed frame reassembly
+//! (partial headers and one-byte-per-wakeup payloads are fine), request
+//! dispatch (sharded fast path first, global write lock otherwise), and
+//! outbound-queue draining with the PR 5 flow-control semantics intact:
+//! bounded per-client channels, event-drop accounting, and slow-client
+//! eviction with a typed farewell frame.
+//!
+//! Wakeups: in-process byte pipes carry a waker that unparks the owning
+//! worker the moment bytes or buffer space appear; TCP sockets have no
+//! waker, so an idle worker parks for at most [`IDLE_PARK`] and polls.
+
+use crate::core::{Core, DisconnectReason, ServerMsg, CLIENT_CHANNEL_DEPTH};
+use crate::dispatch::dispatch;
+use crate::telem::ServerMetrics;
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
+use da_proto::transport::Pollable;
+use da_proto::{Request, SetupReply, SetupRequest, WireRead, WireWrite};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long an idle worker parks before re-polling its connections
+/// (TCP sockets have no waker; pipes wake the worker earlier).
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Per-connection read budget per pump round, so one firehose client
+/// cannot starve its worker siblings.
+const READ_BUDGET: usize = 64 * 1024;
+
+/// How long a closing connection may take to drain its farewell before
+/// the worker gives up on it.
+const FLUSH_GRACE: Duration = Duration::from_secs(2);
+
+/// Counters shared between the workers and the plane handle.
+struct PlaneShared {
+    /// Live connections per worker (gauges mirror these).
+    per_worker: Vec<AtomicI64>,
+    /// Busy share of each worker's last sampling window, in permille.
+    busy_permille: Vec<AtomicI64>,
+}
+
+/// A cloneable handle that feeds new connections to the workers.
+pub struct PlaneInjector {
+    injectors: Vec<Sender<Box<dyn Pollable>>>,
+    threads: Vec<std::thread::Thread>,
+    next: AtomicUsize,
+}
+
+impl PlaneInjector {
+    /// Hands a new connection to the next worker (round robin) and
+    /// wakes it.
+    pub fn add(&self, io: Box<dyn Pollable>) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.injectors.len();
+        if self.injectors[idx].send(io).is_ok() {
+            self.threads[idx].unpark();
+        }
+    }
+}
+
+/// The worker pool. One per [`crate::server::AudioServer`].
+pub struct ConnPlane {
+    injector: Arc<PlaneInjector>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ConnPlane {
+    /// Spawns `workers` event-loop threads over the shared core.
+    pub fn start(
+        core: &Arc<RwLock<Core>>,
+        shutdown: &Arc<AtomicBool>,
+        workers: usize,
+    ) -> std::io::Result<ConnPlane> {
+        let workers = workers.max(1);
+        let metrics = core.read().tel.metrics.clone();
+        metrics.conn_plane_workers.set(workers as i64);
+        let shared = Arc::new(PlaneShared {
+            per_worker: (0..workers).map(|_| AtomicI64::new(0)).collect(),
+            busy_permille: (0..workers).map(|_| AtomicI64::new(0)).collect(),
+        });
+        let mut injectors = Vec::new();
+        let mut threads = Vec::new();
+        let mut handles = Vec::new();
+        for index in 0..workers {
+            let (tx, rx) = unbounded::<Box<dyn Pollable>>();
+            let mut worker = Worker {
+                core: Arc::clone(core),
+                shutdown: Arc::clone(shutdown),
+                injector: rx,
+                metrics: metrics.clone(),
+                shared: Arc::clone(&shared),
+                index,
+                conns: Vec::new(),
+                busy_window: Duration::ZERO,
+                window_start: Instant::now(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("da-io-{index}"))
+                .spawn(move || worker.run())?;
+            threads.push(handle.thread().clone());
+            handles.push(handle);
+            injectors.push(tx);
+        }
+        let injector = Arc::new(PlaneInjector { injectors, threads, next: AtomicUsize::new(0) });
+        Ok(ConnPlane { injector, handles })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Hands a new connection to a worker (round robin).
+    pub fn add(&self, io: Box<dyn Pollable>) {
+        self.injector.add(io);
+    }
+
+    /// A shareable handle for feeding connections from other threads
+    /// (the TCP accept loop).
+    pub fn injector(&self) -> Arc<PlaneInjector> {
+        Arc::clone(&self.injector)
+    }
+
+    /// Wakes every worker (shutdown kick) and joins them.
+    pub fn join(&mut self) {
+        for t in &self.injector.threads {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One established client session inside a connection.
+struct ClientSession {
+    client: da_proto::ids::ClientId,
+    msg_rx: Receiver<ServerMsg>,
+    counters: Arc<da_telemetry::ConnCounters>,
+    kicked: Arc<AtomicBool>,
+    /// Whether `remove_client` has run for this session.
+    removed: bool,
+}
+
+/// One connection owned by a worker.
+struct PlaneConn {
+    io: Box<dyn Pollable>,
+    /// Partial-frame reassembly buffer.
+    rdbuf: BytesMut,
+    /// Encoded outbound bytes not yet accepted by the transport.
+    wrbuf: Vec<u8>,
+    /// How much of `wrbuf` has been written.
+    wroff: usize,
+    /// `None` until the setup handshake completes.
+    session: Option<ClientSession>,
+    /// Set once the server has decided to end the connection: stop
+    /// reading, flush the farewell, then drop.
+    closing: bool,
+    /// Deadline for the closing flush.
+    flush_deadline: Option<Instant>,
+    /// Terminal: the worker reaps the connection this round.
+    dead: bool,
+    /// The owning worker's wake callback; attached to the core's
+    /// client entry at setup so engine-side sends flush promptly.
+    waker: da_proto::transport::Waker,
+}
+
+impl PlaneConn {
+    fn new(io: Box<dyn Pollable>, waker: da_proto::transport::Waker) -> PlaneConn {
+        PlaneConn {
+            io,
+            rdbuf: BytesMut::new(),
+            wrbuf: Vec::new(),
+            wroff: 0,
+            session: None,
+            closing: false,
+            flush_deadline: None,
+            dead: false,
+            waker,
+        }
+    }
+}
+
+/// One event-loop worker.
+struct Worker {
+    core: Arc<RwLock<Core>>,
+    shutdown: Arc<AtomicBool>,
+    injector: Receiver<Box<dyn Pollable>>,
+    metrics: ServerMetrics,
+    shared: Arc<PlaneShared>,
+    index: usize,
+    conns: Vec<PlaneConn>,
+    busy_window: Duration,
+    window_start: Instant,
+}
+
+impl Worker {
+    fn run(&mut self) {
+        let pending = Arc::new(AtomicBool::new(false));
+        let waker: da_proto::transport::Waker = {
+            let pending = Arc::clone(&pending);
+            let me = std::thread::current();
+            Arc::new(move || {
+                pending.store(true, Ordering::Release);
+                me.unpark();
+            })
+        };
+        loop {
+            let progress = self.iterate(&waker);
+            if self.shutdown.load(Ordering::Relaxed) && self.conns.is_empty() {
+                break;
+            }
+            if !progress && !pending.swap(false, Ordering::Acquire) {
+                std::thread::park_timeout(IDLE_PARK);
+                pending.store(false, Ordering::Release);
+            }
+        }
+        self.shared.per_worker[self.index].store(0, Ordering::Relaxed);
+        self.publish_gauges();
+    }
+
+    /// One loop iteration: adopt, pump every connection, reap, account.
+    /// Returns whether any connection made progress.
+    fn iterate(&mut self, waker: &da_proto::transport::Waker) -> bool {
+        let before = self.conns.len();
+        while let Ok(mut io) = self.injector.try_recv() {
+            io.set_waker(Arc::clone(waker));
+            self.conns.push(PlaneConn::new(io, Arc::clone(waker)));
+        }
+        let started = Instant::now();
+        let shutting = self.shutdown.load(Ordering::Relaxed);
+        let mut progress = self.conns.len() != before;
+        let mut conns = std::mem::take(&mut self.conns);
+        for conn in &mut conns {
+            progress |= pump_conn(&self.core, &self.metrics, shutting, conn);
+        }
+        // Eager reaping: a finished connection leaves the worker's list
+        // (and frees its buffers) the round it dies, not at shutdown.
+        conns.retain(|c| !c.dead);
+        self.conns = conns;
+        if progress {
+            let spent = started.elapsed();
+            self.metrics.conn_worker_loop_us.record_duration_us(spent);
+            self.busy_window += spent;
+        }
+        let count_changed = self.conns.len() != before;
+        if progress || count_changed {
+            self.shared.per_worker[self.index].store(self.conns.len() as i64, Ordering::Relaxed);
+        }
+        let window = self.window_start.elapsed();
+        if window >= Duration::from_millis(500) {
+            let permille = ((self.busy_window.as_secs_f64() / window.as_secs_f64()) * 1000.0)
+                .min(1000.0) as i64; // cast-ok: bounded to [0, 1000]
+            self.shared.busy_permille[self.index].store(permille, Ordering::Relaxed);
+            self.busy_window = Duration::ZERO;
+            self.window_start = Instant::now();
+            self.publish_gauges();
+        } else if count_changed {
+            // Adoption and reaping republish immediately so the
+            // connection gauges track churn, not the 500 ms window.
+            self.publish_gauges();
+        }
+        progress
+    }
+
+    fn publish_gauges(&self) {
+        let mut total = 0i64;
+        let mut max_conns = 0i64;
+        let mut max_busy = 0i64;
+        for (c, b) in self.shared.per_worker.iter().zip(&self.shared.busy_permille) {
+            let c = c.load(Ordering::Relaxed);
+            total += c;
+            max_conns = max_conns.max(c);
+            max_busy = max_busy.max(b.load(Ordering::Relaxed));
+        }
+        self.metrics.conn_plane_connections.set(total);
+        self.metrics.conn_worker_max_connections.set(max_conns);
+        self.metrics.conn_plane_busy_permille.set(max_busy);
+    }
+}
+
+/// Drives one connection as far as it will go without blocking.
+/// Returns whether any progress was made.
+fn pump_conn(
+    core: &Arc<RwLock<Core>>,
+    metrics: &ServerMetrics,
+    shutting: bool,
+    conn: &mut PlaneConn,
+) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut progress = false;
+
+    // 1. Server-initiated teardown: shutdown or slow-client eviction.
+    //    Queued messages drain first, then the typed farewell, exactly
+    //    the old writer-thread ordering.
+    if !conn.closing {
+        let reason = match &conn.session {
+            Some(_) if shutting => Some(DisconnectReason::ServerShutdown),
+            Some(sess) if sess.kicked.load(Ordering::Relaxed) => {
+                Some(DisconnectReason::SlowClient)
+            }
+            Some(_) => None,
+            None if shutting => {
+                // Never completed setup; nothing to say.
+                conn.dead = true;
+                return true;
+            }
+            None => None,
+        };
+        if let Some(reason) = reason {
+            drain_outbound(conn, metrics);
+            let frame = encode_msg(ServerMsg::Shutdown(reason));
+            conn.wrbuf.extend_from_slice(&frame.encode());
+            begin_close(core, conn);
+            progress = true;
+        }
+    }
+
+    // 2. Non-blocking reads into the reassembly buffer.
+    if !conn.closing {
+        let mut taken = 0usize;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match conn.io.try_read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed: nobody left to read a farewell.
+                    finish_conn(core, conn);
+                    return true;
+                }
+                Ok(n) => {
+                    conn.rdbuf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                    progress = true;
+                    if taken >= READ_BUDGET {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    finish_conn(core, conn);
+                    return true;
+                }
+            }
+        }
+    }
+
+    // 3. Frame reassembly and dispatch.
+    while !conn.closing && !conn.dead {
+        match Frame::decode(&mut conn.rdbuf) {
+            Ok(Some(frame)) => {
+                progress = true;
+                handle_frame(core, metrics, conn, frame);
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // Oversized or malformed length prefix: rejected before
+                // any payload allocation; the connection is garbage.
+                finish_conn(core, conn);
+                return true;
+            }
+        }
+    }
+
+    // 4. Drain the session's bounded outbound channel into the write
+    //    buffer (replies > events priority is enforced at enqueue time
+    //    by the slow-client policy; here we just drain FIFO).
+    if !conn.closing {
+        progress |= drain_outbound(conn, metrics);
+        if conn.closing {
+            // A Shutdown message rode the channel: close after flush.
+            begin_close(core, conn);
+        }
+    }
+
+    // 5. Flush the write buffer.
+    while conn.wroff < conn.wrbuf.len() {
+        match conn.io.try_write(&conn.wrbuf[conn.wroff..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                conn.wroff += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                finish_conn(core, conn);
+                return true;
+            }
+        }
+    }
+    if conn.wroff == conn.wrbuf.len() && conn.wroff > 0 {
+        conn.wrbuf.clear();
+        conn.wroff = 0;
+    }
+
+    // 6. A closing connection dies once flushed (or past its grace).
+    if conn.closing {
+        let flushed = conn.wroff == conn.wrbuf.len();
+        let expired = conn.flush_deadline.map(|d| Instant::now() >= d).unwrap_or(false);
+        if flushed || expired {
+            finish_conn(core, conn);
+            progress = true;
+        }
+    }
+    progress
+}
+
+/// Starts the close sequence: the client leaves the core immediately
+/// (its resources are reclaimed now, not when the flush finishes), the
+/// connection stops reading, and the farewell gets a bounded grace
+/// period to drain.
+fn begin_close(core: &Arc<RwLock<Core>>, conn: &mut PlaneConn) {
+    conn.closing = true;
+    conn.flush_deadline = Some(Instant::now() + FLUSH_GRACE);
+    if let Some(sess) = &mut conn.session {
+        if !sess.removed {
+            sess.removed = true;
+            core.write().remove_client(sess.client);
+        }
+    }
+}
+
+/// Terminal teardown: removes the client (if not already removed) and
+/// marks the connection for reaping.
+fn finish_conn(core: &Arc<RwLock<Core>>, conn: &mut PlaneConn) {
+    if let Some(sess) = &mut conn.session {
+        if !sess.removed {
+            sess.removed = true;
+            core.write().remove_client(sess.client);
+        }
+    }
+    conn.dead = true;
+}
+
+/// Handles one reassembled frame.
+fn handle_frame(
+    core: &Arc<RwLock<Core>>,
+    metrics: &ServerMetrics,
+    conn: &mut PlaneConn,
+    frame: Frame,
+) {
+    match &conn.session {
+        None => {
+            // Handshake: the first frame must be Setup.
+            if frame.kind != FrameKind::Setup {
+                finish_conn(core, conn);
+                return;
+            }
+            let Ok(setup) = SetupRequest::from_wire(&frame.payload) else {
+                finish_conn(core, conn);
+                return;
+            };
+            let (msg_tx, msg_rx) = bounded::<ServerMsg>(CLIENT_CHANNEL_DEPTH);
+            let counters = Arc::new(da_telemetry::ConnCounters::default());
+            let (client, id_base, id_mask, kicked, vendor) = {
+                let mut c = core.write();
+                let (client, id_base, id_mask) = c.add_client_with_counters(
+                    setup.client_name.clone(),
+                    msg_tx,
+                    Arc::clone(&counters),
+                );
+                c.attach_waker(client, Arc::clone(&conn.waker));
+                let kicked = Arc::clone(&c.clients[&client.0].kicked);
+                (client, id_base, id_mask, kicked, c.config.vendor.clone())
+            };
+            let reply = SetupReply {
+                protocol_major: da_proto::PROTOCOL_MAJOR,
+                protocol_minor: da_proto::PROTOCOL_MINOR,
+                client,
+                id_base,
+                id_mask,
+                vendor,
+            };
+            let mut w = WireWriter::new();
+            reply.write(&mut w);
+            let out = Frame { kind: FrameKind::SetupReply, payload: w.finish() };
+            conn.wrbuf.extend_from_slice(&out.encode());
+            conn.session = Some(ClientSession { client, msg_rx, counters, kicked, removed: false });
+        }
+        Some(sess) => {
+            if frame.kind != FrameKind::Request {
+                return;
+            }
+            da_telemetry::ConnCounters::bump(&sess.counters.requests, 1);
+            da_telemetry::ConnCounters::bump(&sess.counters.bytes_in, frame.payload.len() as u64);
+            metrics.wire_frames_in_total.inc();
+            metrics.wire_bytes_in_total.add(frame.payload.len() as u64);
+            let client = sess.client;
+            let mut r = WireReader::new(&frame.payload);
+            let decoded = r.u32().ok().and_then(|seq| Request::read(&mut r).ok().map(|req| (seq, req)));
+            match decoded {
+                Some((seq, req)) => {
+                    // Sharded fast path first; the write lock only for
+                    // requests that touch cross-shard state.
+                    if !crate::fastpath::try_dispatch(core, client, seq, &req) {
+                        let mut c = core.write();
+                        dispatch(&mut c, client, seq, req);
+                    }
+                }
+                None => {
+                    let mut r = WireReader::new(&frame.payload);
+                    let seq = r.u32().unwrap_or(0);
+                    let c = core.read();
+                    c.send_to_client(
+                        client,
+                        ServerMsg::Error(
+                            seq,
+                            da_proto::ProtoError::new(
+                                da_proto::ErrorCode::BadRequest,
+                                0,
+                                "undecodable request",
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Moves every queued outbound message into the write buffer, keeping
+/// the per-connection and server wire counters in step (the old writer
+/// thread's `emit_msg` accounting). Returns whether anything moved;
+/// sets `conn.closing` if a Shutdown message was queued.
+fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics) -> bool {
+    let Some(sess) = &conn.session else { return false };
+    let mut moved = false;
+    while let Ok(msg) = sess.msg_rx.try_recv() {
+        moved = true;
+        let last = matches!(msg, ServerMsg::Shutdown(_));
+        let slot = match &msg {
+            ServerMsg::Reply(..) => Some(&sess.counters.replies),
+            ServerMsg::Event(..) => Some(&sess.counters.events),
+            ServerMsg::Error(..) => Some(&sess.counters.errors),
+            ServerMsg::Shutdown(_) => None,
+        };
+        let frame = encode_msg(msg);
+        if let Some(slot) = slot {
+            da_telemetry::ConnCounters::bump(slot, 1);
+            da_telemetry::ConnCounters::bump(&sess.counters.bytes_out, frame.payload.len() as u64);
+            metrics.wire_frames_out_total.inc();
+            metrics.wire_bytes_out_total.add(frame.payload.len() as u64);
+        }
+        conn.wrbuf.extend_from_slice(&frame.encode());
+        if last {
+            conn.closing = true;
+            break;
+        }
+    }
+    moved
+}
+
+/// Encodes one server message as a wire frame.
+pub(crate) fn encode_msg(msg: ServerMsg) -> Frame {
+    match msg {
+        ServerMsg::Reply(seq, reply) => {
+            let mut w = WireWriter::new();
+            w.u32(seq);
+            reply.write(&mut w);
+            Frame { kind: FrameKind::Reply, payload: w.finish() }
+        }
+        ServerMsg::Event(event) => {
+            let mut w = WireWriter::new();
+            event.write(&mut w);
+            Frame { kind: FrameKind::Event, payload: w.finish() }
+        }
+        ServerMsg::Error(seq, e) => {
+            let mut w = WireWriter::new();
+            w.u32(seq);
+            e.write(&mut w);
+            Frame { kind: FrameKind::Error, payload: w.finish() }
+        }
+        ServerMsg::Shutdown(reason) => {
+            // The farewell rides the error channel with sequence 0
+            // (never a live request), so old clients fail soft and new
+            // ones can surface the reason.
+            let detail = match reason {
+                DisconnectReason::ServerShutdown => "server shutting down",
+                DisconnectReason::SlowClient => "evicted: outbound channel full (slow client)",
+            };
+            let mut w = WireWriter::new();
+            w.u32(0);
+            da_proto::ProtoError::new(da_proto::ErrorCode::BadAccess, 0, detail).write(&mut w);
+            Frame { kind: FrameKind::Error, payload: w.finish() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::ServerConfig;
+    use da_proto::codec::MAX_FRAME_PAYLOAD;
+
+    /// A scripted transport: `try_read` hands out the scripted chunks
+    /// one per call (empty script → WouldBlock), `try_write` collects
+    /// everything.
+    struct ScriptedPoll {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        written: Vec<u8>,
+        eof_after_script: bool,
+    }
+
+    impl ScriptedPoll {
+        fn new(chunks: Vec<Vec<u8>>) -> ScriptedPoll {
+            ScriptedPoll {
+                chunks: chunks.into(),
+                written: Vec::new(),
+                eof_after_script: false,
+            }
+        }
+    }
+
+    impl Pollable for ScriptedPoll {
+        fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.chunks.pop_front() {
+                Some(chunk) => {
+                    assert!(chunk.len() <= buf.len(), "scripted chunk larger than read buffer");
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                None if self.eof_after_script => Ok(0),
+                None => Err(std::io::ErrorKind::WouldBlock.into()),
+            }
+        }
+        fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn set_waker(&mut self, _waker: da_proto::transport::Waker) {}
+    }
+
+    /// Fetches the metrics handle without leaving a read guard bound
+    /// in the caller's scope (keeps the lock-order lint exact).
+    fn metrics_of(core: &Arc<RwLock<Core>>) -> ServerMetrics {
+        core.read().tel.metrics.clone()
+    }
+
+    fn test_core() -> Arc<RwLock<Core>> {
+        Arc::new(RwLock::new(Core::new(ServerConfig {
+            manual_ticks: true,
+            ..ServerConfig::default()
+        })))
+    }
+
+    fn setup_frame() -> Vec<u8> {
+        let s = SetupRequest {
+            protocol_major: da_proto::PROTOCOL_MAJOR,
+            protocol_minor: da_proto::PROTOCOL_MINOR,
+            client_name: "reassembly-test".into(),
+        };
+        let mut w = WireWriter::new();
+        s.write(&mut w);
+        Frame { kind: FrameKind::Setup, payload: w.finish() }.encode()
+    }
+
+    fn pump_until_quiet(core: &Arc<RwLock<Core>>, metrics: &ServerMetrics, conn: &mut PlaneConn) {
+        for _ in 0..1000 {
+            if !pump_conn(core, metrics, false, conn) {
+                break;
+            }
+        }
+    }
+
+    /// Decodes every frame currently in the scripted transport's write
+    /// capture.
+    fn written_frames(conn: &mut PlaneConn) -> Vec<Frame> {
+        // The test Pollable is always a ScriptedPoll.
+        let io: &mut ScriptedPoll = unsafe {
+            // lint: allow-unwrap -- n/a (no unwrap; raw downcast scoped to tests)
+            &mut *(std::ptr::addr_of_mut!(*conn.io) as *mut ScriptedPoll)
+        };
+        let mut buf = BytesMut::from(&io.written[..]);
+        let mut out = Vec::new();
+        while let Ok(Some(f)) = Frame::decode(&mut buf) {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn header_split_across_wakeups_reassembles() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let setup = setup_frame();
+        // Split mid-header: 2 bytes of the length word, then the rest.
+        let chunks = vec![setup[..2].to_vec(), setup[2..].to_vec()];
+        let mut conn = PlaneConn::new(Box::new(ScriptedPoll::new(chunks)), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        assert!(!conn.dead);
+        assert!(conn.session.is_some(), "setup should complete from a split header");
+        let frames = written_frames(&mut conn);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].kind, FrameKind::SetupReply);
+        assert_eq!(core.read().clients.len(), 1);
+    }
+
+    #[test]
+    fn payload_one_byte_per_readiness_event() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let setup = setup_frame();
+        // One byte per wakeup, the worst legal fragmentation.
+        let chunks: Vec<Vec<u8>> = setup.iter().map(|&b| vec![b]).collect();
+        let mut conn = PlaneConn::new(Box::new(ScriptedPoll::new(chunks)), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        assert!(conn.session.is_some(), "setup should complete byte by byte");
+        let frames = written_frames(&mut conn);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].kind, FrameKind::SetupReply);
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        // A 5-byte header declaring a payload beyond MAX_FRAME_PAYLOAD;
+        // no payload bytes ever arrive, and none are needed: the length
+        // word alone must kill the connection.
+        let declared = (MAX_FRAME_PAYLOAD as u32) + 1;
+        let mut header = declared.to_le_bytes().to_vec();
+        header.push(5); // FrameKind::Setup
+        let mut conn = PlaneConn::new(Box::new(ScriptedPoll::new(vec![header])), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        assert!(conn.dead, "oversized frame must kill the connection");
+        assert!(conn.session.is_none());
+        // The reassembly buffer holds only the 5 header bytes — the
+        // declared 16 MiB payload was never allocated.
+        assert!(conn.rdbuf.len() <= 5);
+        assert_eq!(core.read().clients.len(), 0);
+    }
+
+    #[test]
+    fn eof_reaps_client_eagerly() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let mut script = ScriptedPoll::new(vec![setup_frame()]);
+        script.eof_after_script = true;
+        let mut conn = PlaneConn::new(Box::new(script), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        assert!(conn.dead, "EOF after setup tears the connection down");
+        assert_eq!(core.read().clients.len(), 0, "client must be removed on EOF");
+    }
+}

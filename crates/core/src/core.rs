@@ -10,6 +10,7 @@
 use crate::atoms::AtomTable;
 use crate::loud::Loud;
 use crate::queue::{CommandQueue, TypedQueue};
+use crate::shard::{ShardSet, ShardedMap};
 use crate::sound::{Catalogs, Sound};
 use crate::vdevice::{HwBinding, VDev};
 use crate::wire::Wire;
@@ -21,6 +22,7 @@ use da_proto::reply::Reply;
 use da_proto::types::{Attribute, DeviceClass, Property, QueueState};
 use da_proto::ProtoError;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A message queued toward one client's writer thread.
@@ -83,6 +85,26 @@ pub struct ClientState {
     /// Set when the slow-client policy decides to evict this client;
     /// the connection's reader thread polls it and tears down.
     pub kicked: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    /// Wakes the I/O worker that owns this client's connection, so a
+    /// message queued by the engine is flushed on the next pump rather
+    /// than after an idle-park interval.
+    pub waker: Option<ClientWaker>,
+}
+
+/// Wake callback for the I/O worker owning a client's connection
+/// (newtype so [`ClientState`] can keep deriving `Debug`).
+pub struct ClientWaker(pub da_proto::transport::Waker);
+
+impl ClientWaker {
+    fn wake(&self) {
+        (self.0)();
+    }
+}
+
+impl std::fmt::Debug for ClientWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ClientWaker")
+    }
 }
 
 /// Aggregate engine statistics (the E3 CPU-fraction experiment reads
@@ -124,6 +146,11 @@ pub struct ServerConfig {
     pub manual_ticks: bool,
     /// Vendor string reported at setup.
     pub vendor: String,
+    /// Resource-map shard count (fast-path dispatch concurrency).
+    pub shards: usize,
+    /// Connection-plane event-loop worker threads (total I/O threads are
+    /// O(this), never O(clients)).
+    pub io_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +162,8 @@ impl Default for ServerConfig {
             tcp_addr: None,
             manual_ticks: false,
             vendor: "desktop-audio reference server".to_string(),
+            shards: 8,
+            io_workers: 4,
         }
     }
 }
@@ -149,20 +178,23 @@ pub struct Core {
     pub remote_parties: Vec<da_hw::pstn::RemoteParty>,
     /// Connected clients.
     pub clients: HashMap<u32, ClientState>,
-    /// All LOUDs by raw id.
-    pub louds: HashMap<u32, Loud>,
-    /// All virtual devices by raw id.
-    pub vdevs: HashMap<u32, VDev>,
-    /// All wires by raw id.
-    pub wires: HashMap<u32, Wire>,
-    /// All sounds by raw id.
-    pub sounds: HashMap<u32, Sound>,
+    /// All LOUDs by raw id (sharded by owning client; DESIGN.md §13).
+    pub louds: ShardedMap<u32, Loud>,
+    /// All virtual devices by raw id (sharded).
+    pub vdevs: ShardedMap<u32, VDev>,
+    /// All wires by raw id (sharded).
+    pub wires: ShardedMap<u32, Wire>,
+    /// All sounds by raw id (sharded).
+    pub sounds: ShardedMap<u32, Sound>,
     /// Server-side sound catalogues.
     pub catalogs: Catalogs,
     /// Interned names.
     pub atoms: AtomTable,
-    /// Properties by resource.
-    pub properties: HashMap<ResKey, HashMap<u32, Property>>,
+    /// Properties by resource (sharded).
+    pub properties: ShardedMap<ResKey, HashMap<u32, Property>>,
+    /// Per-shard stripe locks for the fast dispatch path. Lock order:
+    /// core → stripe, at most one stripe per thread.
+    pub stripes: ShardSet,
     /// Mapped root LOUDs, top of stack first (paper §5.4).
     pub active_stack: Vec<u32>,
     /// The audio manager connection holding redirection, if any.
@@ -181,8 +213,9 @@ pub struct Core {
     pub stats: EngineStats,
     /// Topology generation: bumped by every mutation that can change
     /// routing (wires, devices, LOUD structure, activation/bindings).
-    /// The engine's plan cache rebuilds when this moves.
-    pub topology_gen: u64,
+    /// The engine's plan cache rebuilds when this moves. Atomic so the
+    /// read-locked fast path can bump it without the write lock.
+    pub topology_gen: AtomicU64,
     /// Cached route plans and scratch buffers (engine data plane).
     pub plane: crate::plan::DataPlane,
     /// Metrics registry, journal, and per-opcode dispatch counts.
@@ -197,18 +230,20 @@ impl Core {
     /// Creates the core from a configuration.
     pub fn new(config: ServerConfig) -> Self {
         let hw = Hardware::new(config.hw.clone());
+        let shards = config.shards.max(1);
         Core {
             config,
             hw,
             remote_parties: Vec::new(),
             clients: HashMap::new(),
-            louds: HashMap::new(),
-            vdevs: HashMap::new(),
-            wires: HashMap::new(),
-            sounds: HashMap::new(),
+            louds: ShardedMap::new(shards),
+            vdevs: ShardedMap::new(shards),
+            wires: ShardedMap::new(shards),
+            sounds: ShardedMap::new(shards),
             catalogs: Catalogs::with_system_sounds(),
             atoms: AtomTable::new(),
-            properties: HashMap::new(),
+            properties: ShardedMap::new(shards),
+            stripes: ShardSet::new(shards),
             active_stack: Vec::new(),
             redirect_client: None,
             pending_maps: Vec::new(),
@@ -217,7 +252,7 @@ impl Core {
             device_time: 0,
             tick_index: 0,
             stats: EngineStats::default(),
-            topology_gen: 0,
+            topology_gen: AtomicU64::new(0),
             plane: crate::plan::DataPlane::default(),
             tel: crate::telem::ServerTelemetry::default(),
             next_client: 1,
@@ -227,9 +262,10 @@ impl Core {
 
     /// Marks the routing topology as changed: the engine rebuilds its
     /// cached route plans before the next tick. Cheap (a counter bump),
-    /// so every mutation path calls it unconditionally.
-    pub fn invalidate_plans(&mut self) {
-        self.topology_gen = self.topology_gen.wrapping_add(1);
+    /// so every mutation path calls it unconditionally. Shared-reference
+    /// form so the read-locked fast path can also call it.
+    pub fn invalidate_plans(&self) {
+        self.topology_gen.fetch_add(1, Ordering::Relaxed);
     }
 
     // ---- clients -----------------------------------------------------------
@@ -258,6 +294,7 @@ impl Core {
                 selections: HashMap::new(),
                 counters,
                 kicked: Default::default(),
+                waker: None,
             },
         );
         self.tel.metrics.clients_total.inc();
@@ -266,6 +303,16 @@ impl Core {
         let base = id << 20;
         let mask = 0x000F_FFFF;
         (client, base, mask)
+    }
+
+    /// Attaches the owning I/O worker's wake callback to a client, so
+    /// outbound messages queued by other threads (engine, other
+    /// clients' dispatches) get flushed promptly instead of waiting
+    /// out the worker's idle park.
+    pub fn attach_waker(&mut self, client: ClientId, waker: da_proto::transport::Waker) {
+        if let Some(cs) = self.clients.get_mut(&client.0) {
+            cs.waker = Some(ClientWaker(waker));
+        }
     }
 
     /// Removes a client and destroys everything it owns.
@@ -352,7 +399,11 @@ impl Core {
     /// engine for every other client).
     fn queue_event(&self, cs: &ClientState, event: Event) {
         match cs.tx.try_send(ServerMsg::Event(event)) {
-            Ok(()) => {}
+            Ok(()) => {
+                if let Some(w) = &cs.waker {
+                    w.wake();
+                }
+            }
             Err(TrySendError::Full(_)) => {
                 da_telemetry::ConnCounters::bump(&cs.counters.events_dropped, 1);
                 self.tel.metrics.events_dropped_total.inc();
@@ -377,16 +428,26 @@ impl Core {
                 // Best-effort farewell; the connection is closing
                 // either way.
                 let _ = cs.tx.try_send(msg);
-            }
-            reply_or_error => match cs.tx.try_send(reply_or_error) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    if !cs.kicked.swap(true, std::sync::atomic::Ordering::Relaxed) {
-                        self.tel.metrics.clients_evicted_total.inc();
-                    }
+                if let Some(w) = &cs.waker {
+                    w.wake();
                 }
-                Err(TrySendError::Disconnected(_)) => {}
-            },
+            }
+            reply_or_error => {
+                match cs.tx.try_send(reply_or_error) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        if !cs.kicked.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                            self.tel.metrics.clients_evicted_total.inc();
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+                // Wake even on the full/evicted path: the worker is the
+                // one that notices `kicked` and sends the farewell.
+                if let Some(w) = &cs.waker {
+                    w.wake();
+                }
+            }
         }
     }
 

@@ -37,10 +37,9 @@ pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
     let op = request.opcode();
     let _span = da_telemetry::span!(core.tel.journal, "dispatch", client = client.0, opcode = op);
     let result = execute(core, client, &request);
-    if let Some(slot) = core.tel.per_opcode.get_mut(op as usize) {
-        *slot += 1;
-    }
+    core.tel.count_opcode(op as usize);
     core.tel.metrics.dispatch_requests_total.inc();
+    core.tel.metrics.dispatch_slow_total.inc();
     if result.is_err() {
         core.tel.metrics.dispatch_errors_total.inc();
     }

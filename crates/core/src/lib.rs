@@ -32,16 +32,24 @@
 //!   by a topology generation counter, plus pooled scratch buffers so
 //!   steady-state ticks are allocation-free;
 //! - [`dispatch`] — request execution (§4.1);
+//! - [`shard`], [`fastpath`] — sharded dispatch: requests that touch a
+//!   single client's resources run under a read lock plus that client's
+//!   shard stripe, bypassing the global write lock;
+//! - [`connplane`] — the event-loop connection plane (I/O threads are
+//!   O(workers), not O(clients));
 //! - [`server`] — the thread architecture (§6.1).
 
 pub mod atoms;
+pub mod connplane;
 pub mod core;
 pub mod dispatch;
 pub mod engine;
+pub mod fastpath;
 pub mod loud;
 pub mod plan;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod sound;
 pub mod telem;
 

@@ -154,11 +154,12 @@ impl PlanCache {
     /// Rebuilds the cache if the topology generation moved since the
     /// last build. Returns whether a rebuild happened.
     pub fn ensure_fresh(&mut self, core: &Core) -> bool {
-        if self.built_gen == Some(core.topology_gen) {
+        let gen = core.topology_gen.load(std::sync::atomic::Ordering::Relaxed);
+        if self.built_gen == Some(gen) {
             return false;
         }
         self.rebuild(core);
-        self.built_gen = Some(core.topology_gen);
+        self.built_gen = Some(gen);
         true
     }
 

@@ -1,23 +1,21 @@
 //! The audio server process: threads, connections, lifecycle.
 //!
 //! Mirrors the paper's thread architecture (§6.1) in spirit: a
-//! **connection manager** accepts clients at a well-known port and keeps a
-//! container object per connection; each client gets a **reader** thread
-//! (decode → dispatch) and a **writer** thread (drain the client's
-//! message channel); the **engine** thread steps devices once per
-//! quantum. Virtual devices and data sources/sinks — separate threads in
-//! the 1991 prototype — run as state machines inside the engine tick,
-//! which makes the streaming guarantees deterministic (see DESIGN.md).
+//! **connection manager** accepts clients at a well-known port; a small
+//! **connection plane** of event-loop I/O workers owns every client
+//! connection (frame reassembly, dispatch, outbound draining — see
+//! DESIGN.md §13), so total I/O threads are O(workers) rather than the
+//! paper's two-threads-per-client; the **engine** thread steps devices
+//! once per quantum. Virtual devices and data sources/sinks — separate
+//! threads in the 1991 prototype — run as state machines inside the
+//! engine tick, which makes the streaming guarantees deterministic.
 
-use crate::core::{Core, DisconnectReason, ServerConfig, ServerMsg, CLIENT_CHANNEL_DEPTH};
-use crate::dispatch::dispatch;
+use crate::connplane::ConnPlane;
+use crate::core::{Core, ServerConfig};
 use crate::engine;
-use da_proto::transport::{pipe_pair, Duplex, TransportError, TxHalf};
-use crossbeam::channel::bounded;
 use da_hw::clock::Pacer;
-use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
-use da_proto::{Request, SetupReply, SetupRequest, WireRead, WireWrite};
-use parking_lot::Mutex;
+use da_proto::transport::{byte_pipe_pair, Duplex, TcpPoll};
+use parking_lot::RwLock;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -25,12 +23,12 @@ use std::time::Duration;
 
 /// A running audio server.
 pub struct AudioServer {
-    core: Arc<Mutex<Core>>,
+    core: Arc<RwLock<Core>>,
     shutdown: Arc<AtomicBool>,
     engine: Option<std::thread::JoinHandle<()>>,
     listener: Option<std::thread::JoinHandle<()>>,
     tcp_addr: Option<SocketAddr>,
-    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    plane: Option<ConnPlane>,
 }
 
 impl AudioServer {
@@ -39,14 +37,15 @@ impl AudioServer {
         let pacing = config.pacing;
         let quantum = config.quantum_us;
         let manual = config.manual_ticks;
+        let io_workers = config.io_workers;
         let tcp = match &config.tcp_addr {
             Some(addr) => Some(TcpListener::bind(addr.as_str())?),
             None => None,
         };
         let tcp_addr = tcp.as_ref().map(|l| l.local_addr()).transpose()?;
-        let core = Arc::new(Mutex::new(Core::new(config)));
+        let core = Arc::new(RwLock::new(Core::new(config)));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let plane = ConnPlane::start(&core, &shutdown, io_workers)?;
 
         // Engine thread (absent in manual-tick mode).
         let engine = if manual {
@@ -59,7 +58,7 @@ impl AudioServer {
                 while !shutdown.load(Ordering::Relaxed) {
                     pacer.wait_tick();
                     {
-                        let mut core = core.lock();
+                        let mut core = core.write();
                         engine::tick(&mut core);
                     }
                     // In virtual pacing give dispatch threads a chance at
@@ -71,19 +70,19 @@ impl AudioServer {
 
         // Connection-manager thread ("a daemon at a well-known port that
         // detects incoming client connection requests", paper §6.1).
+        // Accepted sockets are handed to the plane, not given threads.
         let listener = match tcp {
             None => None,
             Some(l) => {
                 l.set_nonblocking(true)?;
-                let core = Arc::clone(&core);
                 let shutdown = Arc::clone(&shutdown);
-                let threads = Arc::clone(&conn_threads);
+                let plane_tx = plane.injector();
                 Some(std::thread::Builder::new().name("da-connmgr".into()).spawn(move || {
                     while !shutdown.load(Ordering::Relaxed) {
                         match l.accept() {
                             Ok((sock, _)) => {
-                                if let Ok(duplex) = Duplex::tcp(sock) {
-                                    spawn_connection(&core, &shutdown, &threads, duplex);
+                                if let Ok(poll) = TcpPoll::new(sock) {
+                                    plane_tx.add(Box::new(poll));
                                 }
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -96,7 +95,7 @@ impl AudioServer {
             }
         };
 
-        Ok(AudioServer { core, shutdown, engine, listener, tcp_addr, conn_threads })
+        Ok(AudioServer { core, shutdown, engine, listener, tcp_addr, plane: Some(plane) })
     }
 
     /// The TCP address the server listens on, if TCP is enabled.
@@ -106,9 +105,16 @@ impl AudioServer {
 
     /// Opens an in-process connection, returning the client's duplex.
     pub fn connect_pipe(&self) -> Duplex {
-        let (client_side, server_side) = pipe_pair();
-        spawn_connection(&self.core, &self.shutdown, &self.conn_threads, server_side);
+        let (client_side, server_side) = byte_pipe_pair();
+        if let Some(plane) = &self.plane {
+            plane.add(Box::new(server_side));
+        }
         client_side
+    }
+
+    /// Number of I/O worker threads in the connection plane.
+    pub fn io_workers(&self) -> usize {
+        self.plane.as_ref().map(|p| p.workers()).unwrap_or(0)
     }
 
     /// A control handle for tests, benches and embedded use.
@@ -123,16 +129,15 @@ impl AudioServer {
 
     fn do_shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        self.core.lock().shutting_down = true;
+        self.core.write().shutting_down = true;
         if let Some(e) = self.engine.take() {
             let _ = e.join();
         }
         if let Some(l) = self.listener.take() {
             let _ = l.join();
         }
-        let threads: Vec<_> = self.conn_threads.lock().drain(..).collect();
-        for t in threads {
-            let _ = t.join();
+        if let Some(mut plane) = self.plane.take() {
+            plane.join();
         }
     }
 }
@@ -146,24 +151,24 @@ impl Drop for AudioServer {
 /// Test/embedding control: look inside the running server.
 #[derive(Clone)]
 pub struct ServerControl {
-    core: Arc<Mutex<Core>>,
+    core: Arc<RwLock<Core>>,
 }
 
 impl ServerControl {
     /// Runs a closure against the locked core.
     pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
-        f(&mut self.core.lock())
+        f(&mut self.core.write())
     }
 
     /// Current device time (8 kHz frames since start).
     pub fn device_time(&self) -> u64 {
-        self.core.lock().device_time
+        self.core.read().device_time
     }
 
     /// Engine statistics snapshot, stamped with the tick it was captured
     /// at so callers can tell two snapshots apart.
     pub fn stats(&self) -> crate::core::EngineStats {
-        let core = self.core.lock();
+        let core = self.core.read();
         let mut s = core.stats;
         s.captured_at_tick = core.tick_index;
         s
@@ -172,7 +177,7 @@ impl ServerControl {
     /// Adds a scripted remote party on a new external line; returns its
     /// index for [`ServerControl::with_party`].
     pub fn add_remote_party(&self, number: &str) -> usize {
-        let mut core = self.core.lock();
+        let mut core = self.core.write();
         let line = core.hw.add_external_line(number);
         core.remote_parties.push(da_hw::pstn::RemoteParty::new(line));
         core.remote_parties.len() - 1
@@ -184,29 +189,29 @@ impl ServerControl {
         index: usize,
         f: impl FnOnce(&mut da_hw::pstn::RemoteParty, &mut da_hw::pstn::Pstn) -> R,
     ) -> R {
-        let mut core = self.core.lock();
+        let mut core = self.core.write();
         let core = &mut *core;
         f(&mut core.remote_parties[index], &mut core.hw.pstn)
     }
 
     /// Enables waveform capture on a speaker.
     pub fn set_speaker_capture(&self, speaker: usize, limit: usize) {
-        self.core.lock().hw.speakers[speaker].set_capture(limit);
+        self.core.write().hw.speakers[speaker].set_capture(limit);
     }
 
     /// Takes the captured waveform from a speaker.
     pub fn take_captured(&self, speaker: usize) -> Vec<i16> {
-        self.core.lock().hw.speakers[speaker].take_captured()
+        self.core.write().hw.speakers[speaker].take_captured()
     }
 
     /// Speaker statistics.
     pub fn speaker_stats(&self, speaker: usize) -> da_hw::codec::SpeakerStats {
-        self.core.lock().hw.speakers[speaker].stats()
+        self.core.read().hw.speakers[speaker].stats()
     }
 
     /// Injects audio into a microphone (as if the user spoke).
     pub fn speak_into_microphone(&self, mic: usize, samples: &[i16]) {
-        self.core.lock().hw.microphones[mic].inject(samples);
+        self.core.write().hw.microphones[mic].inject(samples);
     }
 
     /// Polls `pred` against the core until it holds or `timeout` passes.
@@ -215,7 +220,7 @@ impl ServerControl {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             {
-                let mut core = self.core.lock();
+                let mut core = self.core.write();
                 if pred(&mut core) {
                     return true;
                 }
@@ -234,252 +239,9 @@ impl ServerControl {
 
     /// Runs `n` engine ticks synchronously (manual-tick servers).
     pub fn tick_n(&self, n: u64) {
-        let mut core = self.core.lock();
+        let mut core = self.core.write();
         for _ in 0..n {
             crate::engine::tick(&mut core);
-        }
-    }
-}
-
-/// Spawns the reader/writer thread pair for one connection.
-fn spawn_connection(
-    core: &Arc<Mutex<Core>>,
-    shutdown: &Arc<AtomicBool>,
-    threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    duplex: Duplex,
-) {
-    let core = Arc::clone(core);
-    let shutdown = Arc::clone(shutdown);
-    let threads2 = Arc::clone(threads);
-    let spawned = std::thread::Builder::new()
-        .name("da-client".into())
-        .spawn(move || serve_connection(core, shutdown, threads2, duplex));
-    // Spawn failure (resource exhaustion) refuses the connection rather
-    // than killing the server.
-    if let Ok(handle) = spawned {
-        threads.lock().push(handle);
-    }
-}
-
-fn serve_connection(
-    core: Arc<Mutex<Core>>,
-    shutdown: Arc<AtomicBool>,
-    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-    duplex: Duplex,
-) {
-    let (mut tx, mut rx) = duplex.into_split();
-    // Setup handshake.
-    let setup = loop {
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match rx.recv(Some(Duration::from_millis(100))) {
-            Ok(Some(frame)) if frame.kind == FrameKind::Setup => {
-                match SetupRequest::from_wire(&frame.payload) {
-                    Ok(s) => break s,
-                    Err(_) => return,
-                }
-            }
-            Ok(Some(_)) => return, // protocol violation before setup
-            Ok(None) => continue,
-            Err(_) => return,
-        }
-    };
-    // Bounded: a client that stops reading exerts backpressure on its
-    // own channel only; the slow-client policy (DESIGN.md §12) drops
-    // its events and eventually evicts it, never blocking the core.
-    let (msg_tx, msg_rx) = bounded::<ServerMsg>(CLIENT_CHANNEL_DEPTH);
-    // Shared between the reader loop, the writer thread, and the core's
-    // client table (for `ListClients`).
-    let counters = Arc::new(da_telemetry::ConnCounters::default());
-    let (client, id_base, id_mask, wire_metrics, kicked) = {
-        let mut core = core.lock();
-        let (client, id_base, id_mask) =
-            core.add_client_with_counters(setup.client_name.clone(), msg_tx, Arc::clone(&counters));
-        let kicked = Arc::clone(&core.clients[&client.0].kicked);
-        (client, id_base, id_mask, core.tel.metrics.clone(), kicked)
-    };
-    let reply = SetupReply {
-        protocol_major: da_proto::PROTOCOL_MAJOR,
-        protocol_minor: da_proto::PROTOCOL_MINOR,
-        client,
-        id_base,
-        id_mask,
-        vendor: core.lock().config.vendor.clone(),
-    };
-    let mut w = WireWriter::new();
-    reply.write(&mut w);
-    if tx.send(&Frame { kind: FrameKind::SetupReply, payload: w.finish() }).is_err() {
-        core.lock().remove_client(client);
-        return;
-    }
-
-    // Writer thread: drains the client's message channel.
-    let writer = {
-        let shutdown = Arc::clone(&shutdown);
-        let counters = Arc::clone(&counters);
-        let metrics = wire_metrics.clone();
-        std::thread::Builder::new().name("da-writer".into()).spawn(move || {
-            loop {
-                match msg_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(msg) => {
-                        let last = matches!(msg, ServerMsg::Shutdown(_));
-                        if !emit_msg(&mut tx, &counters, &metrics, msg) || last {
-                            break;
-                        }
-                    }
-                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                        if shutdown.load(Ordering::Relaxed) {
-                            // Server shutdown can race replies already
-                            // queued on this channel; drain them before
-                            // exiting so nothing queued is ever lost.
-                            while let Ok(msg) = msg_rx.try_recv() {
-                                let last = matches!(msg, ServerMsg::Shutdown(_));
-                                if !emit_msg(&mut tx, &counters, &metrics, msg) || last {
-                                    break;
-                                }
-                            }
-                            break;
-                        }
-                    }
-                    // The shim only reports disconnection once the
-                    // channel is drained, so nothing is lost here.
-                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-    };
-    match writer {
-        Ok(handle) => threads.lock().push(handle),
-        Err(_) => {
-            // No writer means no replies: refuse the connection.
-            core.lock().remove_client(client);
-            return;
-        }
-    }
-
-    // Reader loop: decode and dispatch requests. `farewell` is the
-    // typed reason sent to the client when *we* end the connection;
-    // `None` means the peer vanished and there is nobody to tell.
-    let mut farewell = None;
-    loop {
-        if shutdown.load(Ordering::Relaxed) {
-            farewell = Some(DisconnectReason::ServerShutdown);
-            break;
-        }
-        if kicked.load(Ordering::Relaxed) {
-            farewell = Some(DisconnectReason::SlowClient);
-            break;
-        }
-        match rx.recv(Some(Duration::from_millis(100))) {
-            Ok(Some(frame)) => {
-                if frame.kind != FrameKind::Request {
-                    continue;
-                }
-                da_telemetry::ConnCounters::bump(&counters.requests, 1);
-                da_telemetry::ConnCounters::bump(&counters.bytes_in, frame.payload.len() as u64);
-                wire_metrics.wire_frames_in_total.inc();
-                wire_metrics.wire_bytes_in_total.add(frame.payload.len() as u64);
-                let mut r = WireReader::new(&frame.payload);
-                let decoded = r.u32().ok().and_then(|seq| {
-                    Request::read(&mut r).ok().map(|req| (seq, req))
-                });
-                match decoded {
-                    Some((seq, req)) => {
-                        let mut core = core.lock();
-                        dispatch(&mut core, client, seq, req);
-                    }
-                    None => {
-                        // Undecodable request: the sequence number (if
-                        // readable) gets a BadRequest error.
-                        let mut r = WireReader::new(&frame.payload);
-                        let seq = r.u32().unwrap_or(0);
-                        let core = core.lock();
-                        core.send_to_client(
-                            client,
-                            ServerMsg::Error(
-                                seq,
-                                da_proto::ProtoError::new(
-                                    da_proto::ErrorCode::BadRequest,
-                                    0,
-                                    "undecodable request",
-                                ),
-                            ),
-                        );
-                    }
-                }
-            }
-            Ok(None) => continue,
-            Err(TransportError::Closed) | Err(_) => break,
-        }
-    }
-    {
-        let mut core = core.lock();
-        if let Some(reason) = farewell {
-            // Best-effort typed notice; queued FIFO behind any replies
-            // still in flight, and the writer exits after sending it.
-            core.send_to_client(client, ServerMsg::Shutdown(reason));
-        }
-        core.remove_client(client);
-    }
-}
-
-/// Encodes and sends one queued message on the writer thread, keeping
-/// the per-connection and server wire counters in step. Returns whether
-/// the transport accepted it.
-fn emit_msg(
-    tx: &mut Box<dyn TxHalf>,
-    counters: &da_telemetry::ConnCounters,
-    metrics: &crate::telem::ServerMetrics,
-    msg: ServerMsg,
-) -> bool {
-    let slot = match &msg {
-        ServerMsg::Reply(..) => Some(&counters.replies),
-        ServerMsg::Event(..) => Some(&counters.events),
-        ServerMsg::Error(..) => Some(&counters.errors),
-        ServerMsg::Shutdown(_) => None,
-    };
-    let frame = encode_msg(msg);
-    if let Some(slot) = slot {
-        da_telemetry::ConnCounters::bump(slot, 1);
-        da_telemetry::ConnCounters::bump(&counters.bytes_out, frame.payload.len() as u64);
-        metrics.wire_frames_out_total.inc();
-        metrics.wire_bytes_out_total.add(frame.payload.len() as u64);
-    }
-    tx.send(&frame).is_ok()
-}
-
-fn encode_msg(msg: ServerMsg) -> Frame {
-    match msg {
-        ServerMsg::Reply(seq, reply) => {
-            let mut w = WireWriter::new();
-            w.u32(seq);
-            reply.write(&mut w);
-            Frame { kind: FrameKind::Reply, payload: w.finish() }
-        }
-        ServerMsg::Event(event) => {
-            let mut w = WireWriter::new();
-            event.write(&mut w);
-            Frame { kind: FrameKind::Event, payload: w.finish() }
-        }
-        ServerMsg::Error(seq, e) => {
-            let mut w = WireWriter::new();
-            w.u32(seq);
-            e.write(&mut w);
-            Frame { kind: FrameKind::Error, payload: w.finish() }
-        }
-        ServerMsg::Shutdown(reason) => {
-            // The farewell rides the error channel with sequence 0
-            // (never a live request), so old clients fail soft and new
-            // ones can surface the reason.
-            let detail = match reason {
-                DisconnectReason::ServerShutdown => "server shutting down",
-                DisconnectReason::SlowClient => "evicted: outbound channel full (slow client)",
-            };
-            let mut w = WireWriter::new();
-            w.u32(0);
-            da_proto::ProtoError::new(da_proto::ErrorCode::BadAccess, 0, detail).write(&mut w);
-            Frame { kind: FrameKind::Error, payload: w.finish() }
         }
     }
 }

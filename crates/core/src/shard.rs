@@ -1,0 +1,325 @@
+//! Sharded resource maps and per-shard stripe locks (DESIGN.md §13).
+//!
+//! The core's resource maps (LOUDs, vdevices, wires, sounds, properties)
+//! are partitioned into `N` shards by **owning client**: every resource
+//! id carries its creator in the high bits (`id >> 20`), so one client's
+//! resources always land in one shard. The fast dispatch path takes the
+//! core `RwLock` in *read* mode plus the one stripe lock for the
+//! requesting client's shard, and may then mutate that shard's partition
+//! of every sharded map while reading (never writing) global state. The
+//! slow path takes the core lock in *write* mode and sees the exact
+//! pre-sharding world: `ShardedMap` keeps the `HashMap` surface the rest
+//! of the server was written against.
+//!
+//! # Safety protocol
+//!
+//! `ShardedMap` stores each shard in an `UnsafeCell` so the fast path
+//! can obtain `&mut HashMap` for *its* shard through a shared `&Core`.
+//! The aliasing rules that make this sound:
+//!
+//! 1. **Write lock** (`core.write()`): unrestricted access, exactly the
+//!    old single-mutex world. All `&self`/`&mut self` methods are safe.
+//! 2. **Read lock** (`core.read()`): a thread may call
+//!    [`ShardedMap::shard_mut`] for shard `s` only while holding stripe
+//!    `s` (see [`ShardSet`]), and while that `&mut` view is live it must
+//!    not touch the same map through any `&self` accessor. Different
+//!    shards never alias (distinct `UnsafeCell`s); the same shard is
+//!    serialised by its stripe; readers-vs-writer is excluded by the
+//!    `RwLock` itself.
+//! 3. Lock order is `core` → `stripe`, at most one stripe per thread
+//!    (enforced by the xtask LOCK_ORDER lint).
+
+use std::cell::UnsafeCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::core::ResKey;
+
+/// Client id space: resource ids are `client << ID_SHIFT | serial`.
+pub const ID_SHIFT: u32 = 20;
+
+/// Keys that know which shard they live in.
+pub trait ShardKey: Copy + Eq + Hash {
+    /// Owning-client number used for shard assignment.
+    fn owner(&self) -> u32;
+    /// Shard index for a table of `n` shards.
+    fn shard_of(&self, n: usize) -> usize {
+        // cast-ok: reduced mod n immediately.
+        (self.owner() as usize) % n.max(1)
+    }
+}
+
+/// Raw resource ids: the owning client sits in the high bits.
+impl ShardKey for u32 {
+    fn owner(&self) -> u32 {
+        self >> ID_SHIFT
+    }
+}
+
+/// Selection/property keys wrap a raw resource id. Device targets
+/// (`ResKey(3, _)`) have small ids and all fall into shard 0; that is
+/// fine because device-targeted requests never take the fast path.
+impl ShardKey for ResKey {
+    fn owner(&self) -> u32 {
+        self.1 >> ID_SHIFT
+    }
+}
+
+/// A `HashMap` partitioned into shards by [`ShardKey`].
+///
+/// All `&self` accessors are safe under the write lock or whenever no
+/// concurrent [`shard_mut`](Self::shard_mut) view of the touched shard
+/// exists (see the module-level safety protocol).
+pub struct ShardedMap<K, V> {
+    shards: Vec<UnsafeCell<HashMap<K, V>>>,
+}
+
+// SAFETY: a ShardedMap is a plain collection of HashMaps; cross-thread
+// access is governed by the core RwLock + stripe protocol documented at
+// module level, which prevents data races on any individual shard.
+unsafe impl<K: Send, V: Send> Send for ShardedMap<K, V> {}
+// SAFETY: see above — `&self` methods only race with `shard_mut` views,
+// and the lock protocol makes those mutually exclusive per shard.
+unsafe impl<K: Send, V: Send> Sync for ShardedMap<K, V> {}
+
+impl<K: ShardKey, V> ShardedMap<K, V> {
+    /// An empty map with `n` shards (minimum 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        ShardedMap { shards: (0..n).map(|_| UnsafeCell::new(HashMap::new())).collect() }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index a key belongs to.
+    pub fn shard_of(&self, key: &K) -> usize {
+        key.shard_of(self.shards.len())
+    }
+
+    fn shard(&self, idx: usize) -> &HashMap<K, V> {
+        // SAFETY: shared deref; callers uphold the module-level protocol
+        // (no live `shard_mut` view of this shard on another thread).
+        unsafe { &*self.shards[idx].get() }
+    }
+
+    /// Exclusive view of one shard's partition through a shared
+    /// reference — the fast-path entry point.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the core lock in read mode *and* stripe
+    /// `idx`, and must not access this map through any other method
+    /// (on any shard-`idx` key) while the returned reference is live.
+    #[allow(clippy::mut_from_ref)] // the whole point: stripe-guarded interior mutability
+    pub unsafe fn shard_mut(&self, idx: usize) -> &mut HashMap<K, V> {
+        &mut *self.shards[idx].get()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.shard(self.shard_of(key)).get(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.shard(self.shard_of(key)).contains_key(key)
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().enumerate().map(|(i, _)| self.shard(i).len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        (0..self.shards.len()).all(|i| self.shard(i).is_empty())
+    }
+
+    /// Iterates all entries (shard-major order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        (0..self.shards.len()).flat_map(|i| self.shard(i).iter())
+    }
+
+    /// Iterates all keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates all values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Mutable lookup (write-lock path).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = self.shard_of(key);
+        self.shards[idx].get_mut().get_mut(key)
+    }
+
+    /// Inserts, returning any previous value (write-lock path).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let idx = self.shard_of(&key);
+        self.shards[idx].get_mut().insert(key, value)
+    }
+
+    /// Removes a key (write-lock path).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.shard_of(key);
+        self.shards[idx].get_mut().remove(key)
+    }
+
+    /// Entry API on the owning shard (write-lock path).
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        let idx = self.shard_of(&key);
+        self.shards[idx].get_mut().entry(key)
+    }
+
+    /// Keeps only entries the predicate accepts (write-lock path).
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        for shard in &mut self.shards {
+            shard.get_mut().retain(|k, v| f(k, v));
+        }
+    }
+
+    /// Iterates all values mutably (write-lock path).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.shards.iter_mut().flat_map(|s| s.get_mut().values_mut())
+    }
+
+    /// Iterates all entries mutably (write-lock path).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.shards.iter_mut().flat_map(|s| s.get_mut().iter_mut())
+    }
+}
+
+impl<'a, K: ShardKey, V> IntoIterator for &'a ShardedMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Box<dyn Iterator<Item = (&'a K, &'a V)> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl<K: ShardKey, V> std::ops::Index<&K> for ShardedMap<K, V> {
+    type Output = V;
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
+impl<K: ShardKey + std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// One stripe (plain mutex) per shard, taken by the fast path after the
+/// core read lock. Lock order: `core` → `stripe`; a thread holds at most
+/// one stripe at a time.
+pub struct ShardSet {
+    stripes: Vec<parking_lot::Mutex<()>>,
+}
+
+impl ShardSet {
+    /// A set of `n` stripes (minimum 1).
+    pub fn new(n: usize) -> Self {
+        ShardSet { stripes: (0..n.max(1)).map(|_| parking_lot::Mutex::new(())).collect() }
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Whether the set is empty (never true: minimum one stripe).
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// The stripe mutex guarding shard `idx`.
+    pub fn stripe(&self, idx: usize) -> &parking_lot::Mutex<()> {
+        &self.stripes[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(client: u32, serial: u32) -> u32 {
+        (client << ID_SHIFT) | serial
+    }
+
+    #[test]
+    fn shard_assignment_follows_owner() {
+        let m: ShardedMap<u32, &str> = ShardedMap::new(8);
+        assert_eq!(m.shard_of(&id(1, 7)), 1);
+        assert_eq!(m.shard_of(&id(9, 7)), 1); // 9 % 8
+        assert_eq!(m.shard_of(&id(3, 0xFFFFF)), 3);
+        // ResKey shards by the wrapped id's owner.
+        let p: ShardedMap<ResKey, &str> = ShardedMap::new(8);
+        assert_eq!(p.shard_of(&ResKey(0, id(5, 1))), 5);
+        assert_eq!(p.shard_of(&ResKey(3, 2)), 0); // device keys: shard 0
+    }
+
+    #[test]
+    fn hashmap_facade_roundtrip() {
+        let mut m: ShardedMap<u32, String> = ShardedMap::new(4);
+        assert!(m.is_empty());
+        for c in 1..=6u32 {
+            for s in 1..=3u32 {
+                m.insert(id(c, s), format!("{c}/{s}"));
+            }
+        }
+        assert_eq!(m.len(), 18);
+        assert!(m.contains_key(&id(2, 2)));
+        assert_eq!(m[&id(4, 1)], "4/1");
+        assert_eq!(m.get(&id(6, 3)).map(String::as_str), Some("6/3"));
+        assert_eq!(m.get_mut(&id(6, 3)).map(|v| v.push('!')), Some(()));
+        assert_eq!(m.remove(&id(6, 3)).as_deref(), Some("6/3!"));
+        assert_eq!(m.keys().count(), 17);
+        assert_eq!(m.values().count(), 17);
+        assert_eq!(m.iter().count(), 17);
+        m.entry(id(1, 9)).or_insert_with(|| "late".into());
+        m.retain(|k, _| k.owner() != 2);
+        assert_eq!(m.len(), 15);
+        for v in m.values_mut() {
+            v.push('.');
+        }
+        assert_eq!(m[&id(1, 9)], "late.");
+    }
+
+    #[test]
+    fn shard_mut_sees_only_its_partition() {
+        let mut m: ShardedMap<u32, u32> = ShardedMap::new(4);
+        m.insert(id(1, 1), 11);
+        m.insert(id(2, 1), 21);
+        m.insert(id(5, 1), 51); // 5 % 4 == 1: same shard as client 1
+        // SAFETY: single-threaded test — no concurrent access at all.
+        let view = unsafe { m.shard_mut(1) };
+        assert_eq!(view.len(), 2);
+        view.insert(id(1, 2), 12);
+        assert_eq!(view.get(&id(2, 1)), None);
+        let _ = view;
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[&id(1, 2)], 12);
+    }
+
+    #[test]
+    fn stripes_are_independent() {
+        let s = ShardSet::new(4);
+        assert_eq!(s.len(), 4);
+        let zero = s.stripe(0);
+        let g = zero.lock();
+        // A different stripe is still free while 0 is held.
+        let one = s.stripe(1);
+        assert!(one.try_lock().is_some());
+        assert!(zero.try_lock().is_none());
+        drop(g);
+        assert!(zero.try_lock().is_some());
+    }
+}

@@ -75,6 +75,26 @@ pub struct ServerMetrics {
     pub events_dropped_total: Counter,
     /// Clients evicted by the slow-client policy.
     pub clients_evicted_total: Counter,
+    // -- connection plane & sharding (DESIGN.md §13) ----------------------
+    /// Requests dispatched on the sharded fast path (read lock + stripe).
+    pub dispatch_fast_total: Counter,
+    /// Requests dispatched on the global-write-lock slow path.
+    pub dispatch_slow_total: Counter,
+    /// Wait to acquire a shard stripe lock, in microseconds.
+    pub shard_lock_wait_us: Histogram,
+    /// Hold time of a shard stripe lock, in microseconds.
+    pub shard_lock_hold_us: Histogram,
+    /// Event-loop I/O worker threads in the connection plane.
+    pub conn_plane_workers: Gauge,
+    /// Connections currently owned by the plane, all workers.
+    pub conn_plane_connections: Gauge,
+    /// Connections owned by the most loaded worker.
+    pub conn_worker_max_connections: Gauge,
+    /// Busy share of the most loaded worker's loop, in permille.
+    pub conn_plane_busy_permille: Gauge,
+    /// Wall time of one worker loop iteration doing work, in
+    /// microseconds.
+    pub conn_worker_loop_us: Histogram,
     // -- hardware ---------------------------------------------------------
     /// Speaker-reported underrun frames, all speakers (mirrored).
     pub speaker_underrun_frames_total: Counter,
@@ -113,6 +133,15 @@ impl ServerMetrics {
             wire_frames_out_total: counter!(reg, "wire_frames_out_total"),
             events_dropped_total: counter!(reg, "events_dropped_total"),
             clients_evicted_total: counter!(reg, "clients_evicted_total"),
+            dispatch_fast_total: counter!(reg, "dispatch_fast_total"),
+            dispatch_slow_total: counter!(reg, "dispatch_slow_total"),
+            shard_lock_wait_us: histogram!(reg, "shard_lock_wait_us"),
+            shard_lock_hold_us: histogram!(reg, "shard_lock_hold_us"),
+            conn_plane_workers: gauge!(reg, "conn_plane_workers"),
+            conn_plane_connections: gauge!(reg, "conn_plane_connections"),
+            conn_worker_max_connections: gauge!(reg, "conn_worker_max_connections"),
+            conn_plane_busy_permille: gauge!(reg, "conn_plane_busy_permille"),
+            conn_worker_loop_us: histogram!(reg, "conn_worker_loop_us"),
             speaker_underrun_frames_total: counter!(reg, "speaker_underrun_frames_total"),
             dsp_convert_ns: histogram!(reg, "dsp_convert_ns"),
             dsp_mix_ns: histogram!(reg, "dsp_mix_ns"),
@@ -129,9 +158,20 @@ pub struct ServerTelemetry {
     pub metrics: ServerMetrics,
     /// The structured event journal (Info filter by default).
     pub journal: Arc<Journal>,
-    /// Per-opcode dispatch counts, indexed by request opcode. Plain
-    /// `u64`s: dispatch already holds the core mutably.
-    pub per_opcode: Vec<u64>,
+    /// Per-opcode dispatch counts, indexed by request opcode. Atomic:
+    /// the sharded fast path counts under the core *read* lock, where
+    /// many dispatchers run at once.
+    pub per_opcode: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl ServerTelemetry {
+    /// Records one dispatch of `op` (relaxed; loads happen behind the
+    /// write lock in [`server_stats_reply`]).
+    pub fn count_opcode(&self, op: usize) {
+        if let Some(slot) = self.per_opcode.get(op) {
+            slot.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
 }
 
 impl Default for ServerTelemetry {
@@ -142,7 +182,7 @@ impl Default for ServerTelemetry {
             registry,
             metrics,
             journal: Arc::new(Journal::new(1024)),
-            per_opcode: vec![0; Request::COUNT],
+            per_opcode: (0..Request::COUNT).map(|_| std::sync::atomic::AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -185,7 +225,12 @@ pub fn server_stats_reply(core: &mut Core) -> Reply {
         stats: ServerStatsData {
             captured_at_tick: core.tick_index,
             device_time: core.device_time,
-            per_opcode: core.tel.per_opcode.clone(),
+            per_opcode: core
+                .tel
+                .per_opcode
+                .iter()
+                .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                .collect(),
             counters: snap
                 .counters
                 .into_iter()

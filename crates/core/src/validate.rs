@@ -510,7 +510,8 @@ fn check_client_liveness(core: &Core, out: &mut Vec<Violation>) {
 /// the bug class `Core::invalidate_plans` exists to prevent.
 fn check_plan_cache(core: &Core, out: &mut Vec<Violation>) {
     let plans = &core.plane.plans;
-    if plans.built_generation() != Some(core.topology_gen) {
+    let gen = core.topology_gen.load(std::sync::atomic::Ordering::Relaxed);
+    if plans.built_generation() != Some(gen) {
         return;
     }
     let expected_roots: Vec<u32> = core
@@ -525,7 +526,7 @@ fn check_plan_cache(core: &Core, out: &mut Vec<Violation>) {
             "V10",
             format!(
                 "plan cache active roots {:?} != live {:?} at generation {}",
-                plans.active_roots, expected_roots, core.topology_gen
+                plans.active_roots, expected_roots, gen
             ),
         );
         return;

@@ -37,11 +37,13 @@ pub struct SoakConfig {
     pub sessions: usize,
     /// Sessions running concurrently per wave.
     pub concurrency: usize,
+    /// Connection-plane I/O workers for the server under soak.
+    pub workers: usize,
 }
 
 impl Default for SoakConfig {
     fn default() -> Self {
-        SoakConfig { seed: 0, sessions: 120, concurrency: 8 }
+        SoakConfig { seed: 0, sessions: 120, concurrency: 8, workers: 4 }
     }
 }
 
@@ -88,7 +90,10 @@ impl SoakReport {
 /// server, checked wave by wave.
 pub fn soak(cfg: &SoakConfig) -> SoakReport {
     let mut report = SoakReport { sessions: cfg.sessions, ..Default::default() };
-    let server = match AudioServer::start(ServerConfig::default()) {
+    let server = match AudioServer::start(ServerConfig {
+        io_workers: cfg.workers.max(1),
+        ..ServerConfig::default()
+    }) {
         Ok(s) => s,
         Err(e) => {
             report.violations.push(format!("server failed to start: {e}"));
@@ -208,7 +213,7 @@ fn session_workload(conn: &mut Connection, index: usize) -> Result<(), AlibError
         vec![QueueEntry::Device { vdev: player, cmd: DeviceCommand::Play(sound) }],
     )?;
     conn.start_queue(loud)?;
-    if index % 3 == 0 {
+    if index.is_multiple_of(3) {
         // Abrupt departure: maximum live state, zero teardown.
         return Ok(());
     }
@@ -230,7 +235,7 @@ mod tests {
     /// hundreds of opportunities).
     #[test]
     fn small_soak_is_clean() {
-        let report = soak(&SoakConfig { seed: 7, sessions: 20, concurrency: 4 });
+        let report = soak(&SoakConfig { seed: 7, sessions: 20, concurrency: 4, workers: 2 });
         assert!(report.clean(), "soak violations: {:?}", report.violations);
         assert_eq!(report.completed_ok + report.died_early, 20);
         assert!(report.total_faults() > 0, "no faults injected");
@@ -241,7 +246,7 @@ mod tests {
     /// sessions still checks the scaffolding) reports cleanly.
     #[test]
     fn empty_soak_is_clean() {
-        let report = soak(&SoakConfig { seed: 0, sessions: 0, concurrency: 4 });
+        let report = soak(&SoakConfig { seed: 0, sessions: 0, concurrency: 4, workers: 1 });
         assert!(report.clean(), "soak violations: {:?}", report.violations);
         assert_eq!(report.sessions, 0);
     }

@@ -8,13 +8,17 @@
 //!
 //! A [`Duplex`] owns both directions; [`Duplex::into_split`] separates
 //! them so a connection can be serviced by independent reader and writer
-//! threads (the server's per-client thread pair).
+//! threads (historically the server's per-client thread pair; today's
+//! server instead drives many connections from a few event-loop workers
+//! over the non-blocking [`Pollable`] byte interface).
 
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use crate::codec::{CodecError, Frame};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 /// Errors surfaced by transports.
@@ -173,6 +177,294 @@ impl RxHalf for PipeRx {
     }
 }
 
+// ---- non-blocking byte transports (the server's connection plane) ------
+
+/// Wake callback registered by an event-loop worker: invoked whenever a
+/// [`Pollable`] that previously returned `WouldBlock` may have become
+/// readable or writable again.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// A non-blocking byte stream, the readiness abstraction the server's
+/// event-loop workers drive. Both operations must never block: they
+/// return `ErrorKind::WouldBlock` when no progress is possible right
+/// now. Length-prefixed frame reassembly happens above this interface,
+/// identically for every transport.
+pub trait Pollable: Send {
+    /// Reads available bytes into `buf`. `Ok(0)` means the peer closed
+    /// the stream and every buffered byte has been delivered (EOF).
+    fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    /// Writes as much of `buf` as fits right now, returning how much.
+    fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize>;
+    /// Registers the worker's wake callback. Transports without edge
+    /// notification (plain TCP here) may ignore it; their worker polls
+    /// on a short park timeout instead.
+    fn set_waker(&mut self, waker: Waker);
+}
+
+/// [`Pollable`] over a TCP socket (switched to non-blocking mode).
+pub struct TcpPoll {
+    stream: TcpStream,
+}
+
+impl TcpPoll {
+    /// Wraps a connected socket, enabling nodelay and non-blocking mode.
+    pub fn new(stream: TcpStream) -> std::io::Result<TcpPoll> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(TcpPoll { stream })
+    }
+}
+
+impl Pollable for TcpPoll {
+    fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.read(buf)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn set_waker(&mut self, _waker: Waker) {}
+}
+
+/// Byte budget per direction of an in-process byte pipe. Small enough
+/// that a stalled peer exerts backpressure, large enough to hold many
+/// frames in flight.
+const BYTE_PIPE_CAP: usize = 1 << 18;
+
+/// One direction of a byte pipe: a bounded byte queue with a blocking
+/// (client) end and a non-blocking, waker-notified (server) end.
+struct DirState {
+    buf: VecDeque<u8>,
+    /// The writing end dropped; readers drain the buffer then see EOF.
+    producer_closed: bool,
+    /// The reading end dropped; writes fail immediately.
+    consumer_closed: bool,
+    /// Wakes the server-side event loop on readability/writability.
+    waker: Option<Waker>,
+}
+
+struct Dir {
+    state: StdMutex<DirState>,
+    cv: Condvar,
+}
+
+impl Dir {
+    fn new() -> Arc<Dir> {
+        Arc::new(Dir {
+            state: StdMutex::new(DirState {
+                buf: VecDeque::new(),
+                producer_closed: false,
+                consumer_closed: false,
+                waker: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, DirState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Takes a clone of the waker (to invoke outside the lock).
+    fn waker_of(st: &DirState) -> Option<Waker> {
+        st.waker.clone()
+    }
+}
+
+/// Client-side sending half: blocking frame writes into the c2s queue.
+struct BytePipeTx {
+    dir: Arc<Dir>,
+}
+
+impl TxHalf for BytePipeTx {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        let bytes = frame.encode();
+        let mut off = 0usize;
+        let mut st = self.dir.lock();
+        while off < bytes.len() {
+            if st.consumer_closed {
+                return Err(TransportError::Closed);
+            }
+            let space = BYTE_PIPE_CAP.saturating_sub(st.buf.len());
+            if space == 0 {
+                st = self.dir.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            let n = space.min(bytes.len() - off);
+            st.buf.extend(&bytes[off..off + n]);
+            off += n;
+            // New bytes are readable on the server side.
+            let waker = Dir::waker_of(&st);
+            drop(st);
+            if let Some(w) = waker {
+                w();
+            }
+            st = self.dir.lock();
+        }
+        drop(st);
+        Ok(())
+    }
+}
+
+impl Drop for BytePipeTx {
+    fn drop(&mut self) {
+        let mut st = self.dir.lock();
+        st.producer_closed = true;
+        let waker = Dir::waker_of(&st);
+        drop(st);
+        self.dir.cv.notify_all();
+        if let Some(w) = waker {
+            w();
+        }
+    }
+}
+
+/// Client-side receiving half: blocking frame reads from the s2c queue,
+/// reassembling frames from the byte stream.
+struct BytePipeRx {
+    dir: Arc<Dir>,
+    assembly: BytesMut,
+}
+
+impl RxHalf for BytePipeRx {
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Frame>, TransportError> {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        loop {
+            if let Some(frame) = Frame::decode(&mut self.assembly)? {
+                return Ok(Some(frame));
+            }
+            let mut st = self.dir.lock();
+            if !st.buf.is_empty() {
+                let (a, b) = st.buf.as_slices();
+                self.assembly.extend_from_slice(a);
+                self.assembly.extend_from_slice(b);
+                st.buf.clear();
+                // Freed write space: the server may be waiting to flush.
+                let waker = Dir::waker_of(&st);
+                drop(st);
+                self.dir.cv.notify_all();
+                if let Some(w) = waker {
+                    w();
+                }
+                continue;
+            }
+            if st.producer_closed {
+                // The server is gone and the stream is fully drained; a
+                // partial trailing frame can never complete.
+                return Err(TransportError::Closed);
+            }
+            match deadline {
+                None => {
+                    let _st = self.dir.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        return Ok(None);
+                    }
+                    let (_st, _res) = self
+                        .dir
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for BytePipeRx {
+    fn drop(&mut self) {
+        let mut st = self.dir.lock();
+        st.consumer_closed = true;
+        let waker = Dir::waker_of(&st);
+        drop(st);
+        self.dir.cv.notify_all();
+        if let Some(w) = waker {
+            w();
+        }
+    }
+}
+
+/// Server-side [`Pollable`] over both directions of a byte pipe.
+pub struct BytePipePoll {
+    c2s: Arc<Dir>,
+    s2c: Arc<Dir>,
+}
+
+impl Pollable for BytePipePoll {
+    fn try_read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut st = self.c2s.lock();
+        if st.buf.is_empty() {
+            if st.producer_closed {
+                return Ok(0);
+            }
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(st.buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = st.buf.pop_front().expect("len checked");
+        }
+        drop(st);
+        // Freed space: a blocked client writer can continue.
+        self.c2s.cv.notify_all();
+        Ok(n)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut st = self.s2c.lock();
+        if st.consumer_closed {
+            return Err(std::io::ErrorKind::BrokenPipe.into());
+        }
+        let space = BYTE_PIPE_CAP.saturating_sub(st.buf.len());
+        if space == 0 {
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        let n = space.min(buf.len());
+        st.buf.extend(&buf[..n]);
+        drop(st);
+        self.s2c.cv.notify_all();
+        Ok(n)
+    }
+
+    fn set_waker(&mut self, waker: Waker) {
+        self.c2s.lock().waker = Some(Arc::clone(&waker));
+        self.s2c.lock().waker = Some(waker);
+    }
+}
+
+impl Drop for BytePipePoll {
+    fn drop(&mut self) {
+        // The server walked away: client reads drain buffered bytes and
+        // then see Closed; client writes fail.
+        let mut tx_side = self.s2c.lock();
+        tx_side.producer_closed = true;
+        drop(tx_side);
+        self.s2c.cv.notify_all();
+        let mut rx_side = self.c2s.lock();
+        rx_side.consumer_closed = true;
+        drop(rx_side);
+        self.c2s.cv.notify_all();
+    }
+}
+
+/// Creates an in-process byte-stream connection: a blocking client
+/// [`Duplex`] and the server's non-blocking [`BytePipePoll`]. Unlike
+/// [`pipe_pair`] (frame-granular, used for fault injection between two
+/// blocking peers), bytes cross this pipe exactly as they would a
+/// socket, so the server's frame reassembly runs on the same path for
+/// in-process and TCP clients.
+pub fn byte_pipe_pair() -> (Duplex, BytePipePoll) {
+    let c2s = Dir::new();
+    let s2c = Dir::new();
+    let client = Duplex {
+        tx: Box::new(BytePipeTx { dir: Arc::clone(&c2s) }),
+        rx: Box::new(BytePipeRx { dir: Arc::clone(&s2c), assembly: BytesMut::new() }),
+    };
+    (client, BytePipePoll { c2s, s2c })
+}
+
 /// Creates a connected pair of in-process duplex pipes.
 pub fn pipe_pair() -> (Duplex, Duplex) {
     // Generous bound: a stalled peer eventually exerts backpressure
@@ -230,6 +522,76 @@ mod tests {
         b.send(&frame(b"reply")).unwrap();
         let echoed = t.join().unwrap();
         assert_eq!(echoed.payload.as_ref(), b"reply");
+    }
+
+    #[test]
+    fn byte_pipe_roundtrip() {
+        let (mut client, mut server) = byte_pipe_pair();
+        client.send(&frame(b"ping")).unwrap();
+        // Server reassembles the frame from raw bytes.
+        let mut buf = BytesMut::new();
+        let got = loop {
+            let mut chunk = [0u8; 64];
+            match server.try_read(&mut chunk) {
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("read: {e}"),
+            }
+            if let Some(f) = Frame::decode(&mut buf).unwrap() {
+                break f;
+            }
+        };
+        assert_eq!(got.payload.as_ref(), b"ping");
+        // Server replies; the client's blocking recv reassembles it.
+        let reply = frame(b"pong").encode();
+        let mut off = 0;
+        while off < reply.len() {
+            off += server.try_write(&reply[off..]).unwrap();
+        }
+        let echoed = client.recv(Some(Duration::from_secs(2))).unwrap().unwrap();
+        assert_eq!(echoed.payload.as_ref(), b"pong");
+    }
+
+    #[test]
+    fn byte_pipe_buffered_bytes_survive_server_close() {
+        let (mut client, mut server) = byte_pipe_pair();
+        let reply = frame(b"last words").encode();
+        let mut off = 0;
+        while off < reply.len() {
+            off += server.try_write(&reply[off..]).unwrap();
+        }
+        drop(server);
+        // The frame was fully buffered before the close; it must arrive.
+        let got = client.recv(Some(Duration::from_secs(2))).unwrap().unwrap();
+        assert_eq!(got.payload.as_ref(), b"last words");
+        // After the drain the close is visible.
+        assert!(matches!(client.recv(Some(Duration::from_millis(10))), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn byte_pipe_client_close_reaches_server_as_eof() {
+        let (client, mut server) = byte_pipe_pair();
+        drop(client);
+        let mut chunk = [0u8; 16];
+        assert_eq!(server.try_read(&mut chunk).unwrap(), 0);
+        assert_eq!(
+            server.try_write(b"x").unwrap_err().kind(),
+            std::io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn byte_pipe_waker_fires_on_client_write() {
+        let (mut client, mut server) = byte_pipe_pair();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        server.set_waker(Arc::new(move || {
+            fired2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        client.send(&frame(b"wake")).unwrap();
+        assert!(fired.load(std::sync::atomic::Ordering::SeqCst) >= 1);
+        let mut chunk = [0u8; 64];
+        assert!(server.try_read(&mut chunk).unwrap() > 0);
     }
 
     #[test]

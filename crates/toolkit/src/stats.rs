@@ -68,6 +68,24 @@ impl StatsSnapshot {
         Some(1.0 - rebuilds as f64 / lookups as f64)
     }
 
+    /// Total request dispatches, split `(fast, slow)` between the
+    /// sharded fast path and the global-lock slow path.
+    pub fn dispatch_split(&self) -> (u64, u64) {
+        (
+            self.server.counter("dispatch_fast_total").unwrap_or(0),
+            self.server.counter("dispatch_slow_total").unwrap_or(0),
+        )
+    }
+
+    /// 95th-percentile shard-lock wait in microseconds (0 before any
+    /// fast-path dispatch has been timed).
+    pub fn lock_wait_p95_us(&self) -> u64 {
+        self.server
+            .histogram("shard_lock_wait_us")
+            .map(|h| h.percentile(0.95))
+            .unwrap_or(0)
+    }
+
     /// Renders the snapshot as a top-style table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -107,6 +125,24 @@ impl StatsSnapshot {
             s.counter("wire_bytes_in_total").unwrap_or(0),
             s.counter("wire_frames_out_total").unwrap_or(0),
             s.counter("wire_bytes_out_total").unwrap_or(0),
+        );
+        let (fast, slow) = self.dispatch_split();
+        let _ = writeln!(
+            out,
+            "plane:  {} workers · {} conns (max {}/worker) · busy {}‰",
+            s.gauge("conn_plane_workers").unwrap_or(0),
+            s.gauge("conn_plane_connections").unwrap_or(0),
+            s.gauge("conn_worker_max_connections").unwrap_or(0),
+            s.gauge("conn_plane_busy_permille").unwrap_or(0),
+        );
+        let _ = writeln!(
+            out,
+            "shard:  {} fast / {} slow dispatches · lock wait p95 {} us · {} events dropped · {} evictions",
+            fast,
+            slow,
+            self.lock_wait_p95_us(),
+            s.counter("events_dropped_total").unwrap_or(0),
+            s.counter("clients_evicted_total").unwrap_or(0),
         );
 
         let _ = writeln!(out);
@@ -152,8 +188,18 @@ mod tests {
                     CounterSample { name: "engine_ticks_total".into(), value: 7 },
                     CounterSample { name: "plan_cache_lookups_total".into(), value: 7 },
                     CounterSample { name: "plan_cache_rebuilds_total".into(), value: 1 },
+                    CounterSample { name: "dispatch_fast_total".into(), value: 5 },
+                    CounterSample { name: "dispatch_slow_total".into(), value: 2 },
+                    CounterSample { name: "events_dropped_total".into(), value: 1 },
+                    CounterSample { name: "clients_evicted_total".into(), value: 1 },
                 ],
-                gauges: vec![GaugeSample { name: "active_roots".into(), value: 1 }],
+                gauges: vec![
+                    GaugeSample { name: "active_roots".into(), value: 1 },
+                    GaugeSample { name: "conn_plane_workers".into(), value: 2 },
+                    GaugeSample { name: "conn_plane_connections".into(), value: 3 },
+                    GaugeSample { name: "conn_worker_max_connections".into(), value: 2 },
+                    GaugeSample { name: "conn_plane_busy_permille".into(), value: 41 },
+                ],
                 histograms: vec![HistogramSample {
                     name: "engine_tick_us".into(),
                     count: 4,
@@ -186,6 +232,7 @@ mod tests {
         assert_eq!(snap.tick_p99_us(), 15);
         let rate = snap.plan_cache_hit_rate().expect("lookups recorded");
         assert!((rate - 6.0 / 7.0).abs() < 1e-9);
+        assert_eq!(snap.dispatch_split(), (5, 2));
     }
 
     #[test]
@@ -196,5 +243,9 @@ mod tests {
         assert!(text.contains("QueryServerStats"));
         assert!(text.contains("probe"));
         assert!(text.contains("cache hit"));
+        assert!(text.contains("2 workers"));
+        assert!(text.contains("5 fast / 2 slow"));
+        assert!(text.contains("1 events dropped"));
+        assert!(text.contains("1 evictions"));
     }
 }

@@ -706,10 +706,17 @@ pub fn lint_unwrap(server_files: &[(String, String)]) -> Vec<Finding> {
     out
 }
 
-/// The canonical lock acquisition order for the server's mutexes. An
-/// acquisition against this order (or re-acquiring a held lock) can
+/// The canonical lock acquisition order for the server's locks: the
+/// core `RwLock` (read or write) first, then at most one shard stripe.
+/// An acquisition against this order (or re-acquiring a held lock) can
 /// deadlock under the right interleaving.
-pub const LOCK_ORDER: [&str; 3] = ["core", "threads", "conn_threads"];
+pub const LOCK_ORDER: [&str; 2] = ["core", "stripe"];
+
+/// Zero-argument acquisition methods the lock-order lint understands:
+/// `.lock()` (mutexes, stripes) and the `RwLock` pair `.read()` /
+/// `.write()`. Argument-taking methods like `reply.write(&mut w)` never
+/// match because the scan requires the literal `()` call.
+const LOCK_CALLS: [&str; 3] = [".lock()", ".read()", ".write()"];
 
 /// Lock-order lint: within any scope, locks must be taken in
 /// [`LOCK_ORDER`] and never re-entrantly. Guards are tracked by brace
@@ -726,8 +733,12 @@ pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
             let code = strip_comment(line);
             let is_binding = code.trim_start().starts_with("let ");
             let mut rest = code;
-            while let Some(i) = rest.find(".lock()") {
-                // The receiver is the path segment right before `.lock()`.
+            while let Some((i, call)) = LOCK_CALLS
+                .iter()
+                .filter_map(|c| rest.find(c).map(|i| (i, *c)))
+                .min_by_key(|&(i, _)| i)
+            {
+                // The receiver is the path segment right before the call.
                 let recv: String = rest[..i]
                     .chars()
                     .rev()
@@ -736,7 +747,7 @@ pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
                     .into_iter()
                     .rev()
                     .collect();
-                rest = &rest[i + 7..];
+                rest = &rest[i + call.len()..];
                 let Some(r) = rank(&recv) else { continue };
                 if let Some(&(top, _)) = held.last() {
                     if r <= top {
@@ -1156,17 +1167,23 @@ impl std::fmt::Display for ErrorCode {
 
     #[test]
     fn lock_order_inversion_is_found() {
-        let ok = "fn f(&self) {\n    let mut core = self.core.lock();\n    core.tick();\n}\nfn g(&self) {\n    self.threads.lock().push(1);\n    let mut core = self.core.lock();\n    core.tick();\n}\n";
-        // g() takes threads then core, but transiently: the threads guard
-        // is a temporary, dead before core is locked.
+        let ok = "fn f(&self) {\n    let mut core = self.core.write();\n    core.tick();\n}\nfn g(&self) {\n    let core = self.core.read();\n    let _stripe = stripe.lock();\n    core.peek();\n}\nfn h(&self) {\n    self.stripe.lock();\n    let mut core = self.core.write();\n    core.tick();\n}\n";
+        // f: write lock alone; g: canonical core -> stripe; h: the
+        // stripe guard is a temporary, dead before core is locked.
         assert_eq!(lint_lock_order(&[("s.rs".into(), ok.into())]), Vec::new());
-        let bad = "fn g(&self) {\n    let mut threads = self.threads.lock();\n    let mut core = self.core.lock();\n    threads.push(core.id());\n}\n";
+        let bad = "fn g(&self) {\n    let _stripe = self.stripe.lock();\n    let mut core = self.core.write();\n    core.tick();\n}\n";
         let findings = lint_lock_order(&[("s.rs".into(), bad.into())]);
         assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("core acquired while threads"));
+        assert!(findings[0].message.contains("core acquired while stripe"));
+        // Re-acquiring the core lock (read then write) is re-entrant.
+        let reentrant = "fn g(&self) {\n    let c = self.core.read();\n    let mut w = self.core.write();\n    w.tick();\n}\n";
+        assert_eq!(lint_lock_order(&[("s.rs".into(), reentrant.into())]).len(), 1);
         // The guard dies with its block: no finding across scopes.
-        let scoped = "fn g(&self) {\n    {\n        let mut threads = self.threads.lock();\n        threads.push(1);\n    }\n    let mut core = self.core.lock();\n    core.tick();\n}\n";
+        let scoped = "fn g(&self) {\n    {\n        let _stripe = self.stripe.lock();\n    }\n    let mut core = self.core.write();\n    core.tick();\n}\n";
         assert_eq!(lint_lock_order(&[("s.rs".into(), scoped.into())]), Vec::new());
+        // Wire-codec `.write(&mut w)` calls take arguments: never matched.
+        let wire = "fn g(&self) {\n    let _stripe = self.stripe.lock();\n    reply.write(&mut w);\n    core.read_frame(&mut buf);\n}\n";
+        assert_eq!(lint_lock_order(&[("s.rs".into(), wire.into())]), Vec::new());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   — the structure-aware wire-codec fuzzer; exits non-zero on a
 //!   property violation, and with `--corpus-out` (re)writes the seed
 //!   corpus plus any failing inputs as corpus files.
-//! - `cargo run -p xtask -- soak [--seed N] [--iters N] [--concurrency N]`
+//! - `cargo run -p xtask -- soak [--seed N] [--iters N] [--concurrency N] [--workers N]`
 //!   — fault-injected client churn against a live in-process server
 //!   (`--iters` = client sessions); exits non-zero on any invariant
 //!   violation, leaked client, engine stall, or — at 100+ sessions —
@@ -185,7 +185,7 @@ fn run_fuzz(args: &[String]) -> ExitCode {
 }
 
 fn run_soak(args: &[String]) -> ExitCode {
-    let Some(flags) = parse_flags(args, &["--seed", "--iters", "--concurrency"]) else {
+    let Some(flags) = parse_flags(args, &["--seed", "--iters", "--concurrency", "--workers"]) else {
         return ExitCode::FAILURE;
     };
     let mut cfg = SoakConfig::default();
@@ -197,6 +197,10 @@ fn run_soak(args: &[String]) -> ExitCode {
             },
             "--iters" => match value.parse() {
                 Ok(n) => cfg.sessions = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--workers" => match value.parse() {
+                Ok(n) => cfg.workers = n,
                 Err(_) => return bad_value(&flag, &value),
             },
             _ => match value.parse() {

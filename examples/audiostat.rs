@@ -12,7 +12,8 @@
 //! workload against it, and prints one snapshot. In that mode the tool
 //! doubles as a smoke test: it exits non-zero unless every headline
 //! figure — per-opcode dispatch counts, tick percentiles, plan-cache hit
-//! rate, per-client byte counters — came back non-zero.
+//! rate, per-client byte counters, connection-plane worker and dispatch
+//! counts — came back non-zero.
 
 use da_alib::Connection;
 use da_server::core::ServerConfig;
@@ -104,6 +105,16 @@ fn demo() -> bool {
     }
     if !snap.clients.iter().any(|c| c.bytes_in > 0 && c.bytes_out > 0) {
         failures.push("no client with non-zero byte counters".to_string());
+    }
+    // Connection-plane panel: the pool size is set at startup and every
+    // request above has been dispatched (sync round-tripped), so both
+    // figures must be live in the same QueryServerStats wire format.
+    if snap.server.gauge("conn_plane_workers").unwrap_or(0) == 0 {
+        failures.push("connection plane reports zero I/O workers".to_string());
+    }
+    let (fast, slow) = snap.dispatch_split();
+    if fast + slow == 0 {
+        failures.push("no dispatches counted on either path".to_string());
     }
     server.shutdown();
     for f in &failures {

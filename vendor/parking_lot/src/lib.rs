@@ -174,6 +174,157 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock that never poisons, matching parking_lot
+/// semantics. Backed by `std::sync::RwLock` (on Linux a futex
+/// implementation that blocks new readers once a writer waits, so a
+/// stream of readers cannot starve the writer — the property the
+/// server's dispatch fast path relies on).
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "deadlock_detect")]
+    order_id: std::sync::atomic::AtomicUsize,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock guarding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            #[cfg(feature = "deadlock_detect")]
+            order_id: std::sync::atomic::AtomicUsize::new(0),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
+        }
+    }
+
+    /// Acquires read access if no writer holds or waits for the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let guard = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        Some(RwLockReadGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
+        })
+    }
+
+    /// Acquires write access if the lock is entirely free right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let guard = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock_detect")]
+        let order_id = order::on_acquire(&self.order_id);
+        Some(RwLockWriteGuard {
+            guard,
+            #[cfg(feature = "deadlock_detect")]
+            order_id,
+        })
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// Shared RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "deadlock_detect")]
+    order_id: usize,
+}
+
+#[cfg(feature = "deadlock_detect")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.order_id);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "deadlock_detect")]
+    order_id: usize,
+}
+
+#[cfg(feature = "deadlock_detect")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        order::on_release(self.order_id);
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T: ?Sized> {
     guard: sync::MutexGuard<'a, T>,
@@ -212,6 +363,54 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert!(l.try_write().is_some());
+        let _r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+    }
+
+    #[test]
+    fn rwlock_no_poisoning_after_panic() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*l.read(), 7);
+        assert_eq!(*l.write(), 7);
+    }
+
+    #[test]
+    fn rwlock_writer_sees_reader_updates() {
+        // Many readers and one writer agree on the final count.
+        let l = Arc::new(RwLock::new(0u64));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    *l.write() += 1;
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("writer thread");
+        }
+        assert_eq!(*l.read(), 400);
     }
 
     #[test]
