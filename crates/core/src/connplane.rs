@@ -36,6 +36,16 @@ const IDLE_PARK: Duration = Duration::from_millis(1);
 /// cannot starve its worker siblings.
 const READ_BUDGET: usize = 64 * 1024;
 
+/// Unflushed write-backlog bytes beyond which a connection stops
+/// draining its outbound channel. While the backlog sits above this
+/// cap the bounded per-client channel backs up, so the slow-client
+/// policy (`try_send` `Full` → kicked → eviction, DESIGN.md §12)
+/// engages exactly as it did when a blocking writer thread applied
+/// backpressure — without the cap, eager draining would turn `wrbuf`
+/// into an unbounded queue for a stalled reader. Sized to hold a few
+/// channel depths of typical frames.
+const WRITE_BACKLOG_CAP: usize = 64 * 1024;
+
 /// How long a closing connection may take to drain its farewell before
 /// the worker gives up on it.
 const FLUSH_GRACE: Duration = Duration::from_secs(2);
@@ -53,16 +63,29 @@ pub struct PlaneInjector {
     injectors: Vec<Sender<Box<dyn Pollable>>>,
     threads: Vec<std::thread::Thread>,
     next: AtomicUsize,
+    metrics: ServerMetrics,
 }
 
 impl PlaneInjector {
     /// Hands a new connection to the next worker (round robin) and
-    /// wakes it.
+    /// wakes it. A worker whose channel is disconnected (its thread
+    /// died) is skipped and the next one tried; only when every worker
+    /// is gone is the connection dropped, counted in
+    /// `conn_plane_unplaced_total`.
     pub fn add(&self, io: Box<dyn Pollable>) {
-        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.injectors.len();
-        if self.injectors[idx].send(io).is_ok() {
-            self.threads[idx].unpark();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut io = io;
+        for attempt in 0..self.injectors.len() {
+            let idx = (start + attempt) % self.injectors.len();
+            match self.injectors[idx].send(io) {
+                Ok(()) => {
+                    self.threads[idx].unpark();
+                    return;
+                }
+                Err(returned) => io = returned.0,
+            }
         }
+        self.metrics.conn_plane_unplaced_total.inc();
     }
 }
 
@@ -109,7 +132,8 @@ impl ConnPlane {
             handles.push(handle);
             injectors.push(tx);
         }
-        let injector = Arc::new(PlaneInjector { injectors, threads, next: AtomicUsize::new(0) });
+        let injector =
+            Arc::new(PlaneInjector { injectors, threads, next: AtomicUsize::new(0), metrics });
         Ok(ConnPlane { injector, handles })
     }
 
@@ -318,9 +342,14 @@ fn pump_conn(
             None => None,
         };
         if let Some(reason) = reason {
+            // A Shutdown that rode the channel already carried its own
+            // farewell (drain sets `closing`); only synthesize one if
+            // none was drained, so the client never sees two.
             drain_outbound(conn, metrics);
-            let frame = encode_msg(ServerMsg::Shutdown(reason));
-            conn.wrbuf.extend_from_slice(&frame.encode());
+            if !conn.closing {
+                let frame = encode_msg(ServerMsg::Shutdown(reason));
+                conn.wrbuf.extend_from_slice(&frame.encode());
+            }
             begin_close(core, conn);
             progress = true;
         }
@@ -373,7 +402,9 @@ fn pump_conn(
 
     // 4. Drain the session's bounded outbound channel into the write
     //    buffer (replies > events priority is enforced at enqueue time
-    //    by the slow-client policy; here we just drain FIFO).
+    //    by the slow-client policy; here we just drain FIFO). Draining
+    //    pauses while the unflushed backlog exceeds WRITE_BACKLOG_CAP,
+    //    so a stalled reader backs the channel up and eviction fires.
     if !conn.closing {
         progress |= drain_outbound(conn, metrics);
         if conn.closing {
@@ -527,14 +558,22 @@ fn handle_frame(
     }
 }
 
-/// Moves every queued outbound message into the write buffer, keeping
-/// the per-connection and server wire counters in step (the old writer
-/// thread's `emit_msg` accounting). Returns whether anything moved;
-/// sets `conn.closing` if a Shutdown message was queued.
+/// Moves queued outbound messages into the write buffer until the
+/// channel is empty or the unflushed backlog reaches
+/// [`WRITE_BACKLOG_CAP`], keeping the per-connection and server wire
+/// counters in step (the old writer thread's `emit_msg` accounting).
+/// The cap is what lets the bounded channel fill and the slow-client
+/// eviction engage when the transport stops accepting bytes. Returns
+/// whether anything moved; sets `conn.closing` if a Shutdown message
+/// was dequeued.
 fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics) -> bool {
-    let Some(sess) = &conn.session else { return false };
     let mut moved = false;
-    while let Ok(msg) = sess.msg_rx.try_recv() {
+    loop {
+        if conn.wrbuf.len() - conn.wroff >= WRITE_BACKLOG_CAP {
+            break;
+        }
+        let Some(sess) = &conn.session else { break };
+        let Ok(msg) = sess.msg_rx.try_recv() else { break };
         moved = true;
         let last = matches!(msg, ServerMsg::Shutdown(_));
         let slot = match &msg {
@@ -608,6 +647,8 @@ mod tests {
         chunks: std::collections::VecDeque<Vec<u8>>,
         written: Vec<u8>,
         eof_after_script: bool,
+        /// When set, `try_write` refuses bytes (a stalled TCP reader).
+        write_blocked: bool,
     }
 
     impl ScriptedPoll {
@@ -616,6 +657,7 @@ mod tests {
                 chunks: chunks.into(),
                 written: Vec::new(),
                 eof_after_script: false,
+                write_blocked: false,
             }
         }
     }
@@ -633,6 +675,9 @@ mod tests {
             }
         }
         fn try_write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.write_blocked {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
             self.written.extend_from_slice(buf);
             Ok(buf.len())
         }
@@ -737,6 +782,92 @@ mod tests {
         // declared 16 MiB payload was never allocated.
         assert!(conn.rdbuf.len() <= 5);
         assert_eq!(core.read().clients.len(), 0);
+    }
+
+    #[test]
+    fn stalled_reader_backlog_caps_and_evicts() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let mut script = ScriptedPoll::new(vec![setup_frame()]);
+        script.write_blocked = true;
+        let mut conn = PlaneConn::new(Box::new(script), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        let client = conn.session.as_ref().expect("setup completes").client;
+        // The transport accepts nothing; keep queueing replies while
+        // pumping. The drain must stall at WRITE_BACKLOG_CAP so the
+        // bounded channel fills and the §12 eviction path fires.
+        let detail = "x".repeat(200);
+        let mut evicted = false;
+        for _ in 0..100 {
+            {
+                let c = core.read();
+                for seq in 0..64u32 {
+                    c.send_to_client(
+                        client,
+                        ServerMsg::Error(
+                            seq,
+                            da_proto::ProtoError::new(da_proto::ErrorCode::BadRequest, 0, &*detail),
+                        ),
+                    );
+                }
+            }
+            pump_conn(&core, &metrics, false, &mut conn);
+            if conn.closing {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "a stalled reader must be evicted, not buffered forever");
+        assert_eq!(metrics.clients_evicted_total.get(), 1);
+        assert!(
+            conn.wrbuf.len() - conn.wroff < WRITE_BACKLOG_CAP + 1024,
+            "write backlog must stay near the cap, got {} bytes",
+            conn.wrbuf.len() - conn.wroff
+        );
+        assert_eq!(core.read().clients.len(), 0, "evicted client leaves the core");
+    }
+
+    #[test]
+    fn channel_shutdown_yields_single_farewell() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let mut conn = PlaneConn::new(Box::new(ScriptedPoll::new(vec![setup_frame()])), Arc::new(|| {}));
+        pump_until_quiet(&core, &metrics, &mut conn);
+        let client = conn.session.as_ref().expect("setup completes").client;
+        // A farewell rides the channel *and* the shutdown flag is up:
+        // the teardown branch must not append a second farewell.
+        core.read().send_to_client(client, ServerMsg::Shutdown(DisconnectReason::ServerShutdown));
+        for _ in 0..10 {
+            pump_conn(&core, &metrics, true, &mut conn);
+        }
+        assert!(conn.dead);
+        let frames = written_frames(&mut conn);
+        let farewells = frames.iter().filter(|f| f.kind == FrameKind::Error).count();
+        assert_eq!(farewells, 1, "client must see exactly one farewell frame");
+    }
+
+    #[test]
+    fn injector_skips_dead_workers_and_counts_unplaceable() {
+        let core = test_core();
+        let metrics = metrics_of(&core);
+        let (dead_tx, dead_rx) = unbounded::<Box<dyn Pollable>>();
+        drop(dead_rx); // worker 0's thread is gone
+        let (live_tx, live_rx) = unbounded::<Box<dyn Pollable>>();
+        let inj = PlaneInjector {
+            injectors: vec![dead_tx, live_tx],
+            threads: vec![std::thread::current(), std::thread::current()],
+            next: AtomicUsize::new(0),
+            metrics: metrics.clone(),
+        };
+        // Round robin starts at the dead worker; the connection must
+        // fail over to the live one rather than vanish.
+        inj.add(Box::new(ScriptedPoll::new(vec![])));
+        assert!(live_rx.try_recv().is_ok(), "connection fails over to the live worker");
+        assert_eq!(metrics.conn_plane_unplaced_total.get(), 0);
+        // With every worker gone, the drop is counted.
+        drop(live_rx);
+        inj.add(Box::new(ScriptedPoll::new(vec![])));
+        assert_eq!(metrics.conn_plane_unplaced_total.get(), 1);
     }
 
     #[test]

@@ -80,8 +80,11 @@ pub struct ShardedMap<K, V> {
 // module level, which prevents data races on any individual shard.
 unsafe impl<K: Send, V: Send> Send for ShardedMap<K, V> {}
 // SAFETY: see above — `&self` methods only race with `shard_mut` views,
-// and the lock protocol makes those mutually exclusive per shard.
-unsafe impl<K: Send, V: Send> Sync for ShardedMap<K, V> {}
+// and the lock protocol makes those mutually exclusive per shard. The
+// accessors hand out `&K`/`&V` that shared-`&self` callers may use from
+// many threads at once, so `K: Sync + V: Sync` is also required — with
+// only `Send`, safe code could race a `Cell` value through `get()`.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ShardedMap<K, V> {}
 
 impl<K: ShardKey, V> ShardedMap<K, V> {
     /// An empty map with `n` shards (minimum 1).

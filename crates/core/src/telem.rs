@@ -92,6 +92,8 @@ pub struct ServerMetrics {
     pub conn_worker_max_connections: Gauge,
     /// Busy share of the most loaded worker's loop, in permille.
     pub conn_plane_busy_permille: Gauge,
+    /// Connections dropped because every I/O worker was gone.
+    pub conn_plane_unplaced_total: Counter,
     /// Wall time of one worker loop iteration doing work, in
     /// microseconds.
     pub conn_worker_loop_us: Histogram,
@@ -141,6 +143,7 @@ impl ServerMetrics {
             conn_plane_connections: gauge!(reg, "conn_plane_connections"),
             conn_worker_max_connections: gauge!(reg, "conn_worker_max_connections"),
             conn_plane_busy_permille: gauge!(reg, "conn_plane_busy_permille"),
+            conn_plane_unplaced_total: counter!(reg, "conn_plane_unplaced_total"),
             conn_worker_loop_us: histogram!(reg, "conn_worker_loop_us"),
             speaker_underrun_frames_total: counter!(reg, "speaker_underrun_frames_total"),
             dsp_convert_ns: histogram!(reg, "dsp_convert_ns"),
