@@ -719,7 +719,9 @@ mod tests {
     /// Decodes every frame currently in the scripted transport's write
     /// capture.
     fn written_frames(conn: &mut PlaneConn) -> Vec<Frame> {
-        // The test Pollable is always a ScriptedPoll.
+        // SAFETY: the test Pollable is always a ScriptedPoll (every test
+        // conn is built over one), so the raw downcast re-views the same
+        // allocation at its concrete type; `&mut conn.io` is exclusive.
         let io: &mut ScriptedPoll = unsafe {
             // lint: allow-unwrap -- n/a (no unwrap; raw downcast scoped to tests)
             &mut *(std::ptr::addr_of_mut!(*conn.io) as *mut ScriptedPoll)

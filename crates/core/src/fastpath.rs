@@ -25,6 +25,7 @@
 
 use crate::core::{Core, ResKey, ServerMsg};
 use crate::loud::Loud;
+use crate::shard::ShardMut;
 use crate::queue::TypedQueue;
 use crate::sound::Sound;
 use crate::vdevice::VDev;
@@ -59,13 +60,92 @@ fn own_target(client: ClientId, target: ResourceId) -> bool {
     }
 }
 
-/// Exclusive access to one shard's partition of every sharded map.
+/// What sharded state an opcode's handler touches — the proof obligation
+/// behind the fast-path whitelist (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Footprint {
+    /// Touches only the requesting client's shard plus read-only global
+    /// state: fast-eligible under read lock + one stripe.
+    Own,
+    /// Touches no sharded state at all and only read-only globals:
+    /// fast-eligible trivially.
+    Global,
+    /// May touch other clients' shards or mutable global state (active
+    /// stack, selections, hardware bindings, engine plans): must punt to
+    /// the write-lock slow path.
+    Cross,
+}
+
+/// Per-opcode shard footprint, one row per `Request` variant with the
+/// reason the classification holds. The `xtask races` lint cross-checks
+/// this table three ways: every variant has exactly one row, the
+/// [`eligible`] whitelist is exactly the `Own`/`Global` rows, and the
+/// [`exec_fast`] arm set matches the whitelist — so a handler added to
+/// one place but not the others fails CI instead of silently punting or,
+/// worse, running cross-shard work under a read lock.
+pub const OPCODE_TOUCHES: &[(&str, Footprint, &str)] = &[
+    ("CreateLoud", Footprint::Own, "new loud + own-shard parent link"),
+    ("DestroyLoud", Footprint::Cross, "cascades into active stack, selections, engine plans"),
+    ("MapLoud", Footprint::Cross, "active stack + activation recompute are global"),
+    ("UnmapLoud", Footprint::Cross, "active stack + activation recompute are global"),
+    ("RaiseLoud", Footprint::Cross, "restacks the global active stack"),
+    ("LowerLoud", Footprint::Cross, "restacks the global active stack"),
+    ("RequestActivate", Footprint::Cross, "activation walks every tree for preemption"),
+    ("RequestDeactivate", Footprint::Cross, "activation walks every tree for preemption"),
+    ("QueryActiveStack", Footprint::Cross, "reads the global active stack"),
+    ("CreateVDevice", Footprint::Own, "own loud tree; punts pre-mutation if tree is active"),
+    ("DestroyVDevice", Footprint::Cross, "may rebind hardware and rewrite engine plans"),
+    ("AugmentVDevice", Footprint::Cross, "attribute change can force a hardware rebind"),
+    ("QueryVDeviceAttributes", Footprint::Own, "own vdev + read-only hardware registry"),
+    ("SetDeviceControl", Footprint::Cross, "drives physical device state"),
+    ("GetDeviceControl", Footprint::Cross, "reads physical device state"),
+    ("CreateWire", Footprint::Own, "both endpoints owned; cycle check stays in-shard"),
+    ("DestroyWire", Footprint::Own, "own wire removal; plan cache invalidated atomically"),
+    ("QueryWire", Footprint::Own, "reads one own-shard wire"),
+    ("QueryDeviceWires", Footprint::Own, "a client's wire component lives in its shard"),
+    ("Enqueue", Footprint::Own, "appends to the own root's queue"),
+    ("Immediate", Footprint::Cross, "bypasses the queue into live engine state"),
+    ("StartQueue", Footprint::Own, "own queue + own-shard device unpause"),
+    ("StopQueue", Footprint::Cross, "tears down running entries via engine state"),
+    ("PauseQueue", Footprint::Cross, "pauses running devices through the engine"),
+    ("ResumeQueue", Footprint::Cross, "resumes running devices through the engine"),
+    ("FlushQueue", Footprint::Cross, "cancels running entries via engine state"),
+    ("QueryQueue", Footprint::Own, "reads the own root's queue"),
+    ("CreateSound", Footprint::Own, "new own-shard sound"),
+    ("DeleteSound", Footprint::Cross, "must check no queue on any shard references it"),
+    ("WriteSoundData", Footprint::Own, "appends to an own-shard sound"),
+    ("ReadSoundData", Footprint::Own, "reads an own-shard sound"),
+    ("QuerySound", Footprint::Own, "reads an own-shard sound"),
+    ("ListCatalog", Footprint::Global, "read-only catalog registry"),
+    ("OpenCatalogSound", Footprint::Own, "new own-shard sound from the read-only catalog"),
+    ("SelectEvents", Footprint::Cross, "selections live in global client state"),
+    ("SetSyncInterval", Footprint::Own, "writes one own-shard vdev field"),
+    ("InternAtom", Footprint::Cross, "mutates the global atom table"),
+    ("GetAtomName", Footprint::Global, "read-only atom table"),
+    ("ChangeProperty", Footprint::Own, "own-target property write + event fan-out"),
+    ("GetProperty", Footprint::Own, "reads an own-target property"),
+    ("DeleteProperty", Footprint::Own, "own-target property removal + event fan-out"),
+    ("ListProperties", Footprint::Own, "reads own-target properties"),
+    ("QueryDeviceLoud", Footprint::Cross, "walks the device LOUD (shard 0, shared)"),
+    ("SetRedirect", Footprint::Cross, "installs the global manager redirect"),
+    ("AllowMap", Footprint::Cross, "manager approval mutates the active stack"),
+    ("AllowRaise", Footprint::Cross, "manager approval mutates the active stack"),
+    ("GetServerInfo", Footprint::Global, "read-only config + device time"),
+    ("Sync", Footprint::Global, "pure fence, no state"),
+    ("QueryServerStats", Footprint::Cross, "aggregates telemetry across all clients"),
+    ("ListClients", Footprint::Cross, "reads the global client table"),
+];
+
+/// Exclusive access to one shard's partition of every sharded map. Each
+/// field is a [`ShardMut`] guard: in debug builds its lifetime is
+/// registered with the borrow sanitizer, so any `&Core` read of the same
+/// shard while the view is live panics instead of racing.
 pub struct ShardView<'a> {
-    pub louds: &'a mut HashMap<u32, Loud>,
-    pub vdevs: &'a mut HashMap<u32, VDev>,
-    pub wires: &'a mut HashMap<u32, Wire>,
-    pub sounds: &'a mut HashMap<u32, Sound>,
-    pub properties: &'a mut HashMap<ResKey, HashMap<u32, Property>>,
+    pub louds: ShardMut<'a, u32, Loud>,
+    pub vdevs: ShardMut<'a, u32, VDev>,
+    pub wires: ShardMut<'a, u32, Wire>,
+    pub sounds: ShardMut<'a, u32, Sound>,
+    pub properties: ShardMut<'a, ResKey, HashMap<u32, Property>>,
 }
 
 impl<'a> ShardView<'a> {
@@ -328,7 +408,7 @@ fn exec_fast(
                     )));
                 }
             }
-            let root = root_of(view.louds, loud.0);
+            let root = root_of(&view.louds, loud.0);
             // An already-active tree must rebind (recompute_activation),
             // which walks cross-shard state — punt before mutating.
             if view.louds.get(&root).map(|l| l.active) == Some(true) {
@@ -452,7 +532,7 @@ fn exec_fast(
                     }
                 }
             }
-            if reaches(view.wires, dst.0, src.0) {
+            if reaches(&view.wires, dst.0, src.0) {
                 return Done(Err(err(ErrorCode::BadMatch, id.0, "wire would create a cycle")));
             }
             let pinned = |v: &VDev| {

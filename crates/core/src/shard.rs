@@ -28,6 +28,21 @@
 //!    `RwLock` itself.
 //! 3. Lock order is `core` → `stripe`, at most one stripe per thread
 //!    (enforced by the xtask LOCK_ORDER lint).
+//!
+//! # Borrow sanitizer (debug builds)
+//!
+//! The protocol is machine-checked three ways (DESIGN.md §14): the
+//! `cargo run -p xtask -- races` lint checks it statically, the
+//! modelcheck scheduler explores interleavings of it, and — here — a
+//! dependency-free borrow sanitizer watches it at runtime. Each shard
+//! carries one atomic word (bit 31 = live [`shard_mut`] view, low bits =
+//! live readers). [`ShardedMap::shard_mut`] returns a [`ShardMut`] guard
+//! that registers a writer for its lifetime; every `&self` accessor
+//! opens a reader window around its `HashMap` operation. Overlapping
+//! exclusive views or a read during an exclusive view panic with a
+//! `shard sanitizer:` message instead of silently racing. The whole
+//! mechanism is `#[cfg(debug_assertions)]`: release builds compile the
+//! guard down to a plain `&mut HashMap` wrapper with no atomics.
 
 use std::cell::UnsafeCell;
 use std::collections::hash_map::Entry;
@@ -35,6 +50,77 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 use crate::core::ResKey;
+
+/// Whether the debug-build borrow sanitizer is compiled in. The soak
+/// driver and CI assert on this so debug-profile runs can prove the
+/// aliasing protocol was actually being watched.
+pub const fn sanitizer_active() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Sanitizer state: one word per shard. Bit 31 flags a live exclusive
+/// [`ShardMut`] view; the low 31 bits count live reader windows.
+#[cfg(debug_assertions)]
+struct ShardFlags {
+    words: Vec<std::sync::atomic::AtomicU32>,
+}
+
+#[cfg(debug_assertions)]
+const WRITER_BIT: u32 = 1 << 31;
+
+#[cfg(debug_assertions)]
+impl ShardFlags {
+    fn new(n: usize) -> ShardFlags {
+        ShardFlags { words: (0..n).map(|_| std::sync::atomic::AtomicU32::new(0)).collect() }
+    }
+
+    fn begin_read(&self, idx: usize) {
+        use std::sync::atomic::Ordering;
+        let prev = self.words[idx].fetch_add(1, Ordering::SeqCst);
+        if prev & WRITER_BIT != 0 {
+            self.words[idx].fetch_sub(1, Ordering::SeqCst);
+            panic!(
+                "shard sanitizer: shard {idx} read while an exclusive shard_mut view \
+                 is live (mut-while-shared aliasing)"
+            );
+        }
+    }
+
+    fn end_read(&self, idx: usize) {
+        self.words[idx].fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn begin_write(&self, idx: usize) {
+        use std::sync::atomic::Ordering;
+        let prev = self.words[idx].fetch_or(WRITER_BIT, Ordering::SeqCst);
+        if prev & WRITER_BIT != 0 {
+            panic!(
+                "shard sanitizer: overlapping shard_mut views of shard {idx} \
+                 (aliased &mut — a second exclusive view while one is live)"
+            );
+        }
+        if prev != 0 {
+            self.words[idx].fetch_and(!WRITER_BIT, Ordering::SeqCst);
+            panic!(
+                "shard sanitizer: shard_mut view of shard {idx} taken while {prev} \
+                 reader window(s) are open (mut-while-shared aliasing)"
+            );
+        }
+    }
+
+    fn end_write(&self, idx: usize) {
+        self.words[idx].fetch_and(!WRITER_BIT, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn assert_quiescent(&self, idx: usize) {
+        let w = self.words[idx].load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            w == 0,
+            "shard sanitizer: exclusive (&mut self) access to shard {idx} while a \
+             shard_mut view or reader window is live (word {w:#x})"
+        );
+    }
+}
 
 /// Client id space: resource ids are `client << ID_SHIFT | serial`.
 pub const ID_SHIFT: u32 = 20;
@@ -73,6 +159,43 @@ impl ShardKey for ResKey {
 /// exists (see the module-level safety protocol).
 pub struct ShardedMap<K, V> {
     shards: Vec<UnsafeCell<HashMap<K, V>>>,
+    #[cfg(debug_assertions)]
+    flags: ShardFlags,
+}
+
+/// Exclusive view of one shard's partition, returned by
+/// [`ShardedMap::shard_mut`]. Dereferences to the shard's `HashMap`.
+///
+/// In debug builds, constructing it registers an exclusive borrow with
+/// the shard's sanitizer word and dropping it unregisters; overlapping
+/// views and concurrent `&self` reads panic. Release builds compile it
+/// to a transparent `&mut HashMap` wrapper.
+pub struct ShardMut<'a, K, V> {
+    map: &'a mut HashMap<K, V>,
+    #[cfg(debug_assertions)]
+    flags: &'a ShardFlags,
+    #[cfg(debug_assertions)]
+    idx: usize,
+}
+
+impl<K, V> std::ops::Deref for ShardMut<'_, K, V> {
+    type Target = HashMap<K, V>;
+    fn deref(&self) -> &HashMap<K, V> {
+        self.map
+    }
+}
+
+impl<K, V> std::ops::DerefMut for ShardMut<'_, K, V> {
+    fn deref_mut(&mut self) -> &mut HashMap<K, V> {
+        self.map
+    }
+}
+
+impl<K, V> Drop for ShardMut<'_, K, V> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        self.flags.end_write(self.idx);
+    }
 }
 
 // SAFETY: a ShardedMap is a plain collection of HashMaps; cross-thread
@@ -90,7 +213,11 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
     /// An empty map with `n` shards (minimum 1).
     pub fn new(n: usize) -> Self {
         let n = n.max(1);
-        ShardedMap { shards: (0..n).map(|_| UnsafeCell::new(HashMap::new())).collect() }
+        ShardedMap {
+            shards: (0..n).map(|_| UnsafeCell::new(HashMap::new())).collect(),
+            #[cfg(debug_assertions)]
+            flags: ShardFlags::new(n),
+        }
     }
 
     /// Number of shards.
@@ -103,10 +230,37 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
         key.shard_of(self.shards.len())
     }
 
-    fn shard(&self, idx: usize) -> &HashMap<K, V> {
+    /// Runs `f` over one shard's `HashMap` inside a sanitizer reader
+    /// window: the shared deref and the operation both happen while the
+    /// shard's reader count is raised, so a concurrent exclusive view is
+    /// caught in either direction (debug builds only).
+    fn with_shard<'s, R>(&'s self, idx: usize, f: impl FnOnce(&'s HashMap<K, V>) -> R) -> R {
+        #[cfg(debug_assertions)]
+        self.flags.begin_read(idx);
         // SAFETY: shared deref; callers uphold the module-level protocol
         // (no live `shard_mut` view of this shard on another thread).
-        unsafe { &*self.shards[idx].get() }
+        let out = f(unsafe { &*self.shards[idx].get() });
+        #[cfg(debug_assertions)]
+        self.flags.end_read(idx);
+        out
+    }
+
+    /// Debug-build check that shard `idx` has no live borrow at all —
+    /// used by the `&mut self` (write-lock path) accessors, where a live
+    /// [`ShardMut`] guard would mean a fast-path view leaked across into
+    /// the write-lock world.
+    fn debug_quiescent(&self, idx: usize) {
+        #[cfg(debug_assertions)]
+        self.flags.assert_quiescent(idx);
+        #[cfg(not(debug_assertions))]
+        let _ = idx;
+    }
+
+    fn debug_all_quiescent(&self) {
+        #[cfg(debug_assertions)]
+        for i in 0..self.shards.len() {
+            self.flags.assert_quiescent(i);
+        }
     }
 
     /// Exclusive view of one shard's partition through a shared
@@ -116,35 +270,42 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
     ///
     /// The caller must hold the core lock in read mode *and* stripe
     /// `idx`, and must not access this map through any other method
-    /// (on any shard-`idx` key) while the returned reference is live.
-    #[allow(clippy::mut_from_ref)] // the whole point: stripe-guarded interior mutability
-    pub unsafe fn shard_mut(&self, idx: usize) -> &mut HashMap<K, V> {
-        &mut *self.shards[idx].get()
+    /// (on any shard-`idx` key) while the returned guard is live.
+    pub unsafe fn shard_mut(&self, idx: usize) -> ShardMut<'_, K, V> {
+        #[cfg(debug_assertions)]
+        self.flags.begin_write(idx);
+        ShardMut {
+            map: &mut *self.shards[idx].get(),
+            #[cfg(debug_assertions)]
+            flags: &self.flags,
+            #[cfg(debug_assertions)]
+            idx,
+        }
     }
 
     /// Looks up a key.
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.shard(self.shard_of(key)).get(key)
+        self.with_shard(self.shard_of(key), |m| m.get(key))
     }
 
     /// Whether the key is present.
     pub fn contains_key(&self, key: &K) -> bool {
-        self.shard(self.shard_of(key)).contains_key(key)
+        self.with_shard(self.shard_of(key), |m| m.contains_key(key))
     }
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().enumerate().map(|(i, _)| self.shard(i).len()).sum()
+        (0..self.shards.len()).map(|i| self.with_shard(i, |m| m.len())).sum()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        (0..self.shards.len()).all(|i| self.shard(i).is_empty())
+        (0..self.shards.len()).all(|i| self.with_shard(i, |m| m.is_empty()))
     }
 
     /// Iterates all entries (shard-major order).
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        (0..self.shards.len()).flat_map(|i| self.shard(i).iter())
+        (0..self.shards.len()).flat_map(|i| self.with_shard(i, |m| m.iter()))
     }
 
     /// Iterates all keys.
@@ -160,29 +321,34 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
     /// Mutable lookup (write-lock path).
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         let idx = self.shard_of(key);
+        self.debug_quiescent(idx);
         self.shards[idx].get_mut().get_mut(key)
     }
 
     /// Inserts, returning any previous value (write-lock path).
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let idx = self.shard_of(&key);
+        self.debug_quiescent(idx);
         self.shards[idx].get_mut().insert(key, value)
     }
 
     /// Removes a key (write-lock path).
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.shard_of(key);
+        self.debug_quiescent(idx);
         self.shards[idx].get_mut().remove(key)
     }
 
     /// Entry API on the owning shard (write-lock path).
     pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
         let idx = self.shard_of(&key);
+        self.debug_quiescent(idx);
         self.shards[idx].get_mut().entry(key)
     }
 
     /// Keeps only entries the predicate accepts (write-lock path).
     pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        self.debug_all_quiescent();
         for shard in &mut self.shards {
             shard.get_mut().retain(|k, v| f(k, v));
         }
@@ -190,11 +356,13 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
 
     /// Iterates all values mutably (write-lock path).
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.debug_all_quiescent();
         self.shards.iter_mut().flat_map(|s| s.get_mut().values_mut())
     }
 
     /// Iterates all entries mutably (write-lock path).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.debug_all_quiescent();
         self.shards.iter_mut().flat_map(|s| s.get_mut().iter_mut())
     }
 }
@@ -303,13 +471,69 @@ mod tests {
         m.insert(id(2, 1), 21);
         m.insert(id(5, 1), 51); // 5 % 4 == 1: same shard as client 1
         // SAFETY: single-threaded test — no concurrent access at all.
-        let view = unsafe { m.shard_mut(1) };
+        let mut view = unsafe { m.shard_mut(1) };
         assert_eq!(view.len(), 2);
         view.insert(id(1, 2), 12);
         assert_eq!(view.get(&id(2, 1)), None);
-        let _ = view;
+        drop(view);
         assert_eq!(m.len(), 4);
         assert_eq!(m[&id(1, 2)], 12);
+    }
+
+    /// Seeded aliasing overlap: two exclusive views of the same shard.
+    /// The debug-build sanitizer must refuse the second one.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn sanitizer_catches_overlapping_shard_mut() {
+        let m: ShardedMap<u32, u32> = ShardedMap::new(4);
+        // SAFETY: single-threaded; the aliasing overlap is the point —
+        // the sanitizer panics before the second `&mut` materialises.
+        let _live = unsafe { m.shard_mut(1) };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: see above — never returns.
+            let _second = unsafe { m.shard_mut(1) };
+        }))
+        .expect_err("overlapping shard_mut views must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("overlapping shard_mut"), "unexpected panic: {msg}");
+        // A different shard is unaffected.
+        // SAFETY: shard 2 has no live view.
+        let _other = unsafe { m.shard_mut(2) };
+    }
+
+    /// Mut-while-shared: a `&self` read of a shard with a live exclusive
+    /// view must panic in debug builds.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn sanitizer_catches_read_during_shard_mut() {
+        let mut m: ShardedMap<u32, u32> = ShardedMap::new(4);
+        m.insert(id(1, 1), 11);
+        // SAFETY: single-threaded; the illegal read below is the point.
+        let _live = unsafe { m.shard_mut(1) };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = m.get(&id(1, 1));
+        }))
+        .expect_err("reading a shard with a live shard_mut view must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("mut-while-shared"), "unexpected panic: {msg}");
+        // Reads of other shards stay legal while the view is live.
+        assert_eq!(m.get(&id(2, 1)), None);
+    }
+
+    /// Dropping the guard ends the exclusive borrow: the same shard is
+    /// immediately readable and re-borrowable again.
+    #[test]
+    fn sanitizer_releases_on_drop() {
+        let mut m: ShardedMap<u32, u32> = ShardedMap::new(4);
+        m.insert(id(1, 1), 11);
+        for _ in 0..3 {
+            // SAFETY: single-threaded test; views are strictly sequential.
+            let mut view = unsafe { m.shard_mut(1) };
+            view.insert(id(1, 2), 12);
+            drop(view);
+            assert_eq!(m.get(&id(1, 1)), Some(&11));
+        }
+        assert!(sanitizer_active() == cfg!(debug_assertions));
     }
 
     #[test]

@@ -24,11 +24,20 @@
 //!   a live in-process server, asserting the validate catalog, engine
 //!   liveness, and complete disconnect cleanup after every wave.
 //!
+//! - [`sched`]: a deterministic scheduler (loom-style) that explores
+//!   interleavings of modeled connection-plane actors — fast-path
+//!   dispatcher, slow-path writer, reaper, engine tick — over a
+//!   schedule-controlled lock shim, checking the validate catalog plus
+//!   aliasing/deadlock oracles (A1–A3, D1) and minimizing any breaching
+//!   schedule to a replayable counterexample.
+//!
 //! All are exposed through the workspace automation binary:
-//! `cargo run -p xtask -- explore`, `-- fuzz`, and `-- soak`.
+//! `cargo run -p xtask -- explore`, `-- interleave`, `-- fuzz`, and
+//! `-- soak`.
 
 pub mod explore;
 pub mod fuzz;
+pub mod sched;
 pub mod soak;
 pub mod world;
 

@@ -67,6 +67,11 @@ pub struct SoakReport {
     /// Anything that should have held and did not: validate violations,
     /// a stalled engine, a leaked client, an unresponsive server.
     pub violations: Vec<String>,
+    /// Whether the server was built with the `ShardedMap` borrow
+    /// sanitizer compiled in (debug builds). CI's debug soak step
+    /// requires this, so the aliasing protocol is watched at runtime
+    /// while the faults churn.
+    pub sanitizer_active: bool,
 }
 
 impl SoakReport {
@@ -89,7 +94,11 @@ impl SoakReport {
 /// Runs the soak: `sessions` fault-injected clients against one live
 /// server, checked wave by wave.
 pub fn soak(cfg: &SoakConfig) -> SoakReport {
-    let mut report = SoakReport { sessions: cfg.sessions, ..Default::default() };
+    let mut report = SoakReport {
+        sessions: cfg.sessions,
+        sanitizer_active: da_server::shard::sanitizer_active(),
+        ..Default::default()
+    };
     let server = match AudioServer::start(ServerConfig {
         io_workers: cfg.workers.max(1),
         ..ServerConfig::default()
@@ -240,6 +249,9 @@ mod tests {
         assert_eq!(report.completed_ok + report.died_early, 20);
         assert!(report.total_faults() > 0, "no faults injected");
         assert!(report.engine_ticks > 0);
+        // The test profile carries debug_assertions, so this soak ran
+        // with the shard borrow sanitizer watching every access.
+        assert_eq!(report.sanitizer_active, cfg!(debug_assertions));
     }
 
     /// A fault-free soak (quiet plans are not used here, but zero

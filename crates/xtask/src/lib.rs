@@ -23,6 +23,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+pub mod races;
+
 /// One consistency problem found by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -40,7 +42,7 @@ impl fmt::Display for Finding {
     }
 }
 
-fn finding(pass: &'static str, file: &str, message: String) -> Finding {
+pub(crate) fn finding(pass: &'static str, file: &str, message: String) -> Finding {
     Finding { pass, file: file.to_string(), message }
 }
 
@@ -117,14 +119,14 @@ impl Sources {
 
 /// Cuts a line at its `//` comment, if any. Naive about `//` inside
 /// string literals, which is fine for these sources.
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     match line.find("//") {
         Some(i) => &line[..i],
         None => line,
     }
 }
 
-fn brace_delta(line: &str) -> i32 {
+pub(crate) fn brace_delta(line: &str) -> i32 {
     let code = strip_comment(line);
     code.chars().fold(0, |d, c| match c {
         '{' => d + 1,
@@ -134,11 +136,11 @@ fn brace_delta(line: &str) -> i32 {
 }
 
 /// The brace-matched block starting at the first `{` after `header`.
-fn block_after<'a>(src: &'a str, header: &str) -> Option<&'a str> {
+pub(crate) fn block_after<'a>(src: &'a str, header: &str) -> Option<&'a str> {
     delim_block_after(src, header, '{', '}')
 }
 
-fn delim_block_after<'a>(src: &'a str, header: &str, open_c: char, close_c: char) -> Option<&'a str> {
+pub(crate) fn delim_block_after<'a>(src: &'a str, header: &str, open_c: char, close_c: char) -> Option<&'a str> {
     let at = src.find(header)?;
     let open = at + src[at..].find(open_c)?;
     let mut depth = 0i32;
@@ -718,16 +720,45 @@ pub const LOCK_ORDER: [&str; 2] = ["core", "stripe"];
 /// match because the scan requires the literal `()` call.
 const LOCK_CALLS: [&str; 3] = [".lock()", ".read()", ".write()"];
 
+/// How a lock was acquired. The lint models `RwLock` modes explicitly:
+/// a read guard and a write guard on the same receiver are different
+/// hazards (upgrade deadlock vs. plain re-entrancy), and a stripe taken
+/// under the core *write* lock is aliasing-suspect in a way a stripe
+/// under the read lock is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// `.read()` — shared `RwLock` guard.
+    Read,
+    /// `.write()` — exclusive `RwLock` guard.
+    Write,
+    /// `.lock()` — plain mutex (stripes).
+    Mutex,
+}
+
+fn lock_mode(call: &str) -> LockMode {
+    match call {
+        ".read()" => LockMode::Read,
+        ".write()" => LockMode::Write,
+        _ => LockMode::Mutex,
+    }
+}
+
 /// Lock-order lint: within any scope, locks must be taken in
-/// [`LOCK_ORDER`] and never re-entrantly. Guards are tracked by brace
-/// scope; receivers not in the table are ignored.
+/// [`LOCK_ORDER`] and never re-entrantly, with acquisition *modes*
+/// modeled. Flags, beyond plain order inversions: a read→write upgrade
+/// on the same receiver (parking_lot `RwLock`s are not upgradable — the
+/// write blocks behind the thread's own read guard), and a stripe
+/// acquired under the core write lock (the write lock already grants
+/// exclusive access to every shard; stripes pair with the read-mode
+/// fast path only). Guards are tracked by brace scope; receivers not in
+/// the table are ignored.
 pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
     const PASS: &str = "lock-order";
     let mut out = Vec::new();
     let rank = |recv: &str| LOCK_ORDER.iter().position(|&n| n == recv);
     for (path, text) in server_files {
-        // Held guards: (rank, depth the binding lives at).
-        let mut held: Vec<(usize, i32)> = Vec::new();
+        // Held guards: (rank, mode, depth the binding lives at).
+        let mut held: Vec<(usize, LockMode, i32)> = Vec::new();
         let mut depth = 0i32;
         for (n, line) in text.lines().enumerate() {
             let code = strip_comment(line);
@@ -749,16 +780,59 @@ pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
                     .collect();
                 rest = &rest[i + call.len()..];
                 let Some(r) = rank(&recv) else { continue };
-                if let Some(&(top, _)) = held.last() {
-                    if r <= top {
+                let mode = lock_mode(call);
+                if let Some(&(_, held_mode, _)) = held.iter().find(|&&(hr, _, _)| hr == r) {
+                    if held_mode == LockMode::Read && mode == LockMode::Write {
                         out.push(finding(
                             PASS,
                             path,
                             format!(
-                                "line {}: {recv} acquired while {} is held (canonical order: {})",
+                                "line {}: read->write upgrade hazard: {recv}.write() while a \
+                                 {recv} read guard is held (RwLocks are not upgradable; the \
+                                 write blocks behind this thread's own read guard)",
                                 n + 1,
-                                LOCK_ORDER[top],
-                                LOCK_ORDER.join(" -> "),
+                            ),
+                        ));
+                    } else {
+                        out.push(finding(
+                            PASS,
+                            path,
+                            format!(
+                                "line {}: {recv} acquired while {recv} is already held \
+                                 (re-entrant acquisition deadlocks)",
+                                n + 1,
+                            ),
+                        ));
+                    }
+                } else {
+                    if let Some(&(top, _, _)) = held.last() {
+                        if r <= top {
+                            out.push(finding(
+                                PASS,
+                                path,
+                                format!(
+                                    "line {}: {recv} acquired while {} is held (canonical \
+                                     order: {})",
+                                    n + 1,
+                                    LOCK_ORDER[top],
+                                    LOCK_ORDER.join(" -> "),
+                                ),
+                            ));
+                        }
+                    }
+                    if LOCK_ORDER[r] == "stripe"
+                        && held.iter().any(|&(hr, m, _)| {
+                            LOCK_ORDER[hr] == "core" && m == LockMode::Write
+                        })
+                    {
+                        out.push(finding(
+                            PASS,
+                            path,
+                            format!(
+                                "line {}: stripe acquired under the core write lock — the \
+                                 write lock already grants exclusive shard access; stripes \
+                                 pair with the read-mode fast path only",
+                                n + 1,
                             ),
                         ));
                     }
@@ -766,11 +840,11 @@ pub fn lint_lock_order(server_files: &[(String, String)]) -> Vec<Finding> {
                 if is_binding {
                     // Guard lives to the end of the enclosing block;
                     // temporaries die within the statement.
-                    held.push((r, depth + brace_delta(line)));
+                    held.push((r, mode, depth + brace_delta(line)));
                 }
             }
             depth += brace_delta(line);
-            held.retain(|&(_, d)| d <= depth);
+            held.retain(|&(_, _, d)| d <= depth);
         }
     }
     out
@@ -1175,15 +1249,38 @@ impl std::fmt::Display for ErrorCode {
         let findings = lint_lock_order(&[("s.rs".into(), bad.into())]);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("core acquired while stripe"));
-        // Re-acquiring the core lock (read then write) is re-entrant.
-        let reentrant = "fn g(&self) {\n    let c = self.core.read();\n    let mut w = self.core.write();\n    w.tick();\n}\n";
-        assert_eq!(lint_lock_order(&[("s.rs".into(), reentrant.into())]).len(), 1);
         // The guard dies with its block: no finding across scopes.
         let scoped = "fn g(&self) {\n    {\n        let _stripe = self.stripe.lock();\n    }\n    let mut core = self.core.write();\n    core.tick();\n}\n";
         assert_eq!(lint_lock_order(&[("s.rs".into(), scoped.into())]), Vec::new());
         // Wire-codec `.write(&mut w)` calls take arguments: never matched.
         let wire = "fn g(&self) {\n    let _stripe = self.stripe.lock();\n    reply.write(&mut w);\n    core.read_frame(&mut buf);\n}\n";
         assert_eq!(lint_lock_order(&[("s.rs".into(), wire.into())]), Vec::new());
+    }
+
+    #[test]
+    fn lock_mode_modeling_flags_upgrades_and_write_mode_stripes() {
+        // Read guard live, then `.write()` on the same receiver: the
+        // classic non-upgradable RwLock self-deadlock.
+        let upgrade = "fn g(&self) {\n    let c = self.core.read();\n    let mut w = self.core.write();\n    w.tick();\n}\n";
+        let findings = lint_lock_order(&[("s.rs".into(), upgrade.into())]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("read->write upgrade hazard"));
+        // Write-then-write (and write-then-read) are plain re-entrancy,
+        // not upgrades.
+        let reentrant = "fn g(&self) {\n    let w = self.core.write();\n    let c = self.core.read();\n    c.peek();\n}\n";
+        let findings = lint_lock_order(&[("s.rs".into(), reentrant.into())]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("re-entrant"));
+        // A stripe under the core *write* lock is aliasing-suspect even
+        // though the order matches the canonical [core, stripe].
+        let write_stripe = "fn g(&self) {\n    let mut w = self.core.write();\n    let _s = stripe.lock();\n    w.tick();\n}\n";
+        let findings = lint_lock_order(&[("s.rs".into(), write_stripe.into())]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("stripe acquired under the core write lock"));
+        // The same stripe under the core *read* lock is the documented
+        // fast-path protocol: clean.
+        let read_stripe = "fn g(&self) {\n    let c = self.core.read();\n    let _s = stripe.lock();\n    c.peek();\n}\n";
+        assert_eq!(lint_lock_order(&[("s.rs".into(), read_stripe.into())]), Vec::new());
     }
 
     #[test]

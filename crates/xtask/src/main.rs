@@ -2,6 +2,15 @@
 //!
 //! - `cargo run -p xtask -- lint` — the workspace consistency lints;
 //!   exits non-zero if any finding survives the allowlist.
+//! - `cargo run -p xtask -- races` — the concurrency soundness lints
+//!   over the sharded connection plane (SAFETY comments, stripe-guard
+//!   protocol, mode-aware lock order, fastpath whitelist proof); exits
+//!   non-zero if any finding survives `races-allow.txt`.
+//! - `cargo run -p xtask -- interleave [--budget N] [--seed N] [--fault NAME] [--require N]`
+//!   — the deterministic connplane interleaving explorer; exits
+//!   non-zero and prints a minimized, replayable schedule on an oracle
+//!   breach (or, with `--require`, when fewer than N distinct
+//!   interleavings were explored).
 //! - `cargo run -p xtask -- explore [--budget N] [--depth N] [--seed-topology NAME]`
 //!   — the bounded model checker over the queue/activation state machine;
 //!   exits non-zero and prints a minimized, replayable counterexample on
@@ -21,6 +30,7 @@ use std::process::ExitCode;
 
 use da_modelcheck::explore::{explore, Config};
 use da_modelcheck::fuzz::{fuzz, seed_corpus, FuzzConfig};
+use da_modelcheck::sched::{explore_interleavings, SchedConfig, SchedFault};
 use da_modelcheck::soak::{soak, SoakConfig};
 use da_modelcheck::Seed;
 
@@ -37,11 +47,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("races") => run_races(),
         Some("explore") => run_explore(&args[1..]),
+        Some("interleave") => run_interleave(&args[1..]),
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("soak") => run_soak(&args[1..]),
         other => {
-            eprintln!("usage: cargo run -p xtask -- <lint | explore | fuzz | soak> [options]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint | races | explore | interleave | fuzz | soak> \
+                 [options]"
+            );
             if let Some(cmd) = other {
                 eprintln!("unknown command: {cmd}");
             }
@@ -66,6 +81,27 @@ fn run_lint() -> ExitCode {
         }
         Err(e) => {
             eprintln!("lint: cannot read workspace at {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_races() -> ExitCode {
+    let root = workspace_root();
+    match xtask::races::run_workspace_races(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("races: the stripe protocol, lock modes, and fastpath whitelist check out");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("races: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("races: cannot read workspace at {}: {e}", root.display());
             ExitCode::FAILURE
         }
     }
@@ -140,6 +176,59 @@ fn run_explore(args: &[String]) -> ExitCode {
     }
 }
 
+fn run_interleave(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args, &["--budget", "--seed", "--fault", "--require"]) else {
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = SchedConfig::default();
+    let mut require = 0u64;
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "--budget" => match value.parse() {
+                Ok(n) => cfg.budget = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => cfg.seed = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+            "--fault" => {
+                cfg.fault = match value.as_str() {
+                    "none" => SchedFault::None,
+                    "wrong-stripe" => SchedFault::WrongStripe,
+                    "read-upgrade" => SchedFault::ReadUpgrade,
+                    _ => return bad_value(&flag, &value),
+                }
+            }
+            _ => match value.parse() {
+                Ok(n) => require = n,
+                Err(_) => return bad_value(&flag, &value),
+            },
+        }
+    }
+    let report = explore_interleavings(&cfg);
+    println!(
+        "interleave[{}]: {} distinct interleavings (seed {}), deepest schedule {} steps",
+        cfg.fault.name(),
+        report.interleavings,
+        cfg.seed,
+        report.deepest,
+    );
+    if let Some(cx) = &report.counterexample {
+        eprintln!("{}", cx.render());
+        return ExitCode::FAILURE;
+    }
+    if report.interleavings < require {
+        eprintln!(
+            "interleave: only {} distinct interleavings explored (require {require})",
+            report.interleavings,
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("interleave: all oracles hold across every explored schedule");
+    ExitCode::SUCCESS
+}
+
 fn run_fuzz(args: &[String]) -> ExitCode {
     let Some(flags) = parse_flags(args, &["--iters", "--seed", "--corpus-out"]) else {
         return ExitCode::FAILURE;
@@ -185,10 +274,12 @@ fn run_fuzz(args: &[String]) -> ExitCode {
 }
 
 fn run_soak(args: &[String]) -> ExitCode {
-    let Some(flags) = parse_flags(args, &["--seed", "--iters", "--concurrency", "--workers"]) else {
+    let known = ["--seed", "--iters", "--concurrency", "--workers", "--require-sanitizer"];
+    let Some(flags) = parse_flags(args, &known) else {
         return ExitCode::FAILURE;
     };
     let mut cfg = SoakConfig::default();
+    let mut require_sanitizer = false;
     for (flag, value) in flags {
         match flag.as_str() {
             "--seed" => match value.parse() {
@@ -203,6 +294,10 @@ fn run_soak(args: &[String]) -> ExitCode {
                 Ok(n) => cfg.workers = n,
                 Err(_) => return bad_value(&flag, &value),
             },
+            "--require-sanitizer" => match value.parse() {
+                Ok(b) => require_sanitizer = b,
+                Err(_) => return bad_value(&flag, &value),
+            },
             _ => match value.parse() {
                 Ok(n) => cfg.concurrency = n,
                 Err(_) => return bad_value(&flag, &value),
@@ -210,6 +305,17 @@ fn run_soak(args: &[String]) -> ExitCode {
         }
     }
     let report = soak(&cfg);
+    if require_sanitizer && !report.sanitizer_active {
+        eprintln!(
+            "soak: the shard borrow sanitizer is compiled out of this build — \
+             run the debug profile (--require-sanitizer expects debug_assertions)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "soak: shard borrow sanitizer {}",
+        if report.sanitizer_active { "active" } else { "compiled out (release)" },
+    );
     println!(
         "soak: {} sessions (seed {}): {} completed, {} cut short by faults",
         report.sessions, cfg.seed, report.completed_ok, report.died_early,
