@@ -6,7 +6,8 @@ use da_proto::command::{DeviceCommand, QueueEntry};
 use da_proto::event::{Event, EventMask};
 use da_proto::ids::{Atom, LoudId, ResourceId, SoundId, VDeviceId, WireId};
 use da_proto::reply::{
-    ClientStatsData, HardWire, PhysDeviceInfo, Reply, ServerStatsData, StackEntry,
+    ClientStatsData, HardWire, PhysDeviceInfo, Reply, ServerStatsData, StackEntry, TraceData,
+    TraceStage,
 };
 use da_proto::request::Request;
 use da_proto::setup::{SetupReply, SetupRequest};
@@ -44,6 +45,26 @@ pub struct WireStats {
 
 /// Largest data block sent in one `WriteSoundData` request.
 const UPLOAD_CHUNK: usize = 64 * 1024;
+
+/// The causal identity of one request, minted client-side when the
+/// request is sent. The wire format is unchanged: the server correlates
+/// stage stamps by the same `(client, seq)` pair every frame already
+/// carries, so a `TraceId` can be matched against the `client`/`seq`
+/// fields of the [`TraceData`] records `QueryTraces` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId {
+    /// The connection's client id, as granted at setup.
+    pub client: da_proto::ids::ClientId,
+    /// The request's sequence number on that connection.
+    pub seq: u32,
+}
+
+impl TraceId {
+    /// Whether `trace` is this request's server-side trace.
+    pub fn matches(&self, trace: &TraceData) -> bool {
+        trace.client == self.client && trace.seq == self.seq
+    }
+}
 
 /// A connection to an audio server.
 ///
@@ -738,6 +759,61 @@ impl Connection {
             Err(e) => Err(map_unsupported(e, "ListClients")),
         }
     }
+
+    /// The [`TraceId`] the *next* request sent on this connection will
+    /// carry. Mint it before the send to correlate the request with the
+    /// trace the server's flight recorder assembles for it.
+    pub fn next_trace_id(&self) -> TraceId {
+        TraceId { client: self.setup.client, seq: self.next_seq }
+    }
+
+    /// The [`TraceId`] of the most recently sent request (the id
+    /// [`Connection::send`] returned as a bare sequence number).
+    pub fn last_trace_id(&self) -> TraceId {
+        TraceId { client: self.setup.client, seq: self.next_seq.wrapping_sub(1) }
+    }
+
+    /// Queries the server's flight recorder for up to `max` retained
+    /// traces, slowest first, with per-stage stamps (DESIGN.md §15).
+    /// Surfaces [`AlibError::Unsupported`] against pre-tracing servers.
+    pub fn query_traces(&mut self, max: u32) -> Result<Vec<TraceData>, AlibError> {
+        match self.round_trip(&Request::QueryTraces { max }) {
+            Ok(Reply::Traces { traces }) => Ok(traces),
+            Ok(_) => Err(AlibError::UnexpectedReply),
+            Err(e) => Err(map_unsupported(e, "QueryTraces")),
+        }
+    }
+}
+
+/// Client-side latency attribution: the `p`-th percentile (0.0–1.0) of
+/// the duration clients spent in `stage` across `traces`, in
+/// microseconds. A stage's duration is the gap from the preceding
+/// stamped stage; the first stamp of a trace contributes nothing.
+/// Returns `None` when no trace stamps the stage.
+pub fn stage_percentile_us(traces: &[TraceData], stage: TraceStage, p: f64) -> Option<u64> {
+    let mut durations: Vec<u64> = traces
+        .iter()
+        .filter_map(|t| stage_duration_us(t, stage))
+        .collect();
+    if durations.is_empty() {
+        return None;
+    }
+    durations.sort_unstable();
+    let rank = ((p.clamp(0.0, 1.0) * durations.len() as f64).ceil() as usize) // cast-ok: rank bounded by durations.len()
+        .saturating_sub(1)
+        .min(durations.len() - 1);
+    Some(durations[rank])
+}
+
+/// The duration one trace spent in `stage`: the gap from the previous
+/// stamped stage to `stage`'s stamp. `None` when the trace did not
+/// stamp the stage, or the stage is the trace's first stamp.
+pub fn stage_duration_us(trace: &TraceData, stage: TraceStage) -> Option<u64> {
+    let pos = trace.stages.iter().position(|s| s.stage == stage)?;
+    if pos == 0 {
+        return None;
+    }
+    Some(trace.stages[pos].at_us.saturating_sub(trace.stages[pos - 1].at_us))
 }
 
 /// Maps the errors an old server sends for an opcode it does not know —

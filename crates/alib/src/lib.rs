@@ -14,7 +14,9 @@
 pub mod connection;
 pub mod error;
 
-pub use connection::{Connection, WireStats};
+pub use connection::{
+    stage_duration_us, stage_percentile_us, Connection, TraceId, WireStats,
+};
 pub use error::AlibError;
 
 // Re-export the protocol so applications need only one dependency.

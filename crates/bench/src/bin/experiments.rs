@@ -408,10 +408,26 @@ fn e5xl_engine_cost(report: &mut Report, k: usize) {
     server.shutdown();
 }
 
+/// Flight-recorder configuration for a latency measurement.
+#[derive(Clone, Copy)]
+enum TraceMode {
+    /// Recorder disabled entirely (overhead baseline).
+    Off,
+    /// Default shipping configuration: 1-in-16 sampling, 5 ms threshold.
+    Sampled,
+}
+
 /// Play-start latency with `k` connected clients: up to 16 probe
 /// threads each run E1-style play→PlayStarted trials while the other
-/// clients stay connected. Returns (p50, p95) in microseconds.
-fn e5xl_start_latency(report: &mut Report, k: usize, trials: usize) -> (u64, u64) {
+/// clients stay connected. `suffix` distinguishes report metric names
+/// for non-default trace modes. Returns (p50, p95) in microseconds.
+fn e5xl_start_latency(
+    report: &mut Report,
+    k: usize,
+    trials: usize,
+    trace: TraceMode,
+    suffix: &str,
+) -> (u64, u64) {
     let config = ServerConfig {
         pacing: da_hw::clock::Pacing::RealTime,
         quantum_us: 10_000,
@@ -419,6 +435,10 @@ fn e5xl_start_latency(report: &mut Report, k: usize, trials: usize) -> (u64, u64
     };
     let threads_floor = process_threads();
     let server = AudioServer::start(config).expect("server");
+    server.control().with_core(|c| match trace {
+        TraceMode::Off => c.tel.recorder.set_enabled(false),
+        TraceMode::Sampled => c.tel.recorder.set_sampling(16, 5_000),
+    });
     let probes = k.min(16);
     // Background population: connected, resident in the client table,
     // owned by the plane — but idle during the measurement.
@@ -427,7 +447,7 @@ fn e5xl_start_latency(report: &mut Report, k: usize, trials: usize) -> (u64, u64
         .collect();
     let io_threads = process_threads();
     let workers = server.io_workers();
-    report.push("E5-XL", &format!("io_threads_total_{k}_clients"), io_threads as f64, "threads");
+    report.push("E5-XL", &format!("io_threads_total_{k}_clients{suffix}"), io_threads as f64, "threads");
     if threads_floor > 0 {
         // The tentpole bound: workers + engine + main, never O(clients).
         assert!(
@@ -464,8 +484,8 @@ fn e5xl_start_latency(report: &mut Report, k: usize, trials: usize) -> (u64, u64
         samples.extend(h.join().expect("probe thread"));
     }
     let s = latency_stats(samples);
-    report.push("E5-XL", &format!("start_latency_p50_us_{k}_clients"), s.p50_us as f64, "us");
-    report.push("E5-XL", &format!("start_latency_p95_us_{k}_clients"), s.p95_us as f64, "us");
+    report.push("E5-XL", &format!("start_latency_p50_us_{k}_clients{suffix}"), s.p50_us as f64, "us");
+    report.push("E5-XL", &format!("start_latency_p95_us_{k}_clients{suffix}"), s.p95_us as f64, "us");
     println!(
         "  {k:>5} | p50 {:>7.2} ms | p95 {:>7.2} ms | {io_threads} threads ({workers} I/O workers)",
         s.p50_us as f64 / 1000.0,
@@ -487,10 +507,14 @@ fn e5xl_connection_plane(report: &mut Report) {
     println!("  clients | start latency      | process threads");
     let mut p95_at_16 = 0u64;
     let mut p95_at_512 = 0u64;
+    let mut p95_at_256 = 0u64;
     for k in [16usize, 64, 256, 512, 1024] {
-        let (_p50, p95) = e5xl_start_latency(report, k, 5);
+        let (_p50, p95) = e5xl_start_latency(report, k, 5, TraceMode::Sampled, "");
         if k == 16 {
             p95_at_16 = p95;
+        }
+        if k == 256 {
+            p95_at_256 = p95;
         }
         if k == 512 {
             p95_at_512 = p95;
@@ -503,6 +527,17 @@ fn e5xl_connection_plane(report: &mut Report) {
     println!(
         "  p95(512 clients) / p95(16 clients) = {ratio:.2}    {}",
         if ratio <= 2.0 { "PASS (within 2x)" } else { "FAIL (> 2x)" }
+    );
+    // Tracing overhead (DESIGN.md §15): default 1-in-16 sampling vs the
+    // recorder disabled, at 256 clients.
+    println!("  flight-recorder overhead at 256 clients (recorder off):");
+    let (_p50_off, p95_off) =
+        e5xl_start_latency(report, 256, 5, TraceMode::Off, "_untraced");
+    let overhead = p95_at_256 as f64 / p95_off.max(1) as f64;
+    report.push("E5-XL", "tracing_overhead_p95_ratio_256_clients", overhead, "ratio");
+    println!(
+        "  p95(traced 1-in-16) / p95(untraced) = {overhead:.3}    {}",
+        if overhead <= 1.05 { "PASS (within 5%)" } else { "FAIL (> 5%)" }
     );
 }
 
@@ -520,15 +555,17 @@ fn e5xl_recorded_baseline() -> Option<f64> {
 }
 
 /// CI smoke gate: exit nonzero if p95 start latency at 256 clients
-/// regressed more than 2x over the recorded baseline.
+/// regressed more than 2x over the recorded baseline, or if default
+/// 1-in-16 flight-recorder sampling costs more than 5% of p95 over a
+/// same-machine run with the recorder disabled (DESIGN.md §15).
 fn e5xl_smoke() -> i32 {
     println!("E5-XL smoke: start latency at 256 clients vs recorded baseline");
     let mut report = Report::new();
-    let (_p50, p95) = e5xl_start_latency(&mut report, 256, 5);
+    let (_p50, p95) = e5xl_start_latency(&mut report, 256, 5, TraceMode::Sampled, "");
+    let mut failed = false;
     match e5xl_recorded_baseline() {
         None => {
             println!("  no recorded baseline in BENCH_results.json; measurement-only run");
-            0
         }
         Some(baseline) => {
             let limit = baseline * 2.0;
@@ -540,13 +577,27 @@ fn e5xl_smoke() -> i32 {
             );
             if (p95 as f64) <= limit {
                 println!("  PASS");
-                0
             } else {
                 eprintln!("  FAIL: p95 start latency regressed more than 2x");
-                1
+                failed = true;
             }
         }
     }
+    println!("E5-XL smoke: tracing overhead at 256 clients (1-in-16 sampling vs recorder off)");
+    let (_p50_off, p95_off) =
+        e5xl_start_latency(&mut report, 256, 5, TraceMode::Off, "_untraced");
+    let limit = p95_off as f64 * 1.05;
+    let overhead = p95 as f64 / p95_off.max(1) as f64;
+    println!(
+        "  traced p95 {p95} us, untraced p95 {p95_off} us, ratio {overhead:.4}, limit {limit:.0} us"
+    );
+    if p95 as f64 <= limit {
+        println!("  PASS (within 5%)");
+    } else {
+        eprintln!("  FAIL: default-rate tracing costs more than 5% of p95");
+        failed = true;
+    }
+    i32::from(failed)
 }
 
 // ---------------------------------------------------------------------------

@@ -17,10 +17,11 @@
 
 use crate::core::{Core, DisconnectReason, ServerMsg, CLIENT_CHANNEL_DEPTH};
 use crate::dispatch::dispatch;
-use crate::telem::ServerMetrics;
+use crate::telem::{FlightRecorder, ServerMetrics};
 use bytes::BytesMut;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use da_proto::codec::{Frame, FrameKind, WireReader, WireWriter};
+use da_proto::event::Event;
 use da_proto::transport::Pollable;
 use da_proto::{Request, SetupReply, SetupRequest, WireRead, WireWrite};
 use parking_lot::RwLock;
@@ -103,7 +104,10 @@ impl ConnPlane {
         workers: usize,
     ) -> std::io::Result<ConnPlane> {
         let workers = workers.max(1);
-        let metrics = core.read().tel.metrics.clone();
+        let (metrics, recorder) = {
+            let c = core.read();
+            (c.tel.metrics.clone(), Arc::clone(&c.tel.recorder))
+        };
         metrics.conn_plane_workers.set(workers as i64);
         let shared = Arc::new(PlaneShared {
             per_worker: (0..workers).map(|_| AtomicI64::new(0)).collect(),
@@ -119,6 +123,7 @@ impl ConnPlane {
                 shutdown: Arc::clone(shutdown),
                 injector: rx,
                 metrics: metrics.clone(),
+                recorder: Arc::clone(&recorder),
                 shared: Arc::clone(&shared),
                 index,
                 conns: Vec::new(),
@@ -219,6 +224,7 @@ struct Worker {
     shutdown: Arc<AtomicBool>,
     injector: Receiver<Box<dyn Pollable>>,
     metrics: ServerMetrics,
+    recorder: Arc<FlightRecorder>,
     shared: Arc<PlaneShared>,
     index: usize,
     conns: Vec<PlaneConn>,
@@ -264,7 +270,7 @@ impl Worker {
         let mut progress = self.conns.len() != before;
         let mut conns = std::mem::take(&mut self.conns);
         for conn in &mut conns {
-            progress |= pump_conn(&self.core, &self.metrics, shutting, conn);
+            progress |= pump_conn(&self.core, &self.metrics, &self.recorder, shutting, conn);
         }
         // Eager reaping: a finished connection leaves the worker's list
         // (and frees its buffers) the round it dies, not at shutdown.
@@ -316,6 +322,7 @@ impl Worker {
 fn pump_conn(
     core: &Arc<RwLock<Core>>,
     metrics: &ServerMetrics,
+    recorder: &FlightRecorder,
     shutting: bool,
     conn: &mut PlaneConn,
 ) -> bool {
@@ -345,7 +352,7 @@ fn pump_conn(
             // A Shutdown that rode the channel already carried its own
             // farewell (drain sets `closing`); only synthesize one if
             // none was drained, so the client never sees two.
-            drain_outbound(conn, metrics);
+            drain_outbound(conn, metrics, recorder);
             if !conn.closing {
                 let frame = encode_msg(ServerMsg::Shutdown(reason));
                 conn.wrbuf.extend_from_slice(&frame.encode());
@@ -388,7 +395,7 @@ fn pump_conn(
         match Frame::decode(&mut conn.rdbuf) {
             Ok(Some(frame)) => {
                 progress = true;
-                handle_frame(core, metrics, conn, frame);
+                handle_frame(core, metrics, recorder, conn, frame);
             }
             Ok(None) => break,
             Err(_) => {
@@ -406,7 +413,7 @@ fn pump_conn(
     //    pauses while the unflushed backlog exceeds WRITE_BACKLOG_CAP,
     //    so a stalled reader backs the channel up and eviction fires.
     if !conn.closing {
-        progress |= drain_outbound(conn, metrics);
+        progress |= drain_outbound(conn, metrics, recorder);
         if conn.closing {
             // A Shutdown message rode the channel: close after flush.
             begin_close(core, conn);
@@ -476,6 +483,7 @@ fn finish_conn(core: &Arc<RwLock<Core>>, conn: &mut PlaneConn) {
 fn handle_frame(
     core: &Arc<RwLock<Core>>,
     metrics: &ServerMetrics,
+    recorder: &FlightRecorder,
     conn: &mut PlaneConn,
     frame: Frame,
 ) {
@@ -530,6 +538,8 @@ fn handle_frame(
             let decoded = r.u32().ok().and_then(|seq| Request::read(&mut r).ok().map(|req| (seq, req)));
             match decoded {
                 Some((seq, req)) => {
+                    // Ingress stage: frame reassembly + decode complete.
+                    recorder.ingress(client.0, seq, req.opcode());
                     // Sharded fast path first; the write lock only for
                     // requests that touch cross-shard state.
                     if !crate::fastpath::try_dispatch(core, client, seq, &req) {
@@ -566,7 +576,7 @@ fn handle_frame(
 /// eviction engage when the transport stops accepting bytes. Returns
 /// whether anything moved; sets `conn.closing` if a Shutdown message
 /// was dequeued.
-fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics) -> bool {
+fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics, recorder: &FlightRecorder) -> bool {
     let mut moved = false;
     loop {
         if conn.wrbuf.len() - conn.wroff >= WRITE_BACKLOG_CAP {
@@ -582,6 +592,16 @@ fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics) -> bool {
             ServerMsg::Error(..) => Some(&sess.counters.errors),
             ServerMsg::Shutdown(_) => None,
         };
+        // Drain stage: the correlated message reaches the write buffer.
+        match &msg {
+            ServerMsg::Reply(seq, _) | ServerMsg::Error(seq, _) => {
+                recorder.drain_reply(sess.client.0, *seq);
+            }
+            ServerMsg::Event(Event::CommandDone { loud, index, .. }) => {
+                recorder.drain_event(loud.0, *index, sess.client.0);
+            }
+            _ => {}
+        }
         let frame = encode_msg(msg);
         if let Some(slot) = slot {
             da_telemetry::ConnCounters::bump(slot, 1);
@@ -690,6 +710,11 @@ mod tests {
         core.read().tel.metrics.clone()
     }
 
+    /// Fetches the flight recorder the same way.
+    fn recorder_of(core: &Arc<RwLock<Core>>) -> Arc<FlightRecorder> {
+        Arc::clone(&core.read().tel.recorder)
+    }
+
     fn test_core() -> Arc<RwLock<Core>> {
         Arc::new(RwLock::new(Core::new(ServerConfig {
             manual_ticks: true,
@@ -709,8 +734,9 @@ mod tests {
     }
 
     fn pump_until_quiet(core: &Arc<RwLock<Core>>, metrics: &ServerMetrics, conn: &mut PlaneConn) {
+        let recorder = recorder_of(core);
         for _ in 0..1000 {
-            if !pump_conn(core, metrics, false, conn) {
+            if !pump_conn(core, metrics, &recorder, false, conn) {
                 break;
             }
         }
@@ -813,7 +839,7 @@ mod tests {
                     );
                 }
             }
-            pump_conn(&core, &metrics, false, &mut conn);
+            pump_conn(&core, &metrics, &recorder_of(&core), false, &mut conn);
             if conn.closing {
                 evicted = true;
                 break;
@@ -839,8 +865,9 @@ mod tests {
         // A farewell rides the channel *and* the shutdown flag is up:
         // the teardown branch must not append a second farewell.
         core.read().send_to_client(client, ServerMsg::Shutdown(DisconnectReason::ServerShutdown));
+        let recorder = recorder_of(&core);
         for _ in 0..10 {
-            pump_conn(&core, &metrics, true, &mut conn);
+            pump_conn(&core, &metrics, &recorder, true, &mut conn);
         }
         assert!(conn.dead);
         let frames = written_frames(&mut conn);

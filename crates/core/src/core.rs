@@ -353,6 +353,9 @@ impl Core {
             }
         }
         self.clients.remove(&client.0);
+        // Departed clients must leave no orphan partial traces or queue
+        // watches behind (DESIGN.md §15).
+        self.tel.recorder.purge_client(client.0);
         // Surviving clients may hold event selections keyed on the
         // resources that just died with the departed client; sweep them
         // so nothing references a destroyed id (invariant V13).
@@ -433,6 +436,11 @@ impl Core {
                 }
             }
             reply_or_error => {
+                if let ServerMsg::Reply(seq, _) | ServerMsg::Error(seq, _) = &reply_or_error {
+                    // Outbound stage stamp precedes the enqueue so the
+                    // drain stamp can never come first (DESIGN.md §15).
+                    self.tel.recorder.reply_outbound(client.0, *seq);
+                }
                 match cs.tx.try_send(reply_or_error) {
                     Ok(()) => {}
                     Err(TrySendError::Full(_)) => {
@@ -492,6 +500,9 @@ impl Core {
         if !self.louds.contains_key(&loud) {
             return;
         }
+        // A dying root takes its queue with it: pending trace watches
+        // on it can never resolve, so the recorder drops them now.
+        self.tel.recorder.purge_root(loud);
         self.invalidate_plans();
         let l = self.louds.get(&loud).expect("checked above");
         let is_root = l.is_root();

@@ -35,8 +35,9 @@ fn owns_id(client: ClientId, id: u32) -> bool {
 pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
     let started = std::time::Instant::now();
     let op = request.opcode();
+    core.tel.recorder.dispatch_begin(client.0, seq);
     let _span = da_telemetry::span!(core.tel.journal, "dispatch", client = client.0, opcode = op);
-    let result = execute(core, client, &request);
+    let result = execute(core, client, seq, &request);
     core.tel.count_opcode(op as usize);
     core.tel.metrics.dispatch_requests_total.inc();
     core.tel.metrics.dispatch_slow_total.inc();
@@ -44,6 +45,11 @@ pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
         core.tel.metrics.dispatch_errors_total.inc();
     }
     core.tel.metrics.dispatch_latency_us.record_duration_us(started.elapsed());
+    // Fire-and-forget successes close their trace here; queries and
+    // errors close at the reply/error drain, queued work at the
+    // correlated CommandDone drain (DESIGN.md §15).
+    let completes = !request.has_reply() && result.is_ok();
+    core.tel.recorder.dispatch_done(client.0, seq, false, 0, completes);
     match result {
         Ok(Some(reply)) => core.send_to_client(client, ServerMsg::Reply(seq, reply)),
         Ok(None) => {
@@ -69,7 +75,7 @@ pub fn dispatch(core: &mut Core, client: ClientId, seq: u32, request: Request) {
     }
 }
 
-fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResult {
+fn execute(core: &mut Core, client: ClientId, seq: u32, request: &Request) -> DispatchResult {
     match request {
         // ---- LOUDs ---------------------------------------------------------
         Request::CreateLoud { id, parent } => {
@@ -484,8 +490,17 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
             }
             // Queued-only validation happens at execution; but commands
             // that can never be queued (none today) would be caught here.
-            if let Some(q) = core.queue_mut(loud.0) {
+            let cursors = core.queue_mut(loud.0).map(|q| {
+                let first = q.entry_cursor();
                 q.enqueue(entries.clone());
+                (first, q.entry_cursor())
+            });
+            if let Some((first, after)) = cursors {
+                if after > first {
+                    // The trace now completes at the CommandDone drain
+                    // for the first node parsed from this request.
+                    core.tel.recorder.register_watch(loud.0, first, client.0, seq);
+                }
             }
             Ok(None)
         }
@@ -861,6 +876,7 @@ fn execute(core: &mut Core, client: ClientId, request: &Request) -> DispatchResu
         Request::Sync => Ok(Some(Reply::Sync)),
         Request::QueryServerStats => Ok(Some(crate::telem::server_stats_reply(core))),
         Request::ListClients => Ok(Some(crate::telem::client_list_reply(core))),
+        Request::QueryTraces { max } => Ok(Some(crate::telem::traces_reply(core, *max))),
     }
 }
 

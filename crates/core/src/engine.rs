@@ -253,6 +253,7 @@ fn step_queue(core: &mut Core, root: u32, budget_8k: u64, scratch: &mut EngineSc
 fn start_node(core: &mut Core, root: u32, node: QNode, budget: u64) -> RunNode {
     match node {
         QNode::Cmd { vdev, cmd, index } => {
+            core.tel.recorder.engine_stage(root, index, core.tick_index);
             let mut run = RunNode::Cmd { vdev, cmd, index, state: CmdState::Waiting };
             try_install(core, root, &mut run, budget);
             run
@@ -883,6 +884,8 @@ fn finish_aborted_op(core: &mut Core, vid: u32, op: Option<ActiveOp>) {
 }
 
 fn emit_command_done(core: &mut Core, root: u32, vid: u32, index: u32) {
+    // Stamp before the enqueue so the drain stamp can never precede it.
+    core.tel.recorder.event_outbound(root, index);
     let at = core.device_time;
     core.send_event(
         ResKey(0, root),

@@ -134,6 +134,7 @@ pub const OPCODE_TOUCHES: &[(&str, Footprint, &str)] = &[
     ("Sync", Footprint::Global, "pure fence, no state"),
     ("QueryServerStats", Footprint::Cross, "aggregates telemetry across all clients"),
     ("ListClients", Footprint::Cross, "reads the global client table"),
+    ("QueryTraces", Footprint::Cross, "snapshots the cross-client flight-recorder ring"),
 ];
 
 /// Exclusive access to one shard's partition of every sharded map. Each
@@ -227,11 +228,13 @@ pub fn try_dispatch(core: &RwLock<Core>, client: ClientId, seq: u32, request: &R
         }
         let started = std::time::Instant::now();
         let op = request.opcode();
+        c.tel.recorder.dispatch_begin(client.0, seq);
         let shard = (client.0 as usize) % c.stripes.len();
         let waited = std::time::Instant::now();
         let stripe = c.stripes.stripe(shard);
         let _stripe = stripe.lock();
-        c.tel.metrics.shard_lock_wait_us.record_duration_us(waited.elapsed());
+        let shard_wait = waited.elapsed();
+        c.tel.metrics.shard_lock_wait_us.record_duration_us(shard_wait);
         let held = std::time::Instant::now();
         let _span =
             da_telemetry::span!(c.tel.journal, "dispatch", client = client.0, opcode = op);
@@ -239,7 +242,7 @@ pub fn try_dispatch(core: &RwLock<Core>, client: ClientId, seq: u32, request: &R
             // SAFETY: core read lock + stripe `shard` held; within this
             // block the sharded maps are accessed only through the view.
             let mut view = unsafe { ShardView::new(&c, shard) };
-            exec_fast(&c, &mut view, client, request)
+            exec_fast(&c, &mut view, client, seq, request)
         };
         let handled = match outcome {
             FastOutcome::Punt => false,
@@ -251,6 +254,14 @@ pub fn try_dispatch(core: &RwLock<Core>, client: ClientId, seq: u32, request: &R
                     c.tel.metrics.dispatch_errors_total.inc();
                 }
                 c.tel.metrics.dispatch_latency_us.record_duration_us(started.elapsed());
+                let completes = !request.has_reply() && result.is_ok();
+                c.tel.recorder.dispatch_done(
+                    client.0,
+                    seq,
+                    true,
+                    shard_wait.as_micros() as u64, // cast-ok: stripe wait in µs, far below u64::MAX
+                    completes,
+                );
                 match result {
                     Ok(Some(reply)) => c.send_to_client(client, ServerMsg::Reply(seq, reply)),
                     Ok(None) => {
@@ -354,6 +365,7 @@ fn exec_fast(
     core: &Core,
     view: &mut ShardView,
     client: ClientId,
+    seq: u32,
     request: &Request,
 ) -> FastOutcome {
     use FastOutcome::{Done, Punt};
@@ -614,7 +626,13 @@ fn exec_fast(
                 return Done(Err(err(ErrorCode::BadLoud, loud.0, "queues live on root LOUDs")));
             }
             if let Some(q) = l.queue.as_mut() {
+                let first = q.entry_cursor();
                 q.enqueue(entries.clone());
+                if q.entry_cursor() > first {
+                    // The trace now completes at the CommandDone drain
+                    // for the first node parsed from this request.
+                    core.tel.recorder.register_watch(loud.0, first, client.0, seq);
+                }
             }
             Done(Ok(None))
         }

@@ -33,7 +33,7 @@ use da_proto::event::{CallState, Event, EventMask, QueueStopReason, RecordStopRe
 use da_proto::ids::{Atom, ClientId, DeviceId, LoudId, ResourceId, SoundId, VDeviceId, WireId};
 use da_proto::reply::{
     ClientStatsData, CounterSample, GaugeSample, HardWire, HistogramSample, PhysDeviceInfo,
-    Reply, ServerStatsData, StackEntry,
+    Reply, ServerStatsData, StackEntry, TraceData, TraceStage, TraceStageSample,
 };
 use da_proto::request::Request;
 use da_proto::setup::{SetupReply, SetupRequest};
@@ -492,7 +492,8 @@ pub mod gen {
             46 => Request::GetServerInfo,
             47 => Request::Sync,
             48 => Request::QueryServerStats,
-            _ => Request::ListClients,
+            49 => Request::ListClients,
+            _ => Request::QueryTraces { max: rng.below(512) as u32 },
         }
     }
 
@@ -526,9 +527,27 @@ pub mod gen {
         }
     }
 
-    /// One of all 18 reply shapes.
+    fn trace_data(rng: &mut Rng) -> TraceData {
+        // Stages are a (possibly empty) ordered prefix of the taxonomy,
+        // the only shape the recorder produces.
+        let stamped = rng.below(TraceStage::COUNT as u64 + 1) as usize;
+        TraceData {
+            client: ClientId(small_u32(rng)),
+            seq: rng.next_u32(),
+            opcode: rng.next_u8(),
+            fast_path: rng.chance(1, 2),
+            shard_wait_us: rng.next_u64(),
+            engine_tick: rng.next_u64(),
+            stages: (0..stamped)
+                .filter_map(|i| TraceStage::from_u8(i as u8))
+                .map(|stage| TraceStageSample { stage, at_us: rng.next_u64() })
+                .collect(),
+        }
+    }
+
+    /// One of all 19 reply shapes.
     pub fn reply(rng: &mut Rng) -> Reply {
-        match rng.below(18) {
+        match rng.below(19) {
             0 => Reply::VDeviceAttributes {
                 attrs: attributes(rng),
                 mapped_device: if rng.chance(1, 2) {
@@ -611,6 +630,9 @@ pub mod gen {
             },
             15 => Reply::Sync,
             16 => Reply::ServerStats { stats: server_stats(rng) },
+            18 => Reply::Traces {
+                traces: (0..rng.below(4)).map(|_| trace_data(rng)).collect(),
+            },
             _ => Reply::ClientList {
                 clients: (0..rng.below(3))
                     .map(|_| ClientStatsData {

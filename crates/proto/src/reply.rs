@@ -169,7 +169,10 @@ impl HistogramSample {
     }
 
     /// Approximate `p`-th percentile (`0.0..=1.0`): the upper bound of
-    /// the bucket where the cumulative count crosses `p * count`.
+    /// the bucket where the cumulative count crosses `p * count`,
+    /// clamped to `sum` — no single sample can exceed the sum of all
+    /// samples, and the open-ended top bucket has no finite upper bound
+    /// of its own.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -179,16 +182,19 @@ impl HistogramSample {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 0 {
+                let bound = if i == 0 {
                     0
-                } else if i >= 64 {
+                } else if i >= 31 {
+                    // The wire format carries 32 log2 buckets; the last
+                    // absorbs everything ≥ 2^30 and is open-ended.
                     u64::MAX
                 } else {
                     (1u64 << i) - 1
                 };
+                return bound.min(self.sum);
             }
         }
-        u64::MAX
+        self.sum
     }
 }
 
@@ -336,6 +342,153 @@ impl WireRead for ClientStatsData {
     }
 }
 
+/// One stage of a request's wire-to-engine lifecycle, as stamped by
+/// the server's flight recorder (§10). Stages are ordered: a completed
+/// trace carries a strictly increasing stage sequence with
+/// non-decreasing timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceStage {
+    /// Inbound frame reassembly complete: the request frame was fully
+    /// decoded on its I/O worker.
+    Ingress = 0,
+    /// Dispatch finished, on the fast (sharded) or slow (global) path.
+    Dispatch = 1,
+    /// The engine tick that first serviced the queue action produced by
+    /// this request (enqueued commands only).
+    Engine = 2,
+    /// The correlated reply or completion event was queued on the
+    /// client's outbound channel.
+    Outbound = 3,
+    /// The writer drained the correlated message into the socket buffer.
+    Drain = 4,
+}
+
+impl TraceStage {
+    /// Number of trace stages.
+    pub const COUNT: usize = 5;
+
+    /// Stage names, indexed by stage number; these are the `<stage>` in
+    /// the server's `trace_stage_<stage>_us` histogram names.
+    pub const NAMES: [&'static str; TraceStage::COUNT] =
+        ["ingress", "dispatch", "engine", "outbound", "drain"];
+
+    /// The stage's snake_case name.
+    pub fn name(self) -> &'static str {
+        TraceStage::NAMES[self as usize]
+    }
+
+    /// Decodes a stage number.
+    pub fn from_u8(v: u8) -> Option<TraceStage> {
+        match v {
+            0 => Some(TraceStage::Ingress),
+            1 => Some(TraceStage::Dispatch),
+            2 => Some(TraceStage::Engine),
+            3 => Some(TraceStage::Outbound),
+            4 => Some(TraceStage::Drain),
+            _ => None,
+        }
+    }
+}
+
+impl WireWrite for TraceStage {
+    fn write(&self, w: &mut WireWriter) {
+        w.u8(*self as u8); // cast-ok: discriminants are 0..5
+    }
+}
+
+impl WireRead for TraceStage {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let v = r.u8()?;
+        TraceStage::from_u8(v).ok_or(CodecError::BadTag("TraceStage", u32::from(v)))
+    }
+}
+
+/// One stamped stage within a [`TraceData`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStageSample {
+    /// Which stage was stamped.
+    pub stage: TraceStage,
+    /// Microseconds since the server's telemetry epoch.
+    pub at_us: u64,
+}
+
+impl WireWrite for TraceStageSample {
+    fn write(&self, w: &mut WireWriter) {
+        self.stage.write(w);
+        w.u64(self.at_us);
+    }
+}
+
+impl WireRead for TraceStageSample {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceStageSample { stage: TraceStage::read(r)?, at_us: r.u64()? })
+    }
+}
+
+/// One completed request trace carried by [`Reply::Traces`]: the
+/// request's identity plus its stamped stage timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceData {
+    /// Connection the request arrived on.
+    pub client: crate::ids::ClientId,
+    /// The request's sequence number on that connection.
+    pub seq: u32,
+    /// The request's opcode (`Request::NAMES` names it).
+    pub opcode: u8,
+    /// Whether dispatch ran on the sharded fast path.
+    pub fast_path: bool,
+    /// Time spent waiting to acquire the shard stripe (fast path only).
+    pub shard_wait_us: u64,
+    /// Engine tick that first serviced the request's queue action
+    /// (0 when no engine stage was recorded).
+    pub engine_tick: u64,
+    /// Stamped stages in lifecycle order.
+    pub stages: Vec<TraceStageSample>,
+}
+
+impl TraceData {
+    /// Timestamp of `stage`, if it was stamped.
+    pub fn stage_at(&self, stage: TraceStage) -> Option<u64> {
+        self.stages.iter().find(|s| s.stage == stage).map(|s| s.at_us)
+    }
+
+    /// End-to-end microseconds from the first stamp to the last
+    /// (0 for traces with fewer than two stamps).
+    pub fn total_us(&self) -> u64 {
+        match (self.stages.first(), self.stages.last()) {
+            (Some(first), Some(last)) => last.at_us.saturating_sub(first.at_us),
+            _ => 0,
+        }
+    }
+}
+
+impl WireWrite for TraceData {
+    fn write(&self, w: &mut WireWriter) {
+        self.client.write(w);
+        w.u32(self.seq);
+        w.u8(self.opcode);
+        w.bool(self.fast_path);
+        w.u64(self.shard_wait_us);
+        w.u64(self.engine_tick);
+        w.list(&self.stages);
+    }
+}
+
+impl WireRead for TraceData {
+    fn read(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceData {
+            client: crate::ids::ClientId::read(r)?,
+            seq: r.u32()?,
+            opcode: r.u8()?,
+            fast_path: r.bool()?,
+            shard_wait_us: r.u64()?,
+            engine_tick: r.u64()?,
+            stages: r.list()?,
+        })
+    }
+}
+
 /// The body of a reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -460,6 +613,12 @@ pub enum Reply {
         /// One entry per connected client, in connection order.
         clients: Vec<ClientStatsData>,
     },
+    /// Answer to `QueryTraces`: completed traces from the flight
+    /// recorder, most recent first.
+    Traces {
+        /// The retained traces (slowest kept preferentially).
+        traces: Vec<TraceData>,
+    },
 }
 
 impl WireWrite for Reply {
@@ -555,6 +714,10 @@ impl WireWrite for Reply {
                 w.u8(17);
                 w.list(clients);
             }
+            Reply::Traces { traces } => {
+                w.u8(18);
+                w.list(traces);
+            }
         }
     }
 }
@@ -603,6 +766,7 @@ impl WireRead for Reply {
             15 => Reply::Sync,
             16 => Reply::ServerStats { stats: ServerStatsData::read(r)? },
             17 => Reply::ClientList { clients: r.list()? },
+            18 => Reply::Traces { traces: r.list()? },
             other => return Err(CodecError::BadTag("Reply", u32::from(other))),
         })
     }
@@ -704,9 +868,53 @@ mod tests {
                     sounds: 1,
                 }],
             },
+            Reply::Traces {
+                traces: vec![TraceData {
+                    client: crate::ids::ClientId(3),
+                    seq: 17,
+                    opcode: 19,
+                    fast_path: true,
+                    shard_wait_us: 2,
+                    engine_tick: 41,
+                    stages: vec![
+                        TraceStageSample { stage: TraceStage::Ingress, at_us: 100 },
+                        TraceStageSample { stage: TraceStage::Dispatch, at_us: 130 },
+                        TraceStageSample { stage: TraceStage::Engine, at_us: 900 },
+                        TraceStageSample { stage: TraceStage::Outbound, at_us: 905 },
+                        TraceStageSample { stage: TraceStage::Drain, at_us: 940 },
+                    ],
+                }],
+            },
         ];
         for reply in &replies {
             assert_eq!(&Reply::from_wire(&reply.to_wire()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn trace_data_helpers() {
+        let trace = TraceData {
+            client: crate::ids::ClientId(1),
+            seq: 5,
+            opcode: 19,
+            fast_path: false,
+            shard_wait_us: 0,
+            engine_tick: 7,
+            stages: vec![
+                TraceStageSample { stage: TraceStage::Ingress, at_us: 50 },
+                TraceStageSample { stage: TraceStage::Dispatch, at_us: 80 },
+                TraceStageSample { stage: TraceStage::Drain, at_us: 230 },
+            ],
+        };
+        assert_eq!(trace.stage_at(TraceStage::Ingress), Some(50));
+        assert_eq!(trace.stage_at(TraceStage::Engine), None);
+        assert_eq!(trace.total_us(), 180);
+        assert_eq!(TraceStage::Engine.name(), "engine");
+        assert_eq!(TraceStage::from_u8(4), Some(TraceStage::Drain));
+        assert_eq!(TraceStage::from_u8(5), None);
+        for (i, name) in TraceStage::NAMES.iter().enumerate() {
+            let stage = TraceStage::from_u8(i as u8).expect("dense stage numbers");
+            assert_eq!(stage.name(), *name);
         }
     }
 
@@ -734,5 +942,31 @@ mod tests {
         assert_eq!(h.percentile(0.5), 1);
         assert_eq!(h.percentile(0.99), 15);
         assert!((h.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_clamped_at_the_saturated_top_bucket() {
+        // One sample of ~3e9 lands in the open-ended bucket 31; the
+        // reconstruction must not report u64::MAX (or any value above
+        // the sum, which bounds every individual sample).
+        let mut buckets = vec![0u64; 32];
+        buckets[31] = 1;
+        let h = HistogramSample {
+            name: "lat_us".into(),
+            count: 1,
+            sum: 3_000_000_000,
+            buckets,
+        };
+        assert_eq!(h.percentile(0.99), 3_000_000_000);
+        assert_eq!(h.percentile(1.0), 3_000_000_000);
+
+        // Mixed case: small samples plus one saturated outlier — p50
+        // stays in the small bucket, p100 clamps to the sum.
+        let mut buckets = vec![0u64; 32];
+        buckets[3] = 3; // three samples in [4, 7]
+        buckets[31] = 1;
+        let h = HistogramSample { name: "lat_us".into(), count: 4, sum: 5_000_000_018, buckets };
+        assert_eq!(h.percentile(0.5), 7);
+        assert_eq!(h.percentile(1.0), 5_000_000_018);
     }
 }

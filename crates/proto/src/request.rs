@@ -345,11 +345,18 @@ pub enum Request {
     /// List connected clients with per-client resource and wire-byte
     /// accounting.
     ListClients,
+    /// Query the flight recorder: the most recent completed request
+    /// traces (slowest retained preferentially), each with per-stage
+    /// wire-to-engine timestamps (§10).
+    QueryTraces {
+        /// Maximum number of traces to return (the server may cap it).
+        max: u32,
+    },
 }
 
 impl Request {
     /// Number of request opcodes (opcodes are dense, `0..COUNT`).
-    pub const COUNT: usize = 50;
+    pub const COUNT: usize = 51;
 
     /// Human-readable opcode names, indexed by opcode.
     pub const NAMES: [&'static str; Request::COUNT] = [
@@ -403,6 +410,7 @@ impl Request {
         "Sync",
         "QueryServerStats",
         "ListClients",
+        "QueryTraces",
     ];
 
     /// The opcode this request encodes to (the first wire byte).
@@ -458,6 +466,7 @@ impl Request {
             Request::Sync => 47,
             Request::QueryServerStats => 48,
             Request::ListClients => 49,
+            Request::QueryTraces { .. } => 50,
         }
     }
 
@@ -488,6 +497,7 @@ impl Request {
                 | Request::Sync
                 | Request::QueryServerStats
                 | Request::ListClients
+                | Request::QueryTraces { .. }
         )
     }
 }
@@ -706,6 +716,10 @@ impl WireWrite for Request {
             Request::Sync => w.u8(47),
             Request::QueryServerStats => w.u8(48),
             Request::ListClients => w.u8(49),
+            Request::QueryTraces { max } => {
+                w.u8(50);
+                w.u32(*max);
+            }
         }
     }
 }
@@ -807,6 +821,7 @@ impl WireRead for Request {
             47 => Request::Sync,
             48 => Request::QueryServerStats,
             49 => Request::ListClients,
+            50 => Request::QueryTraces { max: r.u32()? },
             other => return Err(CodecError::BadTag("Request", u32::from(other))),
         })
     }
@@ -912,6 +927,7 @@ mod tests {
             Request::Sync,
             Request::QueryServerStats,
             Request::ListClients,
+            Request::QueryTraces { max: 8 },
         ];
         for req in &reqs {
             roundtrip(req);
@@ -934,6 +950,7 @@ mod tests {
         assert!(Request::Sync.has_reply());
         assert!(Request::QueryServerStats.has_reply());
         assert!(Request::ListClients.has_reply());
+        assert!(Request::QueryTraces { max: 4 }.has_reply());
         assert!(Request::QueryDeviceLoud.has_reply());
         assert!(Request::InternAtom { name: "x".into() }.has_reply());
         assert!(!Request::MapLoud { id: LoudId(1) }.has_reply());

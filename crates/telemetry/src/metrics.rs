@@ -156,7 +156,11 @@ impl HistogramSnapshot {
     }
 
     /// Approximate `p`-th percentile (`0.0..=1.0`): the upper bound of
-    /// the bucket where the cumulative count crosses `p * count`.
+    /// the bucket where the cumulative count crosses `p * count`,
+    /// clamped to `sum` — the top bucket is open-ended (its nominal
+    /// bound is `u64::MAX`), and no single sample can exceed the sum of
+    /// all samples, so the clamp keeps saturated distributions from
+    /// absurdly over-reporting high percentiles.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -166,10 +170,10 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return bucket_upper_bound(i);
+                return bucket_upper_bound(i).min(self.sum);
             }
         }
-        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        self.sum
     }
 }
 
@@ -368,6 +372,28 @@ mod tests {
         let empty = Histogram::default().snapshot();
         assert_eq!(empty.percentile(0.99), 0);
         assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_at_the_saturated_top_bucket() {
+        // A sample in the open-ended top bucket must not report the
+        // bucket's nominal u64::MAX bound; the sum bounds any sample.
+        let h = Histogram::default();
+        h.record(40_000_000_000); // > 2^30, lands in bucket 31
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.percentile(0.99), 40_000_000_000);
+        assert_eq!(s.percentile(1.0), 40_000_000_000);
+
+        // Mixed: p50 keeps its small-bucket bound, p100 clamps to sum.
+        let h = Histogram::default();
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(40_000_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 15);
+        assert_eq!(s.percentile(1.0), 40_000_000_090);
     }
 
     #[test]

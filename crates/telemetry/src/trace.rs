@@ -74,6 +74,15 @@ pub trait Sink: Send {
     /// Called with each event as it is recorded (journal lock held —
     /// keep it quick).
     fn emit(&mut self, event: &JournalEvent);
+
+    /// Called when the journal's outputs rotate ([`Journal::rotate_sinks`]):
+    /// `at_us` is the journal's monotonic clock at the rotation instant
+    /// and `wall_unix_us` the wall clock (microseconds since the Unix
+    /// epoch), so offline consumers can map event `at_us` values to
+    /// absolute time. The default implementation ignores rotations.
+    fn rotate(&mut self, at_us: u64, wall_unix_us: u64) {
+        let _ = (at_us, wall_unix_us);
+    }
 }
 
 /// Pretty-prints events to stderr.
@@ -148,6 +157,17 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
         }
         line.push('}');
         let _ = writeln!(self.w, "{line}");
+    }
+
+    /// Opens the post-rotation stream with an anchor record tying the
+    /// journal's monotonic clock to the wall clock. Events carry only
+    /// monotonic `at_us`; `wall_unix_us - at_us` recovers the journal
+    /// epoch's absolute time for every line that follows.
+    fn rotate(&mut self, at_us: u64, wall_unix_us: u64) {
+        let _ = writeln!(
+            self.w,
+            "{{\"anchor\":{{\"at_us\":{at_us},\"wall_unix_us\":{wall_unix_us}}}}}"
+        );
     }
 }
 
@@ -226,6 +246,21 @@ impl Journal {
             target,
             fields,
             started: Instant::now(),
+        }
+    }
+
+    /// Notifies every sink that its output has rotated, passing the
+    /// current monotonic/wall-clock pair so sinks can write an anchor
+    /// record (see [`Sink::rotate`]). Call after swapping log files.
+    pub fn rotate_sinks(&self) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        let wall_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        for sink in &mut inner.sinks {
+            sink.rotate(at_us, wall_unix_us);
         }
     }
 
@@ -356,5 +391,46 @@ mod tests {
         assert!(out.contains("\"target\":\"tick_overrun\""));
         assert!(out.contains("spent_us=12345 \\\"q\\\""));
         assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rotation_writes_anchor_record() {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        Sink::rotate(&mut sink, 123, 1_700_000_000_000_456);
+        sink.emit(&JournalEvent {
+            seq: 9,
+            at_us: 130,
+            level: Level::Info,
+            target: "after_rotate",
+            fields: String::new(),
+            elapsed_us: None,
+        });
+        let out = String::from_utf8(sink.into_inner()).expect("utf8");
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next(),
+            Some("{\"anchor\":{\"at_us\":123,\"wall_unix_us\":1700000000000456}}")
+        );
+        assert!(lines.next().expect("event line").starts_with("{\"seq\":9,"));
+    }
+
+    #[test]
+    fn journal_rotation_anchors_every_sink() {
+        struct Capture(Arc<Mutex<Vec<(u64, u64)>>>);
+        impl Sink for Capture {
+            fn emit(&mut self, _event: &JournalEvent) {}
+            fn rotate(&mut self, at_us: u64, wall_unix_us: u64) {
+                self.0.lock().expect("capture").push((at_us, wall_unix_us));
+            }
+        }
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let j = Journal::new(8);
+        j.add_sink(Box::new(Capture(Arc::clone(&seen))));
+        j.add_sink(Box::new(Capture(Arc::clone(&seen))));
+        j.rotate_sinks();
+        let seen = seen.lock().expect("capture");
+        assert_eq!(seen.len(), 2);
+        // 2023-01-01 in unix microseconds: the wall clock is sane.
+        assert!(seen.iter().all(|&(_, wall)| wall > 1_672_531_200_000_000));
     }
 }

@@ -17,7 +17,9 @@
 //! - [`manager`] — a reference audio manager enforcing contention policy
 //!   through map/raise redirection (paper §4.3, §5.8);
 //! - [`stats`] — server-statistics snapshots and the top-style rendering
-//!   behind the `audiostat` tool.
+//!   behind the `audiostat` tool;
+//! - [`traces`] — flight-recorder trace reports: per-stage latency
+//!   attribution and the waterfall panel behind `audiostat --watch`.
 
 pub mod builders;
 pub mod dialogue;
@@ -25,3 +27,4 @@ pub mod manager;
 pub mod soundviewer;
 pub mod sounds;
 pub mod stats;
+pub mod traces;

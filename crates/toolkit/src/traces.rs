@@ -1,0 +1,198 @@
+//! Flight-recorder trace presentation: the model behind `audiostat
+//! --watch`'s waterfall panel.
+//!
+//! Fetches the server's retained traces (DESIGN.md §15) over a
+//! connection, attributes end-to-end latency to pipeline stages with
+//! client-side percentiles, and renders the worst recent request as a
+//! text waterfall. Like [`crate::stats`] this is mechanism, not policy:
+//! the rendering is a plain `String`.
+
+use da_alib::{stage_duration_us, stage_percentile_us, AlibError, Connection};
+use da_proto::reply::{TraceData, TraceStage};
+use da_proto::request::Request;
+use std::fmt::Write as _;
+
+/// Width of the widest waterfall bar, in characters.
+const BAR_WIDTH: u64 = 32;
+
+/// One captured batch of flight-recorder traces, slowest first.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The traces the server returned (its ring is bounded; see
+    /// DESIGN.md §15 for the sampling policy).
+    pub traces: Vec<TraceData>,
+}
+
+impl TraceReport {
+    /// Fetches up to `max` traces over `conn` (one round trip).
+    pub fn fetch(conn: &mut Connection, max: u32) -> Result<TraceReport, AlibError> {
+        Ok(TraceReport { traces: conn.query_traces(max)? })
+    }
+
+    /// The slowest retained trace, if any were recorded.
+    pub fn worst(&self) -> Option<&TraceData> {
+        self.traces.iter().max_by_key(|t| t.total_us())
+    }
+
+    /// Per-stage latency attribution: `(stage name, p50, p95)` in
+    /// microseconds for every stage at least one trace stamped.
+    pub fn stage_attribution(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut rows = Vec::new();
+        for (i, name) in TraceStage::NAMES.iter().enumerate() {
+            let Some(stage) = TraceStage::from_u8(i as u8) else {
+                continue; // cast-ok: stage discriminant, < COUNT
+            };
+            let Some(p50) = stage_percentile_us(&self.traces, stage, 0.50) else {
+                continue;
+            };
+            let p95 = stage_percentile_us(&self.traces, stage, 0.95).unwrap_or(p50);
+            rows.push((*name, p50, p95));
+        }
+        rows
+    }
+
+    /// Renders the report: an attribution table plus a waterfall of the
+    /// worst retained trace. Empty reports render a one-line notice.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.traces.is_empty() {
+            let _ = writeln!(out, "traces: none recorded yet");
+            return out;
+        }
+        let _ = writeln!(out, "traces: {} retained (slowest first)", self.traces.len());
+        let _ = writeln!(out, "{:<10} {:>10} {:>10}", "STAGE", "P50 US", "P95 US");
+        for (name, p50, p95) in self.stage_attribution() {
+            let _ = writeln!(out, "{name:<10} {p50:>10} {p95:>10}");
+        }
+        if let Some(worst) = self.worst() {
+            let _ = writeln!(out);
+            out.push_str(&render_waterfall(worst));
+        }
+        out
+    }
+}
+
+/// Renders one trace as a text waterfall: each stamped stage on its own
+/// row with its offset from the first stamp, its duration (the gap from
+/// the preceding stamp), and a bar positioned and scaled against the
+/// trace's end-to-end total.
+pub fn render_waterfall(trace: &TraceData) -> String {
+    let mut out = String::new();
+    let opcode = Request::opcode_name(trace.opcode).unwrap_or("?");
+    let path = if trace.fast_path { "fast" } else { "slow" };
+    let _ = writeln!(
+        out,
+        "worst: {} client {} seq {} · {} path · {} us total · tick {}",
+        opcode,
+        trace.client.0,
+        trace.seq,
+        path,
+        trace.total_us(),
+        trace.engine_tick,
+    );
+    let first = match trace.stages.first() {
+        Some(s) => s.at_us,
+        None => return out,
+    };
+    let total = trace.total_us().max(1);
+    for sample in &trace.stages {
+        let offset = sample.at_us.saturating_sub(first);
+        let dur = stage_duration_us(trace, sample.stage).unwrap_or(0);
+        let lead = (offset * BAR_WIDTH / total) as usize; // cast-ok: <= BAR_WIDTH
+        let fill = ((dur * BAR_WIDTH).div_ceil(total) as usize) // cast-ok: <= BAR_WIDTH
+            .clamp(1, BAR_WIDTH as usize - lead.min(BAR_WIDTH as usize - 1)); // cast-ok: small constant
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} +{:<8} {}{}",
+            sample.stage.name(),
+            dur,
+            offset,
+            " ".repeat(lead.min(BAR_WIDTH as usize - 1)), // cast-ok: small constant
+            "#".repeat(fill),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_proto::ids::ClientId;
+    use da_proto::reply::TraceStageSample;
+
+    fn trace(seq: u32, stamps: &[(TraceStage, u64)]) -> TraceData {
+        TraceData {
+            client: ClientId(1),
+            seq,
+            opcode: 12,
+            fast_path: seq.is_multiple_of(2),
+            shard_wait_us: 3,
+            engine_tick: 40,
+            stages: stamps
+                .iter()
+                .map(|&(stage, at_us)| TraceStageSample { stage, at_us })
+                .collect(),
+        }
+    }
+
+    fn sample() -> TraceReport {
+        TraceReport {
+            traces: vec![
+                trace(
+                    2,
+                    &[
+                        (TraceStage::Ingress, 100),
+                        (TraceStage::Dispatch, 150),
+                        (TraceStage::Engine, 900),
+                        (TraceStage::Outbound, 920),
+                        (TraceStage::Drain, 1100),
+                    ],
+                ),
+                trace(
+                    3,
+                    &[
+                        (TraceStage::Ingress, 2000),
+                        (TraceStage::Dispatch, 2010),
+                        (TraceStage::Drain, 2040),
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn worst_picks_longest_total() {
+        let report = sample();
+        assert_eq!(report.worst().expect("non-empty").seq, 2);
+    }
+
+    #[test]
+    fn attribution_skips_unstamped_stages() {
+        let report = sample();
+        let rows = report.stage_attribution();
+        let names: Vec<&str> = rows.iter().map(|r| r.0).collect();
+        assert_eq!(names, ["dispatch", "engine", "outbound", "drain"]);
+        let dispatch = rows[0];
+        assert_eq!(dispatch.1, 10); // p50 of {50, 10}
+        assert_eq!(dispatch.2, 50);
+    }
+
+    #[test]
+    fn render_has_waterfall_rows() {
+        let text = sample().render();
+        assert!(text.contains("2 retained"));
+        assert!(text.contains("worst:"));
+        assert!(text.contains("seq 2"));
+        assert!(text.contains("fast path"));
+        assert!(text.contains("1000 us total"));
+        assert!(text.contains('#'));
+        assert!(text.contains("ingress"));
+        assert!(text.contains("drain"));
+    }
+
+    #[test]
+    fn empty_report_renders_notice() {
+        let text = TraceReport { traces: Vec::new() }.render();
+        assert!(text.contains("none recorded yet"));
+    }
+}

@@ -327,6 +327,7 @@ const EVENT_RS: &str = "crates/proto/src/event.rs";
 const ERROR_RS: &str = "crates/proto/src/error.rs";
 const ALIB_ERROR_RS: &str = "crates/alib/src/error.rs";
 const DISPATCH_RS: &str = "crates/core/src/dispatch.rs";
+const REPLY_RS: &str = "crates/proto/src/reply.rs";
 const DESIGN_MD: &str = "DESIGN.md";
 
 /// Opcode tables: every `Request` variant has a write opcode, the read
@@ -671,6 +672,99 @@ pub fn lint_metrics_names(server_files: &[(String, String)], design: &str) -> Ve
     out
 }
 
+/// Trace-stage coverage: the `TraceStage::NAMES` taxonomy
+/// (`proto/src/reply.rs`), the server's `trace_stage_<name>_us`
+/// histogram registrations, and DESIGN.md's "Causal tracing" section
+/// must agree in all directions. A stage without a histogram is
+/// unattributable latency; a histogram without a stage is a dead metric
+/// name; a stage DESIGN.md never mentions is undocumented taxonomy.
+pub fn lint_trace_stages(
+    proto_files: &[(String, String)],
+    server_files: &[(String, String)],
+    design: &str,
+) -> Vec<Finding> {
+    const PASS: &str = "trace-stages";
+    let mut out = Vec::new();
+    let regs = metric_registrations(server_files);
+    let stage_regs: Vec<&(String, String, usize)> = regs
+        .iter()
+        .filter(|(name, _, _)| name.starts_with("trace_stage_") && name.ends_with("_us"))
+        .collect();
+    let reply_src = proto_files
+        .iter()
+        .find(|(path, _)| path.ends_with("reply.rs"))
+        .map(|(_, text)| text.as_str())
+        .unwrap_or("");
+    let names_block = block_containing_names(reply_src);
+    let names: Vec<String> = names_block
+        .map(|b| {
+            b.split('"')
+                .skip(1)
+                .step_by(2)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if names.is_empty() {
+        if !stage_regs.is_empty() {
+            out.push(finding(
+                PASS,
+                REPLY_RS,
+                "trace_stage_* histograms are registered but TraceStage::NAMES was not found"
+                    .into(),
+            ));
+        }
+        return out;
+    }
+    let section = design_section_lines(design, "Causal tracing");
+    if section.is_none() {
+        out.push(finding(
+            PASS,
+            DESIGN_MD,
+            "TraceStage exists but DESIGN.md has no Causal tracing section".into(),
+        ));
+    }
+    for name in &names {
+        let metric = format!("trace_stage_{name}_us");
+        if !stage_regs.iter().any(|(n, _, _)| *n == metric) {
+            out.push(finding(
+                PASS,
+                REPLY_RS,
+                format!("stage \"{name}\" has no \"{metric}\" histogram registration"),
+            ));
+        }
+        if let Some(lines) = &section {
+            let tagged = format!("`{name}`");
+            if !lines.iter().any(|l| l.contains(&tagged)) {
+                out.push(finding(
+                    PASS,
+                    DESIGN_MD,
+                    format!("stage \"{name}\" is not documented in the Causal tracing section"),
+                ));
+            }
+        }
+    }
+    for (metric, file, line) in stage_regs {
+        let stage = &metric["trace_stage_".len()..metric.len() - "_us".len()];
+        if !names.iter().any(|n| n == stage) {
+            out.push(finding(
+                PASS,
+                file,
+                format!(
+                    "line {line}: histogram \"{metric}\" names stage \"{stage}\" which is not in TraceStage::NAMES"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The bracket-delimited initializer of `TraceStage::NAMES`, if present.
+fn block_containing_names(reply_src: &str) -> Option<&str> {
+    let at = reply_src.find("const NAMES")?;
+    delim_block_after(&reply_src[at..], "=", '[', ']')
+}
+
 /// `unwrap` lint: no bare `.unwrap()` in server code. A panic in the
 /// server kills every client's session; recoverable paths must handle
 /// the error and justified infallible cases use `.expect("why")` or a
@@ -926,6 +1020,7 @@ pub fn run_all(s: &Sources) -> Vec<Finding> {
     out.extend(lint_error_codes(&s.error, &s.server_files, &s.alib_error));
     out.extend(lint_doc_rows(&s.request, &s.design));
     out.extend(lint_metrics_names(&s.server_files, &s.design));
+    out.extend(lint_trace_stages(&s.proto_files, &s.server_files, &s.design));
     out.extend(lint_unwrap(&s.server_files));
     out.extend(lint_unwrap(&s.alib_files));
     out.extend(lint_lock_order(&s.server_files));
@@ -1225,6 +1320,63 @@ impl std::fmt::Display for ErrorCode {
         assert!(lint_metrics_names(&files, "## 8. Wire protocol\n\ntext\n")
             .iter()
             .any(|f| f.message.contains("no Observability section")));
+    }
+
+    #[test]
+    fn trace_stages_checked_three_ways() {
+        let proto = vec![(
+            "crates/proto/src/reply.rs".to_string(),
+            "impl TraceStage {\n    pub const NAMES: [&'static str; 2] =\n        [\"ingress\", \"drain\"];\n}\n"
+                .to_string(),
+        )];
+        let server = vec![(
+            "crates/core/src/telem.rs".to_string(),
+            "fn build(reg: &Registry) {\n    let a = histogram!(reg, \"trace_stage_ingress_us\");\n    let b = histogram!(reg, \"trace_stage_drain_us\");\n}\n"
+                .to_string(),
+        )];
+        let design = "\
+## 15. Causal tracing & flight recorder
+
+| Stage | Moment |
+|-------|--------|
+| `ingress` | frame decoded |
+| `drain` | frame written |
+";
+        assert_eq!(lint_trace_stages(&proto, &server, design), Vec::new());
+        // A stage with no histogram registration.
+        let partial = vec![(
+            "crates/core/src/telem.rs".to_string(),
+            "fn build(reg: &Registry) { let a = histogram!(reg, \"trace_stage_ingress_us\"); }\n"
+                .to_string(),
+        )];
+        assert!(lint_trace_stages(&proto, &partial, design)
+            .iter()
+            .any(|f| f.message.contains("drain") && f.message.contains("no")));
+        // A histogram naming a stage the taxonomy lacks.
+        let mut extra = server.clone();
+        extra.push((
+            "crates/core/src/telem.rs".to_string(),
+            "fn more(reg: &Registry) { let c = histogram!(reg, \"trace_stage_ghost_us\"); }\n"
+                .to_string(),
+        ));
+        assert!(lint_trace_stages(&proto, &extra, design)
+            .iter()
+            .any(|f| f.message.contains("ghost") && f.message.contains("not in TraceStage")));
+        // A stage DESIGN.md never documents.
+        let undocumented = design.replace("| `drain` | frame written |\n", "");
+        assert!(lint_trace_stages(&proto, &server, &undocumented)
+            .iter()
+            .any(|f| f.message.contains("drain") && f.message.contains("not documented")));
+        // No Causal tracing section at all.
+        assert!(lint_trace_stages(&proto, &server, "## 10. Observability\n\ntext\n")
+            .iter()
+            .any(|f| f.message.contains("no Causal tracing section")));
+        // Registrations without a NAMES taxonomy.
+        assert!(lint_trace_stages(&[], &server, design)
+            .iter()
+            .any(|f| f.message.contains("NAMES was not found")));
+        // No taxonomy and no registrations: nothing to check.
+        assert_eq!(lint_trace_stages(&[], &[], design), Vec::new());
     }
 
     #[test]

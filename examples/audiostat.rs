@@ -6,29 +6,55 @@
 //! ```text
 //! cargo run -p da-examples --bin audiostat -- 127.0.0.1:7700
 //! cargo run -p da-examples --bin audiostat -- --once 127.0.0.1:7700
+//! cargo run -p da-examples --bin audiostat -- --watch 127.0.0.1:7700
 //! ```
 //!
+//! `--watch` adds the flight-recorder panel to every refresh: per-stage
+//! latency attribution percentiles plus a waterfall of the worst
+//! retained trace (DESIGN.md §15). `--frames N` bounds the refresh loop
+//! to N frames, for scripted runs.
+//!
 //! With no address, starts an in-process demo server, runs a scripted
-//! workload against it, and prints one snapshot. In that mode the tool
+//! workload against it, and prints one snapshot (or, under `--watch`,
+//! N refresh frames with live trace panels). In that mode the tool
 //! doubles as a smoke test: it exits non-zero unless every headline
 //! figure — per-opcode dispatch counts, tick percentiles, plan-cache hit
 //! rate, per-client byte counters, connection-plane worker and dispatch
-//! counts — came back non-zero.
+//! counts, and in watch mode a fully-stamped trace — came back non-zero.
 
 use da_alib::Connection;
+use da_proto::event::Event;
+use da_proto::reply::TraceStage;
 use da_server::core::ServerConfig;
 use da_server::server::AudioServer;
 use da_toolkit::builders::PlayLoud;
 use da_toolkit::sounds::SoundHandle;
 use da_toolkit::stats::StatsSnapshot;
+use da_toolkit::traces::TraceReport;
 use std::time::Duration;
+
+/// How many traces each watch frame asks the server for.
+const WATCH_TRACES: u32 = 16;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let once = args.iter().any(|a| a == "--once");
-    let addr = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let watch_traces = args.iter().any(|a| a == "--watch");
+    let frames = args
+        .iter()
+        .position(|a| a == "--frames")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<u64>().ok());
+    let addr = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--frames")
+        })
+        .map(|(_, a)| a.clone());
     let ok = match addr {
-        Some(addr) => watch(&addr, once),
+        Some(addr) => watch(&addr, once, watch_traces, frames),
+        None if watch_traces => demo_watch(frames.unwrap_or(3)),
         None => demo(),
     };
     if !ok {
@@ -36,8 +62,9 @@ fn main() {
     }
 }
 
-/// Connects to a running server and prints snapshots.
-fn watch(addr: &str, once: bool) -> bool {
+/// Connects to a running server and prints snapshots; with
+/// `watch_traces`, each refresh also renders the flight-recorder panel.
+fn watch(addr: &str, once: bool, watch_traces: bool, frames: Option<u64>) -> bool {
     let mut conn = match Connection::open_tcp(addr, "audiostat") {
         Ok(c) => c,
         Err(e) => {
@@ -45,6 +72,7 @@ fn watch(addr: &str, once: bool) -> bool {
             return false;
         }
     };
+    let mut rendered = 0u64;
     loop {
         match StatsSnapshot::fetch(&mut conn) {
             Ok(snap) => print!("{}", snap.render()),
@@ -53,12 +81,75 @@ fn watch(addr: &str, once: bool) -> bool {
                 return false;
             }
         }
-        if once {
+        if watch_traces {
+            match TraceReport::fetch(&mut conn, WATCH_TRACES) {
+                Ok(report) => {
+                    println!();
+                    print!("{}", report.render());
+                }
+                Err(e) => {
+                    eprintln!("audiostat: {e}");
+                    return false;
+                }
+            }
+        }
+        rendered += 1;
+        if once || frames.is_some_and(|n| rendered >= n) {
             return true;
         }
         println!();
         std::thread::sleep(Duration::from_secs(1));
     }
+}
+
+/// Starts an in-process server and renders `frames` watch refreshes,
+/// each driving a play through the engine so the flight recorder has a
+/// fresh fully-stamped trace to waterfall. Smoke-fails unless one shows
+/// every stage.
+fn demo_watch(frames: u64) -> bool {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("start server");
+    let control = server.control();
+    // Capture every request: a scripted three-frame run is far below the
+    // default 1-in-16 sampling rate.
+    control.with_core(|c| c.tel.recorder.set_sampling(1, 0));
+    let mut conn =
+        Connection::establish(server.connect_pipe(), "audiostat-watch").expect("connect");
+    let play = PlayLoud::build(&mut conn, vec![]).expect("build play loud");
+    // Short tone: it must finish (CommandDone) within one frame's ticks.
+    let pcm = da_dsp::tone::sine(8000, 440.0, 800, 12000);
+    let sound = SoundHandle::from_pcm(&mut conn, 8000, &pcm).expect("upload");
+
+    let mut saw_full_trace = false;
+    for frame in 0..frames.max(1) {
+        play.play(&mut conn, sound.id).expect("play");
+        conn.sync().expect("sync");
+        control.tick_n(20);
+        let loud = play.loud;
+        conn.wait_event(Duration::from_secs(5), |e| {
+            matches!(e, Event::CommandDone { loud: l, .. } if *l == loud)
+        })
+        .expect("command done");
+
+        let snap = StatsSnapshot::fetch(&mut conn).expect("fetch stats");
+        let report = TraceReport::fetch(&mut conn, WATCH_TRACES).expect("fetch traces");
+        if report.traces.iter().any(|t| t.stages.len() == TraceStage::COUNT) {
+            saw_full_trace = true;
+        }
+        print!("{}", snap.render());
+        println!();
+        print!("{}", report.render());
+        if frame + 1 < frames {
+            println!();
+        }
+    }
+    play.stop(&mut conn).ok();
+    conn.sync().ok();
+    server.shutdown();
+    if !saw_full_trace {
+        eprintln!("audiostat: FAIL: no fully-stamped trace recorded in watch mode");
+    }
+    saw_full_trace
 }
 
 /// Starts an in-process server, exercises it, and prints one snapshot.

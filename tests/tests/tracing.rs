@@ -1,0 +1,130 @@
+//! End-to-end causal tracing: a `Play` driven through a live server
+//! leaves a fully-stamped flight-recorder trace — reassembly, dispatch
+//! (fast or slow), engine tick, outbound enqueue, writer drain — with
+//! monotone timestamps, retrievable over the wire via `QueryTraces`.
+
+use da_alib::Connection;
+use da_proto::event::Event;
+use da_proto::reply::TraceStage;
+use da_proto::request::Request;
+use da_server::{AudioServer, ServerConfig};
+use da_toolkit::builders::PlayLoud;
+use da_toolkit::sounds::SoundHandle;
+use std::time::Duration;
+
+/// A manual-tick server recording every request (sampling 1-in-1, no
+/// latency threshold), plus a connected client.
+fn start_traced() -> (AudioServer, Connection) {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    server.control().with_core(|c| c.tel.recorder.set_sampling(1, 0));
+    let conn = Connection::establish(server.connect_pipe(), "itest").expect("connect");
+    (server, conn)
+}
+
+#[test]
+fn play_leaves_fully_stamped_trace_with_monotone_stages() {
+    let (server, mut conn) = start_traced();
+    let control = server.control();
+
+    // Drive a play end to end: enqueue + start, tick the engine until
+    // the sound finishes, and wait for its CommandDone to drain back.
+    let play = PlayLoud::build(&mut conn, vec![]).expect("play loud");
+    let pcm = da_dsp::tone::sine(8000, 440.0, 800, 12000);
+    let sound = SoundHandle::from_pcm(&mut conn, 8000, &pcm).expect("upload");
+    play.play(&mut conn, sound.id).expect("play");
+    conn.sync().expect("sync");
+    control.tick_n(20);
+    let loud = play.loud;
+    conn.wait_event(Duration::from_secs(5), |e| {
+        matches!(e, Event::CommandDone { loud: l, .. } if *l == loud)
+    })
+    .expect("command done");
+
+    let traces = conn.query_traces(64).expect("query traces");
+    assert!(!traces.is_empty(), "no traces retained");
+
+    // The Enqueue request's trace completed at the CommandDone drain,
+    // so it carries every stage of the pipeline.
+    let enqueue = traces
+        .iter()
+        .find(|t| Request::opcode_name(t.opcode) == Some("Enqueue"))
+        .expect("enqueue trace retained");
+    assert_eq!(enqueue.client, conn.setup().client);
+    assert_eq!(
+        enqueue.stages.len(),
+        TraceStage::COUNT,
+        "expected all stages, got {:?}",
+        enqueue.stages
+    );
+    for (i, sample) in enqueue.stages.iter().enumerate() {
+        assert_eq!(sample.stage as usize, i, "stage order: {:?}", enqueue.stages);
+    }
+    for pair in enqueue.stages.windows(2) {
+        assert!(
+            pair[1].at_us >= pair[0].at_us,
+            "timestamps regress: {:?}",
+            enqueue.stages
+        );
+    }
+    // Dispatch ran on one concrete path and the engine stamped its tick:
+    // the queue action was serviced after start, within our 20 ticks.
+    assert!(enqueue.engine_tick < 20, "engine tick {}", enqueue.engine_tick);
+    assert_eq!(enqueue.total_us(), {
+        let first = enqueue.stages.first().expect("stages").at_us;
+        let last = enqueue.stages.last().expect("stages").at_us;
+        last - first
+    });
+
+    // Every retained trace — whatever its depth — is stamped in order.
+    for t in &traces {
+        for pair in t.stages.windows(2) {
+            assert!(pair[1].at_us >= pair[0].at_us, "regress in {t:?}");
+        }
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_ids_correlate_requests_with_their_traces() {
+    let (server, mut conn) = start_traced();
+
+    // Mint the id before sending: the next request is the sync below.
+    let id = conn.next_trace_id();
+    conn.sync().expect("sync");
+    assert_eq!(id, conn.last_trace_id());
+
+    let traces = conn.query_traces(64).expect("query traces");
+    let matched: Vec<_> = traces.iter().filter(|t| id.matches(t)).collect();
+    assert_eq!(matched.len(), 1, "exactly one trace per request id");
+    let t = matched[0];
+    assert_eq!(Request::opcode_name(t.opcode), Some("Sync"));
+    // A plain reply-path trace: no engine stage, but ingress through
+    // drain are all present and ordered.
+    assert!(t.stage_at(TraceStage::Ingress).is_some());
+    assert!(t.stage_at(TraceStage::Dispatch).is_some());
+    assert!(t.stage_at(TraceStage::Outbound).is_some());
+    assert!(t.stage_at(TraceStage::Drain).is_some());
+    assert!(t.stage_at(TraceStage::Engine).is_none());
+
+    server.shutdown();
+}
+
+#[test]
+fn query_traces_respects_max_and_orders_slowest_first() {
+    let (server, mut conn) = start_traced();
+    for _ in 0..6 {
+        conn.sync().expect("sync");
+    }
+    let all = conn.query_traces(64).expect("all traces");
+    assert!(all.len() >= 6, "retained {} traces", all.len());
+    for pair in all.windows(2) {
+        assert!(pair[0].total_us() >= pair[1].total_us(), "not slowest-first");
+    }
+    let capped = conn.query_traces(2).expect("capped traces");
+    assert_eq!(capped.len(), 2);
+    assert_eq!(capped[0].total_us(), all[0].total_us());
+
+    server.shutdown();
+}
