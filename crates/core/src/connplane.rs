@@ -78,7 +78,7 @@ impl PlaneInjector {
         let mut io = io;
         for attempt in 0..self.injectors.len() {
             let idx = (start + attempt) % self.injectors.len();
-            match self.injectors[idx].send(io) {
+            match self.injectors[idx].send(io) { // rt-ok: unbounded mpsc send enqueues without blocking
                 Ok(()) => {
                     self.threads[idx].unpark();
                     return;
@@ -578,7 +578,7 @@ fn handle_frame(
 /// was dequeued.
 fn drain_outbound(conn: &mut PlaneConn, metrics: &ServerMetrics, recorder: &FlightRecorder) -> bool {
     let mut moved = false;
-    loop {
+    loop { // rt-ok: bounded by the write-backlog cap and try_recv, both break on exhaustion
         if conn.wrbuf.len() - conn.wroff >= WRITE_BACKLOG_CAP {
             break;
         }

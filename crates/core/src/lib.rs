@@ -48,6 +48,7 @@ pub mod fastpath;
 pub mod loud;
 pub mod plan;
 pub mod queue;
+pub mod rt;
 pub mod server;
 pub mod shard;
 pub mod sound;

@@ -64,6 +64,8 @@ pub struct RoutePlan {
 /// Computes the routing plan for `root` from the live topology. Pure and
 /// deterministic: the plan cache stores its output, and the property
 /// tests verify a cached plan is identical to a fresh recompute.
+// rt-ok(fn): plan computation is the acknowledged slow path; it runs only on topology
+// change, and steady-state ticks reuse the cached plan (the zero-alloc test pins this)
 pub fn compute_route_plan(core: &Core, root: u32) -> RoutePlan {
     let mut vdevs = core.tree_vdevs(root);
     vdevs.sort_unstable();
@@ -163,6 +165,7 @@ impl PlanCache {
         true
     }
 
+    // rt-ok(fn): cache rebuild runs only when `ensure_fresh` sees a topology epoch bump
     fn rebuild(&mut self, core: &Core) {
         self.active_roots.clear();
         self.active_roots.extend(
@@ -231,7 +234,9 @@ impl EngineScratch {
     /// Returns an `i16` buffer to the pool, keeping its capacity.
     pub fn put_i16(&mut self, mut buf: Vec<i16>) {
         buf.clear();
-        self.i16_pool.push(buf);
+        // Relax: the pool vector itself reaches steady capacity after warmup.
+        let _relax = crate::rt::AllocRelax::scope();
+        self.i16_pool.push(buf); // rt-ok: pool vector reaches steady capacity after warmup
     }
 
     /// Takes a cleared `i32` buffer from the pool.
@@ -242,7 +247,9 @@ impl EngineScratch {
     /// Returns an `i32` buffer to the pool, keeping its capacity.
     pub fn put_i32(&mut self, mut buf: Vec<i32>) {
         buf.clear();
-        self.i32_pool.push(buf);
+        // Relax: the pool vector itself reaches steady capacity after warmup.
+        let _relax = crate::rt::AllocRelax::scope();
+        self.i32_pool.push(buf); // rt-ok: pool vector reaches steady capacity after warmup
     }
 
     /// Takes a cleared byte buffer from the pool.
@@ -253,7 +260,9 @@ impl EngineScratch {
     /// Returns a byte buffer to the pool, keeping its capacity.
     pub fn put_u8(&mut self, mut buf: Vec<u8>) {
         buf.clear();
-        self.u8_pool.push(buf);
+        // Relax: the pool vector itself reaches steady capacity after warmup.
+        let _relax = crate::rt::AllocRelax::scope();
+        self.u8_pool.push(buf); // rt-ok: pool vector reaches steady capacity after warmup
     }
 }
 

@@ -105,7 +105,7 @@ impl RunNode {
         match self {
             RunNode::Cmd { vdev, state, .. } => {
                 if *state == CmdState::Running {
-                    out.push(*vdev);
+                    out.push(*vdev); // rt-ok: StopQueue path; scratch vector capacity amortizes across stops
                 }
             }
             RunNode::Par { children } => {
@@ -237,7 +237,7 @@ impl CommandQueue {
     }
 
     fn parse_available(&mut self) {
-        loop {
+        loop { // rt-ok: bounded by raw.len(); each pass pops one entry or breaks
             match self.raw.front() {
                 None => break,
                 Some(QueueEntry::Device { .. }) => {

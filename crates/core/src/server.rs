@@ -165,6 +165,21 @@ impl ServerControl {
         self.core.read().device_time
     }
 
+    /// Runs one request through the sharded fast path on the calling
+    /// thread, bypassing the connection plane. Returns whether the fast
+    /// path handled it (`false` punts to the slow path *without* running
+    /// it). Lets tests measure `exec_fast` synchronously — the per-thread
+    /// [`crate::rt::scope_allocs`] tally is only visible to the thread
+    /// that dispatched.
+    pub fn fast_dispatch(
+        &self,
+        client: da_proto::ids::ClientId,
+        seq: u32,
+        request: &da_proto::request::Request,
+    ) -> bool {
+        crate::fastpath::try_dispatch(&self.core, client, seq, request)
+    }
+
     /// Engine statistics snapshot, stamped with the tick it was captured
     /// at so callers can tell two snapshots apart.
     pub fn stats(&self) -> crate::core::EngineStats {

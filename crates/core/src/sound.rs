@@ -119,6 +119,9 @@ impl Sound {
     /// linear PCM to `out`. Allocation-free when `out` has capacity and
     /// the hot path applies (mono, non-ADPCM).
     pub fn decode_frames_into(&self, from: u64, frames: u64, out: &mut Vec<i16>) {
+        // Relax: appends into a pooled caller buffer; capacity amortizes
+        // after warmup (the zero-alloc suite pins the steady state at 0).
+        let _relax = crate::rt::AllocRelax::scope();
         let enc = pcm_encoding(self.stype.encoding);
         let ch = self.stype.channels.max(1) as u64;
         // ADPCM cannot be decoded from an arbitrary offset without state;

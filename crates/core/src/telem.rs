@@ -491,7 +491,7 @@ impl FlightRecorder {
     /// `(client, seq)`; the trace then completes at the correlated
     /// `CommandDone` drain. No-op unless the partial exists.
     pub fn register_watch(&self, root: u32, first_index: u32, client: u32, seq: u32) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // rt-ok: recorder mutex guards O(1) map updates, never held across I/O
         let Some(p) = inner.partials.get_mut(&(client, seq)) else { return };
         p.watch_root = Some(root);
         inner.watches.entry(root).or_default().push(Watch { first_index, client, seq });
@@ -505,7 +505,7 @@ impl FlightRecorder {
             return;
         }
         let at = self.now_us();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // rt-ok: recorder mutex guards O(1) map updates, never held across I/O
         let Some(key) = resolve_watch(&inner.watches, root, index) else { return };
         if let Some(p) = inner.partials.get_mut(&key) {
             let slot = &mut p.stages[TraceStage::Engine as usize];
@@ -523,7 +523,7 @@ impl FlightRecorder {
             return;
         }
         let at = self.now_us();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // rt-ok: recorder mutex guards O(1) map updates, never held across I/O
         let Some(key) = resolve_watch(&inner.watches, root, index) else { return };
         if let Some(p) = inner.partials.get_mut(&key) {
             let slot = &mut p.stages[TraceStage::Outbound as usize];
@@ -550,7 +550,7 @@ impl FlightRecorder {
     /// connection's write buffer. Completes the trace.
     pub fn drain_reply(&self, client: u32, seq: u32) {
         let at = self.now_us();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // rt-ok: recorder mutex guards O(1) map updates, never held across I/O
         let Some(p) = inner.partials.get_mut(&(client, seq)) else { return };
         p.stages[TraceStage::Drain as usize] = Some(at);
         self.finalize(&mut inner, (client, seq));
@@ -564,7 +564,7 @@ impl FlightRecorder {
             return;
         }
         let at = self.now_us();
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock(); // rt-ok: recorder mutex guards O(1) map updates, never held across I/O
         let Some(key) = resolve_watch(&inner.watches, root, index) else { return };
         if key.0 != conn_client {
             // Another subscriber drained the event first; the trace

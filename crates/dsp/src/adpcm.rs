@@ -98,7 +98,7 @@ impl Encoder {
             let code = self.state.encode_sample(s);
             match self.pending.take() {
                 None => self.pending = Some(code),
-                Some(low) => out.push(low | (code << 4)),
+                Some(low) => out.push(low | (code << 4)), // rt-ok: appends into a caller-reserved buffer
             }
         }
     }
@@ -106,7 +106,7 @@ impl Encoder {
     /// Flushes a held odd sample, padding the high nibble with zero.
     pub fn finish(&mut self, out: &mut Vec<u8>) {
         if let Some(low) = self.pending.take() {
-            out.push(low);
+            out.push(low); // rt-ok: at most one byte into a caller-reserved buffer
         }
     }
 }
@@ -126,8 +126,8 @@ impl Decoder {
     /// Decodes packed bytes, appending two samples per byte to `out`.
     pub fn decode(&mut self, data: &[u8], out: &mut Vec<i16>) {
         for &b in data {
-            out.push(self.state.decode_sample(b & 0x0F));
-            out.push(self.state.decode_sample(b >> 4));
+            out.push(self.state.decode_sample(b & 0x0F)); // rt-ok: appends into a caller-reserved buffer
+            out.push(self.state.decode_sample(b >> 4)); // rt-ok: appends into a caller-reserved buffer
         }
     }
 }

@@ -45,7 +45,7 @@ impl PcmEncoding {
 
 /// Decodes encoded bytes to linear 16-bit samples.
 pub fn decode_to_pcm16(encoding: PcmEncoding, data: &[u8]) -> Vec<i16> {
-    let mut out = Vec::with_capacity(encoding.samples_for_bytes(data.len()));
+    let mut out = Vec::with_capacity(encoding.samples_for_bytes(data.len())); // rt-ok: sound ingest/finalize helper, runs at op boundaries
     decode_to_pcm16_into(encoding, data, &mut out);
     out
 }
@@ -68,7 +68,7 @@ pub fn decode_to_pcm16_into(encoding: PcmEncoding, data: &[u8], out: &mut Vec<i1
 
 /// Encodes linear 16-bit samples to encoded bytes.
 pub fn encode_from_pcm16(encoding: PcmEncoding, pcm: &[i16]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(encoding.bytes_for_samples(pcm.len()));
+    let mut out = Vec::with_capacity(encoding.bytes_for_samples(pcm.len())); // rt-ok: sound ingest/finalize helper, runs at op boundaries
     encode_from_pcm16_into(encoding, pcm, &mut out);
     out
 }

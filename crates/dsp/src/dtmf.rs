@@ -87,14 +87,14 @@ impl Detector {
         let mut out = Vec::new();
         self.buf.extend_from_slice(samples);
         while self.buf.len() >= self.window {
-            let block: Vec<i16> = self.buf.drain(..self.window).collect();
-            let hit = self.analyse(&block);
+            let hit = self.analyse(&self.buf[..self.window]);
+            self.buf.drain(..self.window);
             // Debounce: a key registers when seen in two consecutive
             // windows; it must release (None window) before re-triggering.
             match (hit, self.last_window) {
                 (Some(k), Some(prev)) if k == prev && self.current != Some(k) => {
                     self.current = Some(k);
-                    out.push(k);
+                    out.push(k); // rt-ok: allocates only when a key registers, a human-timescale event
                 }
                 (None, None) => self.current = None,
                 _ => {}
@@ -110,10 +110,14 @@ impl Detector {
         if total < 1000.0 {
             return None;
         }
-        let row_p: Vec<f64> =
-            ROWS.iter().map(|&f| goertzel_power(block, self.rate, f)).collect();
-        let col_p: Vec<f64> =
-            COLS.iter().map(|&f| goertzel_power(block, self.rate, f)).collect();
+        let mut row_p = [0.0f64; 4];
+        let mut col_p = [0.0f64; 4];
+        for (p, &f) in row_p.iter_mut().zip(ROWS.iter()) {
+            *p = goertzel_power(block, self.rate, f);
+        }
+        for (p, &f) in col_p.iter_mut().zip(COLS.iter()) {
+            *p = goertzel_power(block, self.rate, f);
+        }
         let (ri, &rbest) = row_p
             .iter()
             .enumerate()

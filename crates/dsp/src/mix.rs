@@ -75,7 +75,7 @@ impl Mixer {
         self.acc
             .drain(..)
             .map(|v| v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
-            .collect()
+            .collect() // rt-ok: drain-style accessor for stop paths and tests; the tick path uses mix_into
     }
 }
 

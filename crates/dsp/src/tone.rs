@@ -29,7 +29,7 @@ pub fn dual_tone(rate: u32, f1: f64, f2: f64, len: usize, amplitude: i16) -> Vec
             let t = n as f64;
             ((s1 * t).sin() * a + (s2 * t).sin() * a) as i16
         })
-        .collect()
+        .collect() // rt-ok: tone table built once at digit/op start
 }
 
 /// Generates a square wave.

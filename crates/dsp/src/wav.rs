@@ -122,7 +122,7 @@ pub fn encode(
     };
     let block_align = channels * (bits / 8);
     let byte_rate = sample_rate * block_align as u32;
-    let mut out = Vec::with_capacity(44 + payload.len());
+    let mut out = Vec::with_capacity(44 + payload.len()); // rt-ok: container encode runs at save/finalize time, once per sound
     out.extend_from_slice(b"RIFF");
     out.extend_from_slice(&((36 + payload.len()) as u32).to_le_bytes());
     out.extend_from_slice(b"WAVE");
@@ -138,7 +138,7 @@ pub fn encode(
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&payload);
     if payload.len() & 1 == 1 {
-        out.push(0);
+        out.push(0); // rt-ok: single pad byte within reserved capacity
     }
     out
 }

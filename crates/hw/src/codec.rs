@@ -171,7 +171,7 @@ impl Microphone {
         let target = out.len() + n;
         while out.len() < target {
             if let Some(s) = self.injected.pop_front() {
-                out.push(s);
+                out.push(s); // rt-ok: appends into a pooled buffer that reaches steady capacity
                 continue;
             }
             let s = match &self.source {
@@ -192,7 +192,7 @@ impl Microphone {
                 }
             };
             self.pos += 1;
-            out.push(s);
+            out.push(s); // rt-ok: appends into a pooled buffer that reaches steady capacity
         }
     }
 }

@@ -145,7 +145,7 @@ impl Pstn {
 
     /// Drains pending events on a line.
     pub fn poll_events(&mut self, line: LineId) -> Vec<LineEvent> {
-        self.lines[line.0].events.drain(..).collect()
+        self.lines[line.0].events.drain(..).collect() // rt-ok: an empty drain collects without allocating; events are human-timescale
     }
 
     /// Takes a line off-hook. From idle this yields dial tone; while
@@ -188,6 +188,7 @@ impl Pstn {
     /// Digits reach the network instantaneously (the 1991 hardware did
     /// tone dialing in the interface); what matters to the server is the
     /// resulting call-progress sequence.
+    // rt-ok(fn): dialing starts a call; the number strings are copied once per dial
     pub fn dial(&mut self, line: LineId, number: &str) {
         if self.lines[line.0].state != LineState::DialTone {
             return;

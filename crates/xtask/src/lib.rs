@@ -24,6 +24,7 @@ use std::io;
 use std::path::Path;
 
 pub mod races;
+pub mod rtsafe;
 
 /// One consistency problem found by a lint pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +71,9 @@ pub struct Sources {
     /// (the `unwrap` pass scans these — a panic in Alib kills the
     /// application just as surely as one in the server).
     pub alib_files: Vec<(String, String)>,
+    /// All DSP sources: `(path, text)` for `dsp/src/*.rs` (the `rtsafe`
+    /// passes scan these — the engine's hot leaves live here).
+    pub dsp_files: Vec<(String, String)>,
     /// `DESIGN.md`.
     pub design: String,
 }
@@ -99,6 +103,7 @@ impl Sources {
         server_files.extend(read_dir_sources("crates/hw/src")?);
         let proto_files = read_dir_sources("crates/proto/src")?;
         let alib_files = read_dir_sources("crates/alib/src")?;
+        let dsp_files = read_dir_sources("crates/dsp/src")?;
         Ok(Sources {
             request: read("crates/proto/src/request.rs")?,
             event: read("crates/proto/src/event.rs")?,
@@ -108,6 +113,7 @@ impl Sources {
             server_files,
             proto_files,
             alib_files,
+            dsp_files,
             design: read("DESIGN.md")?,
         })
     }
@@ -116,6 +122,23 @@ impl Sources {
 // ---------------------------------------------------------------------------
 // Text helpers
 // ---------------------------------------------------------------------------
+
+/// True when `word` occurs in `code` as a whole identifier (not as a
+/// substring of a longer one).
+pub(crate) fn has_word(code: &str, word: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(i) = code[start..].find(word) {
+        let at = start + i;
+        let before_ok = !code[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !code[at + word.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
 
 /// Cuts a line at its `//` comment, if any. Naive about `//` inside
 /// string literals, which is fine for these sources.

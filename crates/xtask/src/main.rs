@@ -6,6 +6,12 @@
 //!   over the sharded connection plane (SAFETY comments, stripe-guard
 //!   protocol, mode-aware lock order, fastpath whitelist proof); exits
 //!   non-zero if any finding survives `races-allow.txt`.
+//! - `cargo run -p xtask -- rtsafe` — the real-time-safety lints: call
+//!   graphs from the declared RT entry points (engine tick, fast-path
+//!   exec, outbound drain) are taint-checked for allocation, blocking,
+//!   and unbounded-work sinks, with a bidirectionally-verified
+//!   `// rt-ok:` justification grammar; exits non-zero if any finding
+//!   survives `rtsafe-allow.txt`.
 //! - `cargo run -p xtask -- interleave [--budget N] [--seed N] [--fault NAME] [--require N]`
 //!   — the deterministic connplane interleaving explorer; exits
 //!   non-zero and prints a minimized, replayable schedule on an oracle
@@ -48,14 +54,15 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("races") => run_races(),
+        Some("rtsafe") => run_rtsafe(),
         Some("explore") => run_explore(&args[1..]),
         Some("interleave") => run_interleave(&args[1..]),
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("soak") => run_soak(&args[1..]),
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint | races | explore | interleave | fuzz | soak> \
-                 [options]"
+                "usage: cargo run -p xtask -- <lint | races | rtsafe | explore | interleave | \
+                 fuzz | soak> [options]"
             );
             if let Some(cmd) = other {
                 eprintln!("unknown command: {cmd}");
@@ -102,6 +109,29 @@ fn run_races() -> ExitCode {
         }
         Err(e) => {
             eprintln!("races: cannot read workspace at {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_rtsafe() -> ExitCode {
+    let root = workspace_root();
+    match xtask::rtsafe::run_workspace_rtsafe(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "rtsafe: every RT-reachable path is allocation/block/loop-clean or justified"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("rtsafe: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("rtsafe: cannot read workspace at {}: {e}", root.display());
             ExitCode::FAILURE
         }
     }

@@ -36,25 +36,8 @@ use std::path::Path;
 
 use crate::{
     apply_allowlist, block_after, brace_delta, delim_block_after, enum_variants, finding,
-    lint_lock_order, parse_allowlist, qualified_idents, strip_comment, Finding, Sources,
+    has_word, lint_lock_order, parse_allowlist, qualified_idents, strip_comment, Finding, Sources,
 };
-
-/// True when `word` occurs in `code` as a whole identifier (not as a
-/// substring of a longer one).
-fn has_word(code: &str, word: &str) -> bool {
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    let mut start = 0;
-    while let Some(i) = code[start..].find(word) {
-        let at = start + i;
-        let before_ok = !code[..at].chars().next_back().is_some_and(is_ident);
-        let after_ok = !code[at + word.len()..].chars().next().is_some_and(is_ident);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
 
 /// Pass `safety-comment`: every `unsafe` block, fn, or impl must be
 /// justified in place. The justification is a `SAFETY:` marker on the

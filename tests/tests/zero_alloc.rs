@@ -1,72 +1,21 @@
 //! The steady-state engine tick is allocation-free, and the pooled data
 //! plane preserves the paper's seamlessness guarantees.
 //!
-//! A counting global allocator (gated by a thread-local flag so only the
-//! manually-ticking test thread is measured) proves the tentpole claim:
-//! after a few warm-up ticks stabilise the scratch-buffer capacities and
-//! the cached route plan, a tick performs zero heap allocations. The
-//! E2/E4-style tests then re-verify "not a single dropped or inserted
-//! sample" (paper §6.2) on top of the pooled engine.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The RT sentinel allocator (`da_server::rt`, DESIGN.md §16) proves the
+//! tentpole claim: after a few warm-up ticks stabilise the scratch-buffer
+//! capacities and the cached route plan, a tick performs zero heap
+//! allocations — measured through [`rt::count_allocs`], the same gate the
+//! sentinel uses to panic on un-justified tick-path allocations across
+//! the whole debug suite. The fast-path tests then pin the dispatch-side
+//! half: `exec_fast` on a pure opcode allocates nothing. The E2/E4-style
+//! tests re-verify "not a single dropped or inserted sample" (paper
+//! §6.2) on top of the pooled engine.
 
 use da_alib::Connection;
 use da_proto::command::{DeviceCommand, RecordTermination};
 use da_proto::types::{DeviceClass, Encoding, SoundType, WireType};
+use da_server::rt;
 use da_server::{AudioServer, ServerConfig};
-
-thread_local! {
-    static GATED: Cell<bool> = const { Cell::new(false) };
-}
-
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
-
-/// Counts allocations made while the current thread's gate is open.
-struct CountingAlloc;
-
-// SAFETY: delegates to `System` for every operation; the bookkeeping
-// touches only an atomic and a const-initialised thread-local.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if GATED.with(|g| g.get()) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if GATED.with(|g| g.get()) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if GATED.with(|g| g.get()) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc_zeroed(layout)
-    }
-}
-
-#[global_allocator]
-static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-/// Runs `f` with this thread's allocation gate open, returning how many
-/// allocations it made.
-fn count_allocs(f: impl FnOnce()) -> usize {
-    let before = ALLOCS.load(Ordering::Relaxed);
-    GATED.with(|g| g.set(true));
-    f();
-    GATED.with(|g| g.set(false));
-    ALLOCS.load(Ordering::Relaxed) - before
-}
 
 fn manual_server() -> (AudioServer, Connection) {
     let config = ServerConfig { manual_ticks: true, quantum_us: 10_000, ..ServerConfig::default() };
@@ -112,7 +61,7 @@ fn steady_state_tick_is_allocation_free() {
     control.tick_n(50);
 
     let rebuilds_before = control.stats().plan_rebuilds;
-    let allocs = count_allocs(|| control.tick_n(200));
+    let allocs = rt::count_allocs(|| control.tick_n(200));
     let rebuilds_after = control.stats().plan_rebuilds;
 
     assert_eq!(allocs, 0, "steady-state ticks allocated {allocs} times");
@@ -235,5 +184,95 @@ fn play_record_transition_remains_seamless() {
             "recording is not internally continuous"
         );
         server.shutdown();
+    }
+}
+
+#[test]
+fn fast_path_sync_dispatch_is_allocation_free() {
+    // The dispatch-side twin of `steady_state_tick_is_allocation_free`:
+    // a pure opcode (Sync) through the sharded fast path must not touch
+    // the allocator inside `exec_fast`. The count-mode guard inside
+    // `try_dispatch` tallies into the calling thread, so the request is
+    // driven synchronously through `ServerControl::fast_dispatch` rather
+    // than the connection plane.
+    let (server, mut conn) = manual_server();
+    let control = server.control();
+    // A realistically populated server, so map lookups are not trivially
+    // empty.
+    let loud = conn.create_loud(None).unwrap();
+    let player = conn.create_vdevice(loud, DeviceClass::Player, vec![]).unwrap();
+    let output = conn.create_vdevice(loud, DeviceClass::Output, vec![]).unwrap();
+    conn.create_wire(player, 0, output, 0, WireType::Any).unwrap();
+    conn.sync().unwrap();
+
+    let client = control.with_core(|c| {
+        da_proto::ids::ClientId(*c.clients.keys().next().expect("one client"))
+    });
+
+    // Warm-up dispatch: first use may fault in lazy telemetry state.
+    assert!(control.fast_dispatch(client, 9_000, &da_proto::request::Request::Sync));
+
+    let before = rt::scope_allocs();
+    for seq in 0..50u32 {
+        let handled =
+            control.fast_dispatch(client, 10_000 + seq, &da_proto::request::Request::Sync);
+        assert!(handled, "Sync must stay on the fast path");
+    }
+    let delta = rt::scope_allocs() - before;
+    assert_eq!(delta, 0, "exec_fast allocated {delta} times across 50 Sync dispatches");
+
+    // Cross-check that the tally is live at all: GetServerInfo clones the
+    // vendor string inside `exec_fast`, which must register in debug
+    // builds (release builds compile the sentinel out and tally 0).
+    let before = rt::scope_allocs();
+    assert!(control.fast_dispatch(
+        client,
+        20_000,
+        &da_proto::request::Request::GetServerInfo
+    ));
+    let delta = rt::scope_allocs() - before;
+    if rt::sentinel_active() {
+        assert!(delta >= 1, "vendor-string clone must tally");
+    } else {
+        assert_eq!(delta, 0);
+    }
+    server.shutdown();
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn armed_tick_panics_on_injected_allocation() {
+    // Regression guard for the sentinel itself: an allocation smuggled
+    // into an armed scope without an `AllocRelax` justification must
+    // panic in debug builds. (The engine arms exactly this guard at the
+    // top of every tick.)
+    let result = std::panic::catch_unwind(|| {
+        let _armed = rt::ScopedAllocGuard::arm();
+        // An un-justified tick-path allocation.
+        let leak: Vec<u8> = Vec::with_capacity(256);
+        std::hint::black_box(&leak);
+    });
+    assert!(result.is_err(), "sentinel must panic on un-relaxed allocation");
+}
+
+#[test]
+fn sentinel_is_compiled_out_of_release() {
+    // In release builds the guards are unit structs, no global allocator
+    // is installed, and every probe reads zero; in debug builds the
+    // sentinel must report active (CI's debug step depends on it).
+    assert_eq!(rt::sentinel_active(), cfg!(debug_assertions));
+    if !rt::sentinel_active() {
+        let n = rt::count_allocs(|| {
+            let v: Vec<u64> = Vec::with_capacity(64);
+            std::hint::black_box(&v);
+        });
+        assert_eq!(n, 0, "release build must not observe allocations");
+        let before = rt::scope_allocs();
+        {
+            let _g = rt::ScopedAllocGuard::count();
+            let v: Vec<u64> = Vec::with_capacity(64);
+            std::hint::black_box(&v);
+        }
+        assert_eq!(rt::scope_allocs(), before);
     }
 }
