@@ -20,6 +20,12 @@ fn main() {
     if std::env::args().any(|a| a == "--e5xl-smoke") {
         std::process::exit(e5xl_smoke());
     }
+    // `--store-smoke` runs only the shared-sound-store CI gate: payload
+    // memory at 256 clients playing one catalogue sound must stay within
+    // 2x of the 1-client run (O(1) sharing, DESIGN.md §17).
+    if std::env::args().any(|a| a == "--store-smoke") {
+        std::process::exit(e9_store_smoke());
+    }
     println!("desktop-audio experiment harness");
     println!("paper: Integrating Audio and Telephony in a Distributed Workstation");
     println!("Environment (USENIX Summer 1991), evaluation section 6\n");
@@ -33,6 +39,7 @@ fn main() {
     e6_streaming_jitter(&mut report);
     e7_sync_event_cadence(&mut report);
     e8_codecs(&mut report);
+    e9_shared_store(&mut report);
     p1_quantum_ablation(&mut report);
     mc1_exploration_throughput(&mut report);
     match report.write_file("BENCH_results.json") {
@@ -596,6 +603,166 @@ fn e5xl_smoke() -> i32 {
     } else {
         eprintln!("  FAIL: default-rate tracing costs more than 5% of p95");
         failed = true;
+    }
+    i32::from(failed)
+}
+
+// ---------------------------------------------------------------------------
+// E9 — shared sound store & transcode cache (DESIGN.md §17): N clients
+// playing the same catalogue sound cost one payload and one transcode
+// ---------------------------------------------------------------------------
+
+struct E9Run {
+    /// Encoded payload bytes resident across all bound sounds, distinct
+    /// shared payloads counted once.
+    payload_bytes: usize,
+    /// Distinct shared payloads backing the clients' sounds.
+    distinct_payloads: usize,
+    /// Convert time of the cold tick that first services the plays
+    /// (includes the one-time transcode-cache build), in ns.
+    cold_tick_convert_ns: u64,
+    /// Mean convert time per steady-state tick (cache warm), in ns.
+    steady_tick_convert_ns: f64,
+    /// Transcode-cache hits observed over the run.
+    cache_hits: u64,
+}
+
+fn e9_convert_sum(control: &da_server::ServerControl) -> u64 {
+    control.with_core(|c| c.tel.metrics.dsp_convert_ns.snapshot().sum)
+}
+
+/// `k` clients each bind the same catalogue sound and play it under
+/// manual ticks; returns memory and convert-time figures.
+fn e9_run(k: usize) -> E9Run {
+    let config = ServerConfig { manual_ticks: true, ..ServerConfig::default() };
+    let server = AudioServer::start(config).expect("server");
+    let control = server.control();
+    let mut conns = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut conn =
+            Connection::establish(server.connect_pipe(), &format!("e9-{i}")).expect("conn");
+        let rig = build_play_rig(&mut conn);
+        let sound = conn.open_catalog_sound("system", "ring").expect("catalogue sound");
+        play(&mut conn, &rig, sound);
+        conns.push(conn);
+    }
+    // One probe sync flushes every queued request through dispatch.
+    conns[0].sync().expect("sync");
+    let (payload_bytes, distinct_payloads) = control.with_core(|c| {
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0usize;
+        for (_, s) in &c.sounds {
+            match &s.shared {
+                Some(a) => {
+                    if seen.insert(std::sync::Arc::as_ptr(a)) {
+                        bytes += a.len();
+                    }
+                }
+                None => bytes += s.data.len(),
+            }
+        }
+        (bytes, seen.len())
+    });
+    // Cold phase: tick until the first decode lands (the tick that
+    // starts the plays pays the one-time cache build).
+    let base = e9_convert_sum(&control);
+    let mut cold = 0u64;
+    for _ in 0..10 {
+        control.tick_n(1);
+        cold = e9_convert_sum(&control) - base;
+        if cold > 0 {
+            break;
+        }
+    }
+    // Steady state: the cache is warm; decode windows are slice copies
+    // and conversion time per tick collapses to (near) zero.
+    let steady_ticks = 30u64;
+    let before = e9_convert_sum(&control);
+    control.tick_n(steady_ticks);
+    let steady = (e9_convert_sum(&control) - before) as f64 / steady_ticks as f64;
+    let cache_hits = control.with_core(|c| c.tel.metrics.transcode_cache_hits_total.get());
+    drop(conns);
+    server.shutdown();
+    E9Run {
+        payload_bytes,
+        distinct_payloads,
+        cold_tick_convert_ns: cold,
+        steady_tick_convert_ns: steady,
+        cache_hits,
+    }
+}
+
+fn e9_shared_store(report: &mut Report) {
+    banner("E9", "shared sound store: N clients, one catalogue sound, O(1) payload memory (§17)");
+    println!("  clients | payload bytes | payloads | cold tick convert | steady tick convert");
+    let mut bytes_at_1 = 0usize;
+    let mut at_256: Option<E9Run> = None;
+    for k in [1usize, 16, 256] {
+        let r = e9_run(k);
+        report.push("E9", &format!("payload_bytes_{k}_clients"), r.payload_bytes as f64, "bytes");
+        report.push(
+            "E9",
+            &format!("cold_tick_convert_ns_{k}_clients"),
+            r.cold_tick_convert_ns as f64,
+            "ns",
+        );
+        report.push(
+            "E9",
+            &format!("steady_tick_convert_ns_{k}_clients"),
+            r.steady_tick_convert_ns,
+            "ns",
+        );
+        println!(
+            "  {k:>7} | {:>13} | {:>8} | {:>14} ns | {:>16.0} ns",
+            r.payload_bytes, r.distinct_payloads, r.cold_tick_convert_ns, r.steady_tick_convert_ns,
+        );
+        if k == 1 {
+            bytes_at_1 = r.payload_bytes;
+        }
+        if k == 256 {
+            at_256 = Some(r);
+        }
+    }
+    let r256 = at_256.expect("256-client run");
+    let mem_ratio = r256.payload_bytes as f64 / bytes_at_1.max(1) as f64;
+    let convert_ratio =
+        r256.steady_tick_convert_ns / r256.cold_tick_convert_ns.max(1) as f64;
+    report.push("E9", "payload_bytes_ratio_256_vs_1_clients", mem_ratio, "ratio");
+    report.push("E9", "steady_over_cold_convert_256_clients", convert_ratio, "ratio");
+    println!(
+        "  payload bytes (256 clients) / (1 client) = {mem_ratio:.2}    {}",
+        if mem_ratio <= 2.0 { "PASS (O(1) sharing)" } else { "FAIL (> 2x)" }
+    );
+    println!(
+        "  steady/cold convert per tick at 256 clients = {convert_ratio:.4}    {}",
+        if convert_ratio <= 0.10 { "PASS (<= 10%)" } else { "FAIL (> 10%)" }
+    );
+    println!("  transcode-cache hits over the 256-client run: {}", r256.cache_hits);
+}
+
+/// CI smoke gate: exit nonzero unless 256 clients playing one catalogue
+/// sound keep payload memory within 2x of the 1-client run, with the
+/// transcode cache demonstrably hot.
+fn e9_store_smoke() -> i32 {
+    println!("E9 smoke: shared-store payload memory, 256 clients vs 1 (DESIGN.md §17)");
+    let r1 = e9_run(1);
+    let r256 = e9_run(256);
+    let ratio = r256.payload_bytes as f64 / r1.payload_bytes.max(1) as f64;
+    println!(
+        "  payload bytes: 1 client {} B, 256 clients {} B, ratio {ratio:.2} (limit 2.0)",
+        r1.payload_bytes, r256.payload_bytes
+    );
+    let mut failed = false;
+    if ratio > 2.0 {
+        eprintln!("  FAIL: payload memory grows with client count (sharing broken)");
+        failed = true;
+    }
+    if r256.cache_hits == 0 {
+        eprintln!("  FAIL: no transcode-cache hits at 256 clients (cache not wired)");
+        failed = true;
+    }
+    if !failed {
+        println!("  PASS");
     }
     i32::from(failed)
 }

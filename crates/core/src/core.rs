@@ -188,6 +188,11 @@ pub struct Core {
     pub sounds: ShardedMap<u32, Sound>,
     /// Server-side sound catalogues.
     pub catalogs: Catalogs,
+    /// Content-addressed shared sound store and transcode cache
+    /// (DESIGN.md §17). A leaf structure: interior-mutable behind its
+    /// own mutex, ranked below the core lock and the stripes, usable
+    /// from both dispatch paths and the engine tick.
+    pub store: crate::store::SoundStore,
     /// Interned names.
     pub atoms: AtomTable,
     /// Properties by resource (sharded).
@@ -231,6 +236,14 @@ impl Core {
     pub fn new(config: ServerConfig) -> Self {
         let hw = Hardware::new(config.hw.clone());
         let shards = config.shards.max(1);
+        let tel = crate::telem::ServerTelemetry::default();
+        let catalogs = Catalogs::with_system_sounds();
+        let store = crate::store::SoundStore::new(&tel.metrics);
+        // Catalogue payloads are content-addressed from the start, so a
+        // client upload of identical bytes dedupes against them.
+        for cat in catalogs.sounds() {
+            store.adopt(cat.hash, &cat.data);
+        }
         Core {
             config,
             hw,
@@ -240,7 +253,8 @@ impl Core {
             vdevs: ShardedMap::new(shards),
             wires: ShardedMap::new(shards),
             sounds: ShardedMap::new(shards),
-            catalogs: Catalogs::with_system_sounds(),
+            catalogs,
+            store,
             atoms: AtomTable::new(),
             properties: ShardedMap::new(shards),
             stripes: ShardSet::new(shards),
@@ -254,7 +268,7 @@ impl Core {
             stats: EngineStats::default(),
             topology_gen: AtomicU64::new(0),
             plane: crate::plan::DataPlane::default(),
-            tel: crate::telem::ServerTelemetry::default(),
+            tel,
             next_client: 1,
         shutting_down: false,
         }

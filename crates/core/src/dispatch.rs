@@ -688,8 +688,23 @@ fn execute(core: &mut Core, client: ClientId, seq: u32, request: &Request) -> Di
             if s.complete {
                 return Err(err(ErrorCode::BadMatch, id.0, "sound already complete"));
             }
+            if s.len_bytes() + data.len() as u64 > da_proto::types::MAX_SOUND_BYTES {
+                // Rejected before any allocation, mirroring the
+                // connection plane's oversized-frame policy.
+                core.tel.metrics.sounds_rejected_oversize_total.inc();
+                return Err(err(ErrorCode::BadValue, id.0, "sound exceeds maximum size"));
+            }
             if !s.append(data, *eof) {
                 return Err(err(ErrorCode::BadMatch, id.0, "catalogue sounds are immutable"));
+            }
+            if s.complete {
+                // Final block: intern the finished payload so identical
+                // content across clients shares one allocation
+                // (DESIGN.md §17).
+                let (arc, hash) =
+                    core.store.intern_payload(s.stype, std::mem::take(&mut s.data));
+                s.shared = Some(arc);
+                s.content_hash = Some(hash);
             }
             Ok(None)
         }
@@ -700,7 +715,9 @@ fn execute(core: &mut Core, client: ClientId, seq: u32, request: &Request) -> Di
             let end = start.saturating_add(*len as usize).min(bytes.len());
             Ok(Some(Reply::SoundData {
                 data: bytes[start..end].to_vec(),
-                at_end: end == bytes.len(),
+                // A streaming sound's tail is not the end: more data may
+                // arrive until the `eof` block lands.
+                at_end: s.complete && end == bytes.len(),
             }))
         }
         Request::QuerySound { id } => {

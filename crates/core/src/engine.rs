@@ -625,7 +625,13 @@ fn step_device_op(
             let complete = snd.complete;
             let want = demand.min(avail.saturating_sub(from));
             let mut samples = scratch.take_i16();
-            snd.decode_frames_into(from, want, &mut samples);
+            // Decode through the shared store: complete sounds hit the
+            // transcode cache (one full decode ever, then slice copies —
+            // DESIGN.md §17); streaming sounds fall back to a direct
+            // windowed decode. Only real conversion work (the fallback
+            // decode or the one-time cache build) is metered — a cache
+            // hit is a copy, not a transcode.
+            core.store.decode_window(snd, from, want, &mut samples, &mut scratch.meter.convert_ns);
             let got = samples.len() as u64;
             da_dsp::gain::apply(&mut samples, gain);
             let mut missing = 0u64;

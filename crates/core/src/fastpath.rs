@@ -741,12 +741,27 @@ fn exec_fast(
             if s.complete {
                 return Done(Err(err(ErrorCode::BadMatch, id.0, "sound already complete")));
             }
+            if s.len_bytes() + data.len() as u64 > da_proto::types::MAX_SOUND_BYTES {
+                // Rejected before any allocation, mirroring the
+                // connection plane's oversized-frame policy.
+                core.tel.metrics.sounds_rejected_oversize_total.inc();
+                return Done(Err(err(ErrorCode::BadValue, id.0, "sound exceeds maximum size")));
+            }
             if !s.append(data, *eof) {
                 return Done(Err(err(
                     ErrorCode::BadMatch,
                     id.0,
                     "catalogue sounds are immutable",
                 )));
+            }
+            if s.complete {
+                // Final block: intern the finished payload so identical
+                // content across clients shares one allocation
+                // (DESIGN.md §17). The store is a leaf below the stripe.
+                let (arc, hash) =
+                    core.store.intern_payload(s.stype, std::mem::take(&mut s.data));
+                s.shared = Some(arc);
+                s.content_hash = Some(hash);
             }
             Done(Ok(None))
         }
@@ -760,7 +775,9 @@ fn exec_fast(
             let end = start.saturating_add(*len as usize).min(bytes.len());
             Done(Ok(Some(Reply::SoundData {
                 data: bytes[start..end].to_vec(),
-                at_end: end == bytes.len(),
+                // A streaming sound's tail is not the end: more data may
+                // arrive until the `eof` block lands.
+                at_end: s.complete && end == bytes.len(),
             })))
         }
 

@@ -52,6 +52,7 @@ pub mod rt;
 pub mod server;
 pub mod shard;
 pub mod sound;
+pub mod store;
 pub mod telem;
 
 pub mod validate;

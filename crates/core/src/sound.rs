@@ -31,6 +31,9 @@ pub struct CatalogSound {
     pub stype: SoundType,
     /// Encoded bytes.
     pub data: Arc<Vec<u8>>,
+    /// Content hash of (type, bytes) — the key under which the shared
+    /// sound store tracks this payload (DESIGN.md §17).
+    pub hash: u64,
 }
 
 /// A live sound resource.
@@ -49,12 +52,24 @@ pub struct Sound {
     /// Whether the final block has been written. Streaming sounds stay
     /// incomplete while the client supplies data in real time.
     pub complete: bool,
+    /// Content hash of (type, bytes) once the sound is finalized and
+    /// interned in the shared store (DESIGN.md §17). `None` while
+    /// streaming or for recorder-private content.
+    pub content_hash: Option<u64>,
 }
 
 impl Sound {
     /// Creates an empty, incomplete client sound.
     pub fn new(id: SoundId, owner: ClientId, stype: SoundType) -> Self {
-        Sound { id, owner, stype, data: Vec::new(), shared: None, complete: false }
+        Sound {
+            id,
+            owner,
+            stype,
+            data: Vec::new(),
+            shared: None,
+            complete: false,
+            content_hash: None,
+        }
     }
 
     /// Creates a sound bound to catalogue data (always complete).
@@ -66,6 +81,7 @@ impl Sound {
             data: Vec::new(),
             shared: Some(Arc::clone(&cat.data)),
             complete: true,
+            content_hash: Some(cat.hash),
         }
     }
 
@@ -104,6 +120,7 @@ impl Sound {
         self.shared = None;
         self.data.clear();
         self.complete = false;
+        self.content_hash = None;
     }
 
     /// Decodes `frames` sample frames starting at frame `from` into
@@ -159,7 +176,11 @@ fn downmix_into(samples: &[i16], channels: usize, out: &mut Vec<i16>) {
     }
     out.extend(samples.chunks(channels).map(|frame| {
         let sum: i32 = frame.iter().map(|&s| s as i32).sum();
-        (sum / channels as i32) as i16
+        let ch = channels as i32;
+        // Round half away from zero: plain `/` truncates toward zero,
+        // which biases negative-sum frames upward by up to one LSB.
+        let adj = if sum >= 0 { ch / 2 } else { -(ch / 2) };
+        ((sum + adj) / ch) as i16
     }));
 }
 
@@ -198,15 +219,22 @@ impl Catalogs {
 
     /// Inserts a sound into a catalogue, replacing any previous entry.
     pub fn insert(&mut self, catalog: &str, name: &str, stype: SoundType, data: Vec<u8>) {
+        let hash = crate::store::content_hash(stype, &data);
         self.catalogs
             .entry(catalog.to_string())
             .or_default()
-            .insert(name.to_string(), CatalogSound { stype, data: Arc::new(data) });
+            .insert(name.to_string(), CatalogSound { stype, data: Arc::new(data), hash });
     }
 
     /// Looks up a catalogue sound.
     pub fn get(&self, catalog: &str, name: &str) -> Option<&CatalogSound> {
         self.catalogs.get(catalog)?.get(name)
+    }
+
+    /// Iterates every catalogue sound (the store adopts their payloads
+    /// at server start).
+    pub fn sounds(&self) -> impl Iterator<Item = &CatalogSound> {
+        self.catalogs.values().flat_map(|m| m.values())
     }
 
     /// Lists sound names in a catalogue, or catalogue names if `catalog`
@@ -266,6 +294,21 @@ mod tests {
         s.append(&da_dsp::convert::encode_from_pcm16(PcmEncoding::Pcm16, &pcm), true);
         assert_eq!(s.len_frames(), 2);
         assert_eq!(s.decode_frames(0, 2), vec![200, -200]);
+    }
+
+    #[test]
+    fn stereo_downmix_rounds_negative_sums() {
+        let mut s = Sound::new(
+            SoundId(1),
+            ClientId(1),
+            SoundType { encoding: Encoding::Pcm16, sample_rate: 8000, channels: 2 },
+        );
+        // Odd sums in both signs: (-3 + -4)/2 = -3.5 must round to -4
+        // (away from zero), not truncate to -3; (3 + 4)/2 = 3.5 → 4.
+        // The last frame's -1.5 pins the half-sample case negative.
+        let pcm: Vec<i16> = vec![-3, -4, 3, 4, -1, -2];
+        s.append(&da_dsp::convert::encode_from_pcm16(PcmEncoding::Pcm16, &pcm), true);
+        assert_eq!(s.decode_frames(0, 3), vec![-4, 4, -2]);
     }
 
     #[test]

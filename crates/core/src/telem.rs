@@ -102,6 +102,25 @@ pub struct ServerMetrics {
     // -- hardware ---------------------------------------------------------
     /// Speaker-reported underrun frames, all speakers (mirrored).
     pub speaker_underrun_frames_total: Counter,
+    // -- shared sound store & transcode cache (DESIGN.md §17) -------------
+    /// Bytes of encoded sound payload interned in the shared store
+    /// (each distinct content counted once, however many sounds bind it).
+    pub store_bytes_shared: Gauge,
+    /// Live interned payloads in the shared store.
+    pub store_payloads: Gauge,
+    /// Uploads finalized into an already-resident payload (zero-copy).
+    pub store_dedupe_hits_total: Counter,
+    /// Engine decode windows served from the transcode cache.
+    pub transcode_cache_hits_total: Counter,
+    /// Decode windows that had to build a cache entry (full decode).
+    pub transcode_cache_misses_total: Counter,
+    /// Transcode-cache entries evicted by the byte budget (LRU).
+    pub transcode_cache_evictions_total: Counter,
+    /// Estimated decode time avoided by cache hits, in microseconds.
+    pub transcode_us_saved_total: Counter,
+    /// `WriteSoundData` requests rejected for exceeding the max sound
+    /// size, before any allocation.
+    pub sounds_rejected_oversize_total: Counter,
     // -- dsp --------------------------------------------------------------
     /// Per-tick nanoseconds spent in encode/decode conversions.
     pub dsp_convert_ns: Histogram,
@@ -167,6 +186,14 @@ impl ServerMetrics {
             conn_plane_unplaced_total: counter!(reg, "conn_plane_unplaced_total"),
             conn_worker_loop_us: histogram!(reg, "conn_worker_loop_us"),
             speaker_underrun_frames_total: counter!(reg, "speaker_underrun_frames_total"),
+            store_bytes_shared: gauge!(reg, "store_bytes_shared"),
+            store_payloads: gauge!(reg, "store_payloads"),
+            store_dedupe_hits_total: counter!(reg, "store_dedupe_hits_total"),
+            transcode_cache_hits_total: counter!(reg, "transcode_cache_hits_total"),
+            transcode_cache_misses_total: counter!(reg, "transcode_cache_misses_total"),
+            transcode_cache_evictions_total: counter!(reg, "transcode_cache_evictions_total"),
+            transcode_us_saved_total: counter!(reg, "transcode_us_saved_total"),
+            sounds_rejected_oversize_total: counter!(reg, "sounds_rejected_oversize_total"),
             dsp_convert_ns: histogram!(reg, "dsp_convert_ns"),
             dsp_mix_ns: histogram!(reg, "dsp_mix_ns"),
             dsp_resample_ns: histogram!(reg, "dsp_resample_ns"),
@@ -253,6 +280,7 @@ pub fn refresh_mirrors(core: &mut Core) {
     m.queue_depth.set(depth);
     m.active_roots.set(core.plane.plans.active_roots.len() as i64);
     m.speaker_underrun_frames_total.mirror(core.hw.total_speaker_underruns());
+    core.store.refresh_gauges();
 }
 
 /// Builds the `QueryServerStats` reply from the live core.

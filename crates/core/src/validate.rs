@@ -33,7 +33,7 @@ use std::fmt;
 /// One violated invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Catalog identifier (`V1` ... `V13`), matching DESIGN.md.
+    /// Catalog identifier (`V1` ... `V14`), matching DESIGN.md.
     pub invariant: &'static str,
     /// What exactly is inconsistent.
     pub detail: String,
@@ -70,6 +70,7 @@ pub fn check_all(core: &Core) -> Vec<Violation> {
     check_worklists(core, &mut out);
     check_queue_parser(core, &mut out);
     check_client_liveness(core, &mut out);
+    check_sound_store(core, &mut out);
     out
 }
 
@@ -499,6 +500,36 @@ fn check_client_liveness(core: &Core, out: &mut Vec<Violation>) {
                     ),
                 );
             }
+        }
+    }
+}
+
+/// V14: sound/store consistency (DESIGN.md §17). A sound holding a
+/// shared payload has handed its private buffer to the store (`data`
+/// empty) and is finalized (`complete`); a content hash exists only on
+/// complete sounds — streaming content has no stable identity. Catches
+/// any dispatch arm that interns early, forgets `mem::take`, or leaves
+/// a stale hash after `reset_for_recording`.
+fn check_sound_store(core: &Core, out: &mut Vec<Violation>) {
+    for (&id, s) in &core.sounds {
+        if s.shared.is_some() {
+            if !s.data.is_empty() {
+                violate(
+                    out,
+                    "V14",
+                    format!("sound {id} holds both a shared payload and private data"),
+                );
+            }
+            if !s.complete {
+                violate(out, "V14", format!("sound {id} shares a payload while incomplete"));
+            }
+        }
+        if s.content_hash.is_some() && !s.complete {
+            violate(
+                out,
+                "V14",
+                format!("incomplete sound {id} carries a content hash"),
+            );
         }
     }
 }

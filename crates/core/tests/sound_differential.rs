@@ -1,0 +1,279 @@
+//! Differential suite: the sharded fast path and the write-lock slow
+//! path must be observationally identical for every sound opcode.
+//!
+//! The two dispatch arms (`fastpath::exec_fast` and `dispatch::execute`)
+//! implement each sound request twice; this suite drives identical
+//! request sequences through both and requires identical reply/error
+//! streams and identical final resource state, so the arms cannot
+//! drift again (the `at_end` streaming-EOF bug fixed in this module's
+//! first version lived in *both* arms precisely because nothing
+//! compared them).
+
+use crossbeam::channel::{unbounded, Receiver};
+use da_proto::ids::{ClientId, SoundId};
+use da_proto::request::Request;
+use da_proto::types::{Encoding, SoundType};
+use da_server::core::{Core, ServerConfig, ServerMsg};
+use da_server::{dispatch, fastpath, validate};
+use parking_lot::RwLock;
+
+/// One scripted step: which client sends, and what.
+type Step = (usize, Request);
+
+/// Drains everything currently queued on a receiver.
+fn drain(rx: &Receiver<ServerMsg>) -> Vec<ServerMsg> {
+    let mut out = Vec::new();
+    while let Ok(m) = rx.try_recv() {
+        out.push(m);
+    }
+    out
+}
+
+struct Rig {
+    core: RwLock<Core>,
+    clients: Vec<(ClientId, Receiver<ServerMsg>)>,
+}
+
+fn rig(n_clients: usize) -> Rig {
+    let mut core = Core::new(ServerConfig { manual_ticks: true, ..ServerConfig::default() });
+    let clients = (0..n_clients)
+        .map(|i| {
+            let (tx, rx) = unbounded();
+            let (client, _base, _mask) = core.add_client(format!("diff-{i}"), tx);
+            (client, rx)
+        })
+        .collect();
+    Rig { core: RwLock::new(core), clients }
+}
+
+/// Runs `script` through the fast path (slow fallback on punt, exactly
+/// like the connection plane) and returns the per-client message
+/// streams plus the final-state digest.
+fn run_fast(script: &[Step]) -> (Vec<Vec<String>>, String) {
+    let r = rig(2);
+    for (seq, (who, req)) in script.iter().enumerate() {
+        let client = r.clients[*who].0;
+        if !fastpath::try_dispatch(&r.core, client, seq as u32, req) {
+            dispatch::dispatch(&mut r.core.write(), client, seq as u32, req.clone());
+        }
+    }
+    finish(r)
+}
+
+/// Runs `script` through the slow path only.
+fn run_slow(script: &[Step]) -> (Vec<Vec<String>>, String) {
+    let r = rig(2);
+    for (seq, (who, req)) in script.iter().enumerate() {
+        let client = r.clients[*who].0;
+        dispatch::dispatch(&mut r.core.write(), client, seq as u32, req.clone());
+    }
+    finish(r)
+}
+
+fn finish(r: Rig) -> (Vec<Vec<String>>, String) {
+    let core = r.core.read();
+    let violations = validate::check_all(&core);
+    assert!(violations.is_empty(), "invariants violated: {violations:?}");
+    let streams = r
+        .clients
+        .iter()
+        .map(|(_, rx)| drain(rx).iter().map(|m| format!("{m:?}")).collect())
+        .collect();
+    // Final-state digest: every sound's observable fields, in id order.
+    let mut sounds: Vec<String> = core
+        .sounds
+        .iter()
+        .map(|(id, s)| {
+            format!(
+                "{id}: owner={} stype={:?} bytes={} frames={} complete={}",
+                s.owner.0,
+                s.stype,
+                s.len_bytes(),
+                s.len_frames(),
+                s.complete,
+            )
+        })
+        .collect();
+    sounds.sort();
+    (streams, sounds.join("\n"))
+}
+
+/// Asserts fast and slow runs of `script` are observationally equal.
+fn assert_differential(script: &[Step]) {
+    let (fast_msgs, fast_state) = run_fast(script);
+    let (slow_msgs, slow_state) = run_slow(script);
+    assert_eq!(fast_msgs, slow_msgs, "fast/slow reply streams differ");
+    assert_eq!(fast_state, slow_state, "fast/slow final sound state differs");
+}
+
+fn sid(client_slot: u32, n: u32) -> SoundId {
+    // Client id spaces start at 1; slot 0 is client 1, etc.
+    SoundId(((client_slot + 1) << 20) | n)
+}
+
+#[test]
+fn all_six_sound_opcodes_are_differentially_equal() {
+    let s1 = sid(0, 1);
+    let s2 = sid(0, 2);
+    let ulaw = SoundType::TELEPHONE;
+    let script: Vec<Step> = vec![
+        // Create: success, duplicate id, degenerate type.
+        (0, Request::CreateSound { id: s1, stype: ulaw }),
+        (0, Request::CreateSound { id: s1, stype: ulaw }),
+        (0, Request::CreateSound { id: s2, stype: SoundType { channels: 0, ..ulaw } }),
+        // Streaming write, mid-stream read (must not claim EOF), query.
+        (0, Request::WriteSoundData { id: s1, data: vec![0x7F; 100], eof: false }),
+        (0, Request::ReadSoundData { id: s1, offset: 0, len: 1000 }),
+        (0, Request::QuerySound { id: s1 }),
+        // Foreign client: not owner.
+        (1, Request::WriteSoundData { id: s1, data: vec![1], eof: false }),
+        // Final block, then write-after-complete, then full read.
+        (0, Request::WriteSoundData { id: s1, data: vec![0x70; 50], eof: true }),
+        (0, Request::WriteSoundData { id: s1, data: vec![2], eof: true }),
+        (0, Request::ReadSoundData { id: s1, offset: 0, len: 1000 }),
+        (0, Request::ReadSoundData { id: s1, offset: 120, len: 10 }),
+        (0, Request::QuerySound { id: s1 }),
+        // Catalogues: listing, bind, bad name, duplicate id, read, write.
+        (0, Request::ListCatalog { catalog: String::new() }),
+        (0, Request::ListCatalog { catalog: "system".into() }),
+        (0, Request::OpenCatalogSound { id: s2, catalog: "system".into(), name: "beep".into() }),
+        (0, Request::OpenCatalogSound { id: sid(0, 3), catalog: "system".into(), name: "nope".into() }),
+        (0, Request::OpenCatalogSound { id: s2, catalog: "system".into(), name: "ring".into() }),
+        (0, Request::ReadSoundData { id: s2, offset: 0, len: 64 }),
+        (0, Request::WriteSoundData { id: s2, data: vec![3], eof: true }),
+        (0, Request::QuerySound { id: s2 }),
+        // Delete: success, then the id is gone for every opcode.
+        (0, Request::DeleteSound { id: s1 }),
+        (0, Request::DeleteSound { id: s1 }),
+        (0, Request::ReadSoundData { id: s1, offset: 0, len: 10 }),
+        (0, Request::QuerySound { id: s1 }),
+        (0, Request::Sync),
+    ];
+    assert_differential(&script);
+}
+
+#[test]
+fn adpcm_and_stereo_sounds_are_differentially_equal() {
+    let s1 = sid(0, 1);
+    let adpcm = SoundType { encoding: Encoding::ImaAdpcm, sample_rate: 8000, channels: 1 };
+    let pcm = da_dsp::tone::sine(8000, 300.0, 400, 9000);
+    let enc = da_dsp::adpcm::encode_slice(&pcm);
+    let script: Vec<Step> = vec![
+        (0, Request::CreateSound { id: s1, stype: adpcm }),
+        (0, Request::WriteSoundData { id: s1, data: enc.clone(), eof: false }),
+        (0, Request::ReadSoundData { id: s1, offset: 16, len: 32 }),
+        (0, Request::WriteSoundData { id: s1, data: enc, eof: true }),
+        (0, Request::ReadSoundData { id: s1, offset: 0, len: 4096 }),
+        (0, Request::QuerySound { id: s1 }),
+    ];
+    assert_differential(&script);
+}
+
+/// Satellite regression: a streaming (incomplete) sound must never
+/// report `at_end`, even when the read reaches the current tail — more
+/// data may still arrive. Checked on both dispatch paths.
+#[test]
+fn streaming_read_does_not_report_eof_until_complete() {
+    for fast in [false, true] {
+        let r = rig(1);
+        let client = r.clients[0].0;
+        let s1 = sid(0, 1);
+        let send = |seq: u32, req: Request| {
+            if fast && fastpath::try_dispatch(&r.core, client, seq, &req) {
+                return;
+            }
+            dispatch::dispatch(&mut r.core.write(), client, seq, req);
+        };
+        send(0, Request::CreateSound { id: s1, stype: SoundType::TELEPHONE });
+        send(1, Request::WriteSoundData { id: s1, data: vec![0x7F; 64], eof: false });
+        // Read the whole current tail: must NOT be the end yet.
+        send(2, Request::ReadSoundData { id: s1, offset: 0, len: 64 });
+        send(3, Request::WriteSoundData { id: s1, data: vec![0x7F; 64], eof: true });
+        // Same read again: still not the end (64 < 128)...
+        send(4, Request::ReadSoundData { id: s1, offset: 0, len: 64 });
+        // ...but the full read of a complete sound is.
+        send(5, Request::ReadSoundData { id: s1, offset: 0, len: 128 });
+        let msgs = drain(&r.clients[0].1);
+        let at_ends: Vec<bool> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                ServerMsg::Reply(_, da_proto::reply::Reply::SoundData { at_end, .. }) => {
+                    Some(*at_end)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            at_ends,
+            vec![false, false, true],
+            "streaming at_end sequence wrong (fast={fast})"
+        );
+    }
+}
+
+/// Satellite regression: `WriteSoundData` growing a sound past
+/// `MAX_SOUND_BYTES` is rejected with a typed error before any byte is
+/// appended, on both dispatch paths, and counts the rejection metric.
+#[test]
+fn oversized_write_is_rejected_before_allocation() {
+    for fast in [false, true] {
+        let r = rig(1);
+        let client = r.clients[0].0;
+        let s1 = sid(0, 1);
+        let send = |seq: u32, req: Request| {
+            if fast && fastpath::try_dispatch(&r.core, client, seq, &req) {
+                return;
+            }
+            dispatch::dispatch(&mut r.core.write(), client, seq, req);
+        };
+        send(0, Request::CreateSound { id: s1, stype: SoundType::TELEPHONE });
+        send(1, Request::WriteSoundData { id: s1, data: vec![0; 1000], eof: false });
+        let huge = vec![0u8; da_proto::types::MAX_SOUND_BYTES as usize - 500];
+        send(2, Request::WriteSoundData { id: s1, data: huge, eof: false });
+        let core = r.core.read();
+        let s = core.sounds.get(&s1.0).expect("sound exists");
+        assert_eq!(s.len_bytes(), 1000, "rejected write must not grow the sound (fast={fast})");
+        assert!(!s.complete);
+        assert_eq!(core.tel.metrics.sounds_rejected_oversize_total.get(), 1);
+        let saw_bad_value = drain(&r.clients[0].1).iter().any(|m| {
+            matches!(m, ServerMsg::Error(_, e) if e.code == da_proto::error::ErrorCode::BadValue)
+        });
+        assert!(saw_bad_value, "expected a BadValue error (fast={fast})");
+    }
+}
+
+/// Tentpole behavior: finalizing identical uploads from different
+/// clients (and uploads matching a catalogue sound) dedupes to one
+/// shared payload, on both dispatch paths.
+#[test]
+fn eof_finalize_interns_identical_uploads() {
+    for fast in [false, true] {
+        let r = rig(2);
+        let data = da_dsp::mulaw::encode_slice(&da_dsp::tone::sine(8000, 440.0, 800, 10000));
+        for (slot, n) in [(0usize, 1u32), (1, 1)] {
+            let client = r.clients[slot].0;
+            let id = sid(slot as u32, n);
+            let send = |seq: u32, req: Request| {
+                if fast && fastpath::try_dispatch(&r.core, client, seq, &req) {
+                    return;
+                }
+                dispatch::dispatch(&mut r.core.write(), client, seq, req);
+            };
+            send(0, Request::CreateSound { id, stype: SoundType::TELEPHONE });
+            send(1, Request::WriteSoundData { id, data: data.clone(), eof: true });
+        }
+        let core = r.core.read();
+        let a = core.sounds.get(&sid(0, 1).0).expect("sound a");
+        let b = core.sounds.get(&sid(1, 1).0).expect("sound b");
+        let (pa, pb) = (a.shared.as_ref().expect("a interned"), b.shared.as_ref().expect("b interned"));
+        assert!(
+            std::sync::Arc::ptr_eq(pa, pb),
+            "identical uploads must share one payload (fast={fast})"
+        );
+        assert_eq!(a.content_hash, b.content_hash);
+        assert!(core.tel.metrics.store_dedupe_hits_total.get() >= 1);
+        assert!(core.store.snapshot().shared_bytes >= data.len());
+        let violations = validate::check_all(&core);
+        assert!(violations.is_empty(), "invariants violated: {violations:?}");
+    }
+}

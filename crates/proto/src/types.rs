@@ -82,6 +82,15 @@ pub struct SoundType {
     pub channels: u8,
 }
 
+/// Maximum encoded size of one server-side sound, in bytes. A
+/// `WriteSoundData` that would grow a sound past this is rejected with
+/// `BadValue` before any allocation (mirroring the connection plane's
+/// oversized-frame rejection): 16 MiB is ~33 minutes of telephone-quality
+/// µ-law or ~95 seconds of CD-quality stereo — far beyond any prompt,
+/// and small enough that no client can exhaust server memory by
+/// streaming forever.
+pub const MAX_SOUND_BYTES: u64 = 16 << 20;
+
 impl SoundType {
     /// Telephone-quality µ-law mono at 8 kHz — 8,000 bytes per second.
     pub const TELEPHONE: SoundType =

@@ -86,6 +86,18 @@ impl StatsSnapshot {
             .unwrap_or(0)
     }
 
+    /// Transcode-cache hit rate in [0, 1]. `None` before any decode has
+    /// consulted the cache.
+    pub fn transcode_hit_rate(&self) -> Option<f64> {
+        let hits = self.server.counter("transcode_cache_hits_total").unwrap_or(0);
+        let misses = self.server.counter("transcode_cache_misses_total").unwrap_or(0);
+        let total = hits + misses;
+        if total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
+    }
+
     /// Renders the snapshot as a top-style table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -144,6 +156,18 @@ impl StatsSnapshot {
             s.counter("events_dropped_total").unwrap_or(0),
             s.counter("clients_evicted_total").unwrap_or(0),
         );
+        let hit_pct = match self.transcode_hit_rate() {
+            Some(rate) => format!("{:.1}% transcode hit", rate * 100.0),
+            None => "no transcodes yet".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "store:  {} payloads / {} B shared · {} dedupes · {hit_pct} · {} us saved",
+            s.gauge("store_payloads").unwrap_or(0),
+            s.gauge("store_bytes_shared").unwrap_or(0),
+            s.counter("store_dedupe_hits_total").unwrap_or(0),
+            s.counter("transcode_us_saved_total").unwrap_or(0),
+        );
 
         let _ = writeln!(out);
         let _ = writeln!(out, "{:<28} {:>12}", "OPCODE", "DISPATCHED");
@@ -192,9 +216,15 @@ mod tests {
                     CounterSample { name: "dispatch_slow_total".into(), value: 2 },
                     CounterSample { name: "events_dropped_total".into(), value: 1 },
                     CounterSample { name: "clients_evicted_total".into(), value: 1 },
+                    CounterSample { name: "store_dedupe_hits_total".into(), value: 2 },
+                    CounterSample { name: "transcode_cache_hits_total".into(), value: 3 },
+                    CounterSample { name: "transcode_cache_misses_total".into(), value: 1 },
+                    CounterSample { name: "transcode_us_saved_total".into(), value: 12 },
                 ],
                 gauges: vec![
                     GaugeSample { name: "active_roots".into(), value: 1 },
+                    GaugeSample { name: "store_payloads".into(), value: 4 },
+                    GaugeSample { name: "store_bytes_shared".into(), value: 4096 },
                     GaugeSample { name: "conn_plane_workers".into(), value: 2 },
                     GaugeSample { name: "conn_plane_connections".into(), value: 3 },
                     GaugeSample { name: "conn_worker_max_connections".into(), value: 2 },
@@ -233,6 +263,8 @@ mod tests {
         let rate = snap.plan_cache_hit_rate().expect("lookups recorded");
         assert!((rate - 6.0 / 7.0).abs() < 1e-9);
         assert_eq!(snap.dispatch_split(), (5, 2));
+        let tr = snap.transcode_hit_rate().expect("transcodes recorded");
+        assert!((tr - 0.75).abs() < 1e-9);
     }
 
     #[test]
@@ -247,5 +279,8 @@ mod tests {
         assert!(text.contains("5 fast / 2 slow"));
         assert!(text.contains("1 events dropped"));
         assert!(text.contains("1 evictions"));
+        assert!(text.contains("4 payloads / 4096 B shared"));
+        assert!(text.contains("75.0% transcode hit"));
+        assert!(text.contains("12 us saved"));
     }
 }

@@ -171,6 +171,14 @@ fn demo() -> bool {
     let extra = PlayLoud::build(&mut conn, vec![]).expect("second loud");
     conn.sync().expect("sync");
     control.tick_n(20);
+    // Replay a shared catalogue sound twice: the second play's decode
+    // windows must come out of the transcode cache (DESIGN.md §17).
+    let ring = conn.open_catalog_sound("system", "ring").expect("open catalogue sound");
+    for _ in 0..2 {
+        play.play(&mut conn, ring).expect("play catalogue sound");
+        conn.sync().expect("sync");
+        control.tick_n(10);
+    }
     play.stop(&mut conn).ok();
     extra.stop(&mut conn).ok();
     conn.sync().expect("sync");
@@ -206,6 +214,15 @@ fn demo() -> bool {
     let (fast, slow) = snap.dispatch_split();
     if fast + slow == 0 {
         failures.push("no dispatches counted on either path".to_string());
+    }
+    // Shared-store panel: the system catalogue is interned at startup
+    // and the replayed catalogue sound must have hit the transcode cache.
+    if snap.server.gauge("store_payloads").unwrap_or(0) == 0 {
+        failures.push("shared store reports zero interned payloads".to_string());
+    }
+    match snap.transcode_hit_rate() {
+        Some(rate) if rate > 0.0 => {}
+        other => failures.push(format!("transcode hit rate not positive: {other:?}")),
     }
     server.shutdown();
     for f in &failures {
